@@ -1,0 +1,99 @@
+//! Chip-area model for the iso-area comparison and the Fig 12 sweep.
+
+use crate::config::ArchConfig;
+use crate::pe::PeKind;
+
+/// Component areas, 45 nm-flavored.
+///
+/// Calibrated so the paper's iso-area setup holds: with FLAT's 22 MB buffer
+/// and plain MACC PEs versus FuseMax's 16 MB buffer and larger PEs
+/// (10-entry RF + max unit), FuseMax's chip comes out ~6.4 % smaller
+/// (§VI-A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaModel {
+    /// A plain multiply–accumulate 2D PE (TPU/FLAT style), µm².
+    pub pe_macc_um2: f64,
+    /// A FuseMax 2D PE (MACC + max + 10-entry RF), µm².
+    pub pe_fusemax_um2: f64,
+    /// A 1D vector PE including the fp divider, µm².
+    pub pe_vector_um2: f64,
+    /// SRAM density, mm² per MB (bit cell plus array overheads).
+    pub sram_mm2_per_mb: f64,
+    /// Fixed overhead (NoC, control, IO), mm².
+    pub fixed_mm2: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self {
+            pe_macc_um2: 1500.0,
+            pe_fusemax_um2: 1800.0,
+            pe_vector_um2: 6000.0,
+            sram_mm2_per_mb: 5.9,
+            fixed_mm2: 20.0,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Total chip area of a configuration in mm².
+    pub fn chip_area_mm2(&self, config: &ArchConfig) -> f64 {
+        let pe2 = match config.pe_2d {
+            PeKind::FuseMaxPe => self.pe_fusemax_um2,
+            _ => self.pe_macc_um2,
+        };
+        let array_2d = config.pe_count_2d() as f64 * pe2 * 1e-6;
+        let array_1d = config.vector_pes as f64 * self.pe_vector_um2 * 1e-6;
+        let buffer = config.global_buffer_bytes as f64 / (1024.0 * 1024.0) * self.sram_mm2_per_mb;
+        array_2d + array_1d + buffer + self.fixed_mm2
+    }
+
+    /// Total chip area in cm² (Fig 12's x-axis unit).
+    pub fn chip_area_cm2(&self, config: &ArchConfig) -> f64 {
+        self.chip_area_mm2(config) / 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fusemax_cloud_is_about_6_percent_smaller_than_flat() {
+        let area = AreaModel::default();
+        let fusemax = area.chip_area_mm2(&ArchConfig::fusemax_cloud());
+        let flat = area.chip_area_mm2(&ArchConfig::flat_cloud());
+        let ratio = fusemax / flat;
+        assert!(
+            (ratio - 0.936).abs() < 0.01,
+            "expected ≈6.4% smaller, got ratio {ratio:.3} ({fusemax:.1} vs {flat:.1} mm²)"
+        );
+    }
+
+    #[test]
+    fn cloud_chip_lands_in_figure_12_range() {
+        // Fig 12's x-axis spans roughly 0.1–10 cm²; the cloud design sits
+        // in the middle of the band.
+        let area = AreaModel::default().chip_area_cm2(&ArchConfig::fusemax_cloud());
+        assert!((1.0..5.0).contains(&area), "cloud area {area} cm²");
+    }
+
+    #[test]
+    fn area_grows_monotonically_with_array_size() {
+        let model = AreaModel::default();
+        let mut last = 0.0;
+        for n in [16, 32, 64, 128, 256, 512] {
+            let a = model.chip_area_mm2(&ArchConfig::fusemax_scaled(n));
+            assert!(a > last, "area must grow with array size");
+            last = a;
+        }
+    }
+
+    #[test]
+    fn small_designs_are_dominated_by_fixed_overhead() {
+        let model = AreaModel::default();
+        let tiny = model.chip_area_mm2(&ArchConfig::fusemax_scaled(16));
+        assert!(tiny < 25.0, "16x16 design should be tiny: {tiny} mm²");
+        assert!(tiny > model.fixed_mm2);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Spatial-array architecture descriptions, energy tables, and area models
+//! for the FuseMax reproduction (§V, Figures 2–3; the Accelergy substitute).
+//!
+//! The accelerator template is the paper's TPUv2/v3-style spatial
+//! architecture: DRAM feeding a global buffer feeding a 2D PE array (tensor
+//! products) and a 1D PE array (vector operations). [`ArchConfig`] carries
+//! the paper's cloud parameters (Fig 2: 256×256 2D PEs, 256 1D PEs, 16 MB
+//! buffer, 400 GB/s, 940 MHz), [`EnergyTable`] the per-action energies, and
+//! [`AreaModel`] the component areas used for the iso-area comparison and
+//! the Fig 12 Pareto sweep.
+//!
+//! # Example
+//!
+//! ```
+//! use fusemax_arch::{ArchConfig, AreaModel};
+//!
+//! let fusemax = ArchConfig::fusemax_cloud();
+//! let flat = ArchConfig::flat_cloud();
+//! let area = AreaModel::default();
+//!
+//! // §VI-A: "we find that FuseMax is 6.4% smaller" (iso-area comparison).
+//! let ratio = area.chip_area_mm2(&fusemax) / area.chip_area_mm2(&flat);
+//! assert!((ratio - 0.936).abs() < 0.01, "area ratio {ratio}");
+//! ```
+
+mod area;
+mod config;
+mod energy;
+mod pe;
+
+pub use area::AreaModel;
+pub use config::ArchConfig;
+pub use energy::{EnergyBreakdown, EnergyTable};
+pub use pe::{ExpCost, PeKind, PeOp};

@@ -1,0 +1,68 @@
+//! Fig 4/5 companion: measured utilization of the serialized vs pipelined
+//! bindings on the discrete-event spatial simulator (toy scale), with the
+//! analytical model's +Architecture/+Binding predictions alongside.
+
+use fusemax_model::{attention_report, ConfigKind, ModelParams};
+use fusemax_spatial::interleave::{run_streams, InterleaveMode, Stream};
+use fusemax_spatial::{simulate, Binding, SpatialConfig};
+use fusemax_tensor::{Shape, Tensor};
+use fusemax_workloads::TransformerConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    fusemax_bench::banner("Binding", "serialized vs pipelined binding (simulator + model)");
+    let mut rng = StdRng::seed_from_u64(1);
+    let (e, f, p) = (8usize, 8usize, 8usize);
+    println!("simulated toy 4x4 array (E=F=8):");
+    println!("{:<8} {:>10} {:>10} {:>8} {:>8} {:>8}", "M", "serial", "pipelined", "speedup", "u2D", "u1D");
+    for m in [16usize, 64, 256, 1024] {
+        let q = Tensor::<f64>::random_uniform(Shape::of(&[("E", e), ("P", p)]), -1.0, 1.0, &mut rng);
+        let k = Tensor::<f64>::random_uniform(Shape::of(&[("E", e), ("M", m)]), -1.0, 1.0, &mut rng);
+        let v = Tensor::<f64>::random_uniform(Shape::of(&[("F", f), ("M", m)]), -1.0, 1.0, &mut rng);
+        let cfg = SpatialConfig::toy(4, 4);
+        let s = simulate(&q, &k, &v, &cfg, Binding::Serialized).expect("sim");
+        let pl = simulate(&q, &k, &v, &cfg, Binding::Pipelined).expect("sim");
+        println!(
+            "{:<8} {:>10} {:>10} {:>7.2}x {:>8.2} {:>8.2}",
+            m, s.cycles, pl.cycles, s.cycles as f64 / pl.cycles as f64,
+            pl.util_2d(), pl.util_1d()
+        );
+    }
+
+    println!("\nanalytical model (cloud scale, BERT):");
+    let params = ModelParams::default();
+    let bert = TransformerConfig::bert();
+    for &l in &[1usize << 14, 1 << 18] {
+        let a = attention_report(ConfigKind::FuseMaxArch, &bert, l, None, &params);
+        let b = attention_report(ConfigKind::FuseMaxBinding, &bert, l, None, &params);
+        println!(
+            "  L={:<8} +Architecture util2D={:.2}  +Binding util2D={:.2}  binding speedup {:.2}x",
+            l, a.util_2d(), b.util_2d(), a.cycles / b.cycles
+        );
+    }
+    // Fig 5's cycle-level mechanism: two weight-stationary streams share
+    // the array, one stream's fill chasing the other's drain.
+    println!("\ncycle-accurate systolic interleave (Fig 5, 8x8 array, T=8 per stream):");
+    let mk = |seed: u64| {
+        let mut r = StdRng::seed_from_u64(seed);
+        let w = Tensor::<f64>::random_uniform(Shape::of(&[("I", 8), ("J", 8)]), -1.0, 1.0, &mut r);
+        let x = Tensor::<f64>::random_uniform(Shape::of(&[("I", 8), ("T", 8)]), -1.0, 1.0, &mut r);
+        Stream::new(&w, &x).expect("stream")
+    };
+    let (a, b) = (mk(100), mk(101));
+    for mode in [InterleaveMode::Serial, InterleaveMode::Interleaved] {
+        let r = run_streams(&a, &b, 8, 8, mode).expect("interleave sim");
+        println!(
+            "  {:<12} {:>4} cycles, PE utilization {:.2}",
+            mode.to_string(),
+            r.cycles,
+            r.utilization
+        );
+    }
+    fusemax_bench::paper_note(
+        "the pipelined/interleaved binding alone recovers ~3x over the serialized \
+         one and pushes both arrays to ~full utilization (Fig 6's +Binding bars); \
+         at cycle level, interleaving hides one full fill/drain skew per tile pair.",
+    );
+}

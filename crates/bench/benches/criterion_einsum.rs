@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the extended-Einsum layer: parsing,
+//! pass analysis, and cascade evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fusemax_core::cascades::attention;
+use fusemax_core::passes::analyze_passes;
+use fusemax_einsum::{Cascade, Evaluator};
+use fusemax_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_parse(c: &mut Criterion) {
+    let text = attention::one_pass().to_string();
+    c.bench_function("parse_one_pass_cascade", |b| {
+        b.iter(|| black_box(Cascade::parse(&text).unwrap()))
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let cascades =
+        [attention::three_pass(), attention::two_pass(), attention::one_pass()];
+    c.bench_function("pass_analysis_all_attention_cascades", |b| {
+        b.iter(|| {
+            for cascade in &cascades {
+                black_box(analyze_passes(cascade, "M").unwrap());
+            }
+        })
+    });
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(23);
+    let (e, f, m, p) = (16usize, 16usize, 64usize, 16usize);
+    let q = Tensor::<f64>::random_uniform(Shape::of(&[("E", e), ("P", p)]), -1.0, 1.0, &mut rng);
+    let k = Tensor::<f64>::random_uniform(Shape::of(&[("E", e), ("M", m)]), -1.0, 1.0, &mut rng);
+    let v = Tensor::<f64>::random_uniform(Shape::of(&[("F", f), ("M", m)]), -1.0, 1.0, &mut rng);
+    let cascade = attention::one_pass();
+    let evaluator = Evaluator::new();
+    let mut group = c.benchmark_group("einsum_evaluator");
+    group.measurement_time(Duration::from_secs(4)).sample_size(20);
+    group.bench_function("one_pass_E16_M64_P16", |b| {
+        b.iter(|| {
+            black_box(
+                evaluator
+                    .evaluate(
+                        &cascade,
+                        &[("Q", q.clone()), ("K", k.clone()), ("V", v.clone())],
+                        &[("M0", 8)],
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_analysis, bench_evaluate);
+criterion_main!(benches);

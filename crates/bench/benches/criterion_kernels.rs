@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks of the attention kernels: wall-clock time of
+//! the 3-/2-/1-pass algorithms and the tile-size sweep for the 1-pass
+//! kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fusemax_core::kernels::Algorithm;
+use fusemax_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn qkv(e: usize, f: usize, m: usize, p: usize) -> [Tensor<f32>; 3] {
+    let mut rng = StdRng::seed_from_u64(17);
+    [
+        Tensor::random_uniform(Shape::of(&[("E", e), ("P", p)]), -1.0, 1.0, &mut rng),
+        Tensor::random_uniform(Shape::of(&[("E", e), ("M", m)]), -1.0, 1.0, &mut rng),
+        Tensor::random_uniform(Shape::of(&[("F", f), ("M", m)]), -1.0, 1.0, &mut rng),
+    ]
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let [q, k, v] = qkv(64, 64, 1024, 64);
+    let mut group = c.benchmark_group("attention_kernels_f32_E64_M1024_P64");
+    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    for alg in [
+        Algorithm::NaiveUnstable,
+        Algorithm::ThreePass { deferred_div: false },
+        Algorithm::ThreePass { deferred_div: true },
+        Algorithm::TwoPass { tile_m0: 128, deferred_div: false },
+        Algorithm::OnePass { tile_m0: 128 },
+    ] {
+        group.bench_function(alg.name(), |bencher| {
+            bencher.iter(|| black_box(alg.run(&q, &k, &v).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tile_sweep(c: &mut Criterion) {
+    let [q, k, v] = qkv(64, 64, 1024, 32);
+    let mut group = c.benchmark_group("one_pass_tile_sweep");
+    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    for m0 in [16usize, 64, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(m0), &m0, |bencher, &m0| {
+            let alg = Algorithm::OnePass { tile_m0: m0 };
+            bencher.iter(|| black_box(alg.run(&q, &k, &v).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_tile_sweep);
+criterion_main!(benches);

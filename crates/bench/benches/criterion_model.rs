@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks of the analytical model and the spatial
+//! simulator: cost of regenerating the full evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fusemax_eval::summary::headline;
+use fusemax_model::{attention_report, ConfigKind, ModelParams};
+use fusemax_spatial::{simulate, Binding, SpatialConfig};
+use fusemax_tensor::{Shape, Tensor};
+use fusemax_workloads::{TransformerConfig, SEQ_LENGTHS};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_full_sweep(c: &mut Criterion) {
+    let params = ModelParams::default();
+    c.bench_function("model_full_sweep_5cfg_4models_6lengths", |b| {
+        b.iter(|| {
+            for cfg in TransformerConfig::all() {
+                for &l in &SEQ_LENGTHS {
+                    for kind in ConfigKind::all() {
+                        black_box(attention_report(kind, &cfg, l, None, &params));
+                    }
+                }
+            }
+        })
+    });
+}
+
+fn bench_headline(c: &mut Criterion) {
+    let params = ModelParams::default();
+    c.bench_function("headline_summary", |b| b.iter(|| black_box(headline(&params))));
+}
+
+fn bench_spatial_sim(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(29);
+    let q = Tensor::<f64>::random_uniform(Shape::of(&[("E", 8), ("P", 8)]), -1.0, 1.0, &mut rng);
+    let k = Tensor::<f64>::random_uniform(Shape::of(&[("E", 8), ("M", 256)]), -1.0, 1.0, &mut rng);
+    let v = Tensor::<f64>::random_uniform(Shape::of(&[("F", 8), ("M", 256)]), -1.0, 1.0, &mut rng);
+    let cfg = SpatialConfig::toy(4, 4);
+    c.bench_function("spatial_sim_pipelined_M256", |b| {
+        b.iter(|| black_box(simulate(&q, &k, &v, &cfg, Binding::Pipelined).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_full_sweep, bench_headline, bench_spatial_sim);
+criterion_main!(benches);

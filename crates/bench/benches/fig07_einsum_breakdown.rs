@@ -1,0 +1,16 @@
+//! Regenerates Fig 7: 2D-array active share by Einsum on BERT.
+
+use fusemax_eval::fig7::fig7;
+use fusemax_model::ModelParams;
+
+fn main() {
+    fusemax_bench::banner("Fig 7", "2D array utilization by Einsum (BERT)");
+    for panel in fig7(&ModelParams::default()) {
+        print!("{}", panel.render(3));
+        println!();
+    }
+    fusemax_bench::paper_note(
+        "FuseMax (+B) spends most active cycles on the tensor products (QK and \
+         SLNV/AV) with a small SLN (exp) slice, hiding softmax and memory costs.",
+    );
+}

@@ -1,0 +1,16 @@
+//! Regenerates Fig 10: end-to-end transformer inference speedup.
+
+use fusemax_eval::fig8_9::{figure, Metric, Scope};
+use fusemax_model::ModelParams;
+
+fn main() {
+    fusemax_bench::banner("Fig 10", "speedup of end-to-end inference over the unfused baseline");
+    for panel in figure(Scope::EndToEnd, Metric::Speedup, &ModelParams::default()) {
+        print!("{}", panel.render(2));
+        println!();
+    }
+    fusemax_bench::paper_note(
+        "paper averages: 7.6x over unfused and 5.3x over FLAT, rising with L as \
+         attention dominates (10x/7.5x at 1M tokens).",
+    );
+}

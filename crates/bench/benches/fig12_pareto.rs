@@ -1,0 +1,13 @@
+//! Regenerates Fig 12: area-vs-latency Pareto curves at 256K tokens.
+
+use fusemax_eval::fig12::{fig12, render};
+use fusemax_model::ModelParams;
+
+fn main() {
+    fusemax_bench::banner("Fig 12", "Pareto-optimal area/latency family at sequence length 256K");
+    print!("{}", render(&fig12(&ModelParams::default())));
+    fusemax_bench::paper_note(
+        "a straight line of slope ~-1 in log-log space per model (compute bound at \
+         every size), spanning ~0.1-10 cm^2 and ~10^2-10^5 seconds.",
+    );
+}

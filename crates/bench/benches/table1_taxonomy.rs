@@ -1,0 +1,19 @@
+//! Regenerates Table I: the pass-count classification of prior attention
+//! algorithms, computed by the §III analysis.
+
+use fusemax_eval::table1::{render, table1};
+
+fn main() {
+    fusemax_bench::banner("Table I", "classifying prior attention algorithms by pass count");
+    let rows = table1().expect("analysis");
+    print!("{}", render(&rows));
+    println!("\nper-row verification (computed vs paper):");
+    for r in &rows {
+        let mark = if r.computed == r.expected { "ok" } else { "MISMATCH" };
+        println!("  {:<18} computed {} expected {} [{mark}]", r.name, r.computed, r.expected);
+    }
+    fusemax_bench::paper_note(
+        "PyTorch/TensorFlow/FLAT/E.T. are 3-pass; TileFlow/Choi are 2-pass; \
+         FlashAttention/-2 and Rabe-Staats are 1-pass.",
+    );
+}

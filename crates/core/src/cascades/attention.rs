@@ -1,0 +1,434 @@
+//! The attention cascades of §IV.
+//!
+//! Rank conventions follow Einsum 22: `Q: E×P`, `K: E×M`, `V: F×M`,
+//! `AV: F×P`; the softmax normalizes over `M` (the key sequence) for each
+//! query `p`. The numerically stable variants omit the `1/√E` scale, as the
+//! paper notes practical implementations do (§IV-C1, footnote 4).
+
+use super::builtin;
+use fusemax_einsum::Cascade;
+
+/// The naive (numerically *unstable*) attention cascade (Einsums 22–24 with
+/// the softmax of Einsums 26–28).
+///
+/// ```text
+/// QK[m,p] = Q[e,p] * K[e,m]
+/// SN[m,p] = exp(QK[m,p])
+/// SD[p]   = SN[m,p]
+/// A[m,p]  = SN[m,p] / SD[p]
+/// AV[f,p] = A[m,p] * V[f,m]
+/// ```
+///
+/// `e^{QK}` overflows once `QK` exceeds ~88 in `f32` (§IV-C1) — the kernel
+/// tests demonstrate this. Two passes over `M`: `SD` must complete before
+/// `A` revisits `SN`.
+pub fn naive_unstable() -> Cascade {
+    builtin(
+        "name: attention_naive_unstable\n\
+         inputs: Q[e,p], K[e,m], V[f,m]\n\
+         QK[m,p] = Q[e,p] * K[e,m]\n\
+         SN[m,p] = exp(QK[m,p])\n\
+         SD[p] = SN[m,p]\n\
+         A[m,p] = SN[m,p] / SD[p]\n\
+         AV[f,p] = A[m,p] * V[f,m]\n",
+    )
+}
+
+/// Cascade 4: the 3-pass numerically stable cascade (Einsums 33–38) —
+/// what PyTorch, TensorFlow, FLAT, and E.T. implement (Table I).
+///
+/// ```text
+/// QK[m,p] = Q[e,p] * K[e,m]          # pass 1
+/// GM[p]   = max[m](QK[m,p])
+/// SN[m,p] = exp(QK[m,p] - GM[p])     # pass 2
+/// SD[p]   = SN[m,p]
+/// A[m,p]  = SN[m,p] / SD[p]          # pass 3
+/// AV[f,p] = A[m,p] * V[f,m]
+/// ```
+pub fn three_pass() -> Cascade {
+    builtin(
+        "name: attention_three_pass\n\
+         inputs: Q[e,p], K[e,m], V[f,m]\n\
+         QK[m,p] = Q[e,p] * K[e,m]\n\
+         GM[p] = max[m](QK[m,p])\n\
+         SN[m,p] = exp(QK[m,p] - GM[p])\n\
+         SD[p] = SN[m,p]\n\
+         A[m,p] = SN[m,p] / SD[p]\n\
+         AV[f,p] = A[m,p] * V[f,m]\n",
+    )
+}
+
+/// Cascade 4 with the §IV-D division-deferral optimization (Einsums 31–32):
+/// multiply the numerator by `V` first, reduce over `M`, then divide once.
+///
+/// ```text
+/// QK[m,p]  = Q[e,p] * K[e,m]
+/// GM[p]    = max[m](QK[m,p])
+/// SN[m,p]  = exp(QK[m,p] - GM[p])
+/// SD[p]    = SN[m,p]
+/// SNV[f,p] = SN[m,p] * V[f,m]
+/// AV[f,p]  = SNV[f,p] / SD[p]
+/// ```
+///
+/// Two effects, both verified by tests: divisions drop from `M×P` to `F×P`,
+/// and — because the old pass 3 no longer traverses `M` — the cascade needs
+/// only **two** passes (§IV-E3: "this reassociation combines the second and
+/// third passes of Cascade 4").
+pub fn three_pass_deferred_div() -> Cascade {
+    builtin(
+        "name: attention_three_pass_deferred_div\n\
+         inputs: Q[e,p], K[e,m], V[f,m]\n\
+         QK[m,p] = Q[e,p] * K[e,m]\n\
+         GM[p] = max[m](QK[m,p])\n\
+         SN[m,p] = exp(QK[m,p] - GM[p])\n\
+         SD[p] = SN[m,p]\n\
+         SNV[f,p] = SN[m,p] * V[f,m]\n\
+         AV[f,p] = SNV[f,p] / SD[p]\n",
+    )
+}
+
+/// The 2-pass cascade (§IV-E2) — TileFlow and Choi et al. (Table I).
+///
+/// The input is partitioned into `M1` chunks of `M0`. Pass 1 computes
+/// per-chunk local maxima `LM`, local numerators `SLN`, and local
+/// denominators `SLD`, while the global max `GM` is built from the local
+/// maxima. Pass 2 corrects numerators and denominators to the global max
+/// (`PLM = e^{LM-GM}`) and produces the output.
+///
+/// ```text
+/// init:
+///   BK[e,m1,m0] = K[e,m1*M0+m0]
+///   BV[f,m1,m0] = V[f,m1*M0+m0]
+/// body:
+///   BQK[m1,m0,p] = Q[e,p] * BK[e,m1,m0]      # pass 1
+///   LM[m1,p]     = max[m0](BQK[m1,m0,p])
+///   SLN[m1,m0,p] = exp(BQK[m1,m0,p] - LM[m1,p])
+///   SLD[m1,p]    = SLN[m1,m0,p]
+///   GM[p]        = max[m1](LM[m1,p])
+///   PLM[m1,p]    = exp(LM[m1,p] - GM[p])
+///   SD[p]        = SLD[m1,p] * PLM[m1,p]
+///   SN[m1,m0,p]  = SLN[m1,m0,p] * PLM[m1,p]  # pass 2
+///   A[m1,m0,p]   = SN[m1,m0,p] / SD[p]
+///   AV[f,p]      = A[m1,m0,p] * BV[f,m1,m0]
+/// ```
+pub fn two_pass() -> Cascade {
+    builtin(
+        "name: attention_two_pass\n\
+         inputs: Q[e,p], K[e,m], V[f,m]\n\
+         init:\n\
+         BK[e,m1,m0] = K[e,m1*M0+m0]\n\
+         BV[f,m1,m0] = V[f,m1*M0+m0]\n\
+         body:\n\
+         BQK[m1,m0,p] = Q[e,p] * BK[e,m1,m0]\n\
+         LM[m1,p] = max[m0](BQK[m1,m0,p])\n\
+         SLN[m1,m0,p] = exp(BQK[m1,m0,p] - LM[m1,p])\n\
+         SLD[m1,p] = SLN[m1,m0,p]\n\
+         GM[p] = max[m1](LM[m1,p])\n\
+         PLM[m1,p] = exp(LM[m1,p] - GM[p])\n\
+         SD[p] = SLD[m1,p] * PLM[m1,p]\n\
+         SN[m1,m0,p] = SLN[m1,m0,p] * PLM[m1,p]\n\
+         A[m1,m0,p] = SN[m1,m0,p] / SD[p]\n\
+         AV[f,p] = A[m1,m0,p] * BV[f,m1,m0]\n",
+    )
+}
+
+/// The 2-pass cascade with the §IV-D division deferral (the paper notes
+/// the optimization "can be applied to 2- and 3-pass cascades as well"):
+/// pass 2 folds the corrected numerators into `SNV[f,p]` and divides once
+/// per `(f, p)`.
+///
+/// ```text
+/// ... pass 1 as in [`two_pass`] ...
+/// SN[m1,m0,p] = SLN[m1,m0,p] * PLM[m1,p]  # pass 2
+/// SNV[f,p]    = SN[m1,m0,p] * BV[f,m1,m0]
+/// AV[f,p]     = SNV[f,p] / SD[p]
+/// ```
+pub fn two_pass_deferred_div() -> Cascade {
+    builtin(
+        "name: attention_two_pass_deferred_div\n\
+         inputs: Q[e,p], K[e,m], V[f,m]\n\
+         init:\n\
+         BK[e,m1,m0] = K[e,m1*M0+m0]\n\
+         BV[f,m1,m0] = V[f,m1*M0+m0]\n\
+         body:\n\
+         BQK[m1,m0,p] = Q[e,p] * BK[e,m1,m0]\n\
+         LM[m1,p] = max[m0](BQK[m1,m0,p])\n\
+         SLN[m1,m0,p] = exp(BQK[m1,m0,p] - LM[m1,p])\n\
+         SLD[m1,p] = SLN[m1,m0,p]\n\
+         GM[p] = max[m1](LM[m1,p])\n\
+         PLM[m1,p] = exp(LM[m1,p] - GM[p])\n\
+         SD[p] = SLD[m1,p] * PLM[m1,p]\n\
+         SN[m1,m0,p] = SLN[m1,m0,p] * PLM[m1,p]\n\
+         SNV[f,p] = SN[m1,m0,p] * BV[f,m1,m0]\n\
+         AV[f,p] = SNV[f,p] / SD[p]\n",
+    )
+}
+
+/// The 3-pass cascade with explicit batch and head ranks (§IV-B): adding
+/// `B` and `H` to every tensor turns the matrix multiplications into many
+/// independent per-`(b, h)` instances, with no cross-batch data sharing —
+/// and, as the tests verify, without changing the pass structure over `M`.
+pub fn batched_three_pass() -> Cascade {
+    builtin(
+        "name: attention_batched_three_pass\n\
+         inputs: Q[b,h,e,p], K[b,h,e,m], V[b,h,f,m]\n\
+         QK[b,h,m,p] = Q[b,h,e,p] * K[b,h,e,m]\n\
+         GM[b,h,p] = max[m](QK[b,h,m,p])\n\
+         SN[b,h,m,p] = exp(QK[b,h,m,p] - GM[b,h,p])\n\
+         SD[b,h,p] = SN[b,h,m,p]\n\
+         A[b,h,m,p] = SN[b,h,m,p] / SD[b,h,p]\n\
+         AV[b,h,f,p] = A[b,h,m,p] * V[b,h,f,m]\n",
+    )
+}
+
+/// Cascade 5: the 1-pass cascade (Einsums 39–56) used by FlashAttention-2
+/// and adopted by FuseMax.
+///
+/// `M1` is both a standard rank (indexing `BQK`) and an iterative rank
+/// (indexing the running tensors `RM`, `RD`, `RNV`); the stopping condition
+/// is `⋄ : m1 ≥ M1` (Statement 56).
+///
+/// ```text
+/// init:
+///   BK[e,m1,m0] = K[e,m1*M0+m0]                 # Einsum 39
+///   BV[f,m1,m0] = V[f,m1*M0+m0]                 # Einsum 40
+///   RM[0,p]     = -inf                          # Einsum 41
+///   RD[0,p]     = 0                             # Einsum 42
+///   RNV[f,0,p]  = 0                             # Einsum 43
+/// loop m1:
+///   BQK[m1,m0,p]  = Q[e,p] * BK[e,m1,m0]        # Einsum 44
+///   LM[m1,p]      = max[m0](BQK[m1,m0,p])       # Einsum 45
+///   RM[m1+1,p]    = max(RM[m1,p], LM[m1,p])     # Einsum 46
+///   SLN[m1,m0,p]  = exp(BQK[m1,m0,p] - RM[m1+1,p])  # Einsum 47
+///   SLD[m1,p]     = SLN[m1,m0,p]                # Einsum 48
+///   SLNV[f,m1,p]  = SLN[m1,m0,p] * BV[f,m1,m0]  # Einsum 49
+///   PRM[m1,p]     = exp(RM[m1,p] - RM[m1+1,p])  # Einsum 50
+///   SPD[m1,p]     = RD[m1,p] * PRM[m1,p]        # Einsum 51
+///   RD[m1+1,p]    = SLD[m1,p] + SPD[m1,p]       # Einsum 52
+///   SPNV[f,m1,p]  = RNV[f,m1,p] * PRM[m1,p]     # Einsum 53
+///   RNV[f,m1+1,p] = SLNV[f,m1,p] + SPNV[f,m1,p] # Einsum 54
+/// finally:
+///   AV[f,p] = RNV[f,M1,p] / RD[M1,p]            # Einsum 55
+/// ```
+pub fn one_pass() -> Cascade {
+    builtin(
+        "name: attention_one_pass\n\
+         inputs: Q[e,p], K[e,m], V[f,m]\n\
+         init:\n\
+         BK[e,m1,m0] = K[e,m1*M0+m0]\n\
+         BV[f,m1,m0] = V[f,m1*M0+m0]\n\
+         RM[0,p] = -inf\n\
+         RD[0,p] = 0\n\
+         RNV[f,0,p] = 0\n\
+         loop m1:\n\
+         BQK[m1,m0,p] = Q[e,p] * BK[e,m1,m0]\n\
+         LM[m1,p] = max[m0](BQK[m1,m0,p])\n\
+         RM[m1+1,p] = max(RM[m1,p], LM[m1,p])\n\
+         SLN[m1,m0,p] = exp(BQK[m1,m0,p] - RM[m1+1,p])\n\
+         SLD[m1,p] = SLN[m1,m0,p]\n\
+         SLNV[f,m1,p] = SLN[m1,m0,p] * BV[f,m1,m0]\n\
+         PRM[m1,p] = exp(RM[m1,p] - RM[m1+1,p])\n\
+         SPD[m1,p] = RD[m1,p] * PRM[m1,p]\n\
+         RD[m1+1,p] = SLD[m1,p] + SPD[m1,p]\n\
+         SPNV[f,m1,p] = RNV[f,m1,p] * PRM[m1,p]\n\
+         RNV[f,m1+1,p] = SLNV[f,m1,p] + SPNV[f,m1,p]\n\
+         finally:\n\
+         AV[f,p] = RNV[f,M1,p] / RD[M1,p]\n",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusemax_einsum::Evaluator;
+    use fusemax_tensor::{assert_tensors_close, Shape, Tensor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const E: usize = 4;
+    const F: usize = 5;
+    const M: usize = 12;
+    const P: usize = 6;
+    const M0: usize = 3;
+
+    fn qkv(seed: u64) -> (Tensor<f64>, Tensor<f64>, Tensor<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = Tensor::random_uniform(Shape::of(&[("E", E), ("P", P)]), -1.0, 1.0, &mut rng);
+        let k = Tensor::random_uniform(Shape::of(&[("E", E), ("M", M)]), -1.0, 1.0, &mut rng);
+        let v = Tensor::random_uniform(Shape::of(&[("F", F), ("M", M)]), -1.0, 1.0, &mut rng);
+        (q, k, v)
+    }
+
+    /// Straight-line stable softmax attention, the numeric oracle.
+    fn oracle(q: &Tensor<f64>, k: &Tensor<f64>, v: &Tensor<f64>) -> Tensor<f64> {
+        let mut av = Tensor::zeros(Shape::of(&[("F", F), ("P", P)]));
+        for p in 0..P {
+            let mut qk = [0.0; M];
+            for (m, qk_m) in qk.iter_mut().enumerate() {
+                for e in 0..E {
+                    *qk_m += q.get(&[e, p]) * k.get(&[e, m]);
+                }
+            }
+            let gm = qk.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let sn: Vec<f64> = qk.iter().map(|x| (x - gm).exp()).collect();
+            let sd: f64 = sn.iter().sum();
+            for f in 0..F {
+                let mut acc = 0.0;
+                for (m, &n) in sn.iter().enumerate() {
+                    acc += n / sd * v.get(&[f, m]);
+                }
+                av.set(&[f, p], acc);
+            }
+        }
+        av
+    }
+
+    fn run(cascade: &Cascade, seed: u64) -> (Tensor<f64>, Tensor<f64>) {
+        let (q, k, v) = qkv(seed);
+        let want = oracle(&q, &k, &v);
+        let r = Evaluator::new()
+            .evaluate(cascade, &[("Q", q), ("K", k), ("V", v)], &[("M0", M0)])
+            .unwrap();
+        (r.tensor("AV").unwrap().clone(), want)
+    }
+
+    #[test]
+    fn naive_matches_oracle_on_small_values() {
+        let (got, want) = run(&naive_unstable(), 1);
+        assert_tensors_close(&got, &want, 1e-9);
+    }
+
+    #[test]
+    fn three_pass_matches_oracle() {
+        let (got, want) = run(&three_pass(), 2);
+        assert_tensors_close(&got, &want, 1e-9);
+    }
+
+    #[test]
+    fn three_pass_deferred_div_matches_oracle() {
+        let (got, want) = run(&three_pass_deferred_div(), 3);
+        assert_tensors_close(&got, &want, 1e-9);
+    }
+
+    #[test]
+    fn two_pass_matches_oracle() {
+        let (got, want) = run(&two_pass(), 4);
+        assert_tensors_close(&got, &want, 1e-9);
+    }
+
+    #[test]
+    fn two_pass_deferred_div_matches_oracle() {
+        let (got, want) = run(&two_pass_deferred_div(), 14);
+        assert_tensors_close(&got, &want, 1e-9);
+    }
+
+    #[test]
+    fn two_pass_deferral_reduces_divisions() {
+        let (q, k, v) = qkv(15);
+        let ev = Evaluator::new();
+        let plain = ev
+            .evaluate(&two_pass(), &[("Q", q.clone()), ("K", k.clone()), ("V", v.clone())], &[("M0", M0)])
+            .unwrap();
+        let deferred = ev
+            .evaluate(&two_pass_deferred_div(), &[("Q", q), ("K", k), ("V", v)], &[("M0", M0)])
+            .unwrap();
+        assert_eq!(plain.total_counts().div, (M * P) as u64);
+        assert_eq!(deferred.total_counts().div, (F * P) as u64);
+    }
+
+    #[test]
+    fn one_pass_matches_oracle() {
+        let (got, want) = run(&one_pass(), 5);
+        assert_tensors_close(&got, &want, 1e-9);
+    }
+
+    #[test]
+    fn deferred_div_reduces_divisions_by_m_over_f() {
+        // §IV-D: M×P divisions become F×P.
+        let (q, k, v) = qkv(6);
+        let ev = Evaluator::new();
+        let plain = ev
+            .evaluate(&three_pass(), &[("Q", q.clone()), ("K", k.clone()), ("V", v.clone())], &[])
+            .unwrap();
+        let deferred = ev
+            .evaluate(&three_pass_deferred_div(), &[("Q", q), ("K", k), ("V", v)], &[])
+            .unwrap();
+        assert_eq!(plain.total_counts().div, (M * P) as u64);
+        assert_eq!(deferred.total_counts().div, (F * P) as u64);
+    }
+
+    #[test]
+    fn one_pass_division_count_matches_deferred_div() {
+        let (q, k, v) = qkv(7);
+        let r = Evaluator::new()
+            .evaluate(&one_pass(), &[("Q", q), ("K", k), ("V", v)], &[("M0", M0)])
+            .unwrap();
+        assert_eq!(r.total_counts().div, (F * P) as u64);
+    }
+
+    #[test]
+    fn one_pass_costs_extra_exponentials() {
+        // The running-max corrections (PRM) add M1×P exponentials over the
+        // 3-pass cascade's M×P (§IV-E3 "evidently increased compute").
+        let (q, k, v) = qkv(8);
+        let ev = Evaluator::new();
+        let three = ev
+            .evaluate(&three_pass(), &[("Q", q.clone()), ("K", k.clone()), ("V", v.clone())], &[])
+            .unwrap();
+        let one =
+            ev.evaluate(&one_pass(), &[("Q", q), ("K", k), ("V", v)], &[("M0", M0)]).unwrap();
+        let m1 = M / M0;
+        assert_eq!(three.total_counts().exp, (M * P) as u64);
+        assert_eq!(one.total_counts().exp, (M * P + m1 * P) as u64);
+    }
+
+    #[test]
+    fn batched_cascade_matches_per_head_oracle() {
+        // §IV-B: the batched form is many independent attention instances.
+        let mut rng = StdRng::seed_from_u64(21);
+        let (b, h) = (2usize, 2usize);
+        let q = Tensor::random_uniform(
+            Shape::of(&[("B", b), ("H", h), ("E", E), ("P", P)]), -1.0, 1.0, &mut rng);
+        let k = Tensor::random_uniform(
+            Shape::of(&[("B", b), ("H", h), ("E", E), ("M", M)]), -1.0, 1.0, &mut rng);
+        let v = Tensor::random_uniform(
+            Shape::of(&[("B", b), ("H", h), ("F", F), ("M", M)]), -1.0, 1.0, &mut rng);
+        let r = Evaluator::new()
+            .evaluate(&batched_three_pass(), &[("Q", q.clone()), ("K", k.clone()), ("V", v.clone())], &[])
+            .unwrap();
+        let av = r.tensor("AV").unwrap();
+        for bi in 0..b {
+            for hi in 0..h {
+                let qh = Tensor::from_fn(Shape::of(&[("E", E), ("P", P)]), |c| {
+                    q.get(&[bi, hi, c[0], c[1]])
+                });
+                let kh = Tensor::from_fn(Shape::of(&[("E", E), ("M", M)]), |c| {
+                    k.get(&[bi, hi, c[0], c[1]])
+                });
+                let vh = Tensor::from_fn(Shape::of(&[("F", F), ("M", M)]), |c| {
+                    v.get(&[bi, hi, c[0], c[1]])
+                });
+                let want = oracle(&qh, &kh, &vh);
+                let got = Tensor::from_fn(Shape::of(&[("F", F), ("P", P)]), |c| {
+                    av.get(&[bi, hi, c[0], c[1]])
+                });
+                assert_tensors_close(&got, &want, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn intermediate_shapes_are_as_specified() {
+        let (q, k, v) = qkv(9);
+        let r = Evaluator::new()
+            .evaluate(&one_pass(), &[("Q", q), ("K", k), ("V", v)], &[("M0", M0)])
+            .unwrap();
+        let m1 = M / M0;
+        assert_eq!(r.extent("M1"), Some(m1));
+        // Running tensors have M1+1 coordinates (0..=M1).
+        let rm = r.tensor("RM").unwrap();
+        assert_eq!(rm.shape().ranks()[0].extent(), m1 + 1);
+        let rnv = r.tensor("RNV").unwrap();
+        assert_eq!(rnv.shape().ranks()[1].extent(), m1 + 1);
+    }
+}

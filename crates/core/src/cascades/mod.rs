@@ -1,0 +1,19 @@
+//! The paper's cascades of Einsums, built programmatically.
+//!
+//! Every cascade here parses from the text form in its doc comment, so the
+//! Rust source doubles as a faithful transcription of the paper's Einsums.
+
+pub mod attention;
+pub mod pedagogical;
+
+use fusemax_einsum::Cascade;
+
+/// Parses a cascade that is known-good at compile time.
+///
+/// # Panics
+///
+/// Panics if the embedded text fails to parse — a bug in this crate, caught
+/// by the unit tests of each builder.
+pub(crate) fn builtin(text: &str) -> Cascade {
+    Cascade::parse(text).expect("builtin cascade must parse")
+}

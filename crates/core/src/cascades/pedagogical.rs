@@ -1,0 +1,156 @@
+//! The pedagogical cascades of §III (Cascades 1–3).
+//!
+//! These three cascades compute the same `Z = (Σ_k A_k·B_k) · (Σ_k A_k)`
+//! but differ in how many passes they make over the `K` rank of `A` and in
+//! how much compute they use — the trade-off §III-C explores.
+
+use super::builtin;
+use fusemax_einsum::Cascade;
+
+/// Cascade 1: the example 2-pass cascade (Einsums 5–6).
+///
+/// ```text
+/// Y = A[k] * B[k]
+/// Z = Y * A[k]
+/// ```
+///
+/// Every element of `A`'s `K` fiber must be visited to produce `Y` before
+/// any element can be revisited to produce `Z`, so this is a 2-pass cascade
+/// over `K` for any mapping.
+pub fn cascade1() -> Cascade {
+    builtin(
+        "name: cascade1_two_pass\n\
+         inputs: A[k], B[k]\n\
+         Y = A[k] * B[k]\n\
+         Z = Y * A[k]\n",
+    )
+}
+
+/// Cascade 2: the deferred-multiplication reassociation (Einsums 7–9).
+///
+/// ```text
+/// Y = A[k] * B[k]
+/// X = A[k]
+/// Z = Y * X
+/// ```
+///
+/// By the distributive property, `Σ_k (Y·A_k) = Y · Σ_k A_k`; both sums can
+/// be built in the same pass, and `Z` needs a single multiply instead of K
+/// multiplies (§III-C1).
+pub fn cascade2() -> Cascade {
+    builtin(
+        "name: cascade2_deferred\n\
+         inputs: A[k], B[k]\n\
+         Y = A[k] * B[k]\n\
+         X = A[k]\n\
+         Z = Y * X\n",
+    )
+}
+
+/// Cascade 3: the iterative construction (Einsums 10–15).
+///
+/// ```text
+/// init:
+///   RY[0] = 0
+///   RZ[0] = 0
+/// loop i:
+///   RY[i+1] = RY[i] + A[i] * B[i]
+///   RZ[i+1] = RZ[i] * RY[i+1] / RY[i] + RY[i+1] * A[i]
+/// finally:
+///   Z = RZ[K]
+/// ```
+///
+/// Also 1-pass, but with extra compute per element (the running rescale of
+/// `RZ`) — the same shape of trade-off the 1-pass attention cascade makes.
+/// The division by `RY[0] = 0` on the first iteration is culled by the `←`
+/// merge semantics of division (§II-C1).
+pub fn cascade3() -> Cascade {
+    builtin(
+        "name: cascade3_iterative\n\
+         inputs: A[i], B[i]\n\
+         init:\n\
+         RY[0] = 0\n\
+         RZ[0] = 0\n\
+         loop i:\n\
+         RY[i+1] = RY[i] + A[i] * B[i]\n\
+         RZ[i+1] = RZ[i] * RY[i+1] / RY[i] + RY[i+1] * A[i]\n\
+         finally:\n\
+         Z = RZ[I]\n",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusemax_einsum::Evaluator;
+    use fusemax_tensor::{Shape, Tensor};
+
+    fn inputs(k: usize) -> (Tensor<f64>, Tensor<f64>) {
+        let a = Tensor::from_fn(Shape::of(&[("K", k)]), |c| 0.5 + c[0] as f64);
+        let b = Tensor::from_fn(Shape::of(&[("K", k)]), |c| 1.0 - 0.25 * c[0] as f64);
+        (a, b)
+    }
+
+    fn expected_z(a: &Tensor<f64>, b: &Tensor<f64>) -> f64 {
+        let y: f64 = a.data().iter().zip(b.data()).map(|(x, y)| x * y).sum();
+        let x: f64 = a.sum();
+        y * x
+    }
+
+    #[test]
+    fn cascade1_computes_z() {
+        let (a, b) = inputs(5);
+        let want = expected_z(&a, &b);
+        let r = Evaluator::new().evaluate(&cascade1(), &[("A", a), ("B", b)], &[]).unwrap();
+        assert!((r.tensor("Z").unwrap().item() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cascade2_is_functionally_equivalent_to_cascade1() {
+        let (a, b) = inputs(7);
+        let want = expected_z(&a, &b);
+        let r = Evaluator::new().evaluate(&cascade2(), &[("A", a), ("B", b)], &[]).unwrap();
+        assert!((r.tensor("Z").unwrap().item() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cascade3_is_functionally_equivalent_to_cascade1() {
+        let (a, b) = inputs(6);
+        // Rank is named I in Cascade 3.
+        let a = Tensor::from_vec(Shape::of(&[("I", 6)]), a.data().to_vec()).unwrap();
+        let b = Tensor::from_vec(Shape::of(&[("I", 6)]), b.data().to_vec()).unwrap();
+        let want = expected_z(&a, &b);
+        let r = Evaluator::new().evaluate(&cascade3(), &[("A", a), ("B", b)], &[]).unwrap();
+        assert!((r.tensor("Z").unwrap().item() - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cascade2_reduces_multiplications() {
+        // §III-C1: Einsum 9 needs one multiply instead of K.
+        let (a, b) = inputs(8);
+        let r1 = Evaluator::new()
+            .evaluate(&cascade1(), &[("A", a.clone()), ("B", b.clone())], &[])
+            .unwrap();
+        let r2 = Evaluator::new().evaluate(&cascade2(), &[("A", a), ("B", b)], &[]).unwrap();
+        assert_eq!(r1.counts_for("Z").unwrap().mul, 8);
+        assert_eq!(r2.counts_for("Z").unwrap().mul, 1);
+    }
+
+    #[test]
+    fn cascade3_requires_extra_compute() {
+        // §III-C2: the iterative form trades compute for the saved pass.
+        let (a, b) = inputs(8);
+        let r2 = Evaluator::new()
+            .evaluate(&cascade2(), &[("A", a.clone()), ("B", b.clone())], &[])
+            .unwrap();
+        let a3 = Tensor::from_vec(Shape::of(&[("I", 8)]), a.data().to_vec()).unwrap();
+        let b3 = Tensor::from_vec(Shape::of(&[("I", 8)]), b.data().to_vec()).unwrap();
+        let r3 = Evaluator::new().evaluate(&cascade3(), &[("A", a3), ("B", b3)], &[]).unwrap();
+        assert!(
+            r3.total_counts().total() > r2.total_counts().total(),
+            "iterative cascade should cost more compute: {} vs {}",
+            r3.total_counts().total(),
+            r2.total_counts().total()
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Algorithmic-minimum live-footprint analysis (§III-B).
+//!
+//! The pass analysis bounds how much of each tensor must be simultaneously
+//! live: a tensor produced in one pass and consumed by a fiber traversal in
+//! a *later* pass must keep an entire fiber live (size `O(M)`), whereas a
+//! tensor consumed within its producing pass can be streamed a tile
+//! (`O(M0)`) or an element at a time. These bounds are mapping-independent:
+//! an architecture must either buffer the footprint on-chip or spill it,
+//! incurring memory traffic proportional to the fiber shape — exactly the
+//! dilemma that drives FLAT's buffering requirements (§V).
+
+use crate::passes::{analyze_passes, AnalysisError, PassAnalysis, RankClass};
+use fusemax_einsum::Cascade;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The minimum live footprint of one tensor with respect to a rank family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Footprint {
+    /// No family involvement — footprint governed by other ranks only.
+    Unrelated,
+    /// A single element at a time can stream through.
+    Element,
+    /// One tile of the inner partition (`O(M0)`) must be live.
+    Tile,
+    /// An entire fiber (`O(M)`) must be live across a pass boundary.
+    FullFiber,
+}
+
+impl fmt::Display for Footprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Footprint::Unrelated => "unrelated",
+            Footprint::Element => "O(1) element",
+            Footprint::Tile => "O(M0) tile",
+            Footprint::FullFiber => "O(M) full fiber",
+        })
+    }
+}
+
+/// Per-tensor live footprints for a cascade, with respect to one family.
+#[derive(Debug, Clone)]
+pub struct FootprintReport {
+    /// The analyzed rank family.
+    pub family: String,
+    /// Footprint per tensor.
+    pub per_tensor: BTreeMap<String, Footprint>,
+    /// The underlying pass analysis.
+    pub passes: PassAnalysis,
+}
+
+impl FootprintReport {
+    /// The footprint of `tensor` (unknown tensors are `Unrelated`).
+    pub fn of(&self, tensor: &str) -> Footprint {
+        self.per_tensor.get(tensor).copied().unwrap_or(Footprint::Unrelated)
+    }
+
+    /// `true` when some tensor needs a full fiber live — i.e. on-chip
+    /// requirements grow with the sequence length (the paper's complaint
+    /// about FLAT).
+    pub fn any_full_fiber(&self) -> bool {
+        self.per_tensor.values().any(|f| *f == Footprint::FullFiber)
+    }
+}
+
+impl fmt::Display for FootprintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "live footprints over rank family {}", self.family)?;
+        for (tensor, footprint) in &self.per_tensor {
+            writeln!(f, "  {tensor:<6} {footprint}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes the algorithmic-minimum live footprint of every tensor in
+/// `cascade` with respect to rank family `family`.
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError`] from the underlying pass analysis.
+///
+/// # Example
+///
+/// ```
+/// use fusemax_core::cascades::attention;
+/// use fusemax_core::footprint::{live_footprints, Footprint};
+///
+/// // The 3-pass cascade must keep whole QK fibers live (O(M), growing with
+/// // sequence length); the 1-pass cascade streams O(M0) tiles.
+/// let three = live_footprints(&attention::three_pass(), "M")?;
+/// assert_eq!(three.of("QK"), Footprint::FullFiber);
+///
+/// let one = live_footprints(&attention::one_pass(), "M")?;
+/// assert!(!one.any_full_fiber());
+/// # Ok::<(), fusemax_core::passes::AnalysisError>(())
+/// ```
+pub fn live_footprints(cascade: &Cascade, family: &str) -> Result<FootprintReport, AnalysisError> {
+    let passes = analyze_passes(cascade, family)?;
+    let tiled = passes.ranks.iter().any(|r| r != family);
+    let mut per_tensor: BTreeMap<String, Footprint> = BTreeMap::new();
+
+    // Last pass in which each tensor is consumed by a fiber-traversing
+    // Einsum.
+    let mut last_fiber_use: BTreeMap<String, usize> = BTreeMap::new();
+    for (einsum, info) in cascade.all_einsums().zip(&passes.einsums) {
+        if let Some(p) = info.pass {
+            for input in einsum.inputs() {
+                let e = last_fiber_use.entry(input.name.clone()).or_insert(p);
+                *e = (*e).max(p);
+            }
+        }
+    }
+
+    for (tensor, class) in &passes.classes {
+        let fp = match class {
+            RankClass::Unrelated => Footprint::Unrelated,
+            RankClass::FullSummary { .. }
+            | RankClass::TileSummary { .. }
+            | RankClass::PrefixSummary { .. } => Footprint::Element,
+            RankClass::FiberData { born_pass } => {
+                let last = last_fiber_use.get(tensor).copied().unwrap_or(*born_pass);
+                if last > *born_pass {
+                    // Consumed after its producing pass: the whole fiber
+                    // must survive the boundary (buffer or spill).
+                    Footprint::FullFiber
+                } else if tiled {
+                    Footprint::Tile
+                } else {
+                    Footprint::Element
+                }
+            }
+        };
+        per_tensor.insert(tensor.clone(), fp);
+    }
+
+    Ok(FootprintReport { family: family.to_string(), per_tensor, passes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cascades::{attention, pedagogical};
+
+    #[test]
+    fn three_pass_intermediates_need_full_fibers() {
+        let r = live_footprints(&attention::three_pass(), "M").unwrap();
+        // QK is produced in pass 1 and re-read in pass 2; SN in pass 2 and
+        // re-read in pass 3 (§IV-E1).
+        assert_eq!(r.of("QK"), Footprint::FullFiber);
+        assert_eq!(r.of("SN"), Footprint::FullFiber);
+        // A streams straight into AV within pass 3.
+        assert_eq!(r.of("A"), Footprint::Element);
+        assert!(r.any_full_fiber());
+    }
+
+    #[test]
+    fn naive_softmax_still_needs_a_full_fiber() {
+        let r = live_footprints(&attention::naive_unstable(), "M").unwrap();
+        assert_eq!(r.of("SN"), Footprint::FullFiber);
+    }
+
+    #[test]
+    fn one_pass_footprints_are_sequence_length_independent() {
+        let r = live_footprints(&attention::one_pass(), "M").unwrap();
+        assert!(!r.any_full_fiber(), "{r}");
+        assert_eq!(r.of("BQK"), Footprint::Tile);
+        assert_eq!(r.of("SLN"), Footprint::Tile);
+        assert_eq!(r.of("RM"), Footprint::Element);
+    }
+
+    #[test]
+    fn two_pass_keeps_local_numerators_live() {
+        let r = live_footprints(&attention::two_pass(), "M").unwrap();
+        // SLN is produced in pass 1 and corrected in pass 2.
+        assert_eq!(r.of("SLN"), Footprint::FullFiber);
+        // BQK is consumed within pass 1.
+        assert_eq!(r.of("BQK"), Footprint::Tile);
+    }
+
+    #[test]
+    fn cascade1_input_needs_full_fiber() {
+        // §III-B: A's algorithmic minimum live footprint is a whole K fiber.
+        let r = live_footprints(&pedagogical::cascade1(), "K").unwrap();
+        assert_eq!(r.of("A"), Footprint::FullFiber);
+        assert_eq!(r.of("B"), Footprint::Element);
+    }
+
+    #[test]
+    fn cascade2_streams_inputs() {
+        let r = live_footprints(&pedagogical::cascade2(), "K").unwrap();
+        assert_eq!(r.of("A"), Footprint::Element);
+        assert!(!r.any_full_fiber());
+    }
+
+    #[test]
+    fn unrelated_tensors_are_marked() {
+        let r = live_footprints(&attention::three_pass(), "M").unwrap();
+        assert_eq!(r.of("Q"), Footprint::Unrelated);
+        assert_eq!(r.of("NOPE"), Footprint::Unrelated);
+    }
+
+    #[test]
+    fn display_mentions_family_and_tensors() {
+        let r = live_footprints(&attention::three_pass(), "M").unwrap();
+        let text = r.to_string();
+        assert!(text.contains("family M"));
+        assert!(text.contains("QK"));
+    }
+
+    #[test]
+    fn footprint_ordering_is_by_severity() {
+        assert!(Footprint::FullFiber > Footprint::Tile);
+        assert!(Footprint::Tile > Footprint::Element);
+        assert!(Footprint::Element > Footprint::Unrelated);
+    }
+}

@@ -1,0 +1,241 @@
+//! Batched multi-head attention (§IV-B).
+//!
+//! The paper notes that Einsums 22–24 extend to full batched multi-head
+//! self-attention by adding batch (`B`) and head (`H`) ranks to all
+//! tensors, and that this makes every matrix multiplication unique to its
+//! batch element — there is no cross-batch data sharing to exploit. This
+//! module provides that form: `Q: B×H×E×P`, `K: B×H×E×M`, `V: B×H×F×M` →
+//! `AV: B×H×F×P`, running any [`Algorithm`] independently per `(b, h)`.
+
+use super::{Algorithm, AttentionRun, KernelError};
+use fusemax_einsum::OpCounts;
+use fusemax_tensor::{Element, Shape, Tensor};
+
+/// Batched multi-head attention dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchedDims {
+    /// Batch size.
+    pub b: usize,
+    /// Heads.
+    pub h: usize,
+    /// Query/key embedding per head.
+    pub e: usize,
+    /// Key/value sequence length.
+    pub m: usize,
+    /// Query sequence length.
+    pub p: usize,
+    /// Value embedding per head.
+    pub f: usize,
+}
+
+/// Validates `Q: B×H×E×P`, `K: B×H×E×M`, `V: B×H×F×M`.
+///
+/// # Errors
+///
+/// Returns [`KernelError::ShapeMismatch`] when rank counts or shared
+/// extents disagree.
+pub fn batched_dims<T: Element>(
+    q: &Tensor<T>,
+    k: &Tensor<T>,
+    v: &Tensor<T>,
+) -> Result<BatchedDims, KernelError> {
+    let need_4d = |name: &str, t: &Tensor<T>| -> Result<[usize; 4], KernelError> {
+        let ranks = t.shape().ranks();
+        if ranks.len() != 4 {
+            return Err(KernelError::ShapeMismatch {
+                detail: format!("{name} must be a 4-tensor (B,H,·,·), got {} ranks", ranks.len()),
+            });
+        }
+        Ok([ranks[0].extent(), ranks[1].extent(), ranks[2].extent(), ranks[3].extent()])
+    };
+    let [bq, hq, e, p] = need_4d("Q", q)?;
+    let [bk, hk, e_k, m] = need_4d("K", k)?;
+    let [bv, hv, f, m_v] = need_4d("V", v)?;
+    if bq != bk || bq != bv || hq != hk || hq != hv {
+        return Err(KernelError::ShapeMismatch {
+            detail: format!(
+                "batch/head ranks disagree: Q {bq}x{hq}, K {bk}x{hk}, V {bv}x{hv}"
+            ),
+        });
+    }
+    if e != e_k {
+        return Err(KernelError::ShapeMismatch {
+            detail: format!("Q and K embedding ranks differ: {e} vs {e_k}"),
+        });
+    }
+    if m != m_v {
+        return Err(KernelError::ShapeMismatch {
+            detail: format!("K and V sequence ranks differ: {m} vs {m_v}"),
+        });
+    }
+    Ok(BatchedDims { b: bq, h: hq, e, m, p, f })
+}
+
+/// Runs `algorithm` independently for every `(batch, head)` pair.
+///
+/// Per §IV-B, the per-head computations are fully independent: the result
+/// and the operation counts are exactly `B×H` single-head runs.
+///
+/// # Errors
+///
+/// Returns [`KernelError`] on malformed shapes or tile sizes.
+///
+/// # Example
+///
+/// ```
+/// use fusemax_core::kernels::{batched_attention, Algorithm};
+/// use fusemax_tensor::{Shape, Tensor};
+///
+/// let q = Tensor::full(Shape::of(&[("B", 2), ("H", 3), ("E", 4), ("P", 5)]), 0.1_f64);
+/// let k = Tensor::full(Shape::of(&[("B", 2), ("H", 3), ("E", 4), ("M", 8)]), 0.2_f64);
+/// let v = Tensor::full(Shape::of(&[("B", 2), ("H", 3), ("F", 4), ("M", 8)]), 0.3_f64);
+/// let run = batched_attention(Algorithm::OnePass { tile_m0: 4 }, &q, &k, &v)?;
+/// assert_eq!(run.av.shape().rank_names(), vec!["B", "H", "F", "P"]);
+/// # Ok::<(), fusemax_core::kernels::KernelError>(())
+/// ```
+pub fn batched_attention<T: Element>(
+    algorithm: Algorithm,
+    q: &Tensor<T>,
+    k: &Tensor<T>,
+    v: &Tensor<T>,
+) -> Result<AttentionRun<T>, KernelError> {
+    let dims = batched_dims(q, k, v)?;
+    let BatchedDims { b, h, e, m, p, f } = dims;
+    let mut av = Tensor::zeros(Shape::of(&[("B", b), ("H", h), ("F", f), ("P", p)]));
+    let mut ops = OpCounts::default();
+    let to_head = |t: &Tensor<T>, bi: usize, hi: usize, names: (&str, &str), d0: usize, d1: usize| {
+        let view = t.subview(&[bi, hi]).expect("validated batch/head coordinates");
+        Tensor::from_fn(Shape::of(&[(names.0, d0), (names.1, d1)]), |c| view.get(c))
+    };
+    for bi in 0..b {
+        for hi in 0..h {
+            let qh = to_head(q, bi, hi, ("E", "P"), e, p);
+            let kh = to_head(k, bi, hi, ("E", "M"), e, m);
+            let vh = to_head(v, bi, hi, ("F", "M"), f, m);
+            let run = algorithm.run(&qh, &kh, &vh)?;
+            for fi in 0..f {
+                for pi in 0..p {
+                    av.set(&[bi, hi, fi, pi], run.av.get(&[fi, pi]));
+                }
+            }
+            ops += run.ops;
+        }
+    }
+    Ok(AttentionRun { av, ops })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::attention_reference;
+    use fusemax_tensor::assert_tensors_close;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const B: usize = 2;
+    const H: usize = 3;
+    const E: usize = 4;
+    const F: usize = 4;
+    const M: usize = 8;
+    const P: usize = 5;
+
+    fn batched_qkv(seed: u64) -> [Tensor<f64>; 3] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        [
+            Tensor::random_uniform(
+                Shape::of(&[("B", B), ("H", H), ("E", E), ("P", P)]),
+                -1.0,
+                1.0,
+                &mut rng,
+            ),
+            Tensor::random_uniform(
+                Shape::of(&[("B", B), ("H", H), ("E", E), ("M", M)]),
+                -1.0,
+                1.0,
+                &mut rng,
+            ),
+            Tensor::random_uniform(
+                Shape::of(&[("B", B), ("H", H), ("F", F), ("M", M)]),
+                -1.0,
+                1.0,
+                &mut rng,
+            ),
+        ]
+    }
+
+    #[test]
+    fn every_head_matches_the_single_head_reference() {
+        let [q, k, v] = batched_qkv(1);
+        let run = batched_attention(Algorithm::OnePass { tile_m0: 4 }, &q, &k, &v).unwrap();
+        for bi in 0..B {
+            for hi in 0..H {
+                let qh = Tensor::from_fn(Shape::of(&[("E", E), ("P", P)]), |c| {
+                    q.get(&[bi, hi, c[0], c[1]])
+                });
+                let kh = Tensor::from_fn(Shape::of(&[("E", E), ("M", M)]), |c| {
+                    k.get(&[bi, hi, c[0], c[1]])
+                });
+                let vh = Tensor::from_fn(Shape::of(&[("F", F), ("M", M)]), |c| {
+                    v.get(&[bi, hi, c[0], c[1]])
+                });
+                let want = attention_reference(&qh, &kh, &vh).unwrap();
+                let got = Tensor::from_fn(Shape::of(&[("F", F), ("P", P)]), |c| {
+                    run.av.get(&[bi, hi, c[0], c[1]])
+                });
+                assert_tensors_close(&got, &want, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn op_counts_scale_with_batch_times_heads() {
+        // §IV-B: no cross-batch sharing — work is exactly B·H single heads.
+        let [q, k, v] = batched_qkv(2);
+        let batched = batched_attention(Algorithm::ThreePass { deferred_div: false }, &q, &k, &v)
+            .unwrap();
+        let qh =
+            Tensor::from_fn(Shape::of(&[("E", E), ("P", P)]), |c| q.get(&[0, 0, c[0], c[1]]));
+        let kh =
+            Tensor::from_fn(Shape::of(&[("E", E), ("M", M)]), |c| k.get(&[0, 0, c[0], c[1]]));
+        let vh =
+            Tensor::from_fn(Shape::of(&[("F", F), ("M", M)]), |c| v.get(&[0, 0, c[0], c[1]]));
+        let single =
+            Algorithm::ThreePass { deferred_div: false }.run(&qh, &kh, &vh).unwrap();
+        let scale = (B * H) as u64;
+        assert_eq!(batched.ops.mul, single.ops.mul * scale);
+        assert_eq!(batched.ops.div, single.ops.div * scale);
+        assert_eq!(batched.ops.exp, single.ops.exp * scale);
+    }
+
+    #[test]
+    fn all_algorithms_agree_batched() {
+        let [q, k, v] = batched_qkv(3);
+        let reference =
+            batched_attention(Algorithm::ThreePass { deferred_div: false }, &q, &k, &v).unwrap();
+        for alg in [
+            Algorithm::ThreePass { deferred_div: true },
+            Algorithm::TwoPass { tile_m0: 4, deferred_div: false },
+            Algorithm::OnePass { tile_m0: 2 },
+        ] {
+            let run = batched_attention(alg, &q, &k, &v).unwrap();
+            assert_tensors_close(&run.av, &reference.av, 1e-9);
+        }
+    }
+
+    #[test]
+    fn shape_validation_errors() {
+        let [q, k, v] = batched_qkv(4);
+        // Wrong arity.
+        let q3: Tensor<f64> = Tensor::zeros(Shape::of(&[("H", H), ("E", E), ("P", P)]));
+        assert!(batched_dims(&q3, &k, &v).is_err());
+        // Mismatched heads.
+        let k_bad: Tensor<f64> =
+            Tensor::zeros(Shape::of(&[("B", B), ("H", H + 1), ("E", E), ("M", M)]));
+        let err = batched_dims(&q, &k_bad, &v).unwrap_err();
+        assert!(err.to_string().contains("batch/head"));
+        // Mismatched sequence.
+        let v_bad: Tensor<f64> =
+            Tensor::zeros(Shape::of(&[("B", B), ("H", H), ("F", F), ("M", M + 1)]));
+        assert!(batched_dims(&q, &k, &v_bad).is_err());
+    }
+}

@@ -1,0 +1,351 @@
+//! Executable, operation-counted attention kernels.
+//!
+//! Each kernel implements one of the §IV cascades directly over dense
+//! tensors (`f32` or `f64`), counting every scalar operation so the counts
+//! can be cross-checked against the Einsum evaluator and fed to the cost
+//! model. Tensors follow the paper's rank conventions: `Q: E×P`, `K: E×M`,
+//! `V: F×M`, output `AV: F×P`.
+//!
+//! # Example
+//!
+//! ```
+//! use fusemax_core::kernels::{Algorithm, attention_dims};
+//! use fusemax_tensor::{Shape, Tensor, assert_tensors_close};
+//!
+//! let q = Tensor::full(Shape::of(&[("E", 2), ("P", 3)]), 0.1_f64);
+//! let k = Tensor::full(Shape::of(&[("E", 2), ("M", 8)]), 0.2_f64);
+//! let v = Tensor::full(Shape::of(&[("F", 4), ("M", 8)]), 0.3_f64);
+//!
+//! let three = Algorithm::ThreePass { deferred_div: false }.run(&q, &k, &v)?;
+//! let one = Algorithm::OnePass { tile_m0: 4 }.run(&q, &k, &v)?;
+//! assert_tensors_close(&three.av, &one.av, 1e-12);
+//!
+//! // §IV-D: deferring the division shrinks it from M×P to F×P.
+//! let dims = attention_dims(&q, &k, &v)?;
+//! assert_eq!(three.ops.div, (dims.m * dims.p) as u64);
+//! assert_eq!(one.ops.div, (dims.f * dims.p) as u64);
+//! # Ok::<(), fusemax_core::kernels::KernelError>(())
+//! ```
+
+mod batched;
+mod one_pass;
+mod reference;
+mod three_pass;
+mod two_pass;
+
+pub use batched::{batched_attention, batched_dims, BatchedDims};
+pub use reference::attention_reference;
+
+use fusemax_einsum::OpCounts;
+use fusemax_tensor::{Element, Tensor};
+use std::error::Error;
+use std::fmt;
+
+/// Attention problem dimensions (Einsum 22's rank names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttentionDims {
+    /// Query/key embedding.
+    pub e: usize,
+    /// Key/value sequence length (the softmax rank).
+    pub m: usize,
+    /// Query sequence length.
+    pub p: usize,
+    /// Value embedding.
+    pub f: usize,
+}
+
+/// The result of running an attention kernel: the output and the measured
+/// operation counts.
+#[derive(Debug, Clone)]
+pub struct AttentionRun<T> {
+    /// The attention output `AV: F×P`.
+    pub av: Tensor<T>,
+    /// Scalar operations performed, by kind.
+    pub ops: OpCounts,
+}
+
+/// Errors from attention kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// Input tensor shapes disagree with the `Q:E×P / K:E×M / V:F×M`
+    /// convention.
+    ShapeMismatch {
+        /// Description of the disagreement.
+        detail: String,
+    },
+    /// A tile size does not divide the corresponding rank.
+    BadTile {
+        /// Description of the bad tiling.
+        detail: String,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            KernelError::BadTile { detail } => write!(f, "bad tile size: {detail}"),
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+/// Validates `Q: E×P`, `K: E×M`, `V: F×M` and returns the dimensions.
+///
+/// # Errors
+///
+/// Returns [`KernelError::ShapeMismatch`] when rank counts or shared
+/// extents disagree.
+pub fn attention_dims<T: Element>(
+    q: &Tensor<T>,
+    k: &Tensor<T>,
+    v: &Tensor<T>,
+) -> Result<AttentionDims, KernelError> {
+    let need_2d = |name: &str, t: &Tensor<T>| -> Result<(usize, usize), KernelError> {
+        let ranks = t.shape().ranks();
+        if ranks.len() != 2 {
+            return Err(KernelError::ShapeMismatch {
+                detail: format!("{name} must be a 2-tensor, got {} ranks", ranks.len()),
+            });
+        }
+        Ok((ranks[0].extent(), ranks[1].extent()))
+    };
+    let (e_q, p) = need_2d("Q", q)?;
+    let (e_k, m) = need_2d("K", k)?;
+    let (f, m_v) = need_2d("V", v)?;
+    if e_q != e_k {
+        return Err(KernelError::ShapeMismatch {
+            detail: format!("Q and K embedding ranks differ: {e_q} vs {e_k}"),
+        });
+    }
+    if m != m_v {
+        return Err(KernelError::ShapeMismatch {
+            detail: format!("K and V sequence ranks differ: {m} vs {m_v}"),
+        });
+    }
+    Ok(AttentionDims { e: e_q, m, p, f })
+}
+
+/// An attention algorithm from the §IV taxonomy, runnable as a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The unstable cascade (no max subtraction) — overflows on large
+    /// logits; kept for the §IV-C1 stability demonstration.
+    NaiveUnstable,
+    /// Cascade 4 (3-pass), optionally with the §IV-D division deferral.
+    ThreePass {
+        /// Apply the §IV-D reassociation (`SNV` then one division per
+        /// `(f,p)`).
+        deferred_div: bool,
+    },
+    /// The 2-pass local-max cascade (§IV-E2) with `M0`-sized tiles,
+    /// optionally with the §IV-D division deferral (which the paper notes
+    /// "can be applied to 2- and 3-pass cascades as well").
+    TwoPass {
+        /// The inner partition size (`M0`); must divide `M`.
+        tile_m0: usize,
+        /// Apply the §IV-D reassociation.
+        deferred_div: bool,
+    },
+    /// Cascade 5 (1-pass, FlashAttention-2) with `M0`-sized tiles.
+    OnePass {
+        /// The inner partition size (`M0`); must divide `M`.
+        tile_m0: usize,
+    },
+}
+
+impl Algorithm {
+    /// A short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::NaiveUnstable => "naive-unstable",
+            Algorithm::ThreePass { deferred_div: false } => "three-pass",
+            Algorithm::ThreePass { deferred_div: true } => "three-pass-deferred-div",
+            Algorithm::TwoPass { deferred_div: false, .. } => "two-pass",
+            Algorithm::TwoPass { deferred_div: true, .. } => "two-pass-deferred-div",
+            Algorithm::OnePass { .. } => "one-pass",
+        }
+    }
+
+    /// Runs the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] on malformed shapes or tile sizes.
+    pub fn run<T: Element>(
+        &self,
+        q: &Tensor<T>,
+        k: &Tensor<T>,
+        v: &Tensor<T>,
+    ) -> Result<AttentionRun<T>, KernelError> {
+        let dims = attention_dims(q, k, v)?;
+        match self {
+            Algorithm::NaiveUnstable => reference::naive_unstable(q, k, v, dims),
+            Algorithm::ThreePass { deferred_div } => {
+                three_pass::run(q, k, v, dims, *deferred_div)
+            }
+            Algorithm::TwoPass { tile_m0, deferred_div } => {
+                check_tile(*tile_m0, dims.m)?;
+                two_pass::run(q, k, v, dims, *tile_m0, *deferred_div)
+            }
+            Algorithm::OnePass { tile_m0 } => {
+                check_tile(*tile_m0, dims.m)?;
+                one_pass::run(q, k, v, dims, *tile_m0)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn check_tile(m0: usize, m: usize) -> Result<(), KernelError> {
+    if m0 == 0 || !m.is_multiple_of(m0) {
+        return Err(KernelError::BadTile {
+            detail: format!("tile M0={m0} must be a nonzero divisor of M={m}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusemax_tensor::{assert_tensors_close, Shape};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const E: usize = 6;
+    const F: usize = 5;
+    const M: usize = 24;
+    const P: usize = 7;
+
+    fn qkv_f64(seed: u64, scale: f64) -> (Tensor<f64>, Tensor<f64>, Tensor<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (
+            Tensor::random_uniform(Shape::of(&[("E", E), ("P", P)]), -scale, scale, &mut rng),
+            Tensor::random_uniform(Shape::of(&[("E", E), ("M", M)]), -scale, scale, &mut rng),
+            Tensor::random_uniform(Shape::of(&[("F", F), ("M", M)]), -scale, scale, &mut rng),
+        )
+    }
+
+    #[test]
+    fn all_stable_kernels_agree_with_the_reference() {
+        let (q, k, v) = qkv_f64(11, 1.0);
+        let want = attention_reference(&q, &k, &v).unwrap();
+        for alg in [
+            Algorithm::ThreePass { deferred_div: false },
+            Algorithm::ThreePass { deferred_div: true },
+            Algorithm::TwoPass { tile_m0: 8, deferred_div: false },
+            Algorithm::TwoPass { tile_m0: 8, deferred_div: true },
+            Algorithm::OnePass { tile_m0: 8 },
+            Algorithm::OnePass { tile_m0: 1 },
+            Algorithm::OnePass { tile_m0: M },
+        ] {
+            let run = alg.run(&q, &k, &v).unwrap();
+            assert_tensors_close(&run.av, &want, 1e-10);
+        }
+    }
+
+    #[test]
+    fn naive_kernel_agrees_on_small_logits() {
+        let (q, k, v) = qkv_f64(12, 0.5);
+        let want = attention_reference(&q, &k, &v).unwrap();
+        let run = Algorithm::NaiveUnstable.run(&q, &k, &v).unwrap();
+        assert_tensors_close(&run.av, &want, 1e-10);
+    }
+
+    #[test]
+    fn naive_kernel_overflows_in_f32_where_stable_kernels_survive() {
+        // Logits around E·25 ≈ 150 > ln(f32::MAX) ≈ 88.7 (§IV-C1).
+        let mut rng = StdRng::seed_from_u64(13);
+        let q: Tensor<f32> =
+            Tensor::random_uniform(Shape::of(&[("E", E), ("P", P)]), 4.0, 5.0, &mut rng);
+        let k: Tensor<f32> =
+            Tensor::random_uniform(Shape::of(&[("E", E), ("M", M)]), 4.0, 5.0, &mut rng);
+        let v: Tensor<f32> =
+            Tensor::random_uniform(Shape::of(&[("F", F), ("M", M)]), -1.0, 1.0, &mut rng);
+
+        let naive = Algorithm::NaiveUnstable.run(&q, &k, &v).unwrap();
+        assert!(!naive.av.all_finite(), "naive softmax should overflow f32");
+
+        for alg in [
+            Algorithm::ThreePass { deferred_div: false },
+            Algorithm::TwoPass { tile_m0: 8, deferred_div: false },
+            Algorithm::OnePass { tile_m0: 8 },
+        ] {
+            let run = alg.run(&q, &k, &v).unwrap();
+            assert!(run.av.all_finite(), "{alg} should be numerically stable");
+        }
+    }
+
+    #[test]
+    fn division_counts_follow_section_iv_d() {
+        let (q, k, v) = qkv_f64(14, 1.0);
+        let plain = Algorithm::ThreePass { deferred_div: false }.run(&q, &k, &v).unwrap();
+        let deferred = Algorithm::ThreePass { deferred_div: true }.run(&q, &k, &v).unwrap();
+        let one = Algorithm::OnePass { tile_m0: 8 }.run(&q, &k, &v).unwrap();
+        assert_eq!(plain.ops.div, (M * P) as u64);
+        assert_eq!(deferred.ops.div, (F * P) as u64);
+        assert_eq!(one.ops.div, (F * P) as u64);
+    }
+
+    #[test]
+    fn one_pass_exp_overhead_shrinks_with_larger_tiles() {
+        let (q, k, v) = qkv_f64(15, 1.0);
+        let small = Algorithm::OnePass { tile_m0: 2 }.run(&q, &k, &v).unwrap();
+        let large = Algorithm::OnePass { tile_m0: 12 }.run(&q, &k, &v).unwrap();
+        // exp count = M·P + M1·P; smaller tiles mean more corrections.
+        assert_eq!(small.ops.exp, ((M + M / 2) * P) as u64);
+        assert_eq!(large.ops.exp, ((M + M / 12) * P) as u64);
+        assert!(small.ops.exp > large.ops.exp);
+    }
+
+    #[test]
+    fn shape_validation_errors() {
+        let q: Tensor<f64> = Tensor::zeros(Shape::of(&[("E", 2), ("P", 3)]));
+        let k: Tensor<f64> = Tensor::zeros(Shape::of(&[("E", 4), ("M", 8)]));
+        let v: Tensor<f64> = Tensor::zeros(Shape::of(&[("F", 5), ("M", 8)]));
+        let err = attention_dims(&q, &k, &v).unwrap_err();
+        assert!(err.to_string().contains("embedding ranks differ"));
+
+        let k2: Tensor<f64> = Tensor::zeros(Shape::of(&[("E", 2), ("M", 6)]));
+        let err = attention_dims(&q, &k2, &v).unwrap_err();
+        assert!(err.to_string().contains("sequence ranks differ"));
+
+        let q1: Tensor<f64> = Tensor::zeros(Shape::of(&[("E", 2)]));
+        assert!(attention_dims(&q1, &k2, &v).is_err());
+    }
+
+    #[test]
+    fn bad_tile_is_rejected() {
+        let (q, k, v) = qkv_f64(16, 1.0);
+        for bad in [0, 5, 7] {
+            let err = Algorithm::OnePass { tile_m0: bad }.run(&q, &k, &v).unwrap_err();
+            assert!(matches!(err, KernelError::BadTile { .. }), "tile {bad}");
+        }
+    }
+
+    #[test]
+    fn algorithm_names_are_distinct() {
+        let names: Vec<&str> = [
+            Algorithm::NaiveUnstable,
+            Algorithm::ThreePass { deferred_div: false },
+            Algorithm::ThreePass { deferred_div: true },
+            Algorithm::TwoPass { tile_m0: 4, deferred_div: false },
+            Algorithm::TwoPass { tile_m0: 4, deferred_div: true },
+            Algorithm::OnePass { tile_m0: 4 },
+        ]
+        .iter()
+        .map(|a| a.name())
+        .collect();
+        let mut unique = names.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
+    }
+}

@@ -1,0 +1,107 @@
+//! The 1-pass kernel (Cascade 5, FlashAttention-2 style): running max,
+//! running denominator, and running numerator-times-V.
+
+use super::{AttentionDims, AttentionRun, KernelError};
+use fusemax_einsum::OpCounts;
+use fusemax_tensor::{Element, Shape, Tensor};
+
+/// Runs Cascade 5 with `M1 = M/M0` iterations per query fiber.
+///
+/// Per iteration `m1` (Einsums 44–54): compute the `BQK` tile and its local
+/// max `LM`; advance the running max `RM`; form the tile numerator `SLN`,
+/// tile denominator `SLD`, and tile numerator-times-V `SLNV` against the
+/// *new* running max; rescale the previous running denominator and
+/// numerator-times-V by `PRM = e^{RM_old − RM_new}` and accumulate. The
+/// output divides once per `(f, p)` (Einsum 55) — the §IV-D optimization is
+/// built into this cascade.
+pub(super) fn run<T: Element>(
+    q: &Tensor<T>,
+    k: &Tensor<T>,
+    v: &Tensor<T>,
+    dims: AttentionDims,
+    m0: usize,
+) -> Result<AttentionRun<T>, KernelError> {
+    let AttentionDims { e, m, p, f } = dims;
+    let m1 = m / m0;
+    let (qd, kd, vd) = (q.data(), k.data(), v.data());
+    let mut ops = OpCounts::default();
+    let mut av = Tensor::zeros(Shape::of(&[("F", f), ("P", p)]));
+    let avd = av.data_mut();
+
+    let mut bqk = vec![T::ZERO; m0];
+    let mut sln = vec![T::ZERO; m0];
+    let mut rnv = vec![T::ZERO; f];
+
+    for pi in 0..p {
+        // Initialization (Einsums 41–43).
+        let mut rm = T::neg_infinity();
+        let mut rd = T::ZERO;
+        rnv.iter_mut().for_each(|x| *x = T::ZERO);
+
+        for t in 0..m1 {
+            // BQK tile (Einsum 44) and local max LM (Einsum 45).
+            let mut lm = T::neg_infinity();
+            for (i, b) in bqk.iter_mut().enumerate() {
+                let mi = t * m0 + i;
+                let mut acc = T::ZERO;
+                for ei in 0..e {
+                    acc = acc + qd[ei * p + pi] * kd[ei * m + mi];
+                }
+                ops.mul += e as u64;
+                ops.add += e as u64;
+                *b = acc;
+                lm = lm.max_of(acc);
+                ops.max += 1;
+            }
+
+            // Running max update (Einsum 46).
+            let rm_new = rm.max_of(lm);
+            ops.max += 1;
+
+            // Tile numerator and denominator against RM_new (Einsums 47–48).
+            let mut sld = T::ZERO;
+            for (i, b) in bqk.iter().enumerate() {
+                sln[i] = (*b - rm_new).exp();
+                ops.sub += 1;
+                ops.exp += 1;
+                sld = sld + sln[i];
+                ops.add += 1;
+            }
+
+            // Correction factor PRM = e^{RM_old − RM_new} (Einsum 50); this
+            // is 0 on the first iteration because RM_old = −∞.
+            let prm = (rm - rm_new).exp();
+            ops.sub += 1;
+            ops.exp += 1;
+
+            // Running denominator (Einsums 51–52).
+            rd = sld + rd * prm;
+            ops.mul += 1;
+            ops.add += 1;
+
+            // Tile numerator-times-V and running accumulation
+            // (Einsums 49, 53–54).
+            for (fi, r) in rnv.iter_mut().enumerate() {
+                let mut slnv = T::ZERO;
+                for (i, &n) in sln.iter().enumerate() {
+                    let mi = t * m0 + i;
+                    slnv = slnv + n * vd[fi * m + mi];
+                }
+                ops.mul += m0 as u64;
+                ops.add += m0 as u64;
+                *r = slnv + *r * prm;
+                ops.mul += 1;
+                ops.add += 1;
+            }
+
+            rm = rm_new;
+        }
+
+        // Final division (Einsum 55): F divisions per query.
+        for (fi, &r) in rnv.iter().enumerate() {
+            avd[fi * p + pi] = r / rd;
+            ops.div += 1;
+        }
+    }
+    Ok(AttentionRun { av, ops })
+}

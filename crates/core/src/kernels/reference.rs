@@ -1,0 +1,114 @@
+//! Reference (oracle) attention and the naive unstable kernel.
+
+use super::{AttentionDims, AttentionRun, KernelError};
+use fusemax_einsum::OpCounts;
+use fusemax_tensor::{Element, Shape, Tensor};
+
+/// Numerically stable softmax attention, computed straightforwardly.
+///
+/// This is the numeric oracle all other kernels are tested against; it
+/// performs no operation counting. `Q: E×P`, `K: E×M`, `V: F×M` → `AV: F×P`.
+/// No `1/√E` scaling is applied (§IV-C1 footnote 4).
+///
+/// # Errors
+///
+/// Returns [`KernelError::ShapeMismatch`] for malformed inputs.
+///
+/// # Example
+///
+/// ```
+/// use fusemax_core::kernels::attention_reference;
+/// use fusemax_tensor::{Shape, Tensor};
+///
+/// let q = Tensor::full(Shape::of(&[("E", 2), ("P", 1)]), 0.0_f64);
+/// let k = Tensor::full(Shape::of(&[("E", 2), ("M", 4)]), 0.0_f64);
+/// let v = Tensor::from_fn(Shape::of(&[("F", 1), ("M", 4)]), |c| c[1] as f64);
+/// // Uniform attention averages V along M: (0+1+2+3)/4.
+/// let av = attention_reference(&q, &k, &v)?;
+/// assert!((av.get(&[0, 0]) - 1.5).abs() < 1e-12);
+/// # Ok::<(), fusemax_core::kernels::KernelError>(())
+/// ```
+pub fn attention_reference<T: Element>(
+    q: &Tensor<T>,
+    k: &Tensor<T>,
+    v: &Tensor<T>,
+) -> Result<Tensor<T>, KernelError> {
+    let dims = super::attention_dims(q, k, v)?;
+    let AttentionDims { e, m, p, f } = dims;
+    let (qd, kd, vd) = (q.data(), k.data(), v.data());
+    let mut av = Tensor::zeros(Shape::of(&[("F", f), ("P", p)]));
+    let avd = av.data_mut();
+    let mut qk = vec![T::ZERO; m];
+    let mut sn = vec![T::ZERO; m];
+    for pi in 0..p {
+        for (mi, qk_m) in qk.iter_mut().enumerate() {
+            let mut acc = T::ZERO;
+            for ei in 0..e {
+                acc = acc + qd[ei * p + pi] * kd[ei * m + mi];
+            }
+            *qk_m = acc;
+        }
+        let gm = qk.iter().fold(T::neg_infinity(), |a, &b| a.max_of(b));
+        let mut sd = T::ZERO;
+        for (mi, &x) in qk.iter().enumerate() {
+            sn[mi] = (x - gm).exp();
+            sd = sd + sn[mi];
+        }
+        for fi in 0..f {
+            let mut acc = T::ZERO;
+            for (mi, &n) in sn.iter().enumerate() {
+                acc = acc + n / sd * vd[fi * m + mi];
+            }
+            avd[fi * p + pi] = acc;
+        }
+    }
+    Ok(av)
+}
+
+/// The naive, numerically *unstable* cascade (Einsums 26–28): exponentiates
+/// raw logits, so it overflows once `QK` exceeds ~88 in `f32`.
+pub(super) fn naive_unstable<T: Element>(
+    q: &Tensor<T>,
+    k: &Tensor<T>,
+    v: &Tensor<T>,
+    dims: AttentionDims,
+) -> Result<AttentionRun<T>, KernelError> {
+    let AttentionDims { e, m, p, f } = dims;
+    let (qd, kd, vd) = (q.data(), k.data(), v.data());
+    let mut ops = OpCounts::default();
+    let mut av = Tensor::zeros(Shape::of(&[("F", f), ("P", p)]));
+    let avd = av.data_mut();
+    let mut sn = vec![T::ZERO; m];
+    for pi in 0..p {
+        // SN[m,p] = exp(QK[m,p]); SD[p] = Σ_m SN[m,p].
+        let mut sd = T::ZERO;
+        for (mi, sn_m) in sn.iter_mut().enumerate() {
+            let mut acc = T::ZERO;
+            for ei in 0..e {
+                acc = acc + qd[ei * p + pi] * kd[ei * m + mi];
+            }
+            ops.mul += e as u64;
+            ops.add += e as u64;
+            *sn_m = acc.exp();
+            ops.exp += 1;
+            sd = sd + *sn_m;
+            ops.add += 1;
+        }
+        // A[m,p] = SN/SD, computed once per (m,p) and reused across f.
+        for sn_m in sn.iter_mut() {
+            *sn_m = *sn_m / sd;
+            ops.div += 1;
+        }
+        // AV[f,p] = Σ_m A·V.
+        for fi in 0..f {
+            let mut acc = T::ZERO;
+            for (mi, &a) in sn.iter().enumerate() {
+                acc = acc + a * vd[fi * m + mi];
+                ops.mul += 1;
+                ops.add += 1;
+            }
+            avd[fi * p + pi] = acc;
+        }
+    }
+    Ok(AttentionRun { av, ops })
+}

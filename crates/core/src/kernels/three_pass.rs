@@ -1,0 +1,81 @@
+//! The 3-pass kernel (Cascade 4), with optional §IV-D division deferral.
+
+use super::{AttentionDims, AttentionRun, KernelError};
+use fusemax_einsum::OpCounts;
+use fusemax_tensor::{Element, Shape, Tensor};
+
+/// Runs Cascade 4 per query fiber: pass 1 builds `QK` and the global max,
+/// pass 2 builds `SN` and the denominator, pass 3 divides (or, deferred,
+/// multiplies by `V` first and divides `F×P` times).
+pub(super) fn run<T: Element>(
+    q: &Tensor<T>,
+    k: &Tensor<T>,
+    v: &Tensor<T>,
+    dims: AttentionDims,
+    deferred_div: bool,
+) -> Result<AttentionRun<T>, KernelError> {
+    let AttentionDims { e, m, p, f } = dims;
+    let (qd, kd, vd) = (q.data(), k.data(), v.data());
+    let mut ops = OpCounts::default();
+    let mut av = Tensor::zeros(Shape::of(&[("F", f), ("P", p)]));
+    let avd = av.data_mut();
+    let mut qk = vec![T::ZERO; m];
+    let mut sn = vec![T::ZERO; m];
+
+    for pi in 0..p {
+        // Pass 1: QK[m,p] = Q[e,p]·K[e,m]; GM[p] = max_m QK[m,p].
+        let mut gm = T::neg_infinity();
+        for (mi, qk_m) in qk.iter_mut().enumerate() {
+            let mut acc = T::ZERO;
+            for ei in 0..e {
+                acc = acc + qd[ei * p + pi] * kd[ei * m + mi];
+            }
+            ops.mul += e as u64;
+            ops.add += e as u64;
+            *qk_m = acc;
+            gm = gm.max_of(acc);
+            ops.max += 1;
+        }
+
+        // Pass 2: SN[m,p] = e^{QK-GM}; SD[p] = Σ_m SN.
+        let mut sd = T::ZERO;
+        for (mi, &x) in qk.iter().enumerate() {
+            sn[mi] = (x - gm).exp();
+            ops.sub += 1;
+            ops.exp += 1;
+            sd = sd + sn[mi];
+            ops.add += 1;
+        }
+
+        // Pass 3.
+        if deferred_div {
+            // SNV[f,p] = Σ_m SN·V; AV[f,p] = SNV/SD  (Einsums 31–32).
+            for fi in 0..f {
+                let mut acc = T::ZERO;
+                for (mi, &n) in sn.iter().enumerate() {
+                    acc = acc + n * vd[fi * m + mi];
+                    ops.mul += 1;
+                    ops.add += 1;
+                }
+                avd[fi * p + pi] = acc / sd;
+                ops.div += 1;
+            }
+        } else {
+            // A[m,p] = SN/SD; AV[f,p] = Σ_m A·V  (Einsums 37–38).
+            for sn_m in sn.iter_mut() {
+                *sn_m = *sn_m / sd;
+                ops.div += 1;
+            }
+            for fi in 0..f {
+                let mut acc = T::ZERO;
+                for (mi, &a) in sn.iter().enumerate() {
+                    acc = acc + a * vd[fi * m + mi];
+                    ops.mul += 1;
+                    ops.add += 1;
+                }
+                avd[fi * p + pi] = acc;
+            }
+        }
+    }
+    Ok(AttentionRun { av, ops })
+}

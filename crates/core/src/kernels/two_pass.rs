@@ -1,0 +1,129 @@
+//! The 2-pass kernel (§IV-E2): per-partition local maxima, then a global
+//! correction pass.
+
+use super::{AttentionDims, AttentionRun, KernelError};
+use fusemax_einsum::OpCounts;
+use fusemax_tensor::{Element, Shape, Tensor};
+
+/// Runs the 2-pass cascade with `M1 = M/M0` partitions per query fiber.
+///
+/// Pass 1 (per partition): `BQK`, local max `LM`, local numerator `SLN`
+/// (adjusted by `LM`), local denominator `SLD`; the global max `GM` is built
+/// from the `LM`s while this is occurring. Between the passes the
+/// corrections `PLM = e^{LM-GM}` and the global denominator are formed.
+/// Pass 2 corrects the numerators and produces the output.
+///
+/// With `deferred_div` the §IV-D reassociation applies here too (the paper:
+/// "it can be applied to 2- and 3-pass cascades as well"): pass 2 folds the
+/// corrected numerators straight into `SNV[f,p]` and divides once per
+/// `(f, p)` instead of once per `(m, p)`.
+pub(super) fn run<T: Element>(
+    q: &Tensor<T>,
+    k: &Tensor<T>,
+    v: &Tensor<T>,
+    dims: AttentionDims,
+    m0: usize,
+    deferred_div: bool,
+) -> Result<AttentionRun<T>, KernelError> {
+    let AttentionDims { e, m, p, f } = dims;
+    let m1 = m / m0;
+    let (qd, kd, vd) = (q.data(), k.data(), v.data());
+    let mut ops = OpCounts::default();
+    let mut av = Tensor::zeros(Shape::of(&[("F", f), ("P", p)]));
+    let avd = av.data_mut();
+
+    let mut sln = vec![T::ZERO; m]; // SLN[m1,m0] flattened along m
+    let mut lm = vec![T::ZERO; m1];
+    let mut sld = vec![T::ZERO; m1];
+    let mut plm = vec![T::ZERO; m1];
+
+    for pi in 0..p {
+        // ---- Pass 1 ----------------------------------------------------
+        let mut gm = T::neg_infinity();
+        for t in 0..m1 {
+            // BQK tile and local max.
+            let mut local_max = T::neg_infinity();
+            for i in 0..m0 {
+                let mi = t * m0 + i;
+                let mut acc = T::ZERO;
+                for ei in 0..e {
+                    acc = acc + qd[ei * p + pi] * kd[ei * m + mi];
+                }
+                ops.mul += e as u64;
+                ops.add += e as u64;
+                sln[mi] = acc; // temporarily holds BQK
+                local_max = local_max.max_of(acc);
+                ops.max += 1;
+            }
+            lm[t] = local_max;
+            // Build the global max from local maxima as pass 1 proceeds.
+            gm = gm.max_of(local_max);
+            ops.max += 1;
+
+            // Local numerator and denominator, adjusted by the local max.
+            let mut local_den = T::ZERO;
+            for i in 0..m0 {
+                let mi = t * m0 + i;
+                sln[mi] = (sln[mi] - local_max).exp();
+                ops.sub += 1;
+                ops.exp += 1;
+                local_den = local_den + sln[mi];
+                ops.add += 1;
+            }
+            sld[t] = local_den;
+        }
+
+        // ---- Between passes: corrections in summary-land ---------------
+        let mut sd = T::ZERO;
+        for t in 0..m1 {
+            plm[t] = (lm[t] - gm).exp();
+            ops.sub += 1;
+            ops.exp += 1;
+            sd = sd + sld[t] * plm[t];
+            ops.mul += 1;
+            ops.add += 1;
+        }
+
+        // ---- Pass 2: correct numerators and combine with V ----
+        if deferred_div {
+            // SN[m,p] = SLN·PLM; SNV[f,p] = Σ_m SN·V; AV = SNV/SD.
+            for (t, &correction) in plm.iter().enumerate() {
+                for i in 0..m0 {
+                    let mi = t * m0 + i;
+                    sln[mi] = sln[mi] * correction;
+                    ops.mul += 1;
+                }
+            }
+            for fi in 0..f {
+                let mut acc = T::ZERO;
+                for (mi, &n) in sln.iter().enumerate() {
+                    acc = acc + n * vd[fi * m + mi];
+                    ops.mul += 1;
+                    ops.add += 1;
+                }
+                avd[fi * p + pi] = acc / sd;
+                ops.div += 1;
+            }
+        } else {
+            // A[m,p] = SLN·PLM/SD; AV[f,p] = Σ_m A·V.
+            for (t, &correction) in plm.iter().enumerate() {
+                for i in 0..m0 {
+                    let mi = t * m0 + i;
+                    sln[mi] = sln[mi] * correction / sd;
+                    ops.mul += 1;
+                    ops.div += 1;
+                }
+            }
+            for fi in 0..f {
+                let mut acc = T::ZERO;
+                for (mi, &a) in sln.iter().enumerate() {
+                    acc = acc + a * vd[fi * m + mi];
+                    ops.mul += 1;
+                    ops.add += 1;
+                }
+                avd[fi * p + pi] = acc;
+            }
+        }
+    }
+    Ok(AttentionRun { av, ops })
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! The FuseMax paper's primary contribution, as a library.
+//!
+//! Three pieces (paper §III–§IV):
+//!
+//! 1. [`cascades`] — the paper's cascades of extended Einsums, built
+//!    programmatically: the pedagogical Cascades 1–3 (§III), the naive and
+//!    numerically stable softmax/attention cascades (§IV-C), the 3-pass
+//!    cascade (Cascade 4), the 2-pass cascade (§IV-E2), and
+//!    FlashAttention-2's 1-pass cascade (Cascade 5), plus the §IV-D
+//!    division-deferral optimization.
+//! 2. [`passes`] and [`footprint`] — the mapping-agnostic analysis: given a
+//!    cascade and a rank family, compute the minimum number of *passes* any
+//!    implementation must make over that family's fibers, and each tensor's
+//!    algorithmic-minimum live footprint. [`taxonomy`] applies this to the
+//!    attention literature (Table I).
+//! 3. [`kernels`] — executable, operation-counted CPU implementations of
+//!    every attention algorithm, used to validate numerics (all stable
+//!    variants agree; the naive cascade overflows) and to cross-check the
+//!    analytical cost model against measured op counts.
+//!
+//! # Example
+//!
+//! ```
+//! use fusemax_core::cascades::attention;
+//! use fusemax_core::passes::analyze_passes;
+//!
+//! // FLAT's cascade needs 3 passes over the M fibers; FlashAttention-2's
+//! // needs only 1 — for *any* mapping (§III).
+//! let three = analyze_passes(&attention::three_pass(), "M")?;
+//! let one = analyze_passes(&attention::one_pass(), "M")?;
+//! assert_eq!(three.num_passes, 3);
+//! assert_eq!(one.num_passes, 1);
+//! # Ok::<(), fusemax_core::passes::AnalysisError>(())
+//! ```
+
+pub mod cascades;
+pub mod footprint;
+pub mod kernels;
+pub mod passes;
+pub mod taxonomy;

@@ -1,0 +1,596 @@
+//! Pass-counting analysis over cascades of Einsums (§III).
+//!
+//! A *pass* over a fiber of a rank is a traversal of every element of that
+//! fiber; each time an element must be revisited after visiting every other
+//! element, there is an additional pass (§III-A). Because the analysis
+//! operates on the cascade of Einsums — which fixes only *what* is computed,
+//! not the schedule — the resulting pass count is a lower bound that holds
+//! for **any** mapping and binding, including all fusion choices (§III-B).
+//!
+//! # How the analysis works
+//!
+//! For a chosen rank *family* (e.g. `M`, covering its partitions `M1`/`M0`),
+//! every tensor is classified by how its data relates to the family's
+//! fibers:
+//!
+//! * **fiber data** — carries the full rank (`QK[m,p]`, `BQK[m1,m0,p]`):
+//!   element `m` depends only on element `m` of upstream fiber data;
+//! * **tile summary** — reduced over the inner partition only (`LM[m1,p]`):
+//!   available per-tile as a pass progresses (*fiber-coupled*), or derived
+//!   purely from other summaries (*summary-derived*, e.g. `PLM`);
+//! * **prefix summary** — iteratively accumulated over tiles seen so far
+//!   (`RM[m1+1,p]`): never forces a new pass, because tile `m1` needs only
+//!   tiles `≤ m1`;
+//! * **full summary** — reduced over the entire rank (`GM[p]`, `SD[p]`):
+//!   only available after the producing pass completes.
+//!
+//! An Einsum whose iteration space covers the full family *performs a pass*;
+//! its pass index is forced up by any full summary it consumes. The
+//! cascade's pass count is one plus the largest pass index.
+//!
+//! Partition structure is inferred from affine index expressions
+//! (`m1*M0+m0`) and iterative structure from `var+1` outputs, so the
+//! analysis needs nothing beyond the cascade itself — the paper's claim
+//! that the cascade "makes dependencies explicit".
+//!
+//! # Example
+//!
+//! ```
+//! use fusemax_core::cascades::pedagogical;
+//! use fusemax_core::passes::analyze_passes;
+//!
+//! // Cascade 1 re-reads A's K fiber after the full dot product: 2 passes.
+//! // Cascade 2 reassociates to share the pass; Cascade 3 iterates: 1 pass.
+//! assert_eq!(analyze_passes(&pedagogical::cascade1(), "K")?.num_passes, 2);
+//! assert_eq!(analyze_passes(&pedagogical::cascade2(), "K")?.num_passes, 1);
+//! assert_eq!(analyze_passes(&pedagogical::cascade3(), "I")?.num_passes, 1);
+//! # Ok::<(), fusemax_core::passes::AnalysisError>(())
+//! ```
+
+use fusemax_einsum::{family_of_rank, rank_of_var, Cascade, Einsum, IndexExpr};
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+/// How a tensor's data relates to the fibers of the analyzed rank family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankClass {
+    /// Independent of the family.
+    Unrelated,
+    /// Carries the full rank; element `m` is elementwise in `m`.
+    FiberData {
+        /// The pass during which the tensor's fibers are produced.
+        born_pass: usize,
+    },
+    /// Reduced over the inner partition; one value per tile.
+    TileSummary {
+        /// The pass during which tile values become usable *same-tile*.
+        source_pass: usize,
+        /// The pass index from which *all* tiles are available.
+        avail_all: usize,
+    },
+    /// Iteratively accumulated over tiles seen so far (running tensors).
+    PrefixSummary {
+        /// The pass during which the running values are produced.
+        source_pass: usize,
+    },
+    /// Reduced over the entire rank (or derived from such a reduction).
+    FullSummary {
+        /// The pass index from which the value is available.
+        avail_pass: usize,
+    },
+}
+
+/// Per-Einsum result: the output tensor and, when the Einsum traverses the
+/// family's fibers, the pass it must execute in (0-indexed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EinsumPass {
+    /// The Einsum's output tensor name.
+    pub output: String,
+    /// `Some(k)` when the Einsum performs (part of) pass `k`.
+    pub pass: Option<usize>,
+}
+
+/// The result of [`analyze_passes`].
+#[derive(Debug, Clone)]
+pub struct PassAnalysis {
+    /// The analyzed rank family (e.g. `"M"`).
+    pub family: String,
+    /// Family ranks observed in the cascade (e.g. `["M", "M0", "M1"]`).
+    pub ranks: Vec<String>,
+    /// The minimum number of passes over the family's fibers required by
+    /// any mapping of the cascade.
+    pub num_passes: usize,
+    /// Pass placement per Einsum, in cascade order.
+    pub einsums: Vec<EinsumPass>,
+    /// Final classification of every tensor.
+    pub classes: BTreeMap<String, RankClass>,
+}
+
+impl PassAnalysis {
+    /// The pass index assigned to the Einsum producing `tensor`, if that
+    /// Einsum traverses the family's fibers.
+    pub fn pass_of(&self, tensor: &str) -> Option<usize> {
+        self.einsums.iter().rev().find(|e| e.output == tensor).and_then(|e| e.pass)
+    }
+
+    /// The classification of `tensor`.
+    pub fn class_of(&self, tensor: &str) -> RankClass {
+        self.classes.get(tensor).copied().unwrap_or(RankClass::Unrelated)
+    }
+}
+
+impl fmt::Display for PassAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}-pass cascade over rank family {}", self.num_passes, self.family)?;
+        for e in &self.einsums {
+            match e.pass {
+                Some(p) => writeln!(f, "  {:<6} pass {}", e.output, p + 1)?,
+                None => writeln!(f, "  {:<6} (between passes)", e.output)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors produced by the pass analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// A tensor was read before any Einsum produced it and it is not a
+    /// declared input.
+    UnknownTensor {
+        /// The tensor's name.
+        name: String,
+    },
+    /// The cascade uses a construct the analysis does not model.
+    Unsupported {
+        /// Description of the construct.
+        detail: String,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::UnknownTensor { name } => {
+                write!(f, "tensor `{name}` read before definition and not a declared input")
+            }
+            AnalysisError::Unsupported { detail } => write!(f, "unsupported construct: {detail}"),
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+/// Where an Einsum sits in the cascade (affects prefix detection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Init,
+    Body,
+    Finale,
+}
+
+/// Analyzes the number of passes `cascade` must make over the fibers of
+/// rank family `family` (e.g. `"M"` for the attention cascades).
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::UnknownTensor`] when the cascade reads an
+/// undeclared tensor.
+pub fn analyze_passes(cascade: &Cascade, family: &str) -> Result<PassAnalysis, AnalysisError> {
+    let ranks = family_ranks(cascade, family);
+    let full_sets = full_coverage_sets(family, &ranks);
+
+    let mut classes: BTreeMap<String, RankClass> = BTreeMap::new();
+    for input in &cascade.inputs {
+        let carries = input
+            .indices
+            .iter()
+            .filter_map(|i| i.rank())
+            .any(|r| family_of_rank(&r) == family);
+        classes.insert(
+            input.name.clone(),
+            if carries { RankClass::FiberData { born_pass: 0 } } else { RankClass::Unrelated },
+        );
+    }
+
+    // Pre-classify running tensors (written as `loop_var+1` in the body) as
+    // prefix summaries so reads that precede the producing Einsum in body
+    // order are already treated as prefixes. The paper's iterative cascades
+    // run their whole body in a single pass, so source_pass = 0.
+    if let Some(loop_var) = &cascade.loop_var {
+        for einsum in &cascade.body {
+            if output_is_prefix(einsum, loop_var, family) {
+                classes.insert(
+                    einsum.output.name.clone(),
+                    RankClass::PrefixSummary { source_pass: 0 },
+                );
+            }
+        }
+    }
+
+    let mut einsums_out: Vec<EinsumPass> = Vec::new();
+    let mut max_pass: Option<usize> = None;
+
+    let sections = cascade
+        .inits
+        .iter()
+        .map(|e| (e, Section::Init))
+        .chain(cascade.body.iter().map(|e| (e, Section::Body)))
+        .chain(cascade.finale.iter().map(|e| (e, Section::Finale)));
+
+    for (einsum, section) in sections {
+        let iter_ranks: BTreeSet<String> = einsum
+            .iteration_vars()
+            .iter()
+            .map(|v| rank_of_var(v))
+            .filter(|r| family_of_rank(r) == family)
+            .collect();
+        let traversing = full_sets.iter().any(|s| s.is_subset(&iter_ranks));
+        let reduced_vars: BTreeSet<String> =
+            einsum.all_reductions().into_iter().map(|(v, _)| v).collect();
+
+        // Lower bound on this Einsum's pass (traversing) or availability
+        // (summary-land) from its inputs.
+        let mut floor = 0usize;
+        for input in einsum.inputs() {
+            let class = match classes.get(&input.name) {
+                Some(c) => *c,
+                None => {
+                    return Err(AnalysisError::UnknownTensor { name: input.name.clone() });
+                }
+            };
+            let read_at_extent = input
+                .indices
+                .iter()
+                .any(|i| matches!(i, IndexExpr::Extent(r) if family_of_rank(r) == family));
+            let tile_reduced = input.indices.iter().any(|i| {
+                i.rank().is_some_and(|r| family_of_rank(&r) == family)
+                    && i.vars().iter().any(|v| reduced_vars.contains(*v))
+            });
+            let contribution = match class {
+                RankClass::Unrelated => 0,
+                RankClass::FiberData { born_pass } => born_pass,
+                RankClass::TileSummary { source_pass, avail_all } => {
+                    if tile_reduced || read_at_extent {
+                        avail_all
+                    } else {
+                        source_pass
+                    }
+                }
+                RankClass::PrefixSummary { source_pass } => {
+                    if read_at_extent {
+                        source_pass + 1
+                    } else {
+                        source_pass
+                    }
+                }
+                RankClass::FullSummary { avail_pass } => avail_pass,
+            };
+            floor = floor.max(contribution);
+        }
+
+        let pass = if traversing {
+            max_pass = Some(max_pass.map_or(floor, |m| m.max(floor)));
+            Some(floor)
+        } else {
+            None
+        };
+        einsums_out.push(EinsumPass { output: einsum.output.name.clone(), pass });
+
+        // Classify the output.
+        let out_class = classify_output(
+            einsum,
+            section,
+            cascade.loop_var.as_deref(),
+            family,
+            &full_sets,
+            traversing,
+            floor,
+        );
+        match (classes.get(&einsum.output.name), out_class) {
+            // Keep a prefix pre-classification over an init's re-write
+            // (e.g. `RM[0,p] = -inf` must not demote RM).
+            (Some(RankClass::PrefixSummary { .. }), RankClass::FullSummary { .. })
+                if section == Section::Init => {}
+            _ => {
+                classes.insert(einsum.output.name.clone(), out_class);
+            }
+        }
+    }
+
+    Ok(PassAnalysis {
+        family: family.to_string(),
+        ranks: ranks.into_iter().collect(),
+        num_passes: max_pass.map_or(0, |m| m + 1),
+        einsums: einsums_out,
+        classes,
+    })
+}
+
+/// `true` when the Einsum writes `output[..., loop_var+1, ...]` on a
+/// family rank — the iterative running-tensor pattern (Einsums 46/52/54).
+fn output_is_prefix(einsum: &Einsum, loop_var: &str, family: &str) -> bool {
+    family_of_rank(&rank_of_var(loop_var)) == family
+        && einsum.output.indices.iter().any(
+            |i| matches!(i, IndexExpr::Shifted { var, offset } if var == loop_var && *offset > 0),
+        )
+}
+
+fn classify_output(
+    einsum: &Einsum,
+    section: Section,
+    loop_var: Option<&str>,
+    family: &str,
+    full_sets: &[BTreeSet<String>],
+    traversing: bool,
+    floor: usize,
+) -> RankClass {
+    // Prefix pattern first.
+    if section == Section::Body {
+        if let Some(lv) = loop_var {
+            if output_is_prefix(einsum, lv, family) {
+                return RankClass::PrefixSummary { source_pass: floor };
+            }
+        }
+    }
+    let out_ranks: BTreeSet<String> = einsum
+        .output
+        .indices
+        .iter()
+        .filter_map(|i| i.rank())
+        .filter(|r| family_of_rank(r) == family)
+        .collect();
+    if !out_ranks.is_empty() && full_sets.iter().any(|s| s.is_subset(&out_ranks)) {
+        // Output carries the full rank: fiber data.
+        return RankClass::FiberData { born_pass: floor };
+    }
+    if !out_ranks.is_empty() {
+        // Partial coverage: a per-tile summary. Fiber-coupled tiles (made by
+        // a traversing Einsum) only complete with the pass; summary-derived
+        // tiles are all available as soon as their inputs are.
+        let avail_all = if traversing { floor + 1 } else { floor };
+        return RankClass::TileSummary { source_pass: floor, avail_all };
+    }
+    if traversing {
+        // Reduced over the entire rank by a fiber traversal: a full summary
+        // available only once the pass completes.
+        return RankClass::FullSummary { avail_pass: floor + 1 };
+    }
+    // Summary-land output with no family ranks: a full summary if anything
+    // upstream relates to the family, otherwise unrelated.
+    let family_derived = floor > 0
+        || einsum.inputs().iter().any(|t| {
+            t.indices.iter().filter_map(|i| i.rank()).any(|r| family_of_rank(&r) == family)
+        });
+    if family_derived {
+        RankClass::FullSummary { avail_pass: floor }
+    } else {
+        RankClass::Unrelated
+    }
+}
+
+/// Ranks of the family appearing anywhere in the cascade.
+fn family_ranks(cascade: &Cascade, family: &str) -> BTreeSet<String> {
+    let mut ranks = BTreeSet::new();
+    let mut add = |r: String| {
+        if family_of_rank(&r) == family {
+            ranks.insert(r);
+        }
+    };
+    for einsum in cascade.all_einsums() {
+        for tref in einsum.inputs().into_iter().chain([&einsum.output]) {
+            for idx in &tref.indices {
+                for v in idx.vars() {
+                    add(rank_of_var(v));
+                }
+                if let IndexExpr::Split { inner_rank, .. } = idx {
+                    add(inner_rank.clone());
+                }
+                if let IndexExpr::Extent(r) = idx {
+                    add(r.clone());
+                }
+            }
+        }
+    }
+    for input in &cascade.inputs {
+        for idx in &input.indices {
+            for v in idx.vars() {
+                add(rank_of_var(v));
+            }
+        }
+    }
+    ranks
+}
+
+/// The variable-rank sets that constitute full coverage of the family: the
+/// unsplit rank itself, and/or the complete set of partition levels.
+fn full_coverage_sets(family: &str, ranks: &BTreeSet<String>) -> Vec<BTreeSet<String>> {
+    let mut sets = Vec::new();
+    if ranks.contains(family) {
+        sets.push(BTreeSet::from([family.to_string()]));
+    }
+    let partitions: BTreeSet<String> = ranks.iter().filter(|r| *r != family).cloned().collect();
+    if !partitions.is_empty() {
+        sets.push(partitions);
+    }
+    if sets.is_empty() {
+        sets.push(BTreeSet::from([family.to_string()]));
+    }
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cascades::{attention, pedagogical};
+
+    #[test]
+    fn cascade1_is_two_pass_over_k() {
+        let a = analyze_passes(&pedagogical::cascade1(), "K").unwrap();
+        assert_eq!(a.num_passes, 2);
+        assert_eq!(a.pass_of("Y"), Some(0));
+        assert_eq!(a.pass_of("Z"), Some(1));
+        assert_eq!(a.class_of("Y"), RankClass::FullSummary { avail_pass: 1 });
+    }
+
+    #[test]
+    fn cascade2_is_one_pass_over_k() {
+        let a = analyze_passes(&pedagogical::cascade2(), "K").unwrap();
+        assert_eq!(a.num_passes, 1);
+        // Z = Y × X happens between/after passes, traversing nothing.
+        assert_eq!(a.pass_of("Z"), None);
+    }
+
+    #[test]
+    fn cascade3_is_one_pass_over_i() {
+        let a = analyze_passes(&pedagogical::cascade3(), "I").unwrap();
+        assert_eq!(a.num_passes, 1);
+        assert!(matches!(a.class_of("RY"), RankClass::PrefixSummary { .. }));
+        assert!(matches!(a.class_of("RZ"), RankClass::PrefixSummary { .. }));
+    }
+
+    #[test]
+    fn naive_attention_is_two_pass() {
+        let a = analyze_passes(&attention::naive_unstable(), "M").unwrap();
+        assert_eq!(a.num_passes, 2);
+    }
+
+    #[test]
+    fn stable_attention_is_three_pass() {
+        let a = analyze_passes(&attention::three_pass(), "M").unwrap();
+        assert_eq!(a.num_passes, 3, "{a}");
+        assert_eq!(a.pass_of("QK"), Some(0));
+        assert_eq!(a.pass_of("GM"), Some(0));
+        assert_eq!(a.pass_of("SN"), Some(1));
+        assert_eq!(a.pass_of("SD"), Some(1));
+        assert_eq!(a.pass_of("A"), Some(2));
+        assert_eq!(a.pass_of("AV"), Some(2));
+    }
+
+    #[test]
+    fn deferred_division_merges_passes_two_and_three() {
+        // §IV-E3: the §IV-D reassociation combines Cascade 4's second and
+        // third passes.
+        let a = analyze_passes(&attention::three_pass_deferred_div(), "M").unwrap();
+        assert_eq!(a.num_passes, 2, "{a}");
+        assert_eq!(a.pass_of("SNV"), Some(1));
+        assert_eq!(a.pass_of("AV"), None); // F×P work, no fiber traversal
+    }
+
+    #[test]
+    fn two_pass_attention_is_two_pass() {
+        let a = analyze_passes(&attention::two_pass(), "M").unwrap();
+        assert_eq!(a.num_passes, 2, "{a}");
+        assert_eq!(a.pass_of("BQK"), Some(0));
+        assert_eq!(a.pass_of("SLN"), Some(0));
+        assert_eq!(a.pass_of("SN"), Some(1));
+        assert_eq!(a.pass_of("AV"), Some(1));
+        // The global max is built from local maxima between the passes.
+        assert_eq!(a.pass_of("GM"), None);
+        assert_eq!(a.class_of("GM"), RankClass::FullSummary { avail_pass: 1 });
+    }
+
+    #[test]
+    fn two_pass_deferred_div_is_still_two_pass() {
+        // The deferral cannot merge the 2-pass cascade further: pass 2's
+        // SN correction still traverses fibers and needs the global max.
+        let a = analyze_passes(&attention::two_pass_deferred_div(), "M").unwrap();
+        assert_eq!(a.num_passes, 2, "{a}");
+        assert_eq!(a.pass_of("SNV"), Some(1));
+        assert_eq!(a.pass_of("AV"), None);
+    }
+
+    #[test]
+    fn one_pass_attention_is_one_pass() {
+        let a = analyze_passes(&attention::one_pass(), "M").unwrap();
+        assert_eq!(a.num_passes, 1, "{a}");
+        for t in ["RM", "RD", "RNV"] {
+            assert!(
+                matches!(a.class_of(t), RankClass::PrefixSummary { .. }),
+                "{t} should be a prefix summary"
+            );
+        }
+        assert_eq!(a.pass_of("AV"), None);
+    }
+
+    #[test]
+    fn attention_is_single_pass_over_query_rank() {
+        // Over P (the query sequence) even the 3-pass cascade is 1-pass:
+        // nothing reduces over P.
+        let a = analyze_passes(&attention::three_pass(), "P").unwrap();
+        assert_eq!(a.num_passes, 1);
+    }
+
+    #[test]
+    fn unrelated_family_reports_zero_passes() {
+        let a = analyze_passes(&pedagogical::cascade1(), "W").unwrap();
+        assert_eq!(a.num_passes, 0);
+    }
+
+    #[test]
+    fn unknown_tensor_is_an_error() {
+        let c = fusemax_einsum::Cascade::parse("inputs: A[k]\nZ = A[k] * W[k]\n").unwrap();
+        let err = analyze_passes(&c, "K").unwrap_err();
+        assert!(matches!(err, AnalysisError::UnknownTensor { .. }));
+        assert!(err.to_string().contains('W'));
+    }
+
+    #[test]
+    fn display_lists_every_einsum() {
+        let a = analyze_passes(&attention::three_pass(), "M").unwrap();
+        let text = a.to_string();
+        for name in ["QK", "GM", "SN", "SD", "A", "AV"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn batch_and_head_ranks_do_not_change_the_pass_structure() {
+        // §IV-B: adding B and H ranks leaves the per-fiber dependency
+        // structure over M untouched.
+        let a = analyze_passes(&attention::batched_three_pass(), "M").unwrap();
+        assert_eq!(a.num_passes, 3, "{a}");
+        // And the batched cascade is 1-pass over B and H (visited once).
+        assert_eq!(analyze_passes(&attention::batched_three_pass(), "B").unwrap().num_passes, 1);
+        assert_eq!(analyze_passes(&attention::batched_three_pass(), "H").unwrap().num_passes, 1);
+    }
+
+    /// Builds a synthetic cascade with `n` chained full reductions:
+    /// `S1 = A[m]; B1[m] = A[m]*S1; S2 = B1[m]; B2[m] = B1[m]*S2; ...`
+    /// Each stage re-reads fiber data against a summary of the previous
+    /// stage, so the cascade needs exactly `n + 1` passes.
+    fn reduction_chain(n: usize) -> fusemax_einsum::Cascade {
+        let mut text = String::from("name: chain\ninputs: A[m]\nS1 = A[m]\n");
+        let mut prev = "A".to_string();
+        for i in 1..=n {
+            text.push_str(&format!("B{i}[m] = {prev}[m] * S{i}\n"));
+            if i < n {
+                text.push_str(&format!("S{} = B{i}[m]\n", i + 1));
+            }
+            prev = format!("B{i}");
+        }
+        fusemax_einsum::Cascade::parse(&text).unwrap()
+    }
+
+    #[test]
+    fn reduction_chains_need_one_pass_per_stage() {
+        for n in 1..=5 {
+            let c = reduction_chain(n);
+            let a = analyze_passes(&c, "M").unwrap();
+            assert_eq!(a.num_passes, n + 1, "chain of {n} summaries:\n{a}");
+        }
+    }
+
+    #[test]
+    fn pass_counts_cover_the_taxonomy() {
+        for (cascade, family, want) in [
+            (attention::three_pass(), "M", 3),
+            (attention::two_pass(), "M", 2),
+            (attention::one_pass(), "M", 1),
+        ] {
+            let a = analyze_passes(&cascade, family).unwrap();
+            assert_eq!(a.num_passes, want);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The attention-algorithm taxonomy of Table I.
+//!
+//! The paper's second contribution: prior numerically stable attention
+//! implementations fall into exactly three categories by the number of
+//! passes their cascade makes over the softmax input's `M` fibers. Here the
+//! classification is *computed* — each literature entry names the cascade it
+//! implements, and [`classify`] runs the §III pass analysis on it.
+
+use crate::cascades::attention;
+use crate::passes::{analyze_passes, AnalysisError};
+use fusemax_einsum::Cascade;
+use std::fmt;
+
+/// The three pass classes of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PassClass {
+    /// One pass over each `M` fiber (FlashAttention family).
+    OnePass,
+    /// Two passes (local-max partitioning).
+    TwoPass,
+    /// Three passes (the straightforward stable cascade).
+    ThreePass,
+}
+
+impl PassClass {
+    /// The number of passes.
+    pub fn passes(self) -> usize {
+        match self {
+            PassClass::OnePass => 1,
+            PassClass::TwoPass => 2,
+            PassClass::ThreePass => 3,
+        }
+    }
+
+    /// Builds a class from a pass count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the count back when it is not 1, 2, or 3.
+    pub fn from_passes(n: usize) -> Result<Self, usize> {
+        match n {
+            1 => Ok(PassClass::OnePass),
+            2 => Ok(PassClass::TwoPass),
+            3 => Ok(PassClass::ThreePass),
+            other => Err(other),
+        }
+    }
+}
+
+impl fmt::Display for PassClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-pass", self.passes())
+    }
+}
+
+/// One row of Table I: a published attention implementation, the cascade it
+/// realizes, and its (computed) class.
+#[derive(Debug, Clone)]
+pub struct AlgorithmEntry {
+    /// The implementation's name as the paper cites it.
+    pub name: &'static str,
+    /// The venue/citation shorthand.
+    pub citation: &'static str,
+    /// The cascade this implementation realizes.
+    pub cascade: Cascade,
+    /// The class Table I assigns (checked against [`classify`] by tests).
+    pub expected: PassClass,
+}
+
+/// Classifies a numerically stable attention cascade by its pass count over
+/// the `M` (key-sequence) rank family.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Unsupported`] when the cascade's pass count is
+/// not 1–3 (it is then not one of Table I's classes), or propagates errors
+/// from the pass analysis.
+///
+/// # Example
+///
+/// ```
+/// use fusemax_core::cascades::attention;
+/// use fusemax_core::taxonomy::{classify, PassClass};
+///
+/// assert_eq!(classify(&attention::one_pass())?, PassClass::OnePass);
+/// assert_eq!(classify(&attention::three_pass())?, PassClass::ThreePass);
+/// # Ok::<(), fusemax_core::passes::AnalysisError>(())
+/// ```
+pub fn classify(cascade: &Cascade) -> Result<PassClass, AnalysisError> {
+    let analysis = analyze_passes(cascade, "M")?;
+    PassClass::from_passes(analysis.num_passes).map_err(|n| AnalysisError::Unsupported {
+        detail: format!("cascade `{}` makes {n} passes, outside Table I's classes", cascade.name),
+    })
+}
+
+/// The literature rows of Table I, with the cascade each implements.
+pub fn literature() -> Vec<AlgorithmEntry> {
+    vec![
+        AlgorithmEntry {
+            name: "PyTorch",
+            citation: "Paszke et al., NeurIPS'19",
+            cascade: attention::three_pass(),
+            expected: PassClass::ThreePass,
+        },
+        AlgorithmEntry {
+            name: "TensorFlow",
+            citation: "Abadi et al., OSDI'16",
+            cascade: attention::three_pass(),
+            expected: PassClass::ThreePass,
+        },
+        AlgorithmEntry {
+            name: "FLAT",
+            citation: "Kao et al., ASPLOS'23",
+            cascade: attention::three_pass(),
+            expected: PassClass::ThreePass,
+        },
+        AlgorithmEntry {
+            name: "E.T.",
+            citation: "Chen et al., SC'21",
+            cascade: attention::three_pass(),
+            expected: PassClass::ThreePass,
+        },
+        AlgorithmEntry {
+            name: "TileFlow",
+            citation: "Zheng et al., MICRO'23",
+            cascade: attention::two_pass(),
+            expected: PassClass::TwoPass,
+        },
+        AlgorithmEntry {
+            name: "Choi et al.",
+            citation: "IISWC'22",
+            cascade: attention::two_pass(),
+            expected: PassClass::TwoPass,
+        },
+        AlgorithmEntry {
+            name: "FlashAttention",
+            citation: "Dao et al., 2022",
+            cascade: attention::one_pass(),
+            expected: PassClass::OnePass,
+        },
+        AlgorithmEntry {
+            name: "FlashAttention-2",
+            citation: "Dao, 2023",
+            cascade: attention::one_pass(),
+            expected: PassClass::OnePass,
+        },
+        AlgorithmEntry {
+            name: "Rabe and Staats",
+            citation: "2022",
+            cascade: attention::one_pass(),
+            expected: PassClass::OnePass,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_literature_entry_classifies_as_table_one_says() {
+        for entry in literature() {
+            let got = classify(&entry.cascade).unwrap();
+            assert_eq!(
+                got, entry.expected,
+                "{} should be {} per Table I",
+                entry.name, entry.expected
+            );
+        }
+    }
+
+    #[test]
+    fn table_has_three_of_each_camp() {
+        let rows = literature();
+        let count = |c: PassClass| rows.iter().filter(|r| r.expected == c).count();
+        assert_eq!(count(PassClass::ThreePass), 4);
+        assert_eq!(count(PassClass::TwoPass), 2);
+        assert_eq!(count(PassClass::OnePass), 3);
+    }
+
+    #[test]
+    fn pass_class_round_trips() {
+        for c in [PassClass::OnePass, PassClass::TwoPass, PassClass::ThreePass] {
+            assert_eq!(PassClass::from_passes(c.passes()).unwrap(), c);
+        }
+        assert_eq!(PassClass::from_passes(7), Err(7));
+    }
+
+    #[test]
+    fn display_names_the_count() {
+        assert_eq!(PassClass::OnePass.to_string(), "1-pass");
+        assert_eq!(PassClass::ThreePass.to_string(), "3-pass");
+    }
+
+    #[test]
+    fn ordering_matches_pass_count() {
+        assert!(PassClass::OnePass < PassClass::TwoPass);
+        assert!(PassClass::TwoPass < PassClass::ThreePass);
+    }
+}

@@ -1,0 +1,576 @@
+//! The extended-Einsum abstract syntax: index expressions, tensor
+//! references, map/reduce expressions, Einsums, and cascades.
+
+use crate::error::ParseError;
+use crate::ops::{MapOp, ReduceOp, UnaryOp};
+use crate::parse;
+use std::fmt;
+
+/// The rank name of an index variable: `m` ↔ rank `M`, `m1` ↔ rank `M1`.
+///
+/// This mirrors the paper's convention of using the same symbol for a rank
+/// and its shape (§II-B).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(fusemax_einsum::rank_of_var("m1"), "M1");
+/// ```
+pub fn rank_of_var(var: &str) -> String {
+    var.to_uppercase()
+}
+
+/// The rank *family* of a (possibly partitioned) rank: `M1` and `M0` both
+/// belong to family `M` (Einsums 39–40 partition `M` into `M1×M0`).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(fusemax_einsum::family_of_rank("M0"), "M");
+/// assert_eq!(fusemax_einsum::family_of_rank("P"), "P");
+/// ```
+pub fn family_of_rank(rank: &str) -> String {
+    rank.trim_end_matches(|c: char| c.is_ascii_digit()).to_string()
+}
+
+/// Comparison operator in a filtering rank expression (§II-C3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `k <= bound`.
+    Le,
+    /// `k < bound`.
+    Lt,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Le => "<=",
+            CmpOp::Lt => "<",
+        })
+    }
+}
+
+/// The bound of a filtering rank expression: a variable plus an offset
+/// (`k <= i`, `k <= i-1`) or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Bound {
+    /// The bounding variable, if any.
+    pub var: Option<String>,
+    /// A constant offset added to the variable (or the bound itself).
+    pub offset: i64,
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.var, self.offset) {
+            (Some(v), 0) => write!(f, "{v}"),
+            (Some(v), o) if o > 0 => write!(f, "{v}+{o}"),
+            (Some(v), o) => write!(f, "{v}{o}"),
+            (None, o) => write!(f, "{o}"),
+        }
+    }
+}
+
+/// One index position of a tensor reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IndexExpr {
+    /// A plain rank variable: `m`.
+    Var(String),
+    /// A shifted variable: `m1+1` (used by iterative ranks, Einsum 46).
+    Shifted {
+        /// The variable.
+        var: String,
+        /// The (non-negative) shift.
+        offset: i64,
+    },
+    /// A fixed coordinate: `RM[0, p]` (Einsum 41's `m1: m1 = 0`).
+    Const(i64),
+    /// The extent of a rank used as a coordinate: `RNV[f, M1, p]`
+    /// (Einsum 55 reads the final iterate).
+    Extent(String),
+    /// An affine partition `outer*|inner_rank| + inner`: `K[e, m1*M0+m0]`
+    /// (Einsum 39). Declares that the underlying rank is split.
+    Split {
+        /// The outer (chunk) variable, e.g. `m1`.
+        outer: String,
+        /// The inner (offset) variable, e.g. `m0`.
+        inner: String,
+        /// The rank whose extent scales the outer variable, e.g. `M0`.
+        inner_rank: String,
+    },
+    /// A filtered variable `k: k <= i` (§II-C3 prefix sums).
+    Filtered {
+        /// The filtered variable.
+        var: String,
+        /// The comparison.
+        cmp: CmpOp,
+        /// The bound.
+        bound: Bound,
+    },
+}
+
+impl IndexExpr {
+    /// All variables mentioned by this index expression.
+    pub fn vars(&self) -> Vec<&str> {
+        match self {
+            IndexExpr::Var(v) | IndexExpr::Shifted { var: v, .. } => vec![v],
+            IndexExpr::Const(_) | IndexExpr::Extent(_) => vec![],
+            IndexExpr::Split { outer, inner, .. } => vec![outer, inner],
+            IndexExpr::Filtered { var, bound, .. } => {
+                let mut vs = vec![var.as_str()];
+                if let Some(b) = &bound.var {
+                    vs.push(b);
+                }
+                vs
+            }
+        }
+    }
+
+    /// The rank name this index projects into, when derivable from the
+    /// expression alone (`Var`/`Shifted`/`Filtered` project into the rank of
+    /// their variable; `Split` projects into the family of the outer
+    /// variable; `Extent(R)` projects into `R`'s rank).
+    pub fn rank(&self) -> Option<String> {
+        match self {
+            IndexExpr::Var(v) | IndexExpr::Shifted { var: v, .. } => Some(rank_of_var(v)),
+            IndexExpr::Filtered { var, .. } => Some(rank_of_var(var)),
+            IndexExpr::Split { outer, .. } => Some(family_of_rank(&rank_of_var(outer))),
+            IndexExpr::Extent(r) => Some(r.clone()),
+            IndexExpr::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for IndexExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexExpr::Var(v) => write!(f, "{v}"),
+            IndexExpr::Shifted { var, offset } if *offset >= 0 => write!(f, "{var}+{offset}"),
+            IndexExpr::Shifted { var, offset } => write!(f, "{var}{offset}"),
+            IndexExpr::Const(c) => write!(f, "{c}"),
+            IndexExpr::Extent(r) => write!(f, "{r}"),
+            IndexExpr::Split { outer, inner, inner_rank } => {
+                write!(f, "{outer}*{inner_rank}+{inner}")
+            }
+            IndexExpr::Filtered { var, cmp, bound } => write!(f, "{var} : {var} {cmp} {bound}"),
+        }
+    }
+}
+
+/// A tensor name plus its index expressions: `QK[m,p]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TensorRef {
+    /// The tensor's name.
+    pub name: String,
+    /// Index expressions, one per rank.
+    pub indices: Vec<IndexExpr>,
+}
+
+impl TensorRef {
+    /// Creates a reference from a name and indices.
+    pub fn new(name: impl Into<String>, indices: Vec<IndexExpr>) -> Self {
+        Self { name: name.into(), indices }
+    }
+
+    /// Parses a reference such as `Q[e,p]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] for malformed input.
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        parse::parse_tensor_ref(text)
+    }
+
+    /// All variables mentioned in the indices.
+    pub fn vars(&self) -> Vec<&str> {
+        self.indices.iter().flat_map(|i| i.vars()).collect()
+    }
+
+    /// `true` when the reference indexes rank variable `var` anywhere.
+    pub fn mentions_var(&self, var: &str) -> bool {
+        self.vars().contains(&var)
+    }
+}
+
+impl fmt::Display for TensorRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.indices.is_empty() {
+            write!(f, "[")?;
+            for (i, idx) in self.indices.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{idx}")?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// The right-hand side of an Einsum: a tree of map actions, unary operators,
+/// tensor references, and literals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A tensor operand.
+    Tensor(TensorRef),
+    /// A scalar literal (`0`, `-inf`).
+    Literal(f64),
+    /// A binary map action.
+    Map {
+        /// The compute operator.
+        op: MapOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// A unary operator application.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        arg: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// All tensor references in the expression, left to right.
+    pub fn tensor_refs(&self) -> Vec<&TensorRef> {
+        match self {
+            Expr::Tensor(t) => vec![t],
+            Expr::Literal(_) => vec![],
+            Expr::Map { lhs, rhs, .. } => {
+                let mut v = lhs.tensor_refs();
+                v.extend(rhs.tensor_refs());
+                v
+            }
+            Expr::Unary { arg, .. } => arg.tensor_refs(),
+        }
+    }
+
+    /// All index variables used anywhere in the expression.
+    pub fn vars(&self) -> Vec<&str> {
+        self.tensor_refs().into_iter().flat_map(|t| t.vars()).collect()
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Tensor(t) => write!(f, "{t}"),
+            Expr::Literal(x) if *x == f64::NEG_INFINITY => write!(f, "-inf"),
+            Expr::Literal(x) => write!(f, "{x}"),
+            Expr::Map { op: MapOp::Max, lhs, rhs } => write!(f, "max({lhs}, {rhs})"),
+            Expr::Map { op: MapOp::Min, lhs, rhs } => write!(f, "min({lhs}, {rhs})"),
+            Expr::Map { op: MapOp::SubThenExp, lhs, rhs } => write!(f, "exp({lhs} - {rhs})"),
+            Expr::Map { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+            Expr::Unary { op: UnaryOp::Neg, arg } => write!(f, "-({arg})"),
+            Expr::Unary { op, arg } => write!(f, "{op}({arg})"),
+        }
+    }
+}
+
+/// A single (extended) Einsum: `output = expr`, with reduce actions.
+///
+/// Reductions over right-hand-side variables that do not appear on the
+/// left-hand side default to `+(∪)` per the paper's shorthand; `max`
+/// reductions are written explicitly (`GM[p] = max[m](QK[m,p])`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Einsum {
+    /// The output tensor reference.
+    pub output: TensorRef,
+    /// The right-hand side.
+    pub expr: Expr,
+    /// Explicit (non-default) reductions: `(variable, operator)` pairs.
+    pub reductions: Vec<(String, ReduceOp)>,
+}
+
+impl Einsum {
+    /// Parses a single Einsum line, e.g. `QK[m,p] = Q[e,p] * K[e,m]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] for malformed input.
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        parse::parse_einsum(text)
+    }
+
+    /// Variables appearing in the output indices.
+    pub fn output_vars(&self) -> Vec<&str> {
+        self.output.vars()
+    }
+
+    /// The full reduction list: explicit reductions first, then the inferred
+    /// default `+` reductions (RHS variables absent from the output and not
+    /// explicitly reduced), in first-appearance order.
+    pub fn all_reductions(&self) -> Vec<(String, ReduceOp)> {
+        let mut out = self.reductions.clone();
+        let output_vars = self.output_vars();
+        for v in self.expr.vars() {
+            let known = output_vars.contains(&v) || out.iter().any(|(rv, _)| rv == v);
+            if !known {
+                out.push((v.to_string(), ReduceOp::Add));
+            }
+        }
+        out
+    }
+
+    /// The iteration-space variables: output variables plus reductions.
+    pub fn iteration_vars(&self) -> Vec<String> {
+        let mut vars: Vec<String> = Vec::new();
+        for v in self.output_vars() {
+            if !vars.iter().any(|x| x == v) {
+                vars.push(v.to_string());
+            }
+        }
+        for (v, _) in self.all_reductions() {
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        vars
+    }
+
+    /// Input tensor references (the RHS operands).
+    pub fn inputs(&self) -> Vec<&TensorRef> {
+        self.expr.tensor_refs()
+    }
+}
+
+impl fmt::Display for Einsum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = ", self.output)?;
+        if let Some((var, op)) = self.reductions.first() {
+            // Render an explicit leading reduction in `max[m](...)` form.
+            if self.reductions.len() == 1 && *op != ReduceOp::Add {
+                return write!(f, "{op}[{var}]({})", self.expr);
+            }
+        }
+        write!(f, "{}", self.expr)
+    }
+}
+
+/// A cascade of Einsums (§II-C5): initialization, an optionally-iterative
+/// body, and a finale evaluated after the iteration completes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cascade {
+    /// The cascade's name.
+    pub name: String,
+    /// Declared input tensors with their rank variables (e.g. `Q[e,p]`).
+    pub inputs: Vec<TensorRef>,
+    /// Initialization Einsums, evaluated once before the body.
+    pub inits: Vec<Einsum>,
+    /// The body. With [`Cascade::loop_var`] set these are the paper's
+    /// *extended Einsums*, re-evaluated per iteration.
+    pub body: Vec<Einsum>,
+    /// The generative/iterative rank variable, if any. The stopping
+    /// condition is the paper's `⋄ : var ≥ extent(rank(var))`.
+    pub loop_var: Option<String>,
+    /// Einsums evaluated once after the loop (e.g. Cascade 5's Einsum 55).
+    pub finale: Vec<Einsum>,
+}
+
+impl Cascade {
+    /// Parses the crate's cascade text format. See the crate-level example;
+    /// sections are `name:`, `inputs:`, `init:`, `loop <var>:`, `body:`, and
+    /// `finally:`. Einsums before any section marker belong to the body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the offending line.
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        parse::parse_cascade(text)
+    }
+
+    /// All Einsums in evaluation order (inits, body, finale).
+    pub fn all_einsums(&self) -> impl Iterator<Item = &Einsum> {
+        self.inits.iter().chain(self.body.iter()).chain(self.finale.iter())
+    }
+
+    /// The Einsum producing `tensor`, if any (the *last* producer wins,
+    /// matching evaluation order).
+    pub fn producer_of(&self, tensor: &str) -> Option<&Einsum> {
+        self.all_einsums().filter(|e| e.output.name == tensor).last()
+    }
+
+    /// Names of declared input tensors.
+    pub fn input_names(&self) -> Vec<&str> {
+        self.inputs.iter().map(|t| t.name.as_str()).collect()
+    }
+
+    /// `true` when the cascade has a generative/iterative rank.
+    pub fn is_iterative(&self) -> bool {
+        self.loop_var.is_some()
+    }
+
+    /// Tensors that are read somewhere but never produced by any Einsum
+    /// and not declared as inputs — almost always a typo in the cascade.
+    ///
+    /// Iterative cascades may read a running tensor "before" its producing
+    /// Einsum in body order (the value comes from the previous iteration),
+    /// so this check is order-insensitive by design.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fusemax_einsum::Cascade;
+    ///
+    /// let c = Cascade::parse("inputs: A[k]\nZ = A[k] * W[k]\n")?;
+    /// assert_eq!(c.undefined_reads(), vec!["W".to_string()]);
+    /// # Ok::<(), fusemax_einsum::ParseError>(())
+    /// ```
+    pub fn undefined_reads(&self) -> Vec<String> {
+        let mut defined: Vec<&str> = self.inputs.iter().map(|t| t.name.as_str()).collect();
+        defined.extend(self.all_einsums().map(|e| e.output.name.as_str()));
+        let mut missing: Vec<String> = Vec::new();
+        for einsum in self.all_einsums() {
+            for input in einsum.inputs() {
+                if !defined.contains(&input.name.as_str())
+                    && !missing.iter().any(|m| *m == input.name)
+                {
+                    missing.push(input.name.clone());
+                }
+            }
+        }
+        missing.sort();
+        missing
+    }
+}
+
+impl fmt::Display for Cascade {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "name: {}", self.name)?;
+        if !self.inputs.is_empty() {
+            write!(f, "inputs: ")?;
+            for (i, t) in self.inputs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            writeln!(f)?;
+        }
+        if !self.inits.is_empty() {
+            writeln!(f, "init:")?;
+            for e in &self.inits {
+                writeln!(f, "  {e}")?;
+            }
+        }
+        match &self.loop_var {
+            Some(v) => writeln!(f, "loop {v}:")?,
+            None => writeln!(f, "body:")?,
+        }
+        for e in &self.body {
+            writeln!(f, "  {e}")?;
+        }
+        if !self.finale.is_empty() {
+            writeln!(f, "finally:")?;
+            for e in &self.finale {
+                writeln!(f, "  {e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_naming() {
+        assert_eq!(rank_of_var("m"), "M");
+        assert_eq!(rank_of_var("m0"), "M0");
+        assert_eq!(family_of_rank("M1"), "M");
+        assert_eq!(family_of_rank("P0"), "P");
+        assert_eq!(family_of_rank("E"), "E");
+    }
+
+    #[test]
+    fn index_expr_vars_and_ranks() {
+        let e = IndexExpr::Split { outer: "m1".into(), inner: "m0".into(), inner_rank: "M0".into() };
+        assert_eq!(e.vars(), vec!["m1", "m0"]);
+        assert_eq!(e.rank().unwrap(), "M");
+
+        let f = IndexExpr::Filtered {
+            var: "k".into(),
+            cmp: CmpOp::Le,
+            bound: Bound { var: Some("i".into()), offset: -1 },
+        };
+        assert_eq!(f.vars(), vec!["k", "i"]);
+        assert_eq!(f.rank().unwrap(), "K");
+
+        assert_eq!(IndexExpr::Const(0).rank(), None);
+        assert_eq!(IndexExpr::Extent("M1".into()).rank().unwrap(), "M1");
+    }
+
+    #[test]
+    fn einsum_reduction_inference() {
+        let e = Einsum::parse("Z[m,n] = A[k,m] * B[k,n]").unwrap();
+        assert_eq!(e.all_reductions(), vec![("k".to_string(), ReduceOp::Add)]);
+        assert_eq!(e.iteration_vars(), vec!["m", "n", "k"]);
+    }
+
+    #[test]
+    fn explicit_max_reduction_not_duplicated() {
+        let e = Einsum::parse("GM[p] = max[m](QK[m,p])").unwrap();
+        assert_eq!(e.all_reductions(), vec![("m".to_string(), ReduceOp::Max)]);
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let lines = [
+            "QK[m,p] = Q[e,p] * K[e,m]",
+            "GM[p] = max[m](QK[m,p])",
+            "SN[m,p] = exp(QK[m,p] - GM[p])",
+            "A[m,p] = SN[m,p] / SD[p]",
+            "RM[m1+1,p] = max(RM[m1,p], LM[m1,p])",
+            "BK[e,m1,m0] = K[e,m1*M0+m0]",
+            "AV[f,p] = RNV[f,M1,p] / RD[M1,p]",
+        ];
+        for line in lines {
+            let e = Einsum::parse(line).unwrap();
+            let shown = e.to_string();
+            let reparsed = Einsum::parse(&shown).unwrap();
+            assert_eq!(e, reparsed, "display `{shown}` did not round-trip for `{line}`");
+        }
+    }
+
+    #[test]
+    fn undefined_reads_finds_typos() {
+        let c = Cascade::parse(
+            "inputs: A[k]\nY = A[k] * B[k]\nZ = Y * C[k]\n",
+        )
+        .unwrap();
+        assert_eq!(c.undefined_reads(), vec!["B".to_string(), "C".to_string()]);
+
+        let ok = crate::Cascade::parse("inputs: A[k], B[k]\nY = A[k] * B[k]\n").unwrap();
+        assert!(ok.undefined_reads().is_empty());
+    }
+
+    #[test]
+    fn running_tensors_are_not_undefined() {
+        let c = Cascade::parse(
+            "inputs: A[i]\ninit:\n S[0] = 0\nloop i:\n S[i+1] = S[i] + A[i]\n",
+        )
+        .unwrap();
+        assert!(c.undefined_reads().is_empty());
+    }
+
+    #[test]
+    fn cascade_accessors() {
+        let c = Cascade::parse(
+            "name: demo\ninputs: A[k], B[k]\nY = A[k] * B[k]\nZ = Y * A[k]\n",
+        )
+        .unwrap();
+        assert_eq!(c.name, "demo");
+        assert_eq!(c.input_names(), vec!["A", "B"]);
+        assert!(!c.is_iterative());
+        assert_eq!(c.all_einsums().count(), 2);
+        assert_eq!(c.producer_of("Z").unwrap().output.name, "Z");
+        assert!(c.producer_of("W").is_none());
+    }
+}

@@ -1,0 +1,121 @@
+//! Error types for parsing and evaluating extended Einsums.
+
+use std::error::Error;
+use std::fmt;
+
+/// A parse failure, with the offending line and a description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// The text being parsed when the error occurred.
+    pub line: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: impl Into<String>, message: impl Into<String>) -> Self {
+        Self { line: line.into(), message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error in `{}`: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// An evaluation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EinsumError {
+    /// A tensor was read before being written and is not a declared input.
+    UnknownTensor {
+        /// The missing tensor's name.
+        name: String,
+    },
+    /// A rank extent could not be determined from inputs or explicit shapes.
+    UnknownRank {
+        /// The rank whose extent is missing.
+        rank: String,
+        /// The context in which it was needed.
+        context: String,
+    },
+    /// Extents disagreed between uses of a rank.
+    ExtentMismatch {
+        /// The rank in question.
+        rank: String,
+        /// One observed extent.
+        got: usize,
+        /// The conflicting extent.
+        expected: usize,
+        /// The context of the conflict.
+        context: String,
+    },
+    /// An input tensor had the wrong number of ranks.
+    ArityMismatch {
+        /// The tensor's name.
+        tensor: String,
+        /// Ranks in the supplied tensor.
+        got: usize,
+        /// Ranks expected from the cascade.
+        expected: usize,
+    },
+    /// A cascade construct is unsupported in the current context (e.g. a
+    /// filtered index on an output).
+    Unsupported {
+        /// Description of the unsupported construct.
+        detail: String,
+    },
+}
+
+impl fmt::Display for EinsumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EinsumError::UnknownTensor { name } => {
+                write!(f, "tensor `{name}` read before any write and not a declared input")
+            }
+            EinsumError::UnknownRank { rank, context } => {
+                write!(f, "extent of rank `{rank}` unknown ({context})")
+            }
+            EinsumError::ExtentMismatch { rank, got, expected, context } => {
+                write!(f, "rank `{rank}` extent mismatch: {got} vs {expected} ({context})")
+            }
+            EinsumError::ArityMismatch { tensor, got, expected } => {
+                write!(f, "tensor `{tensor}` has {got} ranks, cascade expects {expected}")
+            }
+            EinsumError::Unsupported { detail } => write!(f, "unsupported construct: {detail}"),
+        }
+    }
+}
+
+impl Error for EinsumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let e = ParseError::new("Z[m] =", "missing right-hand side");
+        assert!(e.to_string().contains("Z[m]"));
+
+        let e = EinsumError::UnknownRank { rank: "M0".into(), context: "split".into() };
+        assert!(e.to_string().contains("M0"));
+
+        let e = EinsumError::ExtentMismatch {
+            rank: "M".into(),
+            got: 8,
+            expected: 16,
+            context: "input K".into(),
+        };
+        assert!(e.to_string().contains("8 vs 16"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_err<E: Error>(_: E) {}
+        takes_err(ParseError::new("x", "y"));
+        takes_err(EinsumError::UnknownTensor { name: "T".into() });
+    }
+}

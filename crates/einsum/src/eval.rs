@@ -1,0 +1,805 @@
+//! Dense evaluation of cascades of extended Einsums.
+//!
+//! The evaluator is the reproduction's *functional reference*: it executes a
+//! cascade exactly as specified — walking every point of each Einsum's
+//! iteration space, projecting into operand data spaces, applying map and
+//! reduce actions, and unrolling iterative ranks — while counting every
+//! scalar operation. It makes no scheduling decisions (§II-D: mapping and
+//! binding are separate concerns, modeled in `fusemax-model`).
+
+use crate::ast::{family_of_rank, rank_of_var, Bound, Cascade, CmpOp, Einsum, Expr, IndexExpr};
+use crate::error::EinsumError;
+use crate::ops::{OpCounts, ReduceOp};
+use fusemax_tensor::{Shape, Tensor};
+use std::collections::{BTreeMap, HashMap};
+
+/// Evaluates cascades of extended Einsums over dense `f64` tensors.
+///
+/// # Example
+///
+/// ```
+/// use fusemax_einsum::{Cascade, Evaluator};
+/// use fusemax_tensor::{Shape, Tensor};
+///
+/// // Iterative prefix sum (paper Einsums 3–4): S[i+1] = S[i] + A[i].
+/// let cascade = Cascade::parse(
+///     "name: prefix_sum\n\
+///      inputs: A[i]\n\
+///      init:\n  S[0] = 0\n\
+///      loop i:\n  S[i+1] = S[i] + A[i]\n",
+/// )?;
+/// let a = Tensor::from_vec(Shape::of(&[("I", 4)]), vec![1.0, 2.0, 3.0, 4.0])?;
+/// let result = Evaluator::new().evaluate(&cascade, &[("A", a)], &[])?;
+/// let s = result.tensor("S")?;
+/// assert_eq!(s.data(), &[0.0, 1.0, 3.0, 6.0, 10.0]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Evaluator {
+    _private: (),
+}
+
+/// The outcome of evaluating a cascade: all produced tensors plus measured
+/// operation counts.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    tensors: BTreeMap<String, Tensor<f64>>,
+    per_einsum: BTreeMap<String, OpCounts>,
+    total: OpCounts,
+    extents: BTreeMap<String, usize>,
+}
+
+impl EvalResult {
+    /// The tensor named `name` (an input or any produced intermediate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EinsumError::UnknownTensor`] when absent.
+    pub fn tensor(&self, name: &str) -> Result<&Tensor<f64>, EinsumError> {
+        self.tensors.get(name).ok_or_else(|| EinsumError::UnknownTensor { name: name.into() })
+    }
+
+    /// All tensors by name.
+    pub fn tensors(&self) -> &BTreeMap<String, Tensor<f64>> {
+        &self.tensors
+    }
+
+    /// Consumes the result, returning the tensor environment.
+    pub fn into_tensors(self) -> BTreeMap<String, Tensor<f64>> {
+        self.tensors
+    }
+
+    /// Measured operation counts for the Einsum(s) producing `name`,
+    /// accumulated over all iterations.
+    pub fn counts_for(&self, name: &str) -> Option<OpCounts> {
+        self.per_einsum.get(name).copied()
+    }
+
+    /// Per-output-tensor operation counts.
+    pub fn per_einsum_counts(&self) -> &BTreeMap<String, OpCounts> {
+        &self.per_einsum
+    }
+
+    /// Total operation counts for the whole cascade.
+    pub fn total_counts(&self) -> OpCounts {
+        self.total
+    }
+
+    /// The resolved extent of a rank (explicit, bound from inputs, or
+    /// inferred from splits).
+    pub fn extent(&self, rank: &str) -> Option<usize> {
+        self.extents.get(rank).copied()
+    }
+}
+
+impl Evaluator {
+    /// Creates an evaluator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluates `cascade` on the given inputs.
+    ///
+    /// `shapes` supplies extents that cannot be derived from the inputs
+    /// (e.g. the tile size `M0` for Cascade 5); extents of partitioned
+    /// counterparts (`M1`) are inferred when the family extent is known.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a tensor is read before definition, rank
+    /// extents conflict, or an extent cannot be resolved.
+    pub fn evaluate(
+        &self,
+        cascade: &Cascade,
+        inputs: &[(&str, Tensor<f64>)],
+        shapes: &[(&str, usize)],
+    ) -> Result<EvalResult, EinsumError> {
+        let mut extents: BTreeMap<String, usize> = BTreeMap::new();
+        for (rank, ext) in shapes {
+            extents.insert((*rank).to_string(), *ext);
+        }
+        bind_input_extents(cascade, inputs, &mut extents)?;
+        infer_split_extents(cascade, &mut extents)?;
+
+        let mut env: BTreeMap<String, Tensor<f64>> = BTreeMap::new();
+        for (name, tensor) in inputs {
+            env.insert((*name).to_string(), tensor.clone());
+        }
+
+        let out_shapes = output_shapes(cascade, &extents, &env)?;
+        for (name, shape) in &out_shapes {
+            env.entry(name.clone()).or_insert_with(|| Tensor::zeros(shape.clone()));
+        }
+
+        let mut per_einsum: BTreeMap<String, OpCounts> = BTreeMap::new();
+        let mut total = OpCounts::default();
+        let mut run = |einsum: &Einsum,
+                       binding: &HashMap<String, usize>,
+                       env: &mut BTreeMap<String, Tensor<f64>>|
+         -> Result<(), EinsumError> {
+            let counts = eval_einsum(einsum, binding, env, &extents)?;
+            *per_einsum.entry(einsum.output.name.clone()).or_default() += counts;
+            total += counts;
+            Ok(())
+        };
+
+        let empty = HashMap::new();
+        for einsum in &cascade.inits {
+            run(einsum, &empty, &mut env)?;
+        }
+        if let Some(loop_var) = &cascade.loop_var {
+            let rank = rank_of_var(loop_var);
+            let end = *extents.get(&rank).ok_or_else(|| EinsumError::UnknownRank {
+                rank: rank.clone(),
+                context: format!("iterative rank of loop variable `{loop_var}`"),
+            })?;
+            // The paper's stopping condition: ⋄ : loop_var ≥ extent.
+            for i in 0..end {
+                let mut binding = HashMap::new();
+                binding.insert(loop_var.clone(), i);
+                for einsum in &cascade.body {
+                    run(einsum, &binding, &mut env)?;
+                }
+            }
+        } else {
+            for einsum in &cascade.body {
+                run(einsum, &empty, &mut env)?;
+            }
+        }
+        for einsum in &cascade.finale {
+            run(einsum, &empty, &mut env)?;
+        }
+
+        Ok(EvalResult { tensors: env, per_einsum, total, extents })
+    }
+}
+
+/// Binds rank extents from the supplied input tensors using the cascade's
+/// `inputs:` declarations.
+fn bind_input_extents(
+    cascade: &Cascade,
+    inputs: &[(&str, Tensor<f64>)],
+    extents: &mut BTreeMap<String, usize>,
+) -> Result<(), EinsumError> {
+    for decl in &cascade.inputs {
+        let Some((_, tensor)) = inputs.iter().find(|(n, _)| *n == decl.name) else {
+            return Err(EinsumError::UnknownTensor { name: decl.name.clone() });
+        };
+        if tensor.shape().num_ranks() != decl.indices.len() {
+            return Err(EinsumError::ArityMismatch {
+                tensor: decl.name.clone(),
+                got: tensor.shape().num_ranks(),
+                expected: decl.indices.len(),
+            });
+        }
+        for (idx, rank_dim) in decl.indices.iter().zip(tensor.shape().ranks()) {
+            let IndexExpr::Var(v) = idx else {
+                return Err(EinsumError::Unsupported {
+                    detail: format!(
+                        "input declaration `{decl}` must use plain rank variables"
+                    ),
+                });
+            };
+            let rank = rank_of_var(v);
+            let ext = rank_dim.extent();
+            if let Some(&prev) = extents.get(&rank) {
+                if prev != ext {
+                    return Err(EinsumError::ExtentMismatch {
+                        rank,
+                        got: ext,
+                        expected: prev,
+                        context: format!("input `{}`", decl.name),
+                    });
+                }
+            } else {
+                extents.insert(rank, ext);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Resolves split-rank extents: for each `outer*INNER+inner` expression, the
+/// family extent must equal `extent(outer_rank) × extent(inner_rank)`;
+/// unknown pieces are inferred when the other two are known.
+fn infer_split_extents(
+    cascade: &Cascade,
+    extents: &mut BTreeMap<String, usize>,
+) -> Result<(), EinsumError> {
+    let mut splits: Vec<(String, String, String)> = Vec::new(); // (family, outer_rank, inner_rank)
+    for einsum in cascade.all_einsums() {
+        for tref in einsum.inputs().into_iter().chain([&einsum.output]) {
+            for idx in &tref.indices {
+                if let IndexExpr::Split { outer, inner_rank, .. } = idx {
+                    let outer_rank = rank_of_var(outer);
+                    let family = family_of_rank(&outer_rank);
+                    splits.push((family, outer_rank, inner_rank.clone()));
+                }
+            }
+        }
+    }
+    // Fixpoint over the (tiny) split set.
+    for _ in 0..=splits.len() {
+        for (family, outer, inner) in &splits {
+            let f = extents.get(family).copied();
+            let o = extents.get(outer).copied();
+            let i = extents.get(inner).copied();
+            match (f, o, i) {
+                (Some(f), Some(o), Some(i)) if o * i != f => {
+                    return Err(EinsumError::ExtentMismatch {
+                        rank: family.clone(),
+                        got: o * i,
+                        expected: f,
+                        context: format!("split {outer}×{inner}"),
+                    });
+                }
+                (Some(_), Some(_), Some(_)) => {}
+                (Some(f), None, Some(i)) => {
+                    if f % i != 0 {
+                        return Err(EinsumError::ExtentMismatch {
+                            rank: family.clone(),
+                            got: f,
+                            expected: (f / i) * i,
+                            context: format!("{family} not divisible by {inner}={i}"),
+                        });
+                    }
+                    extents.insert(outer.clone(), f / i);
+                }
+                (Some(f), Some(o), None) => {
+                    if f % o != 0 {
+                        return Err(EinsumError::ExtentMismatch {
+                            rank: family.clone(),
+                            got: f,
+                            expected: (f / o) * o,
+                            context: format!("{family} not divisible by {outer}={o}"),
+                        });
+                    }
+                    extents.insert(inner.clone(), f / o);
+                }
+                (None, Some(o), Some(i)) => {
+                    extents.insert(family.clone(), o * i);
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Computes the allocation shape of every produced tensor by taking, per
+/// index position, the maximum coordinate requirement over all appearances.
+fn output_shapes(
+    cascade: &Cascade,
+    extents: &BTreeMap<String, usize>,
+    env: &BTreeMap<String, Tensor<f64>>,
+) -> Result<BTreeMap<String, Shape>, EinsumError> {
+    // name -> per-position (rank name candidate, required extent)
+    let mut reqs: BTreeMap<String, Vec<(Option<String>, usize)>> = BTreeMap::new();
+    let mut visit = |tref: &crate::ast::TensorRef| -> Result<(), EinsumError> {
+        if env.contains_key(&tref.name) {
+            return Ok(()); // inputs are pre-allocated
+        }
+        let entry = reqs
+            .entry(tref.name.clone())
+            .or_insert_with(|| vec![(None, 0); tref.indices.len()]);
+        if entry.len() != tref.indices.len() {
+            return Err(EinsumError::ArityMismatch {
+                tensor: tref.name.clone(),
+                got: tref.indices.len(),
+                expected: entry.len(),
+            });
+        }
+        for (pos, idx) in tref.indices.iter().enumerate() {
+            let (name, req) = index_requirement(idx, extents)?;
+            if let Some(n) = name {
+                if entry[pos].0.is_none() {
+                    entry[pos].0 = Some(n);
+                }
+            }
+            entry[pos].1 = entry[pos].1.max(req);
+        }
+        Ok(())
+    };
+    for einsum in cascade.all_einsums() {
+        visit(&einsum.output)?;
+        for input in einsum.inputs() {
+            visit(input)?;
+        }
+    }
+    let mut out = BTreeMap::new();
+    for (name, positions) in reqs {
+        let mut dims: Vec<(String, usize)> = Vec::with_capacity(positions.len());
+        for (pos, (rank, req)) in positions.into_iter().enumerate() {
+            let rank = rank.unwrap_or_else(|| format!("D{pos}"));
+            // Duplicate rank names within one tensor (e.g. an output indexed
+            // by both `m1` and `m1+1` across Einsums) keep the larger extent
+            // and get disambiguated positionally.
+            let unique = if dims.iter().any(|(r, _)| *r == rank) {
+                format!("{rank}@{pos}")
+            } else {
+                rank
+            };
+            dims.push((unique, req));
+        }
+        let dims_ref: Vec<(&str, usize)> = dims.iter().map(|(r, e)| (r.as_str(), *e)).collect();
+        out.insert(name, Shape::of(&dims_ref));
+    }
+    Ok(out)
+}
+
+/// The (rank name, minimum extent) demanded by one index expression.
+fn index_requirement(
+    idx: &IndexExpr,
+    extents: &BTreeMap<String, usize>,
+) -> Result<(Option<String>, usize), EinsumError> {
+    let get = |rank: &str, ctx: &str| -> Result<usize, EinsumError> {
+        extents.get(rank).copied().ok_or_else(|| EinsumError::UnknownRank {
+            rank: rank.to_string(),
+            context: ctx.to_string(),
+        })
+    };
+    match idx {
+        IndexExpr::Var(v) => {
+            let rank = rank_of_var(v);
+            let e = get(&rank, "plain index")?;
+            Ok((Some(rank), e))
+        }
+        IndexExpr::Shifted { var, offset } => {
+            let rank = rank_of_var(var);
+            let e = get(&rank, "shifted index")?;
+            let req = (e as i64 + offset.max(&0)).max(0) as usize;
+            Ok((Some(rank), req))
+        }
+        IndexExpr::Const(c) => Ok((None, (*c as usize) + 1)),
+        IndexExpr::Extent(r) => {
+            let e = get(r, "extent coordinate")?;
+            Ok((Some(r.clone()), e + 1))
+        }
+        IndexExpr::Split { outer, inner, inner_rank } => {
+            let outer_rank = rank_of_var(outer);
+            let family = family_of_rank(&outer_rank);
+            let o = get(&outer_rank, "split outer")?;
+            let i = get(inner_rank, "split inner")?;
+            let _ = rank_of_var(inner);
+            Ok((Some(family), o * i))
+        }
+        IndexExpr::Filtered { var, .. } => {
+            let rank = rank_of_var(var);
+            let e = get(&rank, "filtered index")?;
+            Ok((Some(rank), e))
+        }
+    }
+}
+
+/// Evaluates one Einsum under `binding` (the iterative-rank binding, if
+/// any), writing results into `env`.
+fn eval_einsum(
+    einsum: &Einsum,
+    binding: &HashMap<String, usize>,
+    env: &mut BTreeMap<String, Tensor<f64>>,
+    extents: &BTreeMap<String, usize>,
+) -> Result<OpCounts, EinsumError> {
+    let mut counts = OpCounts::default();
+
+    // Free output variables (not bound by the loop).
+    let out_vars: Vec<String> = einsum
+        .output_vars()
+        .iter()
+        .filter(|v| !binding.contains_key(**v))
+        .map(|v| v.to_string())
+        .collect();
+    let reductions: Vec<(String, ReduceOp)> = einsum
+        .all_reductions()
+        .into_iter()
+        .filter(|(v, _)| !binding.contains_key(v))
+        .collect();
+
+    let var_extent = |v: &str| -> Result<usize, EinsumError> {
+        let rank = rank_of_var(v);
+        extents.get(&rank).copied().ok_or_else(|| EinsumError::UnknownRank {
+            rank,
+            context: format!("iteration variable `{v}` in `{einsum}`"),
+        })
+    };
+
+    // Collect filter constraints: var -> (cmp, bound) list.
+    let mut filters: HashMap<String, Vec<(CmpOp, Bound)>> = HashMap::new();
+    for tref in einsum.inputs() {
+        for idx in &tref.indices {
+            if let IndexExpr::Filtered { var, cmp, bound } = idx {
+                filters.entry(var.clone()).or_default().push((*cmp, bound.clone()));
+            }
+        }
+    }
+
+    // Capture the output tensor separately so expression reads can borrow
+    // the rest of the environment; the cascades never read-and-write the
+    // same coordinates within one Einsum, but iterative Einsums (e.g.
+    // RM[m1+1] = max(RM[m1], …)) do read earlier coordinates of the output.
+    let mut output =
+        env.remove(&einsum.output.name).ok_or_else(|| EinsumError::UnknownTensor {
+            name: einsum.output.name.clone(),
+        })?;
+    // Re-insert a clone for self-referential reads.
+    env.insert(einsum.output.name.clone(), output.clone());
+
+    let mut assignment: HashMap<String, usize> = binding.clone();
+    let result = walk_outputs(
+        einsum,
+        &out_vars,
+        0,
+        &mut assignment,
+        &reductions,
+        &filters,
+        env,
+        extents,
+        &var_extent,
+        &mut output,
+        &mut counts,
+    );
+    // Publish the updated output tensor.
+    env.insert(einsum.output.name.clone(), output);
+    result?;
+    Ok(counts)
+}
+
+/// Recursively enumerates the free output coordinates.
+#[allow(clippy::too_many_arguments)]
+fn walk_outputs(
+    einsum: &Einsum,
+    out_vars: &[String],
+    depth: usize,
+    assignment: &mut HashMap<String, usize>,
+    reductions: &[(String, ReduceOp)],
+    filters: &HashMap<String, Vec<(CmpOp, Bound)>>,
+    env: &BTreeMap<String, Tensor<f64>>,
+    extents: &BTreeMap<String, usize>,
+    var_extent: &dyn Fn(&str) -> Result<usize, EinsumError>,
+    output: &mut Tensor<f64>,
+    counts: &mut OpCounts,
+) -> Result<(), EinsumError> {
+    if depth == out_vars.len() {
+        let value =
+            reduce_value(einsum, reductions, 0, assignment, filters, env, extents, var_extent, counts)?;
+        let coords = resolve_coords(&einsum.output.indices, assignment, extents, einsum)?;
+        output.try_set(&coords, value).map_err(|e| EinsumError::Unsupported {
+            detail: format!("output write failed for `{einsum}`: {e}"),
+        })?;
+        return Ok(());
+    }
+    let var = &out_vars[depth];
+    let ext = var_extent(var)?;
+    for c in 0..ext {
+        assignment.insert(var.clone(), c);
+        walk_outputs(
+            einsum, out_vars, depth + 1, assignment, reductions, filters, env, extents,
+            var_extent, output, counts,
+        )?;
+    }
+    assignment.remove(var);
+    Ok(())
+}
+
+/// Recursively folds the reduction variables (nested, so mixed reduce
+/// operators compose correctly), evaluating the expression at the leaves.
+#[allow(clippy::too_many_arguments)]
+fn reduce_value(
+    einsum: &Einsum,
+    reductions: &[(String, ReduceOp)],
+    depth: usize,
+    assignment: &mut HashMap<String, usize>,
+    filters: &HashMap<String, Vec<(CmpOp, Bound)>>,
+    env: &BTreeMap<String, Tensor<f64>>,
+    extents: &BTreeMap<String, usize>,
+    var_extent: &dyn Fn(&str) -> Result<usize, EinsumError>,
+    counts: &mut OpCounts,
+) -> Result<f64, EinsumError> {
+    if depth == reductions.len() {
+        return eval_expr(&einsum.expr, assignment, env, extents, einsum, counts);
+    }
+    let (var, op) = &reductions[depth];
+    let mut hi = var_extent(var)? as i64 - 1; // inclusive upper bound
+    if let Some(constraints) = filters.get(var) {
+        for (cmp, bound) in constraints {
+            let b = match &bound.var {
+                Some(v) => {
+                    let val = *assignment.get(v).ok_or_else(|| EinsumError::Unsupported {
+                        detail: format!("filter bound `{v}` unbound in `{einsum}`"),
+                    })? as i64;
+                    val + bound.offset
+                }
+                None => bound.offset,
+            };
+            let limit = match cmp {
+                CmpOp::Le => b,
+                CmpOp::Lt => b - 1,
+            };
+            hi = hi.min(limit);
+        }
+    }
+    let mut acc = op.identity();
+    let mut c = 0i64;
+    while c <= hi {
+        assignment.insert(var.clone(), c as usize);
+        let v = reduce_value(
+            einsum, reductions, depth + 1, assignment, filters, env, extents, var_extent, counts,
+        )?;
+        acc = op.combine(acc, v, counts);
+        c += 1;
+    }
+    assignment.remove(var);
+    Ok(acc)
+}
+
+/// Evaluates the expression tree at one iteration-space point.
+fn eval_expr(
+    expr: &Expr,
+    assignment: &HashMap<String, usize>,
+    env: &BTreeMap<String, Tensor<f64>>,
+    extents: &BTreeMap<String, usize>,
+    einsum: &Einsum,
+    counts: &mut OpCounts,
+) -> Result<f64, EinsumError> {
+    match expr {
+        Expr::Literal(v) => Ok(*v),
+        Expr::Tensor(tref) => {
+            let tensor = env
+                .get(&tref.name)
+                .ok_or_else(|| EinsumError::UnknownTensor { name: tref.name.clone() })?;
+            let coords = resolve_coords(&tref.indices, assignment, extents, einsum)?;
+            tensor.try_get(&coords).map_err(|e| EinsumError::Unsupported {
+                detail: format!("read of `{tref}` failed in `{einsum}`: {e}"),
+            })
+        }
+        Expr::Map { op, lhs, rhs } => {
+            let a = eval_expr(lhs, assignment, env, extents, einsum, counts)?;
+            let b = eval_expr(rhs, assignment, env, extents, einsum, counts)?;
+            Ok(op.apply(a, b, counts))
+        }
+        Expr::Unary { op, arg } => {
+            let x = eval_expr(arg, assignment, env, extents, einsum, counts)?;
+            Ok(op.apply(x, counts))
+        }
+    }
+}
+
+/// Resolves index expressions to concrete coordinates under an assignment.
+fn resolve_coords(
+    indices: &[IndexExpr],
+    assignment: &HashMap<String, usize>,
+    extents: &BTreeMap<String, usize>,
+    einsum: &Einsum,
+) -> Result<Vec<usize>, EinsumError> {
+    let lookup = |v: &str| -> Result<usize, EinsumError> {
+        assignment.get(v).copied().ok_or_else(|| EinsumError::Unsupported {
+            detail: format!("variable `{v}` unbound in `{einsum}`"),
+        })
+    };
+    indices
+        .iter()
+        .map(|idx| match idx {
+            IndexExpr::Var(v) | IndexExpr::Filtered { var: v, .. } => lookup(v),
+            IndexExpr::Shifted { var, offset } => {
+                let base = lookup(var)? as i64 + offset;
+                if base < 0 {
+                    return Err(EinsumError::Unsupported {
+                        detail: format!("negative coordinate `{var}{offset:+}` in `{einsum}`"),
+                    });
+                }
+                Ok(base as usize)
+            }
+            IndexExpr::Const(c) => Ok(*c as usize),
+            IndexExpr::Extent(r) => {
+                extents.get(r).copied().ok_or_else(|| EinsumError::UnknownRank {
+                    rank: r.clone(),
+                    context: format!("extent coordinate in `{einsum}`"),
+                })
+            }
+            IndexExpr::Split { outer, inner, inner_rank } => {
+                let o = lookup(outer)?;
+                let i = lookup(inner)?;
+                let stride = extents.get(inner_rank).copied().ok_or_else(|| {
+                    EinsumError::UnknownRank {
+                        rank: inner_rank.clone(),
+                        context: format!("split stride in `{einsum}`"),
+                    }
+                })?;
+                Ok(o * stride + i)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Cascade;
+
+    fn iota(shape: Shape) -> Tensor<f64> {
+        let mut i = -1.0;
+        Tensor::from_fn(shape, |_| {
+            i += 1.0;
+            i
+        })
+    }
+
+    #[test]
+    fn gemm_matches_manual() {
+        let c = Cascade::parse("inputs: A[k,m], B[k,n]\nZ[m,n] = A[k,m] * B[k,n]\n").unwrap();
+        let a = iota(Shape::of(&[("K", 3), ("M", 2)]));
+        let b = iota(Shape::of(&[("K", 3), ("N", 4)]));
+        let r = Evaluator::new().evaluate(&c, &[("A", a.clone()), ("B", b.clone())], &[]).unwrap();
+        let z = r.tensor("Z").unwrap();
+        for m in 0..2 {
+            for n in 0..4 {
+                let want: f64 = (0..3).map(|k| a.get(&[k, m]) * b.get(&[k, n])).sum();
+                assert_eq!(z.get(&[m, n]), want);
+            }
+        }
+        let counts = r.counts_for("Z").unwrap();
+        assert_eq!(counts.mul, 3 * 2 * 4);
+        assert_eq!(counts.add, 3 * 2 * 4);
+    }
+
+    #[test]
+    fn max_reduction() {
+        let c = Cascade::parse("inputs: QK[m,p]\nGM[p] = max[m](QK[m,p])\n").unwrap();
+        let qk = Tensor::from_vec(
+            Shape::of(&[("M", 3), ("P", 2)]),
+            vec![1.0, -8.0, 5.0, 2.0, 3.0, 0.5],
+        )
+        .unwrap();
+        let r = Evaluator::new().evaluate(&c, &[("QK", qk)], &[]).unwrap();
+        let gm = r.tensor("GM").unwrap();
+        assert_eq!(gm.data(), &[5.0, 2.0]);
+        assert_eq!(r.counts_for("GM").unwrap().max, 6);
+    }
+
+    #[test]
+    fn scalar_dot_product() {
+        let c = Cascade::parse("inputs: A[k], B[k]\nY = A[k] * B[k]\n").unwrap();
+        let a = Tensor::from_vec(Shape::of(&[("K", 3)]), vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec(Shape::of(&[("K", 3)]), vec![4.0, 5.0, 6.0]).unwrap();
+        let r = Evaluator::new().evaluate(&c, &[("A", a), ("B", b)], &[]).unwrap();
+        assert_eq!(r.tensor("Y").unwrap().item(), 32.0);
+    }
+
+    #[test]
+    fn filtered_prefix_sum_without_iteration() {
+        // S[i+1] = A[k : k <= i]  (§II-C3, the non-iterative prefix sum)
+        let c = Cascade::parse("inputs: A[k]\nS[i+1] = A[k : k <= i]\n").unwrap();
+        let a = Tensor::from_vec(Shape::of(&[("K", 4)]), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let r = Evaluator::new().evaluate(&c, &[("A", a)], &[("I", 4)]).unwrap();
+        let s = r.tensor("S").unwrap();
+        // S[0] untouched (0); S[i+1] = sum of A[0..=i].
+        assert_eq!(s.data(), &[0.0, 1.0, 3.0, 6.0, 10.0]);
+        // Quadratic work: 1+2+3+4 adds.
+        assert_eq!(r.counts_for("S").unwrap().add, 10);
+    }
+
+    #[test]
+    fn iterative_prefix_sum_is_linear_work() {
+        let c = Cascade::parse(
+            "inputs: A[i]\ninit:\n S[0] = 0\nloop i:\n S[i+1] = S[i] + A[i]\n",
+        )
+        .unwrap();
+        let a = Tensor::from_vec(Shape::of(&[("I", 4)]), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let r = Evaluator::new().evaluate(&c, &[("A", a)], &[]).unwrap();
+        assert_eq!(r.tensor("S").unwrap().data(), &[0.0, 1.0, 3.0, 6.0, 10.0]);
+        // Linear work: one add per iteration.
+        assert_eq!(r.counts_for("S").unwrap().add, 4);
+    }
+
+    #[test]
+    fn split_init_partitions_input() {
+        let c = Cascade::parse(
+            "inputs: K[e,m]\ninit:\n BK[e,m1,m0] = K[e,m1*M0+m0]\nbody:\n Z[e,m1,m0] = BK[e,m1,m0]\n",
+        )
+        .unwrap();
+        let k = iota(Shape::of(&[("E", 2), ("M", 6)]));
+        let r = Evaluator::new().evaluate(&c, &[("K", k.clone())], &[("M0", 3)]).unwrap();
+        assert_eq!(r.extent("M1"), Some(2));
+        let bk = r.tensor("BK").unwrap();
+        for e in 0..2 {
+            for m1 in 0..2 {
+                for m0 in 0..3 {
+                    assert_eq!(bk.get(&[e, m1, m0]), k.get(&[e, m1 * 3 + m0]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_extent_mismatch_is_error() {
+        let c = Cascade::parse(
+            "inputs: K[e,m]\ninit:\n BK[e,m1,m0] = K[e,m1*M0+m0]\n",
+        )
+        .unwrap();
+        let k = iota(Shape::of(&[("E", 2), ("M", 7)]));
+        let err = Evaluator::new().evaluate(&c, &[("K", k)], &[("M0", 3)]).unwrap_err();
+        assert!(matches!(err, EinsumError::ExtentMismatch { .. }));
+    }
+
+    #[test]
+    fn missing_input_is_error() {
+        let c = Cascade::parse("inputs: A[k]\nY = A[k]\n").unwrap();
+        let err = Evaluator::new().evaluate(&c, &[], &[]).unwrap_err();
+        assert!(matches!(err, EinsumError::UnknownTensor { .. }));
+    }
+
+    #[test]
+    fn unknown_rank_is_error() {
+        // Output var `j` has no extent anywhere.
+        let c = Cascade::parse("inputs: A[k]\nZ[j] = A[k]\n").unwrap();
+        let err = Evaluator::new().evaluate(&c, &[(
+            "A",
+            Tensor::from_vec(Shape::of(&[("K", 2)]), vec![1.0, 2.0]).unwrap(),
+        )], &[]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        let c = Cascade::parse("inputs: A[k]\nY = A[k]\n").unwrap();
+        let a = iota(Shape::of(&[("K", 2), ("X", 2)]));
+        let err = Evaluator::new().evaluate(&c, &[("A", a)], &[]).unwrap_err();
+        assert!(matches!(err, EinsumError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn literal_initialization_with_neg_inf() {
+        let c = Cascade::parse(
+            "inputs: X[p]\ninit:\n RM[0,p] = -inf\nbody:\n Z[p] = RM[0,p] + X[p]\n",
+        )
+        .unwrap();
+        let x = Tensor::from_vec(Shape::of(&[("P", 2)]), vec![1.0, 2.0]).unwrap();
+        let r = Evaluator::new().evaluate(&c, &[("X", x)], &[("M1", 1)]).unwrap();
+        assert!(r.tensor("Z").unwrap().data().iter().all(|v| *v == f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn division_by_zero_is_culled_to_zero() {
+        let c = Cascade::parse("inputs: A[m], B[m]\nZ[m] = A[m] / B[m]\n").unwrap();
+        let a = Tensor::from_vec(Shape::of(&[("M", 2)]), vec![3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec(Shape::of(&[("M", 2)]), vec![0.0, 2.0]).unwrap();
+        let r = Evaluator::new().evaluate(&c, &[("A", a), ("B", b)], &[]).unwrap();
+        assert_eq!(r.tensor("Z").unwrap().data(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn total_counts_accumulate() {
+        let c = Cascade::parse(
+            "inputs: A[k], B[k]\nY = A[k] * B[k]\nX = A[k]\nZ = Y * X\n",
+        )
+        .unwrap();
+        let a = Tensor::from_vec(Shape::of(&[("K", 4)]), vec![1.0; 4]).unwrap();
+        let b = Tensor::from_vec(Shape::of(&[("K", 4)]), vec![2.0; 4]).unwrap();
+        let r = Evaluator::new().evaluate(&c, &[("A", a), ("B", b)], &[]).unwrap();
+        // Cascade 2 of the paper: Z = Y × X with a single multiply.
+        assert_eq!(r.tensor("Z").unwrap().item(), 8.0 * 4.0);
+        assert_eq!(r.counts_for("Z").unwrap().mul, 1);
+        let totals = r.total_counts();
+        assert_eq!(totals.mul, 4 + 1);
+        assert_eq!(totals.add, 4 + 4);
+    }
+}

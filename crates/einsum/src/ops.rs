@@ -1,0 +1,349 @@
+//! Compute operators (map, reduce, unary) and operation counting.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Binary map-action compute operators (§II-C1).
+///
+/// Each corresponds to an EDGE map action `⋀ op(merge)`; the merge operator
+/// relevant to dense evaluation is only observable for [`MapOp::Div`], whose
+/// `←` merge touches only points with a non-zero divisor (divide-by-zero
+/// points are culled and contribute the output's initial value, i.e. zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MapOp {
+    /// Multiplication with intersection merge: `×(∩)`.
+    Mul,
+    /// Addition with union merge: `+(∪)`.
+    Add,
+    /// Subtraction (pass-through merge).
+    Sub,
+    /// Division with the `←` merge: culls points where the divisor is zero.
+    Div,
+    /// Binary maximum with union merge: `max(∪)`.
+    Max,
+    /// Binary minimum with union merge.
+    Min,
+    /// The paper's fused `sub-then-exp(1)` operator: `e^(a-b)` (Einsum 30).
+    SubThenExp,
+}
+
+impl MapOp {
+    /// Applies the operator to two scalars, counting work in `counts`.
+    pub fn apply(self, a: f64, b: f64, counts: &mut OpCounts) -> f64 {
+        match self {
+            MapOp::Mul => {
+                counts.mul += 1;
+                a * b
+            }
+            MapOp::Add => {
+                counts.add += 1;
+                a + b
+            }
+            MapOp::Sub => {
+                counts.sub += 1;
+                a - b
+            }
+            MapOp::Div => {
+                counts.div += 1;
+                // `←` merge: points with a zero divisor are culled, leaving
+                // the populate default (0). This is load-bearing for
+                // Cascade 3, whose first iteration divides by RY[0] = 0.
+                if b == 0.0 {
+                    0.0
+                } else {
+                    a / b
+                }
+            }
+            MapOp::Max => {
+                counts.max += 1;
+                a.max(b)
+            }
+            MapOp::Min => {
+                counts.min += 1;
+                a.min(b)
+            }
+            MapOp::SubThenExp => {
+                counts.sub += 1;
+                counts.exp += 1;
+                (a - b).exp()
+            }
+        }
+    }
+}
+
+impl fmt::Display for MapOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MapOp::Mul => "*",
+            MapOp::Add => "+",
+            MapOp::Sub => "-",
+            MapOp::Div => "/",
+            MapOp::Max => "max",
+            MapOp::Min => "min",
+            MapOp::SubThenExp => "sub-then-exp",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Reduce-action compute operators (§II-C1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Sum reduction `⋁ +(∪)` — the shorthand default.
+    Add,
+    /// Maximum reduction `⋁ max(∪)` (Einsum 29).
+    Max,
+    /// Minimum reduction.
+    Min,
+}
+
+impl ReduceOp {
+    /// The reduction identity (0 for `+`, −∞ for `max`, +∞ for `min`).
+    pub fn identity(self) -> f64 {
+        match self {
+            ReduceOp::Add => 0.0,
+            ReduceOp::Max => f64::NEG_INFINITY,
+            ReduceOp::Min => f64::INFINITY,
+        }
+    }
+
+    /// Folds `value` into `acc`, counting work in `counts`.
+    pub fn combine(self, acc: f64, value: f64, counts: &mut OpCounts) -> f64 {
+        match self {
+            ReduceOp::Add => {
+                counts.add += 1;
+                acc + value
+            }
+            ReduceOp::Max => {
+                counts.max += 1;
+                acc.max(value)
+            }
+            ReduceOp::Min => {
+                counts.min += 1;
+                acc.min(value)
+            }
+        }
+    }
+}
+
+impl fmt::Display for ReduceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReduceOp::Add => "+",
+            ReduceOp::Max => "max",
+            ReduceOp::Min => "min",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary user-defined operators on tensors (§II-C1, e.g. `σ(A_m)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Natural exponential `e^x` (Einsum 26).
+    Exp,
+    /// Negation `-x`.
+    Neg,
+    /// Reciprocal `1/x` (counted as a division).
+    Recip,
+}
+
+impl UnaryOp {
+    /// Applies the operator, counting work in `counts`.
+    pub fn apply(self, x: f64, counts: &mut OpCounts) -> f64 {
+        match self {
+            UnaryOp::Exp => {
+                counts.exp += 1;
+                x.exp()
+            }
+            UnaryOp::Neg => {
+                counts.sub += 1;
+                -x
+            }
+            UnaryOp::Recip => {
+                counts.div += 1;
+                if x == 0.0 {
+                    0.0
+                } else {
+                    1.0 / x
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for UnaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnaryOp::Exp => "exp",
+            UnaryOp::Neg => "-",
+            UnaryOp::Recip => "recip",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Scalar-operation counts by kind, measured by the evaluator.
+///
+/// Counts are *logical* operations: one `exp` is one exponential (the
+/// hardware cost of an exponential — e.g. the paper's 6 chained MACCs — is a
+/// modeling decision applied later by `fusemax-model`). Reductions count one
+/// combine per element folded (starting from the identity), so a length-K
+/// sum contributes K `add`s.
+///
+/// # Example
+///
+/// ```
+/// use fusemax_einsum::OpCounts;
+///
+/// let a = OpCounts { mul: 2, ..OpCounts::default() };
+/// let b = OpCounts { mul: 3, div: 1, ..OpCounts::default() };
+/// let c = a + b;
+/// assert_eq!(c.mul, 5);
+/// assert_eq!(c.total(), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct OpCounts {
+    /// Multiplications.
+    pub mul: u64,
+    /// Additions.
+    pub add: u64,
+    /// Subtractions.
+    pub sub: u64,
+    /// Divisions.
+    pub div: u64,
+    /// Binary maxima.
+    pub max: u64,
+    /// Binary minima.
+    pub min: u64,
+    /// Exponentials.
+    pub exp: u64,
+}
+
+impl OpCounts {
+    /// Total scalar operations of all kinds.
+    pub fn total(&self) -> u64 {
+        self.mul + self.add + self.sub + self.div + self.max + self.min + self.exp
+    }
+
+    /// Multiply–accumulate-class operations (`mul + add + sub`).
+    pub fn macc_class(&self) -> u64 {
+        self.mul + self.add + self.sub
+    }
+
+    /// `true` when no operations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+}
+
+impl Add for OpCounts {
+    type Output = OpCounts;
+
+    fn add(self, rhs: OpCounts) -> OpCounts {
+        OpCounts {
+            mul: self.mul + rhs.mul,
+            add: self.add + rhs.add,
+            sub: self.sub + rhs.sub,
+            div: self.div + rhs.div,
+            max: self.max + rhs.max,
+            min: self.min + rhs.min,
+            exp: self.exp + rhs.exp,
+        }
+    }
+}
+
+impl AddAssign for OpCounts {
+    fn add_assign(&mut self, rhs: OpCounts) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for OpCounts {
+    fn sum<I: Iterator<Item = OpCounts>>(iter: I) -> OpCounts {
+        iter.fold(OpCounts::default(), |a, b| a + b)
+    }
+}
+
+impl fmt::Display for OpCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mul={} add={} sub={} div={} max={} min={} exp={}",
+            self.mul, self.add, self.sub, self.div, self.max, self.min, self.exp
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_ops_compute_and_count() {
+        let mut c = OpCounts::default();
+        assert_eq!(MapOp::Mul.apply(3.0, 4.0, &mut c), 12.0);
+        assert_eq!(MapOp::Add.apply(3.0, 4.0, &mut c), 7.0);
+        assert_eq!(MapOp::Sub.apply(3.0, 4.0, &mut c), -1.0);
+        assert_eq!(MapOp::Div.apply(8.0, 4.0, &mut c), 2.0);
+        assert_eq!(MapOp::Max.apply(3.0, 4.0, &mut c), 4.0);
+        assert_eq!(MapOp::Min.apply(3.0, 4.0, &mut c), 3.0);
+        let e = MapOp::SubThenExp.apply(1.0, 1.0, &mut c);
+        assert!((e - 1.0).abs() < 1e-15);
+        assert_eq!(c.mul, 1);
+        assert_eq!(c.add, 1);
+        assert_eq!(c.sub, 2); // Sub + SubThenExp
+        assert_eq!(c.div, 1);
+        assert_eq!(c.max, 1);
+        assert_eq!(c.min, 1);
+        assert_eq!(c.exp, 1);
+    }
+
+    #[test]
+    fn divide_by_zero_is_culled() {
+        let mut c = OpCounts::default();
+        assert_eq!(MapOp::Div.apply(5.0, 0.0, &mut c), 0.0);
+        assert_eq!(UnaryOp::Recip.apply(0.0, &mut c), 0.0);
+    }
+
+    #[test]
+    fn reduce_identities() {
+        assert_eq!(ReduceOp::Add.identity(), 0.0);
+        assert_eq!(ReduceOp::Max.identity(), f64::NEG_INFINITY);
+        assert_eq!(ReduceOp::Min.identity(), f64::INFINITY);
+    }
+
+    #[test]
+    fn reduce_combines() {
+        let mut c = OpCounts::default();
+        let s = [1.0, 5.0, 2.0]
+            .iter()
+            .fold(ReduceOp::Max.identity(), |a, &x| ReduceOp::Max.combine(a, x, &mut c));
+        assert_eq!(s, 5.0);
+        assert_eq!(c.max, 3);
+    }
+
+    #[test]
+    fn counts_arithmetic() {
+        let a = OpCounts { mul: 1, add: 2, ..Default::default() };
+        let b = OpCounts { mul: 10, exp: 1, ..Default::default() };
+        let mut s = a;
+        s += b;
+        assert_eq!(s.mul, 11);
+        assert_eq!(s.total(), 14);
+        assert_eq!(s.macc_class(), 13);
+        let total: OpCounts = [a, b].into_iter().sum();
+        assert_eq!(total, s);
+        assert!(!s.is_empty());
+        assert!(OpCounts::default().is_empty());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!OpCounts::default().to_string().is_empty());
+        assert_eq!(MapOp::Mul.to_string(), "*");
+        assert_eq!(ReduceOp::Max.to_string(), "max");
+        assert_eq!(UnaryOp::Exp.to_string(), "exp");
+    }
+}

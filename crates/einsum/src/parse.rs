@@ -1,0 +1,632 @@
+//! A small recursive-descent parser for the cascade text format.
+//!
+//! The syntax mirrors the paper's shorthand (§II-C2): infix map actions,
+//! inferred `+` reductions, explicit `max[m](...)` reductions, `exp(a - b)`
+//! for `sub-then-exp`, affine splits `m1*M0+m0`, shifted indices `m1+1`,
+//! extent coordinates `M1`, and filtered ranks `k : k <= i`.
+
+use crate::ast::{Bound, Cascade, CmpOp, Einsum, Expr, IndexExpr, TensorRef};
+use crate::error::ParseError;
+use crate::ops::{MapOp, ReduceOp, UnaryOp};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Symbol(char),
+    Le, // <=
+}
+
+fn tokenize(text: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            tokens.push(Token::Ident(chars[start..i].iter().collect()));
+        } else if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                if chars[i] == '.' {
+                    is_float = true;
+                }
+                i += 1;
+            }
+            // Scientific notation: 1e-3.
+            if i < chars.len() && (chars[i] == 'e' || chars[i] == 'E') {
+                let mut j = i + 1;
+                if j < chars.len() && (chars[j] == '+' || chars[j] == '-') {
+                    j += 1;
+                }
+                if j < chars.len() && chars[j].is_ascii_digit() {
+                    is_float = true;
+                    i = j;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            let s: String = chars[start..i].iter().collect();
+            if is_float {
+                let v = s
+                    .parse::<f64>()
+                    .map_err(|_| ParseError::new(text, format!("bad float literal `{s}`")))?;
+                tokens.push(Token::Float(v));
+            } else {
+                let v = s
+                    .parse::<i64>()
+                    .map_err(|_| ParseError::new(text, format!("bad integer literal `{s}`")))?;
+                tokens.push(Token::Int(v));
+            }
+        } else if c == '<' && i + 1 < chars.len() && chars[i + 1] == '=' {
+            tokens.push(Token::Le);
+            i += 2;
+        } else if "[](),=+-*/:<".contains(c) {
+            tokens.push(Token::Symbol(c));
+            i += 1;
+        } else {
+            return Err(ParseError::new(text, format!("unexpected character `{c}`")));
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    line: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(line: &'a str) -> Result<Self, ParseError> {
+        Ok(Self { tokens: tokenize(line)?, pos: 0, line })
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, message)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + off)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_symbol(&mut self, c: char) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Symbol(s)) if s == c => Ok(()),
+            other => Err(self.err(format!("expected `{c}`, found {other:?}"))),
+        }
+    }
+
+    fn eat_symbol(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(s)) if *s == c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    // ---- index expressions -------------------------------------------------
+
+    fn parse_index_expr(&mut self) -> Result<IndexExpr, ParseError> {
+        match self.next() {
+            Some(Token::Int(c)) => Ok(IndexExpr::Const(c)),
+            Some(Token::Ident(name)) => {
+                let lowercase = name.chars().next().is_some_and(|c| c.is_lowercase());
+                if !lowercase {
+                    // Uppercase ident in index position: extent coordinate.
+                    return Ok(IndexExpr::Extent(name));
+                }
+                // var [: filter] | var + int | var - int | var * RANK + var
+                match self.peek() {
+                    Some(Token::Symbol(':')) => {
+                        self.next();
+                        let v2 = self.expect_ident()?;
+                        if v2 != name {
+                            return Err(self.err(format!(
+                                "filter must constrain the same variable (`{name}` vs `{v2}`)"
+                            )));
+                        }
+                        let cmp = match self.next() {
+                            Some(Token::Le) => CmpOp::Le,
+                            Some(Token::Symbol('<')) => CmpOp::Lt,
+                            other => {
+                                return Err(self.err(format!(
+                                    "expected `<=` or `<` in filter, found {other:?}"
+                                )))
+                            }
+                        };
+                        let bound = self.parse_bound()?;
+                        Ok(IndexExpr::Filtered { var: name, cmp, bound })
+                    }
+                    Some(Token::Symbol('+')) => {
+                        self.next();
+                        match self.next() {
+                            Some(Token::Int(o)) => Ok(IndexExpr::Shifted { var: name, offset: o }),
+                            other => {
+                                Err(self.err(format!("expected integer offset, found {other:?}")))
+                            }
+                        }
+                    }
+                    Some(Token::Symbol('-')) => {
+                        self.next();
+                        match self.next() {
+                            Some(Token::Int(o)) => Ok(IndexExpr::Shifted { var: name, offset: -o }),
+                            other => {
+                                Err(self.err(format!("expected integer offset, found {other:?}")))
+                            }
+                        }
+                    }
+                    Some(Token::Symbol('*')) => {
+                        self.next();
+                        let inner_rank = self.expect_ident()?;
+                        self.expect_symbol('+')?;
+                        let inner = self.expect_ident()?;
+                        Ok(IndexExpr::Split { outer: name, inner, inner_rank })
+                    }
+                    _ => Ok(IndexExpr::Var(name)),
+                }
+            }
+            other => Err(self.err(format!("expected index expression, found {other:?}"))),
+        }
+    }
+
+    fn parse_bound(&mut self) -> Result<Bound, ParseError> {
+        match self.next() {
+            Some(Token::Int(c)) => Ok(Bound { var: None, offset: c }),
+            Some(Token::Ident(v)) => {
+                let mut offset = 0;
+                if self.eat_symbol('+') {
+                    match self.next() {
+                        Some(Token::Int(o)) => offset = o,
+                        other => {
+                            return Err(self.err(format!("expected offset, found {other:?}")))
+                        }
+                    }
+                } else if self.eat_symbol('-') {
+                    match self.next() {
+                        Some(Token::Int(o)) => offset = -o,
+                        other => {
+                            return Err(self.err(format!("expected offset, found {other:?}")))
+                        }
+                    }
+                }
+                Ok(Bound { var: Some(v), offset })
+            }
+            other => Err(self.err(format!("expected bound, found {other:?}"))),
+        }
+    }
+
+    fn parse_tensor_ref_inner(&mut self, name: String) -> Result<TensorRef, ParseError> {
+        let mut indices = Vec::new();
+        if self.eat_symbol('[') {
+            loop {
+                indices.push(self.parse_index_expr()?);
+                if self.eat_symbol(']') {
+                    break;
+                }
+                self.expect_symbol(',')?;
+            }
+        }
+        Ok(TensorRef { name, indices })
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            if self.eat_symbol('+') {
+                let rhs = self.parse_term()?;
+                lhs = Expr::Map { op: MapOp::Add, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            } else if matches!(self.peek(), Some(Token::Symbol('-'))) {
+                self.next();
+                let rhs = self.parse_term()?;
+                lhs = Expr::Map { op: MapOp::Sub, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            if self.eat_symbol('*') {
+                let rhs = self.parse_unary()?;
+                lhs = Expr::Map { op: MapOp::Mul, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            } else if self.eat_symbol('/') {
+                let rhs = self.parse_unary()?;
+                lhs = Expr::Map { op: MapOp::Div, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_symbol('-') {
+            // `-inf` literal or negation.
+            if matches!(self.peek(), Some(Token::Ident(s)) if s == "inf") {
+                self.next();
+                return Ok(Expr::Literal(f64::NEG_INFINITY));
+            }
+            let arg = self.parse_unary()?;
+            return Ok(Expr::Unary { op: UnaryOp::Neg, arg: Box::new(arg) });
+        }
+        self.parse_atom()
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Expr::Literal(v as f64)),
+            Some(Token::Float(v)) => Ok(Expr::Literal(v)),
+            Some(Token::Symbol('(')) => {
+                let e = self.parse_expr()?;
+                self.expect_symbol(')')?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => match name.as_str() {
+                "inf" => Ok(Expr::Literal(f64::INFINITY)),
+                "exp" if matches!(self.peek(), Some(Token::Symbol('('))) => {
+                    self.expect_symbol('(')?;
+                    let inner = self.parse_expr()?;
+                    self.expect_symbol(')')?;
+                    // Canonicalize exp(a - b) to the paper's sub-then-exp.
+                    if let Expr::Map { op: MapOp::Sub, lhs, rhs } = inner {
+                        Ok(Expr::Map { op: MapOp::SubThenExp, lhs, rhs })
+                    } else {
+                        Ok(Expr::Unary { op: UnaryOp::Exp, arg: Box::new(inner) })
+                    }
+                }
+                "recip" if matches!(self.peek(), Some(Token::Symbol('('))) => {
+                    self.expect_symbol('(')?;
+                    let inner = self.parse_expr()?;
+                    self.expect_symbol(')')?;
+                    Ok(Expr::Unary { op: UnaryOp::Recip, arg: Box::new(inner) })
+                }
+                "max" | "min" if matches!(self.peek(), Some(Token::Symbol('('))) => {
+                    let op = if name == "max" { MapOp::Max } else { MapOp::Min };
+                    self.expect_symbol('(')?;
+                    let lhs = self.parse_expr()?;
+                    self.expect_symbol(',')?;
+                    let rhs = self.parse_expr()?;
+                    self.expect_symbol(')')?;
+                    Ok(Expr::Map { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+                }
+                _ => Ok(Expr::Tensor(self.parse_tensor_ref_inner(name)?)),
+            },
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    // ---- einsums -----------------------------------------------------------
+
+    fn parse_einsum(&mut self) -> Result<Einsum, ParseError> {
+        let name = self.expect_ident()?;
+        let output = self.parse_tensor_ref_inner(name)?;
+        self.expect_symbol('=')?;
+
+        // Optional explicit reduction wrapper: `max[m](...)`, `sum[k](...)`.
+        if let (Some(Token::Ident(f)), Some(Token::Symbol('['))) = (self.peek(), self.peek_at(1)) {
+            let op = match f.as_str() {
+                "max" => Some(ReduceOp::Max),
+                "min" => Some(ReduceOp::Min),
+                "sum" => Some(ReduceOp::Add),
+                _ => None,
+            };
+            if let Some(op) = op {
+                let mut reductions: Vec<(String, ReduceOp)> = Vec::new();
+                self.next(); // function name
+                self.next(); // '['
+                loop {
+                    let v = self.expect_ident()?;
+                    reductions.push((v, op));
+                    if self.eat_symbol(']') {
+                        break;
+                    }
+                    self.expect_symbol(',')?;
+                }
+                self.expect_symbol('(')?;
+                let expr = self.parse_expr()?;
+                self.expect_symbol(')')?;
+                if !self.at_end() {
+                    return Err(self.err("trailing tokens after reduction expression"));
+                }
+                return Ok(Einsum { output, expr, reductions });
+            }
+        }
+
+        let expr = self.parse_expr()?;
+        let reductions: Vec<(String, ReduceOp)> = Vec::new();
+        if !self.at_end() {
+            return Err(self.err("trailing tokens after expression"));
+        }
+        Ok(Einsum { output, expr, reductions })
+    }
+}
+
+/// Parses one Einsum line.
+pub(crate) fn parse_einsum(line: &str) -> Result<Einsum, ParseError> {
+    Parser::new(line)?.parse_einsum()
+}
+
+/// Parses a tensor reference such as `Q[e,p]`.
+pub(crate) fn parse_tensor_ref(text: &str) -> Result<TensorRef, ParseError> {
+    let mut p = Parser::new(text)?;
+    let name = p.expect_ident()?;
+    let t = p.parse_tensor_ref_inner(name)?;
+    if !p.at_end() {
+        return Err(p.err("trailing tokens after tensor reference"));
+    }
+    Ok(t)
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Section {
+    Init,
+    Body,
+    Finale,
+}
+
+/// Parses the cascade text format (see [`Cascade::parse`]).
+pub(crate) fn parse_cascade(text: &str) -> Result<Cascade, ParseError> {
+    let mut cascade = Cascade {
+        name: "cascade".to_string(),
+        inputs: Vec::new(),
+        inits: Vec::new(),
+        body: Vec::new(),
+        loop_var: None,
+        finale: Vec::new(),
+    };
+    let mut section = Section::Body;
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("name:") {
+            cascade.name = rest.trim().to_string();
+            if cascade.name.is_empty() {
+                return Err(ParseError::new(line, "empty cascade name"));
+            }
+        } else if let Some(rest) = line.strip_prefix("inputs:") {
+            cascade.inputs = parse_input_list(rest)?;
+        } else if line == "init:" {
+            section = Section::Init;
+        } else if line == "body:" {
+            section = Section::Body;
+        } else if line == "finally:" {
+            section = Section::Finale;
+        } else if let Some(rest) = line.strip_prefix("loop") {
+            let var = rest.trim_end_matches(':').trim();
+            if var.is_empty() || !var.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(ParseError::new(line, "expected `loop <var>:`"));
+            }
+            cascade.loop_var = Some(var.to_string());
+            section = Section::Body;
+        } else {
+            let einsum = parse_einsum(line)?;
+            match section {
+                Section::Init => cascade.inits.push(einsum),
+                Section::Body => cascade.body.push(einsum),
+                Section::Finale => cascade.finale.push(einsum),
+            }
+        }
+    }
+    Ok(cascade)
+}
+
+fn parse_input_list(text: &str) -> Result<Vec<TensorRef>, ParseError> {
+    let mut p = Parser::new(text)?;
+    let mut out = Vec::new();
+    while !p.at_end() {
+        let name = p.expect_ident()?;
+        out.push(p.parse_tensor_ref_inner(name)?);
+        if !p.at_end() {
+            p.expect_symbol(',')?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::IndexExpr;
+
+    #[test]
+    fn tokenizes_all_symbol_kinds() {
+        let toks = tokenize("Z[m1+1] = max(A[k], 1.5e-3) / 2 : k <= i").unwrap();
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Float(1.5e-3)));
+        assert!(toks.contains(&Token::Int(2)));
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(tokenize("Z = A @ B").is_err());
+    }
+
+    #[test]
+    fn parses_gemm() {
+        let e = parse_einsum("Z[m,n] = A[k,m] * B[k,n]").unwrap();
+        assert_eq!(e.output.name, "Z");
+        assert_eq!(e.output.indices.len(), 2);
+        assert_eq!(e.inputs().len(), 2);
+        assert!(e.reductions.is_empty());
+    }
+
+    #[test]
+    fn parses_max_reduction() {
+        let e = parse_einsum("GM[p] = max[m](QK[m,p])").unwrap();
+        assert_eq!(e.reductions, vec![("m".to_string(), ReduceOp::Max)]);
+    }
+
+    #[test]
+    fn parses_sub_then_exp() {
+        let e = parse_einsum("SN[m,p] = exp(QK[m,p] - GM[p])").unwrap();
+        assert!(matches!(e.expr, Expr::Map { op: MapOp::SubThenExp, .. }));
+    }
+
+    #[test]
+    fn parses_plain_exp() {
+        let e = parse_einsum("SN[m,p] = exp(QK[m,p])").unwrap();
+        assert!(matches!(e.expr, Expr::Unary { op: UnaryOp::Exp, .. }));
+    }
+
+    #[test]
+    fn parses_binary_max_map() {
+        let e = parse_einsum("RM[m1+1,p] = max(RM[m1,p], LM[m1,p])").unwrap();
+        assert!(matches!(e.expr, Expr::Map { op: MapOp::Max, .. }));
+        assert_eq!(e.output.indices[0], IndexExpr::Shifted { var: "m1".into(), offset: 1 });
+    }
+
+    #[test]
+    fn parses_split_index() {
+        let e = parse_einsum("BK[e,m1,m0] = K[e,m1*M0+m0]").unwrap();
+        let k = &e.inputs()[0];
+        assert_eq!(
+            k.indices[1],
+            IndexExpr::Split { outer: "m1".into(), inner: "m0".into(), inner_rank: "M0".into() }
+        );
+    }
+
+    #[test]
+    fn parses_extent_and_const_indices() {
+        let e = parse_einsum("AV[f,p] = RNV[f,M1,p] / RD[M1,p]").unwrap();
+        let rnv = &e.inputs()[0];
+        assert_eq!(rnv.indices[1], IndexExpr::Extent("M1".into()));
+
+        let e = parse_einsum("RM[0,p] = -inf").unwrap();
+        assert_eq!(e.output.indices[0], IndexExpr::Const(0));
+        assert_eq!(e.expr, Expr::Literal(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn parses_filtered_index() {
+        let e = parse_einsum("S[i+1] = A[k : k <= i]").unwrap();
+        match &e.inputs()[0].indices[0] {
+            IndexExpr::Filtered { var, cmp, bound } => {
+                assert_eq!(var, "k");
+                assert_eq!(*cmp, CmpOp::Le);
+                assert_eq!(bound.var.as_deref(), Some("i"));
+                assert_eq!(bound.offset, 0);
+            }
+            other => panic!("expected filter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_filtered_index_with_offset_bound() {
+        let e = parse_einsum("S[i] = A[k : k <= i - 1]").unwrap();
+        match &e.inputs()[0].indices[0] {
+            IndexExpr::Filtered { bound, .. } => assert_eq!(bound.offset, -1),
+            other => panic!("expected filter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_variable_mismatch_is_error() {
+        assert!(parse_einsum("S[i] = A[k : j <= i]").is_err());
+    }
+
+    #[test]
+    fn precedence_mul_before_add() {
+        let e = parse_einsum("Z = A * B + C * D").unwrap();
+        match &e.expr {
+            Expr::Map { op: MapOp::Add, lhs, rhs } => {
+                assert!(matches!(**lhs, Expr::Map { op: MapOp::Mul, .. }));
+                assert!(matches!(**rhs, Expr::Map { op: MapOp::Mul, .. }));
+            }
+            other => panic!("bad tree {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_associative_division() {
+        // RZ[i] * RY[i+1] / RY[i] must parse as (RZ * RY) / RY.
+        let e = parse_einsum("Z = A * B / C").unwrap();
+        match &e.expr {
+            Expr::Map { op: MapOp::Div, lhs, .. } => {
+                assert!(matches!(**lhs, Expr::Map { op: MapOp::Mul, .. }));
+            }
+            other => panic!("bad tree {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_tokens_are_rejected(){
+        assert!(parse_einsum("Z = A B").is_err());
+        assert!(parse_einsum("Z = A[k] extra").is_err());
+    }
+
+    #[test]
+    fn parses_full_cascade_sections() {
+        let c = parse_cascade(
+            "# a comment\n\
+             name: one_pass\n\
+             inputs: Q[e,p], K[e,m], V[f,m]\n\
+             init:\n\
+             RM[0,p] = -inf\n\
+             loop m1:\n\
+             BQK[m1,m0,p] = Q[e,p] * BK[e,m1,m0]\n\
+             finally:\n\
+             AV[f,p] = RNV[f,M1,p] / RD[M1,p]\n",
+        )
+        .unwrap();
+        assert_eq!(c.name, "one_pass");
+        assert_eq!(c.inputs.len(), 3);
+        assert_eq!(c.inits.len(), 1);
+        assert_eq!(c.body.len(), 1);
+        assert_eq!(c.finale.len(), 1);
+        assert_eq!(c.loop_var.as_deref(), Some("m1"));
+    }
+
+    #[test]
+    fn cascade_errors_carry_the_line() {
+        let err = parse_cascade("name: x\nZ[m] = \n").unwrap_err();
+        assert!(err.to_string().contains("Z[m]"));
+        assert!(parse_cascade("loop :\n").is_err());
+        assert!(parse_cascade("name:\n").is_err());
+    }
+
+    #[test]
+    fn input_list_handles_brackets_with_commas() {
+        let c = parse_cascade("inputs: A[k,m], B[k,n]\nZ[m,n] = A[k,m] * B[k,n]\n").unwrap();
+        assert_eq!(c.inputs.len(), 2);
+        assert_eq!(c.inputs[0].indices.len(), 2);
+    }
+}

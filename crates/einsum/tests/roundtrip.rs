@@ -1,0 +1,153 @@
+//! Property tests: randomly generated Einsum ASTs survive a
+//! `Display → parse` round trip, so the text format is a faithful
+//! serialization of the IR.
+
+use fusemax_einsum::{Bound, CmpOp, Einsum, Expr, IndexExpr, MapOp, ReduceOp, TensorRef, UnaryOp};
+use proptest::prelude::*;
+
+fn var_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("m".to_string()),
+        Just("p".to_string()),
+        Just("e".to_string()),
+        Just("k".to_string()),
+        Just("m1".to_string()),
+        Just("m0".to_string()),
+    ]
+}
+
+fn tensor_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("A".to_string()),
+        Just("QK".to_string()),
+        Just("SN".to_string()),
+        Just("RM".to_string()),
+        Just("V".to_string()),
+    ]
+}
+
+fn index_expr() -> impl Strategy<Value = IndexExpr> {
+    prop_oneof![
+        var_name().prop_map(IndexExpr::Var),
+        (var_name(), 1i64..3).prop_map(|(var, offset)| IndexExpr::Shifted { var, offset }),
+        (0i64..4).prop_map(IndexExpr::Const),
+        Just(IndexExpr::Extent("M1".to_string())),
+        Just(IndexExpr::Split {
+            outer: "m1".to_string(),
+            inner: "m0".to_string(),
+            inner_rank: "M0".to_string(),
+        }),
+        (var_name(), prop_oneof![Just(CmpOp::Le), Just(CmpOp::Lt)], -2i64..3).prop_map(
+            |(var, cmp, offset)| IndexExpr::Filtered {
+                var,
+                cmp,
+                bound: Bound { var: Some("i".to_string()), offset },
+            }
+        ),
+    ]
+}
+
+fn tensor_ref() -> impl Strategy<Value = TensorRef> {
+    (tensor_name(), prop::collection::vec(index_expr(), 0..3))
+        .prop_map(|(name, indices)| TensorRef { name, indices })
+}
+
+fn leaf_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        tensor_ref().prop_map(Expr::Tensor),
+        (0u32..100).prop_map(|v| Expr::Literal(v as f64)),
+        Just(Expr::Literal(f64::NEG_INFINITY)),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    leaf_expr().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(MapOp::Mul),
+                    Just(MapOp::Add),
+                    Just(MapOp::Sub),
+                    Just(MapOp::Div),
+                    Just(MapOp::Max),
+                    Just(MapOp::Min),
+                    Just(MapOp::SubThenExp),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, lhs, rhs)| Expr::Map {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs)
+                }),
+            (prop_oneof![Just(UnaryOp::Exp), Just(UnaryOp::Neg), Just(UnaryOp::Recip)], inner)
+                .prop_map(|(op, arg)| Expr::Unary { op, arg: Box::new(arg) }),
+        ]
+    })
+}
+
+/// The parser canonicalizes `exp(a - b)` to the fused sub-then-exp map, so
+/// compare ASTs after applying the same canonicalization.
+fn canonicalize(e: &Expr) -> Expr {
+    match e {
+        Expr::Tensor(t) => Expr::Tensor(t.clone()),
+        Expr::Literal(v) => Expr::Literal(*v),
+        Expr::Map { op, lhs, rhs } => Expr::Map {
+            op: *op,
+            lhs: Box::new(canonicalize(lhs)),
+            rhs: Box::new(canonicalize(rhs)),
+        },
+        Expr::Unary { op: UnaryOp::Exp, arg } => {
+            let arg = canonicalize(arg);
+            if let Expr::Map { op: MapOp::Sub, lhs, rhs } = arg {
+                Expr::Map { op: MapOp::SubThenExp, lhs, rhs }
+            } else {
+                Expr::Unary { op: UnaryOp::Exp, arg: Box::new(arg) }
+            }
+        }
+        Expr::Unary { op, arg } => Expr::Unary { op: *op, arg: Box::new(canonicalize(arg)) },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn einsum_display_round_trips(output in tensor_ref(), rhs in expr()) {
+        let einsum = Einsum { output, expr: rhs, reductions: vec![] };
+        let text = einsum.to_string();
+        let reparsed = Einsum::parse(&text)
+            .unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
+        prop_assert_eq!(reparsed.output, einsum.output.clone());
+        prop_assert_eq!(reparsed.expr, canonicalize(&einsum.expr));
+    }
+
+    #[test]
+    fn explicit_reduction_round_trips(
+        output in tensor_ref(),
+        operand in tensor_ref(),
+        var in var_name(),
+        op in prop_oneof![Just(ReduceOp::Max), Just(ReduceOp::Min)],
+    ) {
+        let einsum = Einsum {
+            output,
+            expr: Expr::Tensor(operand),
+            reductions: vec![(var, op)],
+        };
+        let text = einsum.to_string();
+        let reparsed = Einsum::parse(&text)
+            .unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
+        prop_assert_eq!(&reparsed.reductions, &einsum.reductions);
+        prop_assert_eq!(reparsed.output, einsum.output);
+    }
+
+    #[test]
+    fn index_expressions_round_trip(idx in index_expr()) {
+        let tref = TensorRef { name: "T".to_string(), indices: vec![idx] };
+        let text = tref.to_string();
+        let reparsed = TensorRef::parse(&text)
+            .unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
+        prop_assert_eq!(reparsed, tref);
+    }
+}

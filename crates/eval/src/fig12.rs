@@ -1,0 +1,122 @@
+//! Figure 12: area-versus-latency Pareto curves for the FuseMax design
+//! family at sequence length 256K.
+
+use fusemax_arch::{ArchConfig, AreaModel};
+use fusemax_model::{attention_report, ConfigKind, ModelParams};
+use fusemax_workloads::TransformerConfig;
+
+/// One design point: chip area and end-to-end attention latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// 2D array dimension (`n×n`).
+    pub array_dim: usize,
+    /// Chip area in cm².
+    pub area_cm2: f64,
+    /// Attention latency for the full model (all layers, batch 64) in
+    /// seconds.
+    pub latency_s: f64,
+}
+
+/// The array dimensions the paper sweeps (16×16 … 512×512).
+pub const ARRAY_DIMS: [usize; 6] = [16, 32, 64, 128, 256, 512];
+
+/// Generates one model's Pareto curve at `seq_len` (the paper uses 256K).
+pub fn fig12_curve(
+    cfg: &TransformerConfig,
+    seq_len: usize,
+    params: &ModelParams,
+) -> Vec<ParetoPoint> {
+    let area_model = AreaModel::default();
+    ARRAY_DIMS
+        .iter()
+        .map(|&n| {
+            let arch = ArchConfig::fusemax_scaled(n);
+            let report =
+                attention_report(ConfigKind::FuseMaxBinding, cfg, seq_len, Some(&arch), params);
+            ParetoPoint {
+                array_dim: n,
+                area_cm2: area_model.chip_area_cm2(&arch),
+                latency_s: arch.cycles_to_seconds(report.cycles * cfg.layers as f64),
+            }
+        })
+        .collect()
+}
+
+/// All four models' curves at 256K.
+pub fn fig12(params: &ModelParams) -> Vec<(String, Vec<ParetoPoint>)> {
+    TransformerConfig::all()
+        .iter()
+        .map(|cfg| (cfg.name.to_string(), fig12_curve(cfg, 1 << 18, params)))
+        .collect()
+}
+
+/// Renders curves as aligned text rows.
+pub fn render(curves: &[(String, Vec<ParetoPoint>)]) -> String {
+    let mut out = String::from("== Fig 12: area vs attention latency @ 256K ==\n");
+    out.push_str("model  array      area(cm2)   latency(s)\n");
+    for (name, points) in curves {
+        for p in points {
+            out.push_str(&format!(
+                "{name:<6} {dim:>3}x{dim:<3} {area:>10.3} {lat:>12.3e}\n",
+                dim = p.array_dim,
+                area = p.area_cm2,
+                lat = p.latency_s
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bert_curve() -> Vec<ParetoPoint> {
+        fig12_curve(&TransformerConfig::bert(), 1 << 18, &ModelParams::default())
+    }
+
+    #[test]
+    fn latency_decreases_as_area_increases() {
+        let curve = bert_curve();
+        for w in curve.windows(2) {
+            assert!(w[1].area_cm2 > w[0].area_cm2);
+            assert!(w[1].latency_s < w[0].latency_s, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn cloud_point_lands_in_figure_ranges() {
+        // Fig 12's axes: ~0.1–10 cm² and ~10²–10⁵ s.
+        let curve = bert_curve();
+        let cloud = curve.iter().find(|p| p.array_dim == 256).unwrap();
+        assert!((0.5..10.0).contains(&cloud.area_cm2), "{}", cloud.area_cm2);
+        assert!((1e2..1e5).contains(&cloud.latency_s), "{}", cloud.latency_s);
+    }
+
+    #[test]
+    fn scaling_is_roughly_inverse_quadratic() {
+        // Compute-bound: 4× the PEs ≈ 4× faster (log-log slope ≈ −1 against
+        // area, which is dominated by the PE array + buffer).
+        let curve = bert_curve();
+        let at = |n: usize| curve.iter().find(|p| p.array_dim == n).unwrap().latency_s;
+        let ratio = at(128) / at(256);
+        assert!((3.0..5.5).contains(&ratio), "latency ratio 128→256 = {ratio}");
+    }
+
+    #[test]
+    fn xlm_is_the_slowest_model() {
+        // Larger E/F and D: more attention work per layer at equal L.
+        let curves = fig12(&ModelParams::default());
+        let lat = |name: &str| {
+            curves.iter().find(|(n, _)| n == name).unwrap().1[4].latency_s
+        };
+        assert!(lat("XLM") > lat("T5"));
+    }
+
+    #[test]
+    fn render_lists_all_points() {
+        let text = render(&fig12(&ModelParams::default()));
+        assert_eq!(text.lines().count(), 2 + 4 * ARRAY_DIMS.len());
+        assert!(text.contains("512x512"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 1b: proportion of required compute (attention / linear / other)
+//! versus sequence length.
+
+use crate::render::Grid;
+use fusemax_workloads::{seq_label, TransformerConfig, SEQ_LENGTHS};
+
+/// Generates Fig 1b's stacked proportions for one model.
+///
+/// # Example
+///
+/// ```
+/// use fusemax_eval::fig1b::fig1b;
+/// use fusemax_workloads::TransformerConfig;
+///
+/// let g = fig1b(&TransformerConfig::bert());
+/// // Attention dominates at 1M tokens.
+/// assert!(g.get("Attn", "1M").unwrap() > 0.9);
+/// ```
+pub fn fig1b(cfg: &TransformerConfig) -> Grid {
+    let rows = vec!["Attn".to_string(), "Linear".to_string(), "Other".to_string()];
+    let cols: Vec<String> = SEQ_LENGTHS.iter().map(|&l| seq_label(l)).collect();
+    let mut values = vec![Vec::new(), Vec::new(), Vec::new()];
+    for &l in &SEQ_LENGTHS {
+        let ops = cfg.layer_ops(l);
+        values[0].push(ops.attention_fraction());
+        values[1].push(ops.linear_fraction());
+        values[2].push(ops.other_fraction());
+    }
+    Grid::new(format!("Fig 1b: proportion of compute ({})", cfg.name), rows, cols, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportions_sum_to_one_per_column() {
+        let g = fig1b(&TransformerConfig::bert());
+        for c in 0..g.cols.len() {
+            let s: f64 = (0..3).map(|r| g.values[r][c]).sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn linear_dominates_short_attention_dominates_long() {
+        let g = fig1b(&TransformerConfig::bert());
+        assert!(g.get("Linear", "1K").unwrap() > g.get("Attn", "1K").unwrap());
+        assert!(g.get("Attn", "1M").unwrap() > g.get("Linear", "1M").unwrap());
+    }
+
+    #[test]
+    fn renders_with_all_lengths() {
+        let text = fig1b(&TransformerConfig::xlm()).render(3);
+        for label in ["1K", "4K", "16K", "64K", "256K", "1M"] {
+            assert!(text.contains(label));
+        }
+    }
+}

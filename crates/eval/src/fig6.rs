@@ -1,0 +1,115 @@
+//! Figure 6: 1D (a) and 2D (b) PE-array utilization across configurations,
+//! models, and sequence lengths.
+
+use crate::render::Grid;
+use fusemax_model::{attention_report, ConfigKind, ModelParams};
+use fusemax_workloads::{seq_label, TransformerConfig, SEQ_LENGTHS};
+
+/// Which PE array Fig 6 reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Array {
+    /// Fig 6a.
+    OneD,
+    /// Fig 6b.
+    TwoD,
+}
+
+/// Generates one model's panel of Fig 6a/6b: rows are the five
+/// configurations, columns the six sequence lengths, values utilizations.
+pub fn fig6_panel(cfg: &TransformerConfig, array: Array, params: &ModelParams) -> Grid {
+    let rows: Vec<String> = ConfigKind::all().iter().map(|c| c.label().to_string()).collect();
+    let cols: Vec<String> = SEQ_LENGTHS.iter().map(|&l| seq_label(l)).collect();
+    let values = ConfigKind::all()
+        .iter()
+        .map(|&kind| {
+            SEQ_LENGTHS
+                .iter()
+                .map(|&l| {
+                    let r = attention_report(kind, cfg, l, None, params);
+                    match array {
+                        Array::OneD => r.util_1d(),
+                        Array::TwoD => r.util_2d(),
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let which = match array {
+        Array::OneD => "6a: 1D",
+        Array::TwoD => "6b: 2D",
+    };
+    Grid::new(format!("Fig {which} PE array utilization ({})", cfg.name), rows, cols, values)
+}
+
+/// All four models' panels.
+pub fn fig6(array: Array, params: &ModelParams) -> Vec<Grid> {
+    TransformerConfig::all().iter().map(|cfg| fig6_panel(cfg, array, params)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bert_panel(array: Array) -> Grid {
+        fig6_panel(&TransformerConfig::bert(), array, &ModelParams::default())
+    }
+
+    #[test]
+    fn utilizations_are_probabilities() {
+        for array in [Array::OneD, Array::TwoD] {
+            for g in fig6(array, &ModelParams::default()) {
+                for row in &g.values {
+                    for &v in row {
+                        assert!((0.0..=1.0 + 1e-9).contains(&v), "{v} out of range in {}", g.title);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_1d_cliff_at_256k() {
+        let g = bert_panel(Array::OneD);
+        assert!(g.get("FLAT", "64K").unwrap() > 0.9);
+        assert!(g.get("FLAT", "256K").unwrap() < 0.7);
+    }
+
+    #[test]
+    fn plus_cascade_is_length_independent() {
+        let g = bert_panel(Array::OneD);
+        let a = g.get("+Cascade", "1K").unwrap();
+        let b = g.get("+Cascade", "1M").unwrap();
+        assert!((a - b).abs() < 0.05);
+    }
+
+    #[test]
+    fn binding_recovers_2d_utilization() {
+        // Fig 6b: +Binding ≫ +Architecture ≫ FLAT at long lengths.
+        let g = bert_panel(Array::TwoD);
+        let binding = g.get("+Binding", "1M").unwrap();
+        let arch = g.get("+Architecture", "1M").unwrap();
+        let flat = g.get("FLAT", "1M").unwrap();
+        assert!(binding > 0.9, "+Binding 2D util = {binding}");
+        assert!(binding > arch && arch > flat);
+    }
+
+    #[test]
+    fn cascade_2d_util_below_flat_at_short_lengths() {
+        // §VI-B: the 1-pass cascade's extra compute lowers 2D utilization.
+        let g = bert_panel(Array::TwoD);
+        assert!(g.get("+Cascade", "1K").unwrap() < g.get("FLAT", "1K").unwrap());
+    }
+
+    #[test]
+    fn xlm_baselines_use_the_2d_array_better() {
+        let params = ModelParams::default();
+        let bert = fig6_panel(&TransformerConfig::bert(), Array::TwoD, &params);
+        let xlm = fig6_panel(&TransformerConfig::xlm(), Array::TwoD, &params);
+        assert!(xlm.get("FLAT", "4K").unwrap() > bert.get("FLAT", "4K").unwrap());
+    }
+
+    #[test]
+    fn four_panels() {
+        assert_eq!(fig6(Array::OneD, &ModelParams::default()).len(), 4);
+    }
+}

@@ -1,0 +1,104 @@
+//! Figure 7: 2D-array active-cycle share by Einsum, on BERT, across the
+//! FLAT / +Cascade / +Architecture / +Binding configurations.
+
+use crate::render::Grid;
+use fusemax_model::{attention_report, ConfigKind, ModelParams};
+use fusemax_workloads::{seq_label, TransformerConfig};
+
+/// The configurations Fig 7 compares, with the paper's abbreviations.
+pub const FIG7_CONFIGS: [(ConfigKind, &str); 4] = [
+    (ConfigKind::Flat, "FL"),
+    (ConfigKind::FuseMaxCascade, "+C"),
+    (ConfigKind::FuseMaxArch, "+A"),
+    (ConfigKind::FuseMaxBinding, "+B"),
+];
+
+/// Generates one sequence length's panel: rows are Einsum groups plus
+/// `idle`, columns the four configurations, values the proportion of total
+/// cycles the 2D array spends on each.
+pub fn fig7_panel(cfg: &TransformerConfig, seq_len: usize, params: &ModelParams) -> Grid {
+    let einsums = ["QK", "LM", "SLN", "SLD", "SLNV/AV"];
+    let mut rows: Vec<String> = einsums.iter().map(|s| s.to_string()).collect();
+    rows.push("idle".to_string());
+    let cols: Vec<String> = FIG7_CONFIGS.iter().map(|(_, s)| s.to_string()).collect();
+
+    let mut values = vec![Vec::new(); rows.len()];
+    for (kind, _) in FIG7_CONFIGS {
+        let r = attention_report(kind, cfg, seq_len, None, params);
+        let mut active = 0.0;
+        for (i, name) in einsums.iter().enumerate() {
+            let cycles =
+                r.einsum_2d.iter().find(|(n, _)| n == name).map(|(_, c)| *c).unwrap_or(0.0);
+            let share = cycles / r.cycles;
+            values[i].push(share);
+            active += share;
+        }
+        values[einsums.len()].push((1.0 - active).max(0.0));
+    }
+    Grid::new(
+        format!("Fig 7: 2D active share by Einsum ({} @ {})", cfg.name, seq_label(seq_len)),
+        rows,
+        cols,
+        values,
+    )
+}
+
+/// All six sequence lengths' panels for BERT (the paper's Fig 7 subject).
+pub fn fig7(params: &ModelParams) -> Vec<Grid> {
+    let bert = TransformerConfig::bert();
+    fusemax_workloads::SEQ_LENGTHS.iter().map(|&l| fig7_panel(&bert, l, params)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panel(l: usize) -> Grid {
+        fig7_panel(&TransformerConfig::bert(), l, &ModelParams::default())
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let g = panel(1 << 16);
+        for c in 0..g.cols.len() {
+            let s: f64 = (0..g.rows.len()).map(|r| g.values[r][c]).sum();
+            assert!((s - 1.0).abs() < 1e-9, "column {c} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn flat_spends_most_cycles_idle() {
+        let g = panel(1 << 14);
+        assert!(g.get("idle", "FL").unwrap() > 0.8);
+        // FLAT's softmax Einsums never touch the 2D array.
+        assert_eq!(g.get("SLN", "FL").unwrap(), 0.0);
+        assert_eq!(g.get("LM", "FL").unwrap(), 0.0);
+    }
+
+    #[test]
+    fn binding_fills_the_array_with_tensor_products() {
+        // §VI-B: FuseMax spends most cycles on the tensor products.
+        let g = panel(1 << 18);
+        let qk = g.get("QK", "+B").unwrap();
+        let slnv = g.get("SLNV/AV", "+B").unwrap();
+        assert!(qk + slnv > 0.8, "QK+SLNV share = {}", qk + slnv);
+        assert!(g.get("idle", "+B").unwrap() < 0.1);
+        // The softmax's exp now occupies a visible slice of the 2D array.
+        assert!(g.get("SLN", "+B").unwrap() > 0.02);
+    }
+
+    #[test]
+    fn idle_share_decreases_left_to_right() {
+        // FL → +C is allowed to regress (the 1-pass cascade adds compute);
+        // the architecture and binding steps must each help.
+        let g = panel(1 << 16);
+        let idle = |c: &str| g.get("idle", c).unwrap();
+        assert!(idle("+A") < idle("+C"));
+        assert!(idle("+B") < idle("+A"));
+    }
+
+    #[test]
+    fn six_panels_for_bert() {
+        assert_eq!(fig7(&ModelParams::default()).len(), 6);
+    }
+}

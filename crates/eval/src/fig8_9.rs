@@ -1,0 +1,143 @@
+//! Figures 8–11: attention speedup (8) and energy (9) plus end-to-end
+//! inference speedup (10) and energy (11), all relative to the unfused
+//! baseline.
+
+use crate::render::Grid;
+use fusemax_model::{attention_report, e2e_report, ConfigKind, ModelParams};
+use fusemax_workloads::{seq_label, TransformerConfig, SEQ_LENGTHS};
+
+/// What a panel reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Figs 8/10: `unfused_cycles / config_cycles` (higher is better).
+    Speedup,
+    /// Figs 9/11: `config_energy / unfused_energy` (lower is better).
+    EnergyUse,
+}
+
+/// What scope a panel covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Figs 8/9: the attention kernel only.
+    Attention,
+    /// Figs 10/11: full end-to-end encoder inference.
+    EndToEnd,
+}
+
+/// The non-baseline configurations plotted against the unfused baseline.
+const PLOTTED: [ConfigKind; 4] = [
+    ConfigKind::Flat,
+    ConfigKind::FuseMaxCascade,
+    ConfigKind::FuseMaxArch,
+    ConfigKind::FuseMaxBinding,
+];
+
+/// Generates one model's panel of Figs 8/9/10/11.
+pub fn panel(cfg: &TransformerConfig, scope: Scope, metric: Metric, params: &ModelParams) -> Grid {
+    let rows: Vec<String> = PLOTTED.iter().map(|c| c.label().to_string()).collect();
+    let cols: Vec<String> = SEQ_LENGTHS.iter().map(|&l| seq_label(l)).collect();
+    let measure = |kind: ConfigKind, l: usize| -> (f64, f64) {
+        match scope {
+            Scope::Attention => {
+                let r = attention_report(kind, cfg, l, None, params);
+                (r.cycles, r.energy.total_pj())
+            }
+            Scope::EndToEnd => {
+                let r = e2e_report(kind, cfg, l, params);
+                (r.cycles, r.energy.total_pj())
+            }
+        }
+    };
+    let values = PLOTTED
+        .iter()
+        .map(|&kind| {
+            SEQ_LENGTHS
+                .iter()
+                .map(|&l| {
+                    let (base_cycles, base_energy) = measure(ConfigKind::Unfused, l);
+                    let (cycles, energy) = measure(kind, l);
+                    match metric {
+                        Metric::Speedup => base_cycles / cycles,
+                        Metric::EnergyUse => energy / base_energy,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let fig = match (scope, metric) {
+        (Scope::Attention, Metric::Speedup) => "Fig 8: attention speedup",
+        (Scope::Attention, Metric::EnergyUse) => "Fig 9: attention energy use",
+        (Scope::EndToEnd, Metric::Speedup) => "Fig 10: end-to-end speedup",
+        (Scope::EndToEnd, Metric::EnergyUse) => "Fig 11: end-to-end energy use",
+    };
+    Grid::new(format!("{fig} vs unfused ({})", cfg.name), rows, cols, values)
+}
+
+/// All four models' panels for one figure.
+pub fn figure(scope: Scope, metric: Metric, params: &ModelParams) -> Vec<Grid> {
+    TransformerConfig::all().iter().map(|cfg| panel(cfg, scope, metric, params)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bert(scope: Scope, metric: Metric) -> Grid {
+        panel(&TransformerConfig::bert(), scope, metric, &ModelParams::default())
+    }
+
+    #[test]
+    fn fusemax_attention_speedup_is_multiple_fold() {
+        let g = bert(Scope::Attention, Metric::Speedup);
+        for col in &g.cols {
+            let s = g.get("+Binding", col).unwrap();
+            assert!(s > 5.0, "speedup at {col} = {s}");
+        }
+    }
+
+    #[test]
+    fn configuration_steps_compound() {
+        // Fig 8: +Binding ≥ +Architecture ≥ +Cascade at long lengths.
+        let g = bert(Scope::Attention, Metric::Speedup);
+        for col in ["256K", "1M"] {
+            let b = g.get("+Binding", col).unwrap();
+            let a = g.get("+Architecture", col).unwrap();
+            let c = g.get("+Cascade", col).unwrap();
+            assert!(b > a && a > c, "at {col}: {b} > {a} > {c}");
+        }
+    }
+
+    #[test]
+    fn fusemax_energy_is_below_unfused_and_flat() {
+        let g = bert(Scope::Attention, Metric::EnergyUse);
+        for col in &g.cols {
+            let fm = g.get("+Binding", col).unwrap();
+            assert!(fm < 1.0, "energy at {col} = {fm}");
+        }
+        // FLAT's energy blows up past the cliff.
+        assert!(g.get("FLAT", "1M").unwrap() > g.get("FLAT", "16K").unwrap());
+    }
+
+    #[test]
+    fn e2e_speedup_grows_with_length() {
+        // Fig 10: attention dominates at long L, so gains grow.
+        let g = bert(Scope::EndToEnd, Metric::Speedup);
+        let short = g.get("+Binding", "1K").unwrap();
+        let long = g.get("+Binding", "1M").unwrap();
+        assert!(long > 2.0 * short, "{short} → {long}");
+    }
+
+    #[test]
+    fn e2e_speedups_are_diluted_at_short_lengths() {
+        let attn = bert(Scope::Attention, Metric::Speedup);
+        let e2e = bert(Scope::EndToEnd, Metric::Speedup);
+        assert!(e2e.get("+Binding", "1K").unwrap() < attn.get("+Binding", "1K").unwrap());
+    }
+
+    #[test]
+    fn four_panels_per_figure() {
+        let f = figure(Scope::Attention, Metric::Speedup, &ModelParams::default());
+        assert_eq!(f.len(), 4);
+        assert!(f[3].title.contains("XLM"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Tabular data and text rendering shared by all figure generators.
+
+use std::fmt;
+
+/// A labeled 2-D grid of values — one figure panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    /// Panel title (e.g. the model name).
+    pub title: String,
+    /// Row labels (e.g. configurations).
+    pub rows: Vec<String>,
+    /// Column labels (e.g. sequence lengths).
+    pub cols: Vec<String>,
+    /// `rows × cols` values.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl Grid {
+    /// Creates a grid, checking dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is not `rows.len() × cols.len()` — generator bugs
+    /// should fail loudly.
+    pub fn new(
+        title: impl Into<String>,
+        rows: Vec<String>,
+        cols: Vec<String>,
+        values: Vec<Vec<f64>>,
+    ) -> Self {
+        assert_eq!(values.len(), rows.len(), "row count mismatch");
+        for row in &values {
+            assert_eq!(row.len(), cols.len(), "column count mismatch");
+        }
+        Self { title: title.into(), rows, cols, values }
+    }
+
+    /// The value at `(row_label, col_label)`, if present.
+    pub fn get(&self, row: &str, col: &str) -> Option<f64> {
+        let r = self.rows.iter().position(|x| x == row)?;
+        let c = self.cols.iter().position(|x| x == col)?;
+        Some(self.values[r][c])
+    }
+
+    /// Renders as an aligned text table with `decimals` fraction digits.
+    pub fn render(&self, decimals: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let label_w = self.rows.iter().map(|r| r.len()).max().unwrap_or(0).max(8);
+        let col_w = self
+            .cols
+            .iter()
+            .map(|c| c.len())
+            .max()
+            .unwrap_or(0)
+            .max(decimals + 4);
+        out.push_str(&format!("{:<label_w$}", ""));
+        for c in &self.cols {
+            out.push_str(&format!(" {c:>col_w$}"));
+        }
+        out.push('\n');
+        for (r, row) in self.rows.iter().zip(&self.values) {
+            out.push_str(&format!("{r:<label_w$}"));
+            for v in row {
+                out.push_str(&format!(" {v:>col_w$.decimals$}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (`title` becomes a comment line).
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("# {}\n", self.title);
+        out.push_str(&format!(",{}\n", self.cols.join(",")));
+        for (r, row) in self.rows.iter().zip(&self.values) {
+            let vals: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+            out.push_str(&format!("{r},{}\n", vals.join(",")));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Grid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(3))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid {
+        Grid::new(
+            "demo",
+            vec!["a".into(), "bb".into()],
+            vec!["x".into(), "y".into()],
+            vec![vec![1.0, 2.5], vec![3.25, 4.0]],
+        )
+    }
+
+    #[test]
+    fn get_by_labels() {
+        let g = grid();
+        assert_eq!(g.get("bb", "x"), Some(3.25));
+        assert_eq!(g.get("zz", "x"), None);
+        assert_eq!(g.get("a", "zz"), None);
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let text = grid().render(2);
+        for needle in ["demo", "a", "bb", "x", "y", "2.50", "3.25"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn csv_round_trip_values() {
+        let csv = grid().to_csv();
+        assert!(csv.starts_with("# demo"));
+        assert!(csv.contains("bb,3.25,4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row count")]
+    fn dimension_mismatch_panics() {
+        let _ = Grid::new("bad", vec!["a".into()], vec!["x".into()], vec![]);
+    }
+}

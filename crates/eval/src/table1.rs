@@ -1,0 +1,71 @@
+//! Table I: the computed classification of prior attention algorithms.
+
+use fusemax_core::passes::AnalysisError;
+use fusemax_core::taxonomy::{classify, literature, PassClass};
+
+/// One computed row of Table I.
+#[derive(Debug, Clone)]
+pub struct TableRow {
+    /// The algorithm's name.
+    pub name: &'static str,
+    /// Citation shorthand.
+    pub citation: &'static str,
+    /// The class Table I claims.
+    pub expected: PassClass,
+    /// The class the §III pass analysis computes from the cascade.
+    pub computed: PassClass,
+}
+
+/// Computes every row of Table I by running the pass analysis on each
+/// algorithm's cascade.
+///
+/// # Errors
+///
+/// Propagates analysis failures (none occur for the built-in cascades).
+pub fn table1() -> Result<Vec<TableRow>, AnalysisError> {
+    literature()
+        .into_iter()
+        .map(|entry| {
+            Ok(TableRow {
+                name: entry.name,
+                citation: entry.citation,
+                expected: entry.expected,
+                computed: classify(&entry.cascade)?,
+            })
+        })
+        .collect()
+}
+
+/// Renders Table I in the paper's three-column layout.
+pub fn render(rows: &[TableRow]) -> String {
+    let mut out = String::from("== Table I: classifying prior attention algorithms ==\n");
+    for class in [PassClass::ThreePass, PassClass::TwoPass, PassClass::OnePass] {
+        let members: Vec<String> = rows
+            .iter()
+            .filter(|r| r.computed == class)
+            .map(|r| format!("{} [{}]", r.name, r.citation))
+            .collect();
+        out.push_str(&format!("{class}: {}\n", members.join("; ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computed_classes_match_the_paper() {
+        for row in table1().unwrap() {
+            assert_eq!(row.computed, row.expected, "{} misclassified", row.name);
+        }
+    }
+
+    #[test]
+    fn render_groups_by_class() {
+        let text = render(&table1().unwrap());
+        assert!(text.contains("3-pass: PyTorch"));
+        assert!(text.contains("FlashAttention-2"));
+        assert!(text.contains("2-pass: TileFlow"));
+    }
+}

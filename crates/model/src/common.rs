@@ -1,0 +1,60 @@
+//! Shared machine-parameter helpers for the per-configuration models.
+
+use fusemax_arch::ArchConfig;
+
+/// Machine parameters extracted once per evaluation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Machine {
+    /// 2D-array MACC throughput (PEs).
+    pub pe2: f64,
+    /// 1D-array op throughput (PEs).
+    pub pe1: f64,
+    /// DRAM bytes per cycle.
+    pub bpc: f64,
+    /// Word size in bytes.
+    pub w: f64,
+    /// Global buffer bytes.
+    pub buf: f64,
+}
+
+impl Machine {
+    pub(crate) fn of(arch: &ArchConfig) -> Self {
+        Self {
+            pe2: arch.pe_count_2d() as f64,
+            pe1: arch.vector_pes as f64,
+            bpc: arch.dram_bytes_per_cycle(),
+            w: arch.word_bytes as f64,
+            buf: arch.global_buffer_bytes as f64,
+        }
+    }
+}
+
+/// Register-file bytes moved for `ops` two-operand operations.
+pub(crate) fn rf_bytes(ops: f64, word: f64) -> f64 {
+    2.0 * word * ops
+}
+
+/// Three-way roofline maximum.
+pub(crate) fn roofline(compute_2d: f64, compute_1d: f64, mem: f64) -> f64 {
+    compute_2d.max(compute_1d).max(mem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_extraction() {
+        let m = Machine::of(&ArchConfig::fusemax_cloud());
+        assert_eq!(m.pe2, 65536.0);
+        assert_eq!(m.pe1, 256.0);
+        assert_eq!(m.w, 2.0);
+        assert!((m.bpc - 425.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn roofline_takes_the_max() {
+        assert_eq!(roofline(1.0, 5.0, 3.0), 5.0);
+        assert_eq!(rf_bytes(10.0, 2.0), 40.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! The five evaluated accelerator configurations.
+
+use fusemax_arch::ArchConfig;
+use std::fmt;
+
+/// One of the paper's evaluated configurations (Figs 6–11 legend order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ConfigKind {
+    /// The unfused baseline: QK, softmax, and AV as sequential phases.
+    Unfused,
+    /// The FLAT baseline (corrected model, 3-pass softmax on 256 1D PEs).
+    Flat,
+    /// +Cascade: the 1-pass cascade on the FLAT architecture.
+    FuseMaxCascade,
+    /// +Architecture: FuseMax PEs, tile-serialized binding.
+    FuseMaxArch,
+    /// +Binding: full FuseMax (pipelined/interleaved binding).
+    FuseMaxBinding,
+}
+
+impl ConfigKind {
+    /// All configurations in figure order.
+    pub fn all() -> [ConfigKind; 5] {
+        [
+            ConfigKind::Unfused,
+            ConfigKind::Flat,
+            ConfigKind::FuseMaxCascade,
+            ConfigKind::FuseMaxArch,
+            ConfigKind::FuseMaxBinding,
+        ]
+    }
+
+    /// The figure-legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ConfigKind::Unfused => "Unfused",
+            ConfigKind::Flat => "FLAT",
+            ConfigKind::FuseMaxCascade => "+Cascade",
+            ConfigKind::FuseMaxArch => "+Architecture",
+            ConfigKind::FuseMaxBinding => "+Binding",
+        }
+    }
+
+    /// The architecture this configuration runs on by default: the FLAT
+    /// cloud chip for the baselines and +Cascade, the FuseMax cloud chip
+    /// once the +Architecture change is applied.
+    pub fn default_arch(&self) -> ArchConfig {
+        match self {
+            ConfigKind::Unfused | ConfigKind::Flat | ConfigKind::FuseMaxCascade => {
+                ArchConfig::flat_cloud()
+            }
+            ConfigKind::FuseMaxArch | ConfigKind::FuseMaxBinding => ArchConfig::fusemax_cloud(),
+        }
+    }
+
+    /// `true` for the three configurations that build up FuseMax.
+    pub fn is_fusemax(&self) -> bool {
+        matches!(
+            self,
+            ConfigKind::FuseMaxCascade | ConfigKind::FuseMaxArch | ConfigKind::FuseMaxBinding
+        )
+    }
+}
+
+impl fmt::Display for ConfigKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusemax_arch::PeKind;
+
+    #[test]
+    fn five_configs_in_figure_order() {
+        let labels: Vec<&str> = ConfigKind::all().iter().map(|c| c.label()).collect();
+        assert_eq!(labels, vec!["Unfused", "FLAT", "+Cascade", "+Architecture", "+Binding"]);
+    }
+
+    #[test]
+    fn architecture_switches_at_plus_architecture() {
+        assert_eq!(ConfigKind::FuseMaxCascade.default_arch().pe_2d, PeKind::FlatMacc);
+        assert_eq!(ConfigKind::FuseMaxArch.default_arch().pe_2d, PeKind::FuseMaxPe);
+    }
+
+    #[test]
+    fn fusemax_family_flag() {
+        assert!(!ConfigKind::Unfused.is_fusemax());
+        assert!(!ConfigKind::Flat.is_fusemax());
+        assert!(ConfigKind::FuseMaxBinding.is_fusemax());
+    }
+}

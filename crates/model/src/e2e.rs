@@ -1,0 +1,111 @@
+//! End-to-end transformer inference: attention plus linear layers (§VI-C).
+
+use crate::config::ConfigKind;
+use crate::linear::{linear_report, LinearReport};
+use crate::params::ModelParams;
+use crate::report::AttentionReport;
+use fusemax_arch::{ArchConfig, EnergyBreakdown};
+use fusemax_workloads::TransformerConfig;
+
+/// Modeled end-to-end inference of a full encoder.
+#[derive(Debug, Clone)]
+pub struct E2eReport {
+    /// The configuration.
+    pub kind: ConfigKind,
+    /// Total cycles over all layers.
+    pub cycles: f64,
+    /// Total energy over all layers.
+    pub energy: EnergyBreakdown,
+    /// The per-layer attention report.
+    pub attention: AttentionReport,
+    /// The per-layer linear report.
+    pub linear: LinearReport,
+    /// Number of encoder layers.
+    pub layers: usize,
+}
+
+impl E2eReport {
+    /// Attention's share of end-to-end cycles.
+    pub fn attention_cycle_fraction(&self) -> f64 {
+        self.attention.cycles / (self.attention.cycles + self.linear.cycles)
+    }
+
+    /// Wall-clock seconds at the architecture's frequency.
+    pub fn seconds(&self, arch: &ArchConfig) -> f64 {
+        arch.cycles_to_seconds(self.cycles)
+    }
+}
+
+/// Models full encoder inference on one configuration.
+///
+/// The linear layers use the same mapping for every configuration (§VI-C);
+/// only the attention model differs.
+pub fn e2e_report(
+    kind: ConfigKind,
+    workload: &TransformerConfig,
+    seq_len: usize,
+    params: &ModelParams,
+) -> E2eReport {
+    let arch = kind.default_arch();
+    let attention = crate::attention_report(kind, workload, seq_len, None, params);
+    let linear = linear_report(workload, seq_len, &arch, params);
+    let layers = workload.layers;
+    let cycles = (attention.cycles + linear.cycles) * layers as f64;
+    let energy = (attention.energy + linear.energy).scaled(layers as f64);
+    E2eReport { kind, cycles, energy, attention, linear, layers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e2e(kind: ConfigKind, l: usize) -> E2eReport {
+        e2e_report(kind, &TransformerConfig::bert(), l, &ModelParams::default())
+    }
+
+    #[test]
+    fn e2e_speedup_is_smaller_than_attention_speedup_at_short_lengths() {
+        // §VI-C: linear layers dilute attention gains at short L.
+        let l = 1 << 12;
+        let unfused = e2e(ConfigKind::Unfused, l);
+        let fusemax = e2e(ConfigKind::FuseMaxBinding, l);
+        let e2e_speedup = unfused.cycles / fusemax.cycles;
+        let attn_speedup = unfused.attention.cycles / fusemax.attention.cycles;
+        assert!(e2e_speedup < attn_speedup);
+        assert!(e2e_speedup > 1.0);
+    }
+
+    #[test]
+    fn e2e_speedup_approaches_attention_speedup_at_1m() {
+        // §VI-C: at 1M tokens attention dominates end-to-end time.
+        let l = 1 << 20;
+        let unfused = e2e(ConfigKind::Unfused, l);
+        let fusemax = e2e(ConfigKind::FuseMaxBinding, l);
+        let e2e_speedup = unfused.cycles / fusemax.cycles;
+        let attn_speedup = unfused.attention.cycles / fusemax.attention.cycles;
+        assert!(e2e_speedup / attn_speedup > 0.8, "{e2e_speedup} vs {attn_speedup}");
+    }
+
+    #[test]
+    fn attention_fraction_grows_with_length() {
+        let short = e2e(ConfigKind::FuseMaxBinding, 1 << 10);
+        let long = e2e(ConfigKind::FuseMaxBinding, 1 << 20);
+        assert!(short.attention_cycle_fraction() < long.attention_cycle_fraction());
+    }
+
+    #[test]
+    fn energy_and_cycles_scale_with_layers() {
+        let r = e2e(ConfigKind::Flat, 1 << 12);
+        let per_layer = r.attention.cycles + r.linear.cycles;
+        assert!((r.cycles - per_layer * r.layers as f64).abs() < 1.0);
+        assert_eq!(r.layers, 12);
+        assert!(r.energy.total_pj() > 0.0);
+    }
+
+    #[test]
+    fn seconds_conversion_uses_the_clock() {
+        let r = e2e(ConfigKind::FuseMaxBinding, 1 << 12);
+        let arch = ArchConfig::fusemax_cloud();
+        assert!((r.seconds(&arch) - r.cycles / 940e6).abs() < 1e-9);
+    }
+}

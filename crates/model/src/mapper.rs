@@ -1,0 +1,263 @@
+//! A Timeloop-style mapping search for GEMMs on the spatial architecture.
+//!
+//! The paper "use\[s\] Timeloop to search for efficient mappings to perform
+//! QK and AV" in the unfused baseline and "for optimal mappings for these
+//! linear layers" (§VI-A/§VI-C). This module reproduces that role for the
+//! class of kernels those searches cover: a single dense GEMM
+//! `Z[m,n] = A[k,m] × B[k,n]` staged through the global buffer.
+//!
+//! A [`GemmMapping`] picks buffer-level tile sizes `(K1, M1, N1)`. The
+//! standard tiled-GEMM traffic model applies:
+//!
+//! * `A` is re-read once per `N`-tile pass: `K·M·⌈N/N1⌉` words;
+//! * `B` is re-read once per `M`-tile pass: `K·N·⌈M/M1⌉` words;
+//! * `Z` is written once if `K` is untiled, otherwise partial sums spill:
+//!   `M·N·(2·⌈K/K1⌉ − 1)` words.
+//!
+//! The search enumerates power-of-two tile candidates subject to the
+//! buffer-capacity constraint (with double buffering) and keeps the
+//! mapping with the least DRAM traffic, breaking ties toward larger tiles.
+
+use crate::common::Machine;
+use fusemax_arch::ArchConfig;
+use std::fmt;
+
+/// A dense GEMM `Z[m,n] = A[k,m] × B[k,n]` (paper Einsum 1's shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmProblem {
+    /// Shared (reduction) rank extent.
+    pub k: usize,
+    /// Output rows.
+    pub m: usize,
+    /// Output columns.
+    pub n: usize,
+}
+
+impl GemmProblem {
+    /// Creates a problem; all extents must be positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any extent is zero.
+    pub fn new(k: usize, m: usize, n: usize) -> Self {
+        assert!(k > 0 && m > 0 && n > 0, "GEMM extents must be positive");
+        Self { k, m, n }
+    }
+
+    /// Multiply–accumulate count.
+    pub fn maccs(&self) -> f64 {
+        self.k as f64 * self.m as f64 * self.n as f64
+    }
+
+    /// Compulsory traffic in words: every operand once, the output once.
+    pub fn compulsory_words(&self) -> f64 {
+        (self.k * self.m + self.k * self.n + self.m * self.n) as f64
+    }
+}
+
+impl fmt::Display for GemmProblem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Z[{m},{n}] = A[{k},{m}] × B[{k},{n}]", k = self.k, m = self.m, n = self.n)
+    }
+}
+
+/// One point in the mapping space: buffer-level tile sizes plus its cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GemmMapping {
+    /// Tile extent along `K`.
+    pub tile_k: usize,
+    /// Tile extent along `M`.
+    pub tile_m: usize,
+    /// Tile extent along `N`.
+    pub tile_n: usize,
+    /// Total DRAM traffic in bytes under this mapping.
+    pub dram_bytes: f64,
+    /// Compute cycles on the 2D array.
+    pub compute_cycles: f64,
+    /// Roofline latency in cycles.
+    pub cycles: f64,
+}
+
+impl GemmMapping {
+    /// `true` when the mapping achieves compulsory-only traffic.
+    pub fn is_compulsory(&self, problem: &GemmProblem, word_bytes: f64) -> bool {
+        self.dram_bytes <= problem.compulsory_words() * word_bytes * (1.0 + 1e-9)
+    }
+}
+
+impl fmt::Display for GemmMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tiles K1={} M1={} N1={}: {:.3e} B DRAM, {:.3e} cycles",
+            self.tile_k, self.tile_m, self.tile_n, self.dram_bytes, self.cycles
+        )
+    }
+}
+
+/// Power-of-two candidates up to `extent` (always including `extent`).
+fn tile_candidates(extent: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut t = 1usize;
+    while t < extent {
+        out.push(t);
+        t *= 2;
+    }
+    out.push(extent);
+    out
+}
+
+/// Evaluates one tiling's traffic and latency. A fully-resident tensor
+/// (its tile covers the whole tensor) is stationary: loaded exactly once.
+fn evaluate(problem: &GemmProblem, m: &Machine, k1: usize, m1: usize, n1: usize) -> GemmMapping {
+    let (k, mm, n) = (problem.k as f64, problem.m as f64, problem.n as f64);
+    let passes_n = (n / n1 as f64).ceil();
+    let passes_m = (mm / m1 as f64).ceil();
+    let passes_k = (k / k1 as f64).ceil();
+    let a_resident = k1 == problem.k && m1 == problem.m;
+    let b_resident = k1 == problem.k && n1 == problem.n;
+    let words_a = k * mm * if a_resident { 1.0 } else { passes_n };
+    let words_b = k * n * if b_resident { 1.0 } else { passes_m };
+    let words_z = mm * n * (2.0 * passes_k - 1.0);
+    let dram_bytes = (words_a + words_b + words_z) * m.w;
+    let compute_cycles = problem.maccs() / m.pe2;
+    let cycles = compute_cycles.max(dram_bytes / m.bpc);
+    GemmMapping { tile_k: k1, tile_m: m1, tile_n: n1, dram_bytes, compute_cycles, cycles }
+}
+
+/// Searches the tiling space for the minimum-traffic mapping that fits the
+/// global buffer (double-buffered: two copies of each live tile).
+///
+/// Falls back to the smallest tiling if nothing fits (pathologically small
+/// buffers).
+///
+/// # Example
+///
+/// ```
+/// use fusemax_arch::ArchConfig;
+/// use fusemax_model::mapper::{search_gemm_mapping, GemmProblem};
+///
+/// // A BERT FFN matmul at L=4K, B=64: K=768, M=3072, N=262144.
+/// let problem = GemmProblem::new(768, 3072, 1 << 18);
+/// let mapping = search_gemm_mapping(&problem, &ArchConfig::fusemax_cloud());
+/// // The 16 MB buffer is big enough to reach compulsory-only traffic.
+/// assert!(mapping.is_compulsory(&problem, 2.0));
+/// ```
+pub fn search_gemm_mapping(problem: &GemmProblem, arch: &ArchConfig) -> GemmMapping {
+    let m = Machine::of(arch);
+    let capacity_words = m.buf / m.w / 2.0; // double buffering
+    let mut best: Option<GemmMapping> = None;
+    for &k1 in &tile_candidates(problem.k) {
+        for &m1 in &tile_candidates(problem.m) {
+            for &n1 in &tile_candidates(problem.n) {
+                let resident = (k1 * m1 + k1 * n1 + m1 * n1) as f64;
+                if resident > capacity_words {
+                    continue;
+                }
+                let candidate = evaluate(problem, &m, k1, m1, n1);
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        candidate.dram_bytes < b.dram_bytes * (1.0 - 1e-12)
+                            || (candidate.dram_bytes <= b.dram_bytes
+                                && (k1, m1, n1) > (b.tile_k, b.tile_m, b.tile_n))
+                    }
+                };
+                if better {
+                    best = Some(candidate);
+                }
+            }
+        }
+    }
+    best.unwrap_or_else(|| evaluate(problem, &m, 1, 1, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud() -> ArchConfig {
+        ArchConfig::fusemax_cloud()
+    }
+
+    #[test]
+    fn candidates_cover_extent() {
+        assert_eq!(tile_candidates(8), vec![1, 2, 4, 8]);
+        assert_eq!(tile_candidates(6), vec![1, 2, 4, 6]);
+        assert_eq!(tile_candidates(1), vec![1]);
+    }
+
+    #[test]
+    fn traffic_is_at_least_compulsory() {
+        let p = GemmProblem::new(512, 512, 1 << 16);
+        let m = search_gemm_mapping(&p, &cloud());
+        assert!(m.dram_bytes >= p.compulsory_words() * 2.0 - 1.0);
+    }
+
+    #[test]
+    fn large_buffer_reaches_compulsory_traffic() {
+        // A tile of B plus a K-strip of A fits easily: traffic is inputs +
+        // output exactly once.
+        let p = GemmProblem::new(768, 768, 1 << 14);
+        let m = search_gemm_mapping(&p, &cloud());
+        assert!(m.is_compulsory(&p, 2.0), "{m}");
+    }
+
+    #[test]
+    fn shrinking_the_buffer_increases_traffic() {
+        let p = GemmProblem::new(2048, 2048, 1 << 15);
+        let big = search_gemm_mapping(&p, &cloud());
+        let mut small_arch = cloud();
+        small_arch.global_buffer_bytes = 64 << 10; // 64 KB
+        let small = search_gemm_mapping(&p, &small_arch);
+        assert!(
+            small.dram_bytes > 2.0 * big.dram_bytes,
+            "small {:.3e} vs big {:.3e}",
+            small.dram_bytes,
+            big.dram_bytes
+        );
+    }
+
+    #[test]
+    fn mapping_respects_the_capacity_constraint() {
+        let p = GemmProblem::new(4096, 4096, 4096);
+        let arch = cloud();
+        let m = search_gemm_mapping(&p, &arch);
+        let words =
+            (m.tile_k * m.tile_m + m.tile_k * m.tile_n + m.tile_m * m.tile_n) as f64;
+        assert!(words <= arch.global_buffer_bytes as f64 / 2.0 / 2.0);
+    }
+
+    #[test]
+    fn weight_stationary_gemms_are_compute_bound() {
+        // An FFN-shaped GEMM (weights resident, a million tokens streamed)
+        // reaches the compute roofline: the arithmetic intensity is D MACCs
+        // per streamed word.
+        let p = GemmProblem::new(768, 3072, 1 << 20);
+        let m = search_gemm_mapping(&p, &cloud());
+        assert!((m.cycles - m.compute_cycles).abs() < 1e-6 * m.cycles, "{m}");
+        assert!(m.is_compulsory(&p, 2.0), "{m}");
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let p = GemmProblem::new(768, 3072, 1 << 16);
+        let a = search_gemm_mapping(&p, &cloud());
+        let b = search_gemm_mapping(&p, &cloud());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_panics() {
+        let _ = GemmProblem::new(0, 1, 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = GemmProblem::new(2, 3, 4);
+        assert!(p.to_string().contains("A[2,3]"));
+        let m = search_gemm_mapping(&p, &cloud());
+        assert!(m.to_string().contains("tiles"));
+    }
+}

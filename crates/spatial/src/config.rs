@@ -1,0 +1,55 @@
+//! Simulator configuration.
+
+/// Parameters of the simulated spatial array.
+///
+/// The 2D array is `rows × cols` with the FuseMax mapping `M0 = rows`,
+/// `P0 = cols`; the 1D array has `vector_pes` lanes. Exponentials occupy a
+/// PE for `1 + exp_maccs` cycles (subtract, then the MACC chain).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpatialConfig {
+    /// 2D array rows (`M0`).
+    pub rows: usize,
+    /// 2D array columns (`P0`).
+    pub cols: usize,
+    /// 1D array lanes.
+    pub vector_pes: usize,
+    /// MACCs per exponential (the paper uses 6).
+    pub exp_maccs: u32,
+    /// Fill/drain cycles charged per serialized tile (`rows + cols` when
+    /// `true`, matching the systolic array's skew).
+    pub charge_fill_drain: bool,
+}
+
+impl SpatialConfig {
+    /// A toy array for tests and traces: `rows × cols` 2D PEs, `cols` 1D
+    /// lanes, 6-MACC exponentials, fills/drains charged.
+    pub fn toy(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, vector_pes: cols, exp_maccs: 6, charge_fill_drain: true }
+    }
+
+    /// The paper's cloud array (256×256, 256 lanes).
+    pub fn cloud() -> Self {
+        Self::toy(256, 256)
+    }
+
+    /// Cycles one exponential occupies a PE.
+    pub fn exp_cycles(&self) -> u64 {
+        1 + self.exp_maccs as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_and_cloud() {
+        let t = SpatialConfig::toy(4, 8);
+        assert_eq!(t.rows, 4);
+        assert_eq!(t.vector_pes, 8);
+        assert_eq!(t.exp_cycles(), 7);
+        let c = SpatialConfig::cloud();
+        assert_eq!(c.rows, 256);
+        assert_eq!(c.cols, 256);
+    }
+}

@@ -1,0 +1,412 @@
+//! Task-graph construction and the discrete-event list scheduler.
+
+use crate::config::SpatialConfig;
+use crate::state::TileState;
+use crate::task::{Binding, LogicalTask, TaskKind, TaskRecord, Unit};
+use fusemax_tensor::Tensor;
+use std::error::Error;
+use std::fmt;
+
+/// Simulation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Input shapes disagree with `Q:E×P / K:E×M / V:F×M`.
+    BadShapes {
+        /// Description of the problem.
+        detail: String,
+    },
+    /// `M` or `P` is not divisible by the array dimension.
+    BadTiling {
+        /// Description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadShapes { detail } => write!(f, "bad shapes: {detail}"),
+            SimError::BadTiling { detail } => write!(f, "bad tiling: {detail}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// The outcome of a simulation: numerics plus cycle accounting.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// The computed attention output `AV: F×P`.
+    pub av: Tensor<f64>,
+    /// Makespan in cycles.
+    pub cycles: u64,
+    /// 2D-array busy cycles.
+    pub busy_2d: u64,
+    /// 1D-array busy cycles.
+    pub busy_1d: u64,
+    /// The full schedule, ordered by start cycle (the Fig 4 waterfall).
+    pub records: Vec<TaskRecord>,
+}
+
+impl SimResult {
+    /// 2D-array utilization.
+    pub fn util_2d(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.busy_2d as f64 / self.cycles as f64
+        }
+    }
+
+    /// 1D-array utilization.
+    pub fn util_1d(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.busy_1d as f64 / self.cycles as f64
+        }
+    }
+
+    /// Renders the first `max_lines` schedule records as a waterfall.
+    pub fn waterfall(&self, max_lines: usize) -> String {
+        let mut out = String::new();
+        for r in self.records.iter().take(max_lines) {
+            out.push_str(&r.to_string());
+            out.push('\n');
+        }
+        if self.records.len() > max_lines {
+            out.push_str(&format!("… ({} more)\n", self.records.len() - max_lines));
+        }
+        out
+    }
+}
+
+/// Simulates Cascade 5 on the spatial array under the given binding.
+///
+/// Inputs follow the paper's conventions (`Q: E×P`, `K: E×M`, `V: F×M`).
+/// `M` must divide by `cfg.rows` and `P` by `cfg.cols`.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for malformed shapes or non-divisible tilings.
+pub fn simulate(
+    q: &Tensor<f64>,
+    k: &Tensor<f64>,
+    v: &Tensor<f64>,
+    cfg: &SpatialConfig,
+    binding: Binding,
+) -> Result<SimResult, SimError> {
+    let dims = fusemax_core::kernels::attention_dims(q, k, v)
+        .map_err(|e| SimError::BadShapes { detail: e.to_string() })?;
+    let (e, f, m, p) = (dims.e, dims.f, dims.m, dims.p);
+    let (m0, p0) = (cfg.rows, cfg.cols);
+    if m % m0 != 0 {
+        return Err(SimError::BadTiling { detail: format!("M={m} not divisible by rows={m0}") });
+    }
+    if p % p0 != 0 {
+        return Err(SimError::BadTiling { detail: format!("P={p} not divisible by cols={p0}") });
+    }
+    let m1_count = m / m0;
+    let p_tiles = p / p0;
+
+    let tasks = build_graph(cfg, binding, e, f, m1_count, p_tiles);
+    let mut states: Vec<TileState> =
+        (0..p_tiles).map(|pt| TileState::new(e, f, m0, p0, m1_count, pt)).collect();
+    let mut av = Tensor::zeros(fusemax_tensor::Shape::of(&[("F", f), ("P", p)]));
+
+    // List scheduler: repeatedly issue the ready task with the earliest
+    // possible start (ties by task index).
+    let n = tasks.len();
+    let mut done: Vec<Option<u64>> = vec![None; n];
+    let mut unit_free: [u64; 2] = [0, 0];
+    let mut records: Vec<TaskRecord> = Vec::with_capacity(n);
+    let mut busy = [0u64, 0u64];
+    let mut remaining = n;
+    while remaining > 0 {
+        let mut best: Option<(u64, usize)> = None;
+        for (i, t) in tasks.iter().enumerate() {
+            if done[i].is_some() {
+                continue;
+            }
+            let mut est = 0u64;
+            let mut ready = true;
+            for &d in &t.deps {
+                match done[d] {
+                    Some(end) => est = est.max(end),
+                    None => {
+                        ready = false;
+                        break;
+                    }
+                }
+            }
+            if !ready {
+                continue;
+            }
+            let unit_idx = unit_index(t.kind.unit());
+            est = est.max(unit_free[unit_idx]);
+            if best.is_none_or(|(b, _)| est < b) {
+                best = Some((est, i));
+            }
+        }
+        let (start, i) = best.expect("dependency cycle in task graph");
+        let t = &tasks[i];
+        let end = start + t.duration;
+        let unit_idx = unit_index(t.kind.unit());
+        unit_free[unit_idx] = end;
+        if t.kind != TaskKind::FillDrain {
+            busy[unit_idx] += t.duration;
+        }
+        done[i] = Some(end);
+        remaining -= 1;
+        states[t.p_tile].execute(t.kind, t.m1, q, k, v, &mut av);
+        records.push(TaskRecord {
+            kind: t.kind,
+            unit: t.kind.unit(),
+            p_tile: t.p_tile,
+            m1: t.m1,
+            start,
+            end,
+        });
+    }
+    records.sort_by_key(|r| (r.start, r.end));
+    let cycles = records.iter().map(|r| r.end).max().unwrap_or(0);
+    Ok(SimResult { av, cycles, busy_2d: busy[0], busy_1d: busy[1], records })
+}
+
+fn unit_index(u: Unit) -> usize {
+    match u {
+        Unit::Array2D => 0,
+        Unit::Array1D => 1,
+    }
+}
+
+/// Builds the tile-granular task graph for all query tiles.
+fn build_graph(
+    cfg: &SpatialConfig,
+    binding: Binding,
+    e: usize,
+    f: usize,
+    m1_count: usize,
+    p_tiles: usize,
+) -> Vec<LogicalTask> {
+    let p0 = cfg.cols;
+    let lanes = cfg.vector_pes.max(1);
+    let vec_slots = p0.div_ceil(lanes) as u64; // 1D passes over a p-tile
+    let exp = cfg.exp_cycles();
+
+    let mut tasks: Vec<LogicalTask> = Vec::new();
+    let mut last_serial: Option<usize> = None;
+    for pt in 0..p_tiles {
+        // Per-m1 task indices of the previous iteration (for running deps).
+        let mut prev_rm: Option<usize> = None;
+        let mut prev_rd: Option<usize> = None;
+        let mut prev_rnv: Option<usize> = None;
+        for m1 in 0..m1_count {
+            let mut push = |kind: TaskKind, duration: u64, mut deps: Vec<usize>| -> usize {
+                if binding == Binding::Serialized {
+                    // Chain strictly after everything issued so far.
+                    if let Some(prev) = last_serial {
+                        deps.push(prev);
+                    }
+                }
+                tasks.push(LogicalTask { kind, p_tile: pt, m1, duration, deps });
+                let idx = tasks.len() - 1;
+                if binding == Binding::Serialized {
+                    last_serial = Some(idx);
+                }
+                idx
+            };
+
+            let bqk = push(TaskKind::Bqk, e as u64, vec![]);
+            let lm = push(TaskKind::Lm, 1, vec![bqk]);
+            let mut rm_deps = vec![lm];
+            if let Some(p) = prev_rm {
+                rm_deps.push(p);
+            }
+            let rm = push(TaskKind::Rm, vec_slots, rm_deps);
+            let sln = push(TaskKind::Sln, exp, vec![bqk, rm]);
+            let sld = push(TaskKind::Sld, 1, vec![sln]);
+            let slnv = push(TaskKind::Slnv, f as u64, vec![sln]);
+            let prm = push(TaskKind::Prm, exp * vec_slots, vec![rm]);
+            let mut rd_deps = vec![sld, prm];
+            if let Some(p) = prev_rd {
+                rd_deps.push(p);
+            }
+            let rd = push(TaskKind::Rd, 2 * vec_slots, rd_deps);
+            let mut rnv_deps = vec![slnv, prm];
+            if let Some(p) = prev_rnv {
+                rnv_deps.push(p);
+            }
+            let rnv = push(TaskKind::Rnv, 2 * f as u64 * vec_slots, rnv_deps);
+            if cfg.charge_fill_drain && binding == Binding::Serialized {
+                push(TaskKind::FillDrain, (cfg.rows + cfg.cols) as u64, vec![rnv]);
+            }
+            prev_rm = Some(rm);
+            prev_rd = Some(rd);
+            prev_rnv = Some(rnv);
+        }
+        // Einsum 55 after the last iteration.
+        let mut av_deps = vec![prev_rd.unwrap(), prev_rnv.unwrap()];
+        if binding == Binding::Serialized {
+            if let Some(prev) = last_serial {
+                av_deps.push(prev);
+            }
+        }
+        tasks.push(LogicalTask {
+            kind: TaskKind::Av,
+            p_tile: pt,
+            m1: m1_count - 1,
+            duration: f as u64 * vec_slots,
+            deps: av_deps,
+        });
+        if binding == Binding::Serialized {
+            last_serial = Some(tasks.len() - 1);
+        }
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusemax_core::kernels::attention_reference;
+    use fusemax_tensor::{assert_tensors_close, Shape};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn qkv(e: usize, f: usize, m: usize, p: usize, seed: u64) -> [Tensor<f64>; 3] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        [
+            Tensor::random_uniform(Shape::of(&[("E", e), ("P", p)]), -1.0, 1.0, &mut rng),
+            Tensor::random_uniform(Shape::of(&[("E", e), ("M", m)]), -1.0, 1.0, &mut rng),
+            Tensor::random_uniform(Shape::of(&[("F", f), ("M", m)]), -1.0, 1.0, &mut rng),
+        ]
+    }
+
+    #[test]
+    fn both_bindings_compute_reference_attention() {
+        let [q, k, v] = qkv(8, 8, 32, 8, 1);
+        let cfg = SpatialConfig::toy(4, 4);
+        let want = attention_reference(&q, &k, &v).unwrap();
+        for binding in [Binding::Serialized, Binding::Pipelined] {
+            let r = simulate(&q, &k, &v, &cfg, binding).unwrap();
+            assert_tensors_close(&r.av, &want, 1e-9);
+        }
+    }
+
+    #[test]
+    fn pipelined_binding_is_faster_with_equal_work() {
+        let [q, k, v] = qkv(8, 8, 64, 4, 2);
+        let cfg = SpatialConfig::toy(4, 4);
+        let s = simulate(&q, &k, &v, &cfg, Binding::Serialized).unwrap();
+        let p = simulate(&q, &k, &v, &cfg, Binding::Pipelined).unwrap();
+        assert_eq!(s.busy_2d, p.busy_2d, "same 2D work under both bindings");
+        assert_eq!(s.busy_1d, p.busy_1d, "same 1D work under both bindings");
+        assert!(
+            p.cycles * 2 < s.cycles,
+            "pipelining should at least halve the makespan: {} vs {}",
+            p.cycles,
+            s.cycles
+        );
+    }
+
+    #[test]
+    fn pipelined_utilization_is_high_for_long_sequences() {
+        // 32 m1-iterations amortize the pipeline ramp (Fig 6's +Binding).
+        let [q, k, v] = qkv(8, 8, 128, 4, 3);
+        let cfg = SpatialConfig::toy(4, 4);
+        let r = simulate(&q, &k, &v, &cfg, Binding::Pipelined).unwrap();
+        assert!(r.util_2d() > 0.75, "2D util = {}", r.util_2d());
+        assert!(r.util_1d() > 0.75, "1D util = {}", r.util_1d());
+    }
+
+    #[test]
+    fn serialized_utilization_is_poor() {
+        let [q, k, v] = qkv(8, 8, 128, 4, 4);
+        let cfg = SpatialConfig::toy(4, 4);
+        let r = simulate(&q, &k, &v, &cfg, Binding::Serialized).unwrap();
+        assert!(r.util_2d() < 0.5, "2D util = {}", r.util_2d());
+        assert!(r.util_1d() < 0.5, "1D util = {}", r.util_1d());
+    }
+
+    #[test]
+    fn pipelined_schedule_overlaps_the_arrays() {
+        let [q, k, v] = qkv(4, 4, 32, 4, 5);
+        let cfg = SpatialConfig::toy(4, 4);
+        let r = simulate(&q, &k, &v, &cfg, Binding::Pipelined).unwrap();
+        // Some 2D task must start while a 1D task is still running.
+        let overlap = r.records.iter().any(|a| {
+            a.unit == Unit::Array2D
+                && r.records.iter().any(|b| {
+                    b.unit == Unit::Array1D && b.start < a.start && a.start < b.end
+                })
+        });
+        assert!(overlap, "expected 2D/1D overlap:\n{}", r.waterfall(40));
+    }
+
+    #[test]
+    fn serialized_schedule_never_overlaps() {
+        let [q, k, v] = qkv(4, 4, 16, 4, 6);
+        let cfg = SpatialConfig::toy(4, 4);
+        let r = simulate(&q, &k, &v, &cfg, Binding::Serialized).unwrap();
+        for w in r.records.windows(2) {
+            assert!(w[1].start >= w[0].end, "serialized tasks must not overlap: {} {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn multiple_query_tiles_pipeline_too() {
+        let [q, k, v] = qkv(8, 8, 32, 16, 7);
+        let cfg = SpatialConfig::toy(4, 4);
+        let want = attention_reference(&q, &k, &v).unwrap();
+        let r = simulate(&q, &k, &v, &cfg, Binding::Pipelined).unwrap();
+        assert_tensors_close(&r.av, &want, 1e-9);
+        assert!(r.util_2d() > 0.8, "independent p-tiles should fill gaps: {}", r.util_2d());
+    }
+
+    #[test]
+    fn bad_tiling_is_rejected() {
+        let [q, k, v] = qkv(4, 4, 30, 4, 8);
+        let cfg = SpatialConfig::toy(4, 4);
+        assert!(matches!(
+            simulate(&q, &k, &v, &cfg, Binding::Pipelined),
+            Err(SimError::BadTiling { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_shapes_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let q = Tensor::random_uniform(Shape::of(&[("E", 4), ("P", 4)]), -1.0, 1.0, &mut rng);
+        let k = Tensor::random_uniform(Shape::of(&[("E", 8), ("M", 16)]), -1.0, 1.0, &mut rng);
+        let v = Tensor::random_uniform(Shape::of(&[("F", 4), ("M", 16)]), -1.0, 1.0, &mut rng);
+        assert!(matches!(
+            simulate(&q, &k, &v, &SpatialConfig::toy(4, 4), Binding::Pipelined),
+            Err(SimError::BadShapes { .. })
+        ));
+    }
+
+    #[test]
+    fn waterfall_renders_and_truncates() {
+        let [q, k, v] = qkv(4, 4, 16, 4, 10);
+        let r = simulate(&q, &k, &v, &SpatialConfig::toy(4, 4), Binding::Pipelined).unwrap();
+        let w = r.waterfall(5);
+        assert_eq!(w.lines().count(), 6); // 5 records + truncation line
+        assert!(w.contains("BQK"));
+        assert!(w.contains("more"));
+    }
+
+    #[test]
+    fn busy_cycles_match_analytic_totals() {
+        // 2D: (E + 1 + exp + 1 + F)·M1 per p-tile; 1D: (1 + exp + 2 +
+        // 2F)·M1 + F per p-tile (vec_slots = 1 for cols == lanes).
+        let [q, k, v] = qkv(8, 8, 64, 4, 11);
+        let cfg = SpatialConfig::toy(4, 4);
+        let r = simulate(&q, &k, &v, &cfg, Binding::Pipelined).unwrap();
+        let m1 = 64 / 4;
+        let t2d = (8 + 1 + 7 + 1 + 8) * m1;
+        let t1d = (1 + 7 + 2 + 2 * 8) * m1 + 8;
+        assert_eq!(r.busy_2d, t2d as u64);
+        assert_eq!(r.busy_1d, t1d as u64);
+    }
+}

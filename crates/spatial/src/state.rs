@@ -1,0 +1,202 @@
+//! Numeric state for one query tile: the dataflow values of Cascade 5.
+//!
+//! Every tensor is kept *versioned by `m1`* (the running tensors `RM`,
+//! `RD`, `RNV` literally have an `M1` rank in the cascade), so task
+//! execution is pure dataflow — any schedule that respects the true
+//! dependencies computes identical results, which is what lets the
+//! out-of-order pipelined binding be validated against the reference.
+
+use crate::task::TaskKind;
+use fusemax_tensor::Tensor;
+
+/// Per-(query-tile) dataflow state.
+pub(crate) struct TileState {
+    e: usize,
+    f: usize,
+    m0: usize,
+    p0: usize,
+    m1_count: usize,
+    p_tile: usize,
+    /// BQK tiles, one per m1: `m0 × p0`.
+    bqk: Vec<Vec<f64>>,
+    /// Local maxima per m1: `p0`.
+    lm: Vec<Vec<f64>>,
+    /// Tile numerators per m1: `m0 × p0`.
+    sln: Vec<Vec<f64>>,
+    /// Tile denominators per m1: `p0`.
+    sld: Vec<Vec<f64>>,
+    /// Numerator-times-V tiles per m1: `f × p0`.
+    slnv: Vec<Vec<f64>>,
+    /// Correction factors per m1: `p0`.
+    prm: Vec<Vec<f64>>,
+    /// Running max, m1 ∈ 0..=M1: `p0`.
+    rm: Vec<Vec<f64>>,
+    /// Running denominator, m1 ∈ 0..=M1: `p0`.
+    rd: Vec<Vec<f64>>,
+    /// Running numerator-times-V, m1 ∈ 0..=M1: `f × p0`.
+    rnv: Vec<Vec<f64>>,
+}
+
+impl TileState {
+    pub(crate) fn new(
+        e: usize,
+        f: usize,
+        m0: usize,
+        p0: usize,
+        m1_count: usize,
+        p_tile: usize,
+    ) -> Self {
+        Self {
+            e,
+            f,
+            m0,
+            p0,
+            m1_count,
+            p_tile,
+            bqk: vec![Vec::new(); m1_count],
+            lm: vec![Vec::new(); m1_count],
+            sln: vec![Vec::new(); m1_count],
+            sld: vec![Vec::new(); m1_count],
+            slnv: vec![Vec::new(); m1_count],
+            prm: vec![Vec::new(); m1_count],
+            // Initialization Einsums 41–43.
+            rm: {
+                let mut v = vec![Vec::new(); m1_count + 1];
+                v[0] = vec![f64::NEG_INFINITY; p0];
+                v
+            },
+            rd: {
+                let mut v = vec![Vec::new(); m1_count + 1];
+                v[0] = vec![0.0; p0];
+                v
+            },
+            rnv: {
+                let mut v = vec![Vec::new(); m1_count + 1];
+                v[0] = vec![0.0; f * p0];
+                v
+            },
+        }
+    }
+
+    /// Executes one task's tile math (`q: E×P`, `k: E×M`, `v: F×M`), writing
+    /// `Av` results into `av: F×P`.
+    pub(crate) fn execute(
+        &mut self,
+        kind: TaskKind,
+        m1: usize,
+        q: &Tensor<f64>,
+        k: &Tensor<f64>,
+        v: &Tensor<f64>,
+        av: &mut Tensor<f64>,
+    ) {
+        let (e, f, m0, p0) = (self.e, self.f, self.m0, self.p0);
+        let p_total = q.shape().ranks()[1].extent();
+        let m_total = k.shape().ranks()[1].extent();
+        let (qd, kd, vd) = (q.data(), k.data(), v.data());
+        let p_base = self.p_tile * p0;
+        let m_base = m1 * m0;
+        match kind {
+            TaskKind::Bqk => {
+                let mut tile = vec![0.0; m0 * p0];
+                for i in 0..m0 {
+                    for j in 0..p0 {
+                        let mut acc = 0.0;
+                        for ei in 0..e {
+                            acc += qd[ei * p_total + p_base + j] * kd[ei * m_total + m_base + i];
+                        }
+                        tile[i * p0 + j] = acc;
+                    }
+                }
+                self.bqk[m1] = tile;
+            }
+            TaskKind::Lm => {
+                let bqk = &self.bqk[m1];
+                let mut lm = vec![f64::NEG_INFINITY; p0];
+                for i in 0..m0 {
+                    for (j, l) in lm.iter_mut().enumerate() {
+                        *l = l.max(bqk[i * p0 + j]);
+                    }
+                }
+                self.lm[m1] = lm;
+            }
+            TaskKind::Rm => {
+                let prev = &self.rm[m1];
+                let lm = &self.lm[m1];
+                self.rm[m1 + 1] = prev.iter().zip(lm).map(|(&a, &b)| a.max(b)).collect();
+            }
+            TaskKind::Sln => {
+                let bqk = &self.bqk[m1];
+                let rm_new = &self.rm[m1 + 1];
+                let mut sln = vec![0.0; m0 * p0];
+                for i in 0..m0 {
+                    for j in 0..p0 {
+                        sln[i * p0 + j] = (bqk[i * p0 + j] - rm_new[j]).exp();
+                    }
+                }
+                self.sln[m1] = sln;
+            }
+            TaskKind::Sld => {
+                let sln = &self.sln[m1];
+                let mut sld = vec![0.0; p0];
+                for i in 0..m0 {
+                    for (j, s) in sld.iter_mut().enumerate() {
+                        *s += sln[i * p0 + j];
+                    }
+                }
+                self.sld[m1] = sld;
+            }
+            TaskKind::Slnv => {
+                let sln = &self.sln[m1];
+                let mut slnv = vec![0.0; f * p0];
+                for fi in 0..f {
+                    for i in 0..m0 {
+                        let vv = vd[fi * m_total + m_base + i];
+                        for j in 0..p0 {
+                            slnv[fi * p0 + j] += sln[i * p0 + j] * vv;
+                        }
+                    }
+                }
+                self.slnv[m1] = slnv;
+            }
+            TaskKind::Prm => {
+                let old = &self.rm[m1];
+                let new = &self.rm[m1 + 1];
+                self.prm[m1] = old.iter().zip(new).map(|(&a, &b)| (a - b).exp()).collect();
+            }
+            TaskKind::Rd => {
+                let sld = &self.sld[m1];
+                let prm = &self.prm[m1];
+                let prev = &self.rd[m1];
+                self.rd[m1 + 1] = sld
+                    .iter()
+                    .zip(prm)
+                    .zip(prev)
+                    .map(|((&s, &c), &r)| s + r * c)
+                    .collect();
+            }
+            TaskKind::Rnv => {
+                let slnv = &self.slnv[m1];
+                let prm = &self.prm[m1];
+                let prev = &self.rnv[m1];
+                let mut next = vec![0.0; f * p0];
+                for fi in 0..f {
+                    for j in 0..p0 {
+                        next[fi * p0 + j] = slnv[fi * p0 + j] + prev[fi * p0 + j] * prm[j];
+                    }
+                }
+                self.rnv[m1 + 1] = next;
+            }
+            TaskKind::Av => {
+                let last = self.m1_count;
+                let rnv = &self.rnv[last];
+                let rd = &self.rd[last];
+                for fi in 0..f {
+                    for j in 0..p0 {
+                        av.set(&[fi, p_base + j], rnv[fi * p0 + j] / rd[j]);
+                    }
+                }
+            }
+            TaskKind::FillDrain => {}
+        }
+    }
+}

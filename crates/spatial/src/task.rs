@@ -1,0 +1,191 @@
+//! Logical tasks, units, and bindings (§II-D).
+
+use std::fmt;
+
+/// The compute unit a task is bound to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Unit {
+    /// The 2D PE array.
+    Array2D,
+    /// The 1D (vector) PE array.
+    Array1D,
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Unit::Array2D => "2D",
+            Unit::Array1D => "1D",
+        })
+    }
+}
+
+/// Tile-granular task kinds, one per Einsum of Cascade 5 (plus the
+/// serialized binding's explicit fill/drain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// Einsum 44 — `BQK` tile on the 2D array.
+    Bqk,
+    /// Einsum 45 — local max, spatial reduction on the 2D array.
+    Lm,
+    /// Einsum 46 — running-max update on the 1D array.
+    Rm,
+    /// Einsum 47 — tile numerator (sub-then-exp) on the 2D array.
+    Sln,
+    /// Einsum 48 — tile denominator, spatial reduction on the 2D array.
+    Sld,
+    /// Einsum 49 — numerator-times-V tile on the 2D array.
+    Slnv,
+    /// Einsum 50 — correction factor on the 1D array.
+    Prm,
+    /// Einsums 51–52 — running denominator update on the 1D array.
+    Rd,
+    /// Einsums 53–54 — running numerator-times-V update on the 1D array.
+    Rnv,
+    /// Einsum 55 — final divisions on the 1D array.
+    Av,
+    /// Array fill/drain charged by the serialized binding.
+    FillDrain,
+}
+
+impl TaskKind {
+    /// The unit this kind is bound to under the FuseMax binding (§V).
+    pub fn unit(self) -> Unit {
+        match self {
+            TaskKind::Bqk
+            | TaskKind::Lm
+            | TaskKind::Sln
+            | TaskKind::Sld
+            | TaskKind::Slnv
+            | TaskKind::FillDrain => Unit::Array2D,
+            TaskKind::Rm | TaskKind::Prm | TaskKind::Rd | TaskKind::Rnv | TaskKind::Av => {
+                Unit::Array1D
+            }
+        }
+    }
+
+    /// Short name for traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskKind::Bqk => "BQK",
+            TaskKind::Lm => "LM",
+            TaskKind::Rm => "RM",
+            TaskKind::Sln => "SLN",
+            TaskKind::Sld => "SLD",
+            TaskKind::Slnv => "SLNV",
+            TaskKind::Prm => "PRM",
+            TaskKind::Rd => "RD",
+            TaskKind::Rnv => "RNV",
+            TaskKind::Av => "AV",
+            TaskKind::FillDrain => "fill/drain",
+        }
+    }
+}
+
+impl fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One logical task: a tile-granular piece of one Einsum's iteration space
+/// at tile coordinates `(p_tile, m1)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicalTask {
+    /// What the task computes.
+    pub kind: TaskKind,
+    /// The query tile index.
+    pub p_tile: usize,
+    /// The key tile index (`m1`), unused by `Av`.
+    pub m1: usize,
+    /// Duration in cycles on its unit.
+    pub duration: u64,
+    /// Indices of tasks that must complete first.
+    pub deps: Vec<usize>,
+}
+
+/// How tasks are ordered onto the hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Binding {
+    /// +Architecture: one tile's tasks run to completion (with fill/drain)
+    /// before the next tile starts.
+    Serialized,
+    /// +Binding: list scheduling on true dependencies — software
+    /// pipelining across tiles emerges naturally.
+    Pipelined,
+}
+
+impl fmt::Display for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Binding::Serialized => "serialized",
+            Binding::Pipelined => "pipelined",
+        })
+    }
+}
+
+/// A scheduled task instance, for waterfall traces (Fig 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskRecord {
+    /// What ran.
+    pub kind: TaskKind,
+    /// Where it ran.
+    pub unit: Unit,
+    /// Tile coordinates `(p_tile, m1)`.
+    pub p_tile: usize,
+    /// Key tile index.
+    pub m1: usize,
+    /// Start cycle.
+    pub start: u64,
+    /// End cycle (exclusive).
+    pub end: u64,
+}
+
+impl fmt::Display for TaskRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>6}..{:>6}] {} {}(p{},m{})",
+            self.start,
+            self.end,
+            self.unit,
+            self.kind,
+            self.p_tile,
+            self.m1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_of_kinds_matches_section_v() {
+        // Tensor products + exp on the 2D array; running updates and the
+        // division on the 1D array.
+        assert_eq!(TaskKind::Bqk.unit(), Unit::Array2D);
+        assert_eq!(TaskKind::Sln.unit(), Unit::Array2D);
+        assert_eq!(TaskKind::Slnv.unit(), Unit::Array2D);
+        assert_eq!(TaskKind::Rm.unit(), Unit::Array1D);
+        assert_eq!(TaskKind::Rnv.unit(), Unit::Array1D);
+        assert_eq!(TaskKind::Av.unit(), Unit::Array1D);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TaskKind::Bqk.to_string(), "BQK");
+        assert_eq!(Unit::Array2D.to_string(), "2D");
+        assert_eq!(Binding::Pipelined.to_string(), "pipelined");
+        let r = TaskRecord {
+            kind: TaskKind::Sln,
+            unit: Unit::Array2D,
+            p_tile: 0,
+            m1: 3,
+            start: 10,
+            end: 17,
+        };
+        assert!(r.to_string().contains("SLN"));
+        assert!(r.to_string().contains("m3"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Approximate-equality helpers for comparing kernel outputs.
+
+use crate::element::Element;
+use crate::Tensor;
+
+/// The maximum absolute elementwise difference between two tensors.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+///
+/// # Example
+///
+/// ```
+/// use fusemax_tensor::{max_abs_diff, Shape, Tensor};
+///
+/// let s = Shape::of(&[("M", 2)]);
+/// let a = Tensor::from_vec(s.clone(), vec![1.0_f64, 2.0]).unwrap();
+/// let b = Tensor::from_vec(s, vec![1.0_f64, 2.5]).unwrap();
+/// assert_eq!(max_abs_diff(&a, &b), 0.5);
+/// ```
+pub fn max_abs_diff<T: Element>(a: &Tensor<T>, b: &Tensor<T>) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch in max_abs_diff");
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| (x.to_f64() - y.to_f64()).abs())
+        .fold(0.0, f64::max)
+}
+
+/// The maximum relative elementwise difference, with denominators clamped to
+/// at least 1 to avoid division blow-up near zero.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn max_rel_diff<T: Element>(a: &Tensor<T>, b: &Tensor<T>) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch in max_rel_diff");
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| {
+            let (x, y) = (x.to_f64(), y.to_f64());
+            (x - y).abs() / x.abs().max(y.abs()).max(1.0)
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Asserts two tensors agree elementwise within `tol` (absolute).
+///
+/// # Panics
+///
+/// Panics with a diagnostic naming the first offending coordinate when the
+/// tensors disagree or their shapes differ.
+pub fn assert_tensors_close<T: Element>(a: &Tensor<T>, b: &Tensor<T>, tol: f64) {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch");
+    for (i, (&x, &y)) in a.data().iter().zip(b.data()).enumerate() {
+        let d = (x.to_f64() - y.to_f64()).abs();
+        // NaN differences must fail, so compare in the negated direction.
+        if d > tol || d.is_nan() {
+            let coords = a.shape().coords_of(i);
+            panic!("tensors differ at {coords:?}: {x} vs {y} (|Δ| = {d:.3e} > {tol:.3e})");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    #[test]
+    fn rel_diff_clamps_denominator() {
+        let s = Shape::of(&[("M", 1)]);
+        let a = Tensor::from_vec(s.clone(), vec![1e-12_f64]).unwrap();
+        let b = Tensor::from_vec(s, vec![0.0_f64]).unwrap();
+        assert!(max_rel_diff(&a, &b) < 1e-11);
+    }
+
+    #[test]
+    fn close_tensors_pass() {
+        let s = Shape::of(&[("M", 3)]);
+        let a = Tensor::from_vec(s.clone(), vec![1.0_f64, 2.0, 3.0]).unwrap();
+        let b = a.map(|x| x + 1e-12);
+        assert_tensors_close(&a, &b, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "tensors differ")]
+    fn distant_tensors_panic() {
+        let s = Shape::of(&[("M", 2)]);
+        let a = Tensor::from_vec(s.clone(), vec![1.0_f64, 2.0]).unwrap();
+        let b = Tensor::from_vec(s, vec![1.0_f64, 9.0]).unwrap();
+        assert_tensors_close(&a, &b, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "tensors differ")]
+    fn nan_fails_closeness() {
+        let s = Shape::of(&[("M", 1)]);
+        let a = Tensor::from_vec(s.clone(), vec![f64::NAN]).unwrap();
+        let b = Tensor::from_vec(s, vec![0.0_f64]).unwrap();
+        assert_tensors_close(&a, &b, 1.0);
+    }
+}

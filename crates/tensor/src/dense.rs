@@ -1,0 +1,419 @@
+//! Dense row-major tensor storage.
+
+use crate::element::Element;
+use crate::error::ShapeError;
+use crate::fiber::Fiber;
+use crate::shape::Shape;
+use std::fmt;
+
+/// A dense tensor with named ranks, stored row-major.
+///
+/// # Example
+///
+/// ```
+/// use fusemax_tensor::{Shape, Tensor};
+///
+/// let mut t: Tensor<f64> = Tensor::zeros(Shape::of(&[("M", 2), ("P", 3)]));
+/// t.set(&[1, 2], 5.0);
+/// assert_eq!(t.get(&[1, 2]), 5.0);
+/// assert_eq!(t.sum(), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor<T = f64> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T: Element> Tensor<T> {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: Shape) -> Self {
+        let volume = shape.volume();
+        Self { shape, data: vec![T::ZERO; volume] }
+    }
+
+    /// Creates a tensor with every element set to `value`.
+    pub fn full(shape: Shape, value: T) -> Self {
+        let volume = shape.volume();
+        Self { shape, data: vec![value; volume] }
+    }
+
+    /// Creates a tensor by evaluating `f` at every coordinate.
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(&[usize]) -> T) -> Self {
+        let mut data = Vec::with_capacity(shape.volume());
+        for coords in shape.coords_iter() {
+            data.push(f(&coords));
+        }
+        Self { shape, data }
+    }
+
+    /// Creates a tensor from a row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::DataLength`] when the buffer length does not
+    /// match the shape volume.
+    pub fn from_vec(shape: Shape, data: Vec<T>) -> Result<Self, ShapeError> {
+        if data.len() != shape.volume() {
+            return Err(ShapeError::DataLength { got: data.len(), expected: shape.volume() });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Creates a 0-tensor (scalar).
+    pub fn scalar(value: T) -> Self {
+        Self { shape: Shape::scalar(), data: vec![value] }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The raw row-major data.
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable access to the raw row-major data.
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Reads the element at `coords` (in rank order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinates are invalid; see [`Tensor::try_get`].
+    pub fn get(&self, coords: &[usize]) -> T {
+        self.try_get(coords).expect("invalid coordinates")
+    }
+
+    /// Reads the element at `coords`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when arity or bounds are violated.
+    pub fn try_get(&self, coords: &[usize]) -> Result<T, ShapeError> {
+        Ok(self.data[self.shape.index_of(coords)?])
+    }
+
+    /// Writes the element at `coords`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinates are invalid; see [`Tensor::try_set`].
+    pub fn set(&mut self, coords: &[usize], value: T) {
+        self.try_set(coords, value).expect("invalid coordinates");
+    }
+
+    /// Writes the element at `coords`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when arity or bounds are violated.
+    pub fn try_set(&mut self, coords: &[usize], value: T) -> Result<(), ShapeError> {
+        let idx = self.shape.index_of(coords)?;
+        self.data[idx] = value;
+        Ok(())
+    }
+
+    /// The scalar value of a 0-tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not a scalar.
+    pub fn item(&self) -> T {
+        assert_eq!(self.shape.num_ranks(), 0, "item() requires a 0-tensor");
+        self.data[0]
+    }
+
+    /// Applies `f` elementwise, producing a new tensor of the same shape.
+    pub fn map(&self, mut f: impl FnMut(T) -> T) -> Self {
+        Self { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Combines two same-shaped tensors elementwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the shapes differ.
+    pub fn zip_with(&self, other: &Self, mut f: impl FnMut(T, T) -> T) -> Result<Self, ShapeError> {
+        if self.shape != other.shape {
+            return Err(ShapeError::Mismatch {
+                detail: format!("{} vs {}", self.shape, other.shape),
+            });
+        }
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Ok(Self { shape: self.shape.clone(), data })
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> T {
+        self.data.iter().fold(T::ZERO, |acc, &x| acc + x)
+    }
+
+    /// Maximum of all elements (`-inf` for an empty tensor).
+    pub fn max(&self) -> T {
+        self.data.iter().fold(T::neg_infinity(), |acc, &x| acc.max_of(x))
+    }
+
+    /// `true` when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// A [`Fiber`] along `rank`, with every *other* rank fixed by `fixed`.
+    ///
+    /// This is the fibertree accessor: the returned fiber enumerates
+    /// `(coordinate, payload)` pairs for the chosen rank.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `rank` is unknown, a fixed rank is unknown, or
+    /// a fixed coordinate is out of bounds.
+    pub fn fiber(&self, rank: &str, fixed: &[(&str, usize)]) -> Result<Fiber<'_, T>, ShapeError> {
+        Fiber::new(self, rank, fixed)
+    }
+
+    /// A view with the first `leading.len()` ranks fixed to `leading`.
+    ///
+    /// For a tensor with shape `[A, B, C]`, `subview(&[a])` is the `B×C`
+    /// slice at `A = a` — the payload of coordinate `a` in the top fiber of
+    /// the fibertree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when too many coordinates are given or any is out of
+    /// bounds.
+    pub fn subview(&self, leading: &[usize]) -> Result<TensorView<'_, T>, ShapeError> {
+        TensorView::new(self, leading)
+    }
+
+    /// Returns a new tensor with ranks reordered to `order` (data permuted
+    /// accordingly).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `order` is not a permutation of the rank names.
+    pub fn permuted(&self, order: &[&str]) -> Result<Self, ShapeError> {
+        let new_shape = self.shape.permuted(order)?;
+        let positions: Vec<usize> =
+            order.iter().map(|name| self.shape.position(name).unwrap()).collect();
+        let mut out = Tensor::zeros(new_shape.clone());
+        let mut old_coords = vec![0usize; positions.len()];
+        for new_coords in new_shape.coords_iter() {
+            for (new_axis, &old_axis) in positions.iter().enumerate() {
+                old_coords[old_axis] = new_coords[new_axis];
+            }
+            let v = self.get(&old_coords);
+            out.set(&new_coords, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Element> fmt::Display for Tensor<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} {{", self.shape)?;
+        let limit = 8.min(self.data.len());
+        for (i, v) in self.data.iter().take(limit).enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, " {v}")?;
+        }
+        if self.data.len() > limit {
+            write!(f, ", …")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+/// An immutable view of a tensor with leading ranks fixed.
+///
+/// Produced by [`Tensor::subview`]; behaves like a lower-rank tensor over
+/// the remaining ranks.
+#[derive(Debug, Clone, Copy)]
+pub struct TensorView<'a, T> {
+    tensor: &'a Tensor<T>,
+    offset: usize,
+    fixed: usize,
+}
+
+impl<'a, T: Element> TensorView<'a, T> {
+    fn new(tensor: &'a Tensor<T>, leading: &[usize]) -> Result<Self, ShapeError> {
+        let ranks = tensor.shape().ranks();
+        if leading.len() > ranks.len() {
+            return Err(ShapeError::CoordArity { got: leading.len(), expected: ranks.len() });
+        }
+        let strides = tensor.shape().strides();
+        let mut offset = 0usize;
+        for (i, &c) in leading.iter().enumerate() {
+            if c >= ranks[i].extent() {
+                return Err(ShapeError::CoordOutOfBounds {
+                    rank: ranks[i].name().to_string(),
+                    coord: c,
+                    extent: ranks[i].extent(),
+                });
+            }
+            offset += c * strides[i];
+        }
+        Ok(Self { tensor, offset, fixed: leading.len() })
+    }
+
+    /// The shape of the remaining (un-fixed) ranks.
+    pub fn shape(&self) -> Shape {
+        let rest: Vec<(&str, usize)> = self
+            .tensor
+            .shape()
+            .ranks()
+            .iter()
+            .skip(self.fixed)
+            .map(|r| (r.name(), r.extent()))
+            .collect();
+        Shape::of(&rest)
+    }
+
+    /// Reads the element at `coords` over the remaining ranks.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when arity or bounds are violated.
+    pub fn try_get(&self, coords: &[usize]) -> Result<T, ShapeError> {
+        let idx = self.shape().index_of(coords)?;
+        Ok(self.tensor.data()[self.offset + idx])
+    }
+
+    /// Reads the element at `coords` over the remaining ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinates are invalid.
+    pub fn get(&self, coords: &[usize]) -> T {
+        self.try_get(coords).expect("invalid coordinates")
+    }
+
+    /// Copies this view into an owned tensor.
+    pub fn to_tensor(&self) -> Tensor<T> {
+        let shape = self.shape();
+        Tensor::from_fn(shape, |c| self.get(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota(shape: Shape) -> Tensor<f64> {
+        let mut i = -1.0;
+        Tensor::from_fn(shape, |_| {
+            i += 1.0;
+            i
+        })
+    }
+
+    #[test]
+    fn zeros_full_from_fn() {
+        let s = Shape::of(&[("M", 2), ("P", 2)]);
+        assert_eq!(Tensor::<f64>::zeros(s.clone()).sum(), 0.0);
+        assert_eq!(Tensor::full(s.clone(), 2.0).sum(), 8.0);
+        let t = iota(s);
+        assert_eq!(t.get(&[0, 0]), 0.0);
+        assert_eq!(t.get(&[1, 1]), 3.0);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        let s = Shape::of(&[("M", 2)]);
+        assert!(Tensor::from_vec(s.clone(), vec![1.0_f64]).is_err());
+        assert!(Tensor::from_vec(s, vec![1.0_f64, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let s = Shape::of(&[("A", 3), ("B", 4)]);
+        let mut t: Tensor<f64> = Tensor::zeros(s.clone());
+        for coords in s.coords_iter() {
+            t.set(&coords, (coords[0] * 10 + coords[1]) as f64);
+        }
+        for coords in s.coords_iter() {
+            assert_eq!(t.get(&coords), (coords[0] * 10 + coords[1]) as f64);
+        }
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let s = Shape::of(&[("M", 2)]);
+        let a = Tensor::from_vec(s.clone(), vec![1.0_f64, 2.0]).unwrap();
+        let b = Tensor::from_vec(s.clone(), vec![10.0_f64, 20.0]).unwrap();
+        assert_eq!(a.map(|x| x * 2.0).data(), &[2.0, 4.0]);
+        assert_eq!(a.zip_with(&b, |x, y| x + y).unwrap().data(), &[11.0, 22.0]);
+        let c: Tensor<f64> = Tensor::zeros(Shape::of(&[("M", 3)]));
+        assert!(a.zip_with(&c, |x, _| x).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let s = Shape::of(&[("M", 3)]);
+        let t = Tensor::from_vec(s, vec![1.0_f64, -5.0, 3.0]).unwrap();
+        assert_eq!(t.sum(), -1.0);
+        assert_eq!(t.max(), 3.0);
+        assert!(t.all_finite());
+    }
+
+    #[test]
+    fn scalar_tensor() {
+        let t = Tensor::scalar(7.0_f64);
+        assert_eq!(t.item(), 7.0);
+        assert_eq!(t.shape().num_ranks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0-tensor")]
+    fn item_panics_on_non_scalar() {
+        let t: Tensor<f64> = Tensor::zeros(Shape::of(&[("M", 2)]));
+        let _ = t.item();
+    }
+
+    #[test]
+    fn subview_matches_manual_slice() {
+        let s = Shape::of(&[("A", 2), ("B", 3), ("C", 4)]);
+        let t = iota(s);
+        let v = t.subview(&[1]).unwrap();
+        assert_eq!(v.shape().rank_names(), vec!["B", "C"]);
+        for b in 0..3 {
+            for c in 0..4 {
+                assert_eq!(v.get(&[b, c]), t.get(&[1, b, c]));
+            }
+        }
+        let owned = v.to_tensor();
+        assert_eq!(owned.get(&[2, 3]), t.get(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn subview_errors() {
+        let t: Tensor<f64> = Tensor::zeros(Shape::of(&[("A", 2)]));
+        assert!(t.subview(&[0, 0]).is_err());
+        assert!(t.subview(&[5]).is_err());
+    }
+
+    #[test]
+    fn permuted_transposes_data() {
+        let s = Shape::of(&[("E", 2), ("M", 3)]);
+        let t = iota(s);
+        let p = t.permuted(&["M", "E"]).unwrap();
+        for e in 0..2 {
+            for m in 0..3 {
+                assert_eq!(p.get(&[m, e]), t.get(&[e, m]));
+            }
+        }
+    }
+
+    #[test]
+    fn display_truncates() {
+        let t: Tensor<f64> = Tensor::zeros(Shape::of(&[("M", 100)]));
+        let s = t.to_string();
+        assert!(s.contains('…'));
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Scalar element trait implemented by `f32` and `f64`.
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A scalar type usable as a tensor element.
+///
+/// The trait is sealed in spirit (only `f32`/`f64` make sense for this
+/// reproduction) but kept open so tests can instantiate both widths. All
+/// operations required by the attention cascades — arithmetic, `exp`, `max`,
+/// and the `-inf` identity used to initialize running maxima (Cascade 5,
+/// Einsum 41) — are available through this trait.
+///
+/// # Example
+///
+/// ```
+/// use fusemax_tensor::Element;
+///
+/// fn softmax_denominator<T: Element>(xs: &[T]) -> T {
+///     let m = xs.iter().fold(T::neg_infinity(), |a, &b| a.max_of(b));
+///     xs.iter().fold(T::ZERO, |a, &b| a + (b - m).exp())
+/// }
+/// assert!((softmax_denominator(&[0.0_f64, 0.0]) - 2.0).abs() < 1e-12);
+/// ```
+pub trait Element:
+    Copy
+    + PartialOrd
+    + Debug
+    + Display
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity (also the reduction identity for `+`).
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// The reduction identity for `max` (negative infinity).
+    fn neg_infinity() -> Self;
+    /// Positive infinity, used by overflow tests.
+    fn infinity() -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Binary maximum (the paper's `max(∪)` compute operator).
+    fn max_of(self, other: Self) -> Self;
+    /// Binary minimum.
+    fn min_of(self, other: Self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root (used by the 1/√E scale in Einsum 22).
+    fn sqrt(self) -> Self;
+    /// Lossy conversion from `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// Lossless widening to `f64`.
+    fn to_f64(self) -> f64;
+    /// `true` when neither infinite nor NaN.
+    fn is_finite(self) -> bool;
+    /// `true` when NaN.
+    fn is_nan(self) -> bool;
+}
+
+macro_rules! impl_element {
+    ($t:ty) => {
+        impl Element for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+
+            fn neg_infinity() -> Self {
+                <$t>::NEG_INFINITY
+            }
+            fn infinity() -> Self {
+                <$t>::INFINITY
+            }
+            fn exp(self) -> Self {
+                self.exp()
+            }
+            fn max_of(self, other: Self) -> Self {
+                self.max(other)
+            }
+            fn min_of(self, other: Self) -> Self {
+                self.min(other)
+            }
+            fn abs(self) -> Self {
+                self.abs()
+            }
+            fn sqrt(self) -> Self {
+                self.sqrt()
+            }
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            fn is_finite(self) -> bool {
+                self.is_finite()
+            }
+            fn is_nan(self) -> bool {
+                self.is_nan()
+            }
+        }
+    };
+}
+
+impl_element!(f32);
+impl_element!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        assert_eq!(f64::ZERO, 0.0);
+        assert_eq!(f32::ONE, 1.0);
+        assert!(f64::neg_infinity() < -1e300);
+        assert!(f32::infinity() > 1e30);
+    }
+
+    #[test]
+    fn max_min_abs() {
+        assert_eq!(2.0_f64.max_of(3.0), 3.0);
+        assert_eq!(2.0_f64.min_of(3.0), 2.0);
+        assert_eq!((-2.5_f32).abs(), 2.5);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let x = 1.5_f32;
+        assert_eq!(f32::from_f64(x.to_f64()), x);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(1.0_f64.is_finite());
+        assert!(!f64::infinity().is_finite());
+        assert!((f64::infinity() - f64::infinity()).is_nan());
+    }
+
+    #[test]
+    fn exp_of_neg_infinity_is_zero() {
+        // The 1-pass cascade relies on e^{-inf} = 0 for the very first
+        // correction factor PRM (Cascade 5, Einsum 50 at m1 = 0).
+        assert_eq!(f64::neg_infinity().exp(), 0.0);
+        assert_eq!(f32::neg_infinity().exp(), 0.0);
+    }
+}

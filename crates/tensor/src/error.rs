@@ -1,0 +1,109 @@
+//! Error types for shape and rank mismatches.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced when tensor shapes, ranks, or coordinates disagree.
+///
+/// # Example
+///
+/// ```
+/// use fusemax_tensor::{Shape, Tensor, ShapeError};
+///
+/// let t: Tensor<f64> = Tensor::zeros(Shape::of(&[("M", 2)]));
+/// let err = t.try_get(&[5]).unwrap_err();
+/// assert!(matches!(err, ShapeError::CoordOutOfBounds { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// A rank name was not found in the tensor's shape.
+    UnknownRank {
+        /// The requested rank name.
+        rank: String,
+        /// The ranks that exist on the tensor.
+        available: Vec<String>,
+    },
+    /// A coordinate exceeded the extent of its rank.
+    CoordOutOfBounds {
+        /// The rank whose bound was violated.
+        rank: String,
+        /// The offending coordinate.
+        coord: usize,
+        /// The extent of that rank.
+        extent: usize,
+    },
+    /// The number of coordinates did not match the number of ranks.
+    CoordArity {
+        /// Coordinates supplied.
+        got: usize,
+        /// Ranks expected.
+        expected: usize,
+    },
+    /// Two shapes that had to agree did not.
+    Mismatch {
+        /// Human-readable description of the two shapes.
+        detail: String,
+    },
+    /// The provided buffer length did not match the shape volume.
+    DataLength {
+        /// Elements supplied.
+        got: usize,
+        /// Elements required by the shape.
+        expected: usize,
+    },
+    /// A duplicate rank name was supplied when building a shape.
+    DuplicateRank {
+        /// The repeated rank name.
+        rank: String,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::UnknownRank { rank, available } => {
+                write!(f, "unknown rank `{rank}` (available: {available:?})")
+            }
+            ShapeError::CoordOutOfBounds { rank, coord, extent } => {
+                write!(f, "coordinate {coord} out of bounds for rank `{rank}` of extent {extent}")
+            }
+            ShapeError::CoordArity { got, expected } => {
+                write!(f, "expected {expected} coordinates, got {got}")
+            }
+            ShapeError::Mismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            ShapeError::DataLength { got, expected } => {
+                write!(f, "data length {got} does not match shape volume {expected}")
+            }
+            ShapeError::DuplicateRank { rank } => {
+                write!(f, "duplicate rank name `{rank}` in shape")
+            }
+        }
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ShapeError::UnknownRank { rank: "Q".into(), available: vec!["M".into()] };
+        let s = e.to_string();
+        assert!(s.contains("unknown rank"));
+        assert!(s.contains('Q'));
+
+        let e = ShapeError::CoordOutOfBounds { rank: "M".into(), coord: 9, extent: 4 };
+        assert!(e.to_string().contains("out of bounds"));
+
+        let e = ShapeError::DataLength { got: 3, expected: 6 };
+        assert!(e.to_string().contains("does not match"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(ShapeError::CoordArity { got: 1, expected: 2 });
+        assert!(e.to_string().contains("coordinates"));
+    }
+}

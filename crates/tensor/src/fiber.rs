@@ -1,0 +1,193 @@
+//! Fibers: single-rank slices of a tensor (the fibertree abstraction).
+
+use crate::element::Element;
+use crate::error::ShapeError;
+use crate::shape::Shape;
+use crate::Tensor;
+
+/// A fiber: the coordinates of one rank with all other ranks fixed (§II-A).
+///
+/// In the fibertree abstraction each coordinate of a fiber carries a
+/// payload; for a leaf rank the payload is the data value, which is what
+/// this dense implementation exposes.
+///
+/// # Example
+///
+/// ```
+/// use fusemax_tensor::{Shape, Tensor};
+///
+/// let qk: Tensor<f64> = Tensor::from_fn(
+///     Shape::of(&[("M", 4), ("P", 2)]),
+///     |c| (c[0] * 2 + c[1]) as f64,
+/// );
+/// // The M fiber of QK at p = 1 — what the softmax reduces over.
+/// let fiber = qk.fiber("M", &[("P", 1)]).unwrap();
+/// assert_eq!(fiber.len(), 4);
+/// let denominator: f64 = fiber.values().map(f64::exp).sum();
+/// assert!(denominator > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fiber<'a, T> {
+    tensor: &'a Tensor<T>,
+    base: usize,
+    stride: usize,
+    len: usize,
+}
+
+impl<'a, T: Element> Fiber<'a, T> {
+    pub(crate) fn new(
+        tensor: &'a Tensor<T>,
+        rank: &str,
+        fixed: &[(&str, usize)],
+    ) -> Result<Self, ShapeError> {
+        let shape: &Shape = tensor.shape();
+        let pos = shape.position(rank).ok_or_else(|| ShapeError::UnknownRank {
+            rank: rank.to_string(),
+            available: shape.rank_names().iter().map(|s| s.to_string()).collect(),
+        })?;
+        let strides = shape.strides();
+        let mut base = 0usize;
+        for r in shape.ranks() {
+            if r.name() == rank {
+                continue;
+            }
+            let (_, coord) = fixed
+                .iter()
+                .find(|(name, _)| *name == r.name())
+                .ok_or_else(|| ShapeError::UnknownRank {
+                    rank: r.name().to_string(),
+                    available: fixed.iter().map(|(n, _)| n.to_string()).collect(),
+                })?;
+            if *coord >= r.extent() {
+                return Err(ShapeError::CoordOutOfBounds {
+                    rank: r.name().to_string(),
+                    coord: *coord,
+                    extent: r.extent(),
+                });
+            }
+            base += coord * strides[shape.position(r.name()).unwrap()];
+        }
+        Ok(Self { tensor, base, stride: strides[pos], len: shape.ranks()[pos].extent() })
+    }
+
+    /// The number of coordinates in the fiber (the rank's extent).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the fiber has no coordinates.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The payload at coordinate `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.len()`.
+    pub fn payload(&self, c: usize) -> T {
+        assert!(c < self.len, "fiber coordinate out of bounds");
+        self.tensor.data()[self.base + c * self.stride]
+    }
+
+    /// Iterates over `(coordinate, payload)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, T)> + '_ {
+        (0..self.len).map(move |c| (c, self.payload(c)))
+    }
+
+    /// Iterates over payloads only.
+    pub fn values(&self) -> impl Iterator<Item = T> + '_ {
+        (0..self.len).map(move |c| self.payload(c))
+    }
+
+    /// The maximum payload in the fiber (`-inf` when empty) — the per-fiber
+    /// `GM` reduction of Einsum 29.
+    pub fn max(&self) -> T {
+        self.values().fold(T::neg_infinity(), |a, b| a.max_of(b))
+    }
+
+    /// The sum of payloads — the per-fiber `SD` reduction of Einsum 27.
+    pub fn sum(&self) -> T {
+        self.values().fold(T::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    fn sample() -> Tensor<f64> {
+        Tensor::from_fn(Shape::of(&[("E", 2), ("M", 3), ("P", 4)]), |c| {
+            (c[0] * 100 + c[1] * 10 + c[2]) as f64
+        })
+    }
+
+    #[test]
+    fn fiber_along_inner_rank() {
+        let t = sample();
+        let f = t.fiber("P", &[("E", 1), ("M", 2)]).unwrap();
+        assert_eq!(f.len(), 4);
+        let vals: Vec<f64> = f.values().collect();
+        assert_eq!(vals, vec![120.0, 121.0, 122.0, 123.0]);
+    }
+
+    #[test]
+    fn fiber_along_middle_rank() {
+        let t = sample();
+        let f = t.fiber("M", &[("E", 1), ("P", 3)]).unwrap();
+        let vals: Vec<f64> = f.values().collect();
+        assert_eq!(vals, vec![103.0, 113.0, 123.0]);
+    }
+
+    #[test]
+    fn fiber_along_outer_rank() {
+        let t = sample();
+        let f = t.fiber("E", &[("M", 0), ("P", 0)]).unwrap();
+        let vals: Vec<f64> = f.values().collect();
+        assert_eq!(vals, vec![0.0, 100.0]);
+    }
+
+    #[test]
+    fn fiber_reductions() {
+        let t = sample();
+        let f = t.fiber("M", &[("E", 0), ("P", 0)]).unwrap();
+        assert_eq!(f.max(), 20.0);
+        assert_eq!(f.sum(), 30.0);
+    }
+
+    #[test]
+    fn iter_yields_coordinates() {
+        let t = sample();
+        let f = t.fiber("M", &[("E", 0), ("P", 1)]).unwrap();
+        let pairs: Vec<(usize, f64)> = f.iter().collect();
+        assert_eq!(pairs, vec![(0, 1.0), (1, 11.0), (2, 21.0)]);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn unknown_rank_is_error() {
+        let t = sample();
+        assert!(t.fiber("Z", &[]).is_err());
+    }
+
+    #[test]
+    fn missing_fixed_rank_is_error() {
+        let t = sample();
+        assert!(t.fiber("M", &[("E", 0)]).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_fixed_coord_is_error() {
+        let t = sample();
+        assert!(t.fiber("M", &[("E", 9), ("P", 0)]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn payload_bounds_checked() {
+        let t = sample();
+        let f = t.fiber("M", &[("E", 0), ("P", 0)]).unwrap();
+        let _ = f.payload(99);
+    }
+}

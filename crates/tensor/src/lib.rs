@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Dense, named-rank tensors and fibertree views.
+//!
+//! This crate is the data substrate shared by the FuseMax reproduction: the
+//! extended-Einsum evaluator, the attention kernels, and the spatial-array
+//! simulator all operate on [`Tensor`] values.
+//!
+//! Terminology follows the paper (§II-A): a tensor's *rank* is a named
+//! dimension, its *shape* is the set of valid coordinates per rank, and an
+//! *N-tensor* has N ranks. The [`fiber`](Tensor::fiber) and
+//! [`subview`](Tensor::subview) accessors expose the format-agnostic
+//! fibertree decomposition: a fiber is the set of coordinates of one rank
+//! with all higher (preceding) ranks fixed.
+//!
+//! # Example
+//!
+//! ```
+//! use fusemax_tensor::{Shape, Tensor};
+//!
+//! // K is an E×M 2-tensor (embedding × key-sequence).
+//! let shape = Shape::of(&[("E", 4), ("M", 6)]);
+//! let k: Tensor<f64> = Tensor::from_fn(shape, |c| (c[0] * 10 + c[1]) as f64);
+//! assert_eq!(k.get(&[2, 3]), 23.0);
+//!
+//! // The M fiber at e = 2 (fibertree view).
+//! let fiber: Vec<f64> = k.fiber("M", &[("E", 2)]).unwrap().values().collect();
+//! assert_eq!(fiber, vec![20.0, 21.0, 22.0, 23.0, 24.0, 25.0]);
+//! ```
+
+mod approx;
+mod dense;
+mod element;
+mod error;
+mod fiber;
+mod random;
+mod shape;
+
+pub use approx::{assert_tensors_close, max_abs_diff, max_rel_diff};
+pub use dense::{Tensor, TensorView};
+pub use element::Element;
+pub use error::ShapeError;
+pub use fiber::Fiber;
+pub use shape::{CoordIter, RankDim, Shape};

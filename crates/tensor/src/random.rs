@@ -1,0 +1,85 @@
+//! Random tensor generation for tests, examples, and workload synthesis.
+
+use crate::element::Element;
+use crate::shape::Shape;
+use crate::Tensor;
+use rand::Rng;
+
+impl<T: Element> Tensor<T> {
+    /// Creates a tensor with elements drawn uniformly from `[lo, hi)`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fusemax_tensor::{Shape, Tensor};
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// let mut rng = StdRng::seed_from_u64(7);
+    /// let q: Tensor<f32> = Tensor::random_uniform(
+    ///     Shape::of(&[("E", 8), ("P", 16)]), -1.0, 1.0, &mut rng);
+    /// assert!(q.data().iter().all(|x| (-1.0..1.0).contains(x)));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn random_uniform(shape: Shape, lo: f64, hi: f64, rng: &mut impl Rng) -> Self {
+        assert!(lo < hi, "empty uniform range");
+        Tensor::from_fn(shape, |_| T::from_f64(rng.gen_range(lo..hi)))
+    }
+
+    /// Creates a tensor with approximately standard-normal elements
+    /// (Box–Muller transform), scaled by `std` and shifted by `mean`.
+    pub fn random_normal(shape: Shape, mean: f64, std: f64, rng: &mut impl Rng) -> Self {
+        Tensor::from_fn(shape, |_| {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            T::from_f64(mean + std * z)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t: Tensor<f64> =
+            Tensor::random_uniform(Shape::of(&[("M", 64), ("P", 8)]), -2.0, 3.0, &mut rng);
+        assert!(t.data().iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let shape = Shape::of(&[("M", 16)]);
+        let a: Tensor<f64> =
+            Tensor::random_uniform(shape.clone(), 0.0, 1.0, &mut StdRng::seed_from_u64(42));
+        let b: Tensor<f64> =
+            Tensor::random_uniform(shape, 0.0, 1.0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t: Tensor<f64> =
+            Tensor::random_normal(Shape::of(&[("M", 4096)]), 1.0, 2.0, &mut rng);
+        let n = t.data().len() as f64;
+        let mean = t.sum() / n;
+        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        assert!((mean - 1.0).abs() < 0.2, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.8, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty uniform range")]
+    fn uniform_rejects_empty_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _: Tensor<f64> = Tensor::random_uniform(Shape::of(&[("M", 1)]), 1.0, 1.0, &mut rng);
+    }
+}

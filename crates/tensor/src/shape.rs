@@ -1,0 +1,323 @@
+//! Shapes: ordered lists of named ranks with extents.
+
+use crate::error::ShapeError;
+use std::fmt;
+
+/// One rank of a shape: a name (e.g. `"M"`) and an extent.
+///
+/// Following the paper's convention (§II-B), the same symbol is used for the
+/// name of a rank and its shape: rank `M` has extent `M`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RankDim {
+    name: String,
+    extent: usize,
+}
+
+impl RankDim {
+    /// Creates a rank with the given name and extent.
+    pub fn new(name: impl Into<String>, extent: usize) -> Self {
+        Self { name: name.into(), extent }
+    }
+
+    /// The rank's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The rank's extent (number of valid coordinates).
+    pub fn extent(&self) -> usize {
+        self.extent
+    }
+}
+
+impl fmt::Display for RankDim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.name, self.extent)
+    }
+}
+
+/// An ordered collection of named ranks; the type of a tensor's index space.
+///
+/// Rank order matters: it fixes the row-major layout and the fibertree
+/// decomposition order (the first rank is the top of the fibertree).
+///
+/// # Example
+///
+/// ```
+/// use fusemax_tensor::Shape;
+///
+/// let s = Shape::of(&[("E", 64), ("M", 1024)]);
+/// assert_eq!(s.num_ranks(), 2);
+/// assert_eq!(s.extent("M"), Some(1024));
+/// assert_eq!(s.volume(), 64 * 1024);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    ranks: Vec<RankDim>,
+}
+
+impl Shape {
+    /// Creates a shape from `(name, extent)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rank name repeats; use [`Shape::try_of`] for a fallible
+    /// variant.
+    pub fn of(ranks: &[(&str, usize)]) -> Self {
+        Self::try_of(ranks).expect("invalid shape")
+    }
+
+    /// Creates a shape from `(name, extent)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::DuplicateRank`] if a rank name repeats.
+    pub fn try_of(ranks: &[(&str, usize)]) -> Result<Self, ShapeError> {
+        let mut out = Vec::with_capacity(ranks.len());
+        for (name, extent) in ranks {
+            if out.iter().any(|r: &RankDim| r.name() == *name) {
+                return Err(ShapeError::DuplicateRank { rank: (*name).to_string() });
+            }
+            out.push(RankDim::new(*name, *extent));
+        }
+        Ok(Self { ranks: out })
+    }
+
+    /// A scalar (0-tensor) shape.
+    pub fn scalar() -> Self {
+        Self { ranks: Vec::new() }
+    }
+
+    /// The number of ranks (`N` for an N-tensor).
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The ranks in order.
+    pub fn ranks(&self) -> &[RankDim] {
+        &self.ranks
+    }
+
+    /// Rank names in order.
+    pub fn rank_names(&self) -> Vec<&str> {
+        self.ranks.iter().map(|r| r.name()).collect()
+    }
+
+    /// The extent of the named rank, if present.
+    pub fn extent(&self, rank: &str) -> Option<usize> {
+        self.ranks.iter().find(|r| r.name() == rank).map(|r| r.extent())
+    }
+
+    /// The position of the named rank, if present.
+    pub fn position(&self, rank: &str) -> Option<usize> {
+        self.ranks.iter().position(|r| r.name() == rank)
+    }
+
+    /// The total number of points in the index space (1 for a scalar).
+    pub fn volume(&self) -> usize {
+        self.ranks.iter().map(|r| r.extent()).product()
+    }
+
+    /// Row-major strides, in rank order.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.ranks.len()];
+        for i in (0..self.ranks.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.ranks[i + 1].extent();
+        }
+        strides
+    }
+
+    /// Converts coordinates (in rank order) to a linear row-major index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the arity or any coordinate is out of bounds.
+    pub fn index_of(&self, coords: &[usize]) -> Result<usize, ShapeError> {
+        if coords.len() != self.ranks.len() {
+            return Err(ShapeError::CoordArity { got: coords.len(), expected: self.ranks.len() });
+        }
+        let mut idx = 0usize;
+        for (rank, &c) in self.ranks.iter().zip(coords) {
+            if c >= rank.extent() {
+                return Err(ShapeError::CoordOutOfBounds {
+                    rank: rank.name().to_string(),
+                    coord: c,
+                    extent: rank.extent(),
+                });
+            }
+            idx = idx * rank.extent() + c;
+        }
+        Ok(idx)
+    }
+
+    /// Converts a linear row-major index back to coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.volume()`.
+    pub fn coords_of(&self, index: usize) -> Vec<usize> {
+        assert!(index < self.volume().max(1), "linear index out of bounds");
+        let mut rem = index;
+        let mut coords = vec![0usize; self.ranks.len()];
+        for (i, stride) in self.strides().iter().enumerate() {
+            coords[i] = rem / stride;
+            rem %= stride;
+        }
+        coords
+    }
+
+    /// Iterates over every coordinate tuple in row-major order.
+    pub fn coords_iter(&self) -> CoordIter {
+        CoordIter { shape: self.clone(), next: 0 }
+    }
+
+    /// Returns a new shape with the ranks permuted into `order`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `order` is not a permutation of the rank names.
+    pub fn permuted(&self, order: &[&str]) -> Result<Shape, ShapeError> {
+        if order.len() != self.ranks.len() {
+            return Err(ShapeError::CoordArity { got: order.len(), expected: self.ranks.len() });
+        }
+        let mut ranks = Vec::with_capacity(order.len());
+        for name in order {
+            let rank = self.ranks.iter().find(|r| r.name() == *name).ok_or_else(|| {
+                ShapeError::UnknownRank {
+                    rank: (*name).to_string(),
+                    available: self.rank_names().iter().map(|s| s.to_string()).collect(),
+                }
+            })?;
+            ranks.push(rank.clone());
+        }
+        Shape::try_of(
+            &ranks.iter().map(|r| (r.name(), r.extent())).collect::<Vec<_>>(),
+        )
+    }
+
+    /// `true` when both shapes have identical rank names and extents in the
+    /// same order.
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self == other
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, r) in self.ranks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Iterator over all coordinate tuples of a [`Shape`] in row-major order.
+///
+/// Produced by [`Shape::coords_iter`].
+#[derive(Debug, Clone)]
+pub struct CoordIter {
+    shape: Shape,
+    next: usize,
+}
+
+impl Iterator for CoordIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.shape.volume() {
+            return None;
+        }
+        let coords = self.shape.coords_of(self.next);
+        self.next += 1;
+        Some(coords)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.shape.volume() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for CoordIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let s = Shape::of(&[("E", 4), ("M", 6), ("P", 3)]);
+        assert_eq!(s.num_ranks(), 3);
+        assert_eq!(s.extent("M"), Some(6));
+        assert_eq!(s.extent("Z"), None);
+        assert_eq!(s.position("P"), Some(2));
+        assert_eq!(s.volume(), 72);
+        assert_eq!(s.rank_names(), vec!["E", "M", "P"]);
+    }
+
+    #[test]
+    fn duplicate_rank_rejected() {
+        assert!(matches!(
+            Shape::try_of(&[("M", 2), ("M", 3)]),
+            Err(ShapeError::DuplicateRank { .. })
+        ));
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::of(&[("A", 2), ("B", 3), ("C", 4)]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn index_coord_round_trip() {
+        let s = Shape::of(&[("A", 2), ("B", 3), ("C", 4)]);
+        for i in 0..s.volume() {
+            let c = s.coords_of(i);
+            assert_eq!(s.index_of(&c).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn index_errors() {
+        let s = Shape::of(&[("A", 2), ("B", 3)]);
+        assert!(matches!(s.index_of(&[0]), Err(ShapeError::CoordArity { .. })));
+        assert!(matches!(s.index_of(&[0, 5]), Err(ShapeError::CoordOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.volume(), 1);
+        assert_eq!(s.index_of(&[]).unwrap(), 0);
+        assert_eq!(s.coords_iter().count(), 1);
+    }
+
+    #[test]
+    fn coords_iter_order() {
+        let s = Shape::of(&[("A", 2), ("B", 2)]);
+        let all: Vec<_> = s.coords_iter().collect();
+        assert_eq!(all, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+        assert_eq!(s.coords_iter().len(), 4);
+    }
+
+    #[test]
+    fn permuted() {
+        let s = Shape::of(&[("E", 4), ("M", 6)]);
+        let p = s.permuted(&["M", "E"]).unwrap();
+        assert_eq!(p.rank_names(), vec!["M", "E"]);
+        assert_eq!(p.extent("E"), Some(4));
+        assert!(s.permuted(&["M", "Z"]).is_err());
+        assert!(s.permuted(&["M"]).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let s = Shape::of(&[("E", 4), ("M", 6)]);
+        assert_eq!(s.to_string(), "[E:4, M:6]");
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-layer operation accounting (Fig 1b's compute breakdown).
+
+use crate::models::TransformerConfig;
+
+/// MACC-class operations in one encoder layer, split the way Fig 1b splits
+/// them: attention (QK, softmax, AV), linear (projections, deprojection,
+/// FFN), and other (normalization, residuals, activation).
+///
+/// Counts are `f64` because 1M-token layers exceed 10¹⁵ operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerOps {
+    /// Attention operations (per layer, all heads, full batch).
+    pub attention: f64,
+    /// Weight-times-activation "linear" operations.
+    pub linear: f64,
+    /// Everything else (layer norms, residual adds, ReLU).
+    pub other: f64,
+}
+
+impl LayerOps {
+    /// Counts operations for one layer of `cfg` at sequence length `l`.
+    pub fn for_layer(cfg: &TransformerConfig, l: usize) -> Self {
+        let b = cfg.batch as f64;
+        let h = cfg.heads as f64;
+        let e = cfg.head_dim as f64;
+        let d = cfg.d_model as f64;
+        let dff = cfg.ffn_dim as f64;
+        let l = l as f64;
+
+        // Attention per head: QK (E·L²) + softmax (≈4 ops per point: max,
+        // sub-exp, sum, divide) + AV (F·L², F = E).
+        let attention = b * h * (2.0 * e * l * l + 4.0 * l * l);
+
+        // Linear: Q/K/V projections (3·D²·L), deprojection (D²·L), and the
+        // two FFN matmuls (2·D·Dff·L), per batch element.
+        let linear = b * l * (4.0 * d * d + 2.0 * d * dff);
+
+        // Other: two layer norms (≈5 ops/element), two residual adds, and
+        // the FFN ReLU — all linear in L·D.
+        let other = b * l * (2.0 * 5.0 * d + 2.0 * d + dff);
+
+        Self { attention, linear, other }
+    }
+
+    /// Total operations.
+    pub fn total(&self) -> f64 {
+        self.attention + self.linear + self.other
+    }
+
+    /// Attention's share of the layer's compute.
+    pub fn attention_fraction(&self) -> f64 {
+        self.attention / self.total()
+    }
+
+    /// The linear layers' share.
+    pub fn linear_fraction(&self) -> f64 {
+        self.linear / self.total()
+    }
+
+    /// The non-matmul remainder's share.
+    pub fn other_fraction(&self) -> f64 {
+        self.other / self.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::models::{TransformerConfig, SEQ_LENGTHS};
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let cfg = TransformerConfig::bert();
+        for &l in &SEQ_LENGTHS {
+            let ops = cfg.layer_ops(l);
+            let s = ops.attention_fraction() + ops.linear_fraction() + ops.other_fraction();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn attention_share_grows_with_sequence_length() {
+        // Fig 1b: attention's share grows monotonically with L.
+        let cfg = TransformerConfig::bert();
+        let mut last = 0.0;
+        for &l in &SEQ_LENGTHS {
+            let f = cfg.layer_ops(l).attention_fraction();
+            assert!(f > last, "attention fraction must grow: {f} after {last}");
+            last = f;
+        }
+        assert!(last > 0.95, "attention dominates at 1M tokens: {last}");
+    }
+
+    #[test]
+    fn crossover_lands_near_4k_for_bert() {
+        // Fig 1b: attention and linear cross between 1K and 16K.
+        let cfg = TransformerConfig::bert();
+        let at_1k = cfg.layer_ops(1 << 10);
+        let at_16k = cfg.layer_ops(1 << 14);
+        assert!(at_1k.attention < at_1k.linear);
+        assert!(at_16k.attention > at_16k.linear);
+    }
+
+    #[test]
+    fn other_ops_are_negligible() {
+        // §IV-A: "the additional non-linearities have negligible impact".
+        for cfg in TransformerConfig::all() {
+            for &l in &SEQ_LENGTHS {
+                let ops = cfg.layer_ops(l);
+                assert!(ops.other_fraction() < 0.02, "{} at {l}", cfg.name);
+            }
+        }
+    }
+
+    #[test]
+    fn attention_count_matches_manual_formula() {
+        let cfg = TransformerConfig::t5();
+        let l = 2048usize;
+        let ops = cfg.layer_ops(l);
+        let manual = (cfg.batch * cfg.heads) as f64
+            * ((2 * cfg.head_dim * l * l) as f64 + (4 * l * l) as f64);
+        assert_eq!(ops.attention, manual);
+    }
+
+    #[test]
+    fn xlm_has_the_largest_layers() {
+        let l = 4096;
+        let xlm = TransformerConfig::xlm().layer_ops(l).total();
+        for cfg in [TransformerConfig::bert(), TransformerConfig::trxl(), TransformerConfig::t5()]
+        {
+            assert!(xlm > cfg.layer_ops(l).total(), "{}", cfg.name);
+        }
+    }
+}

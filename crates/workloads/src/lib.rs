@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Transformer workload definitions and compute accounting (§IV-A, §VI-A).
+//!
+//! The four encoder models FuseMax evaluates (following FLAT): BERT-Base,
+//! TrXL-wt103, T5-small, and XLM, all with batch size 64, over sequence
+//! lengths 1K–1M. [`LayerOps`] counts the multiply–accumulate-class work in
+//! one encoder layer split into attention / linear / other — the Fig 1b
+//! breakdown.
+//!
+//! # Example
+//!
+//! ```
+//! use fusemax_workloads::{TransformerConfig, SEQ_LENGTHS};
+//!
+//! let bert = TransformerConfig::bert();
+//! // At short sequence lengths the linear layers dominate; at 1M tokens
+//! // attention dominates (Fig 1b).
+//! let short = bert.layer_ops(SEQ_LENGTHS[0]);
+//! let long = bert.layer_ops(SEQ_LENGTHS[5]);
+//! assert!(short.attention_fraction() < 0.5);
+//! assert!(long.attention_fraction() > 0.9);
+//! ```
+
+mod flops;
+mod models;
+
+pub use flops::LayerOps;
+pub use models::{seq_label, TransformerConfig, SEQ_LENGTHS};

@@ -1,0 +1,171 @@
+//! The evaluated transformer encoder configurations (§VI-A).
+
+use crate::flops::LayerOps;
+
+/// The sequence lengths evaluated throughout the paper's figures.
+pub const SEQ_LENGTHS: [usize; 6] = [1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20];
+
+/// Human-readable label for a sequence length (`1K` … `1M`).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(fusemax_workloads::seq_label(1 << 18), "256K");
+/// ```
+pub fn seq_label(l: usize) -> String {
+    if l >= 1 << 20 {
+        format!("{}M", l >> 20)
+    } else if l >= 1 << 10 {
+        format!("{}K", l >> 10)
+    } else {
+        format!("{l}")
+    }
+}
+
+/// A transformer encoder configuration.
+///
+/// Hyperparameters follow the public model cards (the paper inherits
+/// FLAT's workload set; see DESIGN.md §1.9 note 5): `d_model = heads ×
+/// head_dim`, and `head_dim` is the paper's `E = F` embedding per head
+/// ("for the networks we evaluate, E = 64 or 128", §V).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformerConfig {
+    /// Model name as used in the figures.
+    pub name: &'static str,
+    /// Encoder layers.
+    pub layers: usize,
+    /// Attention heads (`H`).
+    pub heads: usize,
+    /// Per-head embedding (`E = F`).
+    pub head_dim: usize,
+    /// Model width (`D = H·E`).
+    pub d_model: usize,
+    /// Feed-forward inner dimension.
+    pub ffn_dim: usize,
+    /// Batch size (`B`, 64 throughout the paper).
+    pub batch: usize,
+}
+
+impl TransformerConfig {
+    /// BERT-Base: 12 layers, 12 heads × 64, FFN 3072.
+    pub fn bert() -> Self {
+        Self {
+            name: "BERT",
+            layers: 12,
+            heads: 12,
+            head_dim: 64,
+            d_model: 768,
+            ffn_dim: 3072,
+            batch: 64,
+        }
+    }
+
+    /// TrXL-wt103: 18 layers, 16 heads × 64, FFN 4096.
+    pub fn trxl() -> Self {
+        Self {
+            name: "TrXL",
+            layers: 18,
+            heads: 16,
+            head_dim: 64,
+            d_model: 1024,
+            ffn_dim: 4096,
+            batch: 64,
+        }
+    }
+
+    /// T5-small (encoder only, as the paper evaluates): 6 layers,
+    /// 8 heads × 64, FFN 2048.
+    pub fn t5() -> Self {
+        Self {
+            name: "T5",
+            layers: 6,
+            heads: 8,
+            head_dim: 64,
+            d_model: 512,
+            ffn_dim: 2048,
+            batch: 64,
+        }
+    }
+
+    /// XLM: 12 layers, 16 heads × 128 (the larger `E/F` the paper calls
+    /// out), FFN 8192.
+    pub fn xlm() -> Self {
+        Self {
+            name: "XLM",
+            layers: 12,
+            heads: 16,
+            head_dim: 128,
+            d_model: 2048,
+            ffn_dim: 8192,
+            batch: 64,
+        }
+    }
+
+    /// All four evaluated models, in the figures' order.
+    pub fn all() -> Vec<Self> {
+        vec![Self::bert(), Self::trxl(), Self::t5(), Self::xlm()]
+    }
+
+    /// Attention instances per layer (`B × H`).
+    pub fn batch_heads(&self) -> usize {
+        self.batch * self.heads
+    }
+
+    /// MACC-class operation counts for one encoder layer at sequence
+    /// length `seq_len` (see [`LayerOps`]).
+    pub fn layer_ops(&self, seq_len: usize) -> LayerOps {
+        LayerOps::for_layer(self, seq_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d_model_is_heads_times_head_dim() {
+        for cfg in TransformerConfig::all() {
+            assert_eq!(cfg.d_model, cfg.heads * cfg.head_dim, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn head_dims_match_the_papers_e_values() {
+        // §V: "For the networks we evaluate, E = 64 or 128."
+        for cfg in TransformerConfig::all() {
+            assert!(cfg.head_dim == 64 || cfg.head_dim == 128, "{}", cfg.name);
+        }
+        assert_eq!(TransformerConfig::xlm().head_dim, 128);
+    }
+
+    #[test]
+    fn batch_is_64_everywhere() {
+        for cfg in TransformerConfig::all() {
+            assert_eq!(cfg.batch, 64);
+        }
+    }
+
+    #[test]
+    fn sequence_lengths_are_the_figures_sweep() {
+        assert_eq!(SEQ_LENGTHS.len(), 6);
+        assert_eq!(SEQ_LENGTHS[0], 1024);
+        assert_eq!(SEQ_LENGTHS[5], 1048576);
+        for w in SEQ_LENGTHS.windows(2) {
+            assert_eq!(w[1], w[0] * 4, "lengths step by 4x");
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(seq_label(1024), "1K");
+        assert_eq!(seq_label(65536), "64K");
+        assert_eq!(seq_label(1048576), "1M");
+        assert_eq!(seq_label(512), "512");
+    }
+
+    #[test]
+    fn four_models_in_order() {
+        let names: Vec<&str> = TransformerConfig::all().iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["BERT", "TrXL", "T5", "XLM"]);
+    }
+}

@@ -1,0 +1,54 @@
+//! The binding in action (Figures 4–5): simulate Cascade 5 on a toy
+//! spatial array under the serialized and pipelined bindings, print the
+//! waterfall, and verify the numerics against the reference kernel.
+//!
+//! Run with `cargo run --example binding_pipeline`.
+
+use fusemax::core::kernels::attention_reference;
+use fusemax::spatial::{simulate, Binding, SpatialConfig};
+use fusemax::tensor::{max_abs_diff, Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let (e, f, m, p) = (8usize, 8usize, 64usize, 8usize);
+    let mut rng = StdRng::seed_from_u64(7);
+    let q = Tensor::<f64>::random_uniform(Shape::of(&[("E", e), ("P", p)]), -1.0, 1.0, &mut rng);
+    let k = Tensor::<f64>::random_uniform(Shape::of(&[("E", e), ("M", m)]), -1.0, 1.0, &mut rng);
+    let v = Tensor::<f64>::random_uniform(Shape::of(&[("F", f), ("M", m)]), -1.0, 1.0, &mut rng);
+
+    let cfg = SpatialConfig::toy(4, 4);
+    println!(
+        "Toy array: {}x{} 2D PEs, {} 1D lanes; E={e}, F={f}, M={m} (M1={} tiles), P={p}\n",
+        cfg.rows,
+        cfg.cols,
+        cfg.vector_pes,
+        m / cfg.rows
+    );
+
+    let reference = attention_reference(&q, &k, &v)?;
+    let serial = simulate(&q, &k, &v, &cfg, Binding::Serialized)?;
+    let piped = simulate(&q, &k, &v, &cfg, Binding::Pipelined)?;
+
+    for (name, r) in [("serialized (+Architecture)", &serial), ("pipelined (+Binding)", &piped)] {
+        println!(
+            "{name}: {} cycles, util2D={:.2}, util1D={:.2}, max|Δ| vs reference = {:.2e}",
+            r.cycles,
+            r.util_2d(),
+            r.util_1d(),
+            max_abs_diff(&r.av, &reference)
+        );
+    }
+    println!(
+        "\nSame work on both schedules (2D busy {} / 1D busy {}); the binding alone\n\
+         buys a {:.2}x speedup — Fig 4's software pipelining.\n",
+        piped.busy_2d,
+        piped.busy_1d,
+        serial.cycles as f64 / piped.cycles as f64
+    );
+
+    println!("First pipelined-schedule records (the Fig 4 waterfall):");
+    print!("{}", piped.waterfall(24));
+    Ok(())
+}

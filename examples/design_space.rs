@@ -1,0 +1,40 @@
+//! Design-space exploration (Fig 12): sweep the PE array from 16×16 to
+//! 512×512 and report the area/latency Pareto family at 256K tokens.
+//!
+//! Run with `cargo run --example design_space`.
+
+use fusemax::arch::{ArchConfig, AreaModel};
+use fusemax::eval::fig12;
+use fusemax::model::ModelParams;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let params = ModelParams::default();
+    let curves = fig12::fig12(&params);
+    print!("{}", fig12::render(&curves));
+
+    // The iso-area comparison backing the headline numbers (§VI-A).
+    let area = AreaModel::default();
+    let fusemax = area.chip_area_mm2(&ArchConfig::fusemax_cloud());
+    let flat = area.chip_area_mm2(&ArchConfig::flat_cloud());
+    println!("\nIso-area check: FuseMax cloud = {:.0} mm², FLAT cloud = {:.0} mm²", fusemax, flat);
+    println!(
+        "FuseMax is {:.1}% smaller (paper reports 6.4%).",
+        100.0 * (1.0 - fusemax / flat)
+    );
+
+    // Log-log slope between successive points (Fig 12 is near a straight
+    // line of slope −1: latency ∝ 1/area in the compute-bound regime).
+    if let Some((name, points)) = curves.first() {
+        println!("\n{name} log-log slope between successive design points:");
+        for w in points.windows(2) {
+            let slope = (w[1].latency_s / w[0].latency_s).ln()
+                / (w[1].area_cm2 / w[0].area_cm2).ln();
+            println!(
+                "  {:>3}x{:<3} -> {:>3}x{:<3}  slope {:.2}",
+                w[0].array_dim, w[0].array_dim, w[1].array_dim, w[1].array_dim, slope
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! The paper's motivating scenario: attention at very long sequence
+//! lengths (up to 1M tokens), where FLAT becomes memory-bandwidth bound
+//! while FuseMax stays compute bound at ~100 % utilization.
+//!
+//! Run with `cargo run --example long_context_attention [MODEL]` where
+//! MODEL is one of BERT, TrXL, T5, XLM (default BERT).
+
+use fusemax::arch::ArchConfig;
+use fusemax::model::{attention_report, ConfigKind, ModelParams};
+use fusemax::workloads::{seq_label, TransformerConfig, SEQ_LENGTHS};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "BERT".to_string());
+    let cfg = TransformerConfig::all()
+        .into_iter()
+        .find(|c| c.name.eq_ignore_ascii_case(&name))
+        .ok_or_else(|| format!("unknown model `{name}` (try BERT, TrXL, T5, XLM)"))?;
+    let params = ModelParams::default();
+    let arch = ArchConfig::fusemax_cloud();
+
+    println!("Attention scaling for {} (B=64, H={}, E=F={}):\n", cfg.name, cfg.heads, cfg.head_dim);
+    println!(
+        "{:<7} {:>12} {:>12} {:>9} {:>10} {:>10} {:>12} {:>12}",
+        "L", "FLAT (s)", "FuseMax (s)", "speedup", "FLAT u1D", "FM u2D", "FLAT DRAM", "FM DRAM"
+    );
+    for &l in &SEQ_LENGTHS {
+        let flat = attention_report(ConfigKind::Flat, &cfg, l, None, &params);
+        let fm = attention_report(ConfigKind::FuseMaxBinding, &cfg, l, None, &params);
+        let layers = cfg.layers as f64;
+        println!(
+            "{:<7} {:>12.3e} {:>12.3e} {:>8.1}x {:>10.2} {:>10.2} {:>11.2e}B {:>11.2e}B",
+            seq_label(l),
+            arch.cycles_to_seconds(flat.cycles * layers),
+            arch.cycles_to_seconds(fm.cycles * layers),
+            flat.cycles / fm.cycles,
+            flat.util_1d(),
+            fm.util_2d(),
+            flat.dram_bytes * layers,
+            fm.dram_bytes * layers,
+        );
+    }
+
+    println!("\nEnergy relative to the unfused baseline:");
+    println!("{:<7} {:>8} {:>9}", "L", "FLAT", "FuseMax");
+    for &l in &SEQ_LENGTHS {
+        let unf = attention_report(ConfigKind::Unfused, &cfg, l, None, &params);
+        let flat = attention_report(ConfigKind::Flat, &cfg, l, None, &params);
+        let fm = attention_report(ConfigKind::FuseMaxBinding, &cfg, l, None, &params);
+        println!(
+            "{:<7} {:>7.0}% {:>8.0}%",
+            seq_label(l),
+            100.0 * flat.energy.total_pj() / unf.energy.total_pj(),
+            100.0 * fm.energy.total_pj() / unf.energy.total_pj(),
+        );
+    }
+
+    let fm_1m = attention_report(ConfigKind::FuseMaxBinding, &cfg, 1 << 20, None, &params);
+    println!(
+        "\nAt 1M tokens FuseMax keeps {:.0}% of its energy in the 2D MACC units\n\
+         and its on-chip footprint stays O(M0) — no spills at any length (§V).",
+        100.0 * fm_1m.energy.macc_2d_pj / fm_1m.energy.total_pj()
+    );
+    Ok(())
+}

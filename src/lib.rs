@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # FuseMax — a Rust reproduction of the MICRO 2024 paper
+//!
+//! *FuseMax: Leveraging Extended Einsums to Optimize Attention Accelerator
+//! Design* (Nayak, Wu, Odemuyiwa, Pellauer, Emer, Fletcher).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Module | Contents | Paper section |
+//! |--------|----------|---------------|
+//! | [`tensor`] | dense named-rank tensors, fibertree views | §II-A |
+//! | [`einsum`] | extended-Einsum IR, parser, counting evaluator | §II-B/C |
+//! | [`core`] | pass analysis, footprints, attention cascades, kernels, taxonomy | §III–IV |
+//! | [`arch`] | spatial architecture, energy, area models | §V Fig 2–3 |
+//! | [`spatial`] | discrete-event mapping/binding simulator | §V Fig 4–5 |
+//! | [`model`] | analytical performance/energy models of all configurations | §VI |
+//! | [`workloads`] | BERT / TrXL / T5 / XLM definitions | §VI-A |
+//! | [`eval`] | figure/table regeneration harness | §VI Figs 6–12, Table I |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fusemax::core::cascades::attention;
+//! use fusemax::core::passes::analyze_passes;
+//! use fusemax::model::{attention_report, ConfigKind, ModelParams};
+//! use fusemax::workloads::TransformerConfig;
+//!
+//! // 1. The mapping-agnostic analysis: FlashAttention-2's cascade needs a
+//! //    single pass over the softmax rank; FLAT's needs three.
+//! assert_eq!(analyze_passes(&attention::one_pass(), "M")?.num_passes, 1);
+//! assert_eq!(analyze_passes(&attention::three_pass(), "M")?.num_passes, 3);
+//!
+//! // 2. The modeled consequence: on 64K-token BERT attention, FuseMax
+//! //    beats FLAT by several-fold under the iso-area cloud setup.
+//! let bert = TransformerConfig::bert();
+//! let params = ModelParams::default();
+//! let flat = attention_report(ConfigKind::Flat, &bert, 1 << 16, None, &params);
+//! let fusemax = attention_report(ConfigKind::FuseMaxBinding, &bert, 1 << 16, None, &params);
+//! assert!(flat.cycles / fusemax.cycles > 4.0);
+//! # Ok::<(), fusemax::core::passes::AnalysisError>(())
+//! ```
+
+pub use fusemax_arch as arch;
+pub use fusemax_core as core;
+pub use fusemax_einsum as einsum;
+pub use fusemax_eval as eval;
+pub use fusemax_model as model;
+pub use fusemax_spatial as spatial;
+pub use fusemax_tensor as tensor;
+pub use fusemax_workloads as workloads;

@@ -1,0 +1,101 @@
+//! Cross-crate integration: the §III analysis pipeline — cascade spec →
+//! pass count → live footprint → taxonomy — is internally consistent, and
+//! its conclusions drive the modeled behavior in `fusemax-model`.
+
+use fusemax::core::cascades::attention;
+use fusemax::core::footprint::{live_footprints, Footprint};
+use fusemax::core::passes::analyze_passes;
+use fusemax::core::taxonomy::{classify, literature};
+use fusemax::model::{attention_report, ConfigKind, ModelParams};
+use fusemax::workloads::TransformerConfig;
+
+#[test]
+fn footprint_severity_tracks_pass_count() {
+    // More passes ⇒ at least as severe footprints: 1-pass has no
+    // full-fiber tensors, multi-pass cascades do.
+    let one = live_footprints(&attention::one_pass(), "M").unwrap();
+    let two = live_footprints(&attention::two_pass(), "M").unwrap();
+    let three = live_footprints(&attention::three_pass(), "M").unwrap();
+    assert!(!one.any_full_fiber());
+    assert!(two.any_full_fiber());
+    assert!(three.any_full_fiber());
+
+    let full_fibers = |r: &fusemax::core::footprint::FootprintReport| {
+        r.per_tensor.values().filter(|f| **f == Footprint::FullFiber).count()
+    };
+    assert!(full_fibers(&three) >= full_fibers(&two));
+}
+
+#[test]
+fn taxonomy_is_consistent_with_raw_pass_analysis() {
+    for entry in literature() {
+        let direct = analyze_passes(&entry.cascade, "M").unwrap().num_passes;
+        let class = classify(&entry.cascade).unwrap();
+        assert_eq!(direct, class.passes(), "{}", entry.name);
+    }
+}
+
+#[test]
+fn pass_bound_explains_flat_memory_behavior() {
+    // The 3-pass cascade's O(M) footprint (QK/SN fibers) is what forces
+    // FLAT to either buffer rows or spill; the 1-pass cascade's O(M0)
+    // footprint is why +Cascade's DRAM traffic is inputs-only. Check the
+    // model honors the analysis conclusions.
+    let bert = TransformerConfig::bert();
+    let params = ModelParams::default();
+    let l = 1 << 20;
+
+    let three_pass_fp = live_footprints(&attention::three_pass(), "M").unwrap();
+    assert_eq!(three_pass_fp.of("QK"), Footprint::FullFiber);
+    let flat = attention_report(ConfigKind::Flat, &bert, l, None, &params);
+
+    let one_pass_fp = live_footprints(&attention::one_pass(), "M").unwrap();
+    assert!(!one_pass_fp.any_full_fiber());
+    let cascade = attention_report(ConfigKind::FuseMaxCascade, &bert, l, None, &params);
+
+    // FLAT pays for the footprint in traffic; +Cascade does not.
+    assert!(
+        flat.dram_bytes > 10.0 * cascade.dram_bytes,
+        "FLAT {} vs +Cascade {}",
+        flat.dram_bytes,
+        cascade.dram_bytes
+    );
+}
+
+#[test]
+fn division_optimization_is_orthogonal_to_pass_reduction() {
+    // §IV-D: the deferral applies to the 3-pass cascade independently of
+    // going 1-pass, reducing both divisions and (it turns out) a pass.
+    let plain = analyze_passes(&attention::three_pass(), "M").unwrap();
+    let deferred = analyze_passes(&attention::three_pass_deferred_div(), "M").unwrap();
+    assert_eq!(plain.num_passes, 3);
+    assert_eq!(deferred.num_passes, 2);
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    for _ in 0..3 {
+        let a = analyze_passes(&attention::one_pass(), "M").unwrap();
+        let b = analyze_passes(&attention::one_pass(), "M").unwrap();
+        assert_eq!(a.num_passes, b.num_passes);
+        assert_eq!(a.einsums, b.einsums);
+    }
+}
+
+#[test]
+fn pretty_printed_cascades_reparse_and_reanalyze_identically() {
+    for cascade in [
+        attention::naive_unstable(),
+        attention::three_pass(),
+        attention::three_pass_deferred_div(),
+        attention::two_pass(),
+        attention::one_pass(),
+    ] {
+        let shown = cascade.to_string();
+        let reparsed = fusemax::einsum::Cascade::parse(&shown)
+            .unwrap_or_else(|e| panic!("{} failed to re-parse: {e}\n{shown}", cascade.name));
+        let a = analyze_passes(&cascade, "M").unwrap().num_passes;
+        let b = analyze_passes(&reparsed, "M").unwrap().num_passes;
+        assert_eq!(a, b, "{} pass count changed after round-trip", cascade.name);
+    }
+}

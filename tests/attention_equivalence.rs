@@ -1,0 +1,151 @@
+//! Cross-crate integration: every attention implementation in the
+//! workspace — the Einsum-evaluated cascades, the hand-written kernels, and
+//! the spatial-array simulation — computes the same function, and measured
+//! operation counts agree between the evaluator and the kernels.
+
+use fusemax::core::cascades::attention;
+use fusemax::core::kernels::{attention_reference, Algorithm};
+use fusemax::einsum::Evaluator;
+use fusemax::spatial::{simulate, Binding, SpatialConfig};
+use fusemax::tensor::{assert_tensors_close, Shape, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn qkv(e: usize, f: usize, m: usize, p: usize, seed: u64) -> [Tensor<f64>; 3] {
+    let mut rng = StdRng::seed_from_u64(seed);
+    [
+        Tensor::random_uniform(Shape::of(&[("E", e), ("P", p)]), -2.0, 2.0, &mut rng),
+        Tensor::random_uniform(Shape::of(&[("E", e), ("M", m)]), -2.0, 2.0, &mut rng),
+        Tensor::random_uniform(Shape::of(&[("F", f), ("M", m)]), -2.0, 2.0, &mut rng),
+    ]
+}
+
+#[test]
+fn evaluated_cascades_match_kernels_and_reference() {
+    let (e, f, m, p, m0) = (8, 6, 24, 10, 4);
+    let [q, k, v] = qkv(e, f, m, p, 99);
+    let reference = attention_reference(&q, &k, &v).unwrap();
+    let evaluator = Evaluator::new();
+
+    for (cascade, alg) in [
+        (attention::three_pass(), Algorithm::ThreePass { deferred_div: false }),
+        (attention::three_pass_deferred_div(), Algorithm::ThreePass { deferred_div: true }),
+        (attention::two_pass(), Algorithm::TwoPass { tile_m0: m0, deferred_div: false }),
+        (
+            attention::two_pass_deferred_div(),
+            Algorithm::TwoPass { tile_m0: m0, deferred_div: true },
+        ),
+        (attention::one_pass(), Algorithm::OnePass { tile_m0: m0 }),
+    ] {
+        let eval = evaluator
+            .evaluate(
+                &cascade,
+                &[("Q", q.clone()), ("K", k.clone()), ("V", v.clone())],
+                &[("M0", m0)],
+            )
+            .unwrap();
+        let kernel = alg.run(&q, &k, &v).unwrap();
+
+        assert_tensors_close(eval.tensor("AV").unwrap(), &reference, 1e-9);
+        assert_tensors_close(&kernel.av, &reference, 1e-9);
+
+        // The evaluator and the kernel measure identical logical work.
+        let ec = eval.total_counts();
+        let kc = kernel.ops;
+        assert_eq!(ec.div, kc.div, "{}: div", cascade.name);
+        assert_eq!(ec.exp, kc.exp, "{}: exp", cascade.name);
+        assert_eq!(ec.mul, kc.mul, "{}: mul", cascade.name);
+        assert_eq!(ec.max, kc.max, "{}: max", cascade.name);
+    }
+}
+
+#[test]
+fn spatial_simulation_matches_evaluated_cascade() {
+    let [q, k, v] = qkv(8, 8, 32, 8, 7);
+    let sim =
+        simulate(&q, &k, &v, &SpatialConfig::toy(4, 4), Binding::Pipelined).unwrap();
+    let eval = Evaluator::new()
+        .evaluate(
+            &attention::one_pass(),
+            &[("Q", q.clone()), ("K", k.clone()), ("V", v.clone())],
+            &[("M0", 4)],
+        )
+        .unwrap();
+    assert_tensors_close(&sim.av, eval.tensor("AV").unwrap(), 1e-9);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: all stable algorithms agree with the reference on random
+    /// shapes, tilings, and data.
+    #[test]
+    fn kernels_agree_on_random_problems(
+        e in 1usize..8,
+        f in 1usize..8,
+        m1 in 1usize..6,
+        m0 in 1usize..6,
+        p in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let m = m1 * m0;
+        let [q, k, v] = qkv(e, f, m, p, seed);
+        let reference = attention_reference(&q, &k, &v).unwrap();
+        for alg in [
+            Algorithm::ThreePass { deferred_div: false },
+            Algorithm::ThreePass { deferred_div: true },
+            Algorithm::TwoPass { tile_m0: m0, deferred_div: false },
+            Algorithm::TwoPass { tile_m0: m0, deferred_div: true },
+            Algorithm::OnePass { tile_m0: m0 },
+        ] {
+            let run = alg.run(&q, &k, &v).unwrap();
+            assert_tensors_close(&run.av, &reference, 1e-8);
+        }
+    }
+
+    /// Property: attention outputs are convex combinations of V rows, so
+    /// every output element lies within V's value range.
+    #[test]
+    fn attention_output_is_bounded_by_v(
+        e in 1usize..6,
+        m in 1usize..12,
+        p in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let [q, k, v] = qkv(e, 4, m, p, seed);
+        let run = Algorithm::OnePass { tile_m0: 1 }.run(&q, &k, &v).unwrap();
+        let lo = v.data().iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = v.data().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for &x in run.av.data() {
+            prop_assert!(x >= lo - 1e-9 && x <= hi + 1e-9, "{x} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Property: attention is linear in V — scaling V scales the output.
+    #[test]
+    fn attention_is_linear_in_v(seed in 0u64..1000, scale in 0.25f64..4.0) {
+        let [q, k, v] = qkv(4, 4, 8, 4, seed);
+        let base = Algorithm::OnePass { tile_m0: 4 }.run(&q, &k, &v).unwrap();
+        let v_scaled = v.map(|x| x * scale);
+        let scaled = Algorithm::OnePass { tile_m0: 4 }.run(&q, &k, &v_scaled).unwrap();
+        let expect = base.av.map(|x| x * scale);
+        assert_tensors_close(&scaled.av, &expect, 1e-9);
+    }
+
+    /// Property: logit shift invariance — shifting every QK logit by a
+    /// constant (via a rank-1 update `K += s·u` with `Q ⟂`-free emulation
+    /// using E=1, Q=1 so QK[m,p] = K[m]) leaves the output unchanged. This
+    /// is exactly the trick the stable cascades exploit (§IV-C1).
+    #[test]
+    fn attention_is_shift_invariant(seed in 0u64..1000, shift in -50.0f64..50.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = Tensor::full(Shape::of(&[("E", 1), ("P", 3)]), 1.0_f64);
+        let k = Tensor::random_uniform(Shape::of(&[("E", 1), ("M", 8)]), -2.0, 2.0, &mut rng);
+        let v = Tensor::random_uniform(Shape::of(&[("F", 4), ("M", 8)]), -2.0, 2.0, &mut rng);
+        let base = Algorithm::ThreePass { deferred_div: false }.run(&q, &k, &v).unwrap();
+        let k_shifted = k.map(|x| x + shift);
+        let shifted = Algorithm::ThreePass { deferred_div: false }.run(&q, &k_shifted, &v).unwrap();
+        assert_tensors_close(&shifted.av, &base.av, 1e-8);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-style invariants of the analytical model across every
+//! configuration, workload, and sequence length.
+
+use fusemax::model::{attention_report, e2e_report, ConfigKind, ModelParams};
+use fusemax::workloads::{TransformerConfig, SEQ_LENGTHS};
+use proptest::prelude::*;
+
+#[test]
+fn utilizations_and_busy_cycles_are_well_formed_everywhere() {
+    let params = ModelParams::default();
+    for cfg in TransformerConfig::all() {
+        for &l in &SEQ_LENGTHS {
+            for kind in ConfigKind::all() {
+                let r = attention_report(kind, &cfg, l, None, &params);
+                let ctx = format!("{} {} @ {l}", cfg.name, kind.label());
+                assert!(r.cycles > 0.0, "{ctx}: cycles");
+                assert!(r.busy_2d <= r.cycles * (1.0 + 1e-9), "{ctx}: 2D busy > total");
+                assert!(r.busy_1d <= r.cycles * (1.0 + 1e-9), "{ctx}: 1D busy > total");
+                assert!((0.0..=1.0 + 1e-9).contains(&r.util_2d()), "{ctx}: util2d");
+                assert!((0.0..=1.0 + 1e-9).contains(&r.util_1d()), "{ctx}: util1d");
+                assert!(r.dram_bytes > 0.0 && r.gbuf_bytes >= r.dram_bytes, "{ctx}: traffic");
+                assert!(r.energy.total_pj() > 0.0, "{ctx}: energy");
+            }
+        }
+    }
+}
+
+#[test]
+fn cycles_are_monotone_in_sequence_length() {
+    let params = ModelParams::default();
+    for cfg in TransformerConfig::all() {
+        for kind in ConfigKind::all() {
+            let mut last = 0.0;
+            for &l in &SEQ_LENGTHS {
+                let c = attention_report(kind, &cfg, l, None, &params).cycles;
+                assert!(c > last, "{} {}: not monotone at {l}", cfg.name, kind.label());
+                last = c;
+            }
+        }
+    }
+}
+
+#[test]
+fn fusemax_wins_everywhere_it_should() {
+    // +Binding is the fastest configuration at every point; the unfused
+    // baseline is never faster than +Binding.
+    let params = ModelParams::default();
+    for cfg in TransformerConfig::all() {
+        for &l in &SEQ_LENGTHS {
+            let best = attention_report(ConfigKind::FuseMaxBinding, &cfg, l, None, &params);
+            for kind in [ConfigKind::Unfused, ConfigKind::Flat, ConfigKind::FuseMaxCascade,
+                ConfigKind::FuseMaxArch]
+            {
+                let other = attention_report(kind, &cfg, l, None, &params);
+                assert!(
+                    best.cycles <= other.cycles,
+                    "{} @ {l}: +Binding ({:.3e}) slower than {} ({:.3e})",
+                    cfg.name,
+                    best.cycles,
+                    kind.label(),
+                    other.cycles
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fusemax_is_never_memory_bound() {
+    // §V: "our dataflow is never forced to spill any of its intermediates"
+    // and the workload is never memory-bandwidth limited.
+    let params = ModelParams::default();
+    let arch = fusemax::arch::ArchConfig::fusemax_cloud();
+    for cfg in TransformerConfig::all() {
+        for &l in &SEQ_LENGTHS {
+            let r = attention_report(ConfigKind::FuseMaxBinding, &cfg, l, None, &params);
+            let mem_cycles = r.dram_bytes / arch.dram_bytes_per_cycle();
+            assert!(
+                mem_cycles < 0.5 * r.cycles,
+                "{} @ {l}: memory {} vs cycles {}",
+                cfg.name,
+                mem_cycles,
+                r.cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn fusemax_traffic_scales_linearly_while_flat_scales_superlinearly() {
+    let params = ModelParams::default();
+    let bert = TransformerConfig::bert();
+    let fm_64k = attention_report(ConfigKind::FuseMaxBinding, &bert, 1 << 16, None, &params);
+    let fm_1m = attention_report(ConfigKind::FuseMaxBinding, &bert, 1 << 20, None, &params);
+    // 16× the tokens → exactly 16× the input traffic.
+    let ratio = fm_1m.dram_bytes / fm_64k.dram_bytes;
+    assert!((ratio - 16.0).abs() < 0.1, "FuseMax traffic ratio = {ratio}");
+
+    let flat_64k = attention_report(ConfigKind::Flat, &bert, 1 << 16, None, &params);
+    let flat_1m = attention_report(ConfigKind::Flat, &bert, 1 << 20, None, &params);
+    assert!(flat_1m.dram_bytes / flat_64k.dram_bytes > 100.0, "FLAT must blow up");
+}
+
+#[test]
+fn e2e_is_attention_plus_linear_exactly() {
+    let params = ModelParams::default();
+    for cfg in TransformerConfig::all() {
+        let r = e2e_report(ConfigKind::FuseMaxBinding, &cfg, 1 << 14, &params);
+        let expect = (r.attention.cycles + r.linear.cycles) * cfg.layers as f64;
+        assert!((r.cycles - expect).abs() < 1e-6 * expect);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The model accepts any power-of-two length and stays well-formed.
+    #[test]
+    fn model_handles_arbitrary_lengths(exp in 10u32..21, model_idx in 0usize..4) {
+        let params = ModelParams::default();
+        let cfg = TransformerConfig::all()[model_idx].clone();
+        let l = 1usize << exp;
+        for kind in ConfigKind::all() {
+            let r = attention_report(kind, &cfg, l, None, &params);
+            prop_assert!(r.cycles.is_finite() && r.cycles > 0.0);
+            prop_assert!(r.util_2d() <= 1.0 + 1e-9);
+            prop_assert!(r.energy.total_pj().is_finite());
+        }
+    }
+
+    /// Speedup of +Binding over FLAT never falls below 2× and never
+    /// explodes past 100× for the evaluated family of workloads.
+    #[test]
+    fn speedup_band_is_sane(exp in 10u32..21, model_idx in 0usize..4) {
+        let params = ModelParams::default();
+        let cfg = TransformerConfig::all()[model_idx].clone();
+        let l = 1usize << exp;
+        let flat = attention_report(ConfigKind::Flat, &cfg, l, None, &params);
+        let fm = attention_report(ConfigKind::FuseMaxBinding, &cfg, l, None, &params);
+        let s = flat.cycles / fm.cycles;
+        prop_assert!((2.0..100.0).contains(&s), "speedup {s} at L={l} on {}", cfg.name);
+    }
+}

@@ -1,0 +1,130 @@
+//! Cross-validation: the discrete-event spatial simulator and the
+//! analytical model agree on the binding's qualitative behavior, and the
+//! simulator's per-tile busy cycles match the model's tile-cost formulas.
+
+use fusemax::core::kernels::attention_reference;
+use fusemax::spatial::{simulate, Binding, SpatialConfig, TaskKind, Unit};
+use fusemax::tensor::{assert_tensors_close, Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn qkv(e: usize, f: usize, m: usize, p: usize, seed: u64) -> [Tensor<f64>; 3] {
+    let mut rng = StdRng::seed_from_u64(seed);
+    [
+        Tensor::random_uniform(Shape::of(&[("E", e), ("P", p)]), -1.0, 1.0, &mut rng),
+        Tensor::random_uniform(Shape::of(&[("E", e), ("M", m)]), -1.0, 1.0, &mut rng),
+        Tensor::random_uniform(Shape::of(&[("F", f), ("M", m)]), -1.0, 1.0, &mut rng),
+    ]
+}
+
+#[test]
+fn simulated_busy_cycles_match_analytic_tile_costs() {
+    // The analytical model charges the 2D array E+1+(1+exp)+1+F cycles per
+    // tile and the 1D array 3+(1+exp)+2F per (m1, p)-tile. The simulator
+    // must measure exactly that.
+    let (e, f, m, p) = (8usize, 8usize, 64usize, 4usize);
+    let cfg = SpatialConfig::toy(4, 4);
+    let [q, k, v] = qkv(e, f, m, p, 1);
+    let r = simulate(&q, &k, &v, &cfg, Binding::Pipelined).unwrap();
+    let m1 = m / cfg.rows;
+    let exp = cfg.exp_cycles();
+    let t2d_tile = e as u64 + 1 + exp + 1 + f as u64;
+    let t1d_tile = 1 + exp + 2 + 2 * f as u64;
+    assert_eq!(r.busy_2d, t2d_tile * m1 as u64);
+    assert_eq!(r.busy_1d, t1d_tile * m1 as u64 + f as u64);
+}
+
+#[test]
+fn binding_speedup_direction_matches_the_model() {
+    // The analytical model predicts serialized (+Architecture) is slower
+    // than pipelined (+Binding) by the epoch ratio
+    // (t2d + t1d + fill/drain) / max(t2d, t1d); the simulator should land
+    // in the same neighborhood once warm.
+    let (e, f, m, p) = (8usize, 8usize, 256usize, 4usize);
+    let cfg = SpatialConfig::toy(4, 4);
+    let [q, k, v] = qkv(e, f, m, p, 2);
+    let serial = simulate(&q, &k, &v, &cfg, Binding::Serialized).unwrap();
+    let piped = simulate(&q, &k, &v, &cfg, Binding::Pipelined).unwrap();
+
+    let t2d = (e + 1 + 7 + 1 + f) as f64;
+    let t1d = (1 + 7 + 2 + 2 * f) as f64;
+    let fill_drain = (cfg.rows + cfg.cols) as f64;
+    let predicted = (t2d + t1d + fill_drain) / t2d.max(t1d);
+    let measured = serial.cycles as f64 / piped.cycles as f64;
+    assert!(
+        (measured / predicted - 1.0).abs() < 0.25,
+        "predicted {predicted:.2}x, simulated {measured:.2}x"
+    );
+}
+
+#[test]
+fn utilization_grows_with_m1_like_the_models_warmup_term() {
+    // The model's utilization factor is tiles/(tiles + warmup); the
+    // simulator's pipeline ramp should show the same direction and
+    // approach 1 as M1 grows.
+    let cfg = SpatialConfig::toy(4, 4);
+    let mut last = 0.0;
+    for m in [16usize, 64, 256] {
+        let [q, k, v] = qkv(8, 8, m, 4, 3);
+        let r = simulate(&q, &k, &v, &cfg, Binding::Pipelined).unwrap();
+        let u = r.util_2d().max(r.util_1d());
+        assert!(u > last, "utilization should grow with M1: {u} after {last}");
+        last = u;
+    }
+    assert!(last > 0.9, "long-M utilization = {last}");
+}
+
+#[test]
+fn exp_cost_ablation_shifts_the_bottleneck() {
+    // With single-cycle exponentials the 1D array's correction work
+    // shrinks; with 6-MACC exponentials both arrays balance (the paper's
+    // design point). The tile-work ratio moves accordingly.
+    let [q, k, v] = qkv(8, 8, 64, 4, 4);
+    let mut cheap = SpatialConfig::toy(4, 4);
+    cheap.exp_maccs = 0; // 1-cycle exp
+    let expensive = SpatialConfig::toy(4, 4);
+
+    let r_cheap = simulate(&q, &k, &v, &cheap, Binding::Pipelined).unwrap();
+    let r_exp = simulate(&q, &k, &v, &expensive, Binding::Pipelined).unwrap();
+    assert!(r_cheap.busy_2d < r_exp.busy_2d);
+    assert!(r_cheap.busy_1d < r_exp.busy_1d);
+    assert!(r_cheap.cycles < r_exp.cycles);
+}
+
+#[test]
+fn waterfall_shows_cross_tile_software_pipelining() {
+    // Fig 4's signature: tile m1+1's BQK starts before tile m1's RNV ends.
+    let [q, k, v] = qkv(8, 8, 32, 4, 5);
+    let r = simulate(&q, &k, &v, &SpatialConfig::toy(4, 4), Binding::Pipelined).unwrap();
+    let bqk_next = r
+        .records
+        .iter()
+        .find(|t| t.kind == TaskKind::Bqk && t.m1 == 1)
+        .expect("BQK(m1=1) scheduled");
+    let rnv_prev = r
+        .records
+        .iter()
+        .find(|t| t.kind == TaskKind::Rnv && t.m1 == 0)
+        .expect("RNV(m1=0) scheduled");
+    assert!(
+        bqk_next.start < rnv_prev.end,
+        "no pipelining: BQK(1) at {} vs RNV(0) end {}",
+        bqk_next.start,
+        rnv_prev.end
+    );
+    assert_eq!(bqk_next.unit, Unit::Array2D);
+    assert_eq!(rnv_prev.unit, Unit::Array1D);
+}
+
+#[test]
+fn cloud_scale_simulation_matches_reference_numerics() {
+    // A short cloud-shaped run (256-wide tiles): still bit-faithful.
+    let (e, f, m, p) = (16usize, 16usize, 512usize, 256usize);
+    let cfg = SpatialConfig { rows: 256, cols: 256, vector_pes: 256, exp_maccs: 6,
+        charge_fill_drain: true };
+    let [q, k, v] = qkv(e, f, m, p, 6);
+    let r = simulate(&q, &k, &v, &cfg, Binding::Pipelined).unwrap();
+    let want = attention_reference(&q, &k, &v).unwrap();
+    assert_tensors_close(&r.av, &want, 1e-9);
+    assert_eq!(r.records.iter().filter(|t| t.kind == TaskKind::Bqk).count(), 2);
+}
