@@ -155,7 +155,9 @@ mod tests {
         assert_eq!(half.vector_pes, 128);
         let full = ArchConfig::fusemax_scaled(256);
         assert_eq!(full.global_buffer_bytes, 16 << 20);
-        assert!((half.global_buffer_bytes as f64 / full.global_buffer_bytes as f64 - 0.25).abs() < 1e-6);
+        assert!(
+            (half.global_buffer_bytes as f64 / full.global_buffer_bytes as f64 - 0.25).abs() < 1e-6
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ fn main() {
     // --- Ablation 3: exponential cost sensitivity ---
     fusemax_bench::banner("Ablation 3", "exp cost (MACCs per exp) vs FuseMax speedup over FLAT");
     let bert = TransformerConfig::bert();
-    println!("{:<10} {:>14} {:>12} {:>12}", "exp MACCs", "t2d/t1d ratio", "speedup@64K", "util2D@64K");
+    println!(
+        "{:<10} {:>14} {:>12} {:>12}",
+        "exp MACCs", "t2d/t1d ratio", "speedup@64K", "util2D@64K"
+    );
     for exp_maccs in [1.0, 2.0, 4.0, 6.0, 8.0, 12.0] {
         let params = ModelParams { exp_maccs, ..ModelParams::default() };
         let flat = attention_report(ConfigKind::Flat, &bert, 1 << 16, None, &params);
@@ -63,7 +66,10 @@ fn main() {
         let ratio = fm.busy_2d / fm.busy_1d;
         println!(
             "{:<10} {:>14.3} {:>11.2}x {:>12.2}",
-            exp_maccs, ratio, flat.cycles / fm.cycles, fm.util_2d()
+            exp_maccs,
+            ratio,
+            flat.cycles / fm.cycles,
+            fm.util_2d()
         );
     }
     fusemax_bench::paper_note(

@@ -15,18 +15,28 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(1);
     let (e, f, p) = (8usize, 8usize, 8usize);
     println!("simulated toy 4x4 array (E=F=8):");
-    println!("{:<8} {:>10} {:>10} {:>8} {:>8} {:>8}", "M", "serial", "pipelined", "speedup", "u2D", "u1D");
+    println!(
+        "{:<8} {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "M", "serial", "pipelined", "speedup", "u2D", "u1D"
+    );
     for m in [16usize, 64, 256, 1024] {
-        let q = Tensor::<f64>::random_uniform(Shape::of(&[("E", e), ("P", p)]), -1.0, 1.0, &mut rng);
-        let k = Tensor::<f64>::random_uniform(Shape::of(&[("E", e), ("M", m)]), -1.0, 1.0, &mut rng);
-        let v = Tensor::<f64>::random_uniform(Shape::of(&[("F", f), ("M", m)]), -1.0, 1.0, &mut rng);
+        let q =
+            Tensor::<f64>::random_uniform(Shape::of(&[("E", e), ("P", p)]), -1.0, 1.0, &mut rng);
+        let k =
+            Tensor::<f64>::random_uniform(Shape::of(&[("E", e), ("M", m)]), -1.0, 1.0, &mut rng);
+        let v =
+            Tensor::<f64>::random_uniform(Shape::of(&[("F", f), ("M", m)]), -1.0, 1.0, &mut rng);
         let cfg = SpatialConfig::toy(4, 4);
         let s = simulate(&q, &k, &v, &cfg, Binding::Serialized).expect("sim");
         let pl = simulate(&q, &k, &v, &cfg, Binding::Pipelined).expect("sim");
         println!(
             "{:<8} {:>10} {:>10} {:>7.2}x {:>8.2} {:>8.2}",
-            m, s.cycles, pl.cycles, s.cycles as f64 / pl.cycles as f64,
-            pl.util_2d(), pl.util_1d()
+            m,
+            s.cycles,
+            pl.cycles,
+            s.cycles as f64 / pl.cycles as f64,
+            pl.util_2d(),
+            pl.util_1d()
         );
     }
 
@@ -38,7 +48,10 @@ fn main() {
         let b = attention_report(ConfigKind::FuseMaxBinding, &bert, l, None, &params);
         println!(
             "  L={:<8} +Architecture util2D={:.2}  +Binding util2D={:.2}  binding speedup {:.2}x",
-            l, a.util_2d(), b.util_2d(), a.cycles / b.cycles
+            l,
+            a.util_2d(),
+            b.util_2d(),
+            a.cycles / b.cycles
         );
     }
     // Fig 5's cycle-level mechanism: two weight-stationary streams share

@@ -19,8 +19,7 @@ fn bench_parse(c: &mut Criterion) {
 }
 
 fn bench_analysis(c: &mut Criterion) {
-    let cascades =
-        [attention::three_pass(), attention::two_pass(), attention::one_pass()];
+    let cascades = [attention::three_pass(), attention::two_pass(), attention::one_pass()];
     c.bench_function("pass_analysis_all_attention_cascades", |b| {
         b.iter(|| {
             for cascade in &cascades {

@@ -1,0 +1,266 @@
+//! An offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of criterion's API its benches use: [`Criterion`],
+//! [`BenchmarkId`], benchmark groups with `measurement_time` /
+//! `sample_size`, and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement is honest but simple: each benchmark is warmed up, then
+//! timed for `sample_size` samples (each sample auto-scales its iteration
+//! count toward an even share of `measurement_time`), and the min / median
+//! / max per-iteration times are printed. There is no HTML report, outlier
+//! classification, or regression baseline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id naming only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Hands the measured routine to the harness.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, auto-scaling iterations per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up & calibration: find the per-call cost.
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib_start.elapsed() < self.measurement_time.min(Duration::from_millis(50)) {
+            std::hint::black_box(routine());
+            calib_iters += 1;
+            if calib_iters >= 1000 {
+                break;
+            }
+        }
+        let per_call = calib_start.elapsed() / calib_iters.max(1) as u32;
+
+        // Each sample gets an even share of the measurement budget.
+        let budget = self.measurement_time / self.sample_size.max(1) as u32;
+        let iters_per_sample = if per_call.is_zero() {
+            1000
+        } else {
+            (budget.as_nanos() / per_call.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters_per_sample as u32);
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_and_report(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut samples = Vec::with_capacity(sample_size);
+    let mut bencher = Bencher { samples: &mut samples, sample_size, measurement_time };
+    f(&mut bencher);
+    samples.sort();
+    if samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name:<50} time: [{} {} {}]",
+        fmt_duration(samples[0]),
+        fmt_duration(median),
+        fmt_duration(*samples.last().unwrap()),
+    );
+}
+
+/// A named collection of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the total time budget per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `routine` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_and_report(&label, self.sample_size, self.measurement_time, &mut routine);
+        self
+    }
+
+    /// Benchmarks `routine` with an explicit input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_and_report(&label, self.sample_size, self.measurement_time, &mut |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {
+        let _ = &self.criterion;
+    }
+}
+
+/// The top-level benchmark harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Benchmarks `routine` under `name` with default settings.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_and_report(name, 10, Duration::from_secs(1), &mut routine);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Upstream-compatible configuration hook (accepted and ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Prevents the optimizer from discarding a value (re-export convenience).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.measurement_time(Duration::from_millis(20)).sample_size(3);
+        group.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &x| b.iter(|| x * x));
+        group.finish();
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn harness_runs_and_reports() {
+        benches();
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| ()));
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(16).to_string(), "16");
+    }
+}

@@ -1,0 +1,262 @@
+//! An offline, API-compatible subset of the `rayon` data-parallelism crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of rayon's API it uses: `par_iter` / `into_par_iter`
+//! on slices and vectors, `map` / `filter_map`, and order-preserving
+//! `collect` into a `Vec`.
+//!
+//! Parallelism is real, just simpler than upstream: inputs are split into
+//! one contiguous chunk per available core and executed on scoped OS
+//! threads (`std::thread::scope`), with results re-assembled in input
+//! order. There is no work stealing, so static chunking is fair only for
+//! roughly uniform per-item cost — which is exactly the sweep workload this
+//! workspace parallelizes.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel call will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Splits `items` into per-core chunks, applies `f` on scoped threads, and
+/// reassembles outputs in input order.
+fn parallel_apply<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> Vec<U> + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().flat_map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut rest = items;
+    while rest.len() > chunk_len {
+        let tail = rest.split_off(chunk_len);
+        chunks.push(rest);
+        rest = tail;
+    }
+    chunks.push(rest);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().flat_map(f).collect::<Vec<U>>()))
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("parallel worker panicked")).collect()
+    })
+}
+
+/// A finished-description parallel pipeline that can be driven to a `Vec`.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type this pipeline yields.
+    type Item: Send;
+
+    /// Executes the pipeline on scoped threads, preserving input order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps every element through `f` in parallel.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Maps and filters in one step.
+    fn filter_map<U, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> Option<U> + Sync + Send,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// Collects the results in input order.
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        C::from(self.drive())
+    }
+
+    /// Number of items (drives the pipeline).
+    fn count(self) -> usize {
+        self.drive().len()
+    }
+}
+
+/// Root pipeline over owned items.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// A `map` stage. The first `map`/`filter_map` stage above the root is
+/// where parallel execution actually happens.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    U: Send,
+    F: Fn(P::Item) -> U + Sync + Send,
+{
+    type Item = U;
+
+    fn drive(self) -> Vec<U> {
+        let f = self.f;
+        parallel_apply(self.base.drive(), &|x| vec![f(x)])
+    }
+}
+
+/// A `filter_map` stage.
+pub struct FilterMap<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> ParallelIterator for FilterMap<P, F>
+where
+    P: ParallelIterator,
+    U: Send,
+    F: Fn(P::Item) -> Option<U> + Sync + Send,
+{
+    type Item = U;
+
+    fn drive(self) -> Vec<U> {
+        let f = self.f;
+        parallel_apply(self.base.drive(), &|x| f(x).into_iter().collect())
+    }
+}
+
+/// Types convertible into a parallel pipeline by value.
+pub trait IntoParallelIterator {
+    /// Element type of the pipeline.
+    type Item: Send;
+    /// Pipeline type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Builds the pipeline.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+impl<I: Send> IntoParallelIterator for std::ops::Range<I>
+where
+    std::ops::Range<I>: Iterator<Item = I>,
+{
+    type Item = I;
+    type Iter = VecParIter<I>;
+
+    fn into_par_iter(self) -> VecParIter<I> {
+        VecParIter { items: self.collect() }
+    }
+}
+
+/// Types whose references iterate in parallel (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type of the pipeline (`&'a T`).
+    type Item: Send + 'a;
+    /// Pipeline type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Builds the pipeline over references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = VecParIter<&'a T>;
+
+    fn par_iter(&'a self) -> VecParIter<&'a T> {
+        VecParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = VecParIter<&'a T>;
+
+    fn par_iter(&'a self) -> VecParIter<&'a T> {
+        VecParIter { items: self.iter().collect() }
+    }
+}
+
+/// The traits a caller needs in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<u64> = (0u64..10_000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out.len(), 10_000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn par_iter_over_references() {
+        let data: Vec<u32> = (0..1000).collect();
+        let out: Vec<u32> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out[999], 1000);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn filter_map_drops_elements_in_order() {
+        let out: Vec<u32> =
+            (0u32..100).into_par_iter().filter_map(|x| (x % 2 == 0).then_some(x)).collect();
+        assert_eq!(out, (0..100).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn work_actually_spreads_across_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let _: Vec<()> = (0u32..256)
+            .into_par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        let distinct = seen.lock().unwrap().len();
+        if super::current_num_threads() > 1 {
+            assert!(distinct > 1, "expected multiple worker threads, saw {distinct}");
+        }
+    }
+
+    #[test]
+    fn tiny_and_empty_inputs() {
+        let empty: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u8> = vec![7u8].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}

@@ -327,7 +327,11 @@ mod tests {
         let (q, k, v) = qkv(15);
         let ev = Evaluator::new();
         let plain = ev
-            .evaluate(&two_pass(), &[("Q", q.clone()), ("K", k.clone()), ("V", v.clone())], &[("M0", M0)])
+            .evaluate(
+                &two_pass(),
+                &[("Q", q.clone()), ("K", k.clone()), ("V", v.clone())],
+                &[("M0", M0)],
+            )
             .unwrap();
         let deferred = ev
             .evaluate(&two_pass_deferred_div(), &[("Q", q), ("K", k), ("V", v)], &[("M0", M0)])
@@ -350,9 +354,8 @@ mod tests {
         let plain = ev
             .evaluate(&three_pass(), &[("Q", q.clone()), ("K", k.clone()), ("V", v.clone())], &[])
             .unwrap();
-        let deferred = ev
-            .evaluate(&three_pass_deferred_div(), &[("Q", q), ("K", k), ("V", v)], &[])
-            .unwrap();
+        let deferred =
+            ev.evaluate(&three_pass_deferred_div(), &[("Q", q), ("K", k), ("V", v)], &[]).unwrap();
         assert_eq!(plain.total_counts().div, (M * P) as u64);
         assert_eq!(deferred.total_counts().div, (F * P) as u64);
     }
@@ -375,8 +378,7 @@ mod tests {
         let three = ev
             .evaluate(&three_pass(), &[("Q", q.clone()), ("K", k.clone()), ("V", v.clone())], &[])
             .unwrap();
-        let one =
-            ev.evaluate(&one_pass(), &[("Q", q), ("K", k), ("V", v)], &[("M0", M0)]).unwrap();
+        let one = ev.evaluate(&one_pass(), &[("Q", q), ("K", k), ("V", v)], &[("M0", M0)]).unwrap();
         let m1 = M / M0;
         assert_eq!(three.total_counts().exp, (M * P) as u64);
         assert_eq!(one.total_counts().exp, (M * P + m1 * P) as u64);
@@ -388,13 +390,29 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(21);
         let (b, h) = (2usize, 2usize);
         let q = Tensor::random_uniform(
-            Shape::of(&[("B", b), ("H", h), ("E", E), ("P", P)]), -1.0, 1.0, &mut rng);
+            Shape::of(&[("B", b), ("H", h), ("E", E), ("P", P)]),
+            -1.0,
+            1.0,
+            &mut rng,
+        );
         let k = Tensor::random_uniform(
-            Shape::of(&[("B", b), ("H", h), ("E", E), ("M", M)]), -1.0, 1.0, &mut rng);
+            Shape::of(&[("B", b), ("H", h), ("E", E), ("M", M)]),
+            -1.0,
+            1.0,
+            &mut rng,
+        );
         let v = Tensor::random_uniform(
-            Shape::of(&[("B", b), ("H", h), ("F", F), ("M", M)]), -1.0, 1.0, &mut rng);
+            Shape::of(&[("B", b), ("H", h), ("F", F), ("M", M)]),
+            -1.0,
+            1.0,
+            &mut rng,
+        );
         let r = Evaluator::new()
-            .evaluate(&batched_three_pass(), &[("Q", q.clone()), ("K", k.clone()), ("V", v.clone())], &[])
+            .evaluate(
+                &batched_three_pass(),
+                &[("Q", q.clone()), ("K", k.clone()), ("V", v.clone())],
+                &[],
+            )
             .unwrap();
         let av = r.tensor("AV").unwrap();
         for bi in 0..b {

@@ -53,9 +53,7 @@ pub fn batched_dims<T: Element>(
     let [bv, hv, f, m_v] = need_4d("V", v)?;
     if bq != bk || bq != bv || hq != hk || hq != hv {
         return Err(KernelError::ShapeMismatch {
-            detail: format!(
-                "batch/head ranks disagree: Q {bq}x{hq}, K {bk}x{hk}, V {bv}x{hv}"
-            ),
+            detail: format!("batch/head ranks disagree: Q {bq}x{hq}, K {bk}x{hk}, V {bv}x{hv}"),
         });
     }
     if e != e_k {
@@ -103,10 +101,11 @@ pub fn batched_attention<T: Element>(
     let BatchedDims { b, h, e, m, p, f } = dims;
     let mut av = Tensor::zeros(Shape::of(&[("B", b), ("H", h), ("F", f), ("P", p)]));
     let mut ops = OpCounts::default();
-    let to_head = |t: &Tensor<T>, bi: usize, hi: usize, names: (&str, &str), d0: usize, d1: usize| {
-        let view = t.subview(&[bi, hi]).expect("validated batch/head coordinates");
-        Tensor::from_fn(Shape::of(&[(names.0, d0), (names.1, d1)]), |c| view.get(c))
-    };
+    let to_head =
+        |t: &Tensor<T>, bi: usize, hi: usize, names: (&str, &str), d0: usize, d1: usize| {
+            let view = t.subview(&[bi, hi]).expect("validated batch/head coordinates");
+            Tensor::from_fn(Shape::of(&[(names.0, d0), (names.1, d1)]), |c| view.get(c))
+        };
     for bi in 0..b {
         for hi in 0..h {
             let qh = to_head(q, bi, hi, ("E", "P"), e, p);
@@ -191,16 +190,12 @@ mod tests {
     fn op_counts_scale_with_batch_times_heads() {
         // §IV-B: no cross-batch sharing — work is exactly B·H single heads.
         let [q, k, v] = batched_qkv(2);
-        let batched = batched_attention(Algorithm::ThreePass { deferred_div: false }, &q, &k, &v)
-            .unwrap();
-        let qh =
-            Tensor::from_fn(Shape::of(&[("E", E), ("P", P)]), |c| q.get(&[0, 0, c[0], c[1]]));
-        let kh =
-            Tensor::from_fn(Shape::of(&[("E", E), ("M", M)]), |c| k.get(&[0, 0, c[0], c[1]]));
-        let vh =
-            Tensor::from_fn(Shape::of(&[("F", F), ("M", M)]), |c| v.get(&[0, 0, c[0], c[1]]));
-        let single =
-            Algorithm::ThreePass { deferred_div: false }.run(&qh, &kh, &vh).unwrap();
+        let batched =
+            batched_attention(Algorithm::ThreePass { deferred_div: false }, &q, &k, &v).unwrap();
+        let qh = Tensor::from_fn(Shape::of(&[("E", E), ("P", P)]), |c| q.get(&[0, 0, c[0], c[1]]));
+        let kh = Tensor::from_fn(Shape::of(&[("E", E), ("M", M)]), |c| k.get(&[0, 0, c[0], c[1]]));
+        let vh = Tensor::from_fn(Shape::of(&[("F", F), ("M", M)]), |c| v.get(&[0, 0, c[0], c[1]]));
+        let single = Algorithm::ThreePass { deferred_div: false }.run(&qh, &kh, &vh).unwrap();
         let scale = (B * H) as u64;
         assert_eq!(batched.ops.mul, single.ops.mul * scale);
         assert_eq!(batched.ops.div, single.ops.div * scale);

@@ -182,9 +182,7 @@ impl Algorithm {
         let dims = attention_dims(q, k, v)?;
         match self {
             Algorithm::NaiveUnstable => reference::naive_unstable(q, k, v, dims),
-            Algorithm::ThreePass { deferred_div } => {
-                three_pass::run(q, k, v, dims, *deferred_div)
-            }
+            Algorithm::ThreePass { deferred_div } => three_pass::run(q, k, v, dims, *deferred_div),
             Algorithm::TwoPass { tile_m0, deferred_div } => {
                 check_tile(*tile_m0, dims.m)?;
                 two_pass::run(q, k, v, dims, *tile_m0, *deferred_div)

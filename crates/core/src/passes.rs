@@ -183,11 +183,8 @@ pub fn analyze_passes(cascade: &Cascade, family: &str) -> Result<PassAnalysis, A
 
     let mut classes: BTreeMap<String, RankClass> = BTreeMap::new();
     for input in &cascade.inputs {
-        let carries = input
-            .indices
-            .iter()
-            .filter_map(|i| i.rank())
-            .any(|r| family_of_rank(&r) == family);
+        let carries =
+            input.indices.iter().filter_map(|i| i.rank()).any(|r| family_of_rank(&r) == family);
         classes.insert(
             input.name.clone(),
             if carries { RankClass::FiberData { born_pass: 0 } } else { RankClass::Unrelated },

@@ -1,0 +1,195 @@
+//! The keyed evaluation cache: repeated sweeps and figure regeneration
+//! reuse analytical-model results instead of recomputing them.
+
+use crate::space::DesignPoint;
+use crate::sweep::Evaluation;
+use fusemax_arch::ExpCost;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The full identity of a design point, hashed field-by-field (floating
+/// knobs via their bit patterns) so two points collide exactly when every
+/// model-visible input is identical.
+///
+/// [`fusemax_model::ModelParams`] is deliberately *not* part of the key:
+/// a [`crate::Sweeper`] owns one immutable `ModelParams` alongside its
+/// cache, so entries can never mix parameterizations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PointKey {
+    array_rows: usize,
+    array_cols: usize,
+    vector_pes: usize,
+    global_buffer_bytes: u64,
+    dram_bw_bits: u64,
+    frequency_bits: u64,
+    word_bytes: u64,
+    pe_2d: fusemax_arch::PeKind,
+    exp_cost: (u8, u32),
+    kind: fusemax_model::ConfigKind,
+    model_name: String,
+    layers: usize,
+    heads: usize,
+    head_dim: usize,
+    ffn_dim: usize,
+    batch: usize,
+    seq_len: usize,
+}
+
+impl PointKey {
+    /// Builds the key for `point`.
+    pub fn of(point: &DesignPoint) -> Self {
+        let arch = &point.arch;
+        let w = &point.workload;
+        PointKey {
+            array_rows: arch.array_rows,
+            array_cols: arch.array_cols,
+            vector_pes: arch.vector_pes,
+            global_buffer_bytes: arch.global_buffer_bytes,
+            dram_bw_bits: arch.dram_bw_bytes_per_sec.to_bits(),
+            frequency_bits: arch.frequency_hz.to_bits(),
+            word_bytes: arch.word_bytes,
+            pe_2d: arch.pe_2d,
+            exp_cost: match arch.exp_cost {
+                ExpCost::SingleOp => (0, 0),
+                ExpCost::ChainedMaccs(n) => (1, n),
+            },
+            kind: point.kind,
+            model_name: w.name.to_string(),
+            layers: w.layers,
+            heads: w.heads,
+            head_dim: w.head_dim,
+            ffn_dim: w.ffn_dim,
+            batch: w.batch,
+            seq_len: point.seq_len,
+        }
+    }
+}
+
+/// A thread-safe map from [`PointKey`] to finished [`Evaluation`]s, with
+/// hit/miss counters.
+///
+/// Entries are [`Arc`]-shared: a second sweep over the same space returns
+/// clones of the *same* allocation, so reports are bit-identical by
+/// construction.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    map: Mutex<HashMap<PointKey, Arc<Evaluation>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up `key`, bumping the hit or miss counter.
+    pub fn get(&self, key: &PointKey) -> Option<Arc<Evaluation>> {
+        let found = self.map.lock().expect("cache poisoned").get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores `evaluation` under `key`. If another thread raced us to the
+    /// same key, the first insertion wins and its entry is returned, so
+    /// every caller observes one canonical `Arc` per key.
+    pub fn insert(&self, key: PointKey, evaluation: Arc<Evaluation>) -> Arc<Evaluation> {
+        let mut map = self.map.lock().expect("cache poisoned");
+        Arc::clone(map.entry(key).or_insert(evaluation))
+    }
+
+    /// Cache hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached evaluations.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache poisoned").len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry and zeroes the counters.
+    pub fn clear(&self) {
+        self.map.lock().expect("cache poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{arch_for, DesignPoint};
+    use fusemax_model::ConfigKind;
+    use fusemax_workloads::TransformerConfig;
+
+    fn point(kind: ConfigKind, n: usize, seq_len: usize) -> DesignPoint {
+        DesignPoint {
+            arch: arch_for(kind, n),
+            kind,
+            workload: TransformerConfig::bert(),
+            seq_len,
+            array_dim: n,
+        }
+    }
+
+    #[test]
+    fn identical_points_share_a_key() {
+        let a = PointKey::of(&point(ConfigKind::Flat, 128, 1 << 14));
+        let b = PointKey::of(&point(ConfigKind::Flat, 128, 1 << 14));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_axis_separates_keys() {
+        let base = point(ConfigKind::Flat, 128, 1 << 14);
+        let k = PointKey::of(&base);
+        assert_ne!(k, PointKey::of(&point(ConfigKind::Flat, 256, 1 << 14)), "array dim");
+        assert_ne!(k, PointKey::of(&point(ConfigKind::Unfused, 128, 1 << 14)), "kind");
+        assert_ne!(k, PointKey::of(&point(ConfigKind::Flat, 128, 1 << 16)), "seq len");
+
+        let mut other_model = base.clone();
+        other_model.workload = TransformerConfig::xlm();
+        assert_ne!(k, PointKey::of(&other_model), "workload");
+
+        let mut other_freq = base.clone();
+        other_freq.arch.frequency_hz = 470e6;
+        assert_ne!(k, PointKey::of(&other_freq), "frequency");
+
+        let mut other_buf = base;
+        other_buf.arch.global_buffer_bytes *= 2;
+        assert_ne!(k, PointKey::of(&other_buf), "buffer");
+    }
+
+    #[test]
+    fn arch_name_does_not_affect_the_key() {
+        let a = point(ConfigKind::Flat, 128, 1 << 14);
+        let mut b = a.clone();
+        b.arch.name = "renamed".into();
+        assert_eq!(PointKey::of(&a), PointKey::of(&b));
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let cache = EvalCache::new();
+        let key = PointKey::of(&point(ConfigKind::Flat, 64, 1 << 12));
+        assert!(cache.get(&key).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Dependency-free JSON export of sweep results, feeding the
+//! `BENCH_*.json` bench-trajectory files and any external plotting.
+
+use crate::sweep::{Evaluation, SweepOutcome};
+use std::fmt::Write as _;
+
+/// A finite `f64` as a JSON number (`null` for non-finite values, which
+/// JSON cannot represent).
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:e}")
+    } else {
+        "null".into()
+    }
+}
+
+/// A string as a JSON string literal (the workspace's names are plain
+/// ASCII, but escape the JSON-special characters anyway).
+fn quoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn evaluation_object(e: &Evaluation) -> String {
+    format!(
+        concat!(
+            "{{\"model\":{},\"kind\":{},\"seq_len\":{},\"array_dim\":{},",
+            "\"arch\":{},\"frequency_hz\":{},\"buffer_bytes\":{},",
+            "\"area_cm2\":{},\"latency_s\":{},\"energy_j\":{},",
+            "\"cycles_per_layer\":{},\"util_2d\":{},\"util_1d\":{}}}"
+        ),
+        quoted(e.point.workload.name),
+        quoted(e.point.kind.label()),
+        e.point.seq_len,
+        e.point.array_dim,
+        quoted(&e.point.arch.name),
+        num(e.point.arch.frequency_hz),
+        e.point.arch.global_buffer_bytes,
+        num(e.area_cm2),
+        num(e.latency_s),
+        num(e.energy_j),
+        num(e.report.cycles),
+        num(e.report.util_2d()),
+        num(e.report.util_1d()),
+    )
+}
+
+/// Serializes an outcome's per-group Pareto frontiers (points sorted by
+/// area, Fig 12 style) plus the sweep stats.
+///
+/// # Example
+///
+/// ```
+/// use fusemax_dse::{frontier_json, DesignSpace, Sweeper};
+/// use fusemax_model::ModelParams;
+///
+/// let outcome = Sweeper::new(ModelParams::default())
+///     .sweep(&DesignSpace::new().with_array_dims([64, 128]));
+/// let json = frontier_json(&outcome);
+/// assert!(json.starts_with('{') && json.contains("\"frontiers\""));
+/// ```
+pub fn frontier_json(outcome: &SweepOutcome) -> String {
+    let mut groups = Vec::with_capacity(outcome.frontiers.len());
+    for group in &outcome.frontiers {
+        let points: Vec<String> =
+            group.frontier.sorted_by(0).into_iter().map(|e| evaluation_object(e)).collect();
+        groups.push(format!(
+            "{{\"model\":{},\"seq_len\":{},\"points\":[{}]}}",
+            quoted(&group.model),
+            group.seq_len,
+            points.join(",")
+        ));
+    }
+    let stats = &outcome.stats;
+    format!(
+        concat!(
+            "{{\"frontiers\":[{}],\"stats\":{{\"candidates\":{},\"evaluated\":{},",
+            "\"pruned\":{},\"cache_hits\":{},\"elapsed_s\":{},\"points_per_sec\":{}}}}}"
+        ),
+        groups.join(","),
+        stats.candidates,
+        stats.evaluated,
+        stats.pruned,
+        stats.cache_hits,
+        num(stats.elapsed.as_secs_f64()),
+        num(stats.points_per_sec()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::DesignSpace;
+    use crate::sweep::Sweeper;
+    use fusemax_model::{ConfigKind, ModelParams};
+    use fusemax_workloads::TransformerConfig;
+
+    fn sample() -> SweepOutcome {
+        Sweeper::new(ModelParams::default()).sweep(
+            &DesignSpace::new()
+                .with_array_dims([64, 128])
+                .with_kinds([ConfigKind::FuseMaxBinding])
+                .with_workloads([TransformerConfig::bert()]),
+        )
+    }
+
+    #[test]
+    fn json_shape_is_plausible() {
+        let json = frontier_json(&sample());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches("\"model\":\"BERT\"").count(), 3, "group + 2 points");
+        assert!(json.contains("\"points_per_sec\""));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn braces_and_brackets_balance() {
+        let json = frontier_json(&sample());
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}'));
+        assert!(balance('[', ']'));
+        assert_eq!(json.chars().filter(|&c| c == '"').count() % 2, 0);
+    }
+
+    #[test]
+    fn quoting_escapes_specials() {
+        assert_eq!(quoted("plain"), "\"plain\"");
+        assert_eq!(quoted("a\"b"), "\"a\\\"b\"");
+        assert_eq!(quoted("a\\b"), "\"a\\\\b\"");
+        assert_eq!(quoted("a\nb"), "\"a\\u000ab\"");
+    }
+
+    #[test]
+    fn numbers_render_as_json() {
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        assert!(num(2.5).contains('e'));
+    }
+}

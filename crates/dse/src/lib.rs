@@ -1,0 +1,103 @@
+#![warn(missing_docs)]
+
+//! Design-space exploration over the FuseMax analytical model: enumerate a
+//! space of candidate accelerators, evaluate them in parallel through
+//! [`fusemax_model`], keep multi-objective Pareto frontiers, prune
+//! provably-dominated candidates before paying for them, and cache every
+//! evaluation so repeated sweeps (figure regeneration, interactive
+//! narrowing) are free.
+//!
+//! This is the searching counterpart to the paper's Fig 12: where the
+//! evaluation section sweeps six hand-picked array sizes for one
+//! configuration, this crate sweeps the cartesian space of architecture and
+//! workload knobs and reports what is actually Pareto-optimal.
+//!
+//! # Search-space grammar
+//!
+//! A [`DesignSpace`] is the cartesian product of six axes; each `with_*`
+//! builder method replaces one axis and every combination becomes one
+//! [`DesignPoint`]:
+//!
+//! ```text
+//! space       := array_dims × kinds × workloads × seq_lens
+//!                × frequencies × buffer_scales
+//! array_dim   := n                  -- n×n 2D PEs, n 1D PEs, buffer ∝ n²
+//!                                      (Fig 12 default: 16, 32, …, 512)
+//! kind        := Unfused | Flat | FuseMaxCascade
+//!              | FuseMaxArch | FuseMaxBinding
+//!                                   -- FuseMax kinds run on the FuseMax
+//!                                      chip, the rest on the FLAT chip
+//!                                      (see [`arch_for`])
+//! workload    := TransformerConfig  -- BERT / TrXL / T5 / XLM or custom
+//! seq_len     := tokens             -- paper sweep: 1K … 1M
+//! frequency   := None | Some(hz)    -- None keeps the family's stock clock
+//! buffer_scale:= ×f                 -- multiplier on the scaled buffer
+//! ```
+//!
+//! Evaluating a point yields an [`Evaluation`] with three **minimized**
+//! objectives — chip area (cm²), full-model attention latency (s), and
+//! full-model attention energy (J) — compared by Pareto dominance in
+//! [`ParetoFrontier`], one frontier per `(workload, seq_len)` group
+//! (dominance across different workloads is meaningless).
+//!
+//! # Engine
+//!
+//! [`Sweeper::sweep`] evaluates every point — rayon-parallel across cores,
+//! results identical to the serial path — and is the ground truth used by
+//! `fusemax_eval::fig12`. [`Sweeper::sweep_pruned`] additionally tests each
+//! candidate's closed-form optimistic bound ([`Sweeper::lower_bound`])
+//! against the running frontier and skips candidates that provably cannot
+//! be Pareto-optimal, so dominated subspaces are never evaluated at all.
+//! Both paths share the keyed [`EvalCache`]; a second sweep over any
+//! overlapping space returns the *same* [`std::sync::Arc`] allocations,
+//! bit-identical by construction.
+//!
+//! Analytical winners should not be trusted blindly: [`validate_top_k`]
+//! replays the best frontier designs through the discrete-event simulator
+//! in [`fusemax_spatial`], confirming the schedule computes reference
+//! attention numerics and that its cycle count is sane.
+//!
+//! # Example
+//!
+//! ```
+//! use fusemax_dse::{DesignSpace, Sweeper};
+//! use fusemax_model::{ConfigKind, ModelParams};
+//!
+//! // All five configurations × three chip sizes on BERT at 64K tokens.
+//! let space = DesignSpace::new()
+//!     .with_array_dims([64, 128, 256])
+//!     .with_kinds(ConfigKind::all())
+//!     .with_workloads([fusemax_workloads::TransformerConfig::bert()])
+//!     .with_seq_lens([1 << 16]);
+//!
+//! let sweeper = Sweeper::new(ModelParams::default());
+//! let outcome = sweeper.sweep(&space);
+//! assert_eq!(outcome.evaluations.len(), 15);
+//!
+//! // +Binding dominates the baselines at equal scale, so the frontier is
+//! // thinner than the space.
+//! let frontier = &outcome.frontiers[0].frontier;
+//! assert!(!frontier.is_empty() && frontier.len() < 15);
+//!
+//! // A second sweep is pure cache hits.
+//! let again = sweeper.sweep(&space);
+//! assert_eq!(again.stats.cache_hits, 15);
+//! ```
+
+mod cache;
+mod json;
+mod pareto;
+mod space;
+mod sweep;
+mod validate;
+
+pub use cache::{EvalCache, PointKey};
+pub use json::frontier_json;
+pub use pareto::{dominates, Objectives, ParetoFrontier};
+pub use space::{arch_for, DesignPoint, DesignSpace};
+pub use sweep::{Evaluation, FrontierGroup, SweepOutcome, SweepStats, Sweeper};
+pub use validate::{validate_top_k, Validation, ValidationStatus};
+
+/// The array dimensions of the paper's Fig 12 family (16×16 … 512×512) —
+/// the default [`DesignSpace`] dimension axis.
+pub const ARRAY_DIMS: [usize; 6] = [16, 32, 64, 128, 256, 512];

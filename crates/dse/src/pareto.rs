@@ -1,0 +1,273 @@
+//! Generic multi-objective Pareto frontiers with dominance pruning.
+//!
+//! All objectives are **minimized**. A point `a` *dominates* `b` when `a`
+//! is no worse than `b` in every objective and strictly better in at least
+//! one — the standard (weak-)Pareto dominance relation, which is
+//! irreflexive and transitive.
+
+use std::sync::Arc;
+
+/// A point comparable under `N`-objective minimization.
+pub trait Objectives<const N: usize> {
+    /// The objective vector; every component is minimized.
+    fn objectives(&self) -> [f64; N];
+}
+
+impl<T: Objectives<N>, const N: usize> Objectives<N> for Arc<T> {
+    fn objectives(&self) -> [f64; N] {
+        (**self).objectives()
+    }
+}
+
+impl<T: Objectives<N>, const N: usize> Objectives<N> for &T {
+    fn objectives(&self) -> [f64; N] {
+        (**self).objectives()
+    }
+}
+
+impl<const N: usize> Objectives<N> for [f64; N] {
+    fn objectives(&self) -> [f64; N] {
+        *self
+    }
+}
+
+/// `true` when `a` Pareto-dominates `b` (minimization): `a ≤ b` everywhere
+/// and `a < b` somewhere.
+pub fn dominates<const N: usize>(a: &[f64; N], b: &[f64; N]) -> bool {
+    let mut strictly_better = false;
+    for i in 0..N {
+        if a[i] > b[i] {
+            return false;
+        }
+        if a[i] < b[i] {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// The set of mutually non-dominated points seen so far.
+///
+/// Inserting a point that some member dominates is a no-op; inserting a
+/// point that dominates members evicts them. Ties (identical objective
+/// vectors) are kept, so distinct designs with equal cost all survive.
+///
+/// # Example
+///
+/// ```
+/// use fusemax_dse::ParetoFrontier;
+///
+/// let mut front: ParetoFrontier<[f64; 2], 2> = ParetoFrontier::new();
+/// assert!(front.insert([1.0, 4.0]));
+/// assert!(front.insert([4.0, 1.0])); // trade-off: kept
+/// assert!(!front.insert([5.0, 5.0])); // dominated: no-op
+/// assert!(front.insert([0.5, 0.5])); // dominates both: evicts them
+/// assert_eq!(front.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParetoFrontier<P: Objectives<N>, const N: usize> {
+    points: Vec<P>,
+}
+
+impl<P: Objectives<N>, const N: usize> Default for ParetoFrontier<P, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Objectives<N>, const N: usize> ParetoFrontier<P, N> {
+    /// An empty frontier.
+    pub fn new() -> Self {
+        ParetoFrontier { points: Vec::new() }
+    }
+
+    /// Offers `candidate` to the frontier. Returns `true` when the
+    /// candidate survives (and evicts any members it dominates); returns
+    /// `false` — leaving the frontier untouched — when an existing member
+    /// dominates it.
+    pub fn insert(&mut self, candidate: P) -> bool {
+        let c = candidate.objectives();
+        if self.points.iter().any(|p| dominates(&p.objectives(), &c)) {
+            return false;
+        }
+        self.points.retain(|p| !dominates(&c, &p.objectives()));
+        self.points.push(candidate);
+        true
+    }
+
+    /// Inserts every point of `iter`.
+    pub fn extend(&mut self, iter: impl IntoIterator<Item = P>) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+
+    /// `true` when `objective_bound` — an *optimistic* (component-wise
+    /// lower) bound on some unevaluated point — could still enter the
+    /// frontier. When this returns `false` the real point is provably
+    /// dominated and need not be evaluated at all: the pruning test used
+    /// by [`crate::Sweeper::sweep_pruned`].
+    pub fn admits(&self, objective_bound: &[f64; N]) -> bool {
+        !self.points.iter().any(|p| dominates(&p.objectives(), objective_bound))
+    }
+
+    /// The current non-dominated set, in insertion order of survivors.
+    pub fn points(&self) -> &[P] {
+        &self.points
+    }
+
+    /// Consumes the frontier, yielding its points.
+    pub fn into_points(self) -> Vec<P> {
+        self.points
+    }
+
+    /// Number of non-dominated points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no point has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The member minimizing objective `index`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= N`.
+    pub fn best_by(&self, index: usize) -> Option<&P> {
+        assert!(index < N, "objective index {index} out of range for {N} objectives");
+        self.points.iter().min_by(|a, b| a.objectives()[index].total_cmp(&b.objectives()[index]))
+    }
+
+    /// Members sorted ascending by objective `index` (a convenient order
+    /// for rendering area/latency curves or picking `top_k` designs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= N`.
+    pub fn sorted_by(&self, index: usize) -> Vec<&P> {
+        assert!(index < N, "objective index {index} out of range for {N} objectives");
+        let mut out: Vec<&P> = self.points.iter().collect();
+        out.sort_by(|a, b| a.objectives()[index].total_cmp(&b.objectives()[index]));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_is_irreflexive() {
+        let a = [1.0, 2.0, 3.0];
+        assert!(!dominates(&a, &a), "a point must not dominate itself");
+    }
+
+    #[test]
+    fn dominance_is_antisymmetric() {
+        let a = [1.0, 2.0];
+        let b = [2.0, 3.0];
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+    }
+
+    #[test]
+    fn dominance_is_transitive() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [1.0, 2.0, 1.0];
+        let c = [2.0, 2.0, 2.0];
+        assert!(dominates(&a, &b));
+        assert!(dominates(&b, &c));
+        assert!(dominates(&a, &c));
+    }
+
+    #[test]
+    fn incomparable_points_coexist() {
+        let mut f: ParetoFrontier<[f64; 2], 2> = ParetoFrontier::new();
+        assert!(f.insert([1.0, 10.0]));
+        assert!(f.insert([10.0, 1.0]));
+        assert!(f.insert([5.0, 5.0]));
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn dominated_insert_is_a_no_op() {
+        let mut f: ParetoFrontier<[f64; 2], 2> = ParetoFrontier::new();
+        f.insert([1.0, 1.0]);
+        let before: Vec<[f64; 2]> = f.points().to_vec();
+        assert!(!f.insert([2.0, 1.0]));
+        assert_eq!(f.points(), &before[..], "frontier must be untouched");
+    }
+
+    #[test]
+    fn dominating_insert_evicts_members() {
+        let mut f: ParetoFrontier<[f64; 2], 2> = ParetoFrontier::new();
+        f.insert([3.0, 3.0]);
+        f.insert([4.0, 2.0]);
+        f.insert([1.0, 9.0]);
+        assert!(f.insert([2.0, 2.0])); // beats the first two, not the third
+        let objs: Vec<[f64; 2]> = f.points().iter().map(|p| p.objectives()).collect();
+        assert_eq!(objs.len(), 2);
+        assert!(objs.contains(&[2.0, 2.0]));
+        assert!(objs.contains(&[1.0, 9.0]));
+    }
+
+    #[test]
+    fn ties_are_kept() {
+        let mut f: ParetoFrontier<[f64; 2], 2> = ParetoFrontier::new();
+        assert!(f.insert([1.0, 2.0]));
+        assert!(f.insert([1.0, 2.0]));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn admits_rejects_provably_dominated_bounds() {
+        let mut f: ParetoFrontier<[f64; 3], 3> = ParetoFrontier::new();
+        f.insert([1.0, 1.0, 1.0]);
+        assert!(!f.admits(&[2.0, 2.0, 2.0]));
+        assert!(f.admits(&[0.5, 3.0, 3.0]));
+        assert!(f.admits(&[1.0, 1.0, 1.0]), "equal bound is not dominated");
+    }
+
+    #[test]
+    fn best_by_and_sorted_by() {
+        let mut f: ParetoFrontier<[f64; 2], 2> = ParetoFrontier::new();
+        f.insert([1.0, 10.0]);
+        f.insert([10.0, 1.0]);
+        f.insert([5.0, 5.0]);
+        assert_eq!(f.best_by(0).unwrap().objectives(), [1.0, 10.0]);
+        assert_eq!(f.best_by(1).unwrap().objectives(), [10.0, 1.0]);
+        let by_area: Vec<f64> = f.sorted_by(0).iter().map(|p| p.objectives()[0]).collect();
+        assert_eq!(by_area, vec![1.0, 5.0, 10.0]);
+    }
+
+    #[test]
+    fn random_frontier_is_mutually_non_dominated() {
+        // A deterministic pseudo-random stream (no external deps needed).
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut f: ParetoFrontier<[f64; 3], 3> = ParetoFrontier::new();
+        for _ in 0..500 {
+            f.insert([next(), next(), next()]);
+        }
+        assert!(!f.is_empty());
+        let pts = f.points();
+        for (i, a) in pts.iter().enumerate() {
+            for (j, b) in pts.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !dominates(&a.objectives(), &b.objectives()),
+                        "frontier member {i} dominates member {j}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! The design space: the cartesian product of architecture and workload
+//! knobs, enumerated into concrete [`DesignPoint`]s.
+
+use fusemax_arch::ArchConfig;
+use fusemax_model::ConfigKind;
+use fusemax_workloads::TransformerConfig;
+
+/// One fully-specified candidate design: an architecture, the dataflow
+/// configuration running on it, and the workload it is evaluated against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// The concrete accelerator instance.
+    pub arch: ArchConfig,
+    /// Which of the paper's configurations runs on it.
+    pub kind: ConfigKind,
+    /// The transformer model evaluated.
+    pub workload: TransformerConfig,
+    /// Sequence length in tokens.
+    pub seq_len: usize,
+    /// The `n` of the `n×n` array this point was scaled from (kept for
+    /// reports and the Fig 12 x-axis grouping).
+    pub array_dim: usize,
+}
+
+/// Builds the architecture a configuration family uses at array dimension
+/// `n`: the FuseMax-scaled chip for the FuseMax kinds, a FLAT-cloud chip
+/// scaled the same way (array `n×n`, `n` 1D PEs, proportionally scaled
+/// 22 MB-class buffer) for the baselines — mirroring how
+/// [`ConfigKind::default_arch`] splits the families at cloud scale.
+pub fn arch_for(kind: ConfigKind, n: usize) -> ArchConfig {
+    assert!(n > 0, "array dimension must be positive");
+    match kind {
+        ConfigKind::FuseMaxArch | ConfigKind::FuseMaxBinding => ArchConfig::fusemax_scaled(n),
+        ConfigKind::Unfused | ConfigKind::Flat | ConfigKind::FuseMaxCascade => {
+            let base = ArchConfig::flat_cloud();
+            let scale = (n as f64 / 256.0).powi(2);
+            ArchConfig {
+                name: format!("flat-{n}x{n}"),
+                array_rows: n,
+                array_cols: n,
+                vector_pes: n,
+                global_buffer_bytes: ((22_u64 << 20) as f64 * scale).ceil() as u64,
+                ..base
+            }
+        }
+    }
+}
+
+/// A declarative description of the space to sweep.
+///
+/// Knobs multiply: `array_dims × kinds × workloads × seq_lens ×
+/// frequencies × buffer_scales` design points. The builder starts from the
+/// paper's Fig 12 defaults (the six array dimensions, `+Binding`, all four
+/// models, 256K tokens, stock frequency and buffer) and every `with_*`
+/// method replaces one axis.
+///
+/// # Example
+///
+/// ```
+/// use fusemax_dse::DesignSpace;
+/// use fusemax_model::ConfigKind;
+///
+/// let space = DesignSpace::new()
+///     .with_array_dims([64, 128, 256])
+///     .with_kinds([ConfigKind::Flat, ConfigKind::FuseMaxBinding])
+///     .with_seq_lens([1 << 16]);
+/// // 3 dims × 2 kinds × 4 models × 1 length = 24 points.
+/// assert_eq!(space.len(), 24);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DesignSpace {
+    array_dims: Vec<usize>,
+    kinds: Vec<ConfigKind>,
+    workloads: Vec<TransformerConfig>,
+    seq_lens: Vec<usize>,
+    frequencies_hz: Vec<Option<f64>>,
+    buffer_scales: Vec<f64>,
+}
+
+impl Default for DesignSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DesignSpace {
+    /// The Fig 12 default space: `ARRAY_DIMS × {+Binding} × all models ×
+    /// {256K}` at stock frequency and buffer size.
+    pub fn new() -> Self {
+        DesignSpace {
+            array_dims: crate::ARRAY_DIMS.to_vec(),
+            kinds: vec![ConfigKind::FuseMaxBinding],
+            workloads: TransformerConfig::all(),
+            seq_lens: vec![1 << 18],
+            frequencies_hz: vec![None],
+            buffer_scales: vec![1.0],
+        }
+    }
+
+    /// Replaces the array-dimension axis (`n` for an `n×n` 2D array with
+    /// `n` 1D PEs and a proportionally scaled buffer).
+    pub fn with_array_dims(mut self, dims: impl IntoIterator<Item = usize>) -> Self {
+        self.array_dims = dims.into_iter().collect();
+        self
+    }
+
+    /// Replaces the configuration axis.
+    pub fn with_kinds(mut self, kinds: impl IntoIterator<Item = ConfigKind>) -> Self {
+        self.kinds = kinds.into_iter().collect();
+        self
+    }
+
+    /// Replaces the workload axis.
+    pub fn with_workloads(
+        mut self,
+        workloads: impl IntoIterator<Item = TransformerConfig>,
+    ) -> Self {
+        self.workloads = workloads.into_iter().collect();
+        self
+    }
+
+    /// Replaces the sequence-length axis.
+    pub fn with_seq_lens(mut self, seq_lens: impl IntoIterator<Item = usize>) -> Self {
+        self.seq_lens = seq_lens.into_iter().collect();
+        self
+    }
+
+    /// Replaces the clock-frequency axis (`None` keeps each family's stock
+    /// clock; `Some(hz)` overrides it).
+    pub fn with_frequencies_hz(mut self, freqs: impl IntoIterator<Item = Option<f64>>) -> Self {
+        self.frequencies_hz = freqs.into_iter().collect();
+        self
+    }
+
+    /// Replaces the global-buffer capacity axis (multipliers on each
+    /// family's dimension-scaled buffer).
+    pub fn with_buffer_scales(mut self, scales: impl IntoIterator<Item = f64>) -> Self {
+        self.buffer_scales = scales.into_iter().collect();
+        self
+    }
+
+    /// Number of candidate points the space enumerates.
+    pub fn len(&self) -> usize {
+        self.array_dims.len()
+            * self.kinds.len()
+            * self.workloads.len()
+            * self.seq_lens.len()
+            * self.frequencies_hz.len()
+            * self.buffer_scales.len()
+    }
+
+    /// `true` when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerates every point, workload-major then sequence length, kind,
+    /// array dimension, frequency, buffer scale — a stable order the cache
+    /// and the serial/parallel equivalence tests rely on.
+    pub fn points(&self) -> Vec<DesignPoint> {
+        let mut out = Vec::with_capacity(self.len());
+        for workload in &self.workloads {
+            for &seq_len in &self.seq_lens {
+                for &kind in &self.kinds {
+                    for &n in &self.array_dims {
+                        for &freq in &self.frequencies_hz {
+                            for &buf_scale in &self.buffer_scales {
+                                let mut arch = arch_for(kind, n);
+                                if let Some(hz) = freq {
+                                    arch.frequency_hz = hz;
+                                    arch.name = format!("{}@{:.0}MHz", arch.name, hz / 1e6);
+                                }
+                                if buf_scale != 1.0 {
+                                    arch.global_buffer_bytes =
+                                        (arch.global_buffer_bytes as f64 * buf_scale).ceil() as u64;
+                                    arch.name = format!("{}-buf{buf_scale:.2}x", arch.name);
+                                }
+                                out.push(DesignPoint {
+                                    arch,
+                                    kind,
+                                    workload: workload.clone(),
+                                    seq_len,
+                                    array_dim: n,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusemax_arch::PeKind;
+
+    #[test]
+    fn default_space_is_the_fig12_sweep() {
+        let space = DesignSpace::new();
+        assert_eq!(space.len(), 6 * 4);
+        let pts = space.points();
+        assert_eq!(pts.len(), 24);
+        assert!(pts.iter().all(|p| p.kind == ConfigKind::FuseMaxBinding));
+        assert!(pts.iter().all(|p| p.seq_len == 1 << 18));
+    }
+
+    #[test]
+    fn arch_for_matches_the_family_split() {
+        let fm = arch_for(ConfigKind::FuseMaxBinding, 256);
+        assert_eq!(fm, ArchConfig::fusemax_scaled(256));
+        assert_eq!(fm.pe_2d, PeKind::FuseMaxPe);
+
+        let flat = arch_for(ConfigKind::Flat, 256);
+        assert_eq!(flat.pe_2d, PeKind::FlatMacc);
+        assert_eq!(flat.global_buffer_bytes, 22 << 20);
+        let small = arch_for(ConfigKind::Flat, 128);
+        assert_eq!(small.vector_pes, 128);
+        assert_eq!(small.global_buffer_bytes, (22 << 20) / 4);
+    }
+
+    #[test]
+    fn knob_axes_multiply() {
+        let space = DesignSpace::new()
+            .with_array_dims([32, 64])
+            .with_kinds(ConfigKind::all())
+            .with_seq_lens([1 << 12, 1 << 14, 1 << 16])
+            .with_frequencies_hz([None, Some(470e6)])
+            .with_buffer_scales([0.5, 1.0]);
+        assert_eq!(space.len(), 2 * 5 * 4 * 3 * 2 * 2);
+        assert_eq!(space.points().len(), space.len());
+    }
+
+    #[test]
+    fn frequency_and_buffer_knobs_apply() {
+        let space = DesignSpace::new()
+            .with_array_dims([256])
+            .with_workloads([TransformerConfig::bert()])
+            .with_frequencies_hz([Some(470e6)])
+            .with_buffer_scales([0.5]);
+        let pts = space.points();
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].arch.frequency_hz, 470e6);
+        assert_eq!(pts[0].arch.global_buffer_bytes, 8 << 20);
+        assert!(pts[0].arch.name.contains("470MHz"));
+    }
+
+    #[test]
+    fn enumeration_order_is_stable() {
+        let space = DesignSpace::new();
+        assert_eq!(space.points(), space.points());
+    }
+
+    #[test]
+    fn empty_axis_empties_the_space() {
+        let space = DesignSpace::new().with_kinds([]);
+        assert!(space.is_empty());
+        assert!(space.points().is_empty());
+    }
+}

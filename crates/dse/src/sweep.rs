@@ -1,0 +1,604 @@
+//! The sweep engine: evaluates design points through the analytical model
+//! (serially or rayon-parallel), maintains per-workload Pareto frontiers,
+//! and prunes provably-dominated points before paying for their evaluation.
+
+use crate::cache::{EvalCache, PointKey};
+use crate::pareto::{Objectives, ParetoFrontier};
+use crate::space::{DesignPoint, DesignSpace};
+use fusemax_arch::{AreaModel, EnergyTable};
+use fusemax_model::{attention_report, AttentionReport, AttnWork, ModelParams};
+use rayon::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A fully-evaluated design point: the three minimized objectives plus the
+/// underlying analytical report.
+///
+/// `latency_s` and `energy_j` cover the *full model's* attention (all
+/// layers at the workload's batch size), matching Fig 12's y-axis;
+/// `area_cm2` is the chip area of [`DesignPoint::arch`].
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The design evaluated.
+    pub point: DesignPoint,
+    /// Chip area in cm² (objective 0).
+    pub area_cm2: f64,
+    /// Full-model attention latency in seconds (objective 1).
+    pub latency_s: f64,
+    /// Full-model attention energy in joules (objective 2).
+    pub energy_j: f64,
+    /// The per-layer analytical report behind the objectives.
+    pub report: AttentionReport,
+}
+
+impl Objectives<3> for Evaluation {
+    fn objectives(&self) -> [f64; 3] {
+        [self.area_cm2, self.latency_s, self.energy_j]
+    }
+}
+
+/// The Pareto frontier of one `(workload, seq_len)` group.
+///
+/// Frontiers are kept per workload/length pair because dominance across
+/// *different* workloads is meaningless: a smaller model is cheaper to run
+/// on every chip, which says nothing about which chip to build.
+#[derive(Debug, Clone)]
+pub struct FrontierGroup {
+    /// Workload name (`BERT`, `TrXL`, `T5`, `XLM`, …).
+    pub model: String,
+    /// Sequence length of this group.
+    pub seq_len: usize,
+    /// The non-dominated (area, latency, energy) set.
+    pub frontier: ParetoFrontier<Arc<Evaluation>, 3>,
+}
+
+/// Bookkeeping of one sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepStats {
+    /// Points the space enumerated.
+    pub candidates: usize,
+    /// Points actually run through the analytical model.
+    pub evaluated: usize,
+    /// Points skipped by dominance pruning (never evaluated).
+    pub pruned: usize,
+    /// Points served from the evaluation cache.
+    pub cache_hits: usize,
+    /// Wall-clock time of the sweep.
+    pub elapsed: Duration,
+}
+
+impl SweepStats {
+    /// Evaluated-point throughput (cached and pruned points excluded).
+    pub fn points_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.evaluated as f64 / secs
+        }
+    }
+}
+
+/// Everything a sweep returns: the evaluations, the per-group frontiers,
+/// and the stats.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One evaluation per *non-pruned* candidate. [`Sweeper::sweep`]
+    /// evaluates everything and keeps [`DesignSpace::points`] order;
+    /// [`Sweeper::sweep_pruned`] skips dominated candidates and yields
+    /// survivors in its search order (strongest configurations first).
+    pub evaluations: Vec<Arc<Evaluation>>,
+    /// Per-`(workload, seq_len)` Pareto frontiers, in first-seen order.
+    pub frontiers: Vec<FrontierGroup>,
+    /// Sweep bookkeeping.
+    pub stats: SweepStats,
+}
+
+impl SweepOutcome {
+    /// The frontier of one workload/length group, if that group was swept.
+    pub fn frontier_for(&self, model: &str, seq_len: usize) -> Option<&FrontierGroup> {
+        self.frontiers.iter().find(|g| g.model == model && g.seq_len == seq_len)
+    }
+
+    /// The union of all group frontiers.
+    pub fn frontier_points(&self) -> Vec<&Arc<Evaluation>> {
+        self.frontiers.iter().flat_map(|g| g.frontier.points()).collect()
+    }
+
+    /// Up to `k` frontier designs worth replaying on the cycle-accurate
+    /// simulator ([`crate::validate_top_k`]): every group's
+    /// lowest-latency winner first, then every group's runner-up, and so
+    /// on (latency is only comparable *within* a `(workload, seq_len)`
+    /// group, so a plain global sort would hand all `k` slots to the
+    /// cheapest workload's group).
+    pub fn top_k(&self, k: usize) -> Vec<&Arc<Evaluation>> {
+        let mut by_group: Vec<Vec<&Arc<Evaluation>>> = self
+            .frontiers
+            .iter()
+            .map(|g| {
+                let mut pts: Vec<&Arc<Evaluation>> = g.frontier.points().iter().collect();
+                pts.sort_by(|a, b| a.latency_s.total_cmp(&b.latency_s));
+                pts
+            })
+            .collect();
+        let mut out = Vec::new();
+        let mut rank = 0;
+        while out.len() < k {
+            let mut took_any = false;
+            for group in &mut by_group {
+                if let Some(&p) = group.get(rank) {
+                    out.push(p);
+                    took_any = true;
+                    if out.len() == k {
+                        break;
+                    }
+                }
+            }
+            if !took_any {
+                break;
+            }
+            rank += 1;
+        }
+        out
+    }
+}
+
+/// The sweep engine: owns the model parameterization, the cost models, and
+/// the evaluation cache.
+///
+/// The cache is keyed by the full design-point identity ([`PointKey`]);
+/// because a `Sweeper` owns exactly one immutable [`ModelParams`] /
+/// [`AreaModel`], cached entries can never mix parameterizations.
+///
+/// # Example
+///
+/// ```
+/// use fusemax_dse::{DesignSpace, Sweeper};
+/// use fusemax_model::ModelParams;
+///
+/// let sweeper = Sweeper::new(ModelParams::default());
+/// let outcome = sweeper.sweep(&DesignSpace::new()); // the Fig 12 space
+/// assert_eq!(outcome.evaluations.len(), 24);
+/// // Every curve point is Pareto-optimal: bigger chips are faster.
+/// assert_eq!(outcome.frontier_points().len(), 24);
+/// ```
+#[derive(Debug)]
+pub struct Sweeper {
+    params: ModelParams,
+    area_model: AreaModel,
+    energy_table: EnergyTable,
+    cache: EvalCache,
+    parallel: bool,
+}
+
+impl Sweeper {
+    /// A parallel sweeper with default cost models and an empty cache.
+    pub fn new(params: ModelParams) -> Self {
+        Sweeper {
+            params,
+            area_model: AreaModel::default(),
+            energy_table: EnergyTable::default(),
+            cache: EvalCache::new(),
+            parallel: true,
+        }
+    }
+
+    /// Switches between rayon-parallel (`true`, the default) and serial
+    /// evaluation. Results are identical either way; only wall-clock time
+    /// changes.
+    pub fn with_parallelism(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Replaces the area model (Fig 12 sensitivity studies).
+    pub fn with_area_model(mut self, area_model: AreaModel) -> Self {
+        self.area_model = area_model;
+        self
+    }
+
+    /// The model parameterization this sweeper evaluates under.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    /// The evaluation cache (hit/miss counters included).
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    /// Evaluates one point through the analytical model, bypassing the
+    /// cache. Pure: identical inputs give identical outputs.
+    fn compute(&self, point: &DesignPoint) -> Evaluation {
+        let report: AttentionReport = attention_report(
+            point.kind,
+            &point.workload,
+            point.seq_len,
+            Some(&point.arch),
+            &self.params,
+        );
+        let layers = point.workload.layers as f64;
+        Evaluation {
+            area_cm2: self.area_model.chip_area_cm2(&point.arch),
+            latency_s: point.arch.cycles_to_seconds(report.cycles * layers),
+            energy_j: report.energy.total_pj() * layers * 1e-12,
+            report,
+            point: point.clone(),
+        }
+    }
+
+    /// Evaluates one point through the cache: a hit returns the *same*
+    /// [`Arc`] as the first evaluation (bit-identical by construction).
+    pub fn evaluate(&self, point: &DesignPoint) -> Arc<Evaluation> {
+        let key = PointKey::of(point);
+        if let Some(hit) = self.cache.get(&key) {
+            return hit;
+        }
+        self.cache.insert(key, Arc::new(self.compute(point)))
+    }
+
+    /// An optimistic component-wise lower bound on `point`'s objectives,
+    /// computable *without* running the model:
+    ///
+    /// * **area** — exact (the area model is closed-form);
+    /// * **latency** — the roofline floor over work no mapping of this
+    ///   configuration can avoid: 2D PE-ops (tensor-product MACCs, plus the
+    ///   chained-MACC exponentials the FuseMax kinds place on the 2D
+    ///   array), the configuration's compulsory 1D softmax ops, and its
+    ///   compulsory DRAM traffic (the unfused baseline *must* spill `QK`
+    ///   and `A` between phases — 4 bytes per iteration-space point on top
+    ///   of the Q/K/V/AV reads);
+    /// * **energy** — the same compulsory op and traffic counts priced by
+    ///   the energy table.
+    ///
+    /// Every real evaluation satisfies `objectives()[i] >= lower_bound[i]`
+    /// (the floors only count work each configuration's model provably
+    /// charges), which is what makes frontier-based pruning sound
+    /// ([`ParetoFrontier::admits`]).
+    pub fn lower_bound(&self, point: &DesignPoint) -> [f64; 3] {
+        use fusemax_model::ConfigKind::*;
+
+        let arch = &point.arch;
+        let et = &self.energy_table;
+        let work = AttnWork::from_workload(&point.workload, point.seq_len);
+        let layers = point.workload.layers as f64;
+        let pts = work.points();
+        let word = arch.word_bytes as f64;
+        let maccs = work.matmul_maccs();
+        let io_bytes = work.input_output_bytes(word);
+        let sub_exp = self.params.sub_exp_cycles();
+        let baseline_ops = self.params.baseline_softmax_ops_per_point;
+
+        // Compulsory work by configuration (floors of the closed-form
+        // models in `fusemax_model::{unfused, flat, fusemax}`).
+        let (ops_2d, ops_1d, divs, spill_bytes) = match point.kind {
+            // 3-pass softmax on the 1D array: `baseline_ops` per point, one
+            // of them a division. Unfused additionally writes+reads QK and
+            // A between phases.
+            Unfused => (maccs, (baseline_ops - 1.0) * pts, pts, 4.0 * word * pts),
+            Flat => (maccs, (baseline_ops - 1.0) * pts, pts, 0.0),
+            // 1-pass cascade on FLAT PEs: ≥ LM+SLN+SLD per point on the 1D
+            // array, divisions deferred to F per query.
+            FuseMaxCascade => (maccs, 3.0 * pts, work.batch_heads * work.f * work.l, 0.0),
+            // FuseMax PEs: max/sub-exp/add join the MACCs on the 2D array
+            // (E + F + 2 + sub_exp PE-ops per point); the 1D array carries
+            // the per-(m1, p) corrections, ≥ (3 + sub_exp + 2F)/M0 ops per
+            // point, plus the deferred divisions.
+            FuseMaxArch | FuseMaxBinding => (
+                maccs + (2.0 + sub_exp) * pts,
+                (3.0 + sub_exp + 2.0 * work.f) * pts / arch.array_rows as f64,
+                work.batch_heads * work.f * work.l,
+                0.0,
+            ),
+        };
+        let dram_floor = io_bytes + spill_bytes;
+        // Every model stages at least its DRAM traffic through the global
+        // buffer; the baselines and +Cascade additionally pass QK and SN
+        // through it (write + read each).
+        let gbuf_floor = match point.kind {
+            Unfused | Flat | FuseMaxCascade => dram_floor + 4.0 * word * pts,
+            FuseMaxArch | FuseMaxBinding => dram_floor,
+        };
+
+        // +Binding hides the deferred divisions in 1D slack, so they count
+        // toward its energy floor but not its cycle floor.
+        let cycle_divs = if point.kind == FuseMaxBinding { 0.0 } else { divs };
+        let cycle_floor = (ops_2d / arch.pe_count_2d() as f64)
+            .max((ops_1d + cycle_divs) / arch.vector_pes as f64)
+            .max(dram_floor / arch.dram_bytes_per_cycle());
+        let latency_lb = arch.cycles_to_seconds(cycle_floor * layers);
+
+        let energy_lb = (ops_2d * et.macc_pj
+            + ops_1d * et.vector_op_pj
+            + divs * et.div_pj
+            + 2.0 * word * ops_2d * et.rf_pj_per_byte
+            + gbuf_floor * et.gbuf_pj_per_byte
+            + dram_floor * et.dram_pj_per_byte)
+            * layers
+            * 1e-12;
+
+        [self.area_model.chip_area_cm2(arch), latency_lb, energy_lb]
+    }
+
+    /// Sweeps the whole space, evaluating **every** candidate (no pruning,
+    /// so the result doubles as ground truth for figures like Fig 12 that
+    /// plot dominated points too). Uncached points are evaluated on all
+    /// cores when parallelism is on; results are assembled in space order
+    /// and are independent of the thread count.
+    pub fn sweep(&self, space: &DesignSpace) -> SweepOutcome {
+        let start = Instant::now();
+        let points = space.points();
+        let candidates = points.len();
+
+        // Serve cache hits first so only misses pay for evaluation.
+        let mut slots: Vec<Option<Arc<Evaluation>>> = Vec::with_capacity(points.len());
+        let mut missing: Vec<(usize, DesignPoint)> = Vec::new();
+        for (i, point) in points.into_iter().enumerate() {
+            match self.cache.get(&PointKey::of(&point)) {
+                Some(hit) => slots.push(Some(hit)),
+                None => {
+                    slots.push(None);
+                    missing.push((i, point));
+                }
+            }
+        }
+        let cache_hits = candidates - missing.len();
+        let evaluated = missing.len();
+
+        let computed: Vec<(usize, Evaluation)> = if self.parallel {
+            missing.into_par_iter().map(|(i, p)| (i, self.compute(&p))).collect()
+        } else {
+            missing.into_iter().map(|(i, p)| (i, self.compute(&p))).collect()
+        };
+        for (i, evaluation) in computed {
+            let key = PointKey::of(&evaluation.point);
+            slots[i] = Some(self.cache.insert(key, Arc::new(evaluation)));
+        }
+
+        let evaluations: Vec<Arc<Evaluation>> =
+            slots.into_iter().map(|s| s.expect("every slot filled")).collect();
+        let frontiers = group_frontiers(evaluations.iter().cloned());
+
+        SweepOutcome {
+            evaluations,
+            frontiers,
+            stats: SweepStats {
+                candidates,
+                evaluated,
+                pruned: 0,
+                cache_hits,
+                elapsed: start.elapsed(),
+            },
+        }
+    }
+
+    /// Sweeps the space with dominance pruning: before evaluating a
+    /// candidate, its [`Sweeper::lower_bound`] is tested against the
+    /// group's running frontier, and provably-dominated candidates are
+    /// skipped entirely. The returned frontiers are identical to
+    /// [`Sweeper::sweep`]'s; `evaluations` contains only the points that
+    /// survived the cutoff (pruning is what you want for *search*; use the
+    /// full sweep when a figure needs dominated points plotted too).
+    ///
+    /// Pruning is sequential by nature (each decision depends on the
+    /// frontier so far), so this path ignores the parallelism switch.
+    pub fn sweep_pruned(&self, space: &DesignSpace) -> SweepOutcome {
+        let start = Instant::now();
+        let mut points = space.points();
+        let candidates = points.len();
+        // Evaluate the strongest configurations first (stable, so the
+        // workload/dimension order is otherwise preserved): a +Binding
+        // design evaluated early is what proves the dominated baselines
+        // not worth evaluating at all.
+        points.sort_by_key(|p| std::cmp::Reverse(p.kind));
+        let mut evaluations = Vec::new();
+        let mut frontiers: Vec<FrontierGroup> = Vec::new();
+        let mut pruned = 0usize;
+        let mut evaluated = 0usize;
+        let mut cache_hits = 0usize;
+
+        for point in points {
+            let group = group_index(&mut frontiers, &point);
+            let key = PointKey::of(&point);
+            let evaluation = if let Some(hit) = self.cache.get(&key) {
+                cache_hits += 1;
+                hit
+            } else {
+                if !frontiers[group].frontier.admits(&self.lower_bound(&point)) {
+                    pruned += 1;
+                    continue;
+                }
+                evaluated += 1;
+                self.cache.insert(key, Arc::new(self.compute(&point)))
+            };
+            frontiers[group].frontier.insert(Arc::clone(&evaluation));
+            evaluations.push(evaluation);
+        }
+
+        SweepOutcome {
+            evaluations,
+            frontiers,
+            stats: SweepStats {
+                candidates,
+                evaluated,
+                pruned,
+                cache_hits,
+                elapsed: start.elapsed(),
+            },
+        }
+    }
+}
+
+/// Finds or creates the frontier group of `point`'s `(workload, seq_len)`.
+fn group_index(frontiers: &mut Vec<FrontierGroup>, point: &DesignPoint) -> usize {
+    let model = point.workload.name;
+    match frontiers.iter().position(|g| g.model == model && g.seq_len == point.seq_len) {
+        Some(i) => i,
+        None => {
+            frontiers.push(FrontierGroup {
+                model: model.to_string(),
+                seq_len: point.seq_len,
+                frontier: ParetoFrontier::new(),
+            });
+            frontiers.len() - 1
+        }
+    }
+}
+
+/// Builds per-group frontiers from finished evaluations.
+fn group_frontiers(evaluations: impl Iterator<Item = Arc<Evaluation>>) -> Vec<FrontierGroup> {
+    let mut frontiers: Vec<FrontierGroup> = Vec::new();
+    for evaluation in evaluations {
+        let i = group_index(&mut frontiers, &evaluation.point);
+        frontiers[i].frontier.insert(evaluation);
+    }
+    frontiers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::DesignSpace;
+    use fusemax_model::ConfigKind;
+    use fusemax_workloads::TransformerConfig;
+
+    fn small_space() -> DesignSpace {
+        DesignSpace::new()
+            .with_array_dims([64, 128, 256])
+            .with_kinds([ConfigKind::Flat, ConfigKind::FuseMaxBinding])
+            .with_workloads([TransformerConfig::bert()])
+            .with_seq_lens([1 << 14])
+    }
+
+    #[test]
+    fn sweep_evaluates_every_point_once() {
+        let sweeper = Sweeper::new(ModelParams::default());
+        let outcome = sweeper.sweep(&small_space());
+        assert_eq!(outcome.stats.candidates, 6);
+        assert_eq!(outcome.stats.evaluated, 6);
+        assert_eq!(outcome.stats.cache_hits, 0);
+        assert_eq!(outcome.evaluations.len(), 6);
+        assert_eq!(outcome.frontiers.len(), 1);
+    }
+
+    #[test]
+    fn objectives_are_positive_and_bounded_below() {
+        let sweeper = Sweeper::new(ModelParams::default());
+        for evaluation in &sweeper.sweep(&small_space()).evaluations {
+            let [area, latency, energy] = evaluation.objectives();
+            assert!(area > 0.0 && latency > 0.0 && energy > 0.0);
+            let lb = sweeper.lower_bound(&evaluation.point);
+            assert!(area >= lb[0] * (1.0 - 1e-12), "area {} < bound {}", area, lb[0]);
+            assert!(latency >= lb[1] * (1.0 - 1e-12), "latency {} < bound {}", latency, lb[1]);
+            assert!(energy >= lb[2] * (1.0 - 1e-12), "energy {} < bound {}", energy, lb[2]);
+        }
+    }
+
+    #[test]
+    fn second_sweep_is_all_cache_hits_and_shares_allocations() {
+        let sweeper = Sweeper::new(ModelParams::default());
+        let first = sweeper.sweep(&small_space());
+        let second = sweeper.sweep(&small_space());
+        assert_eq!(second.stats.cache_hits, 6);
+        assert_eq!(second.stats.evaluated, 0);
+        for (a, b) in first.evaluations.iter().zip(&second.evaluations) {
+            assert!(Arc::ptr_eq(a, b), "cache must return the same allocation");
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_sweeps_agree_exactly() {
+        let space = small_space();
+        let serial = Sweeper::new(ModelParams::default()).with_parallelism(false).sweep(&space);
+        let parallel = Sweeper::new(ModelParams::default()).with_parallelism(true).sweep(&space);
+        assert_eq!(serial.evaluations.len(), parallel.evaluations.len());
+        for (a, b) in serial.evaluations.iter().zip(&parallel.evaluations) {
+            assert_eq!(a.point, b.point);
+            assert_eq!(a.objectives(), b.objectives());
+            assert_eq!(a.report.cycles, b.report.cycles);
+            assert_eq!(a.report.dram_bytes, b.report.dram_bytes);
+        }
+    }
+
+    #[test]
+    fn pruned_sweep_reproduces_the_full_frontier() {
+        let space = DesignSpace::new()
+            .with_array_dims([32, 64, 128, 256])
+            .with_kinds(ConfigKind::all())
+            .with_workloads([TransformerConfig::bert(), TransformerConfig::t5()])
+            .with_seq_lens([1 << 14, 1 << 16]);
+        let full = Sweeper::new(ModelParams::default()).sweep(&space);
+        let pruned = Sweeper::new(ModelParams::default()).sweep_pruned(&space);
+        assert_eq!(full.frontiers.len(), pruned.frontiers.len());
+        for group in &full.frontiers {
+            let other = pruned.frontier_for(&group.model, group.seq_len).unwrap();
+            let mut a: Vec<[f64; 3]> =
+                group.frontier.points().iter().map(|p| p.objectives()).collect();
+            let mut b: Vec<[f64; 3]> =
+                other.frontier.points().iter().map(|p| p.objectives()).collect();
+            a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            assert_eq!(a, b, "pruning changed the {} frontier", group.model);
+        }
+        assert_eq!(
+            pruned.stats.evaluated + pruned.stats.pruned + pruned.stats.cache_hits,
+            pruned.stats.candidates
+        );
+    }
+
+    #[test]
+    fn top_k_returns_the_fastest_frontier_designs() {
+        let sweeper = Sweeper::new(ModelParams::default());
+        let outcome = sweeper.sweep(&small_space());
+        let top = outcome.top_k(2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].latency_s <= top[1].latency_s);
+        let fastest =
+            outcome.frontier_points().iter().map(|e| e.latency_s).fold(f64::INFINITY, f64::min);
+        assert_eq!(top[0].latency_s, fastest);
+    }
+
+    #[test]
+    fn top_k_takes_every_groups_winner_before_any_runner_up() {
+        let space = DesignSpace::new()
+            .with_array_dims([64, 256])
+            .with_workloads([TransformerConfig::bert(), TransformerConfig::xlm()])
+            .with_seq_lens([1 << 12, 1 << 18]);
+        let outcome = Sweeper::new(ModelParams::default()).sweep(&space);
+        assert_eq!(outcome.frontiers.len(), 4);
+
+        // Latency is only comparable within a group; the top-4 must be the
+        // four group winners, not four designs from the cheapest group.
+        let top = outcome.top_k(4);
+        let mut groups: Vec<(&str, usize)> =
+            top.iter().map(|e| (e.point.workload.name, e.point.seq_len)).collect();
+        groups.sort();
+        groups.dedup();
+        assert_eq!(groups.len(), 4, "each group contributes its winner");
+        for e in &top {
+            let group = outcome.frontier_for(e.point.workload.name, e.point.seq_len).unwrap();
+            let fastest =
+                group.frontier.points().iter().map(|p| p.latency_s).fold(f64::INFINITY, f64::min);
+            assert_eq!(e.latency_s, fastest, "not the group winner");
+        }
+
+        // Asking for more than the frontier holds returns everything once.
+        let all = outcome.top_k(usize::MAX);
+        assert_eq!(all.len(), outcome.frontier_points().len());
+    }
+
+    #[test]
+    fn frontier_groups_split_by_workload_and_length() {
+        let space = DesignSpace::new()
+            .with_array_dims([64, 256])
+            .with_workloads([TransformerConfig::bert(), TransformerConfig::xlm()])
+            .with_seq_lens([1 << 12, 1 << 16]);
+        let outcome = Sweeper::new(ModelParams::default()).sweep(&space);
+        assert_eq!(outcome.frontiers.len(), 4);
+        // Within each group the two dims trade area against latency, so
+        // both survive.
+        for group in &outcome.frontiers {
+            assert_eq!(group.frontier.len(), 2, "{} @ {}", group.model, group.seq_len);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Replays the analytical winners on the cycle-level simulator.
+//!
+//! The sweep ranks designs with a closed-form model; before trusting a
+//! winner, [`validate_top_k`] re-runs it (at toy scale) through
+//! [`fusemax_spatial::simulate`], which executes the actual FuseMax task
+//! graph — computing real attention numerics as a side effect — and checks
+//! that the analytical choice is numerically and cycle-wise sane.
+
+use crate::sweep::{Evaluation, SweepOutcome};
+use fusemax_core::kernels::attention_reference;
+use fusemax_model::ConfigKind;
+use fusemax_spatial::{simulate, Binding, SpatialConfig};
+use fusemax_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// What the simulator replay concluded about one design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationStatus {
+    /// Simulated; numerics matched the reference and cycles were sane.
+    Confirmed,
+    /// Simulated; something disagreed (see `detail`).
+    Failed,
+    /// Not simulated: the configuration has no spatial-simulator binding
+    /// (the unfused and FLAT baselines are analytical-only).
+    AnalyticalOnly,
+}
+
+/// The outcome of replaying one frontier design on the simulator.
+#[derive(Debug, Clone)]
+pub struct Validation {
+    /// Architecture name of the validated design.
+    pub arch_name: String,
+    /// Configuration kind of the validated design.
+    pub kind: ConfigKind,
+    /// Verdict.
+    pub status: ValidationStatus,
+    /// Simulated makespan in cycles (0 for analytical-only designs).
+    pub sim_cycles: u64,
+    /// Largest absolute element error of the simulated attention output
+    /// against the reference kernel.
+    pub max_abs_error: f64,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl Validation {
+    /// `true` unless the replay contradicted the analytical model.
+    pub fn passed(&self) -> bool {
+        self.status != ValidationStatus::Failed
+    }
+}
+
+impl fmt::Display for Validation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<22} {:<14} {:?}: {}",
+            self.arch_name,
+            self.kind.label(),
+            self.status,
+            self.detail
+        )
+    }
+}
+
+/// The simulator binding a configuration maps to, if any.
+fn binding_for(kind: ConfigKind) -> Option<Binding> {
+    match kind {
+        ConfigKind::FuseMaxArch => Some(Binding::Serialized),
+        // +Binding is the pipelined schedule; +Cascade runs the same 1-pass
+        // cascade, so the pipelined task graph is the faithful replay.
+        ConfigKind::FuseMaxBinding | ConfigKind::FuseMaxCascade => Some(Binding::Pipelined),
+        ConfigKind::Unfused | ConfigKind::Flat => None,
+    }
+}
+
+/// Tolerance for simulator-vs-reference attention numerics.
+const NUMERIC_TOL: f64 = 1e-9;
+
+/// Replays one evaluation at toy scale. The toy problem keeps the
+/// simulated design's *structure* (its binding and task graph) while
+/// shrinking extents so the discrete-event simulation stays fast.
+fn validate_one(evaluation: &Evaluation, seed: u64) -> Validation {
+    let kind = evaluation.point.kind;
+    let arch_name = evaluation.point.arch.name.clone();
+    let Some(binding) = binding_for(kind) else {
+        return Validation {
+            arch_name,
+            kind,
+            status: ValidationStatus::AnalyticalOnly,
+            sim_cycles: 0,
+            max_abs_error: 0.0,
+            detail: "no spatial binding; analytical model is the only source".into(),
+        };
+    };
+
+    let (e, f, m, p) = (8usize, 8usize, 32usize, 8usize);
+    let cfg = SpatialConfig::toy(4, 4);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let q = Tensor::<f64>::random_uniform(Shape::of(&[("E", e), ("P", p)]), -1.0, 1.0, &mut rng);
+    let k = Tensor::<f64>::random_uniform(Shape::of(&[("E", e), ("M", m)]), -1.0, 1.0, &mut rng);
+    let v = Tensor::<f64>::random_uniform(Shape::of(&[("F", f), ("M", m)]), -1.0, 1.0, &mut rng);
+
+    let sim = match simulate(&q, &k, &v, &cfg, binding) {
+        Ok(sim) => sim,
+        Err(err) => {
+            return Validation {
+                arch_name,
+                kind,
+                status: ValidationStatus::Failed,
+                sim_cycles: 0,
+                max_abs_error: f64::INFINITY,
+                detail: format!("simulation error: {err}"),
+            };
+        }
+    };
+    let reference = attention_reference(&q, &k, &v).expect("reference on valid shapes");
+    let max_abs_error = sim
+        .av
+        .data()
+        .iter()
+        .zip(reference.data())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+
+    // Cycle sanity: the schedule must be work-conserving (busy ≤ makespan)
+    // and at least as long as the ideal 2D-compute floor.
+    let ideal_2d = (e * m * p + f * m * p) as u64 / (cfg.rows * cfg.cols) as u64;
+    let cycles_sane =
+        sim.busy_2d <= sim.cycles && sim.busy_1d <= sim.cycles && sim.cycles >= ideal_2d;
+
+    // The pipelined binding must not lose to the serialized one — the
+    // ordering the whole +Binding argument rests on.
+    let ordering_sane = if binding == Binding::Pipelined {
+        match simulate(&q, &k, &v, &cfg, Binding::Serialized) {
+            Ok(serial) => sim.cycles <= serial.cycles,
+            Err(_) => false,
+        }
+    } else {
+        true
+    };
+
+    let numerics_ok = max_abs_error <= NUMERIC_TOL;
+    let status = if numerics_ok && cycles_sane && ordering_sane {
+        ValidationStatus::Confirmed
+    } else {
+        ValidationStatus::Failed
+    };
+    let detail = format!(
+        "{} cycles, max |err| {:.2e}{}{}{}",
+        sim.cycles,
+        max_abs_error,
+        if numerics_ok { "" } else { " [numerics BAD]" },
+        if cycles_sane { "" } else { " [cycles BAD]" },
+        if ordering_sane { "" } else { " [pipelined slower than serialized]" },
+    );
+    Validation { arch_name, kind, status, sim_cycles: sim.cycles, max_abs_error, detail }
+}
+
+/// Replays up to `k` top frontier designs of `outcome` on the spatial
+/// simulator — each `(workload, seq_len)` group's lowest-latency winner
+/// first, then the runners-up (see [`SweepOutcome::top_k`]).
+///
+/// # Example
+///
+/// ```
+/// use fusemax_dse::{validate_top_k, DesignSpace, Sweeper, ValidationStatus};
+/// use fusemax_model::ModelParams;
+///
+/// let outcome = Sweeper::new(ModelParams::default())
+///     .sweep(&DesignSpace::new().with_array_dims([64, 128]));
+/// let report = validate_top_k(&outcome, 2);
+/// assert_eq!(report.len(), 2);
+/// assert!(report.iter().all(|v| v.status == ValidationStatus::Confirmed));
+/// ```
+pub fn validate_top_k(outcome: &SweepOutcome, k: usize) -> Vec<Validation> {
+    outcome
+        .top_k(k)
+        .into_iter()
+        .enumerate()
+        .map(|(i, evaluation)| validate_one(evaluation, 0x5EED + i as u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::DesignSpace;
+    use crate::sweep::Sweeper;
+    use fusemax_model::ModelParams;
+    use fusemax_workloads::TransformerConfig;
+
+    fn outcome(kinds: [ConfigKind; 1]) -> SweepOutcome {
+        Sweeper::new(ModelParams::default()).sweep(
+            &DesignSpace::new()
+                .with_array_dims([64, 128])
+                .with_kinds(kinds)
+                .with_workloads([TransformerConfig::bert()]),
+        )
+    }
+
+    #[test]
+    fn pipelined_winners_are_confirmed() {
+        let report = validate_top_k(&outcome([ConfigKind::FuseMaxBinding]), 2);
+        assert_eq!(report.len(), 2);
+        for v in &report {
+            assert_eq!(v.status, ValidationStatus::Confirmed, "{v}");
+            assert!(v.passed());
+            assert!(v.max_abs_error <= NUMERIC_TOL);
+            assert!(v.sim_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn serialized_winners_are_confirmed() {
+        let report = validate_top_k(&outcome([ConfigKind::FuseMaxArch]), 1);
+        assert_eq!(report[0].status, ValidationStatus::Confirmed, "{}", report[0]);
+    }
+
+    #[test]
+    fn baselines_are_analytical_only() {
+        let report = validate_top_k(&outcome([ConfigKind::Flat]), 1);
+        assert_eq!(report[0].status, ValidationStatus::AnalyticalOnly);
+        assert!(report[0].passed(), "analytical-only is not a failure");
+    }
+
+    #[test]
+    fn asking_for_more_than_the_frontier_has_is_fine() {
+        let report = validate_top_k(&outcome([ConfigKind::FuseMaxBinding]), 99);
+        assert_eq!(report.len(), 2);
+    }
+}

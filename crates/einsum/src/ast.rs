@@ -428,9 +428,7 @@ impl Cascade {
         let mut missing: Vec<String> = Vec::new();
         for einsum in self.all_einsums() {
             for input in einsum.inputs() {
-                if !defined.contains(&input.name.as_str())
-                    && !missing.iter().any(|m| *m == input.name)
-                {
+                if !defined.contains(&input.name.as_str()) && !missing.contains(&input.name) {
                     missing.push(input.name.clone());
                 }
             }
@@ -491,7 +489,8 @@ mod tests {
 
     #[test]
     fn index_expr_vars_and_ranks() {
-        let e = IndexExpr::Split { outer: "m1".into(), inner: "m0".into(), inner_rank: "M0".into() };
+        let e =
+            IndexExpr::Split { outer: "m1".into(), inner: "m0".into(), inner_rank: "M0".into() };
         assert_eq!(e.vars(), vec!["m1", "m0"]);
         assert_eq!(e.rank().unwrap(), "M");
 
@@ -541,10 +540,7 @@ mod tests {
 
     #[test]
     fn undefined_reads_finds_typos() {
-        let c = Cascade::parse(
-            "inputs: A[k]\nY = A[k] * B[k]\nZ = Y * C[k]\n",
-        )
-        .unwrap();
+        let c = Cascade::parse("inputs: A[k]\nY = A[k] * B[k]\nZ = Y * C[k]\n").unwrap();
         assert_eq!(c.undefined_reads(), vec!["B".to_string(), "C".to_string()]);
 
         let ok = crate::Cascade::parse("inputs: A[k], B[k]\nY = A[k] * B[k]\n").unwrap();
@@ -553,19 +549,15 @@ mod tests {
 
     #[test]
     fn running_tensors_are_not_undefined() {
-        let c = Cascade::parse(
-            "inputs: A[i]\ninit:\n S[0] = 0\nloop i:\n S[i+1] = S[i] + A[i]\n",
-        )
-        .unwrap();
+        let c = Cascade::parse("inputs: A[i]\ninit:\n S[0] = 0\nloop i:\n S[i+1] = S[i] + A[i]\n")
+            .unwrap();
         assert!(c.undefined_reads().is_empty());
     }
 
     #[test]
     fn cascade_accessors() {
-        let c = Cascade::parse(
-            "name: demo\ninputs: A[k], B[k]\nY = A[k] * B[k]\nZ = Y * A[k]\n",
-        )
-        .unwrap();
+        let c = Cascade::parse("name: demo\ninputs: A[k], B[k]\nY = A[k] * B[k]\nZ = Y * A[k]\n")
+            .unwrap();
         assert_eq!(c.name, "demo");
         assert_eq!(c.input_names(), vec!["A", "B"]);
         assert!(!c.is_iterative());

@@ -195,9 +195,7 @@ fn bind_input_extents(
         for (idx, rank_dim) in decl.indices.iter().zip(tensor.shape().ranks()) {
             let IndexExpr::Var(v) = idx else {
                 return Err(EinsumError::Unsupported {
-                    detail: format!(
-                        "input declaration `{decl}` must use plain rank variables"
-                    ),
+                    detail: format!("input declaration `{decl}` must use plain rank variables"),
                 });
             };
             let rank = rank_of_var(v);
@@ -299,9 +297,8 @@ fn output_shapes(
         if env.contains_key(&tref.name) {
             return Ok(()); // inputs are pre-allocated
         }
-        let entry = reqs
-            .entry(tref.name.clone())
-            .or_insert_with(|| vec![(None, 0); tref.indices.len()]);
+        let entry =
+            reqs.entry(tref.name.clone()).or_insert_with(|| vec![(None, 0); tref.indices.len()]);
         if entry.len() != tref.indices.len() {
             return Err(EinsumError::ArityMismatch {
                 tensor: tref.name.clone(),
@@ -334,11 +331,8 @@ fn output_shapes(
             // Duplicate rank names within one tensor (e.g. an output indexed
             // by both `m1` and `m1+1` across Einsums) keep the larger extent
             // and get disambiguated positionally.
-            let unique = if dims.iter().any(|(r, _)| *r == rank) {
-                format!("{rank}@{pos}")
-            } else {
-                rank
-            };
+            let unique =
+                if dims.iter().any(|(r, _)| *r == rank) { format!("{rank}@{pos}") } else { rank };
             dims.push((unique, req));
         }
         let dims_ref: Vec<(&str, usize)> = dims.iter().map(|(r, e)| (r.as_str(), *e)).collect();
@@ -408,11 +402,8 @@ fn eval_einsum(
         .filter(|v| !binding.contains_key(**v))
         .map(|v| v.to_string())
         .collect();
-    let reductions: Vec<(String, ReduceOp)> = einsum
-        .all_reductions()
-        .into_iter()
-        .filter(|(v, _)| !binding.contains_key(v))
-        .collect();
+    let reductions: Vec<(String, ReduceOp)> =
+        einsum.all_reductions().into_iter().filter(|(v, _)| !binding.contains_key(v)).collect();
 
     let var_extent = |v: &str| -> Result<usize, EinsumError> {
         let rank = rank_of_var(v);
@@ -436,10 +427,9 @@ fn eval_einsum(
     // the rest of the environment; the cascades never read-and-write the
     // same coordinates within one Einsum, but iterative Einsums (e.g.
     // RM[m1+1] = max(RM[m1], …)) do read earlier coordinates of the output.
-    let mut output =
-        env.remove(&einsum.output.name).ok_or_else(|| EinsumError::UnknownTensor {
-            name: einsum.output.name.clone(),
-        })?;
+    let mut output = env
+        .remove(&einsum.output.name)
+        .ok_or_else(|| EinsumError::UnknownTensor { name: einsum.output.name.clone() })?;
     // Re-insert a clone for self-referential reads.
     env.insert(einsum.output.name.clone(), output.clone());
 
@@ -479,8 +469,9 @@ fn walk_outputs(
     counts: &mut OpCounts,
 ) -> Result<(), EinsumError> {
     if depth == out_vars.len() {
-        let value =
-            reduce_value(einsum, reductions, 0, assignment, filters, env, extents, var_extent, counts)?;
+        let value = reduce_value(
+            einsum, reductions, 0, assignment, filters, env, extents, var_extent, counts,
+        )?;
         let coords = resolve_coords(&einsum.output.indices, assignment, extents, einsum)?;
         output.try_set(&coords, value).map_err(|e| EinsumError::Unsupported {
             detail: format!("output write failed for `{einsum}`: {e}"),
@@ -492,8 +483,17 @@ fn walk_outputs(
     for c in 0..ext {
         assignment.insert(var.clone(), c);
         walk_outputs(
-            einsum, out_vars, depth + 1, assignment, reductions, filters, env, extents,
-            var_extent, output, counts,
+            einsum,
+            out_vars,
+            depth + 1,
+            assignment,
+            reductions,
+            filters,
+            env,
+            extents,
+            var_extent,
+            output,
+            counts,
         )?;
     }
     assignment.remove(var);
@@ -542,7 +542,15 @@ fn reduce_value(
     while c <= hi {
         assignment.insert(var.clone(), c as usize);
         let v = reduce_value(
-            einsum, reductions, depth + 1, assignment, filters, env, extents, var_extent, counts,
+            einsum,
+            reductions,
+            depth + 1,
+            assignment,
+            filters,
+            env,
+            extents,
+            var_extent,
+            counts,
         )?;
         acc = op.combine(acc, v, counts);
         c += 1;
@@ -618,12 +626,11 @@ fn resolve_coords(
             IndexExpr::Split { outer, inner, inner_rank } => {
                 let o = lookup(outer)?;
                 let i = lookup(inner)?;
-                let stride = extents.get(inner_rank).copied().ok_or_else(|| {
-                    EinsumError::UnknownRank {
+                let stride =
+                    extents.get(inner_rank).copied().ok_or_else(|| EinsumError::UnknownRank {
                         rank: inner_rank.clone(),
                         context: format!("split stride in `{einsum}`"),
-                    }
-                })?;
+                    })?;
                 Ok(o * stride + i)
             }
         })
@@ -664,11 +671,9 @@ mod tests {
     #[test]
     fn max_reduction() {
         let c = Cascade::parse("inputs: QK[m,p]\nGM[p] = max[m](QK[m,p])\n").unwrap();
-        let qk = Tensor::from_vec(
-            Shape::of(&[("M", 3), ("P", 2)]),
-            vec![1.0, -8.0, 5.0, 2.0, 3.0, 0.5],
-        )
-        .unwrap();
+        let qk =
+            Tensor::from_vec(Shape::of(&[("M", 3), ("P", 2)]), vec![1.0, -8.0, 5.0, 2.0, 3.0, 0.5])
+                .unwrap();
         let r = Evaluator::new().evaluate(&c, &[("QK", qk)], &[]).unwrap();
         let gm = r.tensor("GM").unwrap();
         assert_eq!(gm.data(), &[5.0, 2.0]);
@@ -699,10 +704,8 @@ mod tests {
 
     #[test]
     fn iterative_prefix_sum_is_linear_work() {
-        let c = Cascade::parse(
-            "inputs: A[i]\ninit:\n S[0] = 0\nloop i:\n S[i+1] = S[i] + A[i]\n",
-        )
-        .unwrap();
+        let c = Cascade::parse("inputs: A[i]\ninit:\n S[0] = 0\nloop i:\n S[i+1] = S[i] + A[i]\n")
+            .unwrap();
         let a = Tensor::from_vec(Shape::of(&[("I", 4)]), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let r = Evaluator::new().evaluate(&c, &[("A", a)], &[]).unwrap();
         assert_eq!(r.tensor("S").unwrap().data(), &[0.0, 1.0, 3.0, 6.0, 10.0]);
@@ -731,10 +734,7 @@ mod tests {
 
     #[test]
     fn split_extent_mismatch_is_error() {
-        let c = Cascade::parse(
-            "inputs: K[e,m]\ninit:\n BK[e,m1,m0] = K[e,m1*M0+m0]\n",
-        )
-        .unwrap();
+        let c = Cascade::parse("inputs: K[e,m]\ninit:\n BK[e,m1,m0] = K[e,m1*M0+m0]\n").unwrap();
         let k = iota(Shape::of(&[("E", 2), ("M", 7)]));
         let err = Evaluator::new().evaluate(&c, &[("K", k)], &[("M0", 3)]).unwrap_err();
         assert!(matches!(err, EinsumError::ExtentMismatch { .. }));
@@ -751,10 +751,11 @@ mod tests {
     fn unknown_rank_is_error() {
         // Output var `j` has no extent anywhere.
         let c = Cascade::parse("inputs: A[k]\nZ[j] = A[k]\n").unwrap();
-        let err = Evaluator::new().evaluate(&c, &[(
-            "A",
-            Tensor::from_vec(Shape::of(&[("K", 2)]), vec![1.0, 2.0]).unwrap(),
-        )], &[]);
+        let err = Evaluator::new().evaluate(
+            &c,
+            &[("A", Tensor::from_vec(Shape::of(&[("K", 2)]), vec![1.0, 2.0]).unwrap())],
+            &[],
+        );
         assert!(err.is_err());
     }
 
@@ -768,10 +769,9 @@ mod tests {
 
     #[test]
     fn literal_initialization_with_neg_inf() {
-        let c = Cascade::parse(
-            "inputs: X[p]\ninit:\n RM[0,p] = -inf\nbody:\n Z[p] = RM[0,p] + X[p]\n",
-        )
-        .unwrap();
+        let c =
+            Cascade::parse("inputs: X[p]\ninit:\n RM[0,p] = -inf\nbody:\n Z[p] = RM[0,p] + X[p]\n")
+                .unwrap();
         let x = Tensor::from_vec(Shape::of(&[("P", 2)]), vec![1.0, 2.0]).unwrap();
         let r = Evaluator::new().evaluate(&c, &[("X", x)], &[("M1", 1)]).unwrap();
         assert!(r.tensor("Z").unwrap().data().iter().all(|v| *v == f64::NEG_INFINITY));
@@ -788,10 +788,8 @@ mod tests {
 
     #[test]
     fn total_counts_accumulate() {
-        let c = Cascade::parse(
-            "inputs: A[k], B[k]\nY = A[k] * B[k]\nX = A[k]\nZ = Y * X\n",
-        )
-        .unwrap();
+        let c =
+            Cascade::parse("inputs: A[k], B[k]\nY = A[k] * B[k]\nX = A[k]\nZ = Y * X\n").unwrap();
         let a = Tensor::from_vec(Shape::of(&[("K", 4)]), vec![1.0; 4]).unwrap();
         let b = Tensor::from_vec(Shape::of(&[("K", 4)]), vec![2.0; 4]).unwrap();
         let r = Evaluator::new().evaluate(&c, &[("A", a), ("B", b)], &[]).unwrap();

@@ -211,16 +211,12 @@ impl<'a> Parser<'a> {
                 if self.eat_symbol('+') {
                     match self.next() {
                         Some(Token::Int(o)) => offset = o,
-                        other => {
-                            return Err(self.err(format!("expected offset, found {other:?}")))
-                        }
+                        other => return Err(self.err(format!("expected offset, found {other:?}"))),
                     }
                 } else if self.eat_symbol('-') {
                     match self.next() {
                         Some(Token::Int(o)) => offset = -o,
-                        other => {
-                            return Err(self.err(format!("expected offset, found {other:?}")))
-                        }
+                        other => return Err(self.err(format!("expected offset, found {other:?}"))),
                     }
                 }
                 Ok(Bound { var: Some(v), offset })
@@ -588,7 +584,7 @@ mod tests {
     }
 
     #[test]
-    fn trailing_tokens_are_rejected(){
+    fn trailing_tokens_are_rejected() {
         assert!(parse_einsum("Z = A B").is_err());
         assert!(parse_einsum("Z = A[k] extra").is_err());
     }

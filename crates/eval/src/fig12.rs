@@ -1,8 +1,13 @@
 //! Figure 12: area-versus-latency Pareto curves for the FuseMax design
 //! family at sequence length 256K.
+//!
+//! Since the `fusemax-dse` subsystem landed, this module is a thin client
+//! of [`fusemax_dse::Sweeper`]: the curve is the `(workload, 256K,
+//! +Binding)` slice of the general design-space sweep, and one shared
+//! evaluation cache serves all four models' curves.
 
-use fusemax_arch::{ArchConfig, AreaModel};
-use fusemax_model::{attention_report, ConfigKind, ModelParams};
+use fusemax_dse::{DesignSpace, Sweeper};
+use fusemax_model::ModelParams;
 use fusemax_workloads::TransformerConfig;
 
 /// One design point: chip area and end-to-end attention latency.
@@ -18,7 +23,32 @@ pub struct ParetoPoint {
 }
 
 /// The array dimensions the paper sweeps (16×16 … 512×512).
-pub const ARRAY_DIMS: [usize; 6] = [16, 32, 64, 128, 256, 512];
+pub const ARRAY_DIMS: [usize; 6] = fusemax_dse::ARRAY_DIMS;
+
+/// The Fig 12 slice of the design space: `ARRAY_DIMS × {+Binding} ×
+/// {cfg} × {seq_len}`.
+fn fig12_space(cfg: &TransformerConfig, seq_len: usize) -> DesignSpace {
+    DesignSpace::new().with_workloads([cfg.clone()]).with_seq_lens([seq_len])
+}
+
+/// One model's curve evaluated through an existing sweeper (so a caller
+/// regenerating several figures shares one evaluation cache).
+pub fn fig12_curve_with(
+    sweeper: &Sweeper,
+    cfg: &TransformerConfig,
+    seq_len: usize,
+) -> Vec<ParetoPoint> {
+    sweeper
+        .sweep(&fig12_space(cfg, seq_len))
+        .evaluations
+        .iter()
+        .map(|e| ParetoPoint {
+            array_dim: e.point.array_dim,
+            area_cm2: e.area_cm2,
+            latency_s: e.latency_s,
+        })
+        .collect()
+}
 
 /// Generates one model's Pareto curve at `seq_len` (the paper uses 256K).
 pub fn fig12_curve(
@@ -26,27 +56,15 @@ pub fn fig12_curve(
     seq_len: usize,
     params: &ModelParams,
 ) -> Vec<ParetoPoint> {
-    let area_model = AreaModel::default();
-    ARRAY_DIMS
-        .iter()
-        .map(|&n| {
-            let arch = ArchConfig::fusemax_scaled(n);
-            let report =
-                attention_report(ConfigKind::FuseMaxBinding, cfg, seq_len, Some(&arch), params);
-            ParetoPoint {
-                array_dim: n,
-                area_cm2: area_model.chip_area_cm2(&arch),
-                latency_s: arch.cycles_to_seconds(report.cycles * cfg.layers as f64),
-            }
-        })
-        .collect()
+    fig12_curve_with(&Sweeper::new(params.clone()), cfg, seq_len)
 }
 
 /// All four models' curves at 256K.
 pub fn fig12(params: &ModelParams) -> Vec<(String, Vec<ParetoPoint>)> {
+    let sweeper = Sweeper::new(params.clone());
     TransformerConfig::all()
         .iter()
-        .map(|cfg| (cfg.name.to_string(), fig12_curve(cfg, 1 << 18, params)))
+        .map(|cfg| (cfg.name.to_string(), fig12_curve_with(&sweeper, cfg, 1 << 18)))
         .collect()
 }
 
@@ -70,6 +88,8 @@ pub fn render(curves: &[(String, Vec<ParetoPoint>)]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fusemax_arch::{ArchConfig, AreaModel};
+    use fusemax_model::{attention_report, ConfigKind};
 
     fn bert_curve() -> Vec<ParetoPoint> {
         fig12_curve(&TransformerConfig::bert(), 1 << 18, &ModelParams::default())
@@ -107,9 +127,7 @@ mod tests {
     fn xlm_is_the_slowest_model() {
         // Larger E/F and D: more attention work per layer at equal L.
         let curves = fig12(&ModelParams::default());
-        let lat = |name: &str| {
-            curves.iter().find(|(n, _)| n == name).unwrap().1[4].latency_s
-        };
+        let lat = |name: &str| curves.iter().find(|(n, _)| n == name).unwrap().1[4].latency_s;
         assert!(lat("XLM") > lat("T5"));
     }
 
@@ -118,5 +136,49 @@ mod tests {
         let text = render(&fig12(&ModelParams::default()));
         assert_eq!(text.lines().count(), 2 + 4 * ARRAY_DIMS.len());
         assert!(text.contains("512x512"));
+    }
+
+    #[test]
+    fn dse_slice_matches_the_direct_model_exactly() {
+        // The thin client must reproduce the pre-DSE implementation
+        // bit-for-bit: same arch construction, same report, same unit
+        // conversions.
+        let params = ModelParams::default();
+        let cfg = TransformerConfig::bert();
+        let seq_len = 1 << 18;
+        let area_model = AreaModel::default();
+        let legacy: Vec<ParetoPoint> = ARRAY_DIMS
+            .iter()
+            .map(|&n| {
+                let arch = ArchConfig::fusemax_scaled(n);
+                let report = attention_report(
+                    ConfigKind::FuseMaxBinding,
+                    &cfg,
+                    seq_len,
+                    Some(&arch),
+                    &params,
+                );
+                ParetoPoint {
+                    array_dim: n,
+                    area_cm2: area_model.chip_area_cm2(&arch),
+                    latency_s: arch.cycles_to_seconds(report.cycles * cfg.layers as f64),
+                }
+            })
+            .collect();
+        assert_eq!(fig12_curve(&cfg, seq_len, &params), legacy);
+    }
+
+    #[test]
+    fn shared_sweeper_reuses_the_cache_across_models() {
+        let sweeper = Sweeper::new(ModelParams::default());
+        for cfg in TransformerConfig::all() {
+            let _ = fig12_curve_with(&sweeper, &cfg, 1 << 18);
+        }
+        assert_eq!(sweeper.cache().hits(), 0);
+        // Regenerating every curve is now free.
+        for cfg in TransformerConfig::all() {
+            let _ = fig12_curve_with(&sweeper, &cfg, 1 << 18);
+        }
+        assert_eq!(sweeper.cache().hits(), 24);
     }
 }

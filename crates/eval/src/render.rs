@@ -47,13 +47,7 @@ impl Grid {
         let mut out = String::new();
         out.push_str(&format!("== {} ==\n", self.title));
         let label_w = self.rows.iter().map(|r| r.len()).max().unwrap_or(0).max(8);
-        let col_w = self
-            .cols
-            .iter()
-            .map(|c| c.len())
-            .max()
-            .unwrap_or(0)
-            .max(decimals + 4);
+        let col_w = self.cols.iter().map(|c| c.len()).max().unwrap_or(0).max(decimals + 4);
         out.push_str(&format!("{:<label_w$}", ""));
         for c in &self.cols {
             out.push_str(&format!(" {c:>col_w$}"));

@@ -175,11 +175,7 @@ mod tests {
         let at_64k = report(1 << 16);
         let at_256k = report(1 << 18);
         assert!(at_64k.util_1d() > 0.9, "64K still compute bound: {}", at_64k.util_1d());
-        assert!(
-            at_256k.util_1d() < 0.7,
-            "256K should be memory bound: {}",
-            at_256k.util_1d()
-        );
+        assert!(at_256k.util_1d() < 0.7, "256K should be memory bound: {}", at_256k.util_1d());
     }
 
     #[test]

@@ -116,13 +116,7 @@ pub(crate) fn tile_costs(work: &AttnWork, arch: &ArchConfig, params: &ModelParam
 
     let tiles_per_head = (l / m0).ceil() * (l / p0).ceil();
     let scale = tile_pts / m.pe2; // 1 when the tile exactly covers the array
-    TileCosts {
-        tiles_per_head,
-        t2d,
-        t1d,
-        split_2d: split.map(|s| s * scale),
-        ops_1d_per_tile,
-    }
+    TileCosts { tiles_per_head, t2d, t1d, split_2d: split.map(|s| s * scale), ops_1d_per_tile }
 }
 
 /// +Architecture: FuseMax PEs with a *serialized* binding — each `BQK` tile
@@ -150,14 +144,7 @@ pub(crate) fn pipelined(
 ) -> AttentionReport {
     let tc = tile_costs(work, arch, params);
     let epoch = tc.t2d.max(tc.t1d) + params.interleave_overhead_cycles;
-    build_report(
-        ConfigKind::FuseMaxBinding,
-        work,
-        arch,
-        &tc,
-        epoch,
-        params.pipeline_warmup_epochs,
-    )
+    build_report(ConfigKind::FuseMaxBinding, work, arch, &tc, epoch, params.pipeline_warmup_epochs)
 }
 
 fn build_report(

@@ -125,8 +125,7 @@ mod tests {
         let cfg = TransformerConfig::bert();
         let m = Machine::of(&ArchConfig::fusemax_cloud());
         let weight_bytes = m.w
-            * (4.0 * (cfg.d_model as f64).powi(2)
-                + 2.0 * cfg.d_model as f64 * cfg.ffn_dim as f64);
+            * (4.0 * (cfg.d_model as f64).powi(2) + 2.0 * cfg.d_model as f64 * cfg.ffn_dim as f64);
         let r = report(1 << 14);
         assert!(r.dram_bytes > 10.0 * weight_bytes);
     }

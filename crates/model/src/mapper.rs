@@ -223,8 +223,7 @@ mod tests {
         let p = GemmProblem::new(4096, 4096, 4096);
         let arch = cloud();
         let m = search_gemm_mapping(&p, &arch);
-        let words =
-            (m.tile_k * m.tile_m + m.tile_k * m.tile_n + m.tile_m * m.tile_n) as f64;
+        let words = (m.tile_k * m.tile_m + m.tile_k * m.tile_n + m.tile_m * m.tile_n) as f64;
         assert!(words <= arch.global_buffer_bytes as f64 / 2.0 / 2.0);
     }
 

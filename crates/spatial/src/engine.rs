@@ -337,9 +337,9 @@ mod tests {
         // Some 2D task must start while a 1D task is still running.
         let overlap = r.records.iter().any(|a| {
             a.unit == Unit::Array2D
-                && r.records.iter().any(|b| {
-                    b.unit == Unit::Array1D && b.start < a.start && a.start < b.end
-                })
+                && r.records
+                    .iter()
+                    .any(|b| b.unit == Unit::Array1D && b.start < a.start && a.start < b.end)
         });
         assert!(overlap, "expected 2D/1D overlap:\n{}", r.waterfall(40));
     }

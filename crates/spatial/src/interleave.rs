@@ -312,7 +312,13 @@ pub fn run_streams(
     }
 
     let utilization = busy as f64 / (cycles as f64 * (rows * cols) as f64);
-    Ok(InterleaveResult { y_a: plane_a.y, y_b: plane_b.y, cycles, busy_pe_cycles: busy, utilization })
+    Ok(InterleaveResult {
+        y_a: plane_a.y,
+        y_b: plane_b.y,
+        cycles,
+        busy_pe_cycles: busy,
+        utilization,
+    })
 }
 
 #[cfg(test)]

@@ -167,12 +167,8 @@ impl TileState {
                 let sld = &self.sld[m1];
                 let prm = &self.prm[m1];
                 let prev = &self.rd[m1];
-                self.rd[m1 + 1] = sld
-                    .iter()
-                    .zip(prm)
-                    .zip(prev)
-                    .map(|((&s, &c), &r)| s + r * c)
-                    .collect();
+                self.rd[m1 + 1] =
+                    sld.iter().zip(prm).zip(prev).map(|((&s, &c), &r)| s + r * c).collect();
             }
             TaskKind::Rnv => {
                 let slnv = &self.slnv[m1];

@@ -146,12 +146,7 @@ impl fmt::Display for TaskRecord {
         write!(
             f,
             "[{:>6}..{:>6}] {} {}(p{},m{})",
-            self.start,
-            self.end,
-            self.unit,
-            self.kind,
-            self.p_tile,
-            self.m1
+            self.start, self.end, self.unit, self.kind, self.p_tile, self.m1
         )
     }
 }

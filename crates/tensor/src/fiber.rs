@@ -51,13 +51,12 @@ impl<'a, T: Element> Fiber<'a, T> {
             if r.name() == rank {
                 continue;
             }
-            let (_, coord) = fixed
-                .iter()
-                .find(|(name, _)| *name == r.name())
-                .ok_or_else(|| ShapeError::UnknownRank {
+            let (_, coord) = fixed.iter().find(|(name, _)| *name == r.name()).ok_or_else(|| {
+                ShapeError::UnknownRank {
                     rank: r.name().to_string(),
                     available: fixed.iter().map(|(n, _)| n.to_string()).collect(),
-                })?;
+                }
+            })?;
             if *coord >= r.extent() {
                 return Err(ShapeError::CoordOutOfBounds {
                     rank: r.name().to_string(),

@@ -67,8 +67,7 @@ mod tests {
     #[test]
     fn normal_has_plausible_moments() {
         let mut rng = StdRng::seed_from_u64(9);
-        let t: Tensor<f64> =
-            Tensor::random_normal(Shape::of(&[("M", 4096)]), 1.0, 2.0, &mut rng);
+        let t: Tensor<f64> = Tensor::random_normal(Shape::of(&[("M", 4096)]), 1.0, 2.0, &mut rng);
         let n = t.data().len() as f64;
         let mean = t.sum() / n;
         let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n;

@@ -190,9 +190,7 @@ impl Shape {
             })?;
             ranks.push(rank.clone());
         }
-        Shape::try_of(
-            &ranks.iter().map(|r| (r.name(), r.extent())).collect::<Vec<_>>(),
-        )
+        Shape::try_of(&ranks.iter().map(|r| (r.name(), r.extent())).collect::<Vec<_>>())
     }
 
     /// `true` when both shapes have identical rank names and extents in the

@@ -65,7 +65,7 @@ impl LayerOps {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::models::{TransformerConfig, SEQ_LENGTHS};
 
     #[test]
@@ -126,8 +126,7 @@ mod tests {
     fn xlm_has_the_largest_layers() {
         let l = 4096;
         let xlm = TransformerConfig::xlm().layer_ops(l).total();
-        for cfg in [TransformerConfig::bert(), TransformerConfig::trxl(), TransformerConfig::t5()]
-        {
+        for cfg in [TransformerConfig::bert(), TransformerConfig::trxl(), TransformerConfig::t5()] {
             assert!(xlm > cfg.layer_ops(l).total(), "{}", cfg.name);
         }
     }

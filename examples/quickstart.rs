@@ -17,9 +17,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     // 1. Write attention as cascades of Einsums (§IV) and count the passes
     //    each must make over the softmax rank (§III).
     println!("1) Pass analysis of the attention cascades (rank family M):");
-    for cascade in
-        [attention::three_pass(), attention::two_pass(), attention::one_pass()]
-    {
+    for cascade in [attention::three_pass(), attention::two_pass(), attention::one_pass()] {
         let analysis = analyze_passes(&cascade, "M")?;
         println!("   {:<34} {} pass(es)", cascade.name, analysis.num_passes);
     }
@@ -28,8 +26,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     //    keep O(M) fibers live; the 1-pass cascade streams O(M0) tiles.
     let three = live_footprints(&attention::three_pass(), "M")?;
     let one = live_footprints(&attention::one_pass(), "M")?;
-    println!("\n2) Live footprints: 3-pass QK needs {}, 1-pass BQK needs {}",
-        three.of("QK"), one.of("BQK"));
+    println!(
+        "\n2) Live footprints: 3-pass QK needs {}, 1-pass BQK needs {}",
+        three.of("QK"),
+        one.of("BQK")
+    );
 
     // 3. All stable cascades compute the same attention. Run the kernels.
     let mut rng = StdRng::seed_from_u64(42);

@@ -16,6 +16,7 @@
 //! | [`spatial`] | discrete-event mapping/binding simulator | §V Fig 4–5 |
 //! | [`model`] | analytical performance/energy models of all configurations | §VI |
 //! | [`workloads`] | BERT / TrXL / T5 / XLM definitions | §VI-A |
+//! | [`dse`] | parallel design-space search: Pareto frontiers, pruning, eval cache | §VI Fig 12 generalized |
 //! | [`eval`] | figure/table regeneration harness | §VI Figs 6–12, Table I |
 //!
 //! # Quickstart
@@ -43,6 +44,7 @@
 
 pub use fusemax_arch as arch;
 pub use fusemax_core as core;
+pub use fusemax_dse as dse;
 pub use fusemax_einsum as einsum;
 pub use fusemax_eval as eval;
 pub use fusemax_model as model;

@@ -63,8 +63,7 @@ fn evaluated_cascades_match_kernels_and_reference() {
 #[test]
 fn spatial_simulation_matches_evaluated_cascade() {
     let [q, k, v] = qkv(8, 8, 32, 8, 7);
-    let sim =
-        simulate(&q, &k, &v, &SpatialConfig::toy(4, 4), Binding::Pipelined).unwrap();
+    let sim = simulate(&q, &k, &v, &SpatialConfig::toy(4, 4), Binding::Pipelined).unwrap();
     let eval = Evaluator::new()
         .evaluate(
             &attention::one_pass(),

@@ -48,9 +48,12 @@ fn fusemax_wins_everywhere_it_should() {
     for cfg in TransformerConfig::all() {
         for &l in &SEQ_LENGTHS {
             let best = attention_report(ConfigKind::FuseMaxBinding, &cfg, l, None, &params);
-            for kind in [ConfigKind::Unfused, ConfigKind::Flat, ConfigKind::FuseMaxCascade,
-                ConfigKind::FuseMaxArch]
-            {
+            for kind in [
+                ConfigKind::Unfused,
+                ConfigKind::Flat,
+                ConfigKind::FuseMaxCascade,
+                ConfigKind::FuseMaxArch,
+            ] {
                 let other = attention_report(kind, &cfg, l, None, &params);
                 assert!(
                     best.cycles <= other.cycles,

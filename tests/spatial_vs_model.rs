@@ -120,8 +120,13 @@ fn waterfall_shows_cross_tile_software_pipelining() {
 fn cloud_scale_simulation_matches_reference_numerics() {
     // A short cloud-shaped run (256-wide tiles): still bit-faithful.
     let (e, f, m, p) = (16usize, 16usize, 512usize, 256usize);
-    let cfg = SpatialConfig { rows: 256, cols: 256, vector_pes: 256, exp_maccs: 6,
-        charge_fill_drain: true };
+    let cfg = SpatialConfig {
+        rows: 256,
+        cols: 256,
+        vector_pes: 256,
+        exp_maccs: 6,
+        charge_fill_drain: true,
+    };
     let [q, k, v] = qkv(e, f, m, p, 6);
     let r = simulate(&q, &k, &v, &cfg, Binding::Pipelined).unwrap();
     let want = attention_reference(&q, &k, &v).unwrap();
