@@ -11,6 +11,11 @@
 //! count toward an even share of `measurement_time`), and the min / median
 //! / max per-iteration times are printed. There is no HTML report, outlier
 //! classification, or regression baseline.
+//!
+//! Setting `FUSEMAX_BENCH_SMOKE=1` clamps every benchmark to a single
+//! sample over a few milliseconds — the CI smoke mode (the stub's
+//! equivalent of upstream's `cargo bench -- --test`) that proves the
+//! bench binaries still compile and run without paying for statistics.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -104,12 +109,34 @@ fn fmt_duration(d: Duration) -> String {
     }
 }
 
+/// `true` when `FUSEMAX_BENCH_SMOKE` asks for the run-everything-fast
+/// smoke mode (any value but `0`).
+fn smoke_mode() -> bool {
+    std::env::var_os("FUSEMAX_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+/// The measurement settings actually used: the caller's, or the clamped
+/// smoke settings when the smoke flag is on.
+fn effective_settings(
+    smoke: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+) -> (usize, Duration) {
+    if smoke {
+        (1, Duration::from_millis(5))
+    } else {
+        (sample_size, measurement_time)
+    }
+}
+
 fn run_and_report(
     name: &str,
     sample_size: usize,
     measurement_time: Duration,
     f: &mut dyn FnMut(&mut Bencher),
 ) {
+    let (sample_size, measurement_time) =
+        effective_settings(smoke_mode(), sample_size, measurement_time);
     let mut samples = Vec::with_capacity(sample_size);
     let mut bencher = Bencher { samples: &mut samples, sample_size, measurement_time };
     f(&mut bencher);
@@ -256,6 +283,18 @@ mod tests {
         benches();
         let mut c = Criterion::default();
         c.bench_function("noop", |b| b.iter(|| ()));
+    }
+
+    #[test]
+    fn smoke_settings_clamp_to_one_cheap_sample() {
+        // The env flag itself is read once per benchmark; the clamping is
+        // what matters (tested without mutating process env — set_var
+        // racing var_os from parallel tests is UB on glibc).
+        let (n, t) = effective_settings(true, 20, Duration::from_secs(3));
+        assert_eq!(n, 1);
+        assert!(t <= Duration::from_millis(5));
+        let (n, t) = effective_settings(false, 20, Duration::from_secs(3));
+        assert_eq!((n, t), (20, Duration::from_secs(3)));
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the small slice of `rand`'s 0.8 API it actually uses:
-//! [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], and
-//! [`Rng::gen_range`] over half-open ranges of the common numeric types.
+//! [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], [`Rng::gen_range`]
+//! over half-open ranges of the common numeric types, and
+//! [`Rng::gen_bool`].
 //!
 //! The generator is SplitMix64 — statistically solid for test-data
 //! synthesis, deterministic per seed, and trivially portable. It is *not*
@@ -40,10 +41,21 @@ pub trait Rng: RngCore {
         range.sample_single(self)
     }
 
-    /// Samples a value of a [`Standard`]-distributed type (`f64` in
+    /// Samples a value of a [`StandardDistributed`] type (`f64` in
     /// `[0, 1)`, integers over their full range).
     fn gen<T: StandardDistributed>(&mut self) -> T {
         T::sample_standard(self)
+    }
+
+    /// Returns `true` with probability `p` (a Bernoulli draw; the slice of
+    /// upstream's `gen_bool` the guided search strategies use).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of [0, 1]");
+        unit_f64(self) < p
     }
 }
 
@@ -197,6 +209,17 @@ mod tests {
             let i = rng.gen_range(-50i64..-40);
             assert!((-50..-40).contains(&i));
         }
+    }
+
+    #[test]
+    fn gen_bool_matches_its_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
     }
 
     #[test]

@@ -103,6 +103,13 @@ impl EvalCache {
         Arc::clone(map.entry(key).or_insert(evaluation))
     }
 
+    /// `true` when `key` is cached, *without* bumping the hit/miss
+    /// counters — the peek the search session uses to classify an upcoming
+    /// [`EvalCache::get`] as shared-cache reuse versus a fresh evaluation.
+    pub fn contains(&self, key: &PointKey) -> bool {
+        self.map.lock().expect("cache poisoned").contains_key(key)
+    }
+
     /// Cache hits since construction.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -121,6 +128,29 @@ impl EvalCache {
     /// `true` when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Every cached evaluation, in arbitrary order (the JSON layer sorts
+    /// before writing, so serialized snapshots are still deterministic).
+    pub fn snapshot(&self) -> Vec<Arc<Evaluation>> {
+        self.map.lock().expect("cache poisoned").values().cloned().collect()
+    }
+
+    /// Inserts evaluations loaded from disk, keying each by its own
+    /// design point. Keys already present keep their in-memory entry (the
+    /// live `Arc` identity must not change under consumers). Returns how
+    /// many entries were actually absorbed.
+    pub fn absorb(&self, evaluations: impl IntoIterator<Item = Arc<Evaluation>>) -> usize {
+        let mut map = self.map.lock().expect("cache poisoned");
+        let mut added = 0;
+        for evaluation in evaluations {
+            let key = PointKey::of(&evaluation.point);
+            if let std::collections::hash_map::Entry::Vacant(slot) = map.entry(key) {
+                slot.insert(evaluation);
+                added += 1;
+            }
+        }
+        added
     }
 
     /// Drops every entry and zeroes the counters.

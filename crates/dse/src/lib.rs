@@ -57,6 +57,23 @@
 //! in [`fusemax_spatial`], confirming the schedule computes reference
 //! attention numerics and that its cycle count is sane.
 //!
+//! # Guided search
+//!
+//! When the axes multiply past what exhaustive enumeration should pay
+//! for, the [`search`] module explores on a budget: random sampling,
+//! genetic search with Pareto-rank fitness, and simulated annealing over
+//! a continuous-knob relaxation — all deterministic per seed, all
+//! sharing the sweeper's [`EvalCache`] with exhaustive runs, and all
+//! scored by the fraction of the exhaustive Pareto hypervolume they
+//! recover ([`search::hypervolume_fraction`], [`search::convergence`]).
+//!
+//! # Persistence
+//!
+//! The cache itself serializes to sorted, bit-exact JSON
+//! ([`cache_json`], [`Sweeper::save_cache`] / [`Sweeper::load_cache`]),
+//! so figure regeneration is free across *processes*, not just within
+//! one.
+//!
 //! # Example
 //!
 //! ```
@@ -87,14 +104,18 @@
 mod cache;
 mod json;
 mod pareto;
+pub mod search;
 mod space;
 mod sweep;
 mod validate;
 
 pub use cache::{EvalCache, PointKey};
-pub use json::frontier_json;
-pub use pareto::{dominates, Objectives, ParetoFrontier};
-pub use space::{arch_for, DesignPoint, DesignSpace};
+pub use json::{
+    cache_json, frontier_json, frontiers_only_json, load_cache_file, parse_cache_json,
+    save_cache_file, PersistError,
+};
+pub use pareto::{dominates, pareto_ranks, Objectives, ParetoFrontier};
+pub use space::{arch_for, AxisIndex, DesignPoint, DesignSpace};
 pub use sweep::{Evaluation, FrontierGroup, SweepOutcome, SweepStats, Sweeper};
 pub use validate::{validate_top_k, Validation, ValidationStatus};
 

@@ -46,6 +46,47 @@ pub fn dominates<const N: usize>(a: &[f64; N], b: &[f64; N]) -> bool {
     strictly_better
 }
 
+/// Non-dominated sorting: returns each point's front index — `0` for the
+/// Pareto frontier of the input set, `1` for the frontier once front 0 is
+/// removed, and so on. Lower is fitter; this is the rank fitness the
+/// genetic search strategy selects on.
+///
+/// Identical objective vectors land in the same front (they do not
+/// dominate each other). `O(fronts · n²)` — fine for population-sized
+/// inputs.
+///
+/// # Example
+///
+/// ```
+/// use fusemax_dse::pareto_ranks;
+///
+/// let ranks = pareto_ranks(&[[1.0, 4.0], [4.0, 1.0], [5.0, 5.0], [6.0, 6.0]]);
+/// assert_eq!(ranks, vec![0, 0, 1, 2]);
+/// ```
+pub fn pareto_ranks<const N: usize>(objectives: &[[f64; N]]) -> Vec<usize> {
+    let n = objectives.len();
+    let mut rank = vec![usize::MAX; n];
+    let mut assigned = 0;
+    let mut front = 0;
+    while assigned < n {
+        let members: Vec<usize> = (0..n)
+            .filter(|&i| rank[i] == usize::MAX)
+            .filter(|&i| {
+                !(0..n).any(|j| {
+                    j != i && rank[j] == usize::MAX && dominates(&objectives[j], &objectives[i])
+                })
+            })
+            .collect();
+        debug_assert!(!members.is_empty(), "strict partial orders always have minima");
+        for &i in &members {
+            rank[i] = front;
+        }
+        assigned += members.len();
+        front += 1;
+    }
+    rank
+}
+
 /// The set of mutually non-dominated points seen so far.
 ///
 /// Inserting a point that some member dominates is a no-op; inserting a
@@ -241,6 +282,30 @@ mod tests {
         assert_eq!(f.best_by(1).unwrap().objectives(), [10.0, 1.0]);
         let by_area: Vec<f64> = f.sorted_by(0).iter().map(|p| p.objectives()[0]).collect();
         assert_eq!(by_area, vec![1.0, 5.0, 10.0]);
+    }
+
+    #[test]
+    fn ranks_peel_fronts_in_order() {
+        let objs = [[1.0, 1.0], [2.0, 2.0], [3.0, 3.0], [0.5, 4.0], [2.0, 2.0]];
+        let ranks = pareto_ranks(&objs);
+        assert_eq!(ranks, vec![0, 1, 2, 0, 1]);
+        assert!(pareto_ranks::<2>(&[]).is_empty());
+        assert_eq!(pareto_ranks(&[[7.0, 7.0]]), vec![0]);
+    }
+
+    #[test]
+    fn rank_zero_matches_the_frontier() {
+        let mut state = 0x9E37_79B9u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let objs: Vec<[f64; 3]> = (0..80).map(|_| [next(), next(), next()]).collect();
+        let ranks = pareto_ranks(&objs);
+        let mut frontier: ParetoFrontier<[f64; 3], 3> = ParetoFrontier::new();
+        frontier.extend(objs.iter().copied());
+        let rank0 = ranks.iter().filter(|&&r| r == 0).count();
+        assert_eq!(rank0, frontier.len());
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Simulated annealing over the continuous-knob relaxation: a Metropolis
+//! walker in log₂(array dim) × log₂(buffer scale) space (plus categorical
+//! kind/frequency flips), snapping each proposal to the grid for
+//! evaluation.
+
+use crate::search::relax::Relaxation;
+use crate::search::strategy::{
+    weighted_log_cost, SearchBudget, SearchOutcome, SearchStrategy, Session,
+};
+use crate::space::{AxisIndex, DesignSpace};
+use crate::sweep::{Evaluation, Sweeper};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Simulated annealing with snap-to-grid evaluation.
+///
+/// One independent chain runs per `(workload, seq_len)` group (objectives
+/// are only comparable within a group), splitting the budget evenly. Each
+/// chain walks the [`Relaxation`]'s continuous knobs with Gaussian-ish
+/// steps, flips the categorical kind/frequency axes occasionally, and
+/// accepts uphill moves with probability `exp(-Δ/T)` under a geometric
+/// cooling schedule. The chain energy is a *randomly weighted*
+/// log-scalarization, re-drawn on every restart, so successive restarts
+/// pull the walker toward different corners of the Pareto surface instead
+/// of repeatedly converging to one compromise point.
+///
+/// Deterministic per seed; all evaluations flow through the shared
+/// [`crate::EvalCache`].
+///
+/// # Example
+///
+/// ```
+/// use fusemax_dse::search::{SearchBudget, SearchStrategy, SimulatedAnnealing};
+/// use fusemax_dse::{DesignSpace, Sweeper};
+/// use fusemax_model::{ConfigKind, ModelParams};
+///
+/// let space = DesignSpace::new().with_kinds(ConfigKind::all());
+/// let sweeper = Sweeper::new(ModelParams::default());
+/// let outcome =
+///     SimulatedAnnealing::new(7).search(&sweeper, &space, SearchBudget::fraction(&space, 0.25));
+/// assert!(!outcome.frontier_points().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    seed: u64,
+    initial_temp: f64,
+    cooling: f64,
+    step_octaves: f64,
+}
+
+impl SimulatedAnnealing {
+    /// An annealer with the default schedule: T₀ = 1.0, cooling 0.9 per
+    /// accepted-or-rejected move, steps of up to ±1 octave per knob.
+    pub fn new(seed: u64) -> Self {
+        SimulatedAnnealing { seed, initial_temp: 1.0, cooling: 0.9, step_octaves: 1.0 }
+    }
+
+    /// Replaces the initial temperature.
+    pub fn with_initial_temp(mut self, temp: f64) -> Self {
+        assert!(temp > 0.0, "temperature must be positive");
+        self.initial_temp = temp;
+        self
+    }
+
+    /// Replaces the geometric cooling factor (`0 < cooling < 1`).
+    pub fn with_cooling(mut self, cooling: f64) -> Self {
+        assert!((0.0..1.0).contains(&cooling) && cooling > 0.0, "cooling must be in (0, 1)");
+        self.cooling = cooling;
+        self
+    }
+
+    /// Replaces the maximum continuous step, in octaves.
+    pub fn with_step_octaves(mut self, octaves: f64) -> Self {
+        assert!(octaves > 0.0, "step size must be positive");
+        self.step_octaves = octaves;
+        self
+    }
+}
+
+/// The walker's state: continuous coordinates plus categorical indices.
+#[derive(Debug, Clone, Copy)]
+struct WalkerState {
+    dim_log2: f64,
+    buf_log2: f64,
+    kind_idx: usize,
+    freq_idx: usize,
+}
+
+impl WalkerState {
+    /// The grid genome this state snaps to, for fixed workload/length.
+    fn snap(&self, relax: &Relaxation, wi: usize, si: usize) -> AxisIndex {
+        [
+            wi,
+            si,
+            self.kind_idx,
+            relax.snap_dim(self.dim_log2),
+            self.freq_idx,
+            relax.snap_buffer(self.buf_log2),
+        ]
+    }
+}
+
+/// Random simplex weights: three positive weights summing to 3 (so the
+/// balanced case is `[1, 1, 1]`), drawn per restart.
+fn random_weights(rng: &mut StdRng) -> [f64; 3] {
+    let mut w = [0.0f64; 3];
+    let mut total = 0.0;
+    for slot in &mut w {
+        // Offset away from zero so no objective is ever fully ignored.
+        *slot = 0.15 + rng.gen_range(0.0..1.0);
+        total += *slot;
+    }
+    for slot in &mut w {
+        *slot *= 3.0 / total;
+    }
+    w
+}
+
+/// The chain energy of one evaluation under `weights`.
+fn energy(evaluation: &Evaluation, weights: &[f64; 3]) -> f64 {
+    weighted_log_cost(&[evaluation.area_cm2, evaluation.latency_s, evaluation.energy_j], weights)
+}
+
+impl SearchStrategy for SimulatedAnnealing {
+    fn name(&self) -> &'static str {
+        "annealing"
+    }
+
+    fn search(
+        &self,
+        sweeper: &Sweeper,
+        space: &DesignSpace,
+        budget: SearchBudget,
+    ) -> SearchOutcome {
+        let mut session = Session::new(sweeper, space, budget);
+        if space.is_empty() {
+            return session.finish(self.name());
+        }
+        let relax = Relaxation::new(space);
+        let lens = space.axis_lens();
+        let [n_workloads, n_seq_lens, n_kinds, _, n_freqs, _] = lens;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let (dim_lo, dim_hi) = relax.dim_bounds();
+        let (buf_lo, buf_hi) = relax.buf_bounds();
+
+        let groups: Vec<(usize, usize)> =
+            (0..n_workloads).flat_map(|wi| (0..n_seq_lens).map(move |si| (wi, si))).collect();
+
+        for (chain_no, &(wi, si)) in groups.iter().enumerate() {
+            if session.exhausted() {
+                break;
+            }
+            // Even budget split over the chains not yet run.
+            let share = session.remaining().div_ceil(groups.len() - chain_no);
+            let chain_start = session.requested();
+            let spent = |session: &Session| session.requested() - chain_start;
+
+            let random_state = |rng: &mut StdRng| WalkerState {
+                dim_log2: rng.gen_range(dim_lo..dim_hi),
+                buf_log2: rng.gen_range(buf_lo..buf_hi),
+                kind_idx: rng.gen_range(0..n_kinds),
+                freq_idx: rng.gen_range(0..n_freqs),
+            };
+
+            let mut weights = random_weights(&mut rng);
+            let mut state = random_state(&mut rng);
+            let mut current = match session.evaluate(state.snap(&relax, wi, si)) {
+                Some(e) => e,
+                None => break,
+            };
+            let mut current_energy = energy(&current, &weights);
+            let mut temp = self.initial_temp;
+            // Proposal cap: small per-group subspaces can be fully
+            // explored long before the share is spent; don't spin.
+            let mut proposals = 0usize;
+            let proposal_cap = share * 32 + 64;
+
+            while spent(&session) < share && !session.exhausted() && proposals < proposal_cap {
+                proposals += 1;
+                let mut next = state;
+                next.dim_log2 = (next.dim_log2
+                    + rng.gen_range(-self.step_octaves..self.step_octaves))
+                .clamp(dim_lo, dim_hi);
+                next.buf_log2 = (next.buf_log2
+                    + rng.gen_range(-self.step_octaves..self.step_octaves))
+                .clamp(buf_lo, buf_hi);
+                if n_kinds > 1 && rng.gen_bool(0.3) {
+                    next.kind_idx = rng.gen_range(0..n_kinds);
+                }
+                if n_freqs > 1 && rng.gen_bool(0.2) {
+                    next.freq_idx = rng.gen_range(0..n_freqs);
+                }
+                let genome = next.snap(&relax, wi, si);
+                let Some(candidate) = session.evaluate(genome) else { break };
+                let candidate_energy = energy(&candidate, &weights);
+                let delta = candidate_energy - current_energy;
+                let accept = delta <= 0.0 || rng.gen_range(0.0..1.0) < (-delta / temp).exp();
+                if accept {
+                    state = next;
+                    current = candidate;
+                    current_energy = candidate_energy;
+                }
+                temp *= self.cooling;
+                if temp < 1e-3 {
+                    // Frozen: restart toward a fresh Pareto corner.
+                    weights = random_weights(&mut rng);
+                    state = random_state(&mut rng);
+                    if let Some(e) = session.evaluate(state.snap(&relax, wi, si)) {
+                        current = e;
+                        current_energy = energy(&current, &weights);
+                    }
+                    temp = self.initial_temp;
+                }
+            }
+            let _ = current;
+        }
+        session.finish(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusemax_model::{ConfigKind, ModelParams};
+    use fusemax_workloads::TransformerConfig;
+
+    fn space() -> DesignSpace {
+        DesignSpace::new()
+            .with_array_dims([16, 32, 64, 128, 256, 512])
+            .with_kinds(ConfigKind::all())
+            .with_workloads([TransformerConfig::bert()])
+            .with_seq_lens([1 << 18])
+            .with_buffer_scales([0.5, 1.0, 2.0])
+    }
+
+    #[test]
+    fn spends_at_most_the_budget() {
+        let sweeper = Sweeper::new(ModelParams::default());
+        let outcome =
+            SimulatedAnnealing::new(2).search(&sweeper, &space(), SearchBudget::evaluations(30));
+        assert!(outcome.stats.requested <= 30);
+        assert!(outcome.stats.requested >= 10, "walker stalled early");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let sweeper = Sweeper::new(ModelParams::default());
+        let a =
+            SimulatedAnnealing::new(5).search(&sweeper, &space(), SearchBudget::evaluations(20));
+        let b =
+            SimulatedAnnealing::new(5).search(&sweeper, &space(), SearchBudget::evaluations(20));
+        for (x, y) in a.evaluations.iter().zip(&b.evaluations) {
+            assert_eq!(x.point, y.point);
+        }
+    }
+
+    #[test]
+    fn splits_budget_across_groups() {
+        let sweeper = Sweeper::new(ModelParams::default());
+        let multi = space()
+            .with_workloads([TransformerConfig::bert(), TransformerConfig::xlm()])
+            .with_seq_lens([1 << 14, 1 << 18]);
+        let outcome =
+            SimulatedAnnealing::new(8).search(&sweeper, &multi, SearchBudget::evaluations(40));
+        assert_eq!(outcome.frontiers.len(), 4, "every (workload, seq_len) group gets a chain");
+    }
+}

@@ -1,0 +1,333 @@
+//! Genetic / evolutionary search over the design-space axes: tournament
+//! selection on Pareto-rank fitness, uniform crossover, and axis-aware
+//! mutation (ordered knobs step to neighboring grid values, categorical
+//! knobs resample).
+
+use crate::pareto::pareto_ranks;
+use crate::search::strategy::{
+    random_genome, weighted_log_cost, SearchBudget, SearchOutcome, SearchStrategy, Session,
+};
+use crate::space::{AxisIndex, DesignSpace};
+use crate::sweep::{Evaluation, Sweeper};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Axes whose values are ordered (stepping ±1 is a meaningful "nudge"):
+/// sequence length (1), array dimension (3), buffer scale (5). Workload
+/// (0), kind (2), and frequency (4) are treated as categorical.
+const ORDERED_AXES: [bool; 6] = [false, true, false, true, false, true];
+
+/// Multi-objective genetic search with Pareto-rank fitness.
+///
+/// Each genome is an [`AxisIndex`] into the space's six axes. Fitness is
+/// the genome's non-domination front *within its `(workload, seq_len)`
+/// group* (dominance across groups is meaningless), with a balanced
+/// log-scalarization as the tie-break. Selection is `tournament`-way,
+/// crossover is uniform per axis, and mutation nudges ordered axes by ±1
+/// while resampling categorical ones.
+///
+/// Deterministic per seed; all evaluations flow through the shared
+/// [`crate::EvalCache`].
+///
+/// # Example
+///
+/// ```
+/// use fusemax_dse::search::{GeneticSearch, SearchBudget, SearchStrategy};
+/// use fusemax_dse::{DesignSpace, Sweeper};
+/// use fusemax_model::{ConfigKind, ModelParams};
+///
+/// let space = DesignSpace::new().with_kinds(ConfigKind::all());
+/// let sweeper = Sweeper::new(ModelParams::default());
+/// let outcome =
+///     GeneticSearch::new(7).search(&sweeper, &space, SearchBudget::fraction(&space, 0.25));
+/// assert!(outcome.stats.requested <= 30);
+/// assert!(!outcome.frontier_points().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GeneticSearch {
+    seed: u64,
+    population: usize,
+    mutation_rate: f64,
+    tournament: usize,
+}
+
+impl GeneticSearch {
+    /// A genetic searcher with the default knobs: population 16,
+    /// mutation rate 0.25, binary tournaments.
+    pub fn new(seed: u64) -> Self {
+        GeneticSearch { seed, population: 16, mutation_rate: 0.25, tournament: 2 }
+    }
+
+    /// Replaces the population size (clamped to ≥ 2 at search time).
+    pub fn with_population(mut self, population: usize) -> Self {
+        self.population = population;
+        self
+    }
+
+    /// Replaces the per-axis mutation probability.
+    pub fn with_mutation_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "mutation rate must be a probability");
+        self.mutation_rate = rate;
+        self
+    }
+
+    /// Replaces the tournament size (clamped to ≥ 2 at search time).
+    pub fn with_tournament(mut self, tournament: usize) -> Self {
+        self.tournament = tournament;
+        self
+    }
+}
+
+/// One population member: the genome and its evaluation.
+#[derive(Clone)]
+struct Member {
+    genome: AxisIndex,
+    evaluation: Arc<Evaluation>,
+}
+
+/// Per-member Pareto front index, computed *within* each member's
+/// `(workload, seq_len)` group.
+fn grouped_ranks(members: &[Member]) -> Vec<usize> {
+    let mut ranks = vec![0usize; members.len()];
+    let mut groups: Vec<(&str, usize, Vec<usize>)> = Vec::new();
+    for (i, m) in members.iter().enumerate() {
+        let key = (m.evaluation.point.workload.name, m.evaluation.point.seq_len);
+        match groups.iter_mut().find(|(n, l, _)| *n == key.0 && *l == key.1) {
+            Some((_, _, idxs)) => idxs.push(i),
+            None => groups.push((key.0, key.1, vec![i])),
+        }
+    }
+    for (_, _, idxs) in &groups {
+        let objs: Vec<[f64; 3]> = idxs
+            .iter()
+            .map(|&i| {
+                let e = &members[i].evaluation;
+                [e.area_cm2, e.latency_s, e.energy_j]
+            })
+            .collect();
+        for (&i, r) in idxs.iter().zip(pareto_ranks(&objs)) {
+            ranks[i] = r;
+        }
+    }
+    ranks
+}
+
+/// Balanced log-scalarization used as the rank tie-break.
+fn scalar(e: &Evaluation) -> f64 {
+    weighted_log_cost(&[e.area_cm2, e.latency_s, e.energy_j], &[1.0, 1.0, 1.0])
+}
+
+/// Picks the fitter of `k` random members: lowest front, then lowest
+/// scalar cost.
+fn tournament_pick(rng: &mut StdRng, members: &[Member], ranks: &[usize], k: usize) -> usize {
+    let mut best = rng.gen_range(0..members.len());
+    for _ in 1..k {
+        let challenger = rng.gen_range(0..members.len());
+        let better = ranks[challenger] < ranks[best]
+            || (ranks[challenger] == ranks[best]
+                && scalar(&members[challenger].evaluation) < scalar(&members[best].evaluation));
+        if better {
+            best = challenger;
+        }
+    }
+    best
+}
+
+/// Uniform crossover: each axis comes from either parent with equal
+/// probability.
+fn crossover(rng: &mut StdRng, a: &AxisIndex, b: &AxisIndex) -> AxisIndex {
+    let mut child = *a;
+    for (slot, &gene) in child.iter_mut().zip(b.iter()) {
+        if rng.gen_bool(0.5) {
+            *slot = gene;
+        }
+    }
+    child
+}
+
+/// Mutates each axis with probability `rate`: ordered axes step ±1
+/// (clamped), categorical axes resample uniformly.
+fn mutate(rng: &mut StdRng, genome: &mut AxisIndex, lens: &AxisIndex, rate: f64) {
+    for axis in 0..6 {
+        if lens[axis] <= 1 || !rng.gen_bool(rate) {
+            continue;
+        }
+        if ORDERED_AXES[axis] {
+            let up = rng.gen_bool(0.5);
+            genome[axis] = if up {
+                (genome[axis] + 1).min(lens[axis] - 1)
+            } else {
+                genome[axis].saturating_sub(1)
+            };
+        } else {
+            genome[axis] = rng.gen_range(0..lens[axis]);
+        }
+    }
+}
+
+impl SearchStrategy for GeneticSearch {
+    fn name(&self) -> &'static str {
+        "genetic"
+    }
+
+    fn search(
+        &self,
+        sweeper: &Sweeper,
+        space: &DesignSpace,
+        budget: SearchBudget,
+    ) -> SearchOutcome {
+        let mut session = Session::new(sweeper, space, budget);
+        if space.is_empty() {
+            return session.finish(self.name());
+        }
+        let lens = space.axis_lens();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let pop_target = self.population.clamp(2, session.remaining().max(2));
+        let tournament = self.tournament.max(2);
+
+        // Seed generation: random distinct genomes.
+        let mut population: Vec<Member> = Vec::with_capacity(pop_target);
+        let mut attempts = 0usize;
+        while population.len() < pop_target
+            && !session.exhausted()
+            && attempts < pop_target * 64 + 256
+        {
+            attempts += 1;
+            let genome = random_genome(&mut rng, &lens);
+            if population.iter().any(|m| m.genome == genome) {
+                continue;
+            }
+            if let Some(evaluation) = session.evaluate(genome) {
+                population.push(Member { genome, evaluation });
+            }
+        }
+
+        while !session.exhausted() && !population.is_empty() {
+            let ranks = grouped_ranks(&population);
+            let mut children: Vec<Member> = Vec::with_capacity(pop_target);
+            let mut stall = 0usize;
+            while children.len() < pop_target && !session.exhausted() && stall < pop_target * 16 {
+                let pa = tournament_pick(&mut rng, &population, &ranks, tournament);
+                let pb = tournament_pick(&mut rng, &population, &ranks, tournament);
+                let mut child = crossover(&mut rng, &population[pa].genome, &population[pb].genome);
+                mutate(&mut rng, &mut child, &lens, self.mutation_rate);
+                let known = population.iter().any(|m| m.genome == child)
+                    || children.iter().any(|m| m.genome == child);
+                if known {
+                    stall += 1;
+                    continue;
+                }
+                match session.evaluate(child) {
+                    Some(evaluation) => {
+                        children.push(Member { genome: child, evaluation });
+                        stall = 0;
+                    }
+                    None => break,
+                }
+            }
+            if children.is_empty() {
+                // Breeding stalled (everything nearby already explored):
+                // inject a random immigrant to reopen the search, or stop
+                // if even that fails.
+                let mut injected = false;
+                for _ in 0..64 {
+                    if session.exhausted() {
+                        break;
+                    }
+                    let genome = random_genome(&mut rng, &lens);
+                    if population.iter().any(|m| m.genome == genome) {
+                        continue;
+                    }
+                    if let Some(evaluation) = session.evaluate(genome) {
+                        population.push(Member { genome, evaluation });
+                        injected = true;
+                        break;
+                    }
+                }
+                if !injected {
+                    break;
+                }
+                continue;
+            }
+            population.extend(children);
+
+            // Environmental selection: survivors by (front, scalar cost).
+            let ranks = grouped_ranks(&population);
+            let mut order: Vec<usize> = (0..population.len()).collect();
+            order.sort_by(|&a, &b| {
+                ranks[a].cmp(&ranks[b]).then(
+                    scalar(&population[a].evaluation).total_cmp(&scalar(&population[b].evaluation)),
+                )
+            });
+            order.truncate(pop_target);
+            population = order.into_iter().map(|i| population[i].clone()).collect();
+        }
+        session.finish(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusemax_model::{ConfigKind, ModelParams};
+    use fusemax_workloads::TransformerConfig;
+
+    fn space() -> DesignSpace {
+        DesignSpace::new()
+            .with_array_dims([16, 32, 64, 128, 256, 512])
+            .with_kinds(ConfigKind::all())
+            .with_workloads([TransformerConfig::bert()])
+            .with_seq_lens([1 << 18])
+            .with_buffer_scales([0.5, 1.0, 2.0])
+    }
+
+    #[test]
+    fn respects_the_budget_exactly() {
+        let sweeper = Sweeper::new(ModelParams::default());
+        let outcome =
+            GeneticSearch::new(3).search(&sweeper, &space(), SearchBudget::evaluations(20));
+        assert_eq!(outcome.stats.requested, 20);
+        assert_eq!(outcome.evaluations.len(), 20);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let sweeper = Sweeper::new(ModelParams::default());
+        let a = GeneticSearch::new(9).search(&sweeper, &space(), SearchBudget::evaluations(25));
+        let b = GeneticSearch::new(9).search(&sweeper, &space(), SearchBudget::evaluations(25));
+        for (x, y) in a.evaluations.iter().zip(&b.evaluations) {
+            assert_eq!(x.point, y.point);
+        }
+    }
+
+    #[test]
+    fn mutation_respects_axis_bounds() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let lens = space().axis_lens();
+        let mut genome = [0usize; 6];
+        for _ in 0..500 {
+            mutate(&mut rng, &mut genome, &lens, 1.0);
+            for (axis, &v) in genome.iter().enumerate() {
+                assert!(v < lens[axis], "axis {axis} escaped its range");
+            }
+        }
+    }
+
+    #[test]
+    fn evolution_concentrates_on_the_strong_kinds() {
+        // With Pareto-rank selection pressure, late evaluations should be
+        // dominated by FuseMax kinds (the baselines lose every tournament
+        // at equal scale).
+        let sweeper = Sweeper::new(ModelParams::default());
+        let outcome =
+            GeneticSearch::new(1).search(&sweeper, &space(), SearchBudget::evaluations(60));
+        let late = &outcome.evaluations[outcome.evaluations.len() / 2..];
+        let fusemax = late.iter().filter(|e| e.point.kind.is_fusemax()).count();
+        assert!(
+            fusemax * 2 > late.len(),
+            "only {fusemax}/{} late evaluations explored FuseMax kinds",
+            late.len()
+        );
+    }
+}

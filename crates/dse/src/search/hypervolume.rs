@@ -1,0 +1,380 @@
+//! Exact hypervolume computation and the convergence harness that scores
+//! guided strategies against the exhaustive Pareto frontier.
+//!
+//! The **hypervolume indicator** of a point set (under minimization) is
+//! the volume of objective space the set dominates, measured against a
+//! reference point that is worse than everything of interest. It is the
+//! standard scalar summary of multi-objective search quality: a strategy
+//! that recovers ≥90% of the exhaustive frontier's hypervolume has found
+//! the shape of the frontier, not just one good point.
+
+use crate::pareto::{Objectives, ParetoFrontier};
+use crate::search::strategy::SearchOutcome;
+use crate::sweep::{FrontierGroup, SweepOutcome};
+
+/// Headroom applied when deriving a reference point from observed
+/// objective values, so boundary points still enclose volume.
+const REFERENCE_MARGIN: f64 = 1.05;
+
+/// Exact hypervolume of `points` against `reference` (all objectives
+/// minimized): the volume of the union of the boxes `[pᵢ, reference]`.
+///
+/// Computed by coordinate compression: the unique coordinate values split
+/// objective space into a grid, and a grid cell is dominated iff some
+/// point is ≤ its lower corner in every objective. Exact for any `N`;
+/// `O(nᴺ⁺¹)` in the number of points, which is fine for frontier-sized
+/// inputs (use it on frontiers, not raw sweeps).
+///
+/// Points not strictly better than `reference` in every objective
+/// contribute nothing.
+///
+/// # Example
+///
+/// ```
+/// use fusemax_dse::search::hypervolume;
+///
+/// let front = [[1.0, 3.0], [2.0, 2.0], [3.0, 1.0]];
+/// // Union of the boxes to [4, 4]: 3 + 4 + 3, minus pairwise overlaps
+/// // 2 + 1 + 2, plus the triple overlap 1 = 6.
+/// assert_eq!(hypervolume(&front, &[4.0, 4.0]), 6.0);
+/// ```
+pub fn hypervolume<P: Objectives<N>, const N: usize>(points: &[P], reference: &[f64; N]) -> f64 {
+    let contributing: Vec<[f64; N]> = points
+        .iter()
+        .map(|p| p.objectives())
+        .filter(|o| o.iter().zip(reference.iter()).all(|(v, r)| v < r))
+        .collect();
+    if contributing.is_empty() {
+        return 0.0;
+    }
+
+    // Unique sorted coordinates per axis, closed off by the reference.
+    let mut coords: Vec<Vec<f64>> = Vec::with_capacity(N);
+    for axis in 0..N {
+        let mut values: Vec<f64> = contributing.iter().map(|o| o[axis]).collect();
+        values.push(reference[axis]);
+        values.sort_by(f64::total_cmp);
+        values.dedup();
+        coords.push(values);
+    }
+
+    // Mixed-radix walk over the grid cells.
+    let radices: Vec<usize> = coords.iter().map(|c| c.len() - 1).collect();
+    let cells: usize = radices.iter().product();
+    let mut volume = 0.0;
+    let mut lower = [0.0f64; N];
+    for cell in 0..cells {
+        let mut rest = cell;
+        let mut width = 1.0;
+        for axis in 0..N {
+            let i = rest % radices[axis];
+            rest /= radices[axis];
+            lower[axis] = coords[axis][i];
+            width *= coords[axis][i + 1] - coords[axis][i];
+        }
+        let dominated =
+            contributing.iter().any(|p| p.iter().zip(lower.iter()).all(|(v, lo)| v <= lo));
+        if dominated {
+            volume += width;
+        }
+    }
+    volume
+}
+
+/// A reference point enclosing every objective vector of `objectives`,
+/// with 5% headroom per axis so boundary points still enclose volume.
+/// Returns `None` for an empty iterator.
+pub fn reference_point<const N: usize>(
+    objectives: impl IntoIterator<Item = [f64; N]>,
+) -> Option<[f64; N]> {
+    let mut reference: Option<[f64; N]> = None;
+    for o in objectives {
+        let r = reference.get_or_insert(o);
+        for axis in 0..N {
+            r[axis] = r[axis].max(o[axis]);
+        }
+    }
+    reference.map(|mut r| {
+        for v in &mut r {
+            // Headroom must *increase* the coordinate whatever its sign
+            // (a plain multiply would shrink negative maxima), and a zero
+            // maximum still needs to end up strictly above zero.
+            if *v > 0.0 {
+                *v *= REFERENCE_MARGIN;
+            } else if *v < 0.0 {
+                *v *= 2.0 - REFERENCE_MARGIN;
+            } else {
+                *v = f64::MIN_POSITIVE;
+            }
+        }
+        r
+    })
+}
+
+/// One sample of a convergence curve: the hypervolume fraction after
+/// `evaluations` distinct evaluations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HvSample {
+    /// Distinct evaluations spent at this sample.
+    pub evaluations: usize,
+    /// Mean (over `(workload, seq_len)` groups) fraction of the
+    /// exhaustive frontier's hypervolume recovered so far, in `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// Hypervolume-versus-evaluations for one guided run, measured against an
+/// exhaustive sweep of the same space.
+#[derive(Debug, Clone)]
+pub struct ConvergenceCurve {
+    /// Which strategy produced the run.
+    pub strategy: String,
+    /// Samples in increasing evaluation order; the last sample is the
+    /// run's final state.
+    pub samples: Vec<HvSample>,
+}
+
+impl ConvergenceCurve {
+    /// The final hypervolume fraction (0.0 for an empty run).
+    pub fn final_fraction(&self) -> f64 {
+        self.samples.last().map_or(0.0, |s| s.fraction)
+    }
+
+    /// The smallest evaluation count at which the curve first reached
+    /// `fraction`, if it ever did.
+    pub fn evaluations_to_reach(&self, fraction: f64) -> Option<usize> {
+        self.samples.iter().find(|s| s.fraction >= fraction).map(|s| s.evaluations)
+    }
+}
+
+/// Per-group exhaustive baseline: group identity, reference point, and
+/// exhaustive frontier hypervolume.
+struct GroupBaseline {
+    model: String,
+    seq_len: usize,
+    reference: [f64; 3],
+    exhaustive_hv: f64,
+}
+
+/// Builds the per-group baselines from an exhaustive sweep. The reference
+/// point spans **all** evaluated points of the group (not only frontier
+/// members), so dominated-but-sane designs sit inside the measured box
+/// and fractions are stable across strategies.
+fn baselines(exhaustive: &SweepOutcome) -> Vec<GroupBaseline> {
+    exhaustive
+        .frontiers
+        .iter()
+        .map(|group| {
+            let all = exhaustive
+                .evaluations
+                .iter()
+                .filter(|e| {
+                    e.point.workload.name == group.model && e.point.seq_len == group.seq_len
+                })
+                .map(|e| e.objectives());
+            let reference =
+                reference_point(all).expect("a frontier group always has at least one evaluation");
+            let exhaustive_hv = hypervolume(group.frontier.points(), &reference);
+            GroupBaseline {
+                model: group.model.clone(),
+                seq_len: group.seq_len,
+                reference,
+                exhaustive_hv,
+            }
+        })
+        .collect()
+}
+
+/// The mean over `baselines` of each group's recovered fraction, where
+/// `group_hv` yields the guided hypervolume for one baseline. This is
+/// **the** scoring rule — [`hypervolume_fraction`] and [`convergence`]
+/// must agree sample for sample, so both call through here.
+fn mean_fraction(baselines: &[GroupBaseline], group_hv: impl Fn(&GroupBaseline) -> f64) -> f64 {
+    if baselines.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = baselines
+        .iter()
+        .map(
+            |base| {
+                if base.exhaustive_hv > 0.0 {
+                    group_hv(base) / base.exhaustive_hv
+                } else {
+                    1.0
+                }
+            },
+        )
+        .sum();
+    total / baselines.len() as f64
+}
+
+/// Mean per-group fraction of the exhaustive hypervolume that `frontiers`
+/// recovers. Groups the guided run never touched count as 0; the result
+/// is 1.0 exactly when every group's frontier dominates the same volume
+/// as the exhaustive one.
+pub fn hypervolume_fraction(frontiers: &[FrontierGroup], exhaustive: &SweepOutcome) -> f64 {
+    let baselines = baselines(exhaustive);
+    mean_fraction(&baselines, |base| {
+        frontiers
+            .iter()
+            .find(|g| g.model == base.model && g.seq_len == base.seq_len)
+            .map_or(0.0, |g| hypervolume(g.frontier.points(), &base.reference))
+    })
+}
+
+/// The convergence harness: replays a guided run's evaluations in request
+/// order and samples the hypervolume fraction at (roughly) `samples`
+/// evenly spaced budgets, always including the final state.
+///
+/// # Example
+///
+/// ```
+/// use fusemax_dse::search::{convergence, RandomSearch, SearchBudget, SearchStrategy};
+/// use fusemax_dse::{DesignSpace, Sweeper};
+/// use fusemax_model::{ConfigKind, ModelParams};
+///
+/// let space = DesignSpace::new().with_kinds(ConfigKind::all());
+/// let sweeper = Sweeper::new(ModelParams::default());
+/// let exhaustive = sweeper.sweep(&space);
+/// let run = RandomSearch::new(3).search(&sweeper, &space, SearchBudget::fraction(&space, 0.5));
+/// let curve = convergence(&run, &exhaustive, 8);
+/// assert!(curve.final_fraction() > 0.0);
+/// // Hypervolume only grows as evaluations accumulate.
+/// assert!(curve.samples.windows(2).all(|w| w[0].fraction <= w[1].fraction + 1e-12));
+/// ```
+pub fn convergence(
+    outcome: &SearchOutcome,
+    exhaustive: &SweepOutcome,
+    samples: usize,
+) -> ConvergenceCurve {
+    let baselines = baselines(exhaustive);
+    let total = outcome.evaluations.len();
+    let stride = (total / samples.max(1)).max(1);
+
+    // Running per-group frontiers over objective vectors only.
+    let mut running: Vec<(String, usize, ParetoFrontier<[f64; 3], 3>)> = Vec::new();
+    let mut curve = Vec::new();
+    for (i, evaluation) in outcome.evaluations.iter().enumerate() {
+        let model = evaluation.point.workload.name;
+        let seq_len = evaluation.point.seq_len;
+        let group = match running.iter().position(|(m, l, _)| m == model && *l == seq_len) {
+            Some(idx) => idx,
+            None => {
+                running.push((model.to_string(), seq_len, ParetoFrontier::new()));
+                running.len() - 1
+            }
+        };
+        running[group].2.insert(evaluation.objectives());
+
+        let spent = i + 1;
+        if spent % stride == 0 || spent == total {
+            let fraction = mean_fraction(&baselines, |base| {
+                running
+                    .iter()
+                    .find(|(m, l, _)| *m == base.model && *l == base.seq_len)
+                    .map_or(0.0, |(_, _, f)| hypervolume(f.points(), &base.reference))
+            });
+            curve.push(HvSample { evaluations: spent, fraction });
+        }
+    }
+    ConvergenceCurve { strategy: outcome.strategy.clone(), samples: curve }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{RandomSearch, SearchBudget, SearchStrategy};
+    use crate::space::DesignSpace;
+    use crate::sweep::Sweeper;
+    use fusemax_model::{ConfigKind, ModelParams};
+    use fusemax_workloads::TransformerConfig;
+
+    #[test]
+    fn unit_box_volumes() {
+        // One point at the origin of a unit box dominates it all.
+        assert_eq!(hypervolume(&[[0.0, 0.0]], &[1.0, 1.0]), 1.0);
+        // A point on the reference contributes nothing.
+        assert_eq!(hypervolume(&[[1.0, 1.0]], &[1.0, 1.0]), 0.0);
+        // Empty set.
+        assert_eq!(hypervolume::<[f64; 2], 2>(&[], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn overlapping_boxes_are_not_double_counted() {
+        let hv = hypervolume(&[[0.0, 0.5], [0.5, 0.0]], &[1.0, 1.0]);
+        // Each box is 0.5·1 = 0.5; the overlap [0.5,1]×[0.5,1] is 0.25.
+        assert!((hv - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominated_points_do_not_change_the_volume() {
+        let base = hypervolume(&[[1.0, 1.0, 1.0]], &[2.0, 2.0, 2.0]);
+        let extra = hypervolume(&[[1.0, 1.0, 1.0], [1.5, 1.5, 1.5]], &[2.0, 2.0, 2.0]);
+        assert_eq!(base, extra);
+    }
+
+    #[test]
+    fn three_objective_volume_is_exact() {
+        // Two disjoint-contribution points.
+        let hv = hypervolume(&[[0.0, 0.0, 1.0], [1.0, 1.0, 0.0]], &[2.0, 2.0, 2.0]);
+        // Box A: 2·2·1 = 4. Box B: 1·1·2 = 2. Overlap: 1·1·1 = 1.
+        assert!((hv - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_point_encloses_with_margin() {
+        let r = reference_point([[1.0, 10.0], [2.0, 5.0]]).unwrap();
+        assert!((r[0] - 2.0 * REFERENCE_MARGIN).abs() < 1e-12);
+        assert!((r[1] - 10.0 * REFERENCE_MARGIN).abs() < 1e-12);
+        assert!(reference_point(std::iter::empty::<[f64; 2]>()).is_none());
+    }
+
+    #[test]
+    fn reference_point_headroom_works_for_any_sign() {
+        // Negative and zero maxima must still end up strictly above every
+        // input (a plain ×1.05 would move them the wrong way).
+        let r = reference_point([[-2.0, 0.0, 3.0]]).unwrap();
+        assert!(r[0] > -2.0);
+        assert!(r[1] > 0.0);
+        assert!(r[2] > 3.0);
+        // The boundary point therefore contributes nonzero volume.
+        assert!(hypervolume(&[[-2.0, 0.0, 3.0]], &r) > 0.0);
+    }
+
+    #[test]
+    fn exhaustive_run_scores_fraction_one() {
+        let space = DesignSpace::new()
+            .with_array_dims([64, 128, 256])
+            .with_kinds(ConfigKind::all())
+            .with_workloads([TransformerConfig::bert()])
+            .with_seq_lens([1 << 16]);
+        let sweeper = Sweeper::new(ModelParams::default());
+        let exhaustive = sweeper.sweep(&space);
+        // A "guided" run that saw everything recovers 100%.
+        let full = RandomSearch::new(1).search(&sweeper, &space, SearchBudget::evaluations(15));
+        assert_eq!(full.stats.requested, 15);
+        let fraction = hypervolume_fraction(&full.frontiers, &exhaustive);
+        assert!((fraction - 1.0).abs() < 1e-9, "full coverage must score 1.0, got {fraction}");
+    }
+
+    #[test]
+    fn convergence_curves_are_monotone_and_end_at_the_final_state() {
+        let space = DesignSpace::new()
+            .with_array_dims([16, 64, 256])
+            .with_kinds(ConfigKind::all())
+            .with_workloads([TransformerConfig::bert(), TransformerConfig::t5()])
+            .with_seq_lens([1 << 14]);
+        let sweeper = Sweeper::new(ModelParams::default());
+        let exhaustive = sweeper.sweep(&space);
+        let run = RandomSearch::new(4).search(&sweeper, &space, SearchBudget::evaluations(12));
+        let curve = convergence(&run, &exhaustive, 6);
+        assert!(!curve.samples.is_empty());
+        assert_eq!(curve.samples.last().unwrap().evaluations, 12);
+        for w in curve.samples.windows(2) {
+            assert!(w[0].evaluations < w[1].evaluations);
+            assert!(w[0].fraction <= w[1].fraction + 1e-12);
+        }
+        assert_eq!(curve.final_fraction(), hypervolume_fraction(&run.frontiers, &exhaustive));
+        assert!(curve.evaluations_to_reach(0.0).is_some());
+        assert!(curve.evaluations_to_reach(1.1).is_none());
+    }
+}

@@ -1,0 +1,62 @@
+//! Guided design-space search: budgeted strategies that find the Pareto
+//! frontier without enumerating the whole space.
+//!
+//! The exhaustive [`crate::Sweeper`] is ground truth, but its cost is the
+//! product of every axis cardinality; guided strategies spend a fixed
+//! evaluation budget instead and are scored by how much of the exhaustive
+//! frontier's **hypervolume** they recover ([`hypervolume_fraction`],
+//! [`convergence`]). Three [`SearchStrategy`] implementations ship:
+//!
+//! * [`RandomSearch`] — uniform sampling, the baseline;
+//! * [`GeneticSearch`] — tournament selection on Pareto-rank fitness,
+//!   uniform crossover, axis-aware mutation;
+//! * [`SimulatedAnnealing`] — a Metropolis walker over the
+//!   continuous-knob [`Relaxation`] of array dims and buffer bytes, with
+//!   snap-to-grid evaluation.
+//!
+//! All strategies are deterministic per seed and evaluate through the
+//! owning sweeper's shared [`crate::EvalCache`], so guided and exhaustive
+//! runs reuse each other's work — a guided run over an already-swept
+//! space performs **zero** new model evaluations.
+//!
+//! # Example
+//!
+//! ```
+//! use fusemax_dse::search::{
+//!     hypervolume_fraction, GeneticSearch, SearchBudget, SearchStrategy,
+//! };
+//! use fusemax_dse::{DesignSpace, Sweeper};
+//! use fusemax_model::{ConfigKind, ModelParams};
+//!
+//! let space = DesignSpace::new().with_kinds(ConfigKind::all());
+//! let sweeper = Sweeper::new(ModelParams::default());
+//!
+//! // Ground truth, then a guided run at a quarter of the cost.
+//! let exhaustive = sweeper.sweep(&space);
+//! let guided = GeneticSearch::new(7).search(
+//!     &sweeper,
+//!     &space,
+//!     SearchBudget::fraction(&space, 0.25),
+//! );
+//! let recovered = hypervolume_fraction(&guided.frontiers, &exhaustive);
+//! assert!(recovered > 0.5);
+//!
+//! // The guided run reused the exhaustive sweep's evaluations.
+//! assert_eq!(guided.stats.evaluated, 0);
+//! ```
+
+mod annealing;
+mod genetic;
+mod hypervolume;
+mod random;
+mod relax;
+mod strategy;
+
+pub use annealing::SimulatedAnnealing;
+pub use genetic::GeneticSearch;
+pub use hypervolume::{
+    convergence, hypervolume, hypervolume_fraction, reference_point, ConvergenceCurve, HvSample,
+};
+pub use random::RandomSearch;
+pub use relax::Relaxation;
+pub use strategy::{SearchBudget, SearchOutcome, SearchStats, SearchStrategy};

@@ -1,0 +1,173 @@
+//! Continuous-knob relaxation of the ordered hardware axes — array
+//! dimension and buffer capacity — with snap-to-grid evaluation.
+//!
+//! The analytical model only accepts concrete grid values (the
+//! [`DesignSpace`] axes), but simulated annealing wants a *neighborhood*:
+//! "a slightly bigger array", "half the buffer". The relaxation maps both
+//! knobs into log₂-space, where steps are multiplicative (the natural
+//! geometry for power-of-two-ish hardware sizing), lets the walker move
+//! continuously, and snaps each proposal to the nearest grid index for
+//! evaluation. Per the ROADMAP, this is the hook a gradient- or
+//! neighborhood-based strategy needs without teaching the cost model
+//! about non-grid designs.
+
+use crate::space::DesignSpace;
+
+/// The continuous view of a design space's ordered knobs.
+///
+/// # Example
+///
+/// ```
+/// use fusemax_dse::search::Relaxation;
+/// use fusemax_dse::DesignSpace;
+///
+/// let space = DesignSpace::new(); // array dims 16, 32, …, 512
+/// let relax = Relaxation::new(&space);
+/// // 100 is between 64 (2^6) and 128 (2^7), nearer 128 in log space.
+/// assert_eq!(space.array_dims()[relax.snap_dim(100f64.log2())], 128);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Relaxation {
+    dim_log2: Vec<f64>,
+    buf_log2: Vec<f64>,
+}
+
+impl Relaxation {
+    /// Builds the relaxation of `space`'s array-dimension and
+    /// buffer-scale axes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either axis is empty (an empty space has no geometry to
+    /// relax).
+    pub fn new(space: &DesignSpace) -> Self {
+        assert!(
+            !space.array_dims().is_empty() && !space.buffer_scales().is_empty(),
+            "cannot relax an empty axis"
+        );
+        Relaxation {
+            dim_log2: space.array_dims().iter().map(|&d| (d as f64).log2()).collect(),
+            buf_log2: space.buffer_scales().iter().map(|&s| s.log2()).collect(),
+        }
+    }
+
+    /// Inclusive log₂ bounds of the continuous array-dimension knob,
+    /// padded by half an octave so the walker can probe past the grid
+    /// edges (it snaps back).
+    pub fn dim_bounds(&self) -> (f64, f64) {
+        bounds(&self.dim_log2)
+    }
+
+    /// Inclusive log₂ bounds of the continuous buffer knob, padded the
+    /// same way.
+    pub fn buf_bounds(&self) -> (f64, f64) {
+        bounds(&self.buf_log2)
+    }
+
+    /// The grid index whose array dimension is nearest `dim_log2` (in
+    /// log space — i.e. by ratio, not by difference).
+    pub fn snap_dim(&self, dim_log2: f64) -> usize {
+        snap(&self.dim_log2, dim_log2)
+    }
+
+    /// The grid index whose buffer scale is nearest `buf_log2`.
+    pub fn snap_buffer(&self, buf_log2: f64) -> usize {
+        snap(&self.buf_log2, buf_log2)
+    }
+
+    /// The continuous coordinate of grid index `idx` on the dimension
+    /// axis.
+    pub fn dim_log2_of(&self, idx: usize) -> f64 {
+        self.dim_log2[idx]
+    }
+
+    /// The continuous coordinate of grid index `idx` on the buffer axis.
+    pub fn buf_log2_of(&self, idx: usize) -> f64 {
+        self.buf_log2[idx]
+    }
+}
+
+/// Min/max of `values` padded by half an octave on each side.
+fn bounds(values: &[f64]) -> (f64, f64) {
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (lo - 0.5, hi + 0.5)
+}
+
+/// Index of the value nearest `x`; first wins on exact ties, so snapping
+/// is deterministic even on unsorted axes.
+fn snap(values: &[f64], x: f64) -> usize {
+    let mut best = 0;
+    let mut best_dist = f64::INFINITY;
+    for (i, &v) in values.iter().enumerate() {
+        let dist = (v - x).abs();
+        if dist < best_dist {
+            best = i;
+            best_dist = dist;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusemax_model::ConfigKind;
+
+    fn space() -> DesignSpace {
+        DesignSpace::new()
+            .with_array_dims([16, 32, 64, 128, 256, 512])
+            .with_kinds([ConfigKind::FuseMaxBinding])
+            .with_buffer_scales([0.5, 1.0, 2.0])
+    }
+
+    #[test]
+    fn snapping_recovers_grid_points() {
+        let relax = Relaxation::new(&space());
+        for (i, &d) in space().array_dims().iter().enumerate() {
+            assert_eq!(relax.snap_dim((d as f64).log2()), i);
+        }
+        for (i, &s) in space().buffer_scales().iter().enumerate() {
+            assert_eq!(relax.snap_buffer(s.log2()), i);
+        }
+    }
+
+    #[test]
+    fn snapping_picks_the_log_nearest_neighbor() {
+        let relax = Relaxation::new(&space());
+        // 2^5.4 ≈ 42 → nearer 32 (2^5) than 64 (2^6).
+        assert_eq!(relax.snap_dim(5.4), 1);
+        assert_eq!(relax.snap_dim(5.6), 2);
+        // Far out of range clamps to the nearest edge.
+        assert_eq!(relax.snap_dim(-10.0), 0);
+        assert_eq!(relax.snap_dim(99.0), 5);
+    }
+
+    #[test]
+    fn bounds_pad_the_grid_by_half_an_octave() {
+        let relax = Relaxation::new(&space());
+        let (lo, hi) = relax.dim_bounds();
+        assert_eq!(lo, 4.0 - 0.5);
+        assert_eq!(hi, 9.0 + 0.5);
+        let (blo, bhi) = relax.buf_bounds();
+        assert_eq!(blo, -1.5);
+        assert_eq!(bhi, 1.5);
+    }
+
+    #[test]
+    fn roundtrip_through_indices() {
+        let relax = Relaxation::new(&space());
+        for i in 0..6 {
+            assert_eq!(relax.snap_dim(relax.dim_log2_of(i)), i);
+        }
+        for i in 0..3 {
+            assert_eq!(relax.snap_buffer(relax.buf_log2_of(i)), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty axis")]
+    fn empty_axis_panics() {
+        let _ = Relaxation::new(&space().with_array_dims([]));
+    }
+}

@@ -1,0 +1,297 @@
+//! The [`SearchStrategy`] contract and the budgeted evaluation session
+//! every guided strategy drives its exploration through.
+//!
+//! A strategy never talks to the analytical model directly: it proposes
+//! [`AxisIndex`] genomes to a [`Session`], which materializes the design
+//! point, charges the budget, and routes the evaluation through the owning
+//! [`Sweeper`]'s shared [`crate::EvalCache`] — so guided and exhaustive
+//! runs reuse each other's results, and a guided run over an
+//! already-swept space performs zero new model evaluations.
+
+use crate::cache::PointKey;
+use crate::space::{AxisIndex, DesignSpace};
+use crate::sweep::{group_index, Evaluation, FrontierGroup, Sweeper};
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How much exploration a guided run may spend.
+///
+/// The budget counts **distinct design points requested** — whether the
+/// shared cache already held them or the analytical model had to run.
+/// Re-requesting a point the run has already seen is free (strategies
+/// revisit neighborhoods constantly; charging them would punish the
+/// search shape rather than the work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchBudget {
+    /// Maximum number of distinct design points the run may request.
+    pub evaluations: usize,
+}
+
+impl SearchBudget {
+    /// A budget of `n` distinct evaluations.
+    pub fn evaluations(n: usize) -> Self {
+        SearchBudget { evaluations: n }
+    }
+
+    /// A budget covering `fraction` of `space` (rounded up, at least 1) —
+    /// the acceptance suite's "25% of the exhaustive sweep" is
+    /// `SearchBudget::fraction(&space, 0.25)`.
+    pub fn fraction(space: &DesignSpace, fraction: f64) -> Self {
+        let n = (space.len() as f64 * fraction).ceil().max(1.0) as usize;
+        SearchBudget { evaluations: n }
+    }
+}
+
+/// Bookkeeping of one guided run.
+#[derive(Debug, Clone, Default)]
+pub struct SearchStats {
+    /// Distinct design points requested (charged against the budget).
+    pub requested: usize,
+    /// Fresh analytical-model evaluations (shared-cache misses).
+    pub evaluated: usize,
+    /// Requests served by the shared [`crate::EvalCache`] without running
+    /// the model — e.g. everything, after an exhaustive sweep warmed it.
+    pub cache_hits: usize,
+    /// Repeat requests for points this run had already seen (free).
+    pub revisits: usize,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+/// Everything a guided run returns: the evaluations in request order, the
+/// per-`(workload, seq_len)` Pareto frontiers, and the stats.
+#[derive(Debug)]
+pub struct SearchOutcome {
+    /// Which strategy produced this outcome.
+    pub strategy: String,
+    /// One evaluation per distinct requested point, in request order — so
+    /// the prefix of length `k` is exactly what the strategy knew after
+    /// spending `k` evaluations (the convergence harness relies on this).
+    pub evaluations: Vec<Arc<Evaluation>>,
+    /// Per-`(workload, seq_len)` Pareto frontiers, in first-seen order.
+    pub frontiers: Vec<FrontierGroup>,
+    /// Run bookkeeping.
+    pub stats: SearchStats,
+}
+
+impl SearchOutcome {
+    /// The frontier of one workload/length group, if the run touched it.
+    pub fn frontier_for(&self, model: &str, seq_len: usize) -> Option<&FrontierGroup> {
+        self.frontiers.iter().find(|g| g.model == model && g.seq_len == seq_len)
+    }
+
+    /// The union of all group frontiers.
+    pub fn frontier_points(&self) -> Vec<&Arc<Evaluation>> {
+        self.frontiers.iter().flat_map(|g| g.frontier.points()).collect()
+    }
+}
+
+/// A guided exploration policy over a [`DesignSpace`].
+///
+/// Implementations are deterministic functions of their configuration
+/// (including the seed): calling [`SearchStrategy::search`] twice with the
+/// same sweeper state, space, and budget produces identical outcomes.
+pub trait SearchStrategy {
+    /// Short strategy name for reports (`"random"`, `"genetic"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Explores `space` through `sweeper` until `budget` is spent (or the
+    /// strategy converges), returning the evaluations and frontiers found.
+    fn search(&self, sweeper: &Sweeper, space: &DesignSpace, budget: SearchBudget)
+        -> SearchOutcome;
+}
+
+/// The budgeted evaluation session shared by every strategy: deduplicates
+/// requests, charges the budget, maintains running frontiers, and splits
+/// shared-cache reuse from fresh model evaluations in the stats.
+pub(crate) struct Session<'a> {
+    sweeper: &'a Sweeper,
+    space: &'a DesignSpace,
+    budget: usize,
+    seen: HashMap<PointKey, Arc<Evaluation>>,
+    evaluations: Vec<Arc<Evaluation>>,
+    frontiers: Vec<FrontierGroup>,
+    stats: SearchStats,
+    start: Instant,
+}
+
+impl<'a> Session<'a> {
+    /// Opens a session. The effective budget is clamped to the space size
+    /// (a space can never yield more distinct points than it holds).
+    pub(crate) fn new(sweeper: &'a Sweeper, space: &'a DesignSpace, budget: SearchBudget) -> Self {
+        Session {
+            sweeper,
+            space,
+            budget: budget.evaluations.min(space.len()),
+            seen: HashMap::new(),
+            evaluations: Vec::new(),
+            frontiers: Vec::new(),
+            stats: SearchStats::default(),
+            start: Instant::now(),
+        }
+    }
+
+    /// `true` once the budget is spent: further *new* points are refused.
+    pub(crate) fn exhausted(&self) -> bool {
+        self.stats.requested >= self.budget
+    }
+
+    /// Distinct evaluations still affordable.
+    pub(crate) fn remaining(&self) -> usize {
+        self.budget - self.stats.requested
+    }
+
+    /// Distinct evaluations charged so far.
+    pub(crate) fn requested(&self) -> usize {
+        self.stats.requested
+    }
+
+    /// Evaluates the design point addressed by `genome`. Revisits are free
+    /// and always served; a new point is evaluated through the shared
+    /// cache and charged against the budget. Returns `None` when the
+    /// budget is exhausted (the strategy should stop or revisit).
+    pub(crate) fn evaluate(&mut self, genome: AxisIndex) -> Option<Arc<Evaluation>> {
+        let point = self.space.point_at(genome);
+        let key = PointKey::of(&point);
+        if let Some(known) = self.seen.get(&key) {
+            self.stats.revisits += 1;
+            return Some(Arc::clone(known));
+        }
+        if self.exhausted() {
+            return None;
+        }
+        let fresh = !self.sweeper.cache().contains(&key);
+        let evaluation = self.sweeper.evaluate(&point);
+        self.stats.requested += 1;
+        if fresh {
+            self.stats.evaluated += 1;
+        } else {
+            self.stats.cache_hits += 1;
+        }
+        self.seen.insert(key, Arc::clone(&evaluation));
+        let group = group_index(&mut self.frontiers, &evaluation.point);
+        self.frontiers[group].frontier.insert(Arc::clone(&evaluation));
+        self.evaluations.push(Arc::clone(&evaluation));
+        Some(evaluation)
+    }
+
+    /// Closes the session into an outcome.
+    pub(crate) fn finish(mut self, strategy: &str) -> SearchOutcome {
+        self.stats.elapsed = self.start.elapsed();
+        SearchOutcome {
+            strategy: strategy.to_string(),
+            evaluations: self.evaluations,
+            frontiers: self.frontiers,
+            stats: self.stats,
+        }
+    }
+}
+
+/// A uniformly random genome over the space's axis cardinalities.
+pub(crate) fn random_genome(rng: &mut impl Rng, lens: &AxisIndex) -> AxisIndex {
+    let mut genome = [0usize; 6];
+    for (slot, &n) in genome.iter_mut().zip(lens.iter()) {
+        *slot = rng.gen_range(0..n);
+    }
+    genome
+}
+
+/// A weighted log-scalarization of a (positive) objective vector:
+/// `Σ wᵢ·ln(objᵢ)`. Monotone per objective, scale-free across objectives
+/// (halving latency is worth the same wherever it happens), so it makes a
+/// stable annealing energy and a reasonable rank tie-break.
+pub(crate) fn weighted_log_cost(objectives: &[f64; 3], weights: &[f64; 3]) -> f64 {
+    objectives.iter().zip(weights.iter()).map(|(o, w)| w * o.max(f64::MIN_POSITIVE).ln()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusemax_model::{ConfigKind, ModelParams};
+    use fusemax_workloads::TransformerConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> DesignSpace {
+        DesignSpace::new()
+            .with_array_dims([64, 128, 256])
+            .with_kinds([ConfigKind::Flat, ConfigKind::FuseMaxBinding])
+            .with_workloads([TransformerConfig::bert()])
+            .with_seq_lens([1 << 14])
+    }
+
+    #[test]
+    fn budget_fraction_rounds_up() {
+        let s = space();
+        assert_eq!(SearchBudget::fraction(&s, 0.25).evaluations, 2);
+        assert_eq!(SearchBudget::fraction(&s, 1e-9).evaluations, 1);
+        assert_eq!(SearchBudget::fraction(&s, 1.0).evaluations, 6);
+    }
+
+    #[test]
+    fn session_charges_distinct_points_only() {
+        let sweeper = Sweeper::new(ModelParams::default());
+        let s = space();
+        let mut session = Session::new(&sweeper, &s, SearchBudget::evaluations(3));
+        assert!(session.evaluate([0, 0, 0, 0, 0, 0]).is_some());
+        assert!(session.evaluate([0, 0, 0, 0, 0, 0]).is_some(), "revisits are free");
+        assert!(session.evaluate([0, 0, 1, 1, 0, 0]).is_some());
+        assert!(session.evaluate([0, 0, 1, 2, 0, 0]).is_some());
+        assert!(session.exhausted());
+        assert!(session.evaluate([0, 0, 0, 1, 0, 0]).is_none(), "budget refuses new points");
+        assert!(session.evaluate([0, 0, 0, 0, 0, 0]).is_some(), "revisits still served");
+        let outcome = session.finish("test");
+        assert_eq!(outcome.stats.requested, 3);
+        assert_eq!(outcome.stats.evaluated, 3);
+        assert_eq!(outcome.stats.revisits, 2);
+        assert_eq!(outcome.evaluations.len(), 3);
+        assert_eq!(outcome.frontiers.len(), 1);
+    }
+
+    #[test]
+    fn session_reuses_a_warm_shared_cache() {
+        let sweeper = Sweeper::new(ModelParams::default());
+        let s = space();
+        sweeper.sweep(&s);
+        let mut session = Session::new(&sweeper, &s, SearchBudget::evaluations(6));
+        for ki in 0..2 {
+            for di in 0..3 {
+                session.evaluate([0, 0, ki, di, 0, 0]);
+            }
+        }
+        let outcome = session.finish("test");
+        assert_eq!(outcome.stats.requested, 6);
+        assert_eq!(outcome.stats.evaluated, 0, "everything must come from the shared cache");
+        assert_eq!(outcome.stats.cache_hits, 6);
+    }
+
+    #[test]
+    fn budget_is_clamped_to_the_space() {
+        let sweeper = Sweeper::new(ModelParams::default());
+        let s = space();
+        let session = Session::new(&sweeper, &s, SearchBudget::evaluations(1_000_000));
+        assert_eq!(session.remaining(), 6);
+    }
+
+    #[test]
+    fn random_genomes_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let lens = space().axis_lens();
+        for _ in 0..200 {
+            let g = random_genome(&mut rng, &lens);
+            for (i, &v) in g.iter().enumerate() {
+                assert!(v < lens[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn log_cost_is_monotone_and_weighted() {
+        let w = [1.0, 1.0, 1.0];
+        assert!(weighted_log_cost(&[1.0, 2.0, 3.0], &w) < weighted_log_cost(&[1.0, 2.0, 4.0], &w));
+        let latency_only = [0.0, 1.0, 0.0];
+        assert_eq!(weighted_log_cost(&[9.0, 1.0, 9.0], &latency_only), 0.0);
+    }
+}

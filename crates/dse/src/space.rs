@@ -5,6 +5,14 @@ use fusemax_arch::ArchConfig;
 use fusemax_model::ConfigKind;
 use fusemax_workloads::TransformerConfig;
 
+/// A design point addressed by per-axis indices, in enumeration order:
+/// `[workload, seq_len, kind, array_dim, frequency, buffer_scale]`.
+///
+/// This is the genome representation of the guided search strategies in
+/// [`crate::search`]: crossover and mutation act on these indices, and
+/// [`DesignSpace::point_at`] materializes the concrete [`DesignPoint`].
+pub type AxisIndex = [usize; 6];
+
 /// One fully-specified candidate design: an architecture, the dataflow
 /// configuration running on it, and the workload it is evaluated against.
 #[derive(Debug, Clone, PartialEq)]
@@ -139,6 +147,77 @@ impl DesignSpace {
         self
     }
 
+    /// The array-dimension axis values.
+    pub fn array_dims(&self) -> &[usize] {
+        &self.array_dims
+    }
+
+    /// The configuration axis values.
+    pub fn kinds(&self) -> &[ConfigKind] {
+        &self.kinds
+    }
+
+    /// The workload axis values.
+    pub fn workloads(&self) -> &[TransformerConfig] {
+        &self.workloads
+    }
+
+    /// The sequence-length axis values.
+    pub fn seq_lens(&self) -> &[usize] {
+        &self.seq_lens
+    }
+
+    /// The clock-frequency axis values.
+    pub fn frequencies_hz(&self) -> &[Option<f64>] {
+        &self.frequencies_hz
+    }
+
+    /// The buffer-scale axis values.
+    pub fn buffer_scales(&self) -> &[f64] {
+        &self.buffer_scales
+    }
+
+    /// Per-axis cardinalities in [`AxisIndex`] order: workloads, sequence
+    /// lengths, kinds, array dimensions, frequencies, buffer scales.
+    pub fn axis_lens(&self) -> AxisIndex {
+        [
+            self.workloads.len(),
+            self.seq_lens.len(),
+            self.kinds.len(),
+            self.array_dims.len(),
+            self.frequencies_hz.len(),
+            self.buffer_scales.len(),
+        ]
+    }
+
+    /// Materializes the design point addressed by per-axis indices — the
+    /// random-access counterpart of [`DesignSpace::points`] the guided
+    /// search strategies use (a genome *is* an [`AxisIndex`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range for its axis.
+    pub fn point_at(&self, index: AxisIndex) -> DesignPoint {
+        let [wi, si, ki, di, fi, bi] = index;
+        let workload = &self.workloads[wi];
+        let seq_len = self.seq_lens[si];
+        let kind = self.kinds[ki];
+        let n = self.array_dims[di];
+        let freq = self.frequencies_hz[fi];
+        let buf_scale = self.buffer_scales[bi];
+
+        let mut arch = arch_for(kind, n);
+        if let Some(hz) = freq {
+            arch.frequency_hz = hz;
+            arch.name = format!("{}@{:.0}MHz", arch.name, hz / 1e6);
+        }
+        if buf_scale != 1.0 {
+            arch.global_buffer_bytes = (arch.global_buffer_bytes as f64 * buf_scale).ceil() as u64;
+            arch.name = format!("{}-buf{buf_scale:.2}x", arch.name);
+        }
+        DesignPoint { arch, kind, workload: workload.clone(), seq_len, array_dim: n }
+    }
+
     /// Number of candidate points the space enumerates.
     pub fn len(&self) -> usize {
         self.array_dims.len()
@@ -156,32 +235,18 @@ impl DesignSpace {
 
     /// Enumerates every point, workload-major then sequence length, kind,
     /// array dimension, frequency, buffer scale — a stable order the cache
-    /// and the serial/parallel equivalence tests rely on.
+    /// and the serial/parallel equivalence tests rely on. Each point is
+    /// exactly what [`DesignSpace::point_at`] returns for its index.
     pub fn points(&self) -> Vec<DesignPoint> {
         let mut out = Vec::with_capacity(self.len());
-        for workload in &self.workloads {
-            for &seq_len in &self.seq_lens {
-                for &kind in &self.kinds {
-                    for &n in &self.array_dims {
-                        for &freq in &self.frequencies_hz {
-                            for &buf_scale in &self.buffer_scales {
-                                let mut arch = arch_for(kind, n);
-                                if let Some(hz) = freq {
-                                    arch.frequency_hz = hz;
-                                    arch.name = format!("{}@{:.0}MHz", arch.name, hz / 1e6);
-                                }
-                                if buf_scale != 1.0 {
-                                    arch.global_buffer_bytes =
-                                        (arch.global_buffer_bytes as f64 * buf_scale).ceil() as u64;
-                                    arch.name = format!("{}-buf{buf_scale:.2}x", arch.name);
-                                }
-                                out.push(DesignPoint {
-                                    arch,
-                                    kind,
-                                    workload: workload.clone(),
-                                    seq_len,
-                                    array_dim: n,
-                                });
+        let [nw, ns, nk, nd, nf, nb] = self.axis_lens();
+        for wi in 0..nw {
+            for si in 0..ns {
+                for ki in 0..nk {
+                    for di in 0..nd {
+                        for fi in 0..nf {
+                            for bi in 0..nb {
+                                out.push(self.point_at([wi, si, ki, di, fi, bi]));
                             }
                         }
                     }
@@ -251,6 +316,52 @@ mod tests {
     fn enumeration_order_is_stable() {
         let space = DesignSpace::new();
         assert_eq!(space.points(), space.points());
+    }
+
+    #[test]
+    fn point_at_agrees_with_enumeration() {
+        let space = DesignSpace::new()
+            .with_array_dims([32, 128])
+            .with_kinds([ConfigKind::Flat, ConfigKind::FuseMaxBinding])
+            .with_seq_lens([1 << 12, 1 << 16])
+            .with_frequencies_hz([None, Some(470e6)])
+            .with_buffer_scales([0.5, 1.0]);
+        let pts = space.points();
+        let [nw, ns, nk, nd, nf, nb] = space.axis_lens();
+        let mut i = 0;
+        for wi in 0..nw {
+            for si in 0..ns {
+                for ki in 0..nk {
+                    for di in 0..nd {
+                        for fi in 0..nf {
+                            for bi in 0..nb {
+                                assert_eq!(space.point_at([wi, si, ki, di, fi, bi]), pts[i]);
+                                i += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(i, space.len());
+    }
+
+    #[test]
+    fn axis_accessors_expose_the_knobs() {
+        let space = DesignSpace::new().with_array_dims([64]).with_buffer_scales([2.0]);
+        assert_eq!(space.array_dims(), &[64]);
+        assert_eq!(space.buffer_scales(), &[2.0]);
+        assert_eq!(space.kinds(), &[ConfigKind::FuseMaxBinding]);
+        assert_eq!(space.seq_lens(), &[1 << 18]);
+        assert_eq!(space.frequencies_hz(), &[None]);
+        assert_eq!(space.workloads().len(), 4);
+        assert_eq!(space.axis_lens(), [4, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn point_at_rejects_out_of_range_indices() {
+        let _ = DesignSpace::new().point_at([0, 0, 0, 99, 0, 0]);
     }
 
     #[test]

@@ -207,6 +207,28 @@ impl Sweeper {
         &self.cache
     }
 
+    /// Persists the evaluation cache to `path` (see [`crate::cache_json`]
+    /// — sorted, bit-exact JSON), making figure regeneration free across
+    /// *processes*, not just within one.
+    pub fn save_cache(&self, path: impl AsRef<std::path::Path>) -> Result<(), crate::PersistError> {
+        crate::json::save_cache_file(&self.cache, path.as_ref())
+    }
+
+    /// Loads a cache file previously written by [`Sweeper::save_cache`]
+    /// into this sweeper's cache, returning how many entries were
+    /// absorbed.
+    ///
+    /// The caller is responsible for pairing a cache file with the
+    /// [`ModelParams`] that produced it — the file stores design-point
+    /// keys, and a sweeper trusts its cache blindly (exactly as it trusts
+    /// its in-memory entries).
+    pub fn load_cache(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<usize, crate::PersistError> {
+        crate::json::load_cache_file(&self.cache, path.as_ref())
+    }
+
     /// Evaluates one point through the analytical model, bypassing the
     /// cache. Pure: identical inputs give identical outputs.
     fn compute(&self, point: &DesignPoint) -> Evaluation {
@@ -247,7 +269,10 @@ impl Sweeper {
     ///   array), the configuration's compulsory 1D softmax ops, and its
     ///   compulsory DRAM traffic (the unfused baseline *must* spill `QK`
     ///   and `A` between phases — 4 bytes per iteration-space point on top
-    ///   of the Q/K/V/AV reads);
+    ///   of the Q/K/V/AV reads; FLAT *must* pay its buffer solver's
+    ///   regime-aware traffic — re-streamed `K`/`V` or spilled fibers —
+    ///   once the sequence no longer fits on chip, via
+    ///   [`fusemax_model::flat_dram_floor_per_head`]);
     /// * **energy** — the same compulsory op and traffic counts priced by
     ///   the energy table.
     ///
@@ -276,7 +301,16 @@ impl Sweeper {
             // of them a division. Unfused additionally writes+reads QK and
             // A between phases.
             Unfused => (maccs, (baseline_ops - 1.0) * pts, pts, 4.0 * word * pts),
-            Flat => (maccs, (baseline_ops - 1.0) * pts, pts, 0.0),
+            // FLAT's buffer solver is closed-form, so its regime-aware
+            // DRAM charge (K/V re-streams or fiber spills past the
+            // resident regime) is itself a computable floor — much tighter
+            // than compulsory traffic alone at long sequence lengths.
+            Flat => {
+                let solver_bytes = work.batch_heads
+                    * fusemax_model::flat_dram_floor_per_head(&work, arch, &self.params);
+                let restream_bytes = (solver_bytes - io_bytes).max(0.0);
+                (maccs, (baseline_ops - 1.0) * pts, pts, restream_bytes)
+            }
             // 1-pass cascade on FLAT PEs: ≥ LM+SLN+SLD per point on the 1D
             // array, divisions deferred to F per query.
             FuseMaxCascade => (maccs, 3.0 * pts, work.batch_heads * work.f * work.l, 0.0),
@@ -430,7 +464,7 @@ impl Sweeper {
 }
 
 /// Finds or creates the frontier group of `point`'s `(workload, seq_len)`.
-fn group_index(frontiers: &mut Vec<FrontierGroup>, point: &DesignPoint) -> usize {
+pub(crate) fn group_index(frontiers: &mut Vec<FrontierGroup>, point: &DesignPoint) -> usize {
     let model = point.workload.name;
     match frontiers.iter().position(|g| g.model == model && g.seq_len == point.seq_len) {
         Some(i) => i,
@@ -458,9 +492,10 @@ fn group_frontiers(evaluations: impl Iterator<Item = Arc<Evaluation>>) -> Vec<Fr
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::space::DesignSpace;
+    use crate::space::{arch_for, DesignSpace};
     use fusemax_model::ConfigKind;
     use fusemax_workloads::TransformerConfig;
+    use proptest::prelude::*;
 
     fn small_space() -> DesignSpace {
         DesignSpace::new()
@@ -585,6 +620,88 @@ mod tests {
         // Asking for more than the frontier holds returns everything once.
         let all = outcome.top_k(usize::MAX);
         assert_eq!(all.len(), outcome.frontier_points().len());
+    }
+
+    #[test]
+    fn flat_lower_bound_is_tight_in_the_restream_regime() {
+        // At 1M tokens FLAT is memory bound, and the bound's DRAM floor is
+        // the buffer solver's exact regime-aware charge — so the latency
+        // and energy floors essentially coincide with the evaluated cost.
+        let sweeper = Sweeper::new(ModelParams::default());
+        let point = DesignPoint {
+            arch: arch_for(ConfigKind::Flat, 256),
+            kind: ConfigKind::Flat,
+            workload: TransformerConfig::bert(),
+            seq_len: 1 << 20,
+            array_dim: 256,
+        };
+        let evaluation = sweeper.evaluate(&point);
+        let lb = sweeper.lower_bound(&point);
+        assert!(lb[1] <= evaluation.latency_s * (1.0 + 1e-12));
+        assert!(lb[2] <= evaluation.energy_j * (1.0 + 1e-12));
+        assert!(lb[1] / evaluation.latency_s > 0.99, "latency floor is loose");
+        assert!(lb[2] / evaluation.energy_j > 0.99, "energy floor is loose");
+    }
+
+    #[test]
+    fn tight_flat_bound_prunes_long_sequence_flat_points() {
+        // The ROADMAP item: dominance pruning must now skip long-sequence
+        // FLAT candidates too, not only compulsory-traffic-bounded ones.
+        let space = DesignSpace::new()
+            .with_array_dims([16, 32, 64, 128, 256, 512])
+            .with_kinds([ConfigKind::Flat, ConfigKind::FuseMaxBinding])
+            .with_workloads([TransformerConfig::bert()])
+            .with_seq_lens([1 << 20]);
+        let pruned = Sweeper::new(ModelParams::default()).sweep_pruned(&space);
+        let flat_pruned = pruned.stats.pruned;
+        assert!(flat_pruned > 0, "no long-sequence FLAT candidate was pruned");
+        // And pruning still reproduces the exhaustive frontier.
+        let full = Sweeper::new(ModelParams::default()).sweep(&space);
+        for group in &full.frontiers {
+            let other = pruned.frontier_for(&group.model, group.seq_len).unwrap();
+            assert_eq!(group.frontier.len(), other.frontier.len());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Property: the optimistic bound never exceeds the true evaluated
+        /// cost — over random array dims (powers of two and not), kinds,
+        /// workloads, sequence lengths, buffer scales, and frequencies.
+        /// This is the soundness contract `sweep_pruned` relies on.
+        #[test]
+        fn lower_bound_never_exceeds_true_cost(
+            dim in 16usize..512,
+            kind_idx in 0usize..5,
+            workload_idx in 0usize..4,
+            seq_exp in 10u32..21,
+            buf_scale in 0.25f64..4.0,
+            freq_choice in 0usize..3,
+        ) {
+            let kind = ConfigKind::all()[kind_idx];
+            let workload = TransformerConfig::all()[workload_idx].clone();
+            let mut arch = arch_for(kind, dim);
+            arch.global_buffer_bytes =
+                (arch.global_buffer_bytes as f64 * buf_scale).ceil() as u64;
+            if let Some(hz) = [None, Some(470e6), Some(1.2e9)][freq_choice] {
+                arch.frequency_hz = hz;
+            }
+            let point = DesignPoint {
+                arch,
+                kind,
+                workload,
+                seq_len: 1usize << seq_exp,
+                array_dim: dim,
+            };
+            let sweeper = Sweeper::new(ModelParams::default());
+            let evaluation = sweeper.evaluate(&point);
+            let lb = sweeper.lower_bound(&point);
+            let [area, latency, energy] = evaluation.objectives();
+            prop_assert!(area >= lb[0] * (1.0 - 1e-12), "area {} < {}", area, lb[0]);
+            prop_assert!(latency >= lb[1] * (1.0 - 1e-12), "latency {} < {}", latency, lb[1]);
+            prop_assert!(energy >= lb[2] * (1.0 - 1e-12), "energy {} < {}", energy, lb[2]);
+        }
     }
 
     #[test]

@@ -71,6 +71,17 @@ pub(crate) fn solve(work: &AttnWork, m: &Machine, params: &ModelParams) -> FlatP
     }
 }
 
+/// The DRAM bytes per attention head FLAT's buffer solver charges on
+/// `arch` — exactly the regime-aware minimum of the resident, re-stream,
+/// and spill strategies computed by the module-level solver.
+///
+/// Exposed so search lower bounds (`fusemax_dse::Sweeper::lower_bound`)
+/// can use the true re-streaming floor for long sequences instead of the
+/// loose compulsory-traffic floor, without running the full model.
+pub fn flat_dram_floor_per_head(work: &AttnWork, arch: &ArchConfig, params: &ModelParams) -> f64 {
+    solve(work, &Machine::of(arch), params).dram_per_head
+}
+
 /// Models one layer of attention on FLAT.
 pub(crate) fn model(work: &AttnWork, arch: &ArchConfig, params: &ModelParams) -> AttentionReport {
     let m = Machine::of(arch);
@@ -193,6 +204,19 @@ mod tests {
         let xlm_work = AttnWork::from_workload(&TransformerConfig::xlm(), 1 << 12);
         let xlm = model(&xlm_work, &ArchConfig::flat_cloud(), &ModelParams::default());
         assert!(xlm.util_2d() > 1.9 * bert.util_2d());
+    }
+
+    #[test]
+    fn dram_floor_matches_the_model_exactly() {
+        // The exported floor is the model's own DRAM charge, per head, in
+        // every regime — resident, re-stream, and spill.
+        for l in [1 << 12, 1 << 16, 1 << 18, 1 << 20] {
+            let wk = work(l);
+            let r = report(l);
+            let floor =
+                flat_dram_floor_per_head(&wk, &ArchConfig::flat_cloud(), &ModelParams::default());
+            assert!((floor * wk.batch_heads - r.dram_bytes).abs() < 1.0, "L = {l}");
+        }
     }
 
     #[test]

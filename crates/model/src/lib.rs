@@ -56,6 +56,7 @@ mod unfused;
 
 pub use config::ConfigKind;
 pub use e2e::{e2e_report, E2eReport};
+pub use flat::flat_dram_floor_per_head;
 pub use linear::{layer_gemms, linear_report, LinearReport};
 pub use mapper::{search_gemm_mapping, GemmMapping, GemmProblem};
 pub use params::ModelParams;

@@ -3,17 +3,61 @@
 //! area/latency/energy Pareto frontiers, demonstrate pruning and the
 //! evaluation cache, and replay the winners on the spatial simulator.
 //!
-//! Run with `cargo run --example design_space`.
+//! Run with `cargo run --example design_space`. Pass
+//! `--cache-file <path>` (or set `FUSEMAX_DSE_CACHE`) to persist the
+//! evaluation cache across runs — the second invocation regenerates every
+//! figure without a single model evaluation.
 
 use fusemax::arch::{ArchConfig, AreaModel};
-use fusemax::dse::{frontier_json, validate_top_k, DesignSpace, Sweeper, ARRAY_DIMS};
+use fusemax::dse::{
+    frontier_json, frontiers_only_json, validate_top_k, DesignSpace, Sweeper, ARRAY_DIMS,
+};
 use fusemax::eval::fig12;
 use fusemax::model::{ConfigKind, ModelParams};
 use std::error::Error;
+use std::path::PathBuf;
+
+/// `--cache-file <path>` from argv, falling back to `FUSEMAX_DSE_CACHE`.
+fn cache_file_arg() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--cache-file" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(path) = arg.strip_prefix("--cache-file=") {
+            return Some(PathBuf::from(path));
+        }
+    }
+    std::env::var_os("FUSEMAX_DSE_CACHE").map(PathBuf::from)
+}
 
 fn main() -> Result<(), Box<dyn Error>> {
-    // --- 1. The classic Fig 12 view, now a slice of the DSE sweep. ---
+    // --- 0. Warm the cache from disk if a cache file was given. ---
     let params = ModelParams::default();
+    let sweeper = Sweeper::new(params.clone());
+    let cache_file = cache_file_arg();
+    if let Some(path) = &cache_file {
+        match sweeper.load_cache(path) {
+            Ok(n) => println!("Loaded {n} cached evaluations from {}.\n", path.display()),
+            // A missing file is the expected first run; any other I/O
+            // error (permissions, bad path) would also sink the save at
+            // exit, so fail fast instead of sweeping for nothing.
+            Err(fusemax::dse::PersistError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                println!("No cache at {} yet; it will be written on exit.\n", path.display())
+            }
+            Err(e @ fusemax::dse::PersistError::Io(_)) => return Err(Box::new(e)),
+            // A corrupt file is a cold start, not a fatal error — it gets
+            // overwritten with a fresh cache on exit.
+            Err(fusemax::dse::PersistError::Parse(msg)) => {
+                println!(
+                    "Ignoring unreadable cache at {} ({msg}); starting cold.\n",
+                    path.display()
+                )
+            }
+        }
+    }
+
+    // --- 1. The classic Fig 12 view, now a slice of the DSE sweep. ---
     let curves = fig12::fig12(&params);
     print!("{}", fig12::render(&curves));
 
@@ -37,7 +81,6 @@ fn main() -> Result<(), Box<dyn Error>> {
         .with_seq_lens([1 << 16, 1 << 18]);
     println!("\nSweeping {} candidate designs (rayon-parallel)...", space.len());
 
-    let sweeper = Sweeper::new(params.clone());
     let outcome = sweeper.sweep(&space);
     println!(
         "evaluated {} points in {:.2?} ({:.0} points/s); {} Pareto-optimal survive",
@@ -83,13 +126,30 @@ fn main() -> Result<(), Box<dyn Error>> {
         println!("  {validation}");
     }
 
-    // --- 6. Export the frontier for plotting / bench trajectories. ---
+    // --- 6. Export the frontiers for plotting / bench trajectories, and
+    //        the deterministic Fig 12 frontier CI diffs against the
+    //        checked-in golden (tests/golden/fig12_frontier.json). ---
     let json = frontier_json(&outcome);
     let path = std::path::Path::new("target").join("dse_frontier.json");
     if std::fs::create_dir_all("target").and_then(|_| std::fs::write(&path, &json)).is_ok() {
         println!("\nFrontier JSON ({} bytes) written to {}.", json.len(), path.display());
     } else {
         println!("\nFrontier JSON ({} bytes) follows:\n{json}", json.len());
+    }
+    let fig12_json = frontiers_only_json(&sweeper.sweep(&DesignSpace::new()));
+    let fig12_path = std::path::Path::new("target").join("fig12_frontier.json");
+    if std::fs::write(&fig12_path, &fig12_json).is_ok() {
+        println!("Fig 12 golden frontier written to {}.", fig12_path.display());
+    }
+
+    // --- 7. Persist the cache so the next run is free. ---
+    if let Some(path) = &cache_file {
+        sweeper.save_cache(path)?;
+        println!(
+            "Cache ({} evaluations) saved to {}; rerun with the same flag for a free pass.",
+            sweeper.cache().len(),
+            path.display()
+        );
     }
     Ok(())
 }

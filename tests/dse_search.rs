@@ -1,0 +1,252 @@
+//! Acceptance suite for the guided design-space search subsystem: every
+//! strategy is deterministic given a seed, shares the exhaustive sweep's
+//! [`EvalCache`] (a guided run after a full sweep performs **zero** new
+//! model evaluations), and recovers ≥90% of the exhaustive Pareto
+//! hypervolume on the Fig 12 space within a 25% evaluation budget.
+//!
+//! Set `FUSEMAX_DSE_CACHE=<path>` to persist the suite's evaluations
+//! across test processes (the cache-on-disk ROADMAP item): the first run
+//! writes the file, later runs start warm.
+
+use fusemax::dse::search::{
+    convergence, hypervolume_fraction, GeneticSearch, RandomSearch, SearchBudget, SearchStrategy,
+    SimulatedAnnealing,
+};
+use fusemax::dse::{DesignSpace, EvalCache, Sweeper};
+use fusemax::model::{ConfigKind, ModelParams};
+use fusemax::workloads::TransformerConfig;
+
+/// The Fig 12 acceptance space: the paper's six array dimensions at 256K
+/// tokens, widened with the full configuration axis and the
+/// frequency/buffer knobs so a guided search has real decisions to make.
+/// 6 dims × 5 kinds × 2 frequencies × 3 buffer scales = 180 candidates,
+/// one `(BERT, 256K)` frontier group.
+fn fig12_space() -> DesignSpace {
+    DesignSpace::new()
+        .with_kinds(ConfigKind::all())
+        .with_workloads([TransformerConfig::bert()])
+        .with_frequencies_hz([None, Some(470e6)])
+        .with_buffer_scales([0.5, 1.0, 2.0])
+}
+
+/// A multi-group space (2 workloads × 2 lengths) for the group-handling
+/// tests.
+fn multi_group_space() -> DesignSpace {
+    DesignSpace::new()
+        .with_kinds([
+            ConfigKind::Unfused,
+            ConfigKind::Flat,
+            ConfigKind::FuseMaxArch,
+            ConfigKind::FuseMaxBinding,
+        ])
+        .with_workloads([TransformerConfig::bert(), TransformerConfig::xlm()])
+        .with_seq_lens([1 << 14, 1 << 18])
+}
+
+/// A sweeper warmed from `FUSEMAX_DSE_CACHE` when the env var names a
+/// cache file (see the module docs).
+fn sweeper() -> Sweeper {
+    let sweeper = Sweeper::new(ModelParams::default());
+    if let Some(path) = std::env::var_os("FUSEMAX_DSE_CACHE") {
+        let _ = sweeper.load_cache(std::path::Path::new(&path));
+    }
+    sweeper
+}
+
+/// The three strategies under test, seeded identically.
+fn strategies(seed: u64) -> Vec<Box<dyn SearchStrategy>> {
+    vec![
+        Box::new(RandomSearch::new(seed)),
+        Box::new(GeneticSearch::new(seed)),
+        Box::new(SimulatedAnnealing::new(seed)),
+    ]
+}
+
+#[test]
+fn every_strategy_recovers_90pct_hypervolume_at_quarter_budget() {
+    let space = fig12_space();
+    let sweeper = sweeper();
+    let exhaustive = sweeper.sweep(&space);
+    let budget = SearchBudget::fraction(&space, 0.25);
+    assert_eq!(budget.evaluations, 45);
+
+    for strategy in strategies(7) {
+        // Fresh sweeper per strategy: no help from the exhaustive cache,
+        // the budget is all the strategy gets.
+        let cold = Sweeper::new(ModelParams::default());
+        let outcome = strategy.search(&cold, &space, budget);
+        assert!(outcome.stats.requested <= budget.evaluations, "{} overspent", strategy.name());
+        assert_eq!(
+            outcome.stats.evaluated,
+            outcome.stats.requested,
+            "{} had no cache to draw from",
+            strategy.name()
+        );
+        let fraction = hypervolume_fraction(&outcome.frontiers, &exhaustive);
+        assert!(
+            fraction >= 0.90,
+            "{} recovered only {:.1}% of the exhaustive hypervolume with {} evaluations",
+            strategy.name(),
+            fraction * 100.0,
+            outcome.stats.requested
+        );
+    }
+
+    if let Some(path) = std::env::var_os("FUSEMAX_DSE_CACHE") {
+        let _ = sweeper.save_cache(std::path::Path::new(&path));
+    }
+}
+
+#[test]
+fn guided_run_after_a_full_sweep_performs_zero_new_evaluations() {
+    let space = fig12_space();
+    let sweeper = sweeper();
+    sweeper.sweep(&space);
+    let cached = sweeper.cache().len();
+
+    for strategy in strategies(3) {
+        let outcome = strategy.search(&sweeper, &space, SearchBudget::fraction(&space, 0.25));
+        assert!(outcome.stats.requested > 0);
+        assert_eq!(
+            outcome.stats.evaluated,
+            0,
+            "{} re-ran the model despite a fully warmed shared cache",
+            strategy.name()
+        );
+        assert_eq!(outcome.stats.cache_hits, outcome.stats.requested, "{}", strategy.name());
+    }
+    assert_eq!(sweeper.cache().len(), cached, "guided runs must not grow a complete cache");
+}
+
+#[test]
+fn exhaustive_sweep_reuses_guided_evaluations() {
+    // Sharing goes both ways: a full sweep after a guided run gets the
+    // guided evaluations for free.
+    let space = fig12_space();
+    let sweeper = Sweeper::new(ModelParams::default());
+    let guided =
+        GeneticSearch::new(11).search(&sweeper, &space, SearchBudget::fraction(&space, 0.25));
+    let outcome = sweeper.sweep(&space);
+    assert_eq!(outcome.stats.cache_hits, guided.stats.requested);
+    assert_eq!(outcome.stats.evaluated, space.len() - guided.stats.requested);
+}
+
+#[test]
+fn strategies_are_deterministic_given_a_seed() {
+    let space = fig12_space();
+    for strategy in ["random", "genetic", "annealing"] {
+        let run = |seed: u64| {
+            let sweeper = Sweeper::new(ModelParams::default());
+            let s: Box<dyn SearchStrategy> = match strategy {
+                "random" => Box::new(RandomSearch::new(seed)),
+                "genetic" => Box::new(GeneticSearch::new(seed)),
+                _ => Box::new(SimulatedAnnealing::new(seed)),
+            };
+            s.search(&sweeper, &space, SearchBudget::evaluations(30))
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a.evaluations.len(), b.evaluations.len(), "{strategy}");
+        for (x, y) in a.evaluations.iter().zip(&b.evaluations) {
+            assert_eq!(x.point, y.point, "{strategy} diverged");
+            assert_eq!(x.latency_s.to_bits(), y.latency_s.to_bits(), "{strategy}");
+        }
+        let c = run(6);
+        assert!(
+            a.evaluations.iter().zip(&c.evaluations).any(|(x, y)| x.point != y.point),
+            "{strategy}: different seeds explored identically"
+        );
+    }
+}
+
+#[test]
+fn multi_group_spaces_get_per_group_frontiers() {
+    let space = multi_group_space();
+    let sweeper = Sweeper::new(ModelParams::default());
+    let exhaustive = sweeper.sweep(&space);
+    assert_eq!(exhaustive.frontiers.len(), 4);
+
+    for strategy in strategies(7) {
+        let cold = Sweeper::new(ModelParams::default());
+        let outcome = strategy.search(&cold, &space, SearchBudget::fraction(&space, 0.25));
+        let fraction = hypervolume_fraction(&outcome.frontiers, &exhaustive);
+        assert!(
+            fraction >= 0.80,
+            "{}: {:.1}% over {} groups",
+            strategy.name(),
+            fraction * 100.0,
+            outcome.frontiers.len()
+        );
+    }
+}
+
+#[test]
+fn convergence_harness_tracks_hypervolume_vs_evaluations() {
+    let space = fig12_space();
+    let sweeper = Sweeper::new(ModelParams::default());
+    let exhaustive = sweeper.sweep(&space);
+
+    for strategy in strategies(7) {
+        let outcome = strategy.search(&sweeper, &space, SearchBudget::fraction(&space, 0.25));
+        let curve = convergence(&outcome, &exhaustive, 9);
+        assert_eq!(curve.strategy, strategy.name());
+        assert!(!curve.samples.is_empty());
+        for w in curve.samples.windows(2) {
+            assert!(w[0].evaluations < w[1].evaluations);
+            assert!(
+                w[0].fraction <= w[1].fraction + 1e-12,
+                "{}: hypervolume shrank",
+                strategy.name()
+            );
+        }
+        let final_fraction = curve.final_fraction();
+        assert_eq!(final_fraction, hypervolume_fraction(&outcome.frontiers, &exhaustive));
+        let to_90 = curve.evaluations_to_reach(0.9);
+        assert!(
+            to_90.is_some_and(|n| n <= outcome.stats.requested),
+            "{} never reached 90% (final {:.3})",
+            strategy.name(),
+            final_fraction
+        );
+    }
+}
+
+#[test]
+fn cache_file_round_trip_feeds_guided_search() {
+    // The persistence path end to end: exhaust a space, save the cache,
+    // load it into a brand-new process-like sweeper, and run a guided
+    // search that should evaluate nothing.
+    let space = fig12_space();
+    let warm = Sweeper::new(ModelParams::default());
+    warm.sweep(&space);
+
+    let dir = std::env::temp_dir().join(format!("fusemax-dse-search-{}", std::process::id()));
+    let path = dir.join("fig12_cache.json");
+    warm.save_cache(&path).expect("save cache");
+
+    let fresh = Sweeper::new(ModelParams::default());
+    assert_eq!(fresh.load_cache(&path).expect("load cache"), space.len());
+    let outcome =
+        SimulatedAnnealing::new(9).search(&fresh, &space, SearchBudget::fraction(&space, 0.25));
+    assert_eq!(outcome.stats.evaluated, 0, "disk cache must make the guided run free");
+    assert_eq!(outcome.stats.cache_hits, outcome.stats.requested);
+
+    // Loaded evaluations are bit-identical to freshly computed ones.
+    let reference = Sweeper::new(ModelParams::default());
+    for evaluation in &outcome.evaluations {
+        let recomputed = reference.evaluate(&evaluation.point);
+        assert_eq!(evaluation.latency_s.to_bits(), recomputed.latency_s.to_bits());
+        assert_eq!(evaluation.energy_j.to_bits(), recomputed.energy_j.to_bits());
+        assert_eq!(evaluation.area_cm2.to_bits(), recomputed.area_cm2.to_bits());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn eval_cache_type_is_exported_for_external_tools() {
+    // The cache is part of the public API surface (external plotting
+    // tools absorb saved caches directly).
+    let cache = EvalCache::new();
+    assert!(cache.is_empty());
+    assert_eq!(cache.absorb(Vec::new()), 0);
+}
