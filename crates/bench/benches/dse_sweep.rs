@@ -47,7 +47,9 @@ fn bench_sweep_modes(c: &mut Criterion) {
         })
     });
     // Warm cache: the figure-regeneration path after the first sweep.
-    let warm = Sweeper::new(ModelParams::default());
+    // Warm-starts from FUSEMAX_DSE_CACHE when CI restored the figures
+    // job's evaluation-cache artifact.
+    let warm = fusemax_bench::sweeper_from_env(ModelParams::default());
     let _ = warm.sweep(&space);
     group.bench_function("cached_resweep", |b| b.iter(|| black_box(warm.sweep(&space))));
     group.finish();

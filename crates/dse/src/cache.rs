@@ -222,4 +222,104 @@ mod tests {
         assert_eq!((cache.hits(), cache.misses()), (0, 1));
         assert!(cache.is_empty());
     }
+
+    #[test]
+    fn off_grid_candidates_key_by_their_materialized_identity() {
+        // The off-grid story: a grid candidate and the off-grid candidate
+        // naming the same concrete design share one canonical key, while
+        // any knob difference separates them.
+        use crate::space::{Candidate, DesignSpace};
+        let space = DesignSpace::new().with_array_dims([64, 256]);
+        let stock = arch_for(ConfigKind::FuseMaxBinding, 256).global_buffer_bytes;
+        let grid = space.materialize(&Candidate::Grid([0, 0, 0, 1, 0, 0]));
+        let alias = space.materialize(&Candidate::OffGrid {
+            workload: 0,
+            seq_len: 0,
+            kind: 0,
+            frequency: 0,
+            array_dim: 256,
+            buffer_bytes: stock,
+        });
+        assert_eq!(PointKey::of(&grid), PointKey::of(&alias));
+
+        let shrunk = space.materialize(&Candidate::OffGrid {
+            workload: 0,
+            seq_len: 0,
+            kind: 0,
+            frequency: 0,
+            array_dim: 256,
+            buffer_bytes: stock - 1,
+        });
+        assert_ne!(PointKey::of(&grid), PointKey::of(&shrunk));
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A design point from raw off-grid knobs.
+        fn off_grid_point(
+            kind_idx: usize,
+            dim: usize,
+            buffer_bytes: u64,
+            freq: f64,
+            seq_len: usize,
+        ) -> DesignPoint {
+            let kind = ConfigKind::all()[kind_idx];
+            let mut arch = arch_for(kind, dim);
+            arch.global_buffer_bytes = buffer_bytes;
+            arch.frequency_hz = freq;
+            DesignPoint { arch, kind, workload: TransformerConfig::bert(), seq_len, array_dim: dim }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Distinct architectures never collide: two off-grid points
+            /// share a key exactly when every model-visible knob is
+            /// identical.
+            #[test]
+            fn distinct_arch_configs_never_collide(
+                kind_a in 0usize..5, kind_b in 0usize..5,
+                dim_a in 1usize..600, dim_b in 1usize..600,
+                buf_a in 1u64..(64 << 20), buf_b in 1u64..(64 << 20),
+                freq_idx_a in 0usize..3, freq_idx_b in 0usize..3,
+                seq_exp_a in 10u32..21, seq_exp_b in 10u32..21,
+            ) {
+                let freqs = [940e6, 470e6, 1.2e9];
+                let a = off_grid_point(
+                    kind_a, dim_a, buf_a, freqs[freq_idx_a], 1usize << seq_exp_a);
+                let b = off_grid_point(
+                    kind_b, dim_b, buf_b, freqs[freq_idx_b], 1usize << seq_exp_b);
+                let same_inputs = kind_a == kind_b
+                    && dim_a == dim_b
+                    && buf_a == buf_b
+                    && freq_idx_a == freq_idx_b
+                    && seq_exp_a == seq_exp_b;
+                prop_assert_eq!(PointKey::of(&a) == PointKey::of(&b), same_inputs);
+            }
+
+            /// On-grid points keep their PR-2 keys: the key of a grid
+            /// point is a pure function of the materialized design, never
+            /// of how it was addressed — so caches written before the
+            /// off-grid extension resolve to the same entries.
+            #[test]
+            fn grid_keys_are_stable_under_addressing(
+                dim_idx in 0usize..3,
+                kind_idx in 0usize..2,
+                buf_idx in 0usize..2,
+            ) {
+                use crate::space::{Candidate, DesignSpace};
+                let space = DesignSpace::new()
+                    .with_array_dims([64, 128, 256])
+                    .with_kinds([ConfigKind::Flat, ConfigKind::FuseMaxBinding])
+                    .with_buffer_scales([0.5, 1.0]);
+                let index = [0, 0, kind_idx, dim_idx, 0, buf_idx];
+                let via_point_at = PointKey::of(&space.point_at(index));
+                let via_candidate =
+                    PointKey::of(&space.materialize(&Candidate::Grid(index)));
+                prop_assert_eq!(via_point_at, via_candidate);
+            }
+        }
+    }
 }

@@ -890,6 +890,46 @@ mod tests {
     }
 
     #[test]
+    fn mixed_on_and_off_grid_caches_round_trip_bit_identically() {
+        // The off-grid persistence contract: a cache holding both grid
+        // and off-grid evaluations saves, loads, and re-saves to the
+        // exact same bytes, and every reloaded entry keeps its key.
+        use crate::space::Candidate;
+        let space = DesignSpace::new()
+            .with_array_dims([64, 256])
+            .with_kinds([ConfigKind::Flat, ConfigKind::FuseMaxBinding])
+            .with_workloads([TransformerConfig::bert()])
+            .with_seq_lens([1 << 14]);
+        let sweeper = Sweeper::new(ModelParams::default());
+        sweeper.sweep(&space);
+        for (dim, buf) in [(200usize, 9_999_999u64), (67, 1 << 20), (256, (16 << 20) - 1)] {
+            let point = space.materialize(&Candidate::OffGrid {
+                workload: 0,
+                seq_len: 0,
+                kind: 1,
+                frequency: 0,
+                array_dim: dim,
+                buffer_bytes: buf,
+            });
+            sweeper.evaluate(&point);
+        }
+        assert_eq!(sweeper.cache().len(), 4 + 3);
+
+        let first = cache_json(sweeper.cache());
+        let reloaded = EvalCache::new();
+        let parsed = parse_cache_json(&first).expect("parse mixed cache");
+        assert_eq!(reloaded.absorb(parsed.into_iter().map(Arc::new)), 7);
+        let second = cache_json(&reloaded);
+        assert_eq!(first, second, "save -> load -> save must be bit-identical");
+
+        // Reloaded off-grid entries answer for their original keys.
+        let fresh = Sweeper::new(ModelParams::default());
+        fresh.cache().absorb(parse_cache_json(&second).unwrap().into_iter().map(Arc::new));
+        let outcome = fresh.sweep(&space);
+        assert_eq!(outcome.stats.evaluated, 0);
+    }
+
+    #[test]
     fn absorb_keeps_existing_entries() {
         let (sweeper, space) = warm_sweeper();
         let json = cache_json(sweeper.cache());

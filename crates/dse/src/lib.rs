@@ -67,6 +67,16 @@
 //! scored by the fraction of the exhaustive Pareto hypervolume they
 //! recover ([`search::hypervolume_fraction`], [`search::convergence`]).
 //!
+//! Under [`search::SnapPolicy::Continuous`] the annealer and the genetic
+//! searcher evaluate genuinely **off-grid** designs
+//! ([`Candidate::OffGrid`]: any array dimension, any buffer byte count) —
+//! the model accepts them, the cache keys them canonically, and they
+//! routinely dominate grid frontier points. With `with_screening(true)`
+//! any strategy additionally rejects candidates whose zero-cost
+//! [`Sweeper::lower_bound`] is already dominated by the running frontier,
+//! charged to a separate cheap budget ([`search::SearchBudget::cheap`])
+//! instead of a model evaluation.
+//!
 //! # Persistence
 //!
 //! The cache itself serializes to sorted, bit-exact JSON
@@ -115,7 +125,7 @@ pub use json::{
     save_cache_file, PersistError,
 };
 pub use pareto::{dominates, pareto_ranks, Objectives, ParetoFrontier};
-pub use space::{arch_for, AxisIndex, DesignPoint, DesignSpace};
+pub use space::{arch_for, AxisIndex, Candidate, DesignPoint, DesignSpace};
 pub use sweep::{Evaluation, FrontierGroup, SweepOutcome, SweepStats, Sweeper};
 pub use validate::{validate_top_k, Validation, ValidationStatus};
 

@@ -3,16 +3,16 @@
 //! kind/frequency flips), snapping each proposal to the grid for
 //! evaluation.
 
-use crate::search::relax::Relaxation;
+use crate::search::relax::{Relaxation, SnapPolicy};
 use crate::search::strategy::{
-    weighted_log_cost, SearchBudget, SearchOutcome, SearchStrategy, Session,
+    weighted_log_cost, SearchBudget, SearchOutcome, SearchStrategy, Session, SessionEval,
 };
-use crate::space::{AxisIndex, DesignSpace};
+use crate::space::{arch_for, Candidate, DesignSpace};
 use crate::sweep::{Evaluation, Sweeper};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Simulated annealing with snap-to-grid evaluation.
+/// Simulated annealing over the continuous-knob relaxation.
 ///
 /// One independent chain runs per `(workload, seq_len)` group (objectives
 /// are only comparable within a group), splitting the budget evenly. Each
@@ -23,6 +23,18 @@ use rand::{Rng, SeedableRng};
 /// log-scalarization, re-drawn on every restart, so successive restarts
 /// pull the walker toward different corners of the Pareto surface instead
 /// of repeatedly converging to one compromise point.
+///
+/// Under the default [`SnapPolicy::Grid`] every proposal snaps to the
+/// nearest grid point before evaluation (the PR-2 behavior). Under
+/// [`SnapPolicy::Continuous`] proposals are evaluated **off-grid** at
+/// integer array-dimension / byte buffer resolution
+/// ([`Candidate::OffGrid`]): the walker can refine *between* grid values
+/// and routinely finds designs that dominate grid frontier points — e.g.
+/// a buffer fractionally smaller than stock at identical latency.
+/// [`SimulatedAnnealing::with_screening`] adds the multi-fidelity
+/// lower-bound filter: proposals whose closed-form optimistic bound is
+/// already dominated by the running frontier are rejected without paying
+/// for the model, charged to [`SearchBudget::cheap`] instead.
 ///
 /// Deterministic per seed; all evaluations flow through the shared
 /// [`crate::EvalCache`].
@@ -46,13 +58,38 @@ pub struct SimulatedAnnealing {
     initial_temp: f64,
     cooling: f64,
     step_octaves: f64,
+    snap: SnapPolicy,
+    screening: bool,
 }
 
 impl SimulatedAnnealing {
     /// An annealer with the default schedule: T₀ = 1.0, cooling 0.9 per
-    /// accepted-or-rejected move, steps of up to ±1 octave per knob.
+    /// accepted-or-rejected move, steps of up to ±1 octave per knob,
+    /// snap-to-grid evaluation, no screening.
     pub fn new(seed: u64) -> Self {
-        SimulatedAnnealing { seed, initial_temp: 1.0, cooling: 0.9, step_octaves: 1.0 }
+        SimulatedAnnealing {
+            seed,
+            initial_temp: 1.0,
+            cooling: 0.9,
+            step_octaves: 1.0,
+            snap: SnapPolicy::Grid,
+            screening: false,
+        }
+    }
+
+    /// Replaces the snap policy: [`SnapPolicy::Continuous`] evaluates
+    /// proposals off-grid instead of snapping them to the grid.
+    pub fn with_snap_policy(mut self, snap: SnapPolicy) -> Self {
+        self.snap = snap;
+        self
+    }
+
+    /// Enables the multi-fidelity lower-bound screen: provably-dominated
+    /// proposals are rejected against [`SearchBudget::cheap`] instead of
+    /// costing a model evaluation.
+    pub fn with_screening(mut self, screening: bool) -> Self {
+        self.screening = screening;
+        self
     }
 
     /// Replaces the initial temperature.
@@ -87,16 +124,39 @@ struct WalkerState {
 }
 
 impl WalkerState {
-    /// The grid genome this state snaps to, for fixed workload/length.
-    fn snap(&self, relax: &Relaxation, wi: usize, si: usize) -> AxisIndex {
-        [
-            wi,
-            si,
-            self.kind_idx,
-            relax.snap_dim(self.dim_log2),
-            self.freq_idx,
-            relax.snap_buffer(self.buf_log2),
-        ]
+    /// The candidate this state proposes for fixed workload/length: the
+    /// nearest grid point under [`SnapPolicy::Grid`], the off-grid design
+    /// at integer/byte resolution under [`SnapPolicy::Continuous`].
+    fn candidate(
+        &self,
+        space: &DesignSpace,
+        relax: &Relaxation,
+        snap: SnapPolicy,
+        wi: usize,
+        si: usize,
+    ) -> Candidate {
+        match snap {
+            SnapPolicy::Grid => Candidate::Grid([
+                wi,
+                si,
+                self.kind_idx,
+                relax.snap_dim(self.dim_log2),
+                self.freq_idx,
+                relax.snap_buffer(self.buf_log2),
+            ]),
+            SnapPolicy::Continuous => {
+                let array_dim = relax.continuous_dim(self.dim_log2);
+                let base = arch_for(space.kinds()[self.kind_idx], array_dim).global_buffer_bytes;
+                Candidate::OffGrid {
+                    workload: wi,
+                    seq_len: si,
+                    kind: self.kind_idx,
+                    frequency: self.freq_idx,
+                    array_dim,
+                    buffer_bytes: relax.continuous_buffer_bytes(base, self.buf_log2),
+                }
+            }
+        }
     }
 }
 
@@ -132,7 +192,12 @@ impl SearchStrategy for SimulatedAnnealing {
         space: &DesignSpace,
         budget: SearchBudget,
     ) -> SearchOutcome {
-        let mut session = Session::new(sweeper, space, budget);
+        let mut session = Session::new(sweeper, space, budget).with_screening(self.screening);
+        if self.snap == SnapPolicy::Continuous {
+            // Off-grid runs can evaluate more distinct designs than the
+            // grid enumerates; the space-size clamp would be wrong.
+            session = session.without_space_clamp(budget);
+        }
         if space.is_empty() {
             return session.finish(self.name());
         }
@@ -164,9 +229,17 @@ impl SearchStrategy for SimulatedAnnealing {
 
             let mut weights = random_weights(&mut rng);
             let mut state = random_state(&mut rng);
-            let mut current = match session.evaluate(state.snap(&relax, wi, si)) {
-                Some(e) => e,
-                None => break,
+            let mut current = match session
+                .evaluate_candidate(&state.candidate(space, &relax, self.snap, wi, si))
+            {
+                SessionEval::Evaluated(e) => e,
+                // Unreachable today: each chain is the first visitor of
+                // its (workload, seq_len) group, and an empty group
+                // frontier admits every bound. Skip the chain rather than
+                // walk without an energy, should a future change let a
+                // warm frontier precede the chain.
+                SessionEval::Screened => continue,
+                SessionEval::Exhausted => break,
             };
             let mut current_energy = energy(&current, &weights);
             let mut temp = self.initial_temp;
@@ -190,8 +263,14 @@ impl SearchStrategy for SimulatedAnnealing {
                 if n_freqs > 1 && rng.gen_bool(0.2) {
                     next.freq_idx = rng.gen_range(0..n_freqs);
                 }
-                let genome = next.snap(&relax, wi, si);
-                let Some(candidate) = session.evaluate(genome) else { break };
+                let proposal = next.candidate(space, &relax, self.snap, wi, si);
+                let candidate = match session.evaluate_candidate(&proposal) {
+                    SessionEval::Evaluated(e) => e,
+                    // Provably dominated: reject the move without cooling
+                    // (no energy was compared) and keep walking.
+                    SessionEval::Screened => continue,
+                    SessionEval::Exhausted => break,
+                };
                 let candidate_energy = energy(&candidate, &weights);
                 let delta = candidate_energy - current_energy;
                 let accept = delta <= 0.0 || rng.gen_range(0.0..1.0) < (-delta / temp).exp();
@@ -205,7 +284,9 @@ impl SearchStrategy for SimulatedAnnealing {
                     // Frozen: restart toward a fresh Pareto corner.
                     weights = random_weights(&mut rng);
                     state = random_state(&mut rng);
-                    if let Some(e) = session.evaluate(state.snap(&relax, wi, si)) {
+                    if let SessionEval::Evaluated(e) = session
+                        .evaluate_candidate(&state.candidate(space, &relax, self.snap, wi, si))
+                    {
                         current = e;
                         current_energy = energy(&current, &weights);
                     }

@@ -4,10 +4,12 @@
 //! knobs resample).
 
 use crate::pareto::pareto_ranks;
+use crate::search::relax::SnapPolicy;
 use crate::search::strategy::{
     random_genome, weighted_log_cost, SearchBudget, SearchOutcome, SearchStrategy, Session,
+    SessionEval,
 };
-use crate::space::{AxisIndex, DesignSpace};
+use crate::space::{arch_for, AxisIndex, Candidate, DesignSpace};
 use crate::sweep::{Evaluation, Sweeper};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -17,6 +19,10 @@ use std::sync::Arc;
 /// sequence length (1), array dimension (3), buffer scale (5). Workload
 /// (0), kind (2), and frequency (4) are treated as categorical.
 const ORDERED_AXES: [bool; 6] = [false, true, false, true, false, true];
+
+/// Under [`SnapPolicy::Continuous`], the probability that a bred child is
+/// jittered off-grid instead of evaluated at its grid genome.
+const OFFGRID_RATE: f64 = 0.35;
 
 /// Multi-objective genetic search with Pareto-rank fitness.
 ///
@@ -50,13 +56,42 @@ pub struct GeneticSearch {
     population: usize,
     mutation_rate: f64,
     tournament: usize,
+    snap: SnapPolicy,
+    screening: bool,
 }
 
 impl GeneticSearch {
     /// A genetic searcher with the default knobs: population 16,
-    /// mutation rate 0.25, binary tournaments.
+    /// mutation rate 0.25, binary tournaments, on-grid evaluation, no
+    /// screening.
     pub fn new(seed: u64) -> Self {
-        GeneticSearch { seed, population: 16, mutation_rate: 0.25, tournament: 2 }
+        GeneticSearch {
+            seed,
+            population: 16,
+            mutation_rate: 0.25,
+            tournament: 2,
+            snap: SnapPolicy::Grid,
+            screening: false,
+        }
+    }
+
+    /// Replaces the snap policy. Under [`SnapPolicy::Continuous`] the
+    /// breeding loop jitters a fraction of children (35%) off-grid:
+    /// the grid genome stays the crossover substrate,
+    /// but the evaluated design perturbs the array dimension and buffer
+    /// bytes geometrically within ±half an octave — so the population can
+    /// hold (and select for) designs the grid cannot express.
+    pub fn with_snap_policy(mut self, snap: SnapPolicy) -> Self {
+        self.snap = snap;
+        self
+    }
+
+    /// Enables the multi-fidelity lower-bound screen: provably-dominated
+    /// children are rejected against [`SearchBudget::cheap`] instead of
+    /// costing a model evaluation.
+    pub fn with_screening(mut self, screening: bool) -> Self {
+        self.screening = screening;
+        self
     }
 
     /// Replaces the population size (clamped to ≥ 2 at search time).
@@ -79,11 +114,37 @@ impl GeneticSearch {
     }
 }
 
-/// One population member: the genome and its evaluation.
+/// One population member: the grid genome it breeds through, the
+/// candidate actually evaluated (equal to `Grid(genome)` unless the child
+/// was jittered off-grid), and its evaluation.
 #[derive(Clone)]
 struct Member {
     genome: AxisIndex,
+    candidate: Candidate,
     evaluation: Arc<Evaluation>,
+}
+
+/// Jitters a grid genome's hardware knobs off-grid: the array dimension
+/// and buffer bytes move geometrically within ±half an octave of their
+/// grid values (the categorical axes stay indexed). Half an octave is the
+/// farthest any off-grid value sits from its nearest grid anchor on a
+/// power-of-two grid, so jittered children blanket the gaps without
+/// abandoning the neighborhood selection chose.
+fn offgrid_jitter(rng: &mut StdRng, space: &DesignSpace, genome: &AxisIndex) -> Candidate {
+    let [wi, si, ki, di, fi, bi] = *genome;
+    let dim_base = space.array_dims()[di] as f64;
+    let array_dim = (dim_base * 2f64.powf(rng.gen_range(-0.5..0.5))).round().max(1.0) as usize;
+    let base = arch_for(space.kinds()[ki], array_dim).global_buffer_bytes as f64;
+    let scale = space.buffer_scales()[bi];
+    let buffer_bytes = (base * scale * 2f64.powf(rng.gen_range(-0.5..0.5))).ceil().max(1.0) as u64;
+    Candidate::OffGrid {
+        workload: wi,
+        seq_len: si,
+        kind: ki,
+        frequency: fi,
+        array_dim,
+        buffer_bytes,
+    }
 }
 
 /// Per-member Pareto front index, computed *within* each member's
@@ -177,7 +238,12 @@ impl SearchStrategy for GeneticSearch {
         space: &DesignSpace,
         budget: SearchBudget,
     ) -> SearchOutcome {
-        let mut session = Session::new(sweeper, space, budget);
+        let mut session = Session::new(sweeper, space, budget).with_screening(self.screening);
+        if self.snap == SnapPolicy::Continuous {
+            // Off-grid children can outnumber the grid; the space-size
+            // clamp would be wrong.
+            session = session.without_space_clamp(budget);
+        }
         if space.is_empty() {
             return session.finish(self.name());
         }
@@ -198,8 +264,9 @@ impl SearchStrategy for GeneticSearch {
             if population.iter().any(|m| m.genome == genome) {
                 continue;
             }
-            if let Some(evaluation) = session.evaluate(genome) {
-                population.push(Member { genome, evaluation });
+            let candidate = Candidate::Grid(genome);
+            if let SessionEval::Evaluated(evaluation) = session.evaluate_candidate(&candidate) {
+                population.push(Member { genome, candidate, evaluation });
             }
         }
 
@@ -212,18 +279,28 @@ impl SearchStrategy for GeneticSearch {
                 let pb = tournament_pick(&mut rng, &population, &ranks, tournament);
                 let mut child = crossover(&mut rng, &population[pa].genome, &population[pb].genome);
                 mutate(&mut rng, &mut child, &lens, self.mutation_rate);
-                let known = population.iter().any(|m| m.genome == child)
-                    || children.iter().any(|m| m.genome == child);
+                let candidate = if self.snap == SnapPolicy::Continuous && rng.gen_bool(OFFGRID_RATE)
+                {
+                    offgrid_jitter(&mut rng, space, &child)
+                } else {
+                    Candidate::Grid(child)
+                };
+                let known = population.iter().any(|m| m.candidate == candidate)
+                    || children.iter().any(|m| m.candidate == candidate);
                 if known {
                     stall += 1;
                     continue;
                 }
-                match session.evaluate(child) {
-                    Some(evaluation) => {
-                        children.push(Member { genome: child, evaluation });
+                match session.evaluate_candidate(&candidate) {
+                    SessionEval::Evaluated(evaluation) => {
+                        children.push(Member { genome: child, candidate, evaluation });
                         stall = 0;
                     }
-                    None => break,
+                    SessionEval::Screened => {
+                        stall += 1;
+                        continue;
+                    }
+                    SessionEval::Exhausted => break,
                 }
             }
             if children.is_empty() {
@@ -239,8 +316,11 @@ impl SearchStrategy for GeneticSearch {
                     if population.iter().any(|m| m.genome == genome) {
                         continue;
                     }
-                    if let Some(evaluation) = session.evaluate(genome) {
-                        population.push(Member { genome, evaluation });
+                    let candidate = Candidate::Grid(genome);
+                    if let SessionEval::Evaluated(evaluation) =
+                        session.evaluate_candidate(&candidate)
+                    {
+                        population.push(Member { genome, candidate, evaluation });
                         injected = true;
                         break;
                     }

@@ -118,7 +118,11 @@ pub struct HvSample {
     /// Distinct evaluations spent at this sample.
     pub evaluations: usize,
     /// Mean (over `(workload, seq_len)` groups) fraction of the
-    /// exhaustive frontier's hypervolume recovered so far, in `[0, 1]`.
+    /// exhaustive frontier's hypervolume recovered so far. In `[0, 1]`
+    /// for on-grid runs; off-grid
+    /// ([`crate::search::SnapPolicy::Continuous`]) runs can exceed 1.0
+    /// by dominating volume the grid frontier cannot reach (see
+    /// [`hypervolume_fraction`]).
     pub fraction: f64,
 }
 
@@ -211,6 +215,13 @@ fn mean_fraction(baselines: &[GroupBaseline], group_hv: impl Fn(&GroupBaseline) 
 /// recovers. Groups the guided run never touched count as 0; the result
 /// is 1.0 exactly when every group's frontier dominates the same volume
 /// as the exhaustive one.
+///
+/// Off-grid runs ([`crate::search::SnapPolicy::Continuous`]) are scored
+/// against the same exhaustive **grid** baseline: their reference point
+/// and denominator come from the grid sweep, so the fraction can exceed
+/// 1.0 — the signal that the run found designs dominating volume the
+/// grid frontier cannot reach. [`convergence`] inherits the same
+/// convention.
 pub fn hypervolume_fraction(frontiers: &[FrontierGroup], exhaustive: &SweepOutcome) -> f64 {
     let baselines = baselines(exhaustive);
     mean_fraction(&baselines, |base| {

@@ -12,7 +12,25 @@
 //!   uniform crossover, axis-aware mutation;
 //! * [`SimulatedAnnealing`] — a Metropolis walker over the
 //!   continuous-knob [`Relaxation`] of array dims and buffer bytes, with
-//!   snap-to-grid evaluation.
+//!   snap-to-grid evaluation by default and genuinely **off-grid**
+//!   evaluation under [`SnapPolicy::Continuous`].
+//!
+//! Two orthogonal extensions apply to the strategies:
+//!
+//! * **Off-grid search** ([`SnapPolicy::Continuous`], on the annealer
+//!   and the genetic searcher): the analytical model accepts any
+//!   architecture, so continuous runs evaluate
+//!   [`crate::Candidate::OffGrid`] designs — non-power-of-two array
+//!   dimensions, arbitrary buffer byte counts — that the paper's grid
+//!   cannot express, and routinely find points dominating grid frontier
+//!   members.
+//! * **Multi-fidelity screening** (`with_screening(true)` on any
+//!   strategy): every candidate is first tested through the zero-cost
+//!   [`crate::Sweeper::lower_bound`] against the running frontier — the
+//!   guided-order mirror of [`crate::Sweeper::sweep_pruned`] — and
+//!   provably-dominated proposals are rejected against the separate
+//!   [`SearchBudget::cheap`] budget instead of costing a model
+//!   evaluation.
 //!
 //! All strategies are deterministic per seed and evaluate through the
 //! owning sweeper's shared [`crate::EvalCache`], so guided and exhaustive
@@ -58,5 +76,5 @@ pub use hypervolume::{
     convergence, hypervolume, hypervolume_fraction, reference_point, ConvergenceCurve, HvSample,
 };
 pub use random::RandomSearch;
-pub use relax::Relaxation;
+pub use relax::{Relaxation, SnapPolicy};
 pub use strategy::{SearchBudget, SearchOutcome, SearchStats, SearchStrategy};

@@ -29,12 +29,22 @@ use rand::SeedableRng;
 #[derive(Debug, Clone)]
 pub struct RandomSearch {
     seed: u64,
+    screening: bool,
 }
 
 impl RandomSearch {
     /// A random searcher drawing its stream from `seed`.
     pub fn new(seed: u64) -> Self {
-        RandomSearch { seed }
+        RandomSearch { seed, screening: false }
+    }
+
+    /// Enables the multi-fidelity lower-bound screen: samples whose
+    /// closed-form bound is already dominated by the running frontier are
+    /// rejected against [`SearchBudget::cheap`] instead of costing a
+    /// model evaluation.
+    pub fn with_screening(mut self, screening: bool) -> Self {
+        self.screening = screening;
+        self
     }
 }
 
@@ -49,7 +59,7 @@ impl SearchStrategy for RandomSearch {
         space: &DesignSpace,
         budget: SearchBudget,
     ) -> SearchOutcome {
-        let mut session = Session::new(sweeper, space, budget);
+        let mut session = Session::new(sweeper, space, budget).with_screening(self.screening);
         if space.is_empty() {
             return session.finish(self.name());
         }

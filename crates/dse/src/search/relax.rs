@@ -13,6 +13,30 @@
 
 use crate::space::DesignSpace;
 
+/// Whether a continuous-knob proposal is forced back onto the grid for
+/// evaluation, or evaluated as the genuinely off-grid design it names.
+///
+/// * [`SnapPolicy::Grid`] — the PR-2 behavior: every proposal snaps to
+///   the nearest grid index ([`Relaxation::snap_dim`] /
+///   [`Relaxation::snap_buffer`]) and only grid points are ever
+///   evaluated. Budgets clamp to the space size.
+/// * [`SnapPolicy::Continuous`] — proposals round to the nearest
+///   *integer* array dimension and *byte* buffer capacity instead
+///   ([`Relaxation::continuous_dim`] /
+///   [`Relaxation::continuous_buffer_bytes`]) and are evaluated off-grid
+///   via [`crate::Candidate::OffGrid`]. The analytical model accepts any
+///   [`fusemax_arch::ArchConfig`], so the walker can land on designs the
+///   grid cannot express — e.g. a 200×200 array, or a buffer 0.9× the
+///   stock size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapPolicy {
+    /// Snap every proposal to the nearest grid index (the default).
+    #[default]
+    Grid,
+    /// Evaluate proposals off-grid at integer/byte resolution.
+    Continuous,
+}
+
 /// The continuous view of a design space's ordered knobs.
 ///
 /// # Example
@@ -73,6 +97,23 @@ impl Relaxation {
     /// The grid index whose buffer scale is nearest `buf_log2`.
     pub fn snap_buffer(&self, buf_log2: f64) -> usize {
         snap(&self.buf_log2, buf_log2)
+    }
+
+    /// The off-grid array dimension nearest the continuous coordinate
+    /// `dim_log2`: `2^dim_log2` rounded to the nearest positive integer.
+    /// This is the [`SnapPolicy::Continuous`] counterpart of
+    /// [`Relaxation::snap_dim`] — integer resolution instead of grid
+    /// resolution.
+    pub fn continuous_dim(&self, dim_log2: f64) -> usize {
+        (2f64.powf(dim_log2).round().max(1.0)) as usize
+    }
+
+    /// The off-grid buffer capacity at continuous coordinate `buf_log2`,
+    /// scaled from `base_bytes` (the family's dimension-scaled default):
+    /// `base_bytes · 2^buf_log2` rounded up to a whole, nonzero byte
+    /// count.
+    pub fn continuous_buffer_bytes(&self, base_bytes: u64, buf_log2: f64) -> u64 {
+        ((base_bytes as f64 * 2f64.powf(buf_log2)).ceil().max(1.0)) as u64
     }
 
     /// The continuous coordinate of grid index `idx` on the dimension
@@ -169,5 +210,36 @@ mod tests {
     #[should_panic(expected = "empty axis")]
     fn empty_axis_panics() {
         let _ = Relaxation::new(&space().with_array_dims([]));
+    }
+
+    #[test]
+    fn continuous_dim_rounds_to_the_nearest_integer() {
+        let relax = Relaxation::new(&space());
+        // 2^7.64 ≈ 199.5 → 199, a dimension no grid axis contains.
+        assert_eq!(relax.continuous_dim(7.64), 199);
+        // Exact grid coordinates recover the grid values.
+        for &d in space().array_dims() {
+            assert_eq!(relax.continuous_dim((d as f64).log2()), d);
+        }
+        // Far below the grid still yields a valid (≥1) dimension.
+        assert_eq!(relax.continuous_dim(-20.0), 1);
+    }
+
+    #[test]
+    fn continuous_buffer_scales_geometrically_and_stays_nonzero() {
+        let relax = Relaxation::new(&space());
+        let base = 22u64 << 20;
+        assert_eq!(relax.continuous_buffer_bytes(base, 0.0), base);
+        assert_eq!(relax.continuous_buffer_bytes(base, 1.0), base * 2);
+        // A fractional octave lands strictly between the grid scales.
+        let between = relax.continuous_buffer_bytes(base, -0.5);
+        assert!(between > base / 2 && between < base);
+        assert_eq!(relax.continuous_buffer_bytes(1, -40.0), 1, "never rounds to zero");
+    }
+
+    #[test]
+    fn snap_policy_default_is_grid() {
+        assert_eq!(SnapPolicy::default(), SnapPolicy::Grid);
+        assert_ne!(SnapPolicy::Grid, SnapPolicy::Continuous);
     }
 }

@@ -9,10 +9,10 @@
 //! already-swept space performs zero new model evaluations.
 
 use crate::cache::PointKey;
-use crate::space::{AxisIndex, DesignSpace};
+use crate::space::{AxisIndex, Candidate, DesignSpace};
 use crate::sweep::{group_index, Evaluation, FrontierGroup, Sweeper};
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -23,16 +23,33 @@ use std::time::{Duration, Instant};
 /// Re-requesting a point the run has already seen is free (strategies
 /// revisit neighborhoods constantly; charging them would punish the
 /// search shape rather than the work).
+///
+/// `cheap` is the **separate multi-fidelity budget**: when a strategy
+/// runs with screening enabled (`with_screening(true)`), candidates whose
+/// closed-form [`Sweeper::lower_bound`] is already dominated by the
+/// running frontier are rejected *without* a model evaluation and charged
+/// here instead of against `evaluations` — the guided-order mirror of
+/// [`Sweeper::sweep_pruned`]. Once `cheap` is spent the screen switches
+/// off and candidates pay full price again, so a run can never stall on
+/// free rejections.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SearchBudget {
     /// Maximum number of distinct design points the run may request.
     pub evaluations: usize,
+    /// Maximum number of candidates the lower-bound screen may reject
+    /// for free (ignored when the strategy does not screen).
+    pub cheap: usize,
 }
 
 impl SearchBudget {
-    /// A budget of `n` distinct evaluations.
+    /// How many cheap lower-bound screenings each full evaluation buys by
+    /// default. A bound is arithmetic on closed-form floors — orders of
+    /// magnitude cheaper than the model — so the default is generous.
+    const CHEAP_PER_EVALUATION: usize = 8;
+
+    /// A budget of `n` distinct evaluations (and `8n` cheap screenings).
     pub fn evaluations(n: usize) -> Self {
-        SearchBudget { evaluations: n }
+        SearchBudget { evaluations: n, cheap: n.saturating_mul(Self::CHEAP_PER_EVALUATION) }
     }
 
     /// A budget covering `fraction` of `space` (rounded up, at least 1) —
@@ -40,7 +57,13 @@ impl SearchBudget {
     /// `SearchBudget::fraction(&space, 0.25)`.
     pub fn fraction(space: &DesignSpace, fraction: f64) -> Self {
         let n = (space.len() as f64 * fraction).ceil().max(1.0) as usize;
-        SearchBudget { evaluations: n }
+        Self::evaluations(n)
+    }
+
+    /// Replaces the cheap screening budget.
+    pub fn with_cheap(mut self, cheap: usize) -> Self {
+        self.cheap = cheap;
+        self
     }
 }
 
@@ -56,6 +79,11 @@ pub struct SearchStats {
     pub cache_hits: usize,
     /// Repeat requests for points this run had already seen (free).
     pub revisits: usize,
+    /// Candidates rejected by the multi-fidelity lower-bound screen —
+    /// their closed-form [`Sweeper::lower_bound`] was already dominated
+    /// by the running frontier, so the model never ran. Charged against
+    /// [`SearchBudget::cheap`], not against `evaluations`.
+    pub screened: usize,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
 }
@@ -103,14 +131,32 @@ pub trait SearchStrategy {
         -> SearchOutcome;
 }
 
+/// What a [`Session`] did with one proposed candidate.
+#[derive(Debug)]
+pub(crate) enum SessionEval {
+    /// The candidate was evaluated (fresh, cached, or a free revisit).
+    Evaluated(Arc<Evaluation>),
+    /// The multi-fidelity screen rejected the candidate: its optimistic
+    /// lower bound is already dominated by the running frontier, so it
+    /// provably cannot join it. No model evaluation ran; the cheap budget
+    /// was charged. The strategy should treat this like a rejected move.
+    Screened,
+    /// The evaluation budget is spent; no new points will be evaluated.
+    Exhausted,
+}
+
 /// The budgeted evaluation session shared by every strategy: deduplicates
-/// requests, charges the budget, maintains running frontiers, and splits
-/// shared-cache reuse from fresh model evaluations in the stats.
+/// requests, charges the budget, maintains running frontiers, screens
+/// candidates through the closed-form lower bound when asked to, and
+/// splits shared-cache reuse from fresh model evaluations in the stats.
 pub(crate) struct Session<'a> {
     sweeper: &'a Sweeper,
     space: &'a DesignSpace,
     budget: usize,
+    cheap_budget: usize,
+    screening: bool,
     seen: HashMap<PointKey, Arc<Evaluation>>,
+    rejected: HashSet<PointKey>,
     evaluations: Vec<Arc<Evaluation>>,
     frontiers: Vec<FrontierGroup>,
     stats: SearchStats,
@@ -125,12 +171,31 @@ impl<'a> Session<'a> {
             sweeper,
             space,
             budget: budget.evaluations.min(space.len()),
+            cheap_budget: budget.cheap,
+            screening: false,
             seen: HashMap::new(),
+            rejected: HashSet::new(),
             evaluations: Vec::new(),
             frontiers: Vec::new(),
             stats: SearchStats::default(),
             start: Instant::now(),
         }
+    }
+
+    /// Lifts the space-size clamp on the evaluation budget. Off-grid
+    /// ([`crate::search::SnapPolicy::Continuous`]) runs can evaluate more
+    /// distinct designs than the grid enumerates, so for them the clamp
+    /// is wrong, not conservative.
+    pub(crate) fn without_space_clamp(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget.evaluations;
+        self
+    }
+
+    /// Enables the multi-fidelity lower-bound screen (see
+    /// [`SessionEval::Screened`]).
+    pub(crate) fn with_screening(mut self, screening: bool) -> Self {
+        self.screening = screening;
+        self
     }
 
     /// `true` once the budget is spent: further *new* points are refused.
@@ -148,21 +213,51 @@ impl<'a> Session<'a> {
         self.stats.requested
     }
 
-    /// Evaluates the design point addressed by `genome`. Revisits are free
-    /// and always served; a new point is evaluated through the shared
-    /// cache and charged against the budget. Returns `None` when the
-    /// budget is exhausted (the strategy should stop or revisit).
+    /// Evaluates the design point addressed by `genome` — the on-grid
+    /// shorthand for [`Session::evaluate_candidate`]. Returns `None` when
+    /// the budget is exhausted *or* the screen rejected the point (with
+    /// screening off — every pre-screening caller — only exhaustion).
     pub(crate) fn evaluate(&mut self, genome: AxisIndex) -> Option<Arc<Evaluation>> {
-        let point = self.space.point_at(genome);
+        match self.evaluate_candidate(&Candidate::Grid(genome)) {
+            SessionEval::Evaluated(e) => Some(e),
+            SessionEval::Screened | SessionEval::Exhausted => None,
+        }
+    }
+
+    /// Evaluates `candidate`. Revisits are free and always served; a new
+    /// point is screened if screening is on (cheap budget permitting),
+    /// then evaluated through the shared cache and charged against the
+    /// budget.
+    pub(crate) fn evaluate_candidate(&mut self, candidate: &Candidate) -> SessionEval {
+        let point = self.space.materialize(candidate);
         let key = PointKey::of(&point);
         if let Some(known) = self.seen.get(&key) {
             self.stats.revisits += 1;
-            return Some(Arc::clone(known));
+            return SessionEval::Evaluated(Arc::clone(known));
+        }
+        if self.rejected.contains(&key) {
+            // Re-proposing an already-screened point is free, like any
+            // other revisit — and still a rejection.
+            self.stats.revisits += 1;
+            return SessionEval::Screened;
         }
         if self.exhausted() {
-            return None;
+            return SessionEval::Exhausted;
         }
         let fresh = !self.sweeper.cache().contains(&key);
+        // Screen only points the model would actually run for: cache hits
+        // are free anyway, and `sweep_pruned` orders its checks the same
+        // way. Screening against the *running* frontier is sound exactly
+        // as pruning is: a candidate whose optimistic bound is already
+        // dominated can never enter the final frontier.
+        if self.screening && fresh && self.stats.screened < self.cheap_budget {
+            let group = group_index(&mut self.frontiers, &point);
+            if !self.frontiers[group].frontier.admits(&self.sweeper.lower_bound(&point)) {
+                self.stats.screened += 1;
+                self.rejected.insert(key);
+                return SessionEval::Screened;
+            }
+        }
         let evaluation = self.sweeper.evaluate(&point);
         self.stats.requested += 1;
         if fresh {
@@ -174,7 +269,7 @@ impl<'a> Session<'a> {
         let group = group_index(&mut self.frontiers, &evaluation.point);
         self.frontiers[group].frontier.insert(Arc::clone(&evaluation));
         self.evaluations.push(Arc::clone(&evaluation));
-        Some(evaluation)
+        SessionEval::Evaluated(evaluation)
     }
 
     /// Closes the session into an outcome.
@@ -228,6 +323,72 @@ mod tests {
         assert_eq!(SearchBudget::fraction(&s, 0.25).evaluations, 2);
         assert_eq!(SearchBudget::fraction(&s, 1e-9).evaluations, 1);
         assert_eq!(SearchBudget::fraction(&s, 1.0).evaluations, 6);
+    }
+
+    #[test]
+    fn budgets_carry_a_separate_cheap_allowance() {
+        let b = SearchBudget::evaluations(10);
+        assert_eq!(b.cheap, 80, "default: 8 cheap screenings per evaluation");
+        assert_eq!(b.with_cheap(3).cheap, 3);
+        assert_eq!(SearchBudget::fraction(&space(), 1.0).cheap, 48);
+    }
+
+    #[test]
+    fn screening_rejects_dominated_candidates_without_charge() {
+        let sweeper = Sweeper::new(ModelParams::default());
+        let s = space();
+        let mut session =
+            Session::new(&sweeper, &s, SearchBudget::evaluations(6)).with_screening(true);
+        // Evaluate the strongest design first: +Binding at 256 dominates
+        // every FLAT candidate's optimistic bound at smaller-or-equal
+        // area... establish the frontier, then propose a FLAT point whose
+        // bound is dominated.
+        assert!(session.evaluate([0, 0, 1, 0, 0, 0]).is_some(), "+Binding @ 64");
+        assert!(session.evaluate([0, 0, 1, 1, 0, 0]).is_some(), "+Binding @ 128");
+        let before = session.requested();
+        let verdict = session.evaluate_candidate(&Candidate::Grid([0, 0, 0, 0, 0, 0]));
+        match verdict {
+            SessionEval::Screened => {
+                assert_eq!(session.requested(), before, "screening must not charge the budget");
+                // Re-proposing the rejected point is a free revisit.
+                let again = session.evaluate_candidate(&Candidate::Grid([0, 0, 0, 0, 0, 0]));
+                assert!(matches!(again, SessionEval::Screened));
+                let outcome = session.finish("test");
+                assert_eq!(outcome.stats.screened, 1);
+                assert_eq!(outcome.stats.revisits, 1);
+            }
+            // The bound may legitimately admit the FLAT point (bounds are
+            // optimistic); then it must have been evaluated and charged.
+            SessionEval::Evaluated(_) => assert_eq!(session.requested(), before + 1),
+            SessionEval::Exhausted => panic!("budget cannot be exhausted after 2 of 6"),
+        }
+    }
+
+    #[test]
+    fn exhausted_cheap_budget_turns_the_screen_off() {
+        let sweeper = Sweeper::new(ModelParams::default());
+        let s = space();
+        let mut session = Session::new(&sweeper, &s, SearchBudget::evaluations(6).with_cheap(0))
+            .with_screening(true);
+        // cheap = 0: nothing can be screened, every candidate pays full
+        // price exactly as with screening off.
+        for di in 0..3 {
+            for ki in 0..2 {
+                assert!(session.evaluate([0, 0, ki, di, 0, 0]).is_some());
+            }
+        }
+        let outcome = session.finish("test");
+        assert_eq!(outcome.stats.screened, 0);
+        assert_eq!(outcome.stats.requested, 6);
+    }
+
+    #[test]
+    fn unclamped_sessions_accept_more_than_the_space_size() {
+        let sweeper = Sweeper::new(ModelParams::default());
+        let s = space();
+        let budget = SearchBudget::evaluations(50);
+        let session = Session::new(&sweeper, &s, budget).without_space_clamp(budget);
+        assert_eq!(session.remaining(), 50, "off-grid runs may exceed the grid size");
     }
 
     #[test]

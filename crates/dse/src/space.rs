@@ -30,6 +30,45 @@ pub struct DesignPoint {
     pub array_dim: usize,
 }
 
+/// How a candidate design addresses its [`DesignSpace`]: by per-axis grid
+/// indices (the PR-2 genome), or **off-grid** — the categorical axes
+/// (workload, sequence length, kind, frequency) still index the grid, but
+/// the hardware knobs are concrete values the grid need not contain: any
+/// positive array dimension and any global-buffer capacity in bytes.
+///
+/// Off-grid candidates are what the continuous search strategies
+/// ([`crate::search::SnapPolicy::Continuous`]) evaluate: the analytical
+/// model accepts any [`ArchConfig`], so nothing forces a walker onto the
+/// paper's power-of-two grid. [`DesignSpace::materialize`] turns either
+/// variant into a concrete [`DesignPoint`]; the [`crate::PointKey`] of
+/// that point is derived from the *materialized* architecture
+/// field-by-field, so off-grid entries get canonical bit-exact cache keys
+/// and round-trip through the cache's JSON persistence exactly like
+/// on-grid ones.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Candidate {
+    /// On-grid: per-axis indices in [`AxisIndex`] order.
+    Grid(AxisIndex),
+    /// Off-grid: concrete hardware knobs, no array-dim / buffer axis
+    /// index.
+    OffGrid {
+        /// Workload axis index (categorical — always on-grid).
+        workload: usize,
+        /// Sequence-length axis index.
+        seq_len: usize,
+        /// Configuration axis index.
+        kind: usize,
+        /// Frequency axis index.
+        frequency: usize,
+        /// Concrete array dimension `n` (an `n×n` 2D array with `n` 1D
+        /// PEs) — any positive integer, not just the grid's values.
+        array_dim: usize,
+        /// Concrete global-buffer capacity in bytes, replacing the
+        /// dimension-scaled default outright.
+        buffer_bytes: u64,
+    },
+}
+
 /// Builds the architecture a configuration family uses at array dimension
 /// `n`: the FuseMax-scaled chip for the FuseMax kinds, a FLAT-cloud chip
 /// scaled the same way (array `n×n`, `n` 1D PEs, proportionally scaled
@@ -218,6 +257,78 @@ impl DesignSpace {
         DesignPoint { arch, kind, workload: workload.clone(), seq_len, array_dim: n }
     }
 
+    /// Materializes either [`Candidate`] variant into a concrete
+    /// [`DesignPoint`]: grid candidates defer to [`DesignSpace::point_at`];
+    /// off-grid candidates build the family architecture at their concrete
+    /// array dimension ([`arch_for`]), apply the indexed frequency
+    /// override, and replace the global buffer with their explicit byte
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any categorical index is out of range for its axis, or if
+    /// an off-grid candidate's `array_dim` or `buffer_bytes` is zero.
+    pub fn materialize(&self, candidate: &Candidate) -> DesignPoint {
+        match *candidate {
+            Candidate::Grid(index) => self.point_at(index),
+            Candidate::OffGrid { workload, seq_len, kind, frequency, array_dim, buffer_bytes } => {
+                assert!(buffer_bytes > 0, "off-grid buffer must hold at least one byte");
+                let kind = self.kinds[kind];
+                let freq = self.frequencies_hz[frequency];
+                let mut arch = arch_for(kind, array_dim);
+                if let Some(hz) = freq {
+                    arch.frequency_hz = hz;
+                    arch.name = format!("{}@{:.0}MHz", arch.name, hz / 1e6);
+                }
+                if buffer_bytes != arch.global_buffer_bytes {
+                    arch.name = format!("{}-gb{buffer_bytes}", arch.name);
+                    arch.global_buffer_bytes = buffer_bytes;
+                }
+                DesignPoint {
+                    arch,
+                    kind,
+                    workload: self.workloads[workload].clone(),
+                    seq_len: self.seq_lens[seq_len],
+                    array_dim,
+                }
+            }
+        }
+    }
+
+    /// `true` when some grid index materializes a point with the same
+    /// model-visible identity as `point` (architecture fields, kind,
+    /// workload, sequence length — names are ignored, exactly as the
+    /// evaluation-cache key ignores them). Off-grid points found by a
+    /// [`crate::search::SnapPolicy::Continuous`] run return `false` —
+    /// they are designs the grid cannot express.
+    pub fn is_on_grid(&self, point: &DesignPoint) -> bool {
+        let key = crate::cache::PointKey::of(point);
+        let [nw, ns, nk, nd, nf, nb] = self.axis_lens();
+        for wi in 0..nw {
+            if self.workloads[wi].name != point.workload.name {
+                continue;
+            }
+            for si in 0..ns {
+                if self.seq_lens[si] != point.seq_len {
+                    continue;
+                }
+                for ki in 0..nk {
+                    for di in 0..nd {
+                        for fi in 0..nf {
+                            for bi in 0..nb {
+                                let grid = self.point_at([wi, si, ki, di, fi, bi]);
+                                if crate::cache::PointKey::of(&grid) == key {
+                                    return true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
     /// Number of candidate points the space enumerates.
     pub fn len(&self) -> usize {
         self.array_dims.len()
@@ -369,5 +480,98 @@ mod tests {
         let space = DesignSpace::new().with_kinds([]);
         assert!(space.is_empty());
         assert!(space.points().is_empty());
+    }
+
+    #[test]
+    fn grid_candidates_materialize_exactly_like_point_at() {
+        let space = DesignSpace::new()
+            .with_array_dims([64, 256])
+            .with_kinds([ConfigKind::Flat, ConfigKind::FuseMaxBinding])
+            .with_frequencies_hz([None, Some(470e6)])
+            .with_buffer_scales([0.5, 1.0]);
+        let index = [1, 0, 1, 1, 1, 0];
+        assert_eq!(space.materialize(&Candidate::Grid(index)), space.point_at(index));
+    }
+
+    #[test]
+    fn off_grid_candidates_carry_their_concrete_knobs() {
+        let space = DesignSpace::new().with_kinds([ConfigKind::FuseMaxBinding]);
+        let point = space.materialize(&Candidate::OffGrid {
+            workload: 2,
+            seq_len: 0,
+            kind: 0,
+            frequency: 0,
+            array_dim: 200,
+            buffer_bytes: 12_345_678,
+        });
+        assert_eq!(point.array_dim, 200);
+        assert_eq!(point.arch.array_rows, 200);
+        assert_eq!(point.arch.vector_pes, 200);
+        assert_eq!(point.arch.global_buffer_bytes, 12_345_678);
+        assert_eq!(point.kind, ConfigKind::FuseMaxBinding);
+        assert_eq!(point.workload.name, space.workloads()[2].name);
+        assert!(point.arch.name.contains("gb12345678"), "{}", point.arch.name);
+    }
+
+    #[test]
+    fn off_grid_candidate_matching_the_grid_is_recognized_on_grid() {
+        // An off-grid candidate that *happens* to name a grid design has
+        // the same model-visible identity, so is_on_grid sees through the
+        // addressing difference.
+        let space = DesignSpace::new().with_array_dims([64, 256]);
+        let stock = arch_for(ConfigKind::FuseMaxBinding, 256).global_buffer_bytes;
+        let aliased = space.materialize(&Candidate::OffGrid {
+            workload: 0,
+            seq_len: 0,
+            kind: 0,
+            frequency: 0,
+            array_dim: 256,
+            buffer_bytes: stock,
+        });
+        assert!(space.is_on_grid(&aliased));
+    }
+
+    #[test]
+    fn is_on_grid_separates_grid_from_off_grid_points() {
+        let space = DesignSpace::new()
+            .with_array_dims([64, 256])
+            .with_kinds([ConfigKind::Flat, ConfigKind::FuseMaxBinding])
+            .with_buffer_scales([0.5, 1.0]);
+        for point in space.points() {
+            assert!(space.is_on_grid(&point), "{} escaped its own grid", point.arch.name);
+        }
+        let off = space.materialize(&Candidate::OffGrid {
+            workload: 0,
+            seq_len: 0,
+            kind: 1,
+            frequency: 0,
+            array_dim: 200,
+            buffer_bytes: 1 << 20,
+        });
+        assert!(!space.is_on_grid(&off));
+        // Same dim as the grid but an off-grid buffer is still off-grid.
+        let stock = arch_for(ConfigKind::FuseMaxBinding, 256).global_buffer_bytes;
+        let off_buf = space.materialize(&Candidate::OffGrid {
+            workload: 0,
+            seq_len: 0,
+            kind: 1,
+            frequency: 0,
+            array_dim: 256,
+            buffer_bytes: stock - 1,
+        });
+        assert!(!space.is_on_grid(&off_buf));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one byte")]
+    fn zero_byte_off_grid_buffers_are_rejected() {
+        let _ = DesignSpace::new().materialize(&Candidate::OffGrid {
+            workload: 0,
+            seq_len: 0,
+            kind: 0,
+            frequency: 0,
+            array_dim: 64,
+            buffer_bytes: 0,
+        });
     }
 }

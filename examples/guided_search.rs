@@ -4,17 +4,25 @@
 //! evaluation cache, and are scored by the hypervolume convergence
 //! harness against the exhaustive Pareto frontier.
 //!
-//! Run with `cargo run --example guided_search`.
+//! Run with `cargo run --example guided_search`. Pass `--continuous` to
+//! let the annealer and the genetic searcher evaluate genuinely off-grid
+//! designs (non-power-of-two arrays, arbitrary buffer bytes), and
+//! `--screen` to reject provably-dominated candidates through the
+//! zero-cost lower bound before the model runs.
 
 use fusemax::dse::search::{
     convergence, hypervolume_fraction, GeneticSearch, RandomSearch, SearchBudget, SearchStrategy,
-    SimulatedAnnealing,
+    SimulatedAnnealing, SnapPolicy,
 };
 use fusemax::dse::{DesignSpace, Sweeper};
 use fusemax::model::{ConfigKind, ModelParams};
 use fusemax::workloads::TransformerConfig;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let continuous = args.iter().any(|a| a == "--continuous");
+    let screen = args.iter().any(|a| a == "--screen");
+    let snap = if continuous { SnapPolicy::Continuous } else { SnapPolicy::Grid };
     // The extended Fig 12 space: the paper's six array dims at 256K
     // tokens, widened with all five configurations and frequency/buffer
     // knobs — 180 candidates instead of 6.
@@ -37,11 +45,17 @@ fn main() {
     // Guided: a quarter of the budget, cold caches — each strategy pays
     // for exactly what it explores.
     let budget = SearchBudget::fraction(&space, 0.25);
-    println!("Guided runs at {} of {} evaluations:", budget.evaluations, space.len());
+    println!(
+        "Guided runs at {} of {} evaluations{}{}:",
+        budget.evaluations,
+        space.len(),
+        if continuous { ", off-grid (--continuous)" } else { "" },
+        if screen { ", lower-bound screened (--screen)" } else { "" },
+    );
     let strategies: Vec<Box<dyn SearchStrategy>> = vec![
-        Box::new(RandomSearch::new(7)),
-        Box::new(GeneticSearch::new(7)),
-        Box::new(SimulatedAnnealing::new(7)),
+        Box::new(RandomSearch::new(7).with_screening(screen)),
+        Box::new(GeneticSearch::new(7).with_snap_policy(snap).with_screening(screen)),
+        Box::new(SimulatedAnnealing::new(7).with_snap_policy(snap).with_screening(screen)),
     ];
     for strategy in &strategies {
         let cold = Sweeper::new(ModelParams::default());
@@ -55,6 +69,20 @@ fn main() {
             outcome.stats.requested,
             outcome.stats.elapsed,
         );
+        if screen {
+            println!(
+                "             lower-bound filter rejected {} candidates before the model ran",
+                outcome.stats.screened,
+            );
+        }
+        if continuous {
+            let off_grid =
+                outcome.evaluations.iter().filter(|e| !space.is_on_grid(&e.point)).count();
+            println!(
+                "             {} of {} evaluated designs are off-grid",
+                off_grid, outcome.stats.requested,
+            );
+        }
         let bars: Vec<String> = curve
             .samples
             .iter()

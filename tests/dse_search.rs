@@ -10,9 +10,9 @@
 
 use fusemax::dse::search::{
     convergence, hypervolume_fraction, GeneticSearch, RandomSearch, SearchBudget, SearchStrategy,
-    SimulatedAnnealing,
+    SimulatedAnnealing, SnapPolicy,
 };
-use fusemax::dse::{DesignSpace, EvalCache, Sweeper};
+use fusemax::dse::{dominates, DesignSpace, EvalCache, Objectives, Sweeper};
 use fusemax::model::{ConfigKind, ModelParams};
 use fusemax::workloads::TransformerConfig;
 
@@ -238,6 +238,212 @@ fn cache_file_round_trip_feeds_guided_search() {
         assert_eq!(evaluation.latency_s.to_bits(), recomputed.latency_s.to_bits());
         assert_eq!(evaluation.energy_j.to_bits(), recomputed.energy_j.to_bits());
         assert_eq!(evaluation.area_cm2.to_bits(), recomputed.area_cm2.to_bits());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn continuous_annealing_dominates_the_grid_frontier_off_grid() {
+    // The tentpole acceptance: a SnapPolicy::Continuous annealing run on
+    // the Fig 12 space must find at least one genuinely off-grid design
+    // that Pareto-dominates a point on the exhaustive *grid* frontier —
+    // proof that the grid cannot express the true frontier.
+    let space = fig12_space();
+    let sweeper = sweeper();
+    let exhaustive = sweeper.sweep(&space);
+    let grid_frontier = exhaustive.frontier_points();
+
+    let cold = Sweeper::new(ModelParams::default());
+    let outcome = SimulatedAnnealing::new(1).with_snap_policy(SnapPolicy::Continuous).search(
+        &cold,
+        &space,
+        SearchBudget::fraction(&space, 0.25),
+    );
+
+    let off_grid: Vec<_> =
+        outcome.evaluations.iter().filter(|e| !space.is_on_grid(&e.point)).collect();
+    assert!(!off_grid.is_empty(), "a continuous run never left the grid");
+
+    let dominators = off_grid
+        .iter()
+        .filter(|e| grid_frontier.iter().any(|g| dominates(&e.objectives(), &g.objectives())))
+        .count();
+    assert!(
+        dominators >= 1,
+        "no off-grid design dominated a grid frontier point ({} off-grid evaluations)",
+        off_grid.len()
+    );
+
+    // And the run still scores against the exhaustive grid baseline.
+    let fraction = hypervolume_fraction(&outcome.frontiers, &exhaustive);
+    assert!(
+        fraction >= 0.90,
+        "continuous run recovered only {:.1}% of the grid hypervolume",
+        fraction * 100.0
+    );
+    let curve = convergence(&outcome, &exhaustive, 9);
+    assert_eq!(curve.final_fraction(), fraction, "convergence must use the same scoring");
+}
+
+#[test]
+fn continuous_genetic_search_evaluates_off_grid_children() {
+    let space = fig12_space();
+    let cold = Sweeper::new(ModelParams::default());
+    let outcome = GeneticSearch::new(7).with_snap_policy(SnapPolicy::Continuous).search(
+        &cold,
+        &space,
+        SearchBudget::fraction(&space, 0.5),
+    );
+    let off_grid = outcome.evaluations.iter().filter(|e| !space.is_on_grid(&e.point)).count();
+    assert!(off_grid > 0, "no jittered child was evaluated off-grid");
+}
+
+#[test]
+fn continuous_strategies_are_deterministic_per_seed() {
+    let space = fig12_space();
+    let run = |seed: u64| {
+        let sweeper = Sweeper::new(ModelParams::default());
+        SimulatedAnnealing::new(seed).with_snap_policy(SnapPolicy::Continuous).search(
+            &sweeper,
+            &space,
+            SearchBudget::evaluations(30),
+        )
+    };
+    let a = run(5);
+    let b = run(5);
+    assert_eq!(a.evaluations.len(), b.evaluations.len());
+    for (x, y) in a.evaluations.iter().zip(&b.evaluations) {
+        assert_eq!(x.point, y.point, "continuous annealing diverged");
+        assert_eq!(x.latency_s.to_bits(), y.latency_s.to_bits());
+    }
+    let c = run(6);
+    assert!(
+        a.evaluations.iter().zip(&c.evaluations).any(|(x, y)| x.point != y.point),
+        "different seeds explored identically"
+    );
+}
+
+#[test]
+fn screening_cuts_full_evaluations_at_equal_hypervolume() {
+    // The multi-fidelity acceptance: with the lower-bound screen on, a
+    // budget 20% below the unscreened PR-2 baseline (45 evaluations at
+    // 25%) must still recover ≥90% of the exhaustive hypervolume — the
+    // screen spends cheap bound checks instead of model evaluations on
+    // provably-dominated candidates.
+    let space = fig12_space();
+    let sweeper = sweeper();
+    let exhaustive = sweeper.sweep(&space);
+    let baseline = SearchBudget::fraction(&space, 0.25);
+    assert_eq!(baseline.evaluations, 45);
+    let reduced = SearchBudget::evaluations(baseline.evaluations * 4 / 5);
+    assert_eq!(reduced.evaluations, 36);
+
+    let screened: Vec<Box<dyn SearchStrategy>> = vec![
+        Box::new(RandomSearch::new(7).with_screening(true)),
+        Box::new(GeneticSearch::new(7).with_screening(true)),
+        Box::new(SimulatedAnnealing::new(7).with_screening(true)),
+    ];
+    for strategy in screened {
+        let cold = Sweeper::new(ModelParams::default());
+        let outcome = strategy.search(&cold, &space, reduced);
+        // The cut itself: the run may not exceed the reduced budget (so
+        // relative to the 45-evaluation PR-2 baseline it spent ≥20%
+        // less), and — the non-vacuous half — the screen must have
+        // absorbed real load: the proposals it rejected, had they been
+        // evaluated instead, would have overflowed the reduced budget.
+        assert!(
+            outcome.stats.evaluated <= reduced.evaluations,
+            "{}: overspent the reduced budget",
+            strategy.name()
+        );
+        assert!(
+            outcome.stats.evaluated + outcome.stats.screened > reduced.evaluations,
+            "{}: the screen diverted nothing ({} evaluated + {} screened ≤ {} budget)",
+            strategy.name(),
+            outcome.stats.evaluated,
+            outcome.stats.screened,
+            reduced.evaluations
+        );
+        assert!(
+            outcome.stats.screened > 0,
+            "{}: the lower-bound screen never rejected anything",
+            strategy.name()
+        );
+        assert!(
+            outcome.stats.screened <= reduced.cheap,
+            "{}: screening overspent the cheap budget",
+            strategy.name()
+        );
+        let fraction = hypervolume_fraction(&outcome.frontiers, &exhaustive);
+        assert!(
+            fraction >= 0.90,
+            "{}: only {:.1}% of the exhaustive hypervolume with screening on",
+            strategy.name(),
+            fraction * 100.0
+        );
+    }
+}
+
+#[test]
+fn screened_rejections_never_evict_real_frontier_points() {
+    // Soundness: screening only rejects candidates whose *optimistic*
+    // bound is dominated, so every design on the unscreened frontier
+    // is either found or dominated by the screened run's frontier...
+    // but with a reduced trajectory the screened run may simply not
+    // visit a point. What must hold unconditionally: every screened
+    // run's frontier point is a real evaluation, and the screen itself
+    // charged no model evaluations.
+    let space = fig12_space();
+    let cold = Sweeper::new(ModelParams::default());
+    let outcome = RandomSearch::new(3).with_screening(true).search(
+        &cold,
+        &space,
+        SearchBudget::evaluations(30),
+    );
+    assert_eq!(
+        outcome.stats.evaluated + outcome.stats.cache_hits,
+        outcome.stats.requested,
+        "screened rejections must not be charged as requests"
+    );
+    for group in &outcome.frontiers {
+        for point in group.frontier.points() {
+            assert!(outcome.evaluations.iter().any(|e| std::sync::Arc::ptr_eq(e, point)));
+        }
+    }
+}
+
+#[test]
+fn off_grid_evaluations_round_trip_through_the_cache_file() {
+    // Off-grid entries must persist exactly like grid entries: same
+    // canonical keys, same bit-exact JSON, and a reloaded cache makes a
+    // continuous replay free.
+    let space = fig12_space();
+    let warm = Sweeper::new(ModelParams::default());
+    let run = || {
+        SimulatedAnnealing::new(1).with_snap_policy(SnapPolicy::Continuous).search(
+            &warm,
+            &space,
+            SearchBudget::evaluations(25),
+        )
+    };
+    let first = run();
+    assert!(first.evaluations.iter().any(|e| !space.is_on_grid(&e.point)));
+
+    let dir = std::env::temp_dir().join(format!("fusemax-dse-offgrid-{}", std::process::id()));
+    let path = dir.join("offgrid_cache.json");
+    warm.save_cache(&path).expect("save cache with off-grid entries");
+
+    let fresh = Sweeper::new(ModelParams::default());
+    assert_eq!(fresh.load_cache(&path).expect("load"), warm.cache().len());
+    let replay = SimulatedAnnealing::new(1).with_snap_policy(SnapPolicy::Continuous).search(
+        &fresh,
+        &space,
+        SearchBudget::evaluations(25),
+    );
+    assert_eq!(replay.stats.evaluated, 0, "off-grid replay must be free from the disk cache");
+    for (a, b) in first.evaluations.iter().zip(&replay.evaluations) {
+        assert_eq!(a.point, b.point);
+        assert_eq!(a.latency_s.to_bits(), b.latency_s.to_bits());
     }
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,121 @@
+//! Golden gates for every reproduced figure beyond Fig 12: the Fig 6,
+//! Fig 7, Fig 8/9, and Table 1 render outputs must match their checked-in
+//! goldens byte for byte, so drift anywhere in the analytical model, the
+//! energy tables, or the renderers fails the build instead of silently
+//! shipping wrong curves (the Fig 12 frontier gate lives in
+//! `tests/golden_frontier.rs`).
+//!
+//! To bless an *intentional* model change, regenerate every golden with
+//! `FUSEMAX_UPDATE_GOLDEN=1 cargo test --test golden_figures` and commit
+//! the diff.
+//!
+//! Each test also writes the *current* render to `target/figures/` so CI
+//! can upload the artifacts whether or not the diff passes.
+
+use fusemax::eval::fig8_9::{figure, Metric, Scope};
+use fusemax::eval::{fig6, fig7, table1};
+use fusemax::model::ModelParams;
+use std::path::{Path, PathBuf};
+
+/// CSV renders are used for the grids: `Grid::to_csv` formats every value
+/// with Rust's shortest-round-trip `f64` formatting, so the bytes are a
+/// deterministic function of the model — exactly what a golden diff needs.
+fn panels_csv(panels: &[fusemax::eval::render::Grid]) -> String {
+    panels.iter().map(|g| g.to_csv()).collect::<Vec<_>>().join("\n")
+}
+
+/// The current bytes of one gated render.
+fn current(name: &str) -> String {
+    let params = ModelParams::default();
+    match name {
+        "fig6_utilization.csv" => format!(
+            "{}\n{}",
+            panels_csv(&fig6::fig6(fig6::Array::OneD, &params)),
+            panels_csv(&fig6::fig6(fig6::Array::TwoD, &params)),
+        ),
+        "fig7_einsum_share.csv" => panels_csv(&fig7::fig7(&params)),
+        "fig8_9_attention.csv" => format!(
+            "{}\n{}",
+            panels_csv(&figure(Scope::Attention, Metric::Speedup, &params)),
+            panels_csv(&figure(Scope::Attention, Metric::EnergyUse, &params)),
+        ),
+        "table1.txt" => table1::render(&table1::table1().expect("pass analysis")),
+        other => panic!("no golden render named {other:?}"),
+    }
+}
+
+/// Diffs `name` against its golden, blessing it when
+/// `FUSEMAX_UPDATE_GOLDEN` is set, and always leaving the current render
+/// under `target/figures/` for artifact upload.
+fn gate(name: &str) {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let golden_path = root.join("tests/golden").join(name);
+    let rendered = current(name);
+
+    let out_dir: PathBuf = root.join("target/figures");
+    std::fs::create_dir_all(&out_dir).expect("create target/figures");
+    std::fs::write(out_dir.join(name), &rendered).expect("write current render");
+
+    if std::env::var_os("FUSEMAX_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &rendered).expect("write golden");
+        eprintln!("golden updated at {}", golden_path.display());
+        return;
+    }
+
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", golden_path.display()));
+    assert_eq!(
+        rendered, golden,
+        "{name} drifted from tests/golden/{name}.\n\
+         If the model change is intentional, regenerate with\n\
+         FUSEMAX_UPDATE_GOLDEN=1 cargo test --test golden_figures"
+    );
+}
+
+#[test]
+fn fig6_utilization_matches_the_golden() {
+    gate("fig6_utilization.csv");
+}
+
+#[test]
+fn fig7_einsum_share_matches_the_golden() {
+    gate("fig7_einsum_share.csv");
+}
+
+#[test]
+fn fig8_9_attention_matches_the_golden() {
+    gate("fig8_9_attention.csv");
+}
+
+#[test]
+fn table1_matches_the_golden() {
+    gate("table1.txt");
+}
+
+#[test]
+fn golden_renders_are_reproducible_within_a_run() {
+    // Two independent renders are byte-identical — the property the CI
+    // diff relies on.
+    for name in
+        ["fig6_utilization.csv", "fig7_einsum_share.csv", "fig8_9_attention.csv", "table1.txt"]
+    {
+        assert_eq!(current(name), current(name), "{name} is not deterministic");
+    }
+}
+
+#[test]
+fn golden_files_are_wellformed() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for (name, needles) in [
+        ("fig6_utilization.csv", &["Fig 6a", "Fig 6b", "BERT", "XLM"][..]),
+        ("fig7_einsum_share.csv", &["Fig 7", "QK", "idle"][..]),
+        ("fig8_9_attention.csv", &["Fig 8", "Fig 9", "T5"][..]),
+        ("table1.txt", &["Table I", "3-pass", "1-pass", "FlashAttention-2"][..]),
+    ] {
+        let golden = std::fs::read_to_string(root.join("tests/golden").join(name))
+            .unwrap_or_else(|e| panic!("missing golden {name}: {e}"));
+        for needle in needles {
+            assert!(golden.contains(needle), "{name} lacks {needle:?}");
+        }
+    }
+}
