@@ -121,6 +121,18 @@ impl ArchConfig {
     pub fn buffer_capacity_words(&self) -> u64 {
         self.global_buffer_bytes / self.word_bytes
     }
+
+    /// How many serving requests of `bytes_each` on-chip state (K/V cache
+    /// plus activations) fit in the global buffer simultaneously — the
+    /// batch-size ceiling a continuous-batching scheduler must respect.
+    /// At least 1: a request larger than the buffer streams through DRAM
+    /// instead of being unservable.
+    pub fn max_resident_requests(&self, bytes_each: u64) -> usize {
+        if bytes_each == 0 {
+            return usize::MAX;
+        }
+        ((self.global_buffer_bytes / bytes_each) as usize).max(1)
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +176,14 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_scale_panics() {
         let _ = ArchConfig::fusemax_scaled(0);
+    }
+
+    #[test]
+    fn resident_request_capacity_floors_at_one() {
+        let c = ArchConfig::fusemax_cloud();
+        assert_eq!(c.max_resident_requests(1 << 20), 16);
+        assert_eq!(c.max_resident_requests(64 << 20), 1, "oversized requests still run");
+        assert_eq!(c.max_resident_requests(0), usize::MAX);
     }
 
     #[test]

@@ -153,6 +153,107 @@ impl StandardDistributed for bool {
     }
 }
 
+/// Parameterized distributions, mirroring the `rand`/`rand_distr` API
+/// slice the workspace uses: a [`distributions::Distribution`] trait, the
+/// exponential distribution behind the serving simulator's
+/// Poisson/bursty inter-arrival gaps, and the geometric distribution
+/// (the discrete counterpart, kept API-compatible with
+/// `rand_distr::Geometric` for count-valued traffic models).
+pub mod distributions {
+    use super::{unit_f64, RngCore};
+
+    /// Types that can sample values of `T` from an [`RngCore`] — the
+    /// upstream `Distribution` contract.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Error constructing a distribution from invalid parameters
+    /// (upstream splits these per crate; one shared enum suffices here).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum ParamError {
+        /// The rate parameter `λ` must be positive and finite.
+        LambdaNotPositive,
+        /// The success probability `p` must lie in `(0, 1]`.
+        ProbabilityInvalid,
+    }
+
+    impl std::fmt::Display for ParamError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                ParamError::LambdaNotPositive => write!(f, "λ must be positive and finite"),
+                ParamError::ProbabilityInvalid => write!(f, "p must be in (0, 1]"),
+            }
+        }
+    }
+
+    impl std::error::Error for ParamError {}
+
+    /// The exponential distribution `Exp(λ)` with mean `1/λ` — the
+    /// inter-arrival law of a Poisson process (API-compatible with
+    /// `rand_distr::Exp`).
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Exp {
+        lambda: f64,
+    }
+
+    impl Exp {
+        /// An exponential distribution with rate `lambda`.
+        pub fn new(lambda: f64) -> Result<Self, ParamError> {
+            if lambda > 0.0 && lambda.is_finite() {
+                Ok(Exp { lambda })
+            } else {
+                Err(ParamError::LambdaNotPositive)
+            }
+        }
+    }
+
+    impl Distribution<f64> for Exp {
+        /// Inverse-CDF sampling: `-ln(1 - U) / λ` with `U ∈ [0, 1)`, so
+        /// the draw is always finite and nonnegative.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            -(1.0 - unit_f64(rng)).ln() / self.lambda
+        }
+    }
+
+    /// The geometric distribution counting failures before the first
+    /// success of a Bernoulli(`p`) trial, supported on `0, 1, 2, …`
+    /// (API-compatible with `rand_distr::Geometric`).
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Geometric {
+        p: f64,
+    }
+
+    impl Geometric {
+        /// A geometric distribution with success probability `p`.
+        pub fn new(p: f64) -> Result<Self, ParamError> {
+            if p > 0.0 && p <= 1.0 {
+                Ok(Geometric { p })
+            } else {
+                Err(ParamError::ProbabilityInvalid)
+            }
+        }
+    }
+
+    impl Distribution<u64> for Geometric {
+        /// Inverse-CDF sampling: `⌊ln(1 - U) / ln(1 - p)⌋`, exact for the
+        /// discrete geometric law; `p = 1` always yields 0.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            if self.p >= 1.0 {
+                return 0;
+            }
+            let u = unit_f64(rng);
+            let k = ((1.0 - u).ln() / (1.0 - self.p).ln()).floor();
+            if k >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                k as u64
+            }
+        }
+    }
+}
+
 /// Concrete generators.
 pub mod rngs {
     use super::{RngCore, SeedableRng};
@@ -229,6 +330,69 @@ mod tests {
         let sum: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum();
         let mean = sum / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_matches_its_rate() {
+        use super::distributions::{Distribution, Exp};
+        let mut rng = StdRng::seed_from_u64(21);
+        let exp = Exp::new(4.0).unwrap();
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = exp.sample(&mut rng);
+            assert!(x >= 0.0 && x.is_finite());
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}, expected 1/λ = 0.25");
+    }
+
+    #[test]
+    fn exponential_is_deterministic_per_seed() {
+        use super::distributions::{Distribution, Exp};
+        let exp = Exp::new(1.5).unwrap();
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(exp.sample(&mut a), exp.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn exponential_rejects_bad_rates() {
+        use super::distributions::Exp;
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(Exp::new(f64::INFINITY).is_err());
+        assert!(Exp::new(1e-9).is_ok());
+    }
+
+    #[test]
+    fn geometric_matches_its_mean() {
+        use super::distributions::{Distribution, Geometric};
+        let mut rng = StdRng::seed_from_u64(8);
+        let p = 0.2;
+        let geo = Geometric::new(p).unwrap();
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| geo.sample(&mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        // E[failures before first success] = (1 - p) / p = 4.
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}, expected 4");
+    }
+
+    #[test]
+    fn geometric_edge_cases() {
+        use super::distributions::{Distribution, Geometric};
+        let mut rng = StdRng::seed_from_u64(2);
+        let sure = Geometric::new(1.0).unwrap();
+        for _ in 0..100 {
+            assert_eq!(sure.sample(&mut rng), 0, "p = 1 always succeeds immediately");
+        }
+        assert!(Geometric::new(0.0).is_err());
+        assert!(Geometric::new(1.1).is_err());
+        assert!(Geometric::new(-0.5).is_err());
     }
 
     #[test]

@@ -239,6 +239,8 @@ mod tests {
             frequency: 0,
             array_dim: 256,
             buffer_bytes: stock,
+            frequency_hz: None,
+            dram_bw_bytes_per_sec: None,
         });
         assert_eq!(PointKey::of(&grid), PointKey::of(&alias));
 
@@ -249,6 +251,8 @@ mod tests {
             frequency: 0,
             array_dim: 256,
             buffer_bytes: stock - 1,
+            frequency_hz: None,
+            dram_bw_bytes_per_sec: None,
         });
         assert_ne!(PointKey::of(&grid), PointKey::of(&shrunk));
     }
@@ -297,6 +301,42 @@ mod tests {
                     && freq_idx_a == freq_idx_b
                     && seq_exp_a == seq_exp_b;
                 prop_assert_eq!(PointKey::of(&a) == PointKey::of(&b), same_inputs);
+            }
+
+            /// Materialized off-grid candidates with continuous clock and
+            /// bandwidth overrides still key canonically: two candidates
+            /// collide exactly when every materialized knob agrees — the
+            /// contract that lets the relaxed frequency/bandwidth walker
+            /// share one cache with everything else.
+            #[test]
+            fn materialized_off_grid_keys_never_collide(
+                kind_a in 0usize..2, kind_b in 0usize..2,
+                dim_a in 1usize..600, dim_b in 1usize..600,
+                buf_a in 1u64..(64 << 20), buf_b in 1u64..(64 << 20),
+                freq_a in 300.0e6f64..2.0e9, freq_b in 300.0e6f64..2.0e9,
+                bw_a in 100.0e9f64..800.0e9, bw_b in 100.0e9f64..800.0e9,
+            ) {
+                use crate::space::{Candidate, DesignSpace};
+                let space = DesignSpace::new()
+                    .with_kinds([ConfigKind::Flat, ConfigKind::FuseMaxBinding]);
+                let candidate = |k, d, b, f, bw| Candidate::OffGrid {
+                    workload: 0,
+                    seq_len: 0,
+                    kind: k,
+                    frequency: 0,
+                    array_dim: d,
+                    buffer_bytes: b,
+                    frequency_hz: Some(f),
+                    dram_bw_bytes_per_sec: Some(bw),
+                };
+                let a = space.materialize(&candidate(kind_a, dim_a, buf_a, freq_a, bw_a));
+                let b = space.materialize(&candidate(kind_b, dim_b, buf_b, freq_b, bw_b));
+                let same = kind_a == kind_b
+                    && dim_a == dim_b
+                    && buf_a == buf_b
+                    && freq_a == freq_b
+                    && bw_a == bw_b;
+                prop_assert_eq!(PointKey::of(&a) == PointKey::of(&b), same);
             }
 
             /// On-grid points keep their PR-2 keys: the key of a grid

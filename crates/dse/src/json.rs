@@ -910,6 +910,8 @@ mod tests {
                 frequency: 0,
                 array_dim: dim,
                 buffer_bytes: buf,
+                frequency_hz: None,
+                dram_bw_bytes_per_sec: None,
             });
             sweeper.evaluate(&point);
         }

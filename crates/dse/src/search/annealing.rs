@@ -60,6 +60,7 @@ pub struct SimulatedAnnealing {
     step_octaves: f64,
     snap: SnapPolicy,
     screening: bool,
+    clock_bw: bool,
 }
 
 impl SimulatedAnnealing {
@@ -74,7 +75,22 @@ impl SimulatedAnnealing {
             step_octaves: 1.0,
             snap: SnapPolicy::Grid,
             screening: false,
+            clock_bw: false,
         }
+    }
+
+    /// Additionally relaxes the clock and DRAM-bandwidth knobs
+    /// ([`Relaxation::freq_bounds`] / [`Relaxation::bw_bounds`]) under
+    /// [`SnapPolicy::Continuous`]: the walker carries continuous
+    /// log₂(Hz) and log₂(bytes/s) coordinates and proposes
+    /// [`Candidate::OffGrid`] designs with concrete `frequency_hz` /
+    /// `dram_bw_bytes_per_sec` overrides, so a continuous run can trade
+    /// clock rate against memory bandwidth the way it already trades
+    /// array size against buffer capacity. No effect under
+    /// [`SnapPolicy::Grid`].
+    pub fn with_clock_bw_relaxation(mut self, clock_bw: bool) -> Self {
+        self.clock_bw = clock_bw;
+        self
     }
 
     /// Replaces the snap policy: [`SnapPolicy::Continuous`] evaluates
@@ -115,12 +131,19 @@ impl SimulatedAnnealing {
 }
 
 /// The walker's state: continuous coordinates plus categorical indices.
+/// The clock/bandwidth coordinates are carried always but only drawn,
+/// stepped, and emitted when the strategy's clock/bandwidth relaxation is
+/// on — keeping the RNG stream (and therefore every seeded result) of
+/// runs without it unchanged.
 #[derive(Debug, Clone, Copy)]
 struct WalkerState {
     dim_log2: f64,
     buf_log2: f64,
     kind_idx: usize,
     freq_idx: usize,
+    freq_log2: f64,
+    bw_log2: f64,
+    clock_bw: bool,
 }
 
 impl WalkerState {
@@ -147,6 +170,14 @@ impl WalkerState {
             SnapPolicy::Continuous => {
                 let array_dim = relax.continuous_dim(self.dim_log2);
                 let base = arch_for(space.kinds()[self.kind_idx], array_dim).global_buffer_bytes;
+                let (frequency_hz, dram_bw_bytes_per_sec) = if self.clock_bw {
+                    (
+                        Some(relax.continuous_frequency_hz(self.freq_log2)),
+                        Some(relax.continuous_dram_bw(self.bw_log2)),
+                    )
+                } else {
+                    (None, None)
+                };
                 Candidate::OffGrid {
                     workload: wi,
                     seq_len: si,
@@ -154,6 +185,8 @@ impl WalkerState {
                     frequency: self.freq_idx,
                     array_dim,
                     buffer_bytes: relax.continuous_buffer_bytes(base, self.buf_log2),
+                    frequency_hz,
+                    dram_bw_bytes_per_sec,
                 }
             }
         }
@@ -207,6 +240,9 @@ impl SearchStrategy for SimulatedAnnealing {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let (dim_lo, dim_hi) = relax.dim_bounds();
         let (buf_lo, buf_hi) = relax.buf_bounds();
+        let (freq_lo, freq_hi) = relax.freq_bounds();
+        let (bw_lo, bw_hi) = relax.bw_bounds();
+        let clock_bw = self.clock_bw && self.snap == SnapPolicy::Continuous;
 
         let groups: Vec<(usize, usize)> =
             (0..n_workloads).flat_map(|wi| (0..n_seq_lens).map(move |si| (wi, si))).collect();
@@ -225,6 +261,13 @@ impl SearchStrategy for SimulatedAnnealing {
                 buf_log2: rng.gen_range(buf_lo..buf_hi),
                 kind_idx: rng.gen_range(0..n_kinds),
                 freq_idx: rng.gen_range(0..n_freqs),
+                freq_log2: if clock_bw {
+                    rng.gen_range(freq_lo..freq_hi)
+                } else {
+                    relax.freq_log2_of(0)
+                },
+                bw_log2: if clock_bw { rng.gen_range(bw_lo..bw_hi) } else { relax.bw_log2_stock() },
+                clock_bw,
             };
 
             let mut weights = random_weights(&mut rng);
@@ -257,6 +300,14 @@ impl SearchStrategy for SimulatedAnnealing {
                 next.buf_log2 = (next.buf_log2
                     + rng.gen_range(-self.step_octaves..self.step_octaves))
                 .clamp(buf_lo, buf_hi);
+                if clock_bw {
+                    // Clock and bandwidth live in half-octave-wide boxes,
+                    // so walk them at half the hardware-knob step.
+                    let half = self.step_octaves / 2.0;
+                    next.freq_log2 =
+                        (next.freq_log2 + rng.gen_range(-half..half)).clamp(freq_lo, freq_hi);
+                    next.bw_log2 = (next.bw_log2 + rng.gen_range(-half..half)).clamp(bw_lo, bw_hi);
+                }
                 if n_kinds > 1 && rng.gen_bool(0.3) {
                     next.kind_idx = rng.gen_range(0..n_kinds);
                 }
@@ -332,6 +383,56 @@ mod tests {
             SimulatedAnnealing::new(5).search(&sweeper, &space(), SearchBudget::evaluations(20));
         for (x, y) in a.evaluations.iter().zip(&b.evaluations) {
             assert_eq!(x.point, y.point);
+        }
+    }
+
+    #[test]
+    fn clock_bw_relaxation_walks_off_the_stock_clock_and_bandwidth() {
+        let sweeper = Sweeper::new(ModelParams::default());
+        let outcome = SimulatedAnnealing::new(4)
+            .with_snap_policy(SnapPolicy::Continuous)
+            .with_clock_bw_relaxation(true)
+            .search(&sweeper, &space(), SearchBudget::evaluations(30));
+        let off_clock =
+            outcome.evaluations.iter().filter(|e| e.point.arch.frequency_hz != 940e6).count();
+        let off_bw = outcome
+            .evaluations
+            .iter()
+            .filter(|e| e.point.arch.dram_bw_bytes_per_sec != 400e9)
+            .count();
+        assert!(off_clock > 0, "no evaluated design left the stock clock");
+        assert!(off_bw > 0, "no evaluated design left the stock bandwidth");
+        // The knobs stay inside the half-octave-padded boxes.
+        for e in &outcome.evaluations {
+            let f = e.point.arch.frequency_hz;
+            let bw = e.point.arch.dram_bw_bytes_per_sec;
+            assert!(f >= 940e6 / 2f64.sqrt() - 1.0 && f <= 940e6 * 2f64.sqrt() + 1.0, "{f}");
+            assert!(bw >= 400e9 / 2f64.sqrt() - 1.0 && bw <= 400e9 * 2f64.sqrt() + 1.0, "{bw}");
+        }
+    }
+
+    #[test]
+    fn clock_bw_relaxation_is_deterministic_and_off_by_default() {
+        let sweeper = Sweeper::new(ModelParams::default());
+        let strat = || {
+            SimulatedAnnealing::new(6)
+                .with_snap_policy(SnapPolicy::Continuous)
+                .with_clock_bw_relaxation(true)
+        };
+        let a = strat().search(&sweeper, &space(), SearchBudget::evaluations(20));
+        let b = strat().search(&sweeper, &space(), SearchBudget::evaluations(20));
+        for (x, y) in a.evaluations.iter().zip(&b.evaluations) {
+            assert_eq!(x.point, y.point);
+        }
+        // Without the flag, continuous runs keep the stock clock/bandwidth.
+        let plain = SimulatedAnnealing::new(6).with_snap_policy(SnapPolicy::Continuous).search(
+            &sweeper,
+            &space(),
+            SearchBudget::evaluations(20),
+        );
+        for e in &plain.evaluations {
+            assert_eq!(e.point.arch.frequency_hz, 940e6);
+            assert_eq!(e.point.arch.dram_bw_bytes_per_sec, 400e9);
         }
     }
 

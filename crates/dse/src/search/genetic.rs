@@ -144,6 +144,8 @@ fn offgrid_jitter(rng: &mut StdRng, space: &DesignSpace, genome: &AxisIndex) -> 
         frequency: fi,
         array_dim,
         buffer_bytes,
+        frequency_hz: None,
+        dram_bw_bytes_per_sec: None,
     }
 }
 

@@ -54,7 +54,17 @@ pub enum SnapPolicy {
 pub struct Relaxation {
     dim_log2: Vec<f64>,
     buf_log2: Vec<f64>,
+    freq_log2: Vec<f64>,
+    bw_log2: f64,
 }
+
+/// Stock clock both configuration families run at (Fig 2): the anchor of
+/// the continuous frequency knob when an axis entry is `None`.
+const STOCK_FREQUENCY_HZ: f64 = 940e6;
+
+/// Stock off-chip bandwidth of both families (Fig 2): the anchor of the
+/// continuous DRAM-bandwidth knob (no grid axis exists for bandwidth).
+const STOCK_DRAM_BW_BYTES_PER_SEC: f64 = 400e9;
 
 impl Relaxation {
     /// Builds the relaxation of `space`'s array-dimension and
@@ -66,12 +76,20 @@ impl Relaxation {
     /// relax).
     pub fn new(space: &DesignSpace) -> Self {
         assert!(
-            !space.array_dims().is_empty() && !space.buffer_scales().is_empty(),
+            !space.array_dims().is_empty()
+                && !space.buffer_scales().is_empty()
+                && !space.frequencies_hz().is_empty(),
             "cannot relax an empty axis"
         );
         Relaxation {
             dim_log2: space.array_dims().iter().map(|&d| (d as f64).log2()).collect(),
             buf_log2: space.buffer_scales().iter().map(|&s| s.log2()).collect(),
+            freq_log2: space
+                .frequencies_hz()
+                .iter()
+                .map(|f| f.unwrap_or(STOCK_FREQUENCY_HZ).log2())
+                .collect(),
+            bw_log2: STOCK_DRAM_BW_BYTES_PER_SEC.log2(),
         }
     }
 
@@ -114,6 +132,44 @@ impl Relaxation {
     /// count.
     pub fn continuous_buffer_bytes(&self, base_bytes: u64, buf_log2: f64) -> u64 {
         ((base_bytes as f64 * 2f64.powf(buf_log2)).ceil().max(1.0)) as u64
+    }
+
+    /// Inclusive log₂(Hz) bounds of the continuous clock knob: the
+    /// frequency axis's concrete values (stock 940 MHz standing in for
+    /// `None`), padded by half an octave — so a continuous run can trade
+    /// up to ~41 % of clock rate against bandwidth in either direction.
+    pub fn freq_bounds(&self) -> (f64, f64) {
+        bounds(&self.freq_log2)
+    }
+
+    /// Inclusive log₂(bytes/s) bounds of the continuous DRAM-bandwidth
+    /// knob, half an octave around the stock 400 GB/s (no grid axis
+    /// exists for bandwidth, so the stock value is the only anchor).
+    pub fn bw_bounds(&self) -> (f64, f64) {
+        (self.bw_log2 - 0.5, self.bw_log2 + 0.5)
+    }
+
+    /// The off-grid clock at continuous coordinate `freq_log2`, in hertz
+    /// (`2^freq_log2`) — the [`SnapPolicy::Continuous`] frequency knob.
+    pub fn continuous_frequency_hz(&self, freq_log2: f64) -> f64 {
+        2f64.powf(freq_log2)
+    }
+
+    /// The off-grid DRAM bandwidth at continuous coordinate `bw_log2`,
+    /// in bytes per second (`2^bw_log2`).
+    pub fn continuous_dram_bw(&self, bw_log2: f64) -> f64 {
+        2f64.powf(bw_log2)
+    }
+
+    /// The continuous coordinate of grid index `idx` on the frequency
+    /// axis (stock 940 MHz standing in for `None`).
+    pub fn freq_log2_of(&self, idx: usize) -> f64 {
+        self.freq_log2[idx]
+    }
+
+    /// The continuous coordinate of the stock DRAM bandwidth.
+    pub fn bw_log2_stock(&self) -> f64 {
+        self.bw_log2
     }
 
     /// The continuous coordinate of grid index `idx` on the dimension
@@ -235,6 +291,39 @@ mod tests {
         let between = relax.continuous_buffer_bytes(base, -0.5);
         assert!(between > base / 2 && between < base);
         assert_eq!(relax.continuous_buffer_bytes(1, -40.0), 1, "never rounds to zero");
+    }
+
+    #[test]
+    fn frequency_knob_anchors_on_the_axis_with_stock_for_none() {
+        let relax = Relaxation::new(&space());
+        // Default axis is [None] → stock 940 MHz, padded ±0.5 octave.
+        let (lo, hi) = relax.freq_bounds();
+        let stock = 940e6f64.log2();
+        assert_eq!(lo, stock - 0.5);
+        assert_eq!(hi, stock + 0.5);
+        assert_eq!(relax.freq_log2_of(0), stock);
+        let roundtrip = relax.continuous_frequency_hz(stock);
+        assert!((roundtrip / 940e6 - 1.0).abs() < 1e-12, "{roundtrip}");
+
+        // A concrete axis entry widens the anchored range.
+        let wide = Relaxation::new(&space().with_frequencies_hz([None, Some(470e6)]));
+        let (wlo, whi) = wide.freq_bounds();
+        assert_eq!(wlo, 470e6f64.log2() - 0.5);
+        assert_eq!(whi, stock + 0.5);
+    }
+
+    #[test]
+    fn bandwidth_knob_anchors_on_the_stock_400gbs() {
+        let relax = Relaxation::new(&space());
+        let stock = 400e9f64.log2();
+        assert_eq!(relax.bw_log2_stock(), stock);
+        let (lo, hi) = relax.bw_bounds();
+        assert_eq!((lo, hi), (stock - 0.5, stock + 0.5));
+        let roundtrip = relax.continuous_dram_bw(stock);
+        assert!((roundtrip / 400e9 - 1.0).abs() < 1e-12, "{roundtrip}");
+        // Half an octave up is √2× the bandwidth.
+        let up = relax.continuous_dram_bw(stock + 0.5);
+        assert!((up / 400e9 - 2f64.sqrt()).abs() < 1e-12);
     }
 
     #[test]

@@ -66,6 +66,14 @@ pub enum Candidate {
         /// Concrete global-buffer capacity in bytes, replacing the
         /// dimension-scaled default outright.
         buffer_bytes: u64,
+        /// Concrete clock override in hertz. `None` keeps whatever the
+        /// indexed `frequency` axis value yields; `Some(hz)` frees the
+        /// clock from the grid entirely, letting continuous runs trade
+        /// clock rate against memory bandwidth.
+        frequency_hz: Option<f64>,
+        /// Concrete off-chip bandwidth override in bytes per second
+        /// (`None` keeps the family's stock bandwidth).
+        dram_bw_bytes_per_sec: Option<f64>,
     },
 }
 
@@ -271,14 +279,40 @@ impl DesignSpace {
     pub fn materialize(&self, candidate: &Candidate) -> DesignPoint {
         match *candidate {
             Candidate::Grid(index) => self.point_at(index),
-            Candidate::OffGrid { workload, seq_len, kind, frequency, array_dim, buffer_bytes } => {
+            Candidate::OffGrid {
+                workload,
+                seq_len,
+                kind,
+                frequency,
+                array_dim,
+                buffer_bytes,
+                frequency_hz,
+                dram_bw_bytes_per_sec,
+            } => {
                 assert!(buffer_bytes > 0, "off-grid buffer must hold at least one byte");
                 let kind = self.kinds[kind];
                 let freq = self.frequencies_hz[frequency];
                 let mut arch = arch_for(kind, array_dim);
-                if let Some(hz) = freq {
+                // A concrete clock override supersedes the indexed axis
+                // value outright — applying both would stack two clock
+                // suffixes onto the name.
+                if let (Some(hz), None) = (freq, frequency_hz) {
                     arch.frequency_hz = hz;
                     arch.name = format!("{}@{:.0}MHz", arch.name, hz / 1e6);
+                }
+                if let Some(hz) = frequency_hz {
+                    assert!(hz > 0.0 && hz.is_finite(), "off-grid clock must be positive");
+                    if hz != arch.frequency_hz {
+                        arch.frequency_hz = hz;
+                        arch.name = format!("{}@{:.1}MHz", arch.name, hz / 1e6);
+                    }
+                }
+                if let Some(bw) = dram_bw_bytes_per_sec {
+                    assert!(bw > 0.0 && bw.is_finite(), "off-grid bandwidth must be positive");
+                    if bw != arch.dram_bw_bytes_per_sec {
+                        arch.dram_bw_bytes_per_sec = bw;
+                        arch.name = format!("{}-bw{:.1}GBs", arch.name, bw / 1e9);
+                    }
                 }
                 if buffer_bytes != arch.global_buffer_bytes {
                     arch.name = format!("{}-gb{buffer_bytes}", arch.name);
@@ -503,6 +537,8 @@ mod tests {
             frequency: 0,
             array_dim: 200,
             buffer_bytes: 12_345_678,
+            frequency_hz: None,
+            dram_bw_bytes_per_sec: None,
         });
         assert_eq!(point.array_dim, 200);
         assert_eq!(point.arch.array_rows, 200);
@@ -511,6 +547,44 @@ mod tests {
         assert_eq!(point.kind, ConfigKind::FuseMaxBinding);
         assert_eq!(point.workload.name, space.workloads()[2].name);
         assert!(point.arch.name.contains("gb12345678"), "{}", point.arch.name);
+    }
+
+    #[test]
+    fn off_grid_clock_and_bandwidth_overrides_apply() {
+        let space = DesignSpace::new().with_frequencies_hz([None, Some(470e6)]);
+        let point = space.materialize(&Candidate::OffGrid {
+            workload: 0,
+            seq_len: 0,
+            kind: 0,
+            frequency: 1,
+            array_dim: 200,
+            buffer_bytes: 1 << 20,
+            frequency_hz: Some(777.5e6),
+            dram_bw_bytes_per_sec: Some(512e9),
+        });
+        // The concrete overrides win over the indexed axis value, and the
+        // name carries exactly one clock tag.
+        assert_eq!(point.arch.frequency_hz, 777.5e6);
+        assert_eq!(point.arch.dram_bw_bytes_per_sec, 512e9);
+        assert!(point.arch.name.contains("777.5MHz"), "{}", point.arch.name);
+        assert!(!point.arch.name.contains("470MHz"), "{}", point.arch.name);
+        assert!(point.arch.name.contains("bw512.0GBs"), "{}", point.arch.name);
+        assert!(!space.is_on_grid(&point));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_off_grid_clock_is_rejected() {
+        let _ = DesignSpace::new().materialize(&Candidate::OffGrid {
+            workload: 0,
+            seq_len: 0,
+            kind: 0,
+            frequency: 0,
+            array_dim: 64,
+            buffer_bytes: 1 << 20,
+            frequency_hz: Some(0.0),
+            dram_bw_bytes_per_sec: None,
+        });
     }
 
     #[test]
@@ -527,6 +601,8 @@ mod tests {
             frequency: 0,
             array_dim: 256,
             buffer_bytes: stock,
+            frequency_hz: None,
+            dram_bw_bytes_per_sec: None,
         });
         assert!(space.is_on_grid(&aliased));
     }
@@ -547,6 +623,8 @@ mod tests {
             frequency: 0,
             array_dim: 200,
             buffer_bytes: 1 << 20,
+            frequency_hz: None,
+            dram_bw_bytes_per_sec: None,
         });
         assert!(!space.is_on_grid(&off));
         // Same dim as the grid but an off-grid buffer is still off-grid.
@@ -558,6 +636,8 @@ mod tests {
             frequency: 0,
             array_dim: 256,
             buffer_bytes: stock - 1,
+            frequency_hz: None,
+            dram_bw_bytes_per_sec: None,
         });
         assert!(!space.is_on_grid(&off_buf));
     }
@@ -572,6 +652,8 @@ mod tests {
             frequency: 0,
             array_dim: 64,
             buffer_bytes: 0,
+            frequency_hz: None,
+            dram_bw_bytes_per_sec: None,
         });
     }
 }

@@ -84,9 +84,87 @@ pub fn headline(params: &ModelParams) -> Headline {
     }
 }
 
+/// The serving headline: FuseMax+Binding versus FLAT under the canonical
+/// mixed prefill/decode trace (a scenario the paper's fixed-sequence-length
+/// figures cannot measure; see `crates/serve`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingHeadline {
+    /// +Binding goodput relative to FLAT (higher is better).
+    pub goodput_vs_flat: f64,
+    /// +Binding p99 time-to-first-token relative to FLAT (lower is
+    /// better).
+    pub p99_ttft_vs_flat: f64,
+    /// +Binding absolute p99 TTFT in seconds on the canonical trace.
+    pub p99_ttft_s: f64,
+}
+
+impl fmt::Display for ServingHeadline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "serving: {:.1}x goodput vs FLAT at {:.0}% of its p99 TTFT \
+             (p99 {:.3}s on the canonical mixed trace)",
+            self.goodput_vs_flat,
+            100.0 * self.p99_ttft_vs_flat,
+            self.p99_ttft_s,
+        )
+    }
+}
+
+/// The canonical mixed trace behind [`serving_headline`]: Poisson
+/// arrivals, a 3:1 short/long prompt mix, short decode phases — enough
+/// offered load to queue on FLAT without drowning either design.
+pub fn canonical_trace() -> fusemax_serve::Trace {
+    fusemax_serve::TrafficSpec {
+        arrivals: fusemax_serve::Arrivals::Poisson { rate_per_s: 200.0 },
+        prompt_mix: fusemax_serve::LengthMix::new([(512, 3.0), (4096, 1.0)]),
+        output_mix: fusemax_serve::LengthMix::uniform([8, 32]),
+        requests: 60,
+    }
+    .generate(2024)
+}
+
+/// Computes the serving headline: BERT on the iso-area cloud chips, FLAT
+/// versus +Binding, over [`canonical_trace`].
+pub fn serving_headline(params: &ModelParams) -> ServingHeadline {
+    use fusemax_serve::ServeSim;
+    let trace = canonical_trace();
+    let bert = TransformerConfig::bert();
+    let run = |kind: ConfigKind| {
+        ServeSim::new(kind, kind.default_arch(), bert.clone(), params.clone()).run(&trace)
+    };
+    let flat = run(ConfigKind::Flat);
+    let fusemax = run(ConfigKind::FuseMaxBinding);
+    ServingHeadline {
+        goodput_vs_flat: fusemax.goodput_rps / flat.goodput_rps,
+        p99_ttft_vs_flat: fusemax.ttft.p99 / flat.ttft.p99,
+        p99_ttft_s: fusemax.ttft.p99,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn serving_headline_favors_fusemax() {
+        let h = serving_headline(&ModelParams::default());
+        assert!(h.goodput_vs_flat >= 1.0, "goodput ratio {}", h.goodput_vs_flat);
+        assert!(
+            h.p99_ttft_vs_flat < 1.0,
+            "+Binding must cut FLAT's p99 TTFT, got {}",
+            h.p99_ttft_vs_flat
+        );
+        assert!(h.p99_ttft_s > 0.0);
+        let text = h.to_string();
+        assert!(text.contains("serving:"), "{text}");
+    }
+
+    #[test]
+    fn canonical_trace_is_stable() {
+        assert_eq!(canonical_trace(), canonical_trace());
+        assert_eq!(canonical_trace().len(), 60);
+    }
 
     #[test]
     fn headline_shapes_match_the_paper() {

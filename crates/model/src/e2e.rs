@@ -46,9 +46,22 @@ pub fn e2e_report(
     seq_len: usize,
     params: &ModelParams,
 ) -> E2eReport {
-    let arch = kind.default_arch();
-    let attention = crate::attention_report(kind, workload, seq_len, None, params);
-    let linear = linear_report(workload, seq_len, &arch, params);
+    e2e_report_on(kind, workload, seq_len, &kind.default_arch(), params)
+}
+
+/// [`e2e_report`] on an explicit architecture instead of the
+/// configuration family's stock cloud chip — what design-space and
+/// serving-simulation clients need, where the chip under evaluation is
+/// precisely what varies.
+pub fn e2e_report_on(
+    kind: ConfigKind,
+    workload: &TransformerConfig,
+    seq_len: usize,
+    arch: &ArchConfig,
+    params: &ModelParams,
+) -> E2eReport {
+    let attention = crate::attention_report(kind, workload, seq_len, Some(arch), params);
+    let linear = linear_report(workload, seq_len, arch, params);
     let layers = workload.layers;
     let cycles = (attention.cycles + linear.cycles) * layers as f64;
     let energy = (attention.energy + linear.energy).scaled(layers as f64);
@@ -100,6 +113,27 @@ mod tests {
         assert!((r.cycles - per_layer * r.layers as f64).abs() < 1.0);
         assert_eq!(r.layers, 12);
         assert!(r.energy.total_pj() > 0.0);
+    }
+
+    #[test]
+    fn explicit_stock_arch_reproduces_the_default_report() {
+        let kind = ConfigKind::FuseMaxBinding;
+        let bert = TransformerConfig::bert();
+        let params = ModelParams::default();
+        let default = e2e_report(kind, &bert, 1 << 14, &params);
+        let explicit = e2e_report_on(kind, &bert, 1 << 14, &kind.default_arch(), &params);
+        assert_eq!(default.cycles, explicit.cycles);
+        assert_eq!(default.energy.total_pj(), explicit.energy.total_pj());
+    }
+
+    #[test]
+    fn smaller_archs_are_slower_end_to_end() {
+        let kind = ConfigKind::FuseMaxBinding;
+        let bert = TransformerConfig::bert();
+        let params = ModelParams::default();
+        let big = e2e_report_on(kind, &bert, 1 << 14, &ArchConfig::fusemax_scaled(256), &params);
+        let small = e2e_report_on(kind, &bert, 1 << 14, &ArchConfig::fusemax_scaled(64), &params);
+        assert!(small.cycles > big.cycles);
     }
 
     #[test]

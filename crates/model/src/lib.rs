@@ -55,7 +55,7 @@ mod report;
 mod unfused;
 
 pub use config::ConfigKind;
-pub use e2e::{e2e_report, E2eReport};
+pub use e2e::{e2e_report, e2e_report_on, E2eReport};
 pub use flat::flat_dram_floor_per_head;
 pub use linear::{layer_gemms, linear_report, LinearReport};
 pub use mapper::{search_gemm_mapping, GemmMapping, GemmProblem};

@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+
+//! Traffic-driven serving simulation over the FuseMax analytical model:
+//! drive any design point with a seeded, replayable request trace and
+//! measure what the paper's fixed-sequence-length figures cannot — how
+//! the design behaves under a realistic mix of prefill and decode work.
+//!
+//! The paper (and [`fusemax_dse`]'s objectives) evaluate each design at
+//! one sequence length. Real attention serving is a *mixture*: prompts of
+//! many lengths arriving stochastically, each followed by a decode phase
+//! whose per-token cost is orders of magnitude below the prefill's. A
+//! design that wins at one fixed length can lose badly under such a mix —
+//! and the only way to see it is to simulate the queueing.
+//!
+//! # The pieces
+//!
+//! * [`TrafficSpec`] / [`Trace`] — seeded request generation: Poisson or
+//!   bursty [`Arrivals`], configurable prompt/output [`LengthMix`]es.
+//!   Traces are plain data; the same trace replays against any design.
+//! * [`ServeSim`] — a deterministic continuous-batching engine. Phase
+//!   service times come from the analytical model
+//!   ([`fusemax_model::e2e_report_on`], amortized per token for decode);
+//!   admission is byte-granular against the design's global buffer —
+//!   each request reserves its per-layer K/V footprint
+//!   ([`fusemax_arch::ArchConfig::max_resident_requests`] is the
+//!   uniform-request-size shorthand for the same bound).
+//! * [`ServeReport`] — goodput, token throughput, utilization, and exact
+//!   nearest-rank p50/p95/p99 latency quantiles ([`LatencyStats`]) for
+//!   TTFT, per-output-token latency, and end-to-end time.
+//! * [`ServeObjective`] — the DSE bridge: re-rank swept
+//!   [`fusemax_dse::Evaluation`]s by SLA-feasible goodput per unit area
+//!   ([`Sla`], [`ServeScore`]), so frontier selection reflects served
+//!   traffic rather than a single latency number.
+//!
+//! # Example
+//!
+//! ```
+//! use fusemax_model::ModelParams;
+//! use fusemax_serve::{Arrivals, LengthMix, ServeObjective, Sla, TrafficSpec};
+//! use fusemax_workloads::TransformerConfig;
+//!
+//! // A light interactive mix: short prompts, short answers.
+//! let trace = TrafficSpec {
+//!     arrivals: Arrivals::Poisson { rate_per_s: 25.0 },
+//!     prompt_mix: LengthMix::new([(256, 3.0), (1024, 1.0)]),
+//!     output_mix: LengthMix::uniform([8, 32]),
+//!     requests: 40,
+//! }
+//! .generate(7);
+//!
+//! // Sweep the Fig 12 chip family for BERT, then pick the best *server*.
+//! let params = ModelParams::default();
+//! let space = fusemax_dse::DesignSpace::new()
+//!     .with_workloads([TransformerConfig::bert()]);
+//! let outcome = fusemax_dse::Sweeper::new(params.clone()).sweep(&space);
+//!
+//! let objective = ServeObjective::new(trace, Sla::p99_ttft(0.25));
+//! let (best, score) = objective.best(&outcome.evaluations, &params).unwrap();
+//! assert!(score.report.completed == 40);
+//! // The serving winner is typically NOT the biggest (latency-best) chip.
+//! assert!(best.point.array_dim <= 512);
+//! ```
+
+mod objective;
+mod report;
+mod sim;
+mod traffic;
+
+pub use objective::{ServeObjective, ServeScore, Sla};
+pub use report::{LatencyStats, ServeReport};
+pub use sim::ServeSim;
+pub use traffic::{Arrivals, LengthMix, Request, Trace, TrafficSpec};

@@ -1,0 +1,227 @@
+//! The DSE bridge: score and re-rank design-space frontier members by
+//! served-traffic merit under an SLA, instead of by single-point latency.
+//!
+//! Fixed-sequence-length latency ranking always crowns the biggest chip.
+//! Under real traffic the question changes: once a design keeps up with
+//! the offered load inside the SLA, extra silicon buys nothing — so the
+//! serving-aware merit is **SLA-feasible goodput per unit area**, and the
+//! winner is typically a smaller chip than the latency winner. Designs
+//! that miss the SLA rank below every design that meets it, ordered by
+//! how badly they miss (p99 TTFT).
+
+use crate::report::ServeReport;
+use crate::sim::ServeSim;
+use crate::traffic::Trace;
+use fusemax_dse::{DesignPoint, Evaluation};
+use fusemax_model::ModelParams;
+use std::sync::Arc;
+
+/// A serving-latency service-level agreement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sla {
+    /// Ceiling on 99th-percentile time to first token, in seconds.
+    pub p99_ttft_s: f64,
+}
+
+impl Sla {
+    /// An SLA bounding p99 TTFT.
+    pub fn p99_ttft(seconds: f64) -> Self {
+        Sla { p99_ttft_s: seconds }
+    }
+
+    /// `true` when `report` satisfies every bound.
+    pub fn met_by(&self, report: &ServeReport) -> bool {
+        report.ttft.p99 <= self.p99_ttft_s
+    }
+}
+
+/// One design's serving score under a [`ServeObjective`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeScore {
+    /// Whether the SLA held over the whole trace.
+    pub meets_sla: bool,
+    /// Completed requests per second per cm² of chip — the serving-cost
+    /// merit used to rank SLA-feasible designs.
+    pub goodput_per_cm2: f64,
+    /// The full simulation report behind the score.
+    pub report: ServeReport,
+}
+
+/// Scores design points by simulating a traffic trace against them.
+///
+/// # Example
+///
+/// ```
+/// use fusemax_model::ModelParams;
+/// use fusemax_serve::{Arrivals, LengthMix, ServeObjective, Sla, TrafficSpec};
+///
+/// let trace = TrafficSpec {
+///     arrivals: Arrivals::Poisson { rate_per_s: 20.0 },
+///     prompt_mix: LengthMix::fixed(512),
+///     output_mix: LengthMix::fixed(8),
+///     requests: 30,
+/// }
+/// .generate(5);
+/// let objective = ServeObjective::new(trace, Sla::p99_ttft(0.5));
+///
+/// let space = fusemax_dse::DesignSpace::new()
+///     .with_workloads([fusemax_workloads::TransformerConfig::bert()]);
+/// let outcome = fusemax_dse::Sweeper::new(ModelParams::default()).sweep(&space);
+/// let ranked = objective.rank(&outcome.evaluations, &ModelParams::default());
+/// assert_eq!(ranked.len(), outcome.evaluations.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeObjective {
+    trace: Trace,
+    sla: Sla,
+}
+
+impl ServeObjective {
+    /// An objective serving `trace` under `sla`.
+    pub fn new(trace: Trace, sla: Sla) -> Self {
+        ServeObjective { trace, sla }
+    }
+
+    /// The trace driving the simulations.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The SLA scoring is judged against.
+    pub fn sla(&self) -> Sla {
+        self.sla
+    }
+
+    /// Simulates the trace on `point` and scores the outcome.
+    /// `area_cm2` is the design's chip area (available as
+    /// [`Evaluation::area_cm2`] for swept points).
+    pub fn score_point(
+        &self,
+        point: &DesignPoint,
+        area_cm2: f64,
+        params: &ModelParams,
+    ) -> ServeScore {
+        let report = ServeSim::for_point(point, params).run(&self.trace);
+        ServeScore {
+            meets_sla: self.sla.met_by(&report),
+            goodput_per_cm2: if area_cm2 > 0.0 { report.goodput_rps / area_cm2 } else { 0.0 },
+            report,
+        }
+    }
+
+    /// Scores one swept evaluation.
+    pub fn score(&self, evaluation: &Evaluation, params: &ModelParams) -> ServeScore {
+        self.score_point(&evaluation.point, evaluation.area_cm2, params)
+    }
+
+    /// Scores `evaluations` and returns them **best first** by
+    /// served-traffic merit: SLA-meeting designs ahead of SLA-missing
+    /// ones; within the feasible set, highest goodput per area first;
+    /// within the infeasible set, lowest p99 TTFT first. Ties break by
+    /// smaller area, then arrival order — fully deterministic.
+    ///
+    /// Ranking compares serving behavior, which is only meaningful for
+    /// designs serving the *same* workload — pass one
+    /// `(workload, seq_len)` group at a time (e.g. one
+    /// [`fusemax_dse::FrontierGroup`]'s points), exactly as with the
+    /// sweeper's latency objectives.
+    pub fn rank(
+        &self,
+        evaluations: &[Arc<Evaluation>],
+        params: &ModelParams,
+    ) -> Vec<(Arc<Evaluation>, ServeScore)> {
+        let mut scored: Vec<(Arc<Evaluation>, ServeScore)> =
+            evaluations.iter().map(|e| (Arc::clone(e), self.score(e, params))).collect();
+        scored.sort_by(|(ea, sa), (eb, sb)| {
+            sb.meets_sla
+                .cmp(&sa.meets_sla)
+                .then_with(|| {
+                    if sa.meets_sla && sb.meets_sla {
+                        sb.goodput_per_cm2.total_cmp(&sa.goodput_per_cm2)
+                    } else {
+                        sa.report.ttft.p99.total_cmp(&sb.report.ttft.p99)
+                    }
+                })
+                .then_with(|| ea.area_cm2.total_cmp(&eb.area_cm2))
+        });
+        scored
+    }
+
+    /// The best design under this objective, if any were given.
+    pub fn best(
+        &self,
+        evaluations: &[Arc<Evaluation>],
+        params: &ModelParams,
+    ) -> Option<(Arc<Evaluation>, ServeScore)> {
+        self.rank(evaluations, params).into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{Arrivals, LengthMix, TrafficSpec};
+    use fusemax_dse::{DesignSpace, Sweeper};
+    use fusemax_workloads::TransformerConfig;
+
+    fn trace(rate: f64, requests: usize) -> Trace {
+        TrafficSpec {
+            arrivals: Arrivals::Poisson { rate_per_s: rate },
+            prompt_mix: LengthMix::new([(256, 3.0), (2048, 1.0)]),
+            output_mix: LengthMix::uniform([8, 32]),
+            requests,
+        }
+        .generate(17)
+    }
+
+    #[test]
+    fn sla_partition_orders_the_ranking() {
+        let space = DesignSpace::new()
+            .with_array_dims([32, 128, 512])
+            .with_workloads([TransformerConfig::bert()]);
+        let params = ModelParams::default();
+        let outcome = Sweeper::new(params.clone()).sweep(&space);
+        let objective = ServeObjective::new(trace(30.0, 25), Sla::p99_ttft(0.25));
+        let ranked = objective.rank(&outcome.evaluations, &params);
+        assert_eq!(ranked.len(), 3);
+        // Once an SLA-missing design appears, no feasible design follows.
+        let mut seen_infeasible = false;
+        for (_, score) in &ranked {
+            if !score.meets_sla {
+                seen_infeasible = true;
+            } else {
+                assert!(!seen_infeasible, "feasible design ranked below an infeasible one");
+            }
+        }
+    }
+
+    #[test]
+    fn ranking_is_deterministic() {
+        let space =
+            DesignSpace::new().with_array_dims([64, 256]).with_workloads([TransformerConfig::t5()]);
+        let params = ModelParams::default();
+        let outcome = Sweeper::new(params.clone()).sweep(&space);
+        let objective = ServeObjective::new(trace(50.0, 20), Sla::p99_ttft(0.5));
+        let a = objective.rank(&outcome.evaluations, &params);
+        let b = objective.rank(&outcome.evaluations, &params);
+        for ((ea, sa), (eb, sb)) in a.iter().zip(&b) {
+            assert_eq!(ea.point, eb.point);
+            assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn an_impossible_sla_ranks_by_tail_latency() {
+        let space = DesignSpace::new()
+            .with_array_dims([64, 256])
+            .with_workloads([TransformerConfig::bert()]);
+        let params = ModelParams::default();
+        let outcome = Sweeper::new(params.clone()).sweep(&space);
+        let objective = ServeObjective::new(trace(50.0, 20), Sla::p99_ttft(1e-12));
+        let ranked = objective.rank(&outcome.evaluations, &params);
+        assert!(ranked.iter().all(|(_, s)| !s.meets_sla));
+        for w in ranked.windows(2) {
+            assert!(w[0].1.report.ttft.p99 <= w[1].1.report.ttft.p99);
+        }
+    }
+}

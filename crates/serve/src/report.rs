@@ -1,0 +1,161 @@
+//! What a serving run reports: throughput, utilization, and exact
+//! latency distributions.
+
+use std::fmt;
+
+/// Exact latency statistics over a sample set: nearest-rank quantiles on
+/// the sorted samples (no interpolation, no sketching), so two identical
+/// runs report bit-identical values.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyStats {
+    /// Number of samples the statistics summarize.
+    pub samples: usize,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl LatencyStats {
+    /// Summarizes `samples` (sorted in place). Empty input yields the
+    /// all-zero statistics.
+    pub fn of(samples: &mut [f64]) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_by(f64::total_cmp);
+        let n = samples.len();
+        let q = |p: f64| samples[((p * n as f64).ceil() as usize).clamp(1, n) - 1];
+        LatencyStats {
+            samples: n,
+            mean: samples.iter().sum::<f64>() / n as f64,
+            p50: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
+            max: samples[n - 1],
+        }
+    }
+}
+
+impl fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "p50={:.3}s p95={:.3}s p99={:.3}s max={:.3}s (n={})",
+            self.p50, self.p95, self.p99, self.max, self.samples
+        )
+    }
+}
+
+/// The outcome of serving one [`crate::Trace`] on one design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Requests served to completion (every trace request, by
+    /// construction — the engine never drops work).
+    pub completed: usize,
+    /// Output tokens generated.
+    pub output_tokens: usize,
+    /// Engine iterations executed.
+    pub iterations: usize,
+    /// Wall-clock seconds from trace start to the last completion.
+    pub makespan_s: f64,
+    /// Seconds the accelerator spent executing (the rest is idle waiting
+    /// for arrivals).
+    pub busy_s: f64,
+    /// Completed requests per second of makespan.
+    pub goodput_rps: f64,
+    /// Output tokens per second of makespan.
+    pub token_throughput_per_s: f64,
+    /// `busy_s / makespan_s`.
+    pub utilization: f64,
+    /// Peak bytes of per-layer K/V state resident in the global buffer.
+    pub peak_resident_bytes: u64,
+    /// Peak number of simultaneously resident requests.
+    pub peak_batch: usize,
+    /// The design's global-buffer capacity (the admission bound).
+    pub buffer_bytes: u64,
+    /// Time-to-first-token distribution (arrival → first output token).
+    pub ttft: LatencyStats,
+    /// Per-output-token decode latency distribution (requests with a
+    /// single output token have no decode phase and contribute no
+    /// sample).
+    pub tpot: LatencyStats,
+    /// End-to-end request latency distribution (arrival → completion).
+    pub e2e: LatencyStats,
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "served {} requests ({} tokens) in {:.3}s: {:.1} req/s, {:.0} tok/s, util {:.0}%",
+            self.completed,
+            self.output_tokens,
+            self.makespan_s,
+            self.goodput_rps,
+            self.token_throughput_per_s,
+            100.0 * self.utilization,
+        )?;
+        writeln!(f, "  TTFT {}", self.ttft)?;
+        writeln!(f, "  TPOT {}", self.tpot)?;
+        write!(
+            f,
+            "  E2E  {} | peak batch {} ({:.1} MB of {:.1} MB buffer)",
+            self.e2e,
+            self.peak_batch,
+            self.peak_resident_bytes as f64 / (1 << 20) as f64,
+            self.buffer_bytes as f64 / (1 << 20) as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_nearest_rank_exact() {
+        let mut samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let stats = LatencyStats::of(&mut samples);
+        assert_eq!(stats.p50, 50.0);
+        assert_eq!(stats.p95, 95.0);
+        assert_eq!(stats.p99, 99.0);
+        assert_eq!(stats.max, 100.0);
+        assert_eq!(stats.mean, 50.5);
+        assert_eq!(stats.samples, 100);
+    }
+
+    #[test]
+    fn small_samples_clamp_sanely() {
+        let mut one = vec![3.5];
+        let stats = LatencyStats::of(&mut one);
+        assert_eq!(stats.p50, 3.5);
+        assert_eq!(stats.p99, 3.5);
+        assert_eq!(stats.max, 3.5);
+
+        let empty = LatencyStats::of(&mut []);
+        assert_eq!(empty.samples, 0);
+        assert_eq!(empty.p99, 0.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_first() {
+        let mut samples = vec![5.0, 1.0, 4.0, 2.0, 3.0];
+        let stats = LatencyStats::of(&mut samples);
+        assert_eq!(stats.p50, 3.0);
+        assert_eq!(stats.max, 5.0);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let mut samples = vec![0.25, 0.5];
+        let text = LatencyStats::of(&mut samples).to_string();
+        assert!(text.contains("p99=0.500s"), "{text}");
+    }
+}

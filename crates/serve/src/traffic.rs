@@ -1,0 +1,311 @@
+//! Seeded traffic generation: request arrival processes and length mixes
+//! that compile into replayable [`Trace`]s.
+//!
+//! A trace is plain data — request ids, arrival times, prompt and output
+//! token counts — so the same trace can drive any number of design
+//! points, and two generations from the same [`TrafficSpec`] and seed are
+//! bit-identical.
+
+use rand::distributions::{Distribution, Exp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One serving request: a prompt to prefill and a number of output tokens
+/// to decode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Position in the trace (0-based; doubles as a stable identity).
+    pub id: usize,
+    /// Arrival time in seconds from the start of the trace.
+    pub arrival_s: f64,
+    /// Prompt length in tokens (the prefill phase's sequence length).
+    pub prompt_tokens: usize,
+    /// Output tokens to generate (≥ 1; the first is produced by prefill).
+    pub output_tokens: usize,
+}
+
+/// A replayable request stream, sorted by arrival time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// The requests, in arrival order.
+    pub requests: Vec<Request>,
+}
+
+impl Trace {
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// `true` when the trace holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Arrival time of the last request (0 for an empty trace).
+    pub fn last_arrival_s(&self) -> f64 {
+        self.requests.last().map_or(0.0, |r| r.arrival_s)
+    }
+
+    /// Total output tokens across all requests.
+    pub fn total_output_tokens(&self) -> usize {
+        self.requests.iter().map(|r| r.output_tokens).sum()
+    }
+
+    /// Total prompt tokens across all requests.
+    pub fn total_prompt_tokens(&self) -> usize {
+        self.requests.iter().map(|r| r.prompt_tokens).sum()
+    }
+
+    /// Mean offered load in requests per second (0 for traces shorter
+    /// than two requests).
+    pub fn offered_rate_rps(&self) -> f64 {
+        if self.requests.len() < 2 || self.last_arrival_s() == 0.0 {
+            0.0
+        } else {
+            self.requests.len() as f64 / self.last_arrival_s()
+        }
+    }
+}
+
+/// The arrival process of a [`TrafficSpec`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrivals {
+    /// Poisson arrivals: independent exponential inter-arrival gaps with
+    /// mean `1 / rate_per_s`.
+    Poisson {
+        /// Mean arrival rate in requests per second.
+        rate_per_s: f64,
+    },
+    /// Bursty arrivals: requests land in simultaneous groups of `burst`,
+    /// with exponential gaps between groups sized so the *mean* rate
+    /// still equals `rate_per_s` — the heavy-tail pattern that stresses
+    /// tail latency far beyond a smooth Poisson stream.
+    Bursty {
+        /// Mean arrival rate in requests per second.
+        rate_per_s: f64,
+        /// Requests per burst (≥ 1).
+        burst: usize,
+    },
+}
+
+/// A discrete mix over token lengths: each `(tokens, weight)` choice is
+/// drawn with probability proportional to its weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LengthMix {
+    choices: Vec<(usize, f64)>,
+}
+
+impl LengthMix {
+    /// A mix over explicit `(tokens, weight)` choices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no choice is given, or any weight is non-positive or
+    /// non-finite.
+    pub fn new(choices: impl IntoIterator<Item = (usize, f64)>) -> Self {
+        let choices: Vec<(usize, f64)> = choices.into_iter().collect();
+        assert!(!choices.is_empty(), "a length mix needs at least one choice");
+        for &(tokens, w) in &choices {
+            assert!(w > 0.0 && w.is_finite(), "weight {w} for {tokens} tokens must be positive");
+        }
+        LengthMix { choices }
+    }
+
+    /// Every length equally likely.
+    pub fn uniform(lengths: impl IntoIterator<Item = usize>) -> Self {
+        Self::new(lengths.into_iter().map(|l| (l, 1.0)))
+    }
+
+    /// A single fixed length.
+    pub fn fixed(tokens: usize) -> Self {
+        Self::new([(tokens, 1.0)])
+    }
+
+    /// The `(tokens, weight)` choices.
+    pub fn choices(&self) -> &[(usize, f64)] {
+        &self.choices
+    }
+
+    /// Weighted mean length.
+    pub fn mean(&self) -> f64 {
+        let total: f64 = self.choices.iter().map(|&(_, w)| w).sum();
+        self.choices.iter().map(|&(l, w)| l as f64 * w).sum::<f64>() / total
+    }
+
+    /// Draws one length.
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let total: f64 = self.choices.iter().map(|&(_, w)| w).sum();
+        let mut x = rng.gen_range(0.0..total);
+        for &(tokens, w) in &self.choices {
+            if x < w {
+                return tokens;
+            }
+            x -= w;
+        }
+        // Rounding can leave x == 0 after the last subtraction.
+        self.choices.last().expect("non-empty").0
+    }
+}
+
+/// A declarative traffic model: how requests arrive and how long their
+/// prompts and outputs are.
+///
+/// # Example
+///
+/// ```
+/// use fusemax_serve::{Arrivals, LengthMix, TrafficSpec};
+///
+/// let spec = TrafficSpec {
+///     arrivals: Arrivals::Poisson { rate_per_s: 8.0 },
+///     prompt_mix: LengthMix::new([(512, 3.0), (4096, 1.0)]),
+///     output_mix: LengthMix::uniform([16, 64, 256]),
+///     requests: 100,
+/// };
+/// let trace = spec.generate(7);
+/// assert_eq!(trace.len(), 100);
+/// assert_eq!(trace, spec.generate(7), "same seed, same trace");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficSpec {
+    /// The arrival process.
+    pub arrivals: Arrivals,
+    /// Prompt-length mix (prefill cost driver).
+    pub prompt_mix: LengthMix,
+    /// Output-length mix (decode cost driver; lengths are clamped to ≥ 1).
+    pub output_mix: LengthMix,
+    /// How many requests the trace holds.
+    pub requests: usize,
+}
+
+impl TrafficSpec {
+    /// Compiles the spec into a replayable [`Trace`], fully determined by
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrival rate is non-positive or a bursty process has
+    /// `burst = 0`.
+    pub fn generate(&self, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut requests = Vec::with_capacity(self.requests);
+        let mut clock = 0.0f64;
+        let gap_dist = match self.arrivals {
+            Arrivals::Poisson { rate_per_s } => {
+                Exp::new(rate_per_s).expect("arrival rate must be positive")
+            }
+            Arrivals::Bursty { rate_per_s, burst } => {
+                assert!(burst > 0, "bursts must hold at least one request");
+                // Gaps separate bursts, so the per-gap rate is scaled down
+                // by the burst size to keep the mean request rate.
+                Exp::new(rate_per_s / burst as f64).expect("arrival rate must be positive")
+            }
+        };
+        for id in 0..self.requests {
+            let new_burst = match self.arrivals {
+                Arrivals::Poisson { .. } => true,
+                Arrivals::Bursty { burst, .. } => id % burst == 0,
+            };
+            if new_burst {
+                clock += gap_dist.sample(&mut rng);
+            }
+            let prompt_tokens = self.prompt_mix.sample(&mut rng).max(1);
+            let output_tokens = self.output_mix.sample(&mut rng).max(1);
+            requests.push(Request { id, arrival_s: clock, prompt_tokens, output_tokens });
+        }
+        Trace { requests }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(arrivals: Arrivals) -> TrafficSpec {
+        TrafficSpec {
+            arrivals,
+            prompt_mix: LengthMix::new([(256, 1.0), (2048, 1.0)]),
+            output_mix: LengthMix::uniform([8, 64]),
+            requests: 500,
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let s = spec(Arrivals::Poisson { rate_per_s: 10.0 });
+        assert_eq!(s.generate(42), s.generate(42));
+        assert_ne!(s.generate(42), s.generate(43));
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_rates_are_respected() {
+        let s = spec(Arrivals::Poisson { rate_per_s: 10.0 });
+        let trace = s.generate(1);
+        for w in trace.requests.windows(2) {
+            assert!(w[1].arrival_s >= w[0].arrival_s);
+        }
+        let rate = trace.offered_rate_rps();
+        assert!((7.0..13.0).contains(&rate), "offered rate {rate} far from 10");
+    }
+
+    #[test]
+    fn bursts_arrive_simultaneously_at_the_same_mean_rate() {
+        let s = spec(Arrivals::Bursty { rate_per_s: 10.0, burst: 5 });
+        let trace = s.generate(9);
+        // Within a burst, arrival times are identical.
+        for chunk in trace.requests.chunks(5) {
+            for r in chunk {
+                assert_eq!(r.arrival_s, chunk[0].arrival_s);
+            }
+        }
+        let rate = trace.offered_rate_rps();
+        assert!((6.0..15.0).contains(&rate), "offered rate {rate} far from 10");
+    }
+
+    #[test]
+    fn lengths_come_from_the_mix() {
+        let s = spec(Arrivals::Poisson { rate_per_s: 5.0 });
+        let trace = s.generate(3);
+        for r in &trace.requests {
+            assert!(r.prompt_tokens == 256 || r.prompt_tokens == 2048);
+            assert!(r.output_tokens == 8 || r.output_tokens == 64);
+        }
+        // Both prompt choices actually occur at equal weights.
+        let short = trace.requests.iter().filter(|r| r.prompt_tokens == 256).count();
+        assert!((100..400).contains(&short), "short prompts {short}/500");
+    }
+
+    #[test]
+    fn mix_mean_is_weighted() {
+        let mix = LengthMix::new([(100, 3.0), (500, 1.0)]);
+        assert_eq!(mix.mean(), 200.0);
+        assert_eq!(LengthMix::fixed(64).mean(), 64.0);
+    }
+
+    #[test]
+    fn trace_totals() {
+        let trace = Trace {
+            requests: vec![
+                Request { id: 0, arrival_s: 0.0, prompt_tokens: 10, output_tokens: 4 },
+                Request { id: 1, arrival_s: 2.0, prompt_tokens: 30, output_tokens: 6 },
+            ],
+        };
+        assert_eq!(trace.total_prompt_tokens(), 40);
+        assert_eq!(trace.total_output_tokens(), 10);
+        assert_eq!(trace.last_arrival_s(), 2.0);
+        assert_eq!(trace.offered_rate_rps(), 1.0);
+        assert!(Trace::default().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one choice")]
+    fn empty_mixes_are_rejected() {
+        let _ = LengthMix::new([]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_weights_are_rejected() {
+        let _ = LengthMix::new([(64, 0.0)]);
+    }
+}

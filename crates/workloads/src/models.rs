@@ -111,6 +111,21 @@ impl TransformerConfig {
         self.batch * self.heads
     }
 
+    /// The same model at a different batch size. Serving simulators model
+    /// *per-request* service times, so they evaluate at `batch = 1` and
+    /// let the scheduler decide how many requests share the chip.
+    pub fn with_batch(&self, batch: usize) -> Self {
+        Self { batch, ..self.clone() }
+    }
+
+    /// Bytes of K/V cache one token occupies across all layers and heads
+    /// (`2 tensors × layers × H × E × word_bytes`) — what bounds how many
+    /// requests can stay resident in an accelerator's global buffer
+    /// during decode.
+    pub fn kv_bytes_per_token(&self, word_bytes: u64) -> u64 {
+        2 * self.layers as u64 * (self.heads * self.head_dim) as u64 * word_bytes
+    }
+
     /// MACC-class operation counts for one encoder layer at sequence
     /// length `seq_len` (see [`LayerOps`]).
     pub fn layer_ops(&self, seq_len: usize) -> LayerOps {
@@ -161,6 +176,22 @@ mod tests {
         assert_eq!(seq_label(65536), "64K");
         assert_eq!(seq_label(1048576), "1M");
         assert_eq!(seq_label(512), "512");
+    }
+
+    #[test]
+    fn with_batch_changes_only_the_batch() {
+        let one = TransformerConfig::bert().with_batch(1);
+        assert_eq!(one.batch, 1);
+        assert_eq!(one.batch_heads(), 12);
+        assert_eq!(TransformerConfig { batch: 64, ..one }, TransformerConfig::bert());
+    }
+
+    #[test]
+    fn kv_bytes_count_both_tensors_across_layers() {
+        // BERT fp16: 2 × 12 layers × 768 model width × 2 bytes = 36 KiB/token.
+        assert_eq!(TransformerConfig::bert().kv_bytes_per_token(2), 2 * 12 * 768 * 2);
+        // XLM's wider heads cost proportionally more.
+        assert_eq!(TransformerConfig::xlm().kv_bytes_per_token(2), 2 * 12 * 2048 * 2);
     }
 
     #[test]

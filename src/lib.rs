@@ -17,6 +17,7 @@
 //! | [`model`] | analytical performance/energy models of all configurations | §VI |
 //! | [`workloads`] | BERT / TrXL / T5 / XLM definitions | §VI-A |
 //! | [`dse`] | parallel design-space search: Pareto frontiers, pruning, eval cache | §VI Fig 12 generalized |
+//! | [`serve`] | traffic-driven serving simulator, SLA-aware design selection | beyond the paper |
 //! | [`eval`] | figure/table regeneration harness | §VI Figs 6–12, Table I |
 //!
 //! # Quickstart
@@ -48,6 +49,7 @@ pub use fusemax_dse as dse;
 pub use fusemax_einsum as einsum;
 pub use fusemax_eval as eval;
 pub use fusemax_model as model;
+pub use fusemax_serve as serve;
 pub use fusemax_spatial as spatial;
 pub use fusemax_tensor as tensor;
 pub use fusemax_workloads as workloads;

@@ -1,9 +1,9 @@
-//! Golden gates for every reproduced figure beyond Fig 12: the Fig 6,
-//! Fig 7, Fig 8/9, and Table 1 render outputs must match their checked-in
-//! goldens byte for byte, so drift anywhere in the analytical model, the
-//! energy tables, or the renderers fails the build instead of silently
-//! shipping wrong curves (the Fig 12 frontier gate lives in
-//! `tests/golden_frontier.rs`).
+//! Golden gates for every reproduced figure beyond Fig 12: the Fig 1b,
+//! Fig 6, Fig 7, Fig 8/9, Fig 10/11, and Table 1 render outputs must
+//! match their checked-in goldens byte for byte, so drift anywhere in the
+//! analytical model, the energy tables, or the renderers fails the build
+//! instead of silently shipping wrong curves (the Fig 12 frontier gate
+//! lives in `tests/golden_frontier.rs`).
 //!
 //! To bless an *intentional* model change, regenerate every golden with
 //! `FUSEMAX_UPDATE_GOLDEN=1 cargo test --test golden_figures` and commit
@@ -13,8 +13,9 @@
 //! can upload the artifacts whether or not the diff passes.
 
 use fusemax::eval::fig8_9::{figure, Metric, Scope};
-use fusemax::eval::{fig6, fig7, table1};
+use fusemax::eval::{fig1b, fig6, fig7, table1};
 use fusemax::model::ModelParams;
+use fusemax::workloads::TransformerConfig;
 use std::path::{Path, PathBuf};
 
 /// CSV renders are used for the grids: `Grid::to_csv` formats every value
@@ -28,6 +29,16 @@ fn panels_csv(panels: &[fusemax::eval::render::Grid]) -> String {
 fn current(name: &str) -> String {
     let params = ModelParams::default();
     match name {
+        "fig1b_compute.csv" => {
+            let grids: Vec<fusemax::eval::render::Grid> =
+                TransformerConfig::all().iter().map(fig1b::fig1b).collect();
+            panels_csv(&grids)
+        }
+        "fig10_11_e2e.csv" => format!(
+            "{}\n{}",
+            panels_csv(&figure(Scope::EndToEnd, Metric::Speedup, &params)),
+            panels_csv(&figure(Scope::EndToEnd, Metric::EnergyUse, &params)),
+        ),
         "fig6_utilization.csv" => format!(
             "{}\n{}",
             panels_csv(&fig6::fig6(fig6::Array::OneD, &params)),
@@ -73,6 +84,16 @@ fn gate(name: &str) {
 }
 
 #[test]
+fn fig1b_compute_matches_the_golden() {
+    gate("fig1b_compute.csv");
+}
+
+#[test]
+fn fig10_11_e2e_matches_the_golden() {
+    gate("fig10_11_e2e.csv");
+}
+
+#[test]
 fn fig6_utilization_matches_the_golden() {
     gate("fig6_utilization.csv");
 }
@@ -96,9 +117,14 @@ fn table1_matches_the_golden() {
 fn golden_renders_are_reproducible_within_a_run() {
     // Two independent renders are byte-identical — the property the CI
     // diff relies on.
-    for name in
-        ["fig6_utilization.csv", "fig7_einsum_share.csv", "fig8_9_attention.csv", "table1.txt"]
-    {
+    for name in [
+        "fig1b_compute.csv",
+        "fig6_utilization.csv",
+        "fig7_einsum_share.csv",
+        "fig8_9_attention.csv",
+        "fig10_11_e2e.csv",
+        "table1.txt",
+    ] {
         assert_eq!(current(name), current(name), "{name} is not deterministic");
     }
 }
@@ -107,9 +133,11 @@ fn golden_renders_are_reproducible_within_a_run() {
 fn golden_files_are_wellformed() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     for (name, needles) in [
+        ("fig1b_compute.csv", &["Fig 1b", "BERT", "XLM", "Attn", "Linear"][..]),
         ("fig6_utilization.csv", &["Fig 6a", "Fig 6b", "BERT", "XLM"][..]),
         ("fig7_einsum_share.csv", &["Fig 7", "QK", "idle"][..]),
         ("fig8_9_attention.csv", &["Fig 8", "Fig 9", "T5"][..]),
+        ("fig10_11_e2e.csv", &["Fig 10", "Fig 11", "TrXL"][..]),
         ("table1.txt", &["Table I", "3-pass", "1-pass", "FlashAttention-2"][..]),
     ] {
         let golden = std::fs::read_to_string(root.join("tests/golden").join(name))

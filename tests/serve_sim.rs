@@ -1,0 +1,196 @@
+//! Acceptance and invariant tests for the serving subsystem (ISSUE 4):
+//!
+//! * conservation proptests — every generated request completes exactly
+//!   once, residency never exceeds the buffer-derived capacity, and
+//!   identical seeds yield bit-identical [`ServeReport`]s;
+//! * the tentpole acceptance — on a seeded mixed prefill/decode trace
+//!   over the Fig 12 design space, `ServeObjective` ranking selects a
+//!   *different* best design than fixed-sequence-length latency ranking,
+//!   and replaying the same trace twice reproduces the report exactly
+//!   (p99 included).
+
+use fusemax::dse::{DesignSpace, Sweeper};
+use fusemax::model::{ConfigKind, ModelParams};
+use fusemax::serve::{Arrivals, LengthMix, ServeObjective, ServeSim, Sla, TrafficSpec};
+use fusemax::workloads::TransformerConfig;
+use proptest::prelude::*;
+
+fn mixed_spec(rate: f64, requests: usize) -> TrafficSpec {
+    TrafficSpec {
+        arrivals: Arrivals::Poisson { rate_per_s: rate },
+        prompt_mix: LengthMix::new([(512, 3.0), (4096, 1.0)]),
+        output_mix: LengthMix::uniform([8, 32]),
+        requests,
+    }
+}
+
+/// The Fig 12 BERT frontier, the acceptance criterion's design space.
+fn bert_frontier() -> Vec<std::sync::Arc<fusemax::dse::Evaluation>> {
+    let space = DesignSpace::new().with_workloads([TransformerConfig::bert()]);
+    let outcome = Sweeper::new(ModelParams::default()).sweep(&space);
+    outcome.frontier_for("BERT", 1 << 18).expect("BERT group").frontier.points().to_vec()
+}
+
+#[test]
+fn serving_ranking_differs_from_latency_ranking_on_a_mixed_trace() {
+    let params = ModelParams::default();
+    let evaluations = bert_frontier();
+    assert_eq!(evaluations.len(), 6, "the Fig 12 family is entirely Pareto-optimal");
+
+    // Fixed-sequence-length ranking: the biggest chip always wins.
+    let latency_best =
+        evaluations.iter().min_by(|a, b| a.latency_s.total_cmp(&b.latency_s)).unwrap();
+    assert_eq!(latency_best.point.array_dim, 512);
+
+    // Served-traffic ranking under an interactive mix and a p99 TTFT SLA:
+    // the winner is the *smallest* chip that keeps up with the load —
+    // a genuinely different selection.
+    let trace = mixed_spec(150.0, 60).generate(7);
+    let objective = ServeObjective::new(trace, Sla::p99_ttft(0.25));
+    let (serve_best, best_score) = objective.best(&evaluations, &params).unwrap();
+    assert!(best_score.meets_sla, "some design must meet the SLA");
+    assert_ne!(
+        serve_best.point.array_dim, latency_best.point.array_dim,
+        "the serving winner must differ from the latency winner on this mix"
+    );
+
+    // Sanity on the ordering semantics: every SLA-meeting design ranks
+    // above every SLA-missing one, and the winner has the best
+    // goodput-per-area among the feasible set.
+    let ranked = objective.rank(&evaluations, &params);
+    let feasible: Vec<_> = ranked.iter().filter(|(_, s)| s.meets_sla).collect();
+    assert!(!feasible.is_empty());
+    for (_, s) in &feasible {
+        assert!(best_score.goodput_per_cm2 >= s.goodput_per_cm2 - 1e-12);
+    }
+}
+
+#[test]
+fn replaying_the_same_trace_is_bit_identical_including_p99() {
+    let params = ModelParams::default();
+    let evaluations = bert_frontier();
+    let trace = mixed_spec(150.0, 60).generate(7);
+
+    // The trace itself regenerates identically...
+    assert_eq!(trace, mixed_spec(150.0, 60).generate(7));
+
+    // ...and every design's report replays bit-for-bit, exact quantiles
+    // included.
+    for e in &evaluations {
+        let sim = ServeSim::for_point(&e.point, &params);
+        let a = sim.run(&trace);
+        let b = sim.run(&trace);
+        assert_eq!(a, b, "replay diverged on {}", e.point.arch.name);
+        assert_eq!(a.ttft.p99.to_bits(), b.ttft.p99.to_bits(), "p99 TTFT bits");
+        assert_eq!(a.tpot.p99.to_bits(), b.tpot.p99.to_bits(), "p99 TPOT bits");
+    }
+
+    // The full objective ranking is reproducible too.
+    let objective = ServeObjective::new(trace, Sla::p99_ttft(0.25));
+    let x = objective.rank(&evaluations, &params);
+    let y = objective.rank(&evaluations, &params);
+    for ((ex, sx), (ey, sy)) in x.iter().zip(&y) {
+        assert_eq!(ex.point, ey.point);
+        assert_eq!(sx, sy);
+    }
+}
+
+#[test]
+fn bursty_traffic_stresses_the_tail_harder_than_poisson() {
+    // Same mean rate, same lengths: bursts must not change *what*
+    // completes, only the tail latency.
+    let params = ModelParams::default();
+    let sim = ServeSim::new(
+        ConfigKind::FuseMaxBinding,
+        ConfigKind::FuseMaxBinding.default_arch(),
+        TransformerConfig::bert(),
+        params.clone(),
+    );
+    let poisson = mixed_spec(120.0, 80).generate(3);
+    let bursty = TrafficSpec {
+        arrivals: Arrivals::Bursty { rate_per_s: 120.0, burst: 16 },
+        ..mixed_spec(120.0, 80)
+    }
+    .generate(3);
+    let p = sim.run(&poisson);
+    let b = sim.run(&bursty);
+    assert_eq!(p.completed, 80);
+    assert_eq!(b.completed, 80);
+    assert!(
+        b.ttft.p99 > p.ttft.p99 * 0.5,
+        "burst p99 {} collapsed below half the Poisson p99 {}",
+        b.ttft.p99,
+        p.ttft.p99
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation: every request completes exactly once, residency
+    /// never exceeds the buffer-derived capacity (oversized singletons
+    /// excepted by construction), and the report's totals add up.
+    #[test]
+    fn serve_sim_conserves_requests(
+        seed in 0u64..1_000_000_000,
+        rate in 5.0f64..2000.0,
+        requests in 1usize..60,
+        dim_choice in 0usize..3,
+        kind_choice in 0usize..2,
+        short in 64usize..1024,
+        long in 1024usize..8192,
+        out_a in 1usize..64,
+        out_b in 1usize..64,
+    ) {
+        let spec = TrafficSpec {
+            arrivals: Arrivals::Poisson { rate_per_s: rate },
+            prompt_mix: LengthMix::new([(short, 2.0), (long, 1.0)]),
+            output_mix: LengthMix::uniform([out_a, out_b]),
+            requests,
+        };
+        let trace = spec.generate(seed);
+        prop_assert_eq!(trace.len(), requests);
+
+        let kind = [ConfigKind::Flat, ConfigKind::FuseMaxBinding][kind_choice];
+        let dim = [64usize, 128, 256][dim_choice];
+        let space = DesignSpace::new()
+            .with_array_dims([dim])
+            .with_kinds([kind])
+            .with_workloads([TransformerConfig::bert()]);
+        let point = space.points().remove(0);
+        let sim = ServeSim::for_point(&point, &ModelParams::default());
+        let report = sim.run(&trace);
+
+        // Every request completes exactly once.
+        prop_assert_eq!(report.completed, requests);
+        prop_assert_eq!(report.ttft.samples, requests);
+        prop_assert_eq!(report.e2e.samples, requests);
+        prop_assert_eq!(report.output_tokens, trace.total_output_tokens());
+
+        // Residency never exceeds the buffer-derived capacity; a single
+        // oversized request is the only sanctioned excursion.
+        let per_token = TransformerConfig::bert().kv_bytes_per_token(2)
+            / TransformerConfig::bert().layers as u64;
+        let largest = trace
+            .requests
+            .iter()
+            .map(|r| (r.prompt_tokens + r.output_tokens) as u64 * per_token)
+            .max()
+            .unwrap_or(0);
+        prop_assert!(
+            report.peak_resident_bytes <= report.buffer_bytes.max(largest),
+            "peak {} exceeds buffer {} (largest request {})",
+            report.peak_resident_bytes,
+            report.buffer_bytes,
+            largest
+        );
+
+        // Time accounting is sane.
+        prop_assert!(report.makespan_s >= trace.last_arrival_s() - 1e-12);
+        prop_assert!(report.busy_s <= report.makespan_s + 1e-9);
+        prop_assert!(report.utilization > 0.0 && report.utilization <= 1.0 + 1e-12);
+
+        // Identical seed: bit-identical report.
+        prop_assert_eq!(report, sim.run(&spec.generate(seed)));
+    }
+}
