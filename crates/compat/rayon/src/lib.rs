@@ -8,9 +8,14 @@
 //! Parallelism is real, just simpler than upstream: inputs are split into
 //! one contiguous chunk per available core and executed on scoped OS
 //! threads (`std::thread::scope`), with results re-assembled in input
-//! order. There is no work stealing, so static chunking is fair only for
-//! roughly uniform per-item cost — which is exactly the sweep workload this
-//! workspace parallelizes.
+//! order. There is no work stealing, so static contiguous chunking is fair
+//! only for roughly uniform per-item cost — which is exactly the sweep
+//! workload this workspace parallelizes. For ragged per-item cost
+//! (annealing chains whose budgets differ, pruned sweeps where some items
+//! short-circuit), the opt-in [`Chunking::Strided`] assignment interleaves
+//! items across workers (`worker t` takes items `t, t + k, t + 2k, …`) so
+//! expensive items spread over all cores instead of piling into one
+//! contiguous chunk.
 
 use std::num::NonZeroUsize;
 
@@ -19,9 +24,25 @@ pub fn current_num_threads() -> usize {
     std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
 }
 
-/// Splits `items` into per-core chunks, applies `f` on scoped threads, and
-/// reassembles outputs in input order.
-fn parallel_apply<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+/// How items are assigned to worker threads.
+///
+/// Both strategies preserve input order in the collected output; they only
+/// change *which worker* runs each item, i.e. the load balance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Chunking {
+    /// One contiguous chunk per core (the default). Best cache locality;
+    /// fair when per-item cost is roughly uniform.
+    #[default]
+    Contiguous,
+    /// Interleaved assignment: worker `t` of `k` takes items
+    /// `t, t + k, t + 2k, …`. Fairer when per-item cost is ragged —
+    /// expensive neighborhoods spread across all workers.
+    Strided,
+}
+
+/// Applies `f` to every item on scoped threads under the given chunk
+/// assignment, reassembling outputs in input order.
+fn parallel_apply<T, U, F>(items: Vec<T>, f: &F, chunking: Chunking) -> Vec<U>
 where
     T: Send,
     U: Send,
@@ -31,23 +52,57 @@ where
     if threads <= 1 || items.len() <= 1 {
         return items.into_iter().flat_map(f).collect();
     }
-    let chunk_len = items.len().div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::new();
-    let mut rest = items;
-    while rest.len() > chunk_len {
-        let tail = rest.split_off(chunk_len);
-        chunks.push(rest);
-        rest = tail;
-    }
-    chunks.push(rest);
+    match chunking {
+        Chunking::Contiguous => {
+            let chunk_len = items.len().div_ceil(threads);
+            let mut chunks: Vec<Vec<T>> = Vec::new();
+            let mut rest = items;
+            while rest.len() > chunk_len {
+                let tail = rest.split_off(chunk_len);
+                chunks.push(rest);
+                rest = tail;
+            }
+            chunks.push(rest);
 
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().flat_map(f).collect::<Vec<U>>()))
-            .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("parallel worker panicked")).collect()
-    })
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| {
+                        scope.spawn(move || chunk.into_iter().flat_map(f).collect::<Vec<U>>())
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("parallel worker panicked"))
+                    .collect()
+            })
+        }
+        Chunking::Strided => {
+            let workers = threads.min(items.len());
+            // Deal the items round-robin, remembering each one's input
+            // position so the outputs re-assemble in order.
+            let mut hands: Vec<Vec<(usize, T)>> = (0..workers).map(|_| Vec::new()).collect();
+            for (i, item) in items.into_iter().enumerate() {
+                hands[i % workers].push((i, item));
+            }
+            let mut indexed: Vec<(usize, Vec<U>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = hands
+                    .into_iter()
+                    .map(|hand| {
+                        scope.spawn(move || {
+                            hand.into_iter().map(|(i, item)| (i, f(item))).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("parallel worker panicked"))
+                    .collect()
+            });
+            indexed.sort_by_key(|(i, _)| *i);
+            indexed.into_iter().flat_map(|(_, out)| out).collect()
+        }
+    }
 }
 
 /// A finished-description parallel pipeline that can be driven to a `Vec`.
@@ -64,7 +119,7 @@ pub trait ParallelIterator: Sized + Send {
         U: Send,
         F: Fn(Self::Item) -> U + Sync + Send,
     {
-        Map { base: self, f }
+        Map { base: self, f, chunking: Chunking::Contiguous }
     }
 
     /// Maps and filters in one step.
@@ -73,7 +128,7 @@ pub trait ParallelIterator: Sized + Send {
         U: Send,
         F: Fn(Self::Item) -> Option<U> + Sync + Send,
     {
-        FilterMap { base: self, f }
+        FilterMap { base: self, f, chunking: Chunking::Contiguous }
     }
 
     /// Collects the results in input order.
@@ -105,6 +160,17 @@ impl<T: Send> ParallelIterator for VecParIter<T> {
 pub struct Map<P, F> {
     base: P,
     f: F,
+    chunking: Chunking,
+}
+
+impl<P, F> Map<P, F> {
+    /// Opts this stage into the given chunk assignment (stub extension;
+    /// upstream rayon work-steals instead). Use [`Chunking::Strided`] for
+    /// ragged per-item cost.
+    pub fn with_chunking(mut self, chunking: Chunking) -> Self {
+        self.chunking = chunking;
+        self
+    }
 }
 
 impl<P, U, F> ParallelIterator for Map<P, F>
@@ -117,7 +183,7 @@ where
 
     fn drive(self) -> Vec<U> {
         let f = self.f;
-        parallel_apply(self.base.drive(), &|x| vec![f(x)])
+        parallel_apply(self.base.drive(), &|x| vec![f(x)], self.chunking)
     }
 }
 
@@ -125,6 +191,17 @@ where
 pub struct FilterMap<P, F> {
     base: P,
     f: F,
+    chunking: Chunking,
+}
+
+impl<P, F> FilterMap<P, F> {
+    /// Opts this stage into the given chunk assignment (stub extension;
+    /// upstream rayon work-steals instead). Use [`Chunking::Strided`] for
+    /// ragged per-item cost.
+    pub fn with_chunking(mut self, chunking: Chunking) -> Self {
+        self.chunking = chunking;
+        self
+    }
 }
 
 impl<P, U, F> ParallelIterator for FilterMap<P, F>
@@ -137,7 +214,7 @@ where
 
     fn drive(self) -> Vec<U> {
         let f = self.f;
-        parallel_apply(self.base.drive(), &|x| f(x).into_iter().collect())
+        parallel_apply(self.base.drive(), &|x| f(x).into_iter().collect(), self.chunking)
     }
 }
 
@@ -204,7 +281,7 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
 
 /// The traits a caller needs in scope.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+    pub use crate::{Chunking, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
 #[cfg(test)]
@@ -258,5 +335,82 @@ mod tests {
         assert!(empty.is_empty());
         let one: Vec<u8> = vec![7u8].into_par_iter().map(|x| x + 1).collect();
         assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn strided_map_preserves_order() {
+        let out: Vec<u64> = (0u64..10_001)
+            .into_par_iter()
+            .map(|x| x * 3)
+            .with_chunking(super::Chunking::Strided)
+            .collect();
+        assert_eq!(out.len(), 10_001);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn strided_and_contiguous_agree() {
+        let items: Vec<u32> = (0..997).collect();
+        let contiguous: Vec<u32> = items.par_iter().map(|&x| x ^ 0xAB).collect();
+        let strided: Vec<u32> =
+            items.par_iter().map(|&x| x ^ 0xAB).with_chunking(super::Chunking::Strided).collect();
+        assert_eq!(contiguous, strided);
+    }
+
+    #[test]
+    fn strided_filter_map_drops_elements_in_order() {
+        let out: Vec<u32> = (0u32..200)
+            .into_par_iter()
+            .filter_map(|x| (x % 3 == 0).then_some(x))
+            .with_chunking(super::Chunking::Strided)
+            .collect();
+        assert_eq!(out, (0..200).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn strided_spreads_a_ragged_prefix_across_workers() {
+        // All the "expensive" items sit in the first half; under strided
+        // assignment every worker must see some of them. Observable
+        // machine-independently: each worker's hand holds items i with
+        // i % workers == t, so the set of threads touching the expensive
+        // prefix equals the set touching the cheap suffix.
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let threads = super::current_num_threads();
+        if threads <= 1 || threads > 256 {
+            return; // single-threaded: nothing to spread; >256 workers: hands outnumber the prefix
+        }
+        let expensive_threads = Mutex::new(HashSet::new());
+        let cheap_threads = Mutex::new(HashSet::new());
+        let _: Vec<()> = (0u32..512)
+            .into_par_iter()
+            .map(|i| {
+                let set = if i < 256 { &expensive_threads } else { &cheap_threads };
+                set.lock().unwrap().insert(std::thread::current().id());
+            })
+            .with_chunking(super::Chunking::Strided)
+            .collect();
+        let expensive = expensive_threads.into_inner().unwrap();
+        let cheap = cheap_threads.into_inner().unwrap();
+        assert!(expensive.len() > 1, "strided must spread the expensive prefix");
+        assert_eq!(expensive, cheap, "every worker sees both halves under striding");
+    }
+
+    #[test]
+    fn strided_tiny_inputs() {
+        let one: Vec<u8> = vec![7u8]
+            .into_par_iter()
+            .map(|x| x + 1)
+            .with_chunking(super::Chunking::Strided)
+            .collect();
+        assert_eq!(one, vec![8]);
+        let empty: Vec<u8> = Vec::<u8>::new()
+            .into_par_iter()
+            .map(|x| x)
+            .with_chunking(super::Chunking::Strided)
+            .collect();
+        assert!(empty.is_empty());
     }
 }

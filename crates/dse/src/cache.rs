@@ -5,6 +5,7 @@ use crate::space::DesignPoint;
 use crate::sweep::Evaluation;
 use fusemax_arch::ExpCost;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -66,28 +67,70 @@ impl PointKey {
     }
 }
 
+/// How many ways [`EvalCache`] stripes its map by default: enough that a
+/// full complement of sweep workers rarely collides on one lock, small
+/// enough that `len`/`snapshot` stay cheap.
+const DEFAULT_SHARDS: usize = 16;
+
+/// One lock-striped shard of the cache map.
+type Shard = Mutex<HashMap<PointKey, Arc<Evaluation>>>;
+
 /// A thread-safe map from [`PointKey`] to finished [`Evaluation`]s, with
 /// hit/miss counters.
 ///
 /// Entries are [`Arc`]-shared: a second sweep over the same space returns
 /// clones of the *same* allocation, so reports are bit-identical by
 /// construction.
-#[derive(Debug, Default)]
+///
+/// Internally the map is **lock-striped**: keys hash to one of N shards,
+/// each behind its own mutex, so concurrent sweeps and guided searches
+/// stop contending on a single lock. Sharding is invisible to observers —
+/// hit/miss counters, `len`, and the sorted JSON serialization
+/// ([`crate::cache_json`]) are identical for every shard count
+/// (property-tested against the 1-shard cache).
+#[derive(Debug)]
 pub struct EvalCache {
-    map: Mutex<HashMap<PointKey, Arc<Evaluation>>>,
+    shards: Box<[Shard]>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
+impl Default for EvalCache {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+}
+
 impl EvalCache {
-    /// An empty cache.
+    /// An empty cache with the default shard count.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty cache striped `shards` ways (clamped to ≥ 1). Observable
+    /// behavior is shard-count-independent; only lock contention changes.
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        EvalCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The shard holding `key`.
+    fn shard(&self, key: &PointKey) -> &Shard {
+        // DefaultHasher is deterministic within a process; the shard
+        // choice never leaks into observable state, so any stable-enough
+        // hash works here.
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
     /// Looks up `key`, bumping the hit or miss counter.
     pub fn get(&self, key: &PointKey) -> Option<Arc<Evaluation>> {
-        let found = self.map.lock().expect("cache poisoned").get(key).cloned();
+        let found = self.shard(key).lock().expect("cache poisoned").get(key).cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -99,15 +142,42 @@ impl EvalCache {
     /// same key, the first insertion wins and its entry is returned, so
     /// every caller observes one canonical `Arc` per key.
     pub fn insert(&self, key: PointKey, evaluation: Arc<Evaluation>) -> Arc<Evaluation> {
-        let mut map = self.map.lock().expect("cache poisoned");
+        let mut map = self.shard(&key).lock().expect("cache poisoned");
         Arc::clone(map.entry(key).or_insert(evaluation))
     }
 
+    /// Single-lookup fetch-or-compute: one shard lock classifies the hit
+    /// (bumping the hit/miss counters exactly as [`EvalCache::get`]);
+    /// only on a miss does `compute` run — **outside** any lock — before
+    /// a second lock round inserts the result. Returns the canonical
+    /// `Arc` and whether *this call's* `compute` produced it (`false` on
+    /// a hit or a lost insertion race), so callers classify shared-cache
+    /// reuse versus fresh evaluation without a separate
+    /// [`EvalCache::contains`] round.
+    pub fn get_or_insert_with(
+        &self,
+        key: PointKey,
+        compute: impl FnOnce() -> Evaluation,
+    ) -> (Arc<Evaluation>, bool) {
+        if let Some(hit) = self.get(&key) {
+            return (hit, false);
+        }
+        let computed = Arc::new(compute());
+        let mut map = self.shard(&key).lock().expect("cache poisoned");
+        match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(slot) => (Arc::clone(slot.get()), false),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Arc::clone(&computed));
+                (computed, true)
+            }
+        }
+    }
+
     /// `true` when `key` is cached, *without* bumping the hit/miss
-    /// counters — the peek the search session uses to classify an upcoming
-    /// [`EvalCache::get`] as shared-cache reuse versus a fresh evaluation.
+    /// counters — the peek the search session's screening path uses to
+    /// skip bound checks for points the model will not run anyway.
     pub fn contains(&self, key: &PointKey) -> bool {
-        self.map.lock().expect("cache poisoned").contains_key(key)
+        self.shard(key).lock().expect("cache poisoned").contains_key(key)
     }
 
     /// Cache hits since construction.
@@ -122,7 +192,7 @@ impl EvalCache {
 
     /// Number of cached evaluations.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache poisoned").len()
+        self.shards.iter().map(|s| s.lock().expect("cache poisoned").len()).sum()
     }
 
     /// `true` when nothing is cached.
@@ -133,7 +203,10 @@ impl EvalCache {
     /// Every cached evaluation, in arbitrary order (the JSON layer sorts
     /// before writing, so serialized snapshots are still deterministic).
     pub fn snapshot(&self) -> Vec<Arc<Evaluation>> {
-        self.map.lock().expect("cache poisoned").values().cloned().collect()
+        self.shards
+            .iter()
+            .flat_map(|s| s.lock().expect("cache poisoned").values().cloned().collect::<Vec<_>>())
+            .collect()
     }
 
     /// Inserts evaluations loaded from disk, keying each by its own
@@ -141,10 +214,10 @@ impl EvalCache {
     /// live `Arc` identity must not change under consumers). Returns how
     /// many entries were actually absorbed.
     pub fn absorb(&self, evaluations: impl IntoIterator<Item = Arc<Evaluation>>) -> usize {
-        let mut map = self.map.lock().expect("cache poisoned");
         let mut added = 0;
         for evaluation in evaluations {
             let key = PointKey::of(&evaluation.point);
+            let mut map = self.shard(&key).lock().expect("cache poisoned");
             if let std::collections::hash_map::Entry::Vacant(slot) = map.entry(key) {
                 slot.insert(evaluation);
                 added += 1;
@@ -155,7 +228,9 @@ impl EvalCache {
 
     /// Drops every entry and zeroes the counters.
     pub fn clear(&self) {
-        self.map.lock().expect("cache poisoned").clear();
+        for shard in self.shards.iter() {
+            shard.lock().expect("cache poisoned").clear();
+        }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
@@ -221,6 +296,53 @@ mod tests {
         assert!(cache.get(&key).is_none());
         assert_eq!((cache.hits(), cache.misses()), (0, 1));
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn get_or_insert_with_is_one_canonical_arc_per_key() {
+        use crate::sweep::Sweeper;
+        use fusemax_model::ModelParams;
+        let sweeper = Sweeper::new(ModelParams::default());
+        let p = point(ConfigKind::Flat, 64, 1 << 12);
+        let cache = EvalCache::new();
+        let (first, fresh) =
+            cache.get_or_insert_with(PointKey::of(&p), || (*sweeper.evaluate(&p)).clone());
+        assert!(fresh, "first call must compute");
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let (second, fresh) =
+            cache.get_or_insert_with(PointKey::of(&p), || panic!("hit must not compute"));
+        assert!(!fresh);
+        assert!(Arc::ptr_eq(&first, &second), "one canonical Arc per key");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shard_counts_do_not_change_observable_state() {
+        use crate::sweep::Sweeper;
+        use fusemax_model::ModelParams;
+        let sweeper = Sweeper::new(ModelParams::default());
+        let points: Vec<DesignPoint> = [(ConfigKind::Flat, 64), (ConfigKind::FuseMaxBinding, 128)]
+            .iter()
+            .map(|&(k, n)| point(k, n, 1 << 12))
+            .collect();
+        let evaluations: Vec<Arc<Evaluation>> =
+            points.iter().map(|p| sweeper.evaluate(p)).collect();
+
+        let caches = [EvalCache::with_shards(1), EvalCache::with_shards(4), EvalCache::new()];
+        for cache in &caches {
+            for (p, e) in points.iter().zip(&evaluations) {
+                assert!(cache.get(&PointKey::of(p)).is_none());
+                cache.insert(PointKey::of(p), Arc::clone(e));
+                assert!(cache.get(&PointKey::of(p)).is_some());
+            }
+        }
+        for cache in &caches[1..] {
+            assert_eq!(cache.len(), caches[0].len());
+            assert_eq!(cache.hits(), caches[0].hits());
+            assert_eq!(cache.misses(), caches[0].misses());
+            assert_eq!(crate::json::cache_json(cache), crate::json::cache_json(&caches[0]));
+        }
     }
 
     #[test]
@@ -337,6 +459,68 @@ mod tests {
                     && freq_a == freq_b
                     && bw_a == bw_b;
                 prop_assert_eq!(PointKey::of(&a) == PointKey::of(&b), same);
+            }
+
+            /// Sharding is observationally invisible: the same operation
+            /// sequence applied to 1-, 4-, and 16-shard caches yields the
+            /// same hits, misses, and length, and the serialized JSON —
+            /// including a save→load→save round trip — is byte-identical
+            /// across shard counts.
+            #[test]
+            fn sharded_cache_is_observationally_identical_to_one_shard(
+                dims in proptest::collection::vec(1usize..400, 1..6),
+                kind_idx in 0usize..5,
+                op_pattern in proptest::collection::vec(0u8..3, 4..16),
+            ) {
+                use crate::sweep::Sweeper;
+                use fusemax_model::ModelParams;
+                let sweeper = Sweeper::new(ModelParams::default());
+                let kind = ConfigKind::all()[kind_idx];
+                let points: Vec<DesignPoint> = dims
+                    .iter()
+                    .map(|&d| DesignPoint {
+                        arch: arch_for(kind, d),
+                        kind,
+                        workload: TransformerConfig::bert(),
+                        seq_len: 1 << 10,
+                        array_dim: d,
+                    })
+                    .collect();
+                let evaluations: Vec<Arc<Evaluation>> =
+                    points.iter().map(|p| sweeper.evaluate(p)).collect();
+
+                let caches =
+                    [EvalCache::with_shards(1), EvalCache::with_shards(4), EvalCache::with_shards(16)];
+                for cache in &caches {
+                    for (i, op) in op_pattern.iter().enumerate() {
+                        let j = i % points.len();
+                        let key = PointKey::of(&points[j]);
+                        match op {
+                            0 => { cache.get(&key); }
+                            1 => { cache.insert(key, Arc::clone(&evaluations[j])); }
+                            _ => {
+                                cache.get_or_insert_with(key, || (*evaluations[j]).clone());
+                            }
+                        }
+                    }
+                }
+                let reference = &caches[0];
+                let reference_json = crate::json::cache_json(reference);
+                for cache in &caches[1..] {
+                    prop_assert_eq!(cache.len(), reference.len());
+                    prop_assert_eq!(cache.hits(), reference.hits());
+                    prop_assert_eq!(cache.misses(), reference.misses());
+                    prop_assert_eq!(&crate::json::cache_json(cache), &reference_json);
+                }
+
+                // save → load → save: absorbing the parsed JSON into a
+                // fresh cache of any shard count reproduces the bytes.
+                let parsed = crate::json::parse_cache_json(&reference_json).expect("parse");
+                for shards in [1usize, 4, 16] {
+                    let reloaded = EvalCache::with_shards(shards);
+                    reloaded.absorb(parsed.iter().cloned().map(Arc::new));
+                    prop_assert_eq!(&crate::json::cache_json(&reloaded), &reference_json);
+                }
             }
 
             /// On-grid points keep their PR-2 keys: the key of a grid

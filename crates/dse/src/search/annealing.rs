@@ -11,6 +11,7 @@ use crate::space::{arch_for, Candidate, DesignSpace};
 use crate::sweep::{Evaluation, Sweeper};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// Simulated annealing over the continuous-knob relaxation.
 ///
@@ -235,117 +236,176 @@ impl SearchStrategy for SimulatedAnnealing {
             return session.finish(self.name());
         }
         let relax = Relaxation::new(space);
-        let lens = space.axis_lens();
-        let [n_workloads, n_seq_lens, n_kinds, _, n_freqs, _] = lens;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let [n_workloads, n_seq_lens, ..] = space.axis_lens();
+
+        let groups: Vec<(usize, usize)> =
+            (0..n_workloads).flat_map(|wi| (0..n_seq_lens).map(move |si| (wi, si))).collect();
+
+        // Pre-split the budget (and the cheap screening budget) evenly
+        // across the chains, and give every chain its own seeded RNG
+        // stream — chain 0 keeps the strategy seed, so single-group runs
+        // reproduce the serial-era trajectories bit-for-bit. Pre-splitting
+        // is what lets the chains run on parallel workers while staying
+        // bit-identical to running them one after another: no chain's
+        // accepted-state sequence can depend on another chain's timing.
+        let mut shares = Vec::with_capacity(groups.len());
+        let mut remaining = session.remaining();
+        let mut cheap_remaining = budget.cheap;
+        for chain_no in 0..groups.len() {
+            let share = remaining.div_ceil(groups.len() - chain_no);
+            let cheap = cheap_remaining.div_ceil(groups.len() - chain_no);
+            remaining -= share;
+            cheap_remaining -= cheap;
+            shares.push((share, cheap));
+        }
+
+        let run_chain = |chain_no: usize| -> SearchOutcome {
+            let (wi, si) = groups[chain_no];
+            let (share, cheap) = shares[chain_no];
+            let chain_budget = SearchBudget { evaluations: share, cheap };
+            let chain_session = Session::new(sweeper, space, chain_budget)
+                .without_space_clamp(chain_budget)
+                .with_screening(self.screening);
+            // SplitMix64-style stream pre-split: chain i starts where a
+            // generator seeded with `seed` lands after i state steps.
+            let chain_seed =
+                self.seed.wrapping_add((chain_no as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            self.run_chain(chain_session, space, &relax, wi, si, chain_seed)
+        };
+
+        let outcomes: Vec<SearchOutcome> = if sweeper.is_parallel() && groups.len() > 1 {
+            // Chains are ragged (budgets differ, proposal caps trip at
+            // different times), so interleave them across workers.
+            (0..groups.len())
+                .into_par_iter()
+                .map(run_chain)
+                .with_chunking(rayon::Chunking::Strided)
+                .collect()
+        } else {
+            (0..groups.len()).map(run_chain).collect()
+        };
+        for outcome in outcomes {
+            session.absorb_outcome(outcome);
+        }
+        session.finish(self.name())
+    }
+}
+
+impl SimulatedAnnealing {
+    /// Runs one Metropolis chain over its `(workload, seq_len)` group,
+    /// spending at most its session's pre-split budget share from its own
+    /// pre-split RNG stream.
+    fn run_chain(
+        &self,
+        mut session: Session<'_>,
+        space: &DesignSpace,
+        relax: &Relaxation,
+        wi: usize,
+        si: usize,
+        chain_seed: u64,
+    ) -> SearchOutcome {
+        // The chain's budget share: the session was built with exactly
+        // this chain's pre-split allowance, and nothing has been spent.
+        let share = session.remaining();
+        if share == 0 {
+            return session.finish(self.name());
+        }
+        let [_, _, n_kinds, _, n_freqs, _] = space.axis_lens();
+        let mut rng = StdRng::seed_from_u64(chain_seed);
         let (dim_lo, dim_hi) = relax.dim_bounds();
         let (buf_lo, buf_hi) = relax.buf_bounds();
         let (freq_lo, freq_hi) = relax.freq_bounds();
         let (bw_lo, bw_hi) = relax.bw_bounds();
         let clock_bw = self.clock_bw && self.snap == SnapPolicy::Continuous;
 
-        let groups: Vec<(usize, usize)> =
-            (0..n_workloads).flat_map(|wi| (0..n_seq_lens).map(move |si| (wi, si))).collect();
+        let random_state = |rng: &mut StdRng| WalkerState {
+            dim_log2: rng.gen_range(dim_lo..dim_hi),
+            buf_log2: rng.gen_range(buf_lo..buf_hi),
+            kind_idx: rng.gen_range(0..n_kinds),
+            freq_idx: rng.gen_range(0..n_freqs),
+            freq_log2: if clock_bw {
+                rng.gen_range(freq_lo..freq_hi)
+            } else {
+                relax.freq_log2_of(0)
+            },
+            bw_log2: if clock_bw { rng.gen_range(bw_lo..bw_hi) } else { relax.bw_log2_stock() },
+            clock_bw,
+        };
 
-        for (chain_no, &(wi, si)) in groups.iter().enumerate() {
-            if session.exhausted() {
-                break;
+        let mut weights = random_weights(&mut rng);
+        let mut state = random_state(&mut rng);
+        let mut current = match session
+            .evaluate_candidate(&state.candidate(space, relax, self.snap, wi, si))
+        {
+            SessionEval::Evaluated(e) => e,
+            // Unreachable today: each chain is the first visitor of
+            // its (workload, seq_len) group, and an empty group
+            // frontier admits every bound. Skip the chain rather than
+            // walk without an energy, should a future change let a
+            // warm frontier precede the chain.
+            SessionEval::Screened | SessionEval::Exhausted => return session.finish(self.name()),
+        };
+        let mut current_energy = energy(&current, &weights);
+        let mut temp = self.initial_temp;
+        // Proposal cap: small per-group subspaces can be fully
+        // explored long before the share is spent; don't spin.
+        let mut proposals = 0usize;
+        let proposal_cap = share * 32 + 64;
+
+        // The chain session's whole budget is its share, so exhaustion is
+        // exactly "share spent".
+        while !session.exhausted() && proposals < proposal_cap {
+            proposals += 1;
+            let mut next = state;
+            next.dim_log2 = (next.dim_log2 + rng.gen_range(-self.step_octaves..self.step_octaves))
+                .clamp(dim_lo, dim_hi);
+            next.buf_log2 = (next.buf_log2 + rng.gen_range(-self.step_octaves..self.step_octaves))
+                .clamp(buf_lo, buf_hi);
+            if clock_bw {
+                // Clock and bandwidth live in half-octave-wide boxes,
+                // so walk them at half the hardware-knob step.
+                let half = self.step_octaves / 2.0;
+                next.freq_log2 =
+                    (next.freq_log2 + rng.gen_range(-half..half)).clamp(freq_lo, freq_hi);
+                next.bw_log2 = (next.bw_log2 + rng.gen_range(-half..half)).clamp(bw_lo, bw_hi);
             }
-            // Even budget split over the chains not yet run.
-            let share = session.remaining().div_ceil(groups.len() - chain_no);
-            let chain_start = session.requested();
-            let spent = |session: &Session| session.requested() - chain_start;
-
-            let random_state = |rng: &mut StdRng| WalkerState {
-                dim_log2: rng.gen_range(dim_lo..dim_hi),
-                buf_log2: rng.gen_range(buf_lo..buf_hi),
-                kind_idx: rng.gen_range(0..n_kinds),
-                freq_idx: rng.gen_range(0..n_freqs),
-                freq_log2: if clock_bw {
-                    rng.gen_range(freq_lo..freq_hi)
-                } else {
-                    relax.freq_log2_of(0)
-                },
-                bw_log2: if clock_bw { rng.gen_range(bw_lo..bw_hi) } else { relax.bw_log2_stock() },
-                clock_bw,
-            };
-
-            let mut weights = random_weights(&mut rng);
-            let mut state = random_state(&mut rng);
-            let mut current = match session
-                .evaluate_candidate(&state.candidate(space, &relax, self.snap, wi, si))
-            {
+            if n_kinds > 1 && rng.gen_bool(0.3) {
+                next.kind_idx = rng.gen_range(0..n_kinds);
+            }
+            if n_freqs > 1 && rng.gen_bool(0.2) {
+                next.freq_idx = rng.gen_range(0..n_freqs);
+            }
+            let proposal = next.candidate(space, relax, self.snap, wi, si);
+            let candidate = match session.evaluate_candidate(&proposal) {
                 SessionEval::Evaluated(e) => e,
-                // Unreachable today: each chain is the first visitor of
-                // its (workload, seq_len) group, and an empty group
-                // frontier admits every bound. Skip the chain rather than
-                // walk without an energy, should a future change let a
-                // warm frontier precede the chain.
+                // Provably dominated: reject the move without cooling
+                // (no energy was compared) and keep walking.
                 SessionEval::Screened => continue,
                 SessionEval::Exhausted => break,
             };
-            let mut current_energy = energy(&current, &weights);
-            let mut temp = self.initial_temp;
-            // Proposal cap: small per-group subspaces can be fully
-            // explored long before the share is spent; don't spin.
-            let mut proposals = 0usize;
-            let proposal_cap = share * 32 + 64;
-
-            while spent(&session) < share && !session.exhausted() && proposals < proposal_cap {
-                proposals += 1;
-                let mut next = state;
-                next.dim_log2 = (next.dim_log2
-                    + rng.gen_range(-self.step_octaves..self.step_octaves))
-                .clamp(dim_lo, dim_hi);
-                next.buf_log2 = (next.buf_log2
-                    + rng.gen_range(-self.step_octaves..self.step_octaves))
-                .clamp(buf_lo, buf_hi);
-                if clock_bw {
-                    // Clock and bandwidth live in half-octave-wide boxes,
-                    // so walk them at half the hardware-knob step.
-                    let half = self.step_octaves / 2.0;
-                    next.freq_log2 =
-                        (next.freq_log2 + rng.gen_range(-half..half)).clamp(freq_lo, freq_hi);
-                    next.bw_log2 = (next.bw_log2 + rng.gen_range(-half..half)).clamp(bw_lo, bw_hi);
-                }
-                if n_kinds > 1 && rng.gen_bool(0.3) {
-                    next.kind_idx = rng.gen_range(0..n_kinds);
-                }
-                if n_freqs > 1 && rng.gen_bool(0.2) {
-                    next.freq_idx = rng.gen_range(0..n_freqs);
-                }
-                let proposal = next.candidate(space, &relax, self.snap, wi, si);
-                let candidate = match session.evaluate_candidate(&proposal) {
-                    SessionEval::Evaluated(e) => e,
-                    // Provably dominated: reject the move without cooling
-                    // (no energy was compared) and keep walking.
-                    SessionEval::Screened => continue,
-                    SessionEval::Exhausted => break,
-                };
-                let candidate_energy = energy(&candidate, &weights);
-                let delta = candidate_energy - current_energy;
-                let accept = delta <= 0.0 || rng.gen_range(0.0..1.0) < (-delta / temp).exp();
-                if accept {
-                    state = next;
-                    current = candidate;
-                    current_energy = candidate_energy;
-                }
-                temp *= self.cooling;
-                if temp < 1e-3 {
-                    // Frozen: restart toward a fresh Pareto corner.
-                    weights = random_weights(&mut rng);
-                    state = random_state(&mut rng);
-                    if let SessionEval::Evaluated(e) = session
-                        .evaluate_candidate(&state.candidate(space, &relax, self.snap, wi, si))
-                    {
-                        current = e;
-                        current_energy = energy(&current, &weights);
-                    }
-                    temp = self.initial_temp;
-                }
+            let candidate_energy = energy(&candidate, &weights);
+            let delta = candidate_energy - current_energy;
+            let accept = delta <= 0.0 || rng.gen_range(0.0..1.0) < (-delta / temp).exp();
+            if accept {
+                state = next;
+                current = candidate;
+                current_energy = candidate_energy;
             }
-            let _ = current;
+            temp *= self.cooling;
+            if temp < 1e-3 {
+                // Frozen: restart toward a fresh Pareto corner.
+                weights = random_weights(&mut rng);
+                state = random_state(&mut rng);
+                if let SessionEval::Evaluated(e) =
+                    session.evaluate_candidate(&state.candidate(space, relax, self.snap, wi, si))
+                {
+                    current = e;
+                    current_energy = energy(&current, &weights);
+                }
+                temp = self.initial_temp;
+            }
         }
+        let _ = current;
         session.finish(self.name())
     }
 }

@@ -7,7 +7,7 @@ use crate::pareto::pareto_ranks;
 use crate::search::relax::SnapPolicy;
 use crate::search::strategy::{
     random_genome, weighted_log_cost, SearchBudget, SearchOutcome, SearchStrategy, Session,
-    SessionEval,
+    SessionEval, StagedEval,
 };
 use crate::space::{arch_for, AxisIndex, Candidate, DesignSpace};
 use crate::sweep::{Evaluation, Sweeper};
@@ -122,6 +122,36 @@ struct Member {
     genome: AxisIndex,
     candidate: Candidate,
     evaluation: Arc<Evaluation>,
+}
+
+/// A staged member-to-be: revisits resolve immediately, fresh points wait
+/// for the generation's batch flush.
+enum Slot {
+    Ready(Arc<Evaluation>),
+    Pending(usize),
+}
+
+/// A bred child awaiting its generation's batch evaluation.
+struct ChildSlot {
+    genome: AxisIndex,
+    candidate: Candidate,
+    slot: Slot,
+}
+
+/// Resolves staged children against the flushed batch, preserving
+/// proposal order.
+fn resolve(slots: Vec<ChildSlot>, batch: Vec<Arc<Evaluation>>) -> Vec<Member> {
+    slots
+        .into_iter()
+        .map(|c| Member {
+            genome: c.genome,
+            candidate: c.candidate,
+            evaluation: match c.slot {
+                Slot::Ready(e) => e,
+                Slot::Pending(i) => Arc::clone(&batch[i]),
+            },
+        })
+        .collect()
 }
 
 /// Jitters a grid genome's hardware knobs off-grid: the array dimension
@@ -254,27 +284,35 @@ impl SearchStrategy for GeneticSearch {
         let pop_target = self.population.clamp(2, session.remaining().max(2));
         let tournament = self.tournament.max(2);
 
-        // Seed generation: random distinct genomes.
-        let mut population: Vec<Member> = Vec::with_capacity(pop_target);
+        // Seed generation: random distinct genomes, staged and evaluated
+        // as one batch (staging charges the budget and consumes the RNG
+        // exactly as per-point evaluation would; only the model runs are
+        // deferred to the flush).
+        let mut seeds: Vec<ChildSlot> = Vec::with_capacity(pop_target);
         let mut attempts = 0usize;
-        while population.len() < pop_target
-            && !session.exhausted()
-            && attempts < pop_target * 64 + 256
-        {
+        while seeds.len() < pop_target && !session.exhausted() && attempts < pop_target * 64 + 256 {
             attempts += 1;
             let genome = random_genome(&mut rng, &lens);
-            if population.iter().any(|m| m.genome == genome) {
+            if seeds.iter().any(|s| s.genome == genome) {
                 continue;
             }
             let candidate = Candidate::Grid(genome);
-            if let SessionEval::Evaluated(evaluation) = session.evaluate_candidate(&candidate) {
-                population.push(Member { genome, candidate, evaluation });
+            match session.stage_candidate(&candidate) {
+                StagedEval::Ready(evaluation) => {
+                    seeds.push(ChildSlot { genome, candidate, slot: Slot::Ready(evaluation) })
+                }
+                StagedEval::Pending(i) => {
+                    seeds.push(ChildSlot { genome, candidate, slot: Slot::Pending(i) })
+                }
+                StagedEval::Screened => {}
+                StagedEval::Exhausted => break,
             }
         }
+        let mut population: Vec<Member> = resolve(seeds, session.flush());
 
         while !session.exhausted() && !population.is_empty() {
             let ranks = grouped_ranks(&population);
-            let mut children: Vec<Member> = Vec::with_capacity(pop_target);
+            let mut children: Vec<ChildSlot> = Vec::with_capacity(pop_target);
             let mut stall = 0usize;
             while children.len() < pop_target && !session.exhausted() && stall < pop_target * 16 {
                 let pa = tournament_pick(&mut rng, &population, &ranks, tournament);
@@ -293,18 +331,32 @@ impl SearchStrategy for GeneticSearch {
                     stall += 1;
                     continue;
                 }
-                match session.evaluate_candidate(&candidate) {
-                    SessionEval::Evaluated(evaluation) => {
-                        children.push(Member { genome: child, candidate, evaluation });
+                match session.stage_candidate(&candidate) {
+                    StagedEval::Ready(evaluation) => {
+                        children.push(ChildSlot {
+                            genome: child,
+                            candidate,
+                            slot: Slot::Ready(evaluation),
+                        });
                         stall = 0;
                     }
-                    SessionEval::Screened => {
+                    StagedEval::Pending(i) => {
+                        children.push(ChildSlot {
+                            genome: child,
+                            candidate,
+                            slot: Slot::Pending(i),
+                        });
+                        stall = 0;
+                    }
+                    StagedEval::Screened => {
                         stall += 1;
                         continue;
                     }
-                    SessionEval::Exhausted => break,
+                    StagedEval::Exhausted => break,
                 }
             }
+            // The generation's offspring evaluate as one parallel batch.
+            let children = resolve(children, session.flush());
             if children.is_empty() {
                 // Breeding stalled (everything nearby already explored):
                 // inject a random immigrant to reopen the search, or stop

@@ -9,7 +9,7 @@
 //! already-swept space performs zero new model evaluations.
 
 use crate::cache::PointKey;
-use crate::space::{AxisIndex, Candidate, DesignSpace};
+use crate::space::{AxisIndex, Candidate, DesignPoint, DesignSpace};
 use crate::sweep::{group_index, Evaluation, FrontierGroup, Sweeper};
 use rand::Rng;
 use std::collections::{HashMap, HashSet};
@@ -84,8 +84,30 @@ pub struct SearchStats {
     /// by the running frontier, so the model never ran. Charged against
     /// [`SearchBudget::cheap`], not against `evaluations`.
     pub screened: usize,
+    /// Evaluation batches flushed (every flush, including single-point
+    /// ones — the serial path is a sequence of 1-point batches).
+    pub batches: usize,
+    /// Flushes that evaluated ≥ 2 points at once — the batches that
+    /// actually exploit the parallel workers. The batched genetic
+    /// searcher issues at least one per generation (test-enforced).
+    pub multi_point_batches: usize,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
+}
+
+impl SearchStats {
+    /// Merges `other` into `self` (chain-parallel strategies combine
+    /// per-chain stats in chain order; `elapsed` is kept by the caller,
+    /// which owns the wall clock).
+    pub(crate) fn absorb(&mut self, other: &SearchStats) {
+        self.requested += other.requested;
+        self.evaluated += other.evaluated;
+        self.cache_hits += other.cache_hits;
+        self.revisits += other.revisits;
+        self.screened += other.screened;
+        self.batches += other.batches;
+        self.multi_point_batches += other.multi_point_batches;
+    }
 }
 
 /// Everything a guided run returns: the evaluations in request order, the
@@ -145,6 +167,28 @@ pub(crate) enum SessionEval {
     Exhausted,
 }
 
+/// What a [`Session`] did with one *staged* candidate (the batched
+/// counterpart of [`SessionEval`]): staging charges the budget and
+/// classifies immediately — so a strategy's control flow (stall counters,
+/// exhaustion checks, RNG consumption) is identical to the serial path —
+/// but defers the model run to the next [`Session::flush`].
+#[derive(Debug)]
+pub(crate) enum StagedEval {
+    /// Already evaluated this run (a free revisit); resolved immediately.
+    Ready(Arc<Evaluation>),
+    /// Charged and queued: `flush()` returns this batch's evaluations in
+    /// staging order, and the wrapped index addresses this candidate's.
+    Pending(usize),
+    /// Rejected by the multi-fidelity screen (see
+    /// [`SessionEval::Screened`]). Within a batch the screen tests
+    /// against the frontier as of the last flush — deferred evaluations
+    /// cannot tighten it mid-batch — which is the one documented
+    /// divergence from the serial path's per-point frontier updates.
+    Screened,
+    /// The evaluation budget is spent.
+    Exhausted,
+}
+
 /// The budgeted evaluation session shared by every strategy: deduplicates
 /// requests, charges the budget, maintains running frontiers, screens
 /// candidates through the closed-form lower bound when asked to, and
@@ -157,6 +201,11 @@ pub(crate) struct Session<'a> {
     screening: bool,
     seen: HashMap<PointKey, Arc<Evaluation>>,
     rejected: HashSet<PointKey>,
+    /// Charged-but-not-yet-evaluated points, in staging order.
+    pending: Vec<DesignPoint>,
+    /// Key → index into `pending`, so same-batch re-proposals dedup to
+    /// one charge.
+    pending_index: HashMap<PointKey, usize>,
     evaluations: Vec<Arc<Evaluation>>,
     frontiers: Vec<FrontierGroup>,
     stats: SearchStats,
@@ -175,6 +224,8 @@ impl<'a> Session<'a> {
             screening: false,
             seen: HashMap::new(),
             rejected: HashSet::new(),
+            pending: Vec::new(),
+            pending_index: HashMap::new(),
             evaluations: Vec::new(),
             frontiers: Vec::new(),
             stats: SearchStats::default(),
@@ -209,6 +260,7 @@ impl<'a> Session<'a> {
     }
 
     /// Distinct evaluations charged so far.
+    #[cfg(test)]
     pub(crate) fn requested(&self) -> usize {
         self.stats.requested
     }
@@ -217,6 +269,7 @@ impl<'a> Session<'a> {
     /// shorthand for [`Session::evaluate_candidate`]. Returns `None` when
     /// the budget is exhausted *or* the screen rejected the point (with
     /// screening off — every pre-screening caller — only exhaustion).
+    #[cfg(test)]
     pub(crate) fn evaluate(&mut self, genome: AxisIndex) -> Option<Arc<Evaluation>> {
         match self.evaluate_candidate(&Candidate::Grid(genome)) {
             SessionEval::Evaluated(e) => Some(e),
@@ -224,62 +277,167 @@ impl<'a> Session<'a> {
         }
     }
 
-    /// Evaluates `candidate`. Revisits are free and always served; a new
-    /// point is screened if screening is on (cheap budget permitting),
-    /// then evaluated through the shared cache and charged against the
-    /// budget.
+    /// Evaluates `candidate` immediately: the serial path, equivalent to
+    /// staging it and flushing a 1-point batch. Revisits are free and
+    /// always served; a new point is screened if screening is on (cheap
+    /// budget permitting), then evaluated through the shared cache and
+    /// charged against the budget.
+    ///
+    /// Any candidates already staged are flushed along with this one (the
+    /// session maintains one evaluation order, so an immediate request
+    /// cannot jump the queue).
     pub(crate) fn evaluate_candidate(&mut self, candidate: &Candidate) -> SessionEval {
+        match self.stage_candidate(candidate) {
+            StagedEval::Ready(e) => SessionEval::Evaluated(e),
+            StagedEval::Screened => SessionEval::Screened,
+            StagedEval::Exhausted => SessionEval::Exhausted,
+            StagedEval::Pending(i) => {
+                let batch = self.flush();
+                SessionEval::Evaluated(Arc::clone(&batch[i]))
+            }
+        }
+    }
+
+    /// Stages `candidate` for the next [`Session::flush`]: deduplicates
+    /// against everything this run has seen (revisits are free), screens
+    /// through the closed-form lower bound when enabled, and charges the
+    /// budget — all immediately and in proposal order, so seeded control
+    /// flow is independent of when the batch is flushed. Only the model
+    /// run itself is deferred.
+    pub(crate) fn stage_candidate(&mut self, candidate: &Candidate) -> StagedEval {
         let point = self.space.materialize(candidate);
         let key = PointKey::of(&point);
         if let Some(known) = self.seen.get(&key) {
             self.stats.revisits += 1;
-            return SessionEval::Evaluated(Arc::clone(known));
+            return StagedEval::Ready(Arc::clone(known));
         }
         if self.rejected.contains(&key) {
             // Re-proposing an already-screened point is free, like any
             // other revisit — and still a rejection.
             self.stats.revisits += 1;
-            return SessionEval::Screened;
+            return StagedEval::Screened;
+        }
+        if let Some(&i) = self.pending_index.get(&key) {
+            // Same-batch duplicate: one charge, one evaluation.
+            self.stats.revisits += 1;
+            return StagedEval::Pending(i);
         }
         if self.exhausted() {
-            return SessionEval::Exhausted;
+            return StagedEval::Exhausted;
         }
-        let fresh = !self.sweeper.cache().contains(&key);
         // Screen only points the model would actually run for: cache hits
         // are free anyway, and `sweep_pruned` orders its checks the same
         // way. Screening against the *running* frontier is sound exactly
         // as pruning is: a candidate whose optimistic bound is already
-        // dominated can never enter the final frontier.
-        if self.screening && fresh && self.stats.screened < self.cheap_budget {
+        // dominated can never enter the final frontier. (Evaluations
+        // pending in this batch are not in the frontier yet; the screen
+        // sees the state as of the last flush.)
+        if self.screening
+            && self.stats.screened < self.cheap_budget
+            && !self.sweeper.cache().contains(&key)
+        {
             let group = group_index(&mut self.frontiers, &point);
             if !self.frontiers[group].frontier.admits(&self.sweeper.lower_bound(&point)) {
                 self.stats.screened += 1;
                 self.rejected.insert(key);
-                return SessionEval::Screened;
+                return StagedEval::Screened;
             }
         }
-        let evaluation = self.sweeper.evaluate(&point);
         self.stats.requested += 1;
-        if fresh {
-            self.stats.evaluated += 1;
-        } else {
-            self.stats.cache_hits += 1;
-        }
-        self.seen.insert(key, Arc::clone(&evaluation));
-        let group = group_index(&mut self.frontiers, &evaluation.point);
-        self.frontiers[group].frontier.insert(Arc::clone(&evaluation));
-        self.evaluations.push(Arc::clone(&evaluation));
-        SessionEval::Evaluated(evaluation)
+        let i = self.pending.len();
+        self.pending_index.insert(key, i);
+        self.pending.push(point);
+        StagedEval::Pending(i)
     }
 
-    /// Closes the session into an outcome.
+    /// Evaluates everything staged since the last flush — cache misses on
+    /// all the sweeper's cores — and folds the results into the session in
+    /// staging order (seen set, per-group frontiers, the request-ordered
+    /// evaluation list, fresh-vs-cached stats). Returns the batch's
+    /// evaluations so callers can resolve their [`StagedEval::Pending`]
+    /// indices. Deterministic by construction: classification and charging
+    /// happened at staging time, evaluations are pure, and the rayon stub
+    /// collects in input order — so thread count never leaks into results.
+    pub(crate) fn flush(&mut self) -> Vec<Arc<Evaluation>> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        let batch = std::mem::take(&mut self.pending);
+        self.pending_index.clear();
+        self.stats.batches += 1;
+        if batch.len() >= 2 {
+            self.stats.multi_point_batches += 1;
+        }
+        let results = self.sweeper.evaluate_many(&batch);
+        let mut out = Vec::with_capacity(results.len());
+        for (evaluation, fresh) in results {
+            if fresh {
+                self.stats.evaluated += 1;
+            } else {
+                self.stats.cache_hits += 1;
+            }
+            self.seen.insert(PointKey::of(&evaluation.point), Arc::clone(&evaluation));
+            let group = group_index(&mut self.frontiers, &evaluation.point);
+            self.frontiers[group].frontier.insert(Arc::clone(&evaluation));
+            self.evaluations.push(Arc::clone(&evaluation));
+            out.push(evaluation);
+        }
+        out
+    }
+
+    /// Evaluates `candidates` as one batch: stages each in input order
+    /// (deduplicating keys, screening, charging the budget exactly as the
+    /// serial path would), flushes the misses through the parallel
+    /// workers, and returns one [`SessionEval`] per input candidate. This
+    /// is the native entry point for population-at-a-time strategies and
+    /// for future batch consumers (coordinate-descent refinement,
+    /// serving-objective search).
+    pub(crate) fn evaluate_batch(&mut self, candidates: &[Candidate]) -> Vec<SessionEval> {
+        let staged: Vec<StagedEval> = candidates.iter().map(|c| self.stage_candidate(c)).collect();
+        let batch = self.flush();
+        staged
+            .into_iter()
+            .map(|s| match s {
+                StagedEval::Ready(e) => SessionEval::Evaluated(e),
+                StagedEval::Pending(i) => SessionEval::Evaluated(Arc::clone(&batch[i])),
+                StagedEval::Screened => SessionEval::Screened,
+                StagedEval::Exhausted => SessionEval::Exhausted,
+            })
+            .collect()
+    }
+
+    /// Closes the session into an outcome, flushing anything still
+    /// staged.
     pub(crate) fn finish(mut self, strategy: &str) -> SearchOutcome {
+        self.flush();
         self.stats.elapsed = self.start.elapsed();
         SearchOutcome {
             strategy: strategy.to_string(),
             evaluations: self.evaluations,
             frontiers: self.frontiers,
             stats: self.stats,
+        }
+    }
+
+    /// Folds a finished chain outcome into this session, in call order:
+    /// the chain-parallel annealer runs one independent session per
+    /// `(workload, seq_len)` group on pre-split budgets and RNG streams,
+    /// then merges the outcomes back deterministically.
+    pub(crate) fn absorb_outcome(&mut self, outcome: SearchOutcome) {
+        self.stats.absorb(&outcome.stats);
+        self.evaluations.extend(outcome.evaluations.iter().cloned());
+        for group in outcome.frontiers {
+            debug_assert!(
+                !self
+                    .frontiers
+                    .iter()
+                    .any(|g| g.model == group.model && g.seq_len == group.seq_len),
+                "chains are per-group; merged groups must be disjoint"
+            );
+            self.frontiers.push(group);
+        }
+        for evaluation in outcome.evaluations {
+            self.seen.insert(PointKey::of(&evaluation.point), evaluation);
         }
     }
 }

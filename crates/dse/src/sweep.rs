@@ -191,6 +191,15 @@ impl Sweeper {
         self
     }
 
+    /// Whether this sweeper evaluates cache misses on all cores (`true`,
+    /// the default) or serially. The batched search session and the
+    /// parallel annealing chains consult this, so a single switch flips
+    /// the whole stack between the parallel path and its bit-identical
+    /// serial reference.
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
+    }
+
     /// Replaces the area model (Fig 12 sensitivity studies).
     pub fn with_area_model(mut self, area_model: AreaModel) -> Self {
         self.area_model = area_model;
@@ -252,11 +261,28 @@ impl Sweeper {
     /// Evaluates one point through the cache: a hit returns the *same*
     /// [`Arc`] as the first evaluation (bit-identical by construction).
     pub fn evaluate(&self, point: &DesignPoint) -> Arc<Evaluation> {
-        let key = PointKey::of(point);
-        if let Some(hit) = self.cache.get(&key) {
-            return hit;
+        self.evaluate_classified(point).0
+    }
+
+    /// Like [`Sweeper::evaluate`], additionally reporting whether this
+    /// call ran the analytical model (`true`) or was served from the
+    /// cache (`false`) — one [`EvalCache::get_or_insert_with`] lock round
+    /// instead of a separate `contains` peek.
+    pub fn evaluate_classified(&self, point: &DesignPoint) -> (Arc<Evaluation>, bool) {
+        self.cache.get_or_insert_with(PointKey::of(point), || self.compute(point))
+    }
+
+    /// Evaluates `points` through the cache — misses on all cores when
+    /// parallelism is on — returning `(evaluation, fresh)` per point in
+    /// input order. Results are independent of the thread count: every
+    /// evaluation is a pure function of its point, and ordering is
+    /// restored by the rayon stub's order-preserving collect.
+    pub fn evaluate_many(&self, points: &[DesignPoint]) -> Vec<(Arc<Evaluation>, bool)> {
+        if self.parallel && points.len() > 1 {
+            points.par_iter().map(|p| self.evaluate_classified(p)).collect()
+        } else {
+            points.iter().map(|p| self.evaluate_classified(p)).collect()
         }
-        self.cache.insert(key, Arc::new(self.compute(point)))
     }
 
     /// An optimistic component-wise lower bound on `point`'s objectives,

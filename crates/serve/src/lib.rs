@@ -24,6 +24,10 @@
 //!   each request reserves its per-layer K/V footprint
 //!   ([`fusemax_arch::ArchConfig::max_resident_requests`] is the
 //!   uniform-request-size shorthand for the same bound).
+//! * [`ServiceTimeTable`] — every model call a trace replay needs,
+//!   precomputed ([`ServeSim::service_times`]) so the iteration loop is
+//!   pure lookups and repeated replays ([`ServeSim::run_with`]) pay the
+//!   model exactly once per design.
 //! * [`ServeReport`] — goodput, token throughput, utilization, and exact
 //!   nearest-rank p50/p95/p99 latency quantiles ([`LatencyStats`]) for
 //!   TTFT, per-output-token latency, and end-to-end time.
@@ -64,9 +68,11 @@
 mod objective;
 mod report;
 mod sim;
+mod table;
 mod traffic;
 
 pub use objective::{ServeObjective, ServeScore, Sla};
 pub use report::{LatencyStats, ServeReport};
 pub use sim::ServeSim;
+pub use table::ServiceTimeTable;
 pub use traffic::{Arrivals, LengthMix, Request, Trace, TrafficSpec};

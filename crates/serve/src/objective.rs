@@ -14,6 +14,7 @@ use crate::sim::ServeSim;
 use crate::traffic::Trace;
 use fusemax_dse::{DesignPoint, Evaluation};
 use fusemax_model::ModelParams;
+use rayon::prelude::*;
 use std::sync::Arc;
 
 /// A serving-latency service-level agreement.
@@ -74,12 +75,26 @@ pub struct ServeScore {
 pub struct ServeObjective {
     trace: Trace,
     sla: Sla,
+    parallel: bool,
 }
 
 impl ServeObjective {
-    /// An objective serving `trace` under `sla`.
+    /// An objective serving `trace` under `sla`. Ranking simulates the
+    /// frontier designs on all cores by default
+    /// ([`ServeObjective::with_parallelism`]).
     pub fn new(trace: Trace, sla: Sla) -> Self {
-        ServeObjective { trace, sla }
+        ServeObjective { trace, sla, parallel: true }
+    }
+
+    /// Switches between parallel (`true`, the default) and serial
+    /// per-design simulation in [`ServeObjective::rank`]. Results are
+    /// bit-identical either way — each design's replay is an independent
+    /// pure function, and the collected order is the input order — so the
+    /// switch only trades wall-clock time (it exists so the parity bench
+    /// can time both paths).
+    pub fn with_parallelism(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
     }
 
     /// The trace driving the simulations.
@@ -130,8 +145,15 @@ impl ServeObjective {
         evaluations: &[Arc<Evaluation>],
         params: &ModelParams,
     ) -> Vec<(Arc<Evaluation>, ServeScore)> {
+        // Each design's replay is independent (its own ServiceTimeTable,
+        // its own report), so the frontier fans out across cores; the
+        // order-preserving collect keeps scoring deterministic.
         let mut scored: Vec<(Arc<Evaluation>, ServeScore)> =
-            evaluations.iter().map(|e| (Arc::clone(e), self.score(e, params))).collect();
+            if self.parallel && evaluations.len() > 1 {
+                evaluations.par_iter().map(|e| (Arc::clone(e), self.score(e, params))).collect()
+            } else {
+                evaluations.iter().map(|e| (Arc::clone(e), self.score(e, params))).collect()
+            };
         scored.sort_by(|(ea, sa), (eb, sb)| {
             sb.meets_sla
                 .cmp(&sa.meets_sla)

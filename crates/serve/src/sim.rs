@@ -14,77 +14,13 @@
 //! fixed batch-size knob.
 
 use crate::report::{LatencyStats, ServeReport};
+use crate::table::ServiceTimeTable;
 use crate::traffic::Trace;
 use fusemax_arch::ArchConfig;
 use fusemax_dse::DesignPoint;
-use fusemax_model::{e2e_report_on, ConfigKind, ModelParams};
+use fusemax_model::{ConfigKind, ModelParams};
 use fusemax_workloads::TransformerConfig;
-use std::collections::{HashMap, VecDeque};
-
-/// Phase service times for one design, memoized per distinct sequence
-/// length so a trace with a small length mix touches the analytical model
-/// only a handful of times.
-struct CostModel<'a> {
-    kind: ConfigKind,
-    arch: &'a ArchConfig,
-    /// The served model at `batch = 1` (per-request service costs; the
-    /// scheduler decides how many requests share the chip).
-    workload: TransformerConfig,
-    params: &'a ModelParams,
-    prefill_s: HashMap<usize, f64>,
-    decode_s_per_token: HashMap<usize, f64>,
-}
-
-impl<'a> CostModel<'a> {
-    fn new(
-        kind: ConfigKind,
-        arch: &'a ArchConfig,
-        workload: &TransformerConfig,
-        params: &'a ModelParams,
-    ) -> Self {
-        CostModel {
-            kind,
-            arch,
-            workload: workload.with_batch(1),
-            params,
-            prefill_s: HashMap::new(),
-            decode_s_per_token: HashMap::new(),
-        }
-    }
-
-    /// Full-model seconds to run one request end to end at sequence
-    /// length `l` on this design.
-    fn e2e_seconds(&self, l: usize) -> f64 {
-        let report = e2e_report_on(self.kind, &self.workload, l, self.arch, self.params);
-        self.arch.cycles_to_seconds(report.cycles)
-    }
-
-    /// Seconds to prefill a `prompt`-token request (produces the first
-    /// output token).
-    fn prefill_seconds(&mut self, prompt: usize) -> f64 {
-        if let Some(&s) = self.prefill_s.get(&prompt) {
-            return s;
-        }
-        let s = self.e2e_seconds(prompt);
-        self.prefill_s.insert(prompt, s);
-        s
-    }
-
-    /// Seconds to decode one token at context length `context`, amortized
-    /// from the analytical report (`e2e(L) / L` per token). Contexts are
-    /// bucketed to the next power of two: decode cost varies slowly in
-    /// context, and bucketing keeps the set of distinct model evaluations
-    /// logarithmic in the longest context.
-    fn decode_seconds(&mut self, context: usize) -> f64 {
-        let bucket = context.max(1).next_power_of_two();
-        if let Some(&s) = self.decode_s_per_token.get(&bucket) {
-            return s;
-        }
-        let s = self.e2e_seconds(bucket) / bucket as f64;
-        self.decode_s_per_token.insert(bucket, s);
-        s
-    }
-}
+use std::collections::VecDeque;
 
 /// One resident request mid-flight.
 struct Active {
@@ -175,10 +111,36 @@ impl ServeSim {
         (prompt + output) as u64 * per_token
     }
 
+    /// Precomputes every service time a replay of `trace` on this design
+    /// needs ([`ServiceTimeTable`]): build once, replay many times — the
+    /// serving objective's per-frontier-member replays and repeated
+    /// what-if runs stop re-deriving the same model results.
+    pub fn service_times(&self, trace: &Trace) -> ServiceTimeTable {
+        ServiceTimeTable::build(
+            self.kind,
+            self.arch.clone(),
+            &self.workload,
+            self.params.clone(),
+            trace,
+        )
+    }
+
     /// Serves `trace` to completion and reports throughput, utilization,
-    /// and exact latency quantiles.
+    /// and exact latency quantiles. Builds a fresh [`ServiceTimeTable`]
+    /// for the trace; use [`ServeSim::run_with`] to amortize the table
+    /// across replays.
     pub fn run(&self, trace: &Trace) -> ServeReport {
-        let mut costs = CostModel::new(self.kind, &self.arch, &self.workload, &self.params);
+        self.run_with(&self.service_times(trace), trace)
+    }
+
+    /// Serves `trace` using precomputed service times. The iteration loop
+    /// performs **zero** analytical-model calls when `table` covers the
+    /// trace (it always does for a table built by
+    /// [`ServeSim::service_times`] on the same trace — assert with
+    /// [`ServiceTimeTable::misses`]); reports are bit-identical to
+    /// [`ServeSim::run`] either way because fallback lookups compute the
+    /// exact same values.
+    pub fn run_with(&self, costs: &ServiceTimeTable, trace: &Trace) -> ServeReport {
         let reqs = &trace.requests;
         let buffer = self.arch.global_buffer_bytes;
 

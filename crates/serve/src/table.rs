@@ -1,0 +1,252 @@
+//! Precomputed per-design service times: every analytical-model call a
+//! trace replay needs, evaluated up front so the simulator's iteration
+//! loop is pure table lookups.
+//!
+//! The pre-table engine memoized service times lazily, which meant
+//! `fusemax_model::e2e_report_on` ran *inside* the iteration loop on
+//! first touch of each length — fine for one replay, wasteful when the
+//! [`crate::ServeObjective`] replays the same trace against a whole
+//! frontier or a search loop replays many traces against one design. A
+//! [`ServiceTimeTable`] hoists those calls to construction time:
+//!
+//! * **prefill** — one entry per *distinct prompt length* in the trace
+//!   (prefill cost is exact in the prompt length, so bucketing it would
+//!   change reports);
+//! * **decode** — one entry per power-of-two context bucket spanning the
+//!   trace's actual decode range (`min prompt + 1` up to
+//!   `max (prompt + output - 1)` over requests that decode at all),
+//!   matching the engine's bucketing assumption that decode cost varies
+//!   slowly in context.
+//!
+//! Values are computed by the same formulas the lazy path used, so
+//! replays through a table are bit-identical to the pre-table engine
+//! (golden-gated). Lookups outside the precomputed set fall back to an
+//! on-demand model call and are *counted* ([`ServiceTimeTable::misses`]);
+//! the test suite asserts a table built for a trace serves its replay
+//! with zero misses — i.e. zero `e2e_report_on` calls inside the loop.
+
+use crate::traffic::Trace;
+use fusemax_arch::ArchConfig;
+use fusemax_model::{e2e_report_on, ConfigKind, ModelParams};
+use fusemax_workloads::TransformerConfig;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Phase service times for one `(configuration, architecture, workload)`
+/// design, precomputed for a trace's length set.
+#[derive(Debug)]
+pub struct ServiceTimeTable {
+    kind: ConfigKind,
+    arch: ArchConfig,
+    /// The served model at `batch = 1` (per-request service costs; the
+    /// scheduler decides how many requests share the chip).
+    workload: TransformerConfig,
+    params: ModelParams,
+    prefill_s: HashMap<usize, f64>,
+    decode_s_per_token: HashMap<usize, f64>,
+    /// Analytical-model calls spent building the table.
+    model_evaluations: usize,
+    /// Lookups that fell outside the precomputed set and paid for an
+    /// on-demand model call (zero for any trace the table was built for).
+    misses: AtomicU64,
+}
+
+impl ServiceTimeTable {
+    /// Builds the table for `trace` replayed on the given design: one
+    /// prefill entry per distinct prompt length, one decode entry per
+    /// power-of-two context bucket across the trace's decode-context
+    /// range.
+    pub fn build(
+        kind: ConfigKind,
+        arch: ArchConfig,
+        workload: &TransformerConfig,
+        params: ModelParams,
+        trace: &Trace,
+    ) -> Self {
+        let workload = workload.with_batch(1);
+        let mut table = ServiceTimeTable {
+            kind,
+            arch,
+            workload,
+            params,
+            prefill_s: HashMap::new(),
+            decode_s_per_token: HashMap::new(),
+            model_evaluations: 0,
+            misses: AtomicU64::new(0),
+        };
+
+        // Distinct prompt lengths, sorted for deterministic build order.
+        let prompts: BTreeSet<usize> = trace.requests.iter().map(|r| r.prompt_tokens).collect();
+        // Only requests with ≥ 2 output tokens ever decode (prefill covers
+        // the first token), at contexts `prompt + 1 ..= prompt + output - 1`
+        // — so precompute exactly the power-of-two buckets that span that
+        // range, not every octave from 1.
+        let decode_range = trace
+            .requests
+            .iter()
+            .filter(|r| r.output_tokens >= 2)
+            .map(|r| (r.prompt_tokens + 1, r.prompt_tokens + r.output_tokens - 1))
+            .fold(None::<(usize, usize)>, |acc, (lo, hi)| match acc {
+                None => Some((lo, hi)),
+                Some((alo, ahi)) => Some((alo.min(lo), ahi.max(hi))),
+            });
+
+        for &prompt in &prompts {
+            let s = table.e2e_seconds(prompt);
+            table.model_evaluations += 1;
+            table.prefill_s.insert(prompt, s);
+        }
+        if let Some((lo, hi)) = decode_range {
+            let top = hi.max(1).next_power_of_two();
+            let mut bucket = lo.max(1).next_power_of_two();
+            loop {
+                let s = table.e2e_seconds(bucket) / bucket as f64;
+                table.model_evaluations += 1;
+                table.decode_s_per_token.insert(bucket, s);
+                if bucket >= top {
+                    break;
+                }
+                bucket *= 2;
+            }
+        }
+        table
+    }
+
+    /// Full-model seconds to run one request end to end at sequence
+    /// length `l` on this design — the single analytical-model entry
+    /// point behind both phases.
+    fn e2e_seconds(&self, l: usize) -> f64 {
+        let report = e2e_report_on(self.kind, &self.workload, l, &self.arch, &self.params);
+        self.arch.cycles_to_seconds(report.cycles)
+    }
+
+    /// Seconds to prefill a `prompt`-token request. Precomputed lengths
+    /// are a lookup; anything else falls back to an on-demand model call
+    /// and bumps [`ServiceTimeTable::misses`].
+    pub fn prefill_seconds(&self, prompt: usize) -> f64 {
+        match self.prefill_s.get(&prompt) {
+            Some(&s) => s,
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.e2e_seconds(prompt)
+            }
+        }
+    }
+
+    /// Seconds to decode one token at context length `context`, amortized
+    /// from the analytical report (`e2e(L) / L` per token) at the next
+    /// power-of-two bucket.
+    pub fn decode_seconds(&self, context: usize) -> f64 {
+        let bucket = context.max(1).next_power_of_two();
+        match self.decode_s_per_token.get(&bucket) {
+            Some(&s) => s,
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.e2e_seconds(bucket) / bucket as f64
+            }
+        }
+    }
+
+    /// Analytical-model calls spent at build time (distinct prompt
+    /// lengths + power-of-two decode buckets).
+    pub fn model_evaluations(&self) -> usize {
+        self.model_evaluations
+    }
+
+    /// Lookups since construction that fell outside the precomputed set
+    /// and ran the model on demand. Zero when the table serves the trace
+    /// it was built for — the assertion that the iteration loop performs
+    /// no `e2e_report_on` calls.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{Arrivals, LengthMix, TrafficSpec};
+
+    fn trace() -> Trace {
+        TrafficSpec {
+            arrivals: Arrivals::Poisson { rate_per_s: 100.0 },
+            prompt_mix: LengthMix::new([(300, 2.0), (1024, 1.0)]),
+            output_mix: LengthMix::uniform([4, 16]),
+            requests: 30,
+        }
+        .generate(3)
+    }
+
+    fn table_for(t: &Trace) -> ServiceTimeTable {
+        let kind = ConfigKind::FuseMaxBinding;
+        ServiceTimeTable::build(
+            kind,
+            kind.default_arch(),
+            &TransformerConfig::bert(),
+            ModelParams::default(),
+            t,
+        )
+    }
+
+    #[test]
+    fn covers_every_trace_length_without_misses() {
+        let t = trace();
+        let table = table_for(&t);
+        assert!(table.model_evaluations() > 0);
+        // Mirror the engine exactly: every request prefills at its prompt
+        // length; requests with ≥ 2 output tokens decode at contexts
+        // prompt + 1 ..= prompt + output - 1.
+        for r in &t.requests {
+            let _ = table.prefill_seconds(r.prompt_tokens);
+            if r.output_tokens >= 2 {
+                for ctx in r.prompt_tokens + 1..r.prompt_tokens + r.output_tokens {
+                    let _ = table.decode_seconds(ctx);
+                }
+            }
+        }
+        assert_eq!(table.misses(), 0, "a built table must cover its trace");
+    }
+
+    #[test]
+    fn build_cost_spans_only_the_decode_range_plus_distinct_prompts() {
+        let t = trace();
+        let table = table_for(&t);
+        let distinct_prompts = 2; // 300 and 1024 by construction
+        let (lo, hi) = t
+            .requests
+            .iter()
+            .filter(|r| r.output_tokens >= 2)
+            .map(|r| (r.prompt_tokens + 1, r.prompt_tokens + r.output_tokens - 1))
+            .fold((usize::MAX, 0), |(lo, hi), (a, b)| (lo.min(a), hi.max(b)));
+        let first = lo.next_power_of_two().trailing_zeros();
+        let last = hi.next_power_of_two().trailing_zeros();
+        let buckets = (last - first + 1) as usize;
+        assert_eq!(table.model_evaluations(), distinct_prompts + buckets);
+        // No octave below the smallest decodable context was paid for:
+        // prompts are ≥ 300, so buckets 1..=256 must be absent.
+        assert!(first >= 9, "decode buckets start at 512 for ≥300-token prompts");
+    }
+
+    #[test]
+    fn fallback_misses_are_counted_and_bit_identical() {
+        let t = trace();
+        let table = table_for(&t);
+        // A length outside the trace: the fallback computes the same
+        // value a covering table would hold.
+        let outside = 77_777usize;
+        let a = table.prefill_seconds(outside);
+        let b = table.prefill_seconds(outside);
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(table.misses(), 2);
+        let huge_ctx = 1 << 21;
+        let _ = table.decode_seconds(huge_ctx);
+        assert_eq!(table.misses(), 3);
+    }
+
+    #[test]
+    fn empty_traces_build_empty_tables() {
+        let table = table_for(&Trace::default());
+        assert_eq!(table.model_evaluations(), 0);
+        assert_eq!(table.misses(), 0);
+    }
+}

@@ -448,6 +448,111 @@ fn off_grid_evaluations_round_trip_through_the_cache_file() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The ISSUE-5 determinism contract: the batched/parallel evaluation path
+/// must be bit-identical to the serial path per seed — same evaluations in
+/// the same order (latency bits included), same budget accounting, same
+/// frontiers. `Sweeper::with_parallelism(false)` is the serial reference;
+/// the default sweeper fans batches and annealing chains across all cores.
+#[test]
+fn parallel_runs_are_bit_identical_to_serial_per_seed() {
+    type StrategyMaker = Box<dyn Fn() -> Box<dyn SearchStrategy>>;
+    let space = fig12_space();
+    let multi = multi_group_space();
+    let configs: Vec<(&str, StrategyMaker)> = vec![
+        ("random", Box::new(|| Box::new(RandomSearch::new(7)))),
+        ("random+screen", Box::new(|| Box::new(RandomSearch::new(7).with_screening(true)))),
+        ("genetic", Box::new(|| Box::new(GeneticSearch::new(7)))),
+        ("genetic+screen", Box::new(|| Box::new(GeneticSearch::new(7).with_screening(true)))),
+        (
+            "genetic+continuous",
+            Box::new(|| Box::new(GeneticSearch::new(7).with_snap_policy(SnapPolicy::Continuous))),
+        ),
+        ("annealing", Box::new(|| Box::new(SimulatedAnnealing::new(7)))),
+        (
+            "annealing+continuous+clockbw",
+            Box::new(|| {
+                Box::new(
+                    SimulatedAnnealing::new(7)
+                        .with_snap_policy(SnapPolicy::Continuous)
+                        .with_clock_bw_relaxation(true),
+                )
+            }),
+        ),
+    ];
+    for space in [&space, &multi] {
+        for (name, make) in &configs {
+            let serial_sweeper = Sweeper::new(ModelParams::default()).with_parallelism(false);
+            let parallel_sweeper = Sweeper::new(ModelParams::default());
+            let budget = SearchBudget::evaluations(40);
+            let serial = make().search(&serial_sweeper, space, budget);
+            let parallel = make().search(&parallel_sweeper, space, budget);
+
+            assert_eq!(serial.stats.requested, parallel.stats.requested, "{name}: budget");
+            assert_eq!(serial.stats.evaluated, parallel.stats.evaluated, "{name}: evaluated");
+            assert_eq!(serial.stats.screened, parallel.stats.screened, "{name}: screened");
+            assert_eq!(serial.stats.revisits, parallel.stats.revisits, "{name}: revisits");
+            assert_eq!(serial.evaluations.len(), parallel.evaluations.len(), "{name}: length");
+            for (a, b) in serial.evaluations.iter().zip(&parallel.evaluations) {
+                assert_eq!(a.point, b.point, "{name}: evaluation order diverged");
+                assert_eq!(a.latency_s.to_bits(), b.latency_s.to_bits(), "{name}: latency bits");
+                assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits(), "{name}: energy bits");
+            }
+            assert_eq!(serial.frontiers.len(), parallel.frontiers.len(), "{name}: groups");
+            for (ga, gb) in serial.frontiers.iter().zip(&parallel.frontiers) {
+                assert_eq!(ga.model, gb.model, "{name}: group order");
+                assert_eq!(ga.seq_len, gb.seq_len, "{name}: group order");
+                assert_eq!(ga.frontier.len(), gb.frontier.len(), "{name}: frontier size");
+            }
+        }
+    }
+}
+
+/// Without screening, the random searcher's batch size is invisible in
+/// results (samples are drawn, charged, and recorded in draw order for
+/// any batch size) — and parallel ≡ serial holds at every batch size.
+/// With screening, batch size is a documented configuration knob.
+#[test]
+fn random_batch_size_is_invisible_without_screening() {
+    let space = fig12_space();
+    let budget = SearchBudget::evaluations(40);
+    let reference = RandomSearch::new(7).with_batch(1).search(
+        &Sweeper::new(ModelParams::default()).with_parallelism(false),
+        &space,
+        budget,
+    );
+    for batch in [2usize, 5, 16, 64] {
+        for parallel in [false, true] {
+            let sweeper = Sweeper::new(ModelParams::default()).with_parallelism(parallel);
+            let run = RandomSearch::new(7).with_batch(batch).search(&sweeper, &space, budget);
+            assert_eq!(run.evaluations.len(), reference.evaluations.len(), "batch {batch}");
+            for (a, b) in reference.evaluations.iter().zip(&run.evaluations) {
+                assert_eq!(a.point, b.point, "batch {batch} parallel {parallel}");
+                assert_eq!(a.latency_s.to_bits(), b.latency_s.to_bits());
+            }
+            assert_eq!(run.stats.requested, reference.stats.requested);
+        }
+    }
+}
+
+/// The batched genetic searcher must actually batch: at least one
+/// multi-point flush per generation (seed generation included), visible
+/// through the new batch counters.
+#[test]
+fn genetic_search_issues_multi_point_batches_every_generation() {
+    let space = fig12_space();
+    let sweeper = Sweeper::new(ModelParams::default());
+    let outcome = GeneticSearch::new(1).search(&sweeper, &space, SearchBudget::evaluations(60));
+    // 60 evaluations at population 16 is a seed batch plus ≥ 2 breeding
+    // generations; every one must have flushed as a single multi-point
+    // batch.
+    assert!(
+        outcome.stats.multi_point_batches >= 3,
+        "only {} multi-point batches across the run",
+        outcome.stats.multi_point_batches
+    );
+    assert!(outcome.stats.batches >= outcome.stats.multi_point_batches);
+}
+
 #[test]
 fn eval_cache_type_is_exported_for_external_tools() {
     // The cache is part of the public API surface (external plotting

@@ -96,6 +96,58 @@ fn replaying_the_same_trace_is_bit_identical_including_p99() {
 }
 
 #[test]
+fn service_time_table_replay_is_bit_identical_with_zero_in_loop_model_calls() {
+    // The ISSUE-5 serve acceptance: a replay through a precomputed
+    // ServiceTimeTable must reproduce the existing reports bit-for-bit
+    // (p99 included) while performing zero e2e_report_on calls inside the
+    // iteration loop — every model call happens at table build time.
+    let params = ModelParams::default();
+    let trace = mixed_spec(150.0, 60).generate(7);
+    for e in &bert_frontier() {
+        let sim = ServeSim::for_point(&e.point, &params);
+        let table = sim.service_times(&trace);
+        assert!(table.model_evaluations() > 0, "table must precompute something");
+
+        let via_table = sim.run_with(&table, &trace);
+        assert_eq!(
+            table.misses(),
+            0,
+            "{}: the iteration loop fell back to the model",
+            e.point.arch.name
+        );
+
+        // Bit-identical to the plain run (which builds its own table) —
+        // the golden serving behavior is unchanged.
+        let plain = sim.run(&trace);
+        assert_eq!(via_table, plain, "{}", e.point.arch.name);
+        assert_eq!(via_table.ttft.p99.to_bits(), plain.ttft.p99.to_bits());
+        assert_eq!(via_table.tpot.p99.to_bits(), plain.tpot.p99.to_bits());
+        assert_eq!(via_table.e2e.p99.to_bits(), plain.e2e.p99.to_bits());
+
+        // Replaying through the same table again is free and identical.
+        assert_eq!(sim.run_with(&table, &trace), via_table);
+        assert_eq!(table.misses(), 0);
+    }
+}
+
+#[test]
+fn parallel_objective_ranking_matches_the_serial_path_bit_for_bit() {
+    let params = ModelParams::default();
+    let evaluations = bert_frontier();
+    let trace = mixed_spec(150.0, 60).generate(7);
+    let parallel = ServeObjective::new(trace.clone(), Sla::p99_ttft(0.25));
+    let serial = parallel.clone().with_parallelism(false);
+    let a = parallel.rank(&evaluations, &params);
+    let b = serial.rank(&evaluations, &params);
+    assert_eq!(a.len(), b.len());
+    for ((ea, sa), (eb, sb)) in a.iter().zip(&b) {
+        assert_eq!(ea.point, eb.point, "ranking order diverged");
+        assert_eq!(sa, sb, "scores diverged");
+        assert_eq!(sa.report.ttft.p99.to_bits(), sb.report.ttft.p99.to_bits());
+    }
+}
+
+#[test]
 fn bursty_traffic_stresses_the_tail_harder_than_poisson() {
     // Same mean rate, same lengths: bursts must not change *what*
     // completes, only the tail latency.
