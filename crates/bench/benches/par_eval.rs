@@ -22,6 +22,7 @@ use fusemax_dse::search::{
 use fusemax_dse::{DesignSpace, Objectives, Sweeper};
 use fusemax_model::{ConfigKind, ModelParams};
 use fusemax_serve::{Arrivals, LengthMix, ServeObjective, ServeSim, Sla, Trace, TrafficSpec};
+use fusemax_telemetry::{Metrics, VecSink};
 use fusemax_workloads::TransformerConfig;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -213,6 +214,39 @@ fn run_serve_rank() -> Comparison {
     }
 }
 
+/// Replays the genetic arm (cold then warm-cache) and one serve replay
+/// with telemetry attached and condenses the event streams into the
+/// search-efficiency numbers the `BENCH_*` trajectory tracks — cache hit
+/// ratio and batch shape, not just wall time.
+fn telemetry_json() -> String {
+    let space = genetic_space();
+    let (recorder, sink) = VecSink::recorder();
+    let sweeper = Sweeper::new(ModelParams::default()).with_recorder(recorder);
+    let budget = SearchBudget::evaluations(90);
+    GeneticSearch::new(7).search(&sweeper, &space, budget);
+    // A second seed over the warm cache, so the hit ratio measures reuse.
+    GeneticSearch::new(9).search(&sweeper, &space, budget);
+
+    let trace = serve_trace(120);
+    let point = DesignSpace::new().with_workloads([TransformerConfig::bert()]).points().remove(4);
+    let (serve_recorder, serve_sink) = VecSink::recorder();
+    ServeSim::for_point(&point, &ModelParams::default()).with_recorder(serve_recorder).run(&trace);
+
+    let mut events = sink.events();
+    events.extend(serve_sink.events());
+    let metrics = Metrics::from_events(&events);
+    format!(
+        concat!(
+            "{{\"search_cache_hit_ratio\":{:.4},\"search_flush_batch_mean\":{:.3},",
+            "\"serve_batch_mean\":{:.3},\"events\":{}}}"
+        ),
+        metrics.gauge("search.cache.hit_ratio").unwrap_or(0.0),
+        metrics.histogram("search.flush_batch").map_or(0.0, |h| h.mean()),
+        metrics.gauge("serve.batch_mean").unwrap_or(0.0),
+        events.len(),
+    )
+}
+
 /// Serializes the comparisons as the `target/bench_summary.json`
 /// trajectory artifact (dependency-free, stable field order).
 fn write_summary(comparisons: &[Comparison]) {
@@ -233,9 +267,10 @@ fn write_summary(comparisons: &[Comparison]) {
         })
         .collect();
     let json = format!(
-        "{{\"threads\":{},\"comparisons\":[{}]}}\n",
+        "{{\"threads\":{},\"comparisons\":[{}],\"telemetry\":{}}}\n",
         rayon::current_num_threads(),
-        entries.join(",")
+        entries.join(","),
+        telemetry_json(),
     );
     // Bench binaries run with the package directory as CWD; the summary
     // belongs in the workspace-root target/ where CI uploads it.

@@ -93,6 +93,10 @@ pub struct EvalCache {
     shards: Box<[Shard]>,
     hits: AtomicU64,
     misses: AtomicU64,
+    // Per-shard splits of the aggregate counters above (same Relaxed
+    // discipline); `shard_hits[i] + …` always sums to `hits()`.
+    shard_hits: Box<[AtomicU64]>,
+    shard_misses: Box<[AtomicU64]>,
 }
 
 impl Default for EvalCache {
@@ -115,25 +119,40 @@ impl EvalCache {
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            shard_hits: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            shard_misses: (0..shards).map(|_| AtomicU64::new(0)).collect(),
         }
+    }
+
+    /// The index of the shard holding `key` — a pure function of the key
+    /// and the shard count (`DefaultHasher::new()` hashes with fixed
+    /// keys), so telemetry can attribute traffic to shards
+    /// deterministically across runs.
+    pub fn shard_of(&self, key: &PointKey) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
     }
 
     /// The shard holding `key`.
     fn shard(&self, key: &PointKey) -> &Shard {
-        // DefaultHasher is deterministic within a process; the shard
-        // choice never leaks into observable state, so any stable-enough
-        // hash works here.
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+        &self.shards[self.shard_of(key)]
     }
 
-    /// Looks up `key`, bumping the hit or miss counter.
+    /// Looks up `key`, bumping the aggregate and per-shard hit or miss
+    /// counters.
     pub fn get(&self, key: &PointKey) -> Option<Arc<Evaluation>> {
-        let found = self.shard(key).lock().expect("cache poisoned").get(key).cloned();
+        let shard = self.shard_of(key);
+        let found = self.shards[shard].lock().expect("cache poisoned").get(key).cloned();
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.shard_hits[shard].fetch_add(1, Ordering::Relaxed)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.shard_misses[shard].fetch_add(1, Ordering::Relaxed)
+            }
         };
         found
     }
@@ -190,6 +209,22 @@ impl EvalCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard `(hits, misses)` splits of the aggregate counters, in
+    /// shard order — the raw material for the shard-skew telemetry that
+    /// makes lock-striping pathologies (hot shards) visible.
+    pub fn shard_counters(&self) -> Vec<(u64, u64)> {
+        self.shard_hits
+            .iter()
+            .zip(self.shard_misses.iter())
+            .map(|(h, m)| (h.load(Ordering::Relaxed), m.load(Ordering::Relaxed)))
+            .collect()
+    }
+
     /// Number of cached evaluations.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().expect("cache poisoned").len()).sum()
@@ -233,7 +268,34 @@ impl EvalCache {
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        for counter in self.shard_hits.iter().chain(self.shard_misses.iter()) {
+            counter.store(0, Ordering::Relaxed);
+        }
     }
+}
+
+/// Fold a cache's counters into a telemetry
+/// [`Metrics`](fusemax_telemetry::Metrics) registry:
+/// aggregate and per-shard hit/miss counters, the hit ratio, and the
+/// shard-skew gauge (max shard traffic over mean shard traffic; 1.0 is
+/// perfectly balanced striping, large values mean a hot shard).
+pub fn record_cache_metrics(cache: &EvalCache, metrics: &mut fusemax_telemetry::Metrics) {
+    let per_shard = cache.shard_counters();
+    let (hits, misses) = (cache.hits(), cache.misses());
+    metrics.inc("search.cache.hit", hits);
+    metrics.inc("search.cache.miss", misses);
+    for (shard, (h, m)) in per_shard.iter().enumerate() {
+        metrics.inc(&format!("search.cache.shard.{shard:03}.hit"), *h);
+        metrics.inc(&format!("search.cache.shard.{shard:03}.miss"), *m);
+    }
+    if hits + misses > 0 {
+        metrics.set_gauge("search.cache.hit_ratio", hits as f64 / (hits + misses) as f64);
+        let traffic: Vec<u64> = per_shard.iter().map(|(h, m)| h + m).collect();
+        let mean = (hits + misses) as f64 / traffic.len() as f64;
+        let max = traffic.iter().copied().max().unwrap_or(0) as f64;
+        metrics.set_gauge("search.cache.shard_skew", max / mean);
+    }
+    metrics.set_gauge("search.cache.entries", cache.len() as f64);
 }
 
 #[cfg(test)]
@@ -296,6 +358,48 @@ mod tests {
         assert!(cache.get(&key).is_none());
         assert_eq!((cache.hits(), cache.misses()), (0, 1));
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shard_counters_split_the_aggregates() {
+        let cache = EvalCache::with_shards(4);
+        let keys: Vec<PointKey> =
+            (1..6).map(|i| PointKey::of(&point(ConfigKind::Flat, 32 * i, 1 << 12))).collect();
+        for key in &keys {
+            cache.get(key); // miss
+        }
+        let (hits, misses): (u64, u64) =
+            cache.shard_counters().iter().fold((0, 0), |(h, m), (sh, sm)| (h + sh, m + sm));
+        assert_eq!((hits, misses), (cache.hits(), cache.misses()));
+        assert_eq!(misses, keys.len() as u64);
+        // Every key's traffic landed on its deterministic shard.
+        for key in &keys {
+            assert!(cache.shard_of(key) < cache.shard_count());
+            assert_eq!(cache.shard_of(key), cache.shard_of(key));
+        }
+    }
+
+    #[test]
+    fn record_cache_metrics_surfaces_ratio_and_skew() {
+        let cache = EvalCache::with_shards(4);
+        let key = PointKey::of(&point(ConfigKind::Flat, 64, 1 << 12));
+        cache.get(&key); // miss
+        let e = {
+            use crate::sweep::Sweeper;
+            use fusemax_model::ModelParams;
+            Sweeper::new(ModelParams::default()).evaluate(&point(ConfigKind::Flat, 64, 1 << 12))
+        };
+        cache.insert(key.clone(), e);
+        cache.get(&key); // hit
+        let mut metrics = fusemax_telemetry::Metrics::new();
+        record_cache_metrics(&cache, &mut metrics);
+        assert_eq!(metrics.counter("search.cache.hit"), 1);
+        assert_eq!(metrics.counter("search.cache.miss"), 1);
+        assert_eq!(metrics.gauge("search.cache.hit_ratio"), Some(0.5));
+        // Both touches hit one shard of four: skew = max/mean = 2/(2/4).
+        assert_eq!(metrics.gauge("search.cache.shard_skew"), Some(4.0));
+        let shard = cache.shard_of(&key);
+        assert_eq!(metrics.counter(&format!("search.cache.shard.{shard:03}.hit")), 1);
     }
 
     #[test]

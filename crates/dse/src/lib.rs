@@ -119,7 +119,7 @@ mod space;
 mod sweep;
 mod validate;
 
-pub use cache::{EvalCache, PointKey};
+pub use cache::{record_cache_metrics, EvalCache, PointKey};
 pub use json::{
     cache_json, frontier_json, frontiers_only_json, load_cache_file, parse_cache_json,
     save_cache_file, PersistError,

@@ -263,9 +263,14 @@ impl SearchStrategy for SimulatedAnnealing {
             let (wi, si) = groups[chain_no];
             let (share, cheap) = shares[chain_no];
             let chain_budget = SearchBudget { evaluations: share, cheap };
+            // `.buffered()`: chain sessions keep their telemetry in the
+            // outcome instead of publishing — the root session publishes
+            // the chain-order merge, so the stream is identical whether
+            // the chains ran on parallel workers or one after another.
             let chain_session = Session::new(sweeper, space, chain_budget)
                 .without_space_clamp(chain_budget)
-                .with_screening(self.screening);
+                .with_screening(self.screening)
+                .buffered();
             // SplitMix64-style stream pre-split: chain i starts where a
             // generator seeded with `seed` lands after i state steps.
             let chain_seed =

@@ -290,6 +290,20 @@ pub fn convergence(
     ConvergenceCurve { strategy: outcome.strategy.clone(), samples: curve }
 }
 
+/// Emits one `HypervolumeSample` telemetry event per curve sample, at the
+/// sample's evaluation-count tick — so a scored run's convergence joins
+/// the same event stream (and Perfetto tracks) as the session events.
+pub fn record_convergence(curve: &ConvergenceCurve, recorder: &fusemax_telemetry::Recorder) {
+    for sample in &curve.samples {
+        recorder.emit(|| {
+            fusemax_telemetry::Event::search(
+                sample.evaluations as u64,
+                fusemax_telemetry::SearchEvent::HypervolumeSample { fraction: sample.fraction },
+            )
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

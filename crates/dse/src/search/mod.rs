@@ -73,7 +73,8 @@ mod strategy;
 pub use annealing::SimulatedAnnealing;
 pub use genetic::GeneticSearch;
 pub use hypervolume::{
-    convergence, hypervolume, hypervolume_fraction, reference_point, ConvergenceCurve, HvSample,
+    convergence, hypervolume, hypervolume_fraction, record_convergence, reference_point,
+    ConvergenceCurve, HvSample,
 };
 pub use random::RandomSearch;
 pub use relax::{Relaxation, SnapPolicy};

@@ -11,6 +11,7 @@
 use crate::cache::PointKey;
 use crate::space::{AxisIndex, Candidate, DesignPoint, DesignSpace};
 use crate::sweep::{group_index, Evaluation, FrontierGroup, Sweeper};
+use fusemax_telemetry::{Event, SearchEvent};
 use rand::Rng;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -124,6 +125,13 @@ pub struct SearchOutcome {
     pub frontiers: Vec<FrontierGroup>,
     /// Run bookkeeping.
     pub stats: SearchStats,
+    /// The telemetry events this run emitted, in deterministic order
+    /// (staging/fold order; chain-parallel strategies concatenate their
+    /// chains' streams in chain order). Empty unless the sweeper carries
+    /// an enabled [`fusemax_telemetry::Recorder`]. Ticks are each
+    /// session's charged-evaluation count, so per-chain streams restart
+    /// their clocks — the Perfetto exporter sorts by tick per track.
+    pub events: Vec<Event>,
 }
 
 impl SearchOutcome {
@@ -210,6 +218,16 @@ pub(crate) struct Session<'a> {
     frontiers: Vec<FrontierGroup>,
     stats: SearchStats,
     start: Instant,
+    /// Locally-buffered telemetry (empty when the sweeper's recorder is
+    /// disabled). Buffering instead of emitting inline is what keeps the
+    /// stream deterministic under chain parallelism: every session owns
+    /// its own buffer, and streams merge in `absorb_outcome` call order.
+    events: Vec<Event>,
+    tracing: bool,
+    /// Whether `finish` publishes the buffer to the sweeper's recorder.
+    /// Chain sessions are buffered (`false`): only the root session
+    /// publishes, once, after the deterministic merge.
+    publish: bool,
 }
 
 impl<'a> Session<'a> {
@@ -230,6 +248,25 @@ impl<'a> Session<'a> {
             frontiers: Vec::new(),
             stats: SearchStats::default(),
             start: Instant::now(),
+            events: Vec::new(),
+            tracing: sweeper.recorder().is_enabled(),
+            publish: true,
+        }
+    }
+
+    /// Marks this session as a *chain* session: its events stay buffered
+    /// in the outcome and are **not** published to the recorder at
+    /// finish — the root session absorbs and publishes them after the
+    /// deterministic chain-order merge.
+    pub(crate) fn buffered(mut self) -> Self {
+        self.publish = false;
+        self
+    }
+
+    /// Buffers a search event at the current charged-evaluation tick.
+    fn trace(&mut self, kind: SearchEvent) {
+        if self.tracing {
+            self.events.push(Event::search(self.stats.requested as u64, kind));
         }
     }
 
@@ -340,10 +377,12 @@ impl<'a> Session<'a> {
             if !self.frontiers[group].frontier.admits(&self.sweeper.lower_bound(&point)) {
                 self.stats.screened += 1;
                 self.rejected.insert(key);
+                self.trace(SearchEvent::ScreenedOut);
                 return StagedEval::Screened;
             }
         }
         self.stats.requested += 1;
+        self.trace(SearchEvent::Staged);
         let i = self.pending.len();
         self.pending_index.insert(key, i);
         self.pending.push(point);
@@ -368,17 +407,35 @@ impl<'a> Session<'a> {
         if batch.len() >= 2 {
             self.stats.multi_point_batches += 1;
         }
+        self.trace(SearchEvent::FlushBatch { size: batch.len() });
         let results = self.sweeper.evaluate_many(&batch);
         let mut out = Vec::with_capacity(results.len());
+        // This fold runs serially in staging order whatever the worker
+        // count, so the hit/miss classification (the `fresh` bit) and the
+        // frontier-insert events below are deterministic — never emit
+        // them from inside the concurrent cache.
         for (evaluation, fresh) in results {
+            let key = PointKey::of(&evaluation.point);
             if fresh {
                 self.stats.evaluated += 1;
+                if self.tracing {
+                    let shard = self.sweeper.cache().shard_of(&key);
+                    self.trace(SearchEvent::CacheMiss { shard });
+                }
             } else {
                 self.stats.cache_hits += 1;
+                if self.tracing {
+                    let shard = self.sweeper.cache().shard_of(&key);
+                    self.trace(SearchEvent::CacheHit { shard });
+                }
             }
-            self.seen.insert(PointKey::of(&evaluation.point), Arc::clone(&evaluation));
+            self.seen.insert(key, Arc::clone(&evaluation));
             let group = group_index(&mut self.frontiers, &evaluation.point);
-            self.frontiers[group].frontier.insert(Arc::clone(&evaluation));
+            let admitted = self.frontiers[group].frontier.insert(Arc::clone(&evaluation));
+            if self.tracing {
+                let frontier_len = self.frontiers[group].frontier.len();
+                self.trace(SearchEvent::FrontierInsert { admitted, frontier_len });
+            }
             self.evaluations.push(Arc::clone(&evaluation));
             out.push(evaluation);
         }
@@ -407,15 +464,21 @@ impl<'a> Session<'a> {
     }
 
     /// Closes the session into an outcome, flushing anything still
-    /// staged.
+    /// staged. Root sessions publish their buffered event stream to the
+    /// sweeper's recorder here — exactly once, after every merge — so
+    /// the recorder sees one deterministic stream per run.
     pub(crate) fn finish(mut self, strategy: &str) -> SearchOutcome {
         self.flush();
         self.stats.elapsed = self.start.elapsed();
+        if self.publish {
+            self.sweeper.recorder().publish(self.events.iter().cloned());
+        }
         SearchOutcome {
             strategy: strategy.to_string(),
             evaluations: self.evaluations,
             frontiers: self.frontiers,
             stats: self.stats,
+            events: self.events,
         }
     }
 
@@ -425,6 +488,7 @@ impl<'a> Session<'a> {
     /// then merges the outcomes back deterministically.
     pub(crate) fn absorb_outcome(&mut self, outcome: SearchOutcome) {
         self.stats.absorb(&outcome.stats);
+        self.events.extend(outcome.events);
         self.evaluations.extend(outcome.evaluations.iter().cloned());
         for group in outcome.frontiers {
             debug_assert!(

@@ -7,6 +7,7 @@ use crate::pareto::{Objectives, ParetoFrontier};
 use crate::space::{DesignPoint, DesignSpace};
 use fusemax_arch::{AreaModel, EnergyTable};
 use fusemax_model::{attention_report, AttentionReport, AttnWork, ModelParams};
+use fusemax_telemetry::{Event, Recorder, SearchEvent};
 use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -169,6 +170,7 @@ pub struct Sweeper {
     energy_table: EnergyTable,
     cache: EvalCache,
     parallel: bool,
+    recorder: Recorder,
 }
 
 impl Sweeper {
@@ -180,7 +182,24 @@ impl Sweeper {
             energy_table: EnergyTable::default(),
             cache: EvalCache::new(),
             parallel: true,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a telemetry recorder. Instrumentation never changes
+    /// results — frontiers, stats, and cache contents are bit-identical
+    /// with or without a recorder; events are emitted only from serial,
+    /// deterministically-ordered code paths (the sweep's space-order
+    /// classification loop, the search session's staging/fold loops), so
+    /// the stream itself replays byte-identically for a given seed.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The attached telemetry recorder (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Switches between rayon-parallel (`true`, the default) and serial
@@ -390,13 +409,32 @@ impl Sweeper {
         let points = space.points();
         let candidates = points.len();
 
-        // Serve cache hits first so only misses pay for evaluation.
+        // Serve cache hits first so only misses pay for evaluation. This
+        // classification loop is serial and in space order, so the cache
+        // events it emits are deterministic regardless of how the misses
+        // are evaluated below.
         let mut slots: Vec<Option<Arc<Evaluation>>> = Vec::with_capacity(points.len());
         let mut missing: Vec<(usize, DesignPoint)> = Vec::new();
         for (i, point) in points.into_iter().enumerate() {
-            match self.cache.get(&PointKey::of(&point)) {
-                Some(hit) => slots.push(Some(hit)),
+            let key = PointKey::of(&point);
+            let tick = i as u64 + 1;
+            match self.cache.get(&key) {
+                Some(hit) => {
+                    self.recorder.emit(|| {
+                        Event::search(
+                            tick,
+                            SearchEvent::CacheHit { shard: self.cache.shard_of(&key) },
+                        )
+                    });
+                    slots.push(Some(hit));
+                }
                 None => {
+                    self.recorder.emit(|| {
+                        Event::search(
+                            tick,
+                            SearchEvent::CacheMiss { shard: self.cache.shard_of(&key) },
+                        )
+                    });
                     slots.push(None);
                     missing.push((i, point));
                 }
@@ -404,6 +442,8 @@ impl Sweeper {
         }
         let cache_hits = candidates - missing.len();
         let evaluated = missing.len();
+        self.recorder
+            .emit(|| Event::search(candidates as u64, SearchEvent::FlushBatch { size: evaluated }));
 
         let computed: Vec<(usize, Evaluation)> = if self.parallel {
             missing.into_par_iter().map(|(i, p)| (i, self.compute(&p))).collect()
@@ -417,7 +457,7 @@ impl Sweeper {
 
         let evaluations: Vec<Arc<Evaluation>> =
             slots.into_iter().map(|s| s.expect("every slot filled")).collect();
-        let frontiers = group_frontiers(evaluations.iter().cloned());
+        let frontiers = group_frontiers(evaluations.iter().cloned(), &self.recorder);
 
         SweepOutcome {
             evaluations,
@@ -460,18 +500,36 @@ impl Sweeper {
         for point in points {
             let group = group_index(&mut frontiers, &point);
             let key = PointKey::of(&point);
+            let tick = (evaluated + cache_hits) as u64 + 1;
+            self.recorder.emit(|| Event::search(tick, SearchEvent::Staged));
             let evaluation = if let Some(hit) = self.cache.get(&key) {
                 cache_hits += 1;
+                self.recorder.emit(|| {
+                    Event::search(tick, SearchEvent::CacheHit { shard: self.cache.shard_of(&key) })
+                });
                 hit
             } else {
                 if !frontiers[group].frontier.admits(&self.lower_bound(&point)) {
                     pruned += 1;
+                    self.recorder.emit(|| Event::search(tick, SearchEvent::ScreenedOut));
                     continue;
                 }
                 evaluated += 1;
+                self.recorder.emit(|| {
+                    Event::search(tick, SearchEvent::CacheMiss { shard: self.cache.shard_of(&key) })
+                });
                 self.cache.insert(key, Arc::new(self.compute(&point)))
             };
-            frontiers[group].frontier.insert(Arc::clone(&evaluation));
+            let admitted = frontiers[group].frontier.insert(Arc::clone(&evaluation));
+            self.recorder.emit(|| {
+                Event::search(
+                    tick,
+                    SearchEvent::FrontierInsert {
+                        admitted,
+                        frontier_len: frontiers[group].frontier.len(),
+                    },
+                )
+            });
             evaluations.push(evaluation);
         }
 
@@ -505,12 +563,22 @@ pub(crate) fn group_index(frontiers: &mut Vec<FrontierGroup>, point: &DesignPoin
     }
 }
 
-/// Builds per-group frontiers from finished evaluations.
-fn group_frontiers(evaluations: impl Iterator<Item = Arc<Evaluation>>) -> Vec<FrontierGroup> {
+/// Builds per-group frontiers from finished evaluations, emitting one
+/// `FrontierInsert` per offer (in evaluation order) when tracing.
+fn group_frontiers(
+    evaluations: impl Iterator<Item = Arc<Evaluation>>,
+    recorder: &Recorder,
+) -> Vec<FrontierGroup> {
     let mut frontiers: Vec<FrontierGroup> = Vec::new();
-    for evaluation in evaluations {
+    for (n, evaluation) in evaluations.enumerate() {
         let i = group_index(&mut frontiers, &evaluation.point);
-        frontiers[i].frontier.insert(evaluation);
+        let admitted = frontiers[i].frontier.insert(evaluation);
+        recorder.emit(|| {
+            Event::search(
+                n as u64 + 1,
+                SearchEvent::FrontierInsert { admitted, frontier_len: frontiers[i].frontier.len() },
+            )
+        });
     }
     frontiers
 }

@@ -19,6 +19,7 @@ use crate::traffic::Trace;
 use fusemax_arch::ArchConfig;
 use fusemax_dse::DesignPoint;
 use fusemax_model::{ConfigKind, ModelParams};
+use fusemax_telemetry::{Event, Recorder, ServeEvent};
 use fusemax_workloads::TransformerConfig;
 use std::collections::VecDeque;
 
@@ -76,6 +77,7 @@ pub struct ServeSim {
     arch: ArchConfig,
     workload: TransformerConfig,
     params: ModelParams,
+    recorder: Recorder,
 }
 
 impl ServeSim {
@@ -86,7 +88,19 @@ impl ServeSim {
         workload: TransformerConfig,
         params: ModelParams,
     ) -> Self {
-        ServeSim { kind, arch, workload, params }
+        ServeSim { kind, arch, workload, params, recorder: Recorder::disabled() }
+    }
+
+    /// Attaches a telemetry recorder: every replay emits arrival,
+    /// admission, prefill, decode-iteration, completion, and queue-depth
+    /// events at **simulated** timestamps. Instrumentation never changes
+    /// the report — the engine is single-threaded and the recorder is
+    /// write-only — so instrumented and uninstrumented replays are
+    /// bit-identical (test-enforced), and the event stream itself replays
+    /// byte-identically for a given trace.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// A simulator for a DSE design point: the point's configuration,
@@ -163,6 +177,8 @@ impl ServeSim {
         loop {
             // Pull every request that has arrived by now into the queue.
             while next < reqs.len() && reqs[next].arrival_s <= clock {
+                let (at, req) = (reqs[next].arrival_s, reqs[next].id as u64);
+                self.recorder.emit(|| Event::serve(at, ServeEvent::Arrive { req }));
                 queue.push_back(next);
                 next += 1;
             }
@@ -185,6 +201,8 @@ impl ServeSim {
                     break;
                 }
                 queue.pop_front();
+                let req = reqs[i].id as u64;
+                self.recorder.emit(|| Event::serve(clock, ServeEvent::Admit { req }));
                 resident_bytes += bytes;
                 active.push(Active {
                     idx: i,
@@ -208,12 +226,19 @@ impl ServeSim {
                 step += if a.prefilled {
                     costs.decode_seconds(a.context)
                 } else {
+                    let (req, context) = (reqs[a.idx].id as u64, a.context);
+                    self.recorder
+                        .emit(|| Event::serve(clock, ServeEvent::PrefillStart { req, context }));
                     costs.prefill_seconds(a.context)
                 };
             }
             clock += step;
             busy += step;
             iterations += 1;
+            let (batch, resident_kv, depth) = (active.len(), resident_bytes, queue.len());
+            self.recorder
+                .emit(|| Event::serve(clock, ServeEvent::DecodeIter { batch, resident_kv }));
+            self.recorder.emit(|| Event::serve(clock, ServeEvent::QueueDepthSample { depth }));
 
             // Apply the iteration's outcomes.
             for a in &mut active {
@@ -221,6 +246,8 @@ impl ServeSim {
                     a.prefilled = true;
                     a.first_token_s = clock;
                     a.context += 1;
+                    let req = reqs[a.idx].id as u64;
+                    self.recorder.emit(|| Event::serve(clock, ServeEvent::PrefillEnd { req }));
                     ttft.push(clock - reqs[a.idx].arrival_s);
                 } else {
                     a.remaining -= 1;
@@ -235,6 +262,8 @@ impl ServeSim {
                 if active[i].prefilled && active[i].remaining == 0 {
                     let a = active.remove(i);
                     let r = &reqs[a.idx];
+                    let req = r.id as u64;
+                    self.recorder.emit(|| Event::serve(clock, ServeEvent::Complete { req }));
                     resident_bytes -= a.kv_bytes;
                     completed += 1;
                     output_tokens += r.output_tokens;
@@ -373,6 +402,56 @@ mod tests {
         let report = bert_sim(ConfigKind::FuseMaxBinding).run(&trace);
         assert_eq!(report.completed, 1);
         assert_eq!(report.iterations, 1);
+    }
+
+    #[test]
+    fn instrumented_runs_are_bit_identical_to_uninstrumented() {
+        use fusemax_telemetry::VecSink;
+        let trace = small_trace(300.0, 50);
+        let plain = bert_sim(ConfigKind::FuseMaxBinding);
+        let (recorder, sink) = VecSink::recorder();
+        let traced = bert_sim(ConfigKind::FuseMaxBinding).with_recorder(recorder);
+        assert_eq!(plain.run(&trace), traced.run(&trace));
+        assert!(!sink.is_empty(), "instrumented run must actually emit events");
+    }
+
+    #[test]
+    fn event_stream_replays_byte_identically() {
+        use fusemax_telemetry::{event_json, VecSink};
+        let trace = small_trace(300.0, 50);
+        let render =
+            |events: &[Event]| events.iter().map(event_json).collect::<Vec<_>>().join("\n");
+        let (r1, s1) = VecSink::recorder();
+        bert_sim(ConfigKind::FuseMaxBinding).with_recorder(r1).run(&trace);
+        let (r2, s2) = VecSink::recorder();
+        bert_sim(ConfigKind::FuseMaxBinding).with_recorder(r2).run(&trace);
+        assert_eq!(render(&s1.events()), render(&s2.events()));
+    }
+
+    #[test]
+    fn event_stream_is_request_conserving() {
+        use fusemax_telemetry::VecSink;
+        let trace = small_trace(500.0, 40);
+        let (recorder, sink) = VecSink::recorder();
+        let report = bert_sim(ConfigKind::FuseMaxBinding).with_recorder(recorder).run(&trace);
+        let count = |pick: &dyn Fn(&ServeEvent) -> bool| {
+            sink.events()
+                .iter()
+                .filter(|e| matches!(e, Event::Serve { kind, .. } if pick(kind)))
+                .count()
+        };
+        let arrivals = count(&|k| matches!(k, ServeEvent::Arrive { .. }));
+        let admissions = count(&|k| matches!(k, ServeEvent::Admit { .. }));
+        let prefill_starts = count(&|k| matches!(k, ServeEvent::PrefillStart { .. }));
+        let prefill_ends = count(&|k| matches!(k, ServeEvent::PrefillEnd { .. }));
+        let completions = count(&|k| matches!(k, ServeEvent::Complete { .. }));
+        let iterations = count(&|k| matches!(k, ServeEvent::DecodeIter { .. }));
+        assert_eq!(arrivals, 40);
+        assert_eq!(admissions, 40);
+        assert_eq!(prefill_starts, 40);
+        assert_eq!(prefill_ends, 40);
+        assert_eq!(completions, report.completed);
+        assert_eq!(iterations, report.iterations);
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! `fusemax-telemetry`: deterministic tracing, metrics, and Perfetto
+//! timeline export for the FuseMax search and serving stack.
+//!
+//! The crate is deliberately zero-dependency and wall-clock-free: search
+//! events are keyed by evaluation count and serve events by simulated
+//! time, so an instrumented run replayed with the same seed emits a
+//! byte-identical event stream — the stream is an artifact like any
+//! other, golden-gated and diffable in CI.
+//!
+//! The three layers:
+//!
+//! - [`Event`] / [`SearchEvent`] / [`ServeEvent`] — the typed vocabulary,
+//!   recorded through a [`Recorder`] into any [`TelemetrySink`]
+//!   ([`VecSink`], [`RingSink`], [`JsonLinesSink`], [`FanoutSink`]).
+//!   The default recorder is disabled: `emit` is a single branch and the
+//!   event closure never runs.
+//! - [`Metrics`] — monotonic counters, gauges, and fixed-bucket
+//!   [`Histogram`]s (per-shard cache traffic, screen-reject rate, batch
+//!   and queue-depth distributions), built from a stream with
+//!   [`Metrics::from_events`] or accumulated live via [`MetricsSink`],
+//!   and snapshotted as deterministic JSON with
+//!   [`Metrics::summary_json`].
+//! - [`serve_trace_json`] / [`search_trace_json`] — Chrome-trace JSON
+//!   for `chrome://tracing` / <https://ui.perfetto.dev>, with
+//!   [`validate_chrome_trace`] as the parser-free validity gate CI runs
+//!   on every exported trace.
+
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+mod perfetto;
+mod sink;
+
+pub use event::{event_json, Event, SearchEvent, ServeEvent};
+pub use metrics::{Histogram, Metrics, MetricsSink};
+pub use perfetto::{search_trace_json, serve_trace_json, validate_chrome_trace, ChromeTrace};
+pub use sink::{FanoutSink, JsonLinesSink, Recorder, RingSink, TelemetrySink, VecSink};

@@ -1,0 +1,265 @@
+//! Sinks and the `Recorder` handle the instrumented crates carry.
+//!
+//! The `Recorder` is the only type `dse`/`serve` see: a cheap clonable
+//! handle that is disabled by default. A disabled recorder's `emit` is a
+//! single branch — the event closure never runs, so instrumentation
+//! compiles to (almost) nothing on the uninstrumented path.
+
+use crate::event::{event_json, Event};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// Receives telemetry events. Implementations must tolerate being called
+/// from a single thread at a time (the instrumented code publishes
+/// deterministically ordered streams from one call site).
+pub trait TelemetrySink: Send + Sync {
+    /// Record one event.
+    fn record(&self, event: Event);
+}
+
+/// The handle instrumented code holds. Cloning shares the underlying
+/// sink. `Recorder::default()` is the no-op recorder.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    sink: Option<Arc<dyn TelemetrySink>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+impl Recorder {
+    /// A recorder that forwards every event to `sink`.
+    pub fn new(sink: Arc<dyn TelemetrySink>) -> Self {
+        Recorder { sink: Some(sink) }
+    }
+
+    /// The no-op recorder: `emit` is a branch, nothing else.
+    pub fn disabled() -> Self {
+        Recorder::default()
+    }
+
+    /// Whether events will actually be recorded. Instrumented code uses
+    /// this to skip event *buffering* entirely on the no-op path.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Record the event produced by `make` — which only runs when a sink
+    /// is attached, so the disabled path never constructs events.
+    pub fn emit(&self, make: impl FnOnce() -> Event) {
+        if let Some(sink) = &self.sink {
+            sink.record(make());
+        }
+    }
+
+    /// Publish a pre-buffered batch in order (used by search sessions,
+    /// which buffer locally for determinism and publish once at finish).
+    pub fn publish(&self, events: impl IntoIterator<Item = Event>) {
+        if let Some(sink) = &self.sink {
+            for event in events {
+                sink.record(event);
+            }
+        }
+    }
+}
+
+/// An unbounded in-memory sink: every event, in publish order.
+#[derive(Default)]
+pub struct VecSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// A `(recorder, sink)` pair sharing the same buffer — the common
+    /// setup for capturing a run's stream.
+    pub fn recorder() -> (Recorder, Arc<VecSink>) {
+        let sink = Arc::new(VecSink::new());
+        (Recorder::new(sink.clone()), sink)
+    }
+
+    /// The events recorded so far, in order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("telemetry sink poisoned").clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("telemetry sink poisoned").len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TelemetrySink for VecSink {
+    fn record(&self, event: Event) {
+        self.events.lock().expect("telemetry sink poisoned").push(event);
+    }
+}
+
+/// A bounded ring buffer: keeps the most recent `capacity` events.
+/// The right sink for always-on telemetry in long runs where only the
+/// tail matters (e.g. "what led up to the SLA miss").
+pub struct RingSink {
+    capacity: usize,
+    events: Mutex<VecDeque<Event>>,
+}
+
+impl RingSink {
+    /// A ring keeping at most `capacity` events (capacity 0 keeps none).
+    pub fn new(capacity: usize) -> Self {
+        RingSink { capacity, events: Mutex::new(VecDeque::with_capacity(capacity.min(1024))) }
+    }
+
+    /// The retained tail, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("telemetry sink poisoned").iter().cloned().collect()
+    }
+}
+
+impl TelemetrySink for RingSink {
+    fn record(&self, event: Event) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut events = self.events.lock().expect("telemetry sink poisoned");
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event);
+    }
+}
+
+/// Streams each event as one JSON object per line to a writer. Lines use
+/// the deterministic `event_json` encoding, so two replays of the same
+/// seed produce byte-identical files.
+pub struct JsonLinesSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wrap `writer`; each recorded event appends one line.
+    pub fn new(writer: W) -> Self {
+        JsonLinesSink { writer: Mutex::new(writer) }
+    }
+
+    /// Flush and return the inner writer.
+    pub fn into_inner(self) -> W {
+        let mut writer = self.writer.into_inner().expect("telemetry sink poisoned");
+        let _ = writer.flush();
+        writer
+    }
+}
+
+impl<W: Write + Send> TelemetrySink for JsonLinesSink<W> {
+    fn record(&self, event: Event) {
+        let mut writer = self.writer.lock().expect("telemetry sink poisoned");
+        let _ = writeln!(writer, "{}", event_json(&event));
+    }
+}
+
+/// Forwards every event to all inner sinks, in order — e.g. a `VecSink`
+/// for the Perfetto export plus a `MetricsSink` for the summary.
+#[derive(Default)]
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn TelemetrySink>>,
+}
+
+impl FanoutSink {
+    /// An empty fanout (records to nobody).
+    pub fn new() -> Self {
+        FanoutSink::default()
+    }
+
+    /// Add a downstream sink.
+    pub fn with(mut self, sink: Arc<dyn TelemetrySink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+}
+
+impl TelemetrySink for FanoutSink {
+    fn record(&self, event: Event) {
+        for sink in &self.sinks {
+            sink.record(event.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{SearchEvent, ServeEvent};
+
+    #[test]
+    fn disabled_recorder_never_constructs_events() {
+        let recorder = Recorder::disabled();
+        assert!(!recorder.is_enabled());
+        recorder.emit(|| unreachable!("no sink, closure must not run"));
+    }
+
+    #[test]
+    fn vec_sink_preserves_order() {
+        let (recorder, sink) = VecSink::recorder();
+        for tick in 0..4 {
+            recorder.emit(|| Event::search(tick, SearchEvent::Staged));
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 4);
+        assert!(matches!(events[3], Event::Search { tick: 3, .. }));
+    }
+
+    #[test]
+    fn ring_sink_keeps_the_tail() {
+        let ring = Arc::new(RingSink::new(2));
+        let recorder = Recorder::new(ring.clone());
+        for tick in 0..5 {
+            recorder.emit(|| Event::search(tick, SearchEvent::Staged));
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], Event::Search { tick: 3, .. }));
+        assert!(matches!(events[1], Event::Search { tick: 4, .. }));
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_line_per_event() {
+        let sink = JsonLinesSink::new(Vec::new());
+        sink.record(Event::serve(0.0, ServeEvent::Arrive { req: 1 }));
+        sink.record(Event::serve(0.25, ServeEvent::Admit { req: 1 }));
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with("{\"type\":\"serve\"")));
+    }
+
+    #[test]
+    fn fanout_reaches_every_sink() {
+        let a = Arc::new(VecSink::new());
+        let b = Arc::new(VecSink::new());
+        let fan = FanoutSink::new().with(a.clone()).with(b.clone());
+        fan.record(Event::search(0, SearchEvent::Staged));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn publish_replays_a_buffered_stream_in_order() {
+        let (recorder, sink) = VecSink::recorder();
+        let buffered =
+            vec![Event::search(1, SearchEvent::Staged), Event::search(2, SearchEvent::Staged)];
+        recorder.publish(buffered.clone());
+        assert_eq!(sink.events(), buffered);
+    }
+}

@@ -8,20 +8,42 @@
 //! let the annealer and the genetic searcher evaluate genuinely off-grid
 //! designs (non-power-of-two arrays, arbitrary buffer bytes), and
 //! `--screen` to reject provably-dominated candidates through the
-//! zero-cost lower bound before the model runs.
+//! zero-cost lower bound before the model runs. Pass `--trace-out PATH`
+//! (or set the `FUSEMAX_TRACE` environment variable) to export each
+//! strategy's staging/cache/frontier/convergence events as a
+//! Chrome-trace/Perfetto JSON timeline (open at
+//! <https://ui.perfetto.dev> or chrome://tracing) plus a metrics
+//! snapshot at `target/telemetry_summary.json`.
 
 use fusemax::dse::search::{
-    convergence, hypervolume_fraction, GeneticSearch, RandomSearch, SearchBudget, SearchStrategy,
-    SimulatedAnnealing, SnapPolicy,
+    convergence, hypervolume_fraction, record_convergence, GeneticSearch, RandomSearch,
+    SearchBudget, SearchStrategy, SimulatedAnnealing, SnapPolicy,
 };
-use fusemax::dse::{DesignSpace, Sweeper};
+use fusemax::dse::{record_cache_metrics, DesignSpace, Sweeper};
 use fusemax::model::{ConfigKind, ModelParams};
+use fusemax::telemetry::{search_trace_json, Event, Metrics, VecSink};
 use fusemax::workloads::TransformerConfig;
+
+/// `--flag <value>` from argv as a string, falling back to `env`.
+fn str_arg(name: &str, env: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == name {
+            if let Some(v) = args.next() {
+                return Some(v);
+            }
+        } else if let Some(v) = a.strip_prefix(&format!("{name}=")) {
+            return Some(v.to_string());
+        }
+    }
+    std::env::var(env).ok().filter(|v| !v.is_empty())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let continuous = args.iter().any(|a| a == "--continuous");
     let screen = args.iter().any(|a| a == "--screen");
+    let trace_out = str_arg("--trace-out", "FUSEMAX_TRACE");
     let snap = if continuous { SnapPolicy::Continuous } else { SnapPolicy::Grid };
     // The extended Fig 12 space: the paper's six array dims at 256K
     // tokens, widened with all five configurations and frequency/buffer
@@ -57,11 +79,25 @@ fn main() {
         Box::new(GeneticSearch::new(7).with_snap_policy(snap).with_screening(screen)),
         Box::new(SimulatedAnnealing::new(7).with_snap_policy(snap).with_screening(screen)),
     ];
+    let mut tracks: Vec<(String, Vec<Event>)> = Vec::new();
     for strategy in &strategies {
-        let cold = Sweeper::new(ModelParams::default());
+        let mut cold = Sweeper::new(ModelParams::default());
+        if trace_out.is_some() {
+            // An enabled recorder makes sessions buffer their event
+            // streams into the outcome; results are unchanged.
+            let (recorder, _sink) = VecSink::recorder();
+            cold = cold.with_recorder(recorder);
+        }
         let outcome = strategy.search(&cold, &space, budget);
         let fraction = hypervolume_fraction(&outcome.frontiers, &exhaustive);
         let curve = convergence(&outcome, &exhaustive, 9);
+        if trace_out.is_some() {
+            let mut stream = outcome.events.clone();
+            let (recorder, sink) = VecSink::recorder();
+            record_convergence(&curve, &recorder);
+            stream.extend(sink.events());
+            tracks.push((strategy.name().to_string(), stream));
+        }
         println!(
             "  {:>10}: {:5.1}% of the exhaustive hypervolume ({} evaluations, {:.2?})",
             strategy.name(),
@@ -102,6 +138,25 @@ fn main() {
             outcome.stats.requested,
             outcome.stats.evaluated,
             outcome.stats.cache_hits,
+        );
+    }
+
+    // Export one convergence track per strategy plus a metrics snapshot.
+    if let Some(path) = &trace_out {
+        let refs: Vec<(&str, &[Event])> =
+            tracks.iter().map(|(name, events)| (name.as_str(), events.as_slice())).collect();
+        std::fs::write(path, search_trace_json(&refs)).expect("write trace file");
+        let all: Vec<Event> = tracks.iter().flat_map(|(_, events)| events.clone()).collect();
+        let mut metrics = Metrics::from_events(&all);
+        record_cache_metrics(sweeper.cache(), &mut metrics);
+        let summary = std::path::Path::new("target").join("telemetry_summary.json");
+        std::fs::create_dir_all("target").expect("create target/");
+        std::fs::write(&summary, metrics.summary_json()).expect("write telemetry summary");
+        println!(
+            "\nWrote {} search events to {path} (open at https://ui.perfetto.dev) and metrics \
+             to {}.",
+            all.len(),
+            summary.display(),
         );
     }
 

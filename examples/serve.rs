@@ -5,11 +5,16 @@
 //! Run with `cargo run --release --example serve`. Optional flags:
 //! `--requests N` (trace size, default 60), `--rate R` (requests/s,
 //! default 150), `--seed S` (trace seed, default 7), `--sla MS`
-//! (p99 TTFT ceiling in milliseconds, default 250).
+//! (p99 TTFT ceiling in milliseconds, default 250), and
+//! `--trace-out PATH` (or the `FUSEMAX_TRACE` environment variable) to
+//! export the +Binding serving run as a Chrome-trace/Perfetto JSON
+//! timeline — open it at <https://ui.perfetto.dev> or chrome://tracing —
+//! plus a metrics snapshot at `target/telemetry_summary.json`.
 
 use fusemax::dse::{DesignSpace, Sweeper};
 use fusemax::model::{ConfigKind, ModelParams};
 use fusemax::serve::{Arrivals, LengthMix, ServeObjective, ServeSim, Sla, TrafficSpec};
+use fusemax::telemetry::{serve_trace_json, Metrics, VecSink};
 use fusemax::workloads::TransformerConfig;
 
 /// `--flag <value>` from argv, with a default.
@@ -29,11 +34,27 @@ fn arg(name: &str, default: f64) -> f64 {
     default
 }
 
+/// `--flag <value>` from argv as a string, falling back to `env`.
+fn str_arg(name: &str, env: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == name {
+            if let Some(v) = args.next() {
+                return Some(v);
+            }
+        } else if let Some(v) = a.strip_prefix(&format!("{name}=")) {
+            return Some(v.to_string());
+        }
+    }
+    std::env::var(env).ok().filter(|v| !v.is_empty())
+}
+
 fn main() {
     let requests = arg("--requests", 60.0) as usize;
     let rate = arg("--rate", 150.0);
     let seed = arg("--seed", 7.0) as u64;
     let sla_s = arg("--sla", 250.0) / 1e3;
+    let trace_out = str_arg("--trace-out", "FUSEMAX_TRACE");
     let params = ModelParams::default();
 
     // --- 1. A mixed interactive trace: mostly short prompts, a long tail. ---
@@ -65,8 +86,31 @@ fn main() {
             kind.label(),
             arch.max_resident_requests(mean_request_bytes),
         );
-        let sim = ServeSim::new(kind, arch, bert.clone(), params.clone());
+        let mut sim = ServeSim::new(kind, arch, bert.clone(), params.clone());
+        // Instrument the +Binding run when a trace path was requested;
+        // telemetry is write-only, so the printed report is unchanged.
+        let sink = if trace_out.is_some() && kind == ConfigKind::FuseMaxBinding {
+            let (recorder, sink) = VecSink::recorder();
+            sim = sim.with_recorder(recorder);
+            Some(sink)
+        } else {
+            None
+        };
         println!("{}", sim.run(&trace));
+        if let (Some(path), Some(sink)) = (&trace_out, sink) {
+            let events = sink.events();
+            std::fs::write(path, serve_trace_json(&events)).expect("write trace file");
+            let summary = std::path::Path::new("target").join("telemetry_summary.json");
+            std::fs::create_dir_all("target").expect("create target/");
+            std::fs::write(&summary, Metrics::from_events(&events).summary_json())
+                .expect("write telemetry summary");
+            println!(
+                "Wrote {} serve events to {path} (open at https://ui.perfetto.dev) \
+                 and metrics to {}.",
+                events.len(),
+                summary.display(),
+            );
+        }
     }
 
     // --- 3. SLA-aware design selection over the Fig 12 chip family. ---

@@ -1,0 +1,29 @@
+//! Validates an exported Chrome-trace/Perfetto JSON file: well-formed
+//! `traceEvents` envelope, at least one timestamped event, and
+//! non-decreasing timestamps in file order (what the exporters guarantee
+//! by stable-sorting timed records).
+//!
+//! Run with `cargo run --example validate_trace -- <trace.json>`; exits
+//! non-zero on an invalid trace, so CI can gate on it.
+
+use fusemax::telemetry::validate_chrome_trace;
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: validate_trace <trace.json>");
+        std::process::exit(2);
+    });
+    let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+    match validate_chrome_trace(&json) {
+        Ok(n) => {
+            println!("{path}: valid Chrome trace, {n} timestamped events in monotone file order")
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID trace: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`dse`] | parallel design-space search: Pareto frontiers, pruning, eval cache | §VI Fig 12 generalized |
 //! | [`serve`] | traffic-driven serving simulator, SLA-aware design selection | beyond the paper |
 //! | [`eval`] | figure/table regeneration harness | §VI Figs 6–12, Table I |
+//! | [`telemetry`] | deterministic tracing, metrics, Perfetto export for search and serving | beyond the paper |
 //!
 //! # Quickstart
 //!
@@ -51,5 +52,6 @@ pub use fusemax_eval as eval;
 pub use fusemax_model as model;
 pub use fusemax_serve as serve;
 pub use fusemax_spatial as spatial;
+pub use fusemax_telemetry as telemetry;
 pub use fusemax_tensor as tensor;
 pub use fusemax_workloads as workloads;

@@ -1,0 +1,189 @@
+//! Telemetry gates: instrumentation must be *free* (bit-identical
+//! results with and without a recorder), *deterministic* (byte-identical
+//! event streams across replays and across the parallel/serial switch),
+//! and *exportable* (the seeded serve trace round-trips the checked-in
+//! golden Chrome-trace JSON byte for byte).
+//!
+//! To bless an intentional engine change, regenerate the golden with
+//! `FUSEMAX_UPDATE_GOLDEN=1 cargo test --test telemetry` and commit the
+//! diff.
+
+use fusemax::dse::search::{SearchBudget, SearchStrategy, SimulatedAnnealing};
+use fusemax::dse::{DesignSpace, FrontierGroup, Sweeper};
+use fusemax::model::{ConfigKind, ModelParams};
+use fusemax::serve::{Arrivals, LengthMix, ServeSim, TrafficSpec};
+use fusemax::telemetry::{
+    event_json, serve_trace_json, validate_chrome_trace, Event, Metrics, VecSink,
+};
+use fusemax::workloads::TransformerConfig;
+use proptest::prelude::*;
+use std::path::Path;
+
+const GOLDEN_PATH: &str = "tests/golden/serve_trace.json";
+
+/// The canonical seeded serving run: a small bursty BERT trace on the
+/// +Binding design, instrumented end to end.
+fn seeded_serve_events() -> Vec<Event> {
+    let trace = TrafficSpec {
+        arrivals: Arrivals::Poisson { rate_per_s: 400.0 },
+        prompt_mix: LengthMix::new([(256, 3.0), (1024, 1.0)]),
+        output_mix: LengthMix::uniform([2, 6]),
+        requests: 12,
+    }
+    .generate(7);
+    let (recorder, sink) = VecSink::recorder();
+    ServeSim::new(
+        ConfigKind::FuseMaxBinding,
+        ConfigKind::FuseMaxBinding.default_arch(),
+        TransformerConfig::bert(),
+        ModelParams::default(),
+    )
+    .with_recorder(recorder)
+    .run(&trace);
+    sink.events()
+}
+
+#[test]
+fn seeded_serve_trace_matches_the_checked_in_golden() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let path = root.join(GOLDEN_PATH);
+    let current = serve_trace_json(&seeded_serve_events());
+
+    if std::env::var_os("FUSEMAX_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &current).expect("write golden");
+        eprintln!("golden updated at {}", path.display());
+        return;
+    }
+
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        current, golden,
+        "serve trace drifted from {GOLDEN_PATH}.\n\
+         If the engine change is intentional, regenerate with\n\
+         FUSEMAX_UPDATE_GOLDEN=1 cargo test --test telemetry"
+    );
+}
+
+#[test]
+fn golden_serve_trace_passes_the_validity_gate() {
+    let events = seeded_serve_events();
+    let n = validate_chrome_trace(&serve_trace_json(&events)).expect("exported trace is valid");
+    assert!(n > 0, "trace must carry timestamped events");
+    // And the export is a pure function of the event stream.
+    assert_eq!(serve_trace_json(&events), serve_trace_json(&seeded_serve_events()));
+}
+
+#[test]
+fn serve_metrics_agree_with_the_event_stream() {
+    let events = seeded_serve_events();
+    let metrics = Metrics::from_events(&events);
+    assert_eq!(metrics.counter("serve.arrivals"), 12);
+    assert_eq!(metrics.counter("serve.admissions"), 12);
+    assert_eq!(metrics.counter("serve.completions"), 12);
+    assert!(metrics.counter("serve.iterations") >= 12 / 2);
+    assert!(metrics.gauge("serve.batch_mean").expect("derived gauge present") >= 1.0);
+}
+
+/// Collapses frontiers to comparable bits: instrumentation must not move
+/// a single ULP anywhere.
+fn fingerprint(frontiers: &[FrontierGroup]) -> Vec<(String, usize, String, u64, u64, u64)> {
+    frontiers
+        .iter()
+        .flat_map(|g| {
+            g.frontier.sorted_by(0).into_iter().map(|e| {
+                (
+                    g.model.clone(),
+                    g.seq_len,
+                    e.point.arch.name.clone(),
+                    e.area_cm2.to_bits(),
+                    e.latency_s.to_bits(),
+                    e.energy_j.to_bits(),
+                )
+            })
+        })
+        .collect()
+}
+
+fn small_space() -> DesignSpace {
+    DesignSpace::new().with_kinds(ConfigKind::all()).with_workloads([TransformerConfig::bert()])
+}
+
+#[test]
+fn instrumented_guided_search_is_bit_identical_to_uninstrumented() {
+    let space = small_space();
+    let budget = SearchBudget::fraction(&space, 0.5);
+    let strategy = SimulatedAnnealing::new(7).with_screening(true);
+
+    let plain = strategy.search(&Sweeper::new(ModelParams::default()), &space, budget);
+    let (recorder, sink) = VecSink::recorder();
+    let traced = strategy.search(
+        &Sweeper::new(ModelParams::default()).with_recorder(recorder),
+        &space,
+        budget,
+    );
+
+    assert_eq!(fingerprint(&plain.frontiers), fingerprint(&traced.frontiers));
+    assert_eq!(plain.stats.requested, traced.stats.requested);
+    assert_eq!(plain.stats.evaluated, traced.stats.evaluated);
+    assert!(plain.events.is_empty(), "no recorder, no buffered events");
+    assert!(!traced.events.is_empty(), "instrumented search must emit events");
+    assert_eq!(sink.len(), traced.events.len(), "root session publishes its whole stream");
+}
+
+fn render(events: &[Event]) -> String {
+    events.iter().map(event_json).collect::<Vec<_>>().join("\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The headline determinism contract: for any seed, the parallel
+    /// annealing run (strided chains, rayon-evaluated flushes) emits the
+    /// byte-identical event stream of its serial reference.
+    #[test]
+    fn parallel_and_serial_event_streams_are_identical(seed in 0u64..1024) {
+        let space = small_space();
+        let budget = SearchBudget::fraction(&space, 0.4);
+        let strategy = SimulatedAnnealing::new(seed).with_screening(true);
+
+        let run = |parallel: bool| {
+            let (recorder, _sink) = VecSink::recorder();
+            let sweeper = Sweeper::new(ModelParams::default())
+                .with_parallelism(parallel)
+                .with_recorder(recorder);
+            strategy.search(&sweeper, &space, budget)
+        };
+        let par = run(true);
+        let ser = run(false);
+
+        prop_assert!(!par.events.is_empty());
+        prop_assert_eq!(render(&par.events), render(&ser.events));
+        prop_assert_eq!(fingerprint(&par.frontiers), fingerprint(&ser.frontiers));
+    }
+
+    /// Serve event streams are a pure function of the trace seed.
+    #[test]
+    fn serve_event_streams_replay_byte_identically(seed in 0u64..1024) {
+        let trace = TrafficSpec {
+            arrivals: Arrivals::Poisson { rate_per_s: 300.0 },
+            prompt_mix: LengthMix::fixed(256),
+            output_mix: LengthMix::uniform([2, 4]),
+            requests: 8,
+        }
+        .generate(seed);
+        let run = || {
+            let (recorder, sink) = VecSink::recorder();
+            ServeSim::new(
+                ConfigKind::FuseMaxBinding,
+                ConfigKind::FuseMaxBinding.default_arch(),
+                TransformerConfig::bert(),
+                ModelParams::default(),
+            )
+            .with_recorder(recorder)
+            .run(&trace);
+            sink.events()
+        };
+        prop_assert_eq!(render(&run()), render(&run()));
+    }
+}
