@@ -1,7 +1,7 @@
 //! The keyed evaluation cache: repeated sweeps and figure regeneration
 //! reuse analytical-model results instead of recomputing them.
 
-use crate::space::DesignPoint;
+use crate::space::{DesignPoint, QueueOrder};
 use crate::sweep::Evaluation;
 use fusemax_arch::ExpCost;
 use std::collections::HashMap;
@@ -35,6 +35,9 @@ pub struct PointKey {
     ffn_dim: usize,
     batch: usize,
     seq_len: usize,
+    chunk_tokens: Option<usize>,
+    waiting_ratio_bits: u64,
+    queue_order: QueueOrder,
 }
 
 impl PointKey {
@@ -63,6 +66,9 @@ impl PointKey {
             ffn_dim: w.ffn_dim,
             batch: w.batch,
             seq_len: point.seq_len,
+            chunk_tokens: point.policy.chunk_tokens,
+            waiting_ratio_bits: point.policy.waiting_served_ratio.to_bits(),
+            queue_order: point.policy.queue_order,
         }
     }
 }
@@ -312,6 +318,7 @@ mod tests {
             workload: TransformerConfig::bert(),
             seq_len,
             array_dim: n,
+            policy: Default::default(),
         }
     }
 
@@ -337,6 +344,15 @@ mod tests {
         let mut other_freq = base.clone();
         other_freq.arch.frequency_hz = 470e6;
         assert_ne!(k, PointKey::of(&other_freq), "frequency");
+
+        let mut other_policy = base.clone();
+        other_policy.policy = crate::space::SchedulerPolicy::chunked(512);
+        assert_ne!(k, PointKey::of(&other_policy), "scheduler policy");
+
+        let mut other_order = base.clone();
+        other_order.policy = crate::space::SchedulerPolicy::unbounded()
+            .with_queue_order(QueueOrder::ShortestPromptFirst);
+        assert_ne!(k, PointKey::of(&other_order), "queue order");
 
         let mut other_buf = base;
         other_buf.arch.global_buffer_bytes *= 2;
@@ -457,7 +473,7 @@ mod tests {
         use crate::space::{Candidate, DesignSpace};
         let space = DesignSpace::new().with_array_dims([64, 256]);
         let stock = arch_for(ConfigKind::FuseMaxBinding, 256).global_buffer_bytes;
-        let grid = space.materialize(&Candidate::Grid([0, 0, 0, 1, 0, 0]));
+        let grid = space.materialize(&Candidate::Grid([0, 0, 0, 1, 0, 0, 0]));
         let alias = space.materialize(&Candidate::OffGrid {
             workload: 0,
             seq_len: 0,
@@ -467,6 +483,7 @@ mod tests {
             buffer_bytes: stock,
             frequency_hz: None,
             dram_bw_bytes_per_sec: None,
+            policy: 0,
         });
         assert_eq!(PointKey::of(&grid), PointKey::of(&alias));
 
@@ -479,6 +496,7 @@ mod tests {
             buffer_bytes: stock - 1,
             frequency_hz: None,
             dram_bw_bytes_per_sec: None,
+            policy: 0,
         });
         assert_ne!(PointKey::of(&grid), PointKey::of(&shrunk));
     }
@@ -499,7 +517,14 @@ mod tests {
             let mut arch = arch_for(kind, dim);
             arch.global_buffer_bytes = buffer_bytes;
             arch.frequency_hz = freq;
-            DesignPoint { arch, kind, workload: TransformerConfig::bert(), seq_len, array_dim: dim }
+            DesignPoint {
+                arch,
+                kind,
+                workload: TransformerConfig::bert(),
+                seq_len,
+                array_dim: dim,
+                policy: Default::default(),
+            }
         }
 
         proptest! {
@@ -554,6 +579,7 @@ mod tests {
                     buffer_bytes: b,
                     frequency_hz: Some(f),
                     dram_bw_bytes_per_sec: Some(bw),
+                    policy: 0,
                 };
                 let a = space.materialize(&candidate(kind_a, dim_a, buf_a, freq_a, bw_a));
                 let b = space.materialize(&candidate(kind_b, dim_b, buf_b, freq_b, bw_b));
@@ -588,6 +614,7 @@ mod tests {
                         workload: TransformerConfig::bert(),
                         seq_len: 1 << 10,
                         array_dim: d,
+                        policy: Default::default(),
                     })
                     .collect();
                 let evaluations: Vec<Arc<Evaluation>> =
@@ -642,7 +669,7 @@ mod tests {
                     .with_array_dims([64, 128, 256])
                     .with_kinds([ConfigKind::Flat, ConfigKind::FuseMaxBinding])
                     .with_buffer_scales([0.5, 1.0]);
-                let index = [0, 0, kind_idx, dim_idx, 0, buf_idx];
+                let index = [0, 0, kind_idx, dim_idx, 0, buf_idx, 0];
                 let via_point_at = PointKey::of(&space.point_at(index));
                 let via_candidate =
                     PointKey::of(&space.materialize(&Candidate::Grid(index)));

@@ -9,7 +9,7 @@
 //! indistinguishable from a fresh one.
 
 use crate::cache::EvalCache;
-use crate::space::DesignPoint;
+use crate::space::{DesignPoint, QueueOrder, SchedulerPolicy};
 use crate::sweep::{Evaluation, SweepOutcome};
 use fusemax_arch::{ArchConfig, EnergyBreakdown, ExpCost, PeKind};
 use fusemax_model::{AttentionReport, ConfigKind};
@@ -182,13 +182,22 @@ fn arch_object(arch: &ArchConfig) -> String {
     )
 }
 
+fn policy_object(policy: &SchedulerPolicy) -> String {
+    format!(
+        "{{\"chunk_tokens\":{},\"waiting_served_ratio\":{},\"queue_order\":{}}}",
+        policy.chunk_tokens.map_or("null".to_string(), |c| c.to_string()),
+        num(policy.waiting_served_ratio),
+        quoted(policy.queue_order.token()),
+    )
+}
+
 fn point_object(point: &DesignPoint) -> String {
     let w = &point.workload;
     format!(
         concat!(
             "{{\"kind\":{},\"seq_len\":{},\"array_dim\":{},\"workload\":{{\"name\":{},",
             "\"layers\":{},\"heads\":{},\"head_dim\":{},\"d_model\":{},\"ffn_dim\":{},",
-            "\"batch\":{}}},\"arch\":{}}}"
+            "\"batch\":{}}},\"arch\":{},\"policy\":{}}}"
         ),
         quoted(point.kind.label()),
         point.seq_len,
@@ -201,6 +210,7 @@ fn point_object(point: &DesignPoint) -> String {
         w.ffn_dim,
         w.batch,
         arch_object(&point.arch),
+        policy_object(&point.policy),
     )
 }
 
@@ -370,6 +380,28 @@ fn parse_arch(v: &parse::Value) -> Result<ArchConfig, PersistError> {
     })
 }
 
+/// The scheduler policy of a point object. Cache files written before
+/// the policy axis existed have no `"policy"` field; they parse to the
+/// legacy [`SchedulerPolicy::unbounded`], which is exactly the engine
+/// those evaluations ran under.
+fn parse_policy(v: &parse::Value) -> Result<SchedulerPolicy, PersistError> {
+    let Some(p) = v.get("policy") else {
+        return Ok(SchedulerPolicy::unbounded());
+    };
+    let chunk_tokens = match p.get("chunk_tokens") {
+        None | Some(parse::Value::Null) => None,
+        Some(_) => Some(p.usize_field("chunk_tokens")?),
+    };
+    let token = p.str_field("queue_order")?;
+    let queue_order = QueueOrder::parse(token)
+        .ok_or_else(|| PersistError::Parse(format!("unknown queue order {token:?}")))?;
+    Ok(SchedulerPolicy {
+        chunk_tokens,
+        waiting_served_ratio: p.f64_field("waiting_served_ratio")?,
+        queue_order,
+    })
+}
+
 fn parse_point(v: &parse::Value, interner: &mut Interner) -> Result<DesignPoint, PersistError> {
     let w = v.obj_field("workload")?;
     let workload = TransformerConfig {
@@ -387,6 +419,7 @@ fn parse_point(v: &parse::Value, interner: &mut Interner) -> Result<DesignPoint,
         workload,
         seq_len: v.usize_field("seq_len")?,
         array_dim: v.usize_field("array_dim")?,
+        policy: parse_policy(v)?,
     })
 }
 
@@ -912,6 +945,7 @@ mod tests {
                 buffer_bytes: buf,
                 frequency_hz: None,
                 dram_bw_bytes_per_sec: None,
+                policy: 0,
             });
             sweeper.evaluate(&point);
         }

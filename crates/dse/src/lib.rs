@@ -14,13 +14,13 @@
 //!
 //! # Search-space grammar
 //!
-//! A [`DesignSpace`] is the cartesian product of six axes; each `with_*`
+//! A [`DesignSpace`] is the cartesian product of seven axes; each `with_*`
 //! builder method replaces one axis and every combination becomes one
 //! [`DesignPoint`]:
 //!
 //! ```text
 //! space       := array_dims × kinds × workloads × seq_lens
-//!                × frequencies × buffer_scales
+//!                × frequencies × buffer_scales × policies
 //! array_dim   := n                  -- n×n 2D PEs, n 1D PEs, buffer ∝ n²
 //!                                      (Fig 12 default: 16, 32, …, 512)
 //! kind        := Unfused | Flat | FuseMaxCascade
@@ -32,6 +32,11 @@
 //! seq_len     := tokens             -- paper sweep: 1K … 1M
 //! frequency   := None | Some(hz)    -- None keeps the family's stock clock
 //! buffer_scale:= ×f                 -- multiplier on the scaled buffer
+//! policy      := SchedulerPolicy    -- serving-scheduler knobs (prefill
+//!                                      chunk budget, admission ratio,
+//!                                      queue order); default is the
+//!                                      single legacy whole-prompt/FCFS
+//!                                      policy, which changes nothing
 //! ```
 //!
 //! Evaluating a point yields an [`Evaluation`] with three **minimized**
@@ -125,7 +130,9 @@ pub use json::{
     save_cache_file, PersistError,
 };
 pub use pareto::{dominates, pareto_ranks, Objectives, ParetoFrontier};
-pub use space::{arch_for, AxisIndex, Candidate, DesignPoint, DesignSpace};
+pub use space::{
+    arch_for, AxisIndex, Candidate, DesignPoint, DesignSpace, QueueOrder, SchedulerPolicy,
+};
 pub use sweep::{Evaluation, FrontierGroup, SweepOutcome, SweepStats, Sweeper};
 pub use validate::{validate_top_k, Validation, ValidationStatus};
 

@@ -135,13 +135,17 @@ impl SimulatedAnnealing {
 /// The clock/bandwidth coordinates are carried always but only drawn,
 /// stepped, and emitted when the strategy's clock/bandwidth relaxation is
 /// on — keeping the RNG stream (and therefore every seeded result) of
-/// runs without it unchanged.
+/// runs without it unchanged. The scheduler-policy index follows the same
+/// rule: it is only drawn and flipped when the space carries more than
+/// one policy, so singleton-policy runs reproduce the pre-policy
+/// trajectories bit-for-bit.
 #[derive(Debug, Clone, Copy)]
 struct WalkerState {
     dim_log2: f64,
     buf_log2: f64,
     kind_idx: usize,
     freq_idx: usize,
+    policy_idx: usize,
     freq_log2: f64,
     bw_log2: f64,
     clock_bw: bool,
@@ -167,6 +171,7 @@ impl WalkerState {
                 relax.snap_dim(self.dim_log2),
                 self.freq_idx,
                 relax.snap_buffer(self.buf_log2),
+                self.policy_idx,
             ]),
             SnapPolicy::Continuous => {
                 let array_dim = relax.continuous_dim(self.dim_log2);
@@ -188,6 +193,7 @@ impl WalkerState {
                     buffer_bytes: relax.continuous_buffer_bytes(base, self.buf_log2),
                     frequency_hz,
                     dram_bw_bytes_per_sec,
+                    policy: self.policy_idx,
                 }
             }
         }
@@ -315,7 +321,7 @@ impl SimulatedAnnealing {
         if share == 0 {
             return session.finish(self.name());
         }
-        let [_, _, n_kinds, _, n_freqs, _] = space.axis_lens();
+        let [_, _, n_kinds, _, n_freqs, _, n_policies] = space.axis_lens();
         let mut rng = StdRng::seed_from_u64(chain_seed);
         let (dim_lo, dim_hi) = relax.dim_bounds();
         let (buf_lo, buf_hi) = relax.buf_bounds();
@@ -328,6 +334,7 @@ impl SimulatedAnnealing {
             buf_log2: rng.gen_range(buf_lo..buf_hi),
             kind_idx: rng.gen_range(0..n_kinds),
             freq_idx: rng.gen_range(0..n_freqs),
+            policy_idx: if n_policies > 1 { rng.gen_range(0..n_policies) } else { 0 },
             freq_log2: if clock_bw {
                 rng.gen_range(freq_lo..freq_hi)
             } else {
@@ -379,6 +386,9 @@ impl SimulatedAnnealing {
             }
             if n_freqs > 1 && rng.gen_bool(0.2) {
                 next.freq_idx = rng.gen_range(0..n_freqs);
+            }
+            if n_policies > 1 && rng.gen_bool(0.2) {
+                next.policy_idx = rng.gen_range(0..n_policies);
             }
             let proposal = next.candidate(space, relax, self.snap, wi, si);
             let candidate = match session.evaluate_candidate(&proposal) {

@@ -17,8 +17,9 @@ use std::sync::Arc;
 
 /// Axes whose values are ordered (stepping ±1 is a meaningful "nudge"):
 /// sequence length (1), array dimension (3), buffer scale (5). Workload
-/// (0), kind (2), and frequency (4) are treated as categorical.
-const ORDERED_AXES: [bool; 6] = [false, true, false, true, false, true];
+/// (0), kind (2), frequency (4), and scheduler policy (6) are treated as
+/// categorical.
+const ORDERED_AXES: [bool; 7] = [false, true, false, true, false, true, false];
 
 /// Under [`SnapPolicy::Continuous`], the probability that a bred child is
 /// jittered off-grid instead of evaluated at its grid genome.
@@ -161,7 +162,7 @@ fn resolve(slots: Vec<ChildSlot>, batch: Vec<Arc<Evaluation>>) -> Vec<Member> {
 /// power-of-two grid, so jittered children blanket the gaps without
 /// abandoning the neighborhood selection chose.
 fn offgrid_jitter(rng: &mut StdRng, space: &DesignSpace, genome: &AxisIndex) -> Candidate {
-    let [wi, si, ki, di, fi, bi] = *genome;
+    let [wi, si, ki, di, fi, bi, pi] = *genome;
     let dim_base = space.array_dims()[di] as f64;
     let array_dim = (dim_base * 2f64.powf(rng.gen_range(-0.5..0.5))).round().max(1.0) as usize;
     let base = arch_for(space.kinds()[ki], array_dim).global_buffer_bytes as f64;
@@ -176,6 +177,7 @@ fn offgrid_jitter(rng: &mut StdRng, space: &DesignSpace, genome: &AxisIndex) -> 
         buffer_bytes,
         frequency_hz: None,
         dram_bw_bytes_per_sec: None,
+        policy: pi,
     }
 }
 
@@ -228,10 +230,15 @@ fn tournament_pick(rng: &mut StdRng, members: &[Member], ranks: &[usize], k: usi
 }
 
 /// Uniform crossover: each axis comes from either parent with equal
-/// probability.
-fn crossover(rng: &mut StdRng, a: &AxisIndex, b: &AxisIndex) -> AxisIndex {
+/// probability. The policy axis (6) only draws when it has alternatives —
+/// a draw on a singleton axis would still consume RNG state and shift the
+/// seeded trajectories of every pre-policy space.
+fn crossover(rng: &mut StdRng, a: &AxisIndex, b: &AxisIndex, lens: &AxisIndex) -> AxisIndex {
     let mut child = *a;
-    for (slot, &gene) in child.iter_mut().zip(b.iter()) {
+    for (axis, (slot, &gene)) in child.iter_mut().zip(b.iter()).enumerate() {
+        if axis == 6 && lens[6] <= 1 {
+            continue;
+        }
         if rng.gen_bool(0.5) {
             *slot = gene;
         }
@@ -242,7 +249,7 @@ fn crossover(rng: &mut StdRng, a: &AxisIndex, b: &AxisIndex) -> AxisIndex {
 /// Mutates each axis with probability `rate`: ordered axes step ±1
 /// (clamped), categorical axes resample uniformly.
 fn mutate(rng: &mut StdRng, genome: &mut AxisIndex, lens: &AxisIndex, rate: f64) {
-    for axis in 0..6 {
+    for axis in 0..7 {
         if lens[axis] <= 1 || !rng.gen_bool(rate) {
             continue;
         }
@@ -317,7 +324,8 @@ impl SearchStrategy for GeneticSearch {
             while children.len() < pop_target && !session.exhausted() && stall < pop_target * 16 {
                 let pa = tournament_pick(&mut rng, &population, &ranks, tournament);
                 let pb = tournament_pick(&mut rng, &population, &ranks, tournament);
-                let mut child = crossover(&mut rng, &population[pa].genome, &population[pb].genome);
+                let mut child =
+                    crossover(&mut rng, &population[pa].genome, &population[pb].genome, &lens);
                 mutate(&mut rng, &mut child, &lens, self.mutation_rate);
                 let candidate = if self.snap == SnapPolicy::Continuous && rng.gen_bool(OFFGRID_RATE)
                 {
@@ -439,7 +447,7 @@ mod tests {
     fn mutation_respects_axis_bounds() {
         let mut rng = StdRng::seed_from_u64(17);
         let lens = space().axis_lens();
-        let mut genome = [0usize; 6];
+        let mut genome = [0usize; 7];
         for _ in 0..500 {
             mutate(&mut rng, &mut genome, &lens, 1.0);
             for (axis, &v) in genome.iter().enumerate() {

@@ -507,10 +507,20 @@ impl<'a> Session<'a> {
 }
 
 /// A uniformly random genome over the space's axis cardinalities.
+///
+/// The policy axis (slot 6) is drawn only when it actually offers a
+/// choice: the seeded RNG consumes one step per `gen_range` call even on
+/// a single-value axis, so an unconditional draw would shift every
+/// downstream sample and change the pre-policy seeded trajectories.
+/// Singleton-policy spaces therefore reproduce the historical streams
+/// exactly.
 pub(crate) fn random_genome(rng: &mut impl Rng, lens: &AxisIndex) -> AxisIndex {
-    let mut genome = [0usize; 6];
-    for (slot, &n) in genome.iter_mut().zip(lens.iter()) {
+    let mut genome = [0usize; 7];
+    for (slot, &n) in genome.iter_mut().zip(lens.iter()).take(6) {
         *slot = rng.gen_range(0..n);
+    }
+    if lens[6] > 1 {
+        genome[6] = rng.gen_range(0..lens[6]);
     }
     genome
 }
@@ -565,15 +575,15 @@ mod tests {
         // every FLAT candidate's optimistic bound at smaller-or-equal
         // area... establish the frontier, then propose a FLAT point whose
         // bound is dominated.
-        assert!(session.evaluate([0, 0, 1, 0, 0, 0]).is_some(), "+Binding @ 64");
-        assert!(session.evaluate([0, 0, 1, 1, 0, 0]).is_some(), "+Binding @ 128");
+        assert!(session.evaluate([0, 0, 1, 0, 0, 0, 0]).is_some(), "+Binding @ 64");
+        assert!(session.evaluate([0, 0, 1, 1, 0, 0, 0]).is_some(), "+Binding @ 128");
         let before = session.requested();
-        let verdict = session.evaluate_candidate(&Candidate::Grid([0, 0, 0, 0, 0, 0]));
+        let verdict = session.evaluate_candidate(&Candidate::Grid([0, 0, 0, 0, 0, 0, 0]));
         match verdict {
             SessionEval::Screened => {
                 assert_eq!(session.requested(), before, "screening must not charge the budget");
                 // Re-proposing the rejected point is a free revisit.
-                let again = session.evaluate_candidate(&Candidate::Grid([0, 0, 0, 0, 0, 0]));
+                let again = session.evaluate_candidate(&Candidate::Grid([0, 0, 0, 0, 0, 0, 0]));
                 assert!(matches!(again, SessionEval::Screened));
                 let outcome = session.finish("test");
                 assert_eq!(outcome.stats.screened, 1);
@@ -596,7 +606,7 @@ mod tests {
         // price exactly as with screening off.
         for di in 0..3 {
             for ki in 0..2 {
-                assert!(session.evaluate([0, 0, ki, di, 0, 0]).is_some());
+                assert!(session.evaluate([0, 0, ki, di, 0, 0, 0]).is_some());
             }
         }
         let outcome = session.finish("test");
@@ -618,13 +628,13 @@ mod tests {
         let sweeper = Sweeper::new(ModelParams::default());
         let s = space();
         let mut session = Session::new(&sweeper, &s, SearchBudget::evaluations(3));
-        assert!(session.evaluate([0, 0, 0, 0, 0, 0]).is_some());
-        assert!(session.evaluate([0, 0, 0, 0, 0, 0]).is_some(), "revisits are free");
-        assert!(session.evaluate([0, 0, 1, 1, 0, 0]).is_some());
-        assert!(session.evaluate([0, 0, 1, 2, 0, 0]).is_some());
+        assert!(session.evaluate([0, 0, 0, 0, 0, 0, 0]).is_some());
+        assert!(session.evaluate([0, 0, 0, 0, 0, 0, 0]).is_some(), "revisits are free");
+        assert!(session.evaluate([0, 0, 1, 1, 0, 0, 0]).is_some());
+        assert!(session.evaluate([0, 0, 1, 2, 0, 0, 0]).is_some());
         assert!(session.exhausted());
-        assert!(session.evaluate([0, 0, 0, 1, 0, 0]).is_none(), "budget refuses new points");
-        assert!(session.evaluate([0, 0, 0, 0, 0, 0]).is_some(), "revisits still served");
+        assert!(session.evaluate([0, 0, 0, 1, 0, 0, 0]).is_none(), "budget refuses new points");
+        assert!(session.evaluate([0, 0, 0, 0, 0, 0, 0]).is_some(), "revisits still served");
         let outcome = session.finish("test");
         assert_eq!(outcome.stats.requested, 3);
         assert_eq!(outcome.stats.evaluated, 3);
@@ -641,7 +651,7 @@ mod tests {
         let mut session = Session::new(&sweeper, &s, SearchBudget::evaluations(6));
         for ki in 0..2 {
             for di in 0..3 {
-                session.evaluate([0, 0, ki, di, 0, 0]);
+                session.evaluate([0, 0, ki, di, 0, 0, 0]);
             }
         }
         let outcome = session.finish("test");

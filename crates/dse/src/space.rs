@@ -4,14 +4,120 @@
 use fusemax_arch::ArchConfig;
 use fusemax_model::ConfigKind;
 use fusemax_workloads::TransformerConfig;
+use std::fmt;
 
 /// A design point addressed by per-axis indices, in enumeration order:
-/// `[workload, seq_len, kind, array_dim, frequency, buffer_scale]`.
+/// `[workload, seq_len, kind, array_dim, frequency, buffer_scale,
+/// scheduler_policy]`.
 ///
 /// This is the genome representation of the guided search strategies in
 /// [`crate::search`]: crossover and mutation act on these indices, and
 /// [`DesignSpace::point_at`] materializes the concrete [`DesignPoint`].
-pub type AxisIndex = [usize; 6];
+pub type AxisIndex = [usize; 7];
+
+/// How the serving scheduler orders its waiting queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueueOrder {
+    /// First come, first served — arrival order, the classic router.
+    #[default]
+    Fcfs,
+    /// Shortest prompt first: short interactive requests jump long
+    /// batch-style prompts (ties break by arrival order, so the order is
+    /// still deterministic).
+    ShortestPromptFirst,
+}
+
+impl QueueOrder {
+    /// The stable lowercase token used in JSON persistence, CLI flags,
+    /// and report labels (`"fcfs"` / `"spf"`).
+    pub fn token(self) -> &'static str {
+        match self {
+            QueueOrder::Fcfs => "fcfs",
+            QueueOrder::ShortestPromptFirst => "spf",
+        }
+    }
+
+    /// Parses the [`QueueOrder::token`] form (case-insensitive; accepts
+    /// the long names too).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "fcfs" => Some(QueueOrder::Fcfs),
+            "spf" | "shortest" | "shortest-prompt-first" => Some(QueueOrder::ShortestPromptFirst),
+            _ => None,
+        }
+    }
+}
+
+/// The serving-scheduler configuration co-searched with the hardware: how
+/// prefill is chunked, how eagerly the waiting queue is drained, and in
+/// what order.
+///
+/// [`SchedulerPolicy::unbounded`] (the [`Default`]) reproduces the
+/// pre-policy engine bit-for-bit: whole-prompt prefill, FCFS, admission
+/// limited only by K/V residency. It is the sole value on the default
+/// [`DesignSpace`] policy axis, so existing sweeps, caches, and golden
+/// traces are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SchedulerPolicy {
+    /// Per-iteration prefill token budget. `None` is the unbounded
+    /// whole-prompt legacy behavior; `Some(c)` splits every prompt into
+    /// `ceil(prompt / c)` chunks interleaved with decode iterations, and
+    /// caps the *total* prefill tokens any iteration schedules at `c`.
+    pub chunk_tokens: Option<usize>,
+    /// Waiting/served admission ratio (the TGI `waiting_served_ratio`
+    /// shape): with `r > 0`, a non-empty engine only admits from the
+    /// waiting queue once `waiting >= r × resident`, batching admissions
+    /// instead of trickling them. `0.0` admits greedily (legacy).
+    pub waiting_served_ratio: f64,
+    /// Waiting-queue discipline.
+    pub queue_order: QueueOrder,
+}
+
+impl SchedulerPolicy {
+    /// The legacy scheduler: whole-prompt prefill, greedy FCFS admission.
+    pub fn unbounded() -> Self {
+        SchedulerPolicy::default()
+    }
+
+    /// A chunked-prefill FCFS policy with greedy admission.
+    pub fn chunked(chunk_tokens: usize) -> Self {
+        assert!(chunk_tokens > 0, "prefill chunk must hold at least one token");
+        SchedulerPolicy { chunk_tokens: Some(chunk_tokens), ..SchedulerPolicy::default() }
+    }
+
+    /// Replaces the waiting/served admission ratio.
+    pub fn with_waiting_served_ratio(mut self, ratio: f64) -> Self {
+        assert!(ratio >= 0.0 && ratio.is_finite(), "admission ratio must be non-negative");
+        self.waiting_served_ratio = ratio;
+        self
+    }
+
+    /// Replaces the queue discipline.
+    pub fn with_queue_order(mut self, order: QueueOrder) -> Self {
+        self.queue_order = order;
+        self
+    }
+
+    /// `true` when this policy is the legacy engine
+    /// ([`SchedulerPolicy::unbounded`]).
+    pub fn is_unbounded(&self) -> bool {
+        *self == SchedulerPolicy::unbounded()
+    }
+}
+
+impl fmt::Display for SchedulerPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.chunk_tokens {
+            None => write!(f, "whole-prompt")?,
+            Some(c) => write!(f, "chunk{c}")?,
+        }
+        write!(f, "/{}", self.queue_order.token())?;
+        if self.waiting_served_ratio > 0.0 {
+            write!(f, "/r{:.2}", self.waiting_served_ratio)?;
+        }
+        Ok(())
+    }
+}
 
 /// One fully-specified candidate design: an architecture, the dataflow
 /// configuration running on it, and the workload it is evaluated against.
@@ -28,6 +134,10 @@ pub struct DesignPoint {
     /// The `n` of the `n×n` array this point was scaled from (kept for
     /// reports and the Fig 12 x-axis grouping).
     pub array_dim: usize,
+    /// The serving-scheduler policy co-designed with the hardware
+    /// (ignored by the fixed-sequence-length objectives; it drives
+    /// `fusemax_serve::ServeSim` when the point is served).
+    pub policy: SchedulerPolicy,
 }
 
 /// How a candidate design addresses its [`DesignSpace`]: by per-axis grid
@@ -74,6 +184,9 @@ pub enum Candidate {
         /// Concrete off-chip bandwidth override in bytes per second
         /// (`None` keeps the family's stock bandwidth).
         dram_bw_bytes_per_sec: Option<f64>,
+        /// Scheduler-policy axis index (categorical — always on-grid,
+        /// like workload and kind).
+        policy: usize,
     },
 }
 
@@ -104,10 +217,11 @@ pub fn arch_for(kind: ConfigKind, n: usize) -> ArchConfig {
 /// A declarative description of the space to sweep.
 ///
 /// Knobs multiply: `array_dims × kinds × workloads × seq_lens ×
-/// frequencies × buffer_scales` design points. The builder starts from the
-/// paper's Fig 12 defaults (the six array dimensions, `+Binding`, all four
-/// models, 256K tokens, stock frequency and buffer) and every `with_*`
-/// method replaces one axis.
+/// frequencies × buffer_scales × policies` design points. The builder
+/// starts from the paper's Fig 12 defaults (the six array dimensions,
+/// `+Binding`, all four models, 256K tokens, stock frequency and buffer,
+/// the legacy whole-prompt scheduler) and every `with_*` method replaces
+/// one axis.
 ///
 /// # Example
 ///
@@ -130,6 +244,7 @@ pub struct DesignSpace {
     seq_lens: Vec<usize>,
     frequencies_hz: Vec<Option<f64>>,
     buffer_scales: Vec<f64>,
+    policies: Vec<SchedulerPolicy>,
 }
 
 impl Default for DesignSpace {
@@ -149,6 +264,7 @@ impl DesignSpace {
             seq_lens: vec![1 << 18],
             frequencies_hz: vec![None],
             buffer_scales: vec![1.0],
+            policies: vec![SchedulerPolicy::unbounded()],
         }
     }
 
@@ -194,6 +310,15 @@ impl DesignSpace {
         self
     }
 
+    /// Replaces the serving-scheduler policy axis. The default is the
+    /// singleton [`SchedulerPolicy::unbounded`] axis, which changes no
+    /// existing results; adding policies lets `ServeObjective`-ranked
+    /// searches co-design the scheduler with the hardware.
+    pub fn with_policies(mut self, policies: impl IntoIterator<Item = SchedulerPolicy>) -> Self {
+        self.policies = policies.into_iter().collect();
+        self
+    }
+
     /// The array-dimension axis values.
     pub fn array_dims(&self) -> &[usize] {
         &self.array_dims
@@ -224,8 +349,14 @@ impl DesignSpace {
         &self.buffer_scales
     }
 
+    /// The scheduler-policy axis values.
+    pub fn policies(&self) -> &[SchedulerPolicy] {
+        &self.policies
+    }
+
     /// Per-axis cardinalities in [`AxisIndex`] order: workloads, sequence
-    /// lengths, kinds, array dimensions, frequencies, buffer scales.
+    /// lengths, kinds, array dimensions, frequencies, buffer scales,
+    /// scheduler policies.
     pub fn axis_lens(&self) -> AxisIndex {
         [
             self.workloads.len(),
@@ -234,6 +365,7 @@ impl DesignSpace {
             self.array_dims.len(),
             self.frequencies_hz.len(),
             self.buffer_scales.len(),
+            self.policies.len(),
         ]
     }
 
@@ -245,13 +377,14 @@ impl DesignSpace {
     ///
     /// Panics if any index is out of range for its axis.
     pub fn point_at(&self, index: AxisIndex) -> DesignPoint {
-        let [wi, si, ki, di, fi, bi] = index;
+        let [wi, si, ki, di, fi, bi, pi] = index;
         let workload = &self.workloads[wi];
         let seq_len = self.seq_lens[si];
         let kind = self.kinds[ki];
         let n = self.array_dims[di];
         let freq = self.frequencies_hz[fi];
         let buf_scale = self.buffer_scales[bi];
+        let policy = self.policies[pi];
 
         let mut arch = arch_for(kind, n);
         if let Some(hz) = freq {
@@ -262,7 +395,7 @@ impl DesignSpace {
             arch.global_buffer_bytes = (arch.global_buffer_bytes as f64 * buf_scale).ceil() as u64;
             arch.name = format!("{}-buf{buf_scale:.2}x", arch.name);
         }
-        DesignPoint { arch, kind, workload: workload.clone(), seq_len, array_dim: n }
+        DesignPoint { arch, kind, workload: workload.clone(), seq_len, array_dim: n, policy }
     }
 
     /// Materializes either [`Candidate`] variant into a concrete
@@ -288,6 +421,7 @@ impl DesignSpace {
                 buffer_bytes,
                 frequency_hz,
                 dram_bw_bytes_per_sec,
+                policy,
             } => {
                 assert!(buffer_bytes > 0, "off-grid buffer must hold at least one byte");
                 let kind = self.kinds[kind];
@@ -324,6 +458,7 @@ impl DesignSpace {
                     workload: self.workloads[workload].clone(),
                     seq_len: self.seq_lens[seq_len],
                     array_dim,
+                    policy: self.policies[policy],
                 }
             }
         }
@@ -337,7 +472,7 @@ impl DesignSpace {
     /// they are designs the grid cannot express.
     pub fn is_on_grid(&self, point: &DesignPoint) -> bool {
         let key = crate::cache::PointKey::of(point);
-        let [nw, ns, nk, nd, nf, nb] = self.axis_lens();
+        let [nw, ns, nk, nd, nf, nb, np] = self.axis_lens();
         for wi in 0..nw {
             if self.workloads[wi].name != point.workload.name {
                 continue;
@@ -350,9 +485,11 @@ impl DesignSpace {
                     for di in 0..nd {
                         for fi in 0..nf {
                             for bi in 0..nb {
-                                let grid = self.point_at([wi, si, ki, di, fi, bi]);
-                                if crate::cache::PointKey::of(&grid) == key {
-                                    return true;
+                                for pi in 0..np {
+                                    let grid = self.point_at([wi, si, ki, di, fi, bi, pi]);
+                                    if crate::cache::PointKey::of(&grid) == key {
+                                        return true;
+                                    }
                                 }
                             }
                         }
@@ -371,6 +508,7 @@ impl DesignSpace {
             * self.seq_lens.len()
             * self.frequencies_hz.len()
             * self.buffer_scales.len()
+            * self.policies.len()
     }
 
     /// `true` when any axis is empty.
@@ -379,19 +517,22 @@ impl DesignSpace {
     }
 
     /// Enumerates every point, workload-major then sequence length, kind,
-    /// array dimension, frequency, buffer scale — a stable order the cache
-    /// and the serial/parallel equivalence tests rely on. Each point is
-    /// exactly what [`DesignSpace::point_at`] returns for its index.
+    /// array dimension, frequency, buffer scale, scheduler policy — a
+    /// stable order the cache and the serial/parallel equivalence tests
+    /// rely on. Each point is exactly what [`DesignSpace::point_at`]
+    /// returns for its index.
     pub fn points(&self) -> Vec<DesignPoint> {
         let mut out = Vec::with_capacity(self.len());
-        let [nw, ns, nk, nd, nf, nb] = self.axis_lens();
+        let [nw, ns, nk, nd, nf, nb, np] = self.axis_lens();
         for wi in 0..nw {
             for si in 0..ns {
                 for ki in 0..nk {
                     for di in 0..nd {
                         for fi in 0..nf {
                             for bi in 0..nb {
-                                out.push(self.point_at([wi, si, ki, di, fi, bi]));
+                                for pi in 0..np {
+                                    out.push(self.point_at([wi, si, ki, di, fi, bi, pi]));
+                                }
                             }
                         }
                     }
@@ -472,7 +613,7 @@ mod tests {
             .with_frequencies_hz([None, Some(470e6)])
             .with_buffer_scales([0.5, 1.0]);
         let pts = space.points();
-        let [nw, ns, nk, nd, nf, nb] = space.axis_lens();
+        let [nw, ns, nk, nd, nf, nb, np] = space.axis_lens();
         let mut i = 0;
         for wi in 0..nw {
             for si in 0..ns {
@@ -480,8 +621,13 @@ mod tests {
                     for di in 0..nd {
                         for fi in 0..nf {
                             for bi in 0..nb {
-                                assert_eq!(space.point_at([wi, si, ki, di, fi, bi]), pts[i]);
-                                i += 1;
+                                for pi in 0..np {
+                                    assert_eq!(
+                                        space.point_at([wi, si, ki, di, fi, bi, pi]),
+                                        pts[i]
+                                    );
+                                    i += 1;
+                                }
                             }
                         }
                     }
@@ -500,13 +646,14 @@ mod tests {
         assert_eq!(space.seq_lens(), &[1 << 18]);
         assert_eq!(space.frequencies_hz(), &[None]);
         assert_eq!(space.workloads().len(), 4);
-        assert_eq!(space.axis_lens(), [4, 1, 1, 1, 1, 1]);
+        assert_eq!(space.policies(), &[SchedulerPolicy::unbounded()]);
+        assert_eq!(space.axis_lens(), [4, 1, 1, 1, 1, 1, 1]);
     }
 
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn point_at_rejects_out_of_range_indices() {
-        let _ = DesignSpace::new().point_at([0, 0, 0, 99, 0, 0]);
+        let _ = DesignSpace::new().point_at([0, 0, 0, 99, 0, 0, 0]);
     }
 
     #[test]
@@ -523,7 +670,7 @@ mod tests {
             .with_kinds([ConfigKind::Flat, ConfigKind::FuseMaxBinding])
             .with_frequencies_hz([None, Some(470e6)])
             .with_buffer_scales([0.5, 1.0]);
-        let index = [1, 0, 1, 1, 1, 0];
+        let index = [1, 0, 1, 1, 1, 0, 0];
         assert_eq!(space.materialize(&Candidate::Grid(index)), space.point_at(index));
     }
 
@@ -539,6 +686,7 @@ mod tests {
             buffer_bytes: 12_345_678,
             frequency_hz: None,
             dram_bw_bytes_per_sec: None,
+            policy: 0,
         });
         assert_eq!(point.array_dim, 200);
         assert_eq!(point.arch.array_rows, 200);
@@ -561,6 +709,7 @@ mod tests {
             buffer_bytes: 1 << 20,
             frequency_hz: Some(777.5e6),
             dram_bw_bytes_per_sec: Some(512e9),
+            policy: 0,
         });
         // The concrete overrides win over the indexed axis value, and the
         // name carries exactly one clock tag.
@@ -584,6 +733,7 @@ mod tests {
             buffer_bytes: 1 << 20,
             frequency_hz: Some(0.0),
             dram_bw_bytes_per_sec: None,
+            policy: 0,
         });
     }
 
@@ -603,6 +753,7 @@ mod tests {
             buffer_bytes: stock,
             frequency_hz: None,
             dram_bw_bytes_per_sec: None,
+            policy: 0,
         });
         assert!(space.is_on_grid(&aliased));
     }
@@ -625,6 +776,7 @@ mod tests {
             buffer_bytes: 1 << 20,
             frequency_hz: None,
             dram_bw_bytes_per_sec: None,
+            policy: 0,
         });
         assert!(!space.is_on_grid(&off));
         // Same dim as the grid but an off-grid buffer is still off-grid.
@@ -638,6 +790,7 @@ mod tests {
             buffer_bytes: stock - 1,
             frequency_hz: None,
             dram_bw_bytes_per_sec: None,
+            policy: 0,
         });
         assert!(!space.is_on_grid(&off_buf));
     }
@@ -654,6 +807,7 @@ mod tests {
             buffer_bytes: 0,
             frequency_hz: None,
             dram_bw_bytes_per_sec: None,
+            policy: 0,
         });
     }
 }

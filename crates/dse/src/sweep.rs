@@ -728,6 +728,7 @@ mod tests {
             workload: TransformerConfig::bert(),
             seq_len: 1 << 20,
             array_dim: 256,
+            policy: Default::default(),
         };
         let evaluation = sweeper.evaluate(&point);
         let lb = sweeper.lower_bound(&point);
@@ -787,6 +788,7 @@ mod tests {
                 workload,
                 seq_len: 1usize << seq_exp,
                 array_dim: dim,
+                policy: Default::default(),
             };
             let sweeper = Sweeper::new(ModelParams::default());
             let evaluation = sweeper.evaluate(&point);

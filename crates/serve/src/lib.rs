@@ -24,6 +24,12 @@
 //!   each request reserves its per-layer K/V footprint
 //!   ([`fusemax_arch::ArchConfig::max_resident_requests`] is the
 //!   uniform-request-size shorthand for the same bound).
+//! * [`SchedulerPolicy`] (re-exported from [`fusemax_dse`], where it is a
+//!   searchable design-space axis) — chunked prefill with a per-iteration
+//!   token budget, a TGI-style waiting/served admission ratio, and FCFS
+//!   vs shortest-prompt-first [`QueueOrder`]. The default
+//!   [`SchedulerPolicy::unbounded`] reproduces the whole-prompt engine
+//!   byte-for-byte.
 //! * [`ServiceTimeTable`] — every model call a trace replay needs,
 //!   precomputed ([`ServeSim::service_times`]) so the iteration loop is
 //!   pure lookups and repeated replays ([`ServeSim::run_with`]) pay the
@@ -71,6 +77,7 @@ mod sim;
 mod table;
 mod traffic;
 
+pub use fusemax_dse::{QueueOrder, SchedulerPolicy};
 pub use objective::{ServeObjective, ServeScore, Sla};
 pub use report::{LatencyStats, ServeReport};
 pub use sim::ServeSim;

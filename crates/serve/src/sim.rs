@@ -12,12 +12,33 @@
 //! [`fusemax_arch::ArchConfig::max_resident_requests`]) — which is what
 //! couples the serving behavior to the *architecture* rather than to a
 //! fixed batch-size knob.
+//!
+//! # The scheduler policy
+//!
+//! A [`SchedulerPolicy`] changes *when* prefill work runs, not what it
+//! costs in total:
+//!
+//! * **Chunked prefill** (`chunk_tokens = Some(c)`): each iteration may
+//!   spend at most `c` prompt tokens on prefill, split into per-request
+//!   chunks that stay aligned to multiples of `c` (plus each prompt's
+//!   final remainder) — so a long prompt no longer monopolizes an entire
+//!   iteration and decode latency for resident requests stays bounded.
+//! * **Admission ratio** (`waiting_served_ratio = r > 0`): a non-empty
+//!   engine only admits when the waiting queue holds at least `r ×` the
+//!   resident count, batching admissions the way TGI's router batches
+//!   prefills.
+//! * **Queue order**: FCFS or shortest-prompt-first.
+//!
+//! The default [`SchedulerPolicy::unbounded`] (whole-prompt chunks, FCFS,
+//! greedy admission) reproduces the pre-policy engine **byte-for-byte**:
+//! same float-summation order, same event sequence — the golden serve
+//! trace gate enforces this.
 
 use crate::report::{LatencyStats, ServeReport};
 use crate::table::ServiceTimeTable;
 use crate::traffic::Trace;
 use fusemax_arch::ArchConfig;
-use fusemax_dse::DesignPoint;
+use fusemax_dse::{DesignPoint, QueueOrder, SchedulerPolicy};
 use fusemax_model::{ConfigKind, ModelParams};
 use fusemax_telemetry::{Event, Recorder, ServeEvent};
 use fusemax_workloads::TransformerConfig;
@@ -27,12 +48,15 @@ use std::collections::VecDeque;
 struct Active {
     /// Index into the trace's request list.
     idx: usize,
-    /// `false` until the prefill iteration has run.
+    /// `false` until the prefill phase has covered the whole prompt.
     prefilled: bool,
     /// Output tokens still to decode after the prefill token.
     remaining: usize,
     /// Current context length in tokens.
     context: usize,
+    /// Prompt tokens already prefilled (only advances in chunks under a
+    /// chunked policy; jumps straight to the prompt length otherwise).
+    prefilled_tokens: usize,
     /// Buffer bytes reserved for this request's peak K/V state.
     kv_bytes: u64,
     /// Wall-clock time the first output token appeared.
@@ -77,18 +101,40 @@ pub struct ServeSim {
     arch: ArchConfig,
     workload: TransformerConfig,
     params: ModelParams,
+    policy: SchedulerPolicy,
     recorder: Recorder,
 }
 
 impl ServeSim {
-    /// A simulator for `kind` running on `arch`, serving `workload`.
+    /// A simulator for `kind` running on `arch`, serving `workload` under
+    /// the default whole-prompt/FCFS scheduler
+    /// ([`SchedulerPolicy::unbounded`]).
     pub fn new(
         kind: ConfigKind,
         arch: ArchConfig,
         workload: TransformerConfig,
         params: ModelParams,
     ) -> Self {
-        ServeSim { kind, arch, workload, params, recorder: Recorder::disabled() }
+        ServeSim {
+            kind,
+            arch,
+            workload,
+            params,
+            policy: SchedulerPolicy::unbounded(),
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Replaces the scheduler policy. [`SchedulerPolicy::unbounded`]
+    /// (the default) reproduces the pre-policy engine byte-for-byte.
+    pub fn with_policy(mut self, policy: SchedulerPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The scheduler policy replays run under.
+    pub fn policy(&self) -> SchedulerPolicy {
+        self.policy
     }
 
     /// Attaches a telemetry recorder: every replay emits arrival,
@@ -104,9 +150,12 @@ impl ServeSim {
     }
 
     /// A simulator for a DSE design point: the point's configuration,
-    /// architecture, and workload.
+    /// architecture, workload, **and scheduler policy** — so
+    /// policy-extended searches co-design hardware and scheduler through
+    /// the same serving objective.
     pub fn for_point(point: &DesignPoint, params: &ModelParams) -> Self {
         Self::new(point.kind, point.arch.clone(), point.workload.clone(), params.clone())
+            .with_policy(point.policy)
     }
 
     /// The architecture being served.
@@ -130,12 +179,13 @@ impl ServeSim {
     /// serving objective's per-frontier-member replays and repeated
     /// what-if runs stop re-deriving the same model results.
     pub fn service_times(&self, trace: &Trace) -> ServiceTimeTable {
-        ServiceTimeTable::build(
+        ServiceTimeTable::build_with_policy(
             self.kind,
             self.arch.clone(),
             &self.workload,
             self.params.clone(),
             trace,
+            &self.policy,
         )
     }
 
@@ -174,11 +224,18 @@ impl ServeSim {
         let mut completed = 0usize;
         let mut output_tokens = 0usize;
 
+        let unbounded = self.policy.is_unbounded();
+        let ratio = self.policy.waiting_served_ratio;
+
         loop {
-            // Pull every request that has arrived by now into the queue.
+            // Pull every request that has arrived by now into the
+            // policy-ordered waiting queue.
             while next < reqs.len() && reqs[next].arrival_s <= clock {
                 let (at, req) = (reqs[next].arrival_s, reqs[next].id as u64);
                 self.recorder.emit(|| Event::serve(at, ServeEvent::Arrive { req }));
+                if !unbounded {
+                    self.recorder.emit(|| Event::serve(at, ServeEvent::Enqueue { req }));
+                }
                 queue.push_back(next);
                 next += 1;
             }
@@ -191,17 +248,35 @@ impl ServeSim {
                 continue;
             }
 
-            // Continuous batching: admit waiting requests while their K/V
-            // state fits in the global buffer. An empty engine always
-            // admits its first request — one larger than the buffer
-            // streams through DRAM rather than being unservable.
-            while let Some(&i) = queue.front() {
+            // Continuous batching: admit the policy's next waiting request
+            // while its K/V state fits in the global buffer (and, under a
+            // positive waiting/served ratio, while the queue is deep
+            // enough relative to the resident batch). An empty engine
+            // always admits its first request — one larger than the
+            // buffer streams through DRAM rather than being unservable.
+            loop {
+                let pos = match self.policy.queue_order {
+                    QueueOrder::Fcfs => 0,
+                    QueueOrder::ShortestPromptFirst => (0..queue.len())
+                        .min_by_key(|&j| (reqs[queue[j]].prompt_tokens, queue[j]))
+                        .unwrap_or(0),
+                };
+                let Some(&i) = queue.get(pos) else { break };
                 let bytes = self.request_kv_bytes(reqs[i].prompt_tokens, reqs[i].output_tokens);
                 if !active.is_empty() && resident_bytes + bytes > buffer {
                     break;
                 }
-                queue.pop_front();
+                if ratio > 0.0
+                    && !active.is_empty()
+                    && (queue.len() as f64) < ratio * active.len() as f64
+                {
+                    break;
+                }
+                queue.remove(pos);
                 let req = reqs[i].id as u64;
+                if !unbounded {
+                    self.recorder.emit(|| Event::serve(clock, ServeEvent::Dequeue { req }));
+                }
                 self.recorder.emit(|| Event::serve(clock, ServeEvent::Admit { req }));
                 resident_bytes += bytes;
                 active.push(Active {
@@ -212,6 +287,7 @@ impl ServeSim {
                     // like 1 rather than underflowing.
                     remaining: reqs[i].output_tokens.saturating_sub(1),
                     context: reqs[i].prompt_tokens,
+                    prefilled_tokens: 0,
                     kv_bytes: bytes,
                     first_token_s: 0.0,
                 });
@@ -219,18 +295,50 @@ impl ServeSim {
             peak_resident_bytes = peak_resident_bytes.max(resident_bytes);
             peak_batch = peak_batch.max(active.len());
 
-            // One engine iteration: prefill the newly admitted, decode one
-            // token for everyone else.
+            // One engine iteration: prefill the newly admitted (whole
+            // prompts, or token-budgeted chunks under a chunked policy)
+            // and decode one token for every prefilled resident. `granted`
+            // records each unprefilled request's prompt-token progress
+            // this iteration (`None` = starved by the chunk budget).
             let mut step = 0.0f64;
+            let mut chunk_budget = self.policy.chunk_tokens.unwrap_or(0);
+            let mut granted: Vec<Option<usize>> = Vec::with_capacity(active.len());
             for a in &active {
-                step += if a.prefilled {
-                    costs.decode_seconds(a.context)
+                let grant = if a.prefilled {
+                    step += costs.decode_seconds(a.context);
+                    None
+                } else if let Some(chunk) = self.policy.chunk_tokens {
+                    let need = a.context - a.prefilled_tokens;
+                    let want = need.min(chunk);
+                    if need == 0 {
+                        // Hand-built zero-length prompt: completes free.
+                        Some(0)
+                    } else if want <= chunk_budget {
+                        chunk_budget -= want;
+                        let (req, context) = (reqs[a.idx].id as u64, a.context);
+                        if a.prefilled_tokens == 0 {
+                            self.recorder.emit(|| {
+                                Event::serve(clock, ServeEvent::PrefillStart { req, context })
+                            });
+                        }
+                        let (tokens, remaining) = (want, need - want);
+                        self.recorder.emit(|| {
+                            Event::serve(clock, ServeEvent::PrefillChunk { req, tokens, remaining })
+                        });
+                        step += costs
+                            .prefill_chunk_seconds(a.prefilled_tokens, a.prefilled_tokens + want);
+                        Some(want)
+                    } else {
+                        None
+                    }
                 } else {
                     let (req, context) = (reqs[a.idx].id as u64, a.context);
                     self.recorder
                         .emit(|| Event::serve(clock, ServeEvent::PrefillStart { req, context }));
-                    costs.prefill_seconds(a.context)
+                    step += costs.prefill_seconds(a.context);
+                    Some(a.context)
                 };
+                granted.push(grant);
             }
             clock += step;
             busy += step;
@@ -239,19 +347,26 @@ impl ServeSim {
             self.recorder
                 .emit(|| Event::serve(clock, ServeEvent::DecodeIter { batch, resident_kv }));
             self.recorder.emit(|| Event::serve(clock, ServeEvent::QueueDepthSample { depth }));
+            if !unbounded {
+                self.recorder.emit(|| Event::serve(clock, ServeEvent::WaitingDepth { depth }));
+            }
 
             // Apply the iteration's outcomes.
-            for a in &mut active {
-                if !a.prefilled {
+            for (a, grant) in active.iter_mut().zip(&granted) {
+                if a.prefilled {
+                    a.remaining -= 1;
+                    a.context += 1;
+                    continue;
+                }
+                let Some(tokens) = *grant else { continue };
+                a.prefilled_tokens += tokens;
+                if a.prefilled_tokens >= reqs[a.idx].prompt_tokens {
                     a.prefilled = true;
                     a.first_token_s = clock;
                     a.context += 1;
                     let req = reqs[a.idx].id as u64;
                     self.recorder.emit(|| Event::serve(clock, ServeEvent::PrefillEnd { req }));
                     ttft.push(clock - reqs[a.idx].arrival_s);
-                } else {
-                    a.remaining -= 1;
-                    a.context += 1;
                 }
             }
             // Retire finished requests (prefill covers the first output
@@ -452,6 +567,141 @@ mod tests {
         assert_eq!(prefill_ends, 40);
         assert_eq!(completions, report.completed);
         assert_eq!(iterations, report.iterations);
+    }
+
+    #[test]
+    fn whole_prompt_chunks_reproduce_the_default_report_bit_for_bit() {
+        // A chunk budget at least as large as every prompt degenerates to
+        // whole-prompt prefill: every chunk covers [0, P), which charges
+        // exactly `prefill_seconds(P)` — so the report (including float
+        // bits) matches the default engine even though the event stream
+        // gains PrefillChunk markers.
+        let trace = small_trace(300.0, 50);
+        let plain = bert_sim(ConfigKind::FuseMaxBinding);
+        let chunked =
+            bert_sim(ConfigKind::FuseMaxBinding).with_policy(SchedulerPolicy::chunked(1 << 20));
+        assert_eq!(plain.run(&trace), chunked.run(&trace));
+    }
+
+    #[test]
+    fn chunked_replays_complete_every_request_with_zero_table_misses() {
+        let trace = small_trace(400.0, 60);
+        let sim = bert_sim(ConfigKind::FuseMaxBinding)
+            .with_policy(SchedulerPolicy::chunked(192).with_waiting_served_ratio(1.2));
+        let costs = sim.service_times(&trace);
+        let report = sim.run_with(&costs, &trace);
+        assert_eq!(report.completed, 60);
+        assert_eq!(costs.misses(), 0, "policy-aware table must cover chunked replays");
+        // Chunking splits prefill across iterations, so the engine runs
+        // more of them than the whole-prompt scheduler.
+        let whole = bert_sim(ConfigKind::FuseMaxBinding).run(&trace);
+        assert!(report.iterations > whole.iterations);
+    }
+
+    #[test]
+    fn chunked_policies_emit_chunk_and_queue_events() {
+        use fusemax_telemetry::VecSink;
+        let trace = small_trace(400.0, 40);
+        let (recorder, sink) = VecSink::recorder();
+        let report = bert_sim(ConfigKind::FuseMaxBinding)
+            .with_policy(SchedulerPolicy::chunked(256))
+            .with_recorder(recorder)
+            .run(&trace);
+        let count = |pick: &dyn Fn(&ServeEvent) -> bool| {
+            sink.events()
+                .iter()
+                .filter(|e| matches!(e, Event::Serve { kind, .. } if pick(kind)))
+                .count()
+        };
+        // Still exactly one PrefillStart (and one PrefillEnd) per request;
+        // the chunk stream carries the partial progress.
+        assert_eq!(count(&|k| matches!(k, ServeEvent::PrefillStart { .. })), 40);
+        assert_eq!(count(&|k| matches!(k, ServeEvent::PrefillEnd { .. })), 40);
+        assert_eq!(count(&|k| matches!(k, ServeEvent::Enqueue { .. })), 40);
+        assert_eq!(count(&|k| matches!(k, ServeEvent::Dequeue { .. })), 40);
+        assert!(
+            count(&|k| matches!(k, ServeEvent::PrefillChunk { .. })) > 40,
+            "sub-prompt chunks must emit more chunk events than requests"
+        );
+        // Per-chunk tokens never exceed the budget, and per-iteration
+        // chunk totals never exceed it either.
+        let mut iter_total = 0usize;
+        for e in sink.events() {
+            match e {
+                Event::Serve { kind: ServeEvent::PrefillChunk { tokens, .. }, .. } => {
+                    assert!(tokens <= 256);
+                    iter_total += tokens;
+                    assert!(iter_total <= 256, "iteration chunk budget exceeded");
+                }
+                Event::Serve { kind: ServeEvent::DecodeIter { .. }, .. } => iter_total = 0,
+                _ => {}
+            }
+        }
+        assert_eq!(report.completed, 40);
+    }
+
+    #[test]
+    fn shortest_prompt_first_prefers_short_prompts_under_contention() {
+        // Two long prompts arrive just before a short one; under
+        // contention SPF admits the short prompt ahead of the second
+        // long one, cutting its TTFT.
+        let mk = |id, at, prompt| crate::traffic::Request {
+            id,
+            arrival_s: at,
+            prompt_tokens: prompt,
+            output_tokens: 4,
+        };
+        let trace = Trace { requests: vec![mk(0, 0.0, 4096), mk(1, 0.0, 4096), mk(2, 0.0, 128)] };
+        // Shrink the buffer so the three requests cannot all be resident.
+        let mut arch = ConfigKind::FuseMaxBinding.default_arch();
+        let bert = TransformerConfig::bert();
+        let per_token = bert.kv_bytes_per_token(arch.word_bytes) / bert.layers as u64;
+        arch.global_buffer_bytes = per_token * 4200;
+        let sim = |order| {
+            ServeSim::new(
+                ConfigKind::FuseMaxBinding,
+                arch.clone(),
+                bert.clone(),
+                ModelParams::default(),
+            )
+            .with_policy(SchedulerPolicy::unbounded().with_queue_order(order))
+        };
+        use fusemax_telemetry::VecSink;
+        let ttft_of = |order| {
+            let (recorder, sink) = VecSink::recorder();
+            sim(order).with_recorder(recorder).run(&trace);
+            sink.events()
+                .iter()
+                .filter_map(|e| match e {
+                    Event::Serve { t_s, kind: ServeEvent::PrefillEnd { req: 2 } } => Some(*t_s),
+                    _ => None,
+                })
+                .next()
+                .expect("request 2 must prefill")
+        };
+        let fcfs = ttft_of(QueueOrder::Fcfs);
+        let spf = ttft_of(QueueOrder::ShortestPromptFirst);
+        assert!(spf < fcfs, "SPF first token {spf} must beat FCFS {fcfs} for the short prompt");
+    }
+
+    #[test]
+    fn waiting_served_ratio_delays_admission() {
+        let trace = small_trace(2000.0, 40);
+        let greedy = bert_sim(ConfigKind::FuseMaxBinding).run(&trace);
+        use fusemax_telemetry::VecSink;
+        let (recorder, sink) = VecSink::recorder();
+        let gated = bert_sim(ConfigKind::FuseMaxBinding)
+            .with_policy(SchedulerPolicy::unbounded().with_waiting_served_ratio(4.0))
+            .with_recorder(recorder)
+            .run(&trace);
+        // Everyone still completes; the ratio only re-times admissions.
+        assert_eq!(gated.completed, greedy.completed);
+        let waiting_samples = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::Serve { kind: ServeEvent::WaitingDepth { .. }, .. }))
+            .count();
+        assert!(waiting_samples > 0, "non-default policies must sample waiting depth");
     }
 
     #[test]

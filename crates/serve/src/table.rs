@@ -27,6 +27,7 @@
 
 use crate::traffic::Trace;
 use fusemax_arch::ArchConfig;
+use fusemax_dse::SchedulerPolicy;
 use fusemax_model::{e2e_report_on, ConfigKind, ModelParams};
 use fusemax_workloads::TransformerConfig;
 use std::collections::{BTreeSet, HashMap};
@@ -112,6 +113,41 @@ impl ServiceTimeTable {
         table
     }
 
+    /// Builds the table for `trace` replayed under `policy`: exactly
+    /// [`ServiceTimeTable::build`], plus — when the policy chunks prefill —
+    /// one entry per chunk boundary (`k · chunk_tokens` below each distinct
+    /// prompt length), so [`ServiceTimeTable::prefill_chunk_seconds`]
+    /// lookups during a chunked replay never miss. Under a whole-prompt
+    /// policy the table is identical to the plain build.
+    pub fn build_with_policy(
+        kind: ConfigKind,
+        arch: ArchConfig,
+        workload: &TransformerConfig,
+        params: ModelParams,
+        trace: &Trace,
+        policy: &SchedulerPolicy,
+    ) -> Self {
+        let mut table = Self::build(kind, arch, workload, params, trace);
+        if let Some(chunk) = policy.chunk_tokens {
+            let mut boundaries: BTreeSet<usize> = BTreeSet::new();
+            for r in &trace.requests {
+                let mut b = chunk;
+                while b < r.prompt_tokens {
+                    boundaries.insert(b);
+                    b += chunk;
+                }
+            }
+            for &b in &boundaries {
+                if !table.prefill_s.contains_key(&b) {
+                    let s = table.e2e_seconds(b);
+                    table.model_evaluations += 1;
+                    table.prefill_s.insert(b, s);
+                }
+            }
+        }
+        table
+    }
+
     /// Full-model seconds to run one request end to end at sequence
     /// length `l` on this design — the single analytical-model entry
     /// point behind both phases.
@@ -130,6 +166,23 @@ impl ServiceTimeTable {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 self.e2e_seconds(prompt)
             }
+        }
+    }
+
+    /// Seconds to run one prefill chunk covering prompt tokens
+    /// `[from, upto)` of a request: the marginal cost
+    /// `e2e(upto) − e2e(from)`, with `e2e(0) = 0` — so a whole prompt
+    /// prefilled in one chunk charges exactly
+    /// [`ServiceTimeTable::prefill_seconds`] of the full prompt, which is
+    /// what keeps whole-prompt chunked replays bit-identical to the
+    /// unchunked engine. Boundaries a policy-aware build
+    /// ([`ServiceTimeTable::build_with_policy`]) precomputed are lookups;
+    /// anything else pays an on-demand model call per missing endpoint.
+    pub fn prefill_chunk_seconds(&self, from: usize, upto: usize) -> f64 {
+        if from == 0 {
+            self.prefill_seconds(upto)
+        } else {
+            self.prefill_seconds(upto) - self.prefill_seconds(from)
         }
     }
 
@@ -248,5 +301,40 @@ mod tests {
         let table = table_for(&Trace::default());
         assert_eq!(table.model_evaluations(), 0);
         assert_eq!(table.misses(), 0);
+    }
+
+    #[test]
+    fn policy_builds_add_only_chunk_boundaries() {
+        let t = trace();
+        let kind = ConfigKind::FuseMaxBinding;
+        let build = |policy: &SchedulerPolicy| {
+            ServiceTimeTable::build_with_policy(
+                kind,
+                kind.default_arch(),
+                &TransformerConfig::bert(),
+                ModelParams::default(),
+                &t,
+                policy,
+            )
+        };
+        let plain = table_for(&t);
+        // A whole-prompt policy build is the plain build.
+        let unbounded = build(&SchedulerPolicy::unbounded());
+        assert_eq!(unbounded.model_evaluations(), plain.model_evaluations());
+        // Prompts are 300 and 1024; a 256-token chunk adds boundaries
+        // 256 (both) and 512, 768 (1024 only) — three new entries.
+        let chunked = build(&SchedulerPolicy::chunked(256));
+        assert_eq!(chunked.model_evaluations(), plain.model_evaluations() + 3);
+        // Chunk costs telescope to the exact whole-prompt cost.
+        let total = chunked.prefill_chunk_seconds(0, 256) + chunked.prefill_chunk_seconds(256, 300);
+        let direct = chunked.prefill_seconds(300);
+        assert!((total - direct).abs() < direct * 1e-9);
+        assert_eq!(chunked.misses(), 0);
+        // And a single chunk covering the whole prompt IS the whole-prompt
+        // cost, bit for bit.
+        assert_eq!(
+            chunked.prefill_chunk_seconds(0, 1024).to_bits(),
+            chunked.prefill_seconds(1024).to_bits()
+        );
     }
 }

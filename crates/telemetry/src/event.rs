@@ -123,6 +123,37 @@ pub enum ServeEvent {
         /// Requests waiting for admission.
         depth: usize,
     },
+    /// A partial prefill chunk ran in the current engine iteration.
+    /// Only chunked-prefill scheduler policies emit this; whole-prompt
+    /// prefill describes itself with `PrefillStart`/`PrefillEnd` alone,
+    /// so default-policy streams are byte-identical to the pre-scheduler
+    /// traces.
+    PrefillChunk {
+        /// Trace request id.
+        req: u64,
+        /// Prompt tokens prefilled by this chunk.
+        tokens: usize,
+        /// Prompt tokens still unprefilled after this chunk.
+        remaining: usize,
+    },
+    /// A request entered the policy-ordered waiting queue (non-default
+    /// scheduler policies only).
+    Enqueue {
+        /// Trace request id.
+        req: u64,
+    },
+    /// A request left the waiting queue for admission (non-default
+    /// scheduler policies only).
+    Dequeue {
+        /// Trace request id.
+        req: u64,
+    },
+    /// Policy-ordered waiting-queue depth after this iteration's
+    /// admissions (non-default scheduler policies only).
+    WaitingDepth {
+        /// Requests held in the waiting queue.
+        depth: usize,
+    },
 }
 
 /// A finite `f64` as a JSON number (`null` for non-finite values, which
@@ -199,6 +230,17 @@ pub fn event_json(event: &Event) -> String {
                 ServeEvent::Complete { req } => format!("\"kind\":\"complete\",\"req\":{req}"),
                 ServeEvent::QueueDepthSample { depth } => {
                     format!("\"kind\":\"queue_depth\",\"depth\":{depth}")
+                }
+                ServeEvent::PrefillChunk { req, tokens, remaining } => {
+                    format!(
+                        "\"kind\":\"prefill_chunk\",\"req\":{req},\"tokens\":{tokens},\
+                         \"remaining\":{remaining}"
+                    )
+                }
+                ServeEvent::Enqueue { req } => format!("\"kind\":\"enqueue\",\"req\":{req}"),
+                ServeEvent::Dequeue { req } => format!("\"kind\":\"dequeue\",\"req\":{req}"),
+                ServeEvent::WaitingDepth { depth } => {
+                    format!("\"kind\":\"waiting_depth\",\"depth\":{depth}")
                 }
             };
             format!("{{\"type\":\"serve\",\"t_s\":{},{body}}}", num(*t_s))

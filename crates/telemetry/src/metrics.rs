@@ -185,6 +185,19 @@ impl Metrics {
                 ServeEvent::QueueDepthSample { depth } => {
                     self.observe_with("serve.queue_depth", *depth as f64, || Histogram::pow2(4096));
                 }
+                ServeEvent::PrefillChunk { tokens, .. } => {
+                    self.inc("serve.prefill_chunks", 1);
+                    self.observe_with("serve.chunk_tokens", *tokens as f64, || {
+                        Histogram::pow2(1 << 20)
+                    });
+                }
+                ServeEvent::Enqueue { .. } => self.inc("serve.enqueued", 1),
+                ServeEvent::Dequeue { .. } => self.inc("serve.dequeued", 1),
+                ServeEvent::WaitingDepth { depth } => {
+                    self.observe_with("serve.waiting_depth", *depth as f64, || {
+                        Histogram::pow2(4096)
+                    });
+                }
             },
         }
     }

@@ -115,6 +115,7 @@ impl ChromeTrace {
 
 const SERVE_PID: u64 = 1;
 const ARRIVAL_TID: u64 = 1000;
+const WAITING_TID: u64 = 1001;
 
 /// A prefill window mid-flight: `(start_ts, context_tokens, end_ts)`.
 type PrefillWindow = (f64, usize, Option<f64>);
@@ -123,9 +124,11 @@ type SlotState = (u64, f64, Option<PrefillWindow>);
 
 /// Render a `ServeSim` event stream as a Chrome trace: one thread track
 /// per resident batch slot (requests claim the lowest free slot on admit
-/// and release it on completion), an arrivals track, and counter tracks
-/// for batch size, resident K/V bytes, and queue depth. Timestamps are
-/// simulated seconds scaled to trace microseconds.
+/// and release it on completion), an arrivals track, a scheduler track
+/// (waiting-queue enqueue/dequeue markers and prefill-chunk instants),
+/// and counter tracks for batch size, resident K/V bytes, queue depth,
+/// and waiting depth. Timestamps are simulated seconds scaled to trace
+/// microseconds.
 pub fn serve_trace_json(events: &[Event]) -> String {
     let us = |t_s: f64| t_s * 1e6;
     let mut trace = ChromeTrace::new();
@@ -136,6 +139,7 @@ pub fn serve_trace_json(events: &[Event]) -> String {
     let mut slots: Vec<Option<SlotState>> = Vec::new();
     let mut slot_of = std::collections::HashMap::new();
     let mut named_slots = 0usize;
+    let mut named_scheduler = false;
     let mut last_t = 0.0f64;
 
     for event in events {
@@ -185,6 +189,34 @@ pub fn serve_trace_json(events: &[Event]) -> String {
             }
             ServeEvent::QueueDepthSample { depth } => {
                 trace.counter("queue_depth", SERVE_PID, t, *depth as f64);
+            }
+            ServeEvent::PrefillChunk { req, tokens, remaining } => {
+                if let Some(&slot) = slot_of.get(req) {
+                    trace.instant(
+                        &format!("chunk {req}"),
+                        SERVE_PID,
+                        slot as u64,
+                        t,
+                        &format!("\"req\":{req},\"tokens\":{tokens},\"remaining\":{remaining}"),
+                    );
+                }
+            }
+            ServeEvent::Enqueue { req } => {
+                if !named_scheduler {
+                    trace.thread(SERVE_PID, WAITING_TID, "scheduler");
+                    named_scheduler = true;
+                }
+                trace.instant("enqueue", SERVE_PID, WAITING_TID, t, &format!("\"req\":{req}"));
+            }
+            ServeEvent::Dequeue { req } => {
+                if !named_scheduler {
+                    trace.thread(SERVE_PID, WAITING_TID, "scheduler");
+                    named_scheduler = true;
+                }
+                trace.instant("dequeue", SERVE_PID, WAITING_TID, t, &format!("\"req\":{req}"));
+            }
+            ServeEvent::WaitingDepth { depth } => {
+                trace.counter("waiting_depth", SERVE_PID, t, *depth as f64);
             }
         }
     }

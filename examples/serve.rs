@@ -5,15 +5,20 @@
 //! Run with `cargo run --release --example serve`. Optional flags:
 //! `--requests N` (trace size, default 60), `--rate R` (requests/s,
 //! default 150), `--seed S` (trace seed, default 7), `--sla MS`
-//! (p99 TTFT ceiling in milliseconds, default 250), and
-//! `--trace-out PATH` (or the `FUSEMAX_TRACE` environment variable) to
-//! export the +Binding serving run as a Chrome-trace/Perfetto JSON
-//! timeline — open it at <https://ui.perfetto.dev> or chrome://tracing —
-//! plus a metrics snapshot at `target/telemetry_summary.json`.
+//! (p99 TTFT ceiling in milliseconds, default 250),
+//! `--chunk-tokens N` (prefill chunk budget per iteration; 0 = whole
+//! prompt, the default), `--queue-order fcfs|spf` (waiting-queue
+//! admission order, default FCFS), and `--trace-out PATH` (or the
+//! `FUSEMAX_TRACE` environment variable) to export the +Binding serving
+//! run as a Chrome-trace/Perfetto JSON timeline — open it at
+//! <https://ui.perfetto.dev> or chrome://tracing — plus a metrics
+//! snapshot at `target/telemetry_summary.json`.
 
 use fusemax::dse::{DesignSpace, Sweeper};
 use fusemax::model::{ConfigKind, ModelParams};
-use fusemax::serve::{Arrivals, LengthMix, ServeObjective, ServeSim, Sla, TrafficSpec};
+use fusemax::serve::{
+    Arrivals, LengthMix, QueueOrder, SchedulerPolicy, ServeObjective, ServeSim, Sla, TrafficSpec,
+};
 use fusemax::telemetry::{serve_trace_json, Metrics, VecSink};
 use fusemax::workloads::TransformerConfig;
 
@@ -55,6 +60,18 @@ fn main() {
     let seed = arg("--seed", 7.0) as u64;
     let sla_s = arg("--sla", 250.0) / 1e3;
     let trace_out = str_arg("--trace-out", "FUSEMAX_TRACE");
+    let chunk_tokens = arg("--chunk-tokens", 0.0) as usize;
+    let queue_order = match str_arg("--queue-order", "FUSEMAX_QUEUE_ORDER").as_deref() {
+        Some("spf") | Some("shortest-prompt-first") => QueueOrder::ShortestPromptFirst,
+        Some("fcfs") | None => QueueOrder::Fcfs,
+        Some(other) => panic!("unknown --queue-order {other:?} (expected fcfs or spf)"),
+    };
+    let policy = if chunk_tokens > 0 {
+        SchedulerPolicy::chunked(chunk_tokens)
+    } else {
+        SchedulerPolicy::unbounded()
+    }
+    .with_queue_order(queue_order);
     let params = ModelParams::default();
 
     // --- 1. A mixed interactive trace: mostly short prompts, a long tail. ---
@@ -73,6 +90,7 @@ fn main() {
         trace.total_prompt_tokens(),
         trace.total_output_tokens(),
     );
+    println!("Scheduler: {policy}");
 
     // --- 2. Iso-area cloud shoot-out: FLAT vs FuseMax+Binding on BERT. ---
     let bert = TransformerConfig::bert();
@@ -86,7 +104,7 @@ fn main() {
             kind.label(),
             arch.max_resident_requests(mean_request_bytes),
         );
-        let mut sim = ServeSim::new(kind, arch, bert.clone(), params.clone());
+        let mut sim = ServeSim::new(kind, arch, bert.clone(), params.clone()).with_policy(policy);
         // Instrument the +Binding run when a trace path was requested;
         // telemetry is write-only, so the printed report is unchanged.
         let sink = if trace_out.is_some() && kind == ConfigKind::FuseMaxBinding {

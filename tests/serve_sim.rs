@@ -7,11 +7,22 @@
 //!   over the Fig 12 design space, `ServeObjective` ranking selects a
 //!   *different* best design than fixed-sequence-length latency ranking,
 //!   and replaying the same trace twice reproduces the report exactly
-//!   (p99 included).
+//!   (p99 included);
+//! * the scheduler-policy acceptance (ISSUE 7) — a seeded search over
+//!   the policy-extended Fig 12 space finds a (hardware, scheduler) pair
+//!   whose SLA-feasible goodput per area beats the best fixed
+//!   whole-prompt/FCFS configuration, chunked replays conserve requests
+//!   and respect the per-iteration token budget, and an explicit
+//!   `SchedulerPolicy::unbounded()` reproduces the checked-in golden
+//!   serve trace byte for byte.
 
+use fusemax::dse::search::{GeneticSearch, SearchBudget, SearchStrategy};
 use fusemax::dse::{DesignSpace, Sweeper};
 use fusemax::model::{ConfigKind, ModelParams};
-use fusemax::serve::{Arrivals, LengthMix, ServeObjective, ServeSim, Sla, TrafficSpec};
+use fusemax::serve::{
+    Arrivals, LengthMix, QueueOrder, SchedulerPolicy, ServeObjective, ServeSim, Sla, TrafficSpec,
+};
+use fusemax::telemetry::{serve_trace_json, Event, ServeEvent, VecSink};
 use fusemax::workloads::TransformerConfig;
 use proptest::prelude::*;
 
@@ -176,6 +187,115 @@ fn bursty_traffic_stresses_the_tail_harder_than_poisson() {
     );
 }
 
+#[test]
+fn explicit_unbounded_policy_reproduces_the_golden_serve_trace_byte_for_byte() {
+    // The chunk-size = ∞ replay contract: setting the policy explicitly
+    // (rather than relying on the default) must reproduce the checked-in
+    // pre-policy golden trace byte for byte — the scheduler rewrite is
+    // invisible until a finite chunk budget or non-FCFS order opts in.
+    let trace = TrafficSpec {
+        arrivals: Arrivals::Poisson { rate_per_s: 400.0 },
+        prompt_mix: LengthMix::new([(256, 3.0), (1024, 1.0)]),
+        output_mix: LengthMix::uniform([2, 6]),
+        requests: 12,
+    }
+    .generate(7);
+    let (recorder, sink) = VecSink::recorder();
+    ServeSim::new(
+        ConfigKind::FuseMaxBinding,
+        ConfigKind::FuseMaxBinding.default_arch(),
+        TransformerConfig::bert(),
+        ModelParams::default(),
+    )
+    .with_policy(SchedulerPolicy::unbounded())
+    .with_recorder(recorder)
+    .run(&trace);
+
+    let golden_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/serve_trace.json");
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", golden_path.display()));
+    assert_eq!(
+        serve_trace_json(&sink.events()),
+        golden,
+        "explicit SchedulerPolicy::unbounded() drifted from the pre-policy golden trace"
+    );
+}
+
+/// The ISSUE-7 scheduler policies the co-design acceptance searches over:
+/// the whole-prompt baseline plus chunked / reordered / admission-gated
+/// variants.
+fn policy_axis() -> [SchedulerPolicy; 6] {
+    [
+        SchedulerPolicy::unbounded(),
+        SchedulerPolicy::chunked(256),
+        SchedulerPolicy::chunked(512),
+        SchedulerPolicy::chunked(512).with_queue_order(QueueOrder::ShortestPromptFirst),
+        SchedulerPolicy::unbounded().with_queue_order(QueueOrder::ShortestPromptFirst),
+        SchedulerPolicy::chunked(512).with_waiting_served_ratio(1.5),
+    ]
+}
+
+#[test]
+fn codesigned_scheduler_beats_the_best_whole_prompt_fcfs_configuration() {
+    // The ISSUE-7 tentpole acceptance. Under a 300 req/s mixed 512/4096
+    // trace and a 45 ms p99 TTFT SLA, whole-prompt prefill on the
+    // goodput-optimal dim-256 chip lets long prompts block short ones
+    // just past the SLA, so a fixed-FCFS whole-prompt design must retreat
+    // to the dim-512 chip (~4x the area) to stay feasible. A seeded
+    // search that co-designs hardware AND scheduler keeps the small chip
+    // and fixes the tail with a chunked prefill budget instead.
+    let params = ModelParams::default();
+    let trace = mixed_spec(300.0, 60).generate(7);
+    let objective = ServeObjective::new(trace, Sla::p99_ttft(0.045));
+
+    // Baseline: exhaustively sweep the whole-prompt/FCFS Fig 12 space,
+    // so the co-designed winner is measured against the *true* best
+    // fixed-scheduler configuration, not a search artifact.
+    let fixed_space =
+        DesignSpace::new().with_workloads([TransformerConfig::bert()]).with_seq_lens([1 << 18]);
+    let fixed = Sweeper::new(params.clone()).sweep(&fixed_space);
+    let (fixed_best, fixed_score) = objective.best(&fixed.evaluations, &params).unwrap();
+    assert!(fixed_score.meets_sla, "some whole-prompt design must be feasible");
+    assert!(fixed_best.point.policy.is_unbounded());
+    assert_eq!(fixed_best.point.array_dim, 512, "whole-prompt must retreat to the big chip");
+
+    // Co-design: a seeded guided search over the policy-extended space.
+    let space = fixed_space.clone().with_policies(policy_axis());
+    let outcome = GeneticSearch::new(7).search(
+        &Sweeper::new(params.clone()),
+        &space,
+        SearchBudget::evaluations(60),
+    );
+    let (best, score) = objective.best(&outcome.evaluations, &params).unwrap();
+
+    assert!(score.meets_sla, "the co-designed winner must be SLA-feasible");
+    assert!(
+        !best.point.policy.is_unbounded(),
+        "the winner must use a chunked policy, got {}",
+        best.point.policy
+    );
+    assert_eq!(best.point.array_dim, 256, "chunking must keep the small chip feasible");
+    assert!(
+        score.goodput_per_cm2 > 2.0 * fixed_score.goodput_per_cm2,
+        "co-design ({:.2} gp/cm2) must beat the best whole-prompt/FCFS config ({:.2} gp/cm2)",
+        score.goodput_per_cm2,
+        fixed_score.goodput_per_cm2
+    );
+
+    // The mechanism, pinned: on the winner's chip the *same hardware*
+    // with whole-prompt FCFS misses the SLA.
+    let mut whole = best.point.clone();
+    whole.policy = SchedulerPolicy::unbounded();
+    let whole_score = objective.score_point(&whole, best.area_cm2, &params);
+    assert!(
+        !whole_score.meets_sla,
+        "whole-prompt on dim 256 must miss the SLA (p99 {:.4})",
+        whole_score.report.ttft.p99
+    );
+    assert!(whole_score.report.ttft.p99 > score.report.ttft.p99);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -244,5 +364,107 @@ proptest! {
 
         // Identical seed: bit-identical report.
         prop_assert_eq!(report, sim.run(&spec.generate(seed)));
+    }
+
+    /// Chunked-trace conservation (ISSUE 7): under arbitrary scheduler
+    /// policies every request still completes exactly once, each
+    /// request's prefill chunks sum to exactly its prompt, no iteration
+    /// grants more prefill tokens than the chunk budget, and residency
+    /// stays within the buffer-derived bound.
+    #[test]
+    fn chunked_serve_sim_conserves_requests_and_respects_the_budget(
+        seed in 0u64..1_000_000_000,
+        rate in 20.0f64..1500.0,
+        requests in 1usize..40,
+        dim_choice in 0usize..3,
+        chunk in 128usize..2048,
+        ratio in 0.0f64..2.0,
+        spf in 0usize..2,
+    ) {
+        let spec = TrafficSpec {
+            arrivals: Arrivals::Poisson { rate_per_s: rate },
+            prompt_mix: LengthMix::new([(512, 3.0), (4096, 1.0)]),
+            output_mix: LengthMix::uniform([8, 32]),
+            requests,
+        };
+        let trace = spec.generate(seed);
+
+        let order = if spf == 1 { QueueOrder::ShortestPromptFirst } else { QueueOrder::Fcfs };
+        let policy = SchedulerPolicy::chunked(chunk)
+            .with_waiting_served_ratio(ratio)
+            .with_queue_order(order);
+        let dim = [64usize, 128, 256][dim_choice];
+        let space = DesignSpace::new()
+            .with_array_dims([dim])
+            .with_workloads([TransformerConfig::bert()]);
+        let point = space.points().remove(0);
+        let (recorder, sink) = VecSink::recorder();
+        let sim = ServeSim::for_point(&point, &ModelParams::default())
+            .with_policy(policy)
+            .with_recorder(recorder);
+        let report = sim.run(&trace);
+
+        // Every request completes exactly once, all tokens accounted for.
+        prop_assert_eq!(report.completed, requests);
+        prop_assert_eq!(report.ttft.samples, requests);
+        prop_assert_eq!(report.output_tokens, trace.total_output_tokens());
+
+        // Residency never exceeds the buffer-derived capacity (one
+        // oversized request is the only sanctioned excursion).
+        let per_token = TransformerConfig::bert().kv_bytes_per_token(2)
+            / TransformerConfig::bert().layers as u64;
+        let largest = trace
+            .requests
+            .iter()
+            .map(|r| (r.prompt_tokens + r.output_tokens) as u64 * per_token)
+            .max()
+            .unwrap_or(0);
+        prop_assert!(report.peak_resident_bytes <= report.buffer_bytes.max(largest));
+
+        // Walk the event stream: per-request chunk sums must equal the
+        // prompt, and no iteration may grant more than the chunk budget.
+        let mut prefilled = std::collections::HashMap::new();
+        let mut iter_tokens = 0usize;
+        let mut completions = 0usize;
+        for event in sink.events() {
+            match event {
+                Event::Serve { kind: ServeEvent::PrefillChunk { req, tokens, remaining }, .. } => {
+                    prop_assert!(tokens <= chunk, "chunk {} exceeds budget {}", tokens, chunk);
+                    iter_tokens += tokens;
+                    let total = prefilled.entry(req).or_insert(0usize);
+                    *total += tokens;
+                    let prompt = trace.requests[req as usize].prompt_tokens;
+                    prop_assert_eq!(prompt - *total, remaining, "remaining counter drifted");
+                }
+                Event::Serve { kind: ServeEvent::DecodeIter { .. }, .. } => {
+                    prop_assert!(
+                        iter_tokens <= chunk,
+                        "iteration granted {} prefill tokens over budget {}",
+                        iter_tokens,
+                        chunk
+                    );
+                    iter_tokens = 0;
+                }
+                Event::Serve { kind: ServeEvent::Complete { .. }, .. } => completions += 1,
+                _ => {}
+            }
+        }
+        prop_assert_eq!(completions, requests, "every request completes exactly once");
+        for (req, total) in prefilled {
+            prop_assert_eq!(
+                total,
+                trace.requests[req as usize].prompt_tokens,
+                "request {}'s chunks must sum to its prompt",
+                req
+            );
+        }
+
+        // Identical seed and policy: bit-identical report.
+        let replay = ServeSim::for_point(&point, &ModelParams::default())
+            .with_policy(
+                SchedulerPolicy::chunked(chunk).with_waiting_served_ratio(ratio).with_queue_order(order),
+            )
+            .run(&spec.generate(seed));
+        prop_assert_eq!(report, replay);
     }
 }
