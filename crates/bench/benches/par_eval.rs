@@ -230,7 +230,10 @@ fn telemetry_json() -> String {
     let trace = serve_trace(120);
     let point = DesignSpace::new().with_workloads([TransformerConfig::bert()]).points().remove(4);
     let (serve_recorder, serve_sink) = VecSink::recorder();
-    ServeSim::for_point(&point, &ModelParams::default()).with_recorder(serve_recorder).run(&trace);
+    ServeSim::builder_for_point(&point, &ModelParams::default())
+        .recorder(serve_recorder)
+        .build()
+        .run(&trace);
 
     let mut events = sink.events();
     events.extend(serve_sink.events());

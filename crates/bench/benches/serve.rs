@@ -45,12 +45,13 @@ fn bench_simulation(c: &mut Criterion) {
             b.iter(|| black_box(sim.run(&t)))
         });
     }
-    let flat = ServeSim::new(
+    let flat = ServeSim::builder(
         ConfigKind::Flat,
         ConfigKind::Flat.default_arch(),
         bert.clone(),
         params.clone(),
-    );
+    )
+    .build();
     group.bench_function(BenchmarkId::new("flat", "256x256"), |b| {
         b.iter(|| black_box(flat.run(&t)))
     });

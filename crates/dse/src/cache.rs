@@ -1,7 +1,7 @@
 //! The keyed evaluation cache: repeated sweeps and figure regeneration
 //! reuse analytical-model results instead of recomputing them.
 
-use crate::space::{DesignPoint, QueueOrder};
+use crate::space::{DesignPoint, FleetSpec, QueueOrder};
 use crate::sweep::Evaluation;
 use fusemax_arch::ExpCost;
 use std::collections::HashMap;
@@ -38,6 +38,7 @@ pub struct PointKey {
     chunk_tokens: Option<usize>,
     waiting_ratio_bits: u64,
     queue_order: QueueOrder,
+    fleet: FleetSpec,
 }
 
 impl PointKey {
@@ -69,6 +70,7 @@ impl PointKey {
             chunk_tokens: point.policy.chunk_tokens,
             waiting_ratio_bits: point.policy.waiting_served_ratio.to_bits(),
             queue_order: point.policy.queue_order,
+            fleet: point.fleet,
         }
     }
 }
@@ -319,6 +321,7 @@ mod tests {
             seq_len,
             array_dim: n,
             policy: Default::default(),
+            fleet: Default::default(),
         }
     }
 
@@ -353,6 +356,15 @@ mod tests {
         other_order.policy = crate::space::SchedulerPolicy::unbounded()
             .with_queue_order(QueueOrder::ShortestPromptFirst);
         assert_ne!(k, PointKey::of(&other_order), "queue order");
+
+        let mut other_fleet = base.clone();
+        other_fleet.fleet = crate::space::FleetSpec::replicated(4);
+        assert_ne!(k, PointKey::of(&other_fleet), "fleet");
+
+        let mut other_router = base.clone();
+        other_router.fleet = crate::space::FleetSpec::replicated(4)
+            .with_router(crate::space::RouterPolicy::LeastLoaded);
+        assert_ne!(PointKey::of(&other_fleet), PointKey::of(&other_router), "router");
 
         let mut other_buf = base;
         other_buf.arch.global_buffer_bytes *= 2;
@@ -473,7 +485,7 @@ mod tests {
         use crate::space::{Candidate, DesignSpace};
         let space = DesignSpace::new().with_array_dims([64, 256]);
         let stock = arch_for(ConfigKind::FuseMaxBinding, 256).global_buffer_bytes;
-        let grid = space.materialize(&Candidate::Grid([0, 0, 0, 1, 0, 0, 0]));
+        let grid = space.materialize(&Candidate::Grid([0, 0, 0, 1, 0, 0, 0, 0]));
         let alias = space.materialize(&Candidate::OffGrid {
             workload: 0,
             seq_len: 0,
@@ -484,6 +496,7 @@ mod tests {
             frequency_hz: None,
             dram_bw_bytes_per_sec: None,
             policy: 0,
+            fleet: 0,
         });
         assert_eq!(PointKey::of(&grid), PointKey::of(&alias));
 
@@ -497,6 +510,7 @@ mod tests {
             frequency_hz: None,
             dram_bw_bytes_per_sec: None,
             policy: 0,
+            fleet: 0,
         });
         assert_ne!(PointKey::of(&grid), PointKey::of(&shrunk));
     }
@@ -524,6 +538,7 @@ mod tests {
                 seq_len,
                 array_dim: dim,
                 policy: Default::default(),
+            fleet: Default::default(),
             }
         }
 
@@ -580,6 +595,7 @@ mod tests {
                     frequency_hz: Some(f),
                     dram_bw_bytes_per_sec: Some(bw),
                     policy: 0,
+                    fleet: 0,
                 };
                 let a = space.materialize(&candidate(kind_a, dim_a, buf_a, freq_a, bw_a));
                 let b = space.materialize(&candidate(kind_b, dim_b, buf_b, freq_b, bw_b));
@@ -615,6 +631,7 @@ mod tests {
                         seq_len: 1 << 10,
                         array_dim: d,
                         policy: Default::default(),
+            fleet: Default::default(),
                     })
                     .collect();
                 let evaluations: Vec<Arc<Evaluation>> =
@@ -669,7 +686,7 @@ mod tests {
                     .with_array_dims([64, 128, 256])
                     .with_kinds([ConfigKind::Flat, ConfigKind::FuseMaxBinding])
                     .with_buffer_scales([0.5, 1.0]);
-                let index = [0, 0, kind_idx, dim_idx, 0, buf_idx, 0];
+                let index = [0, 0, kind_idx, dim_idx, 0, buf_idx, 0, 0];
                 let via_point_at = PointKey::of(&space.point_at(index));
                 let via_candidate =
                     PointKey::of(&space.materialize(&Candidate::Grid(index)));

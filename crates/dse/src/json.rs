@@ -9,7 +9,7 @@
 //! indistinguishable from a fresh one.
 
 use crate::cache::EvalCache;
-use crate::space::{DesignPoint, QueueOrder, SchedulerPolicy};
+use crate::space::{DesignPoint, FleetSpec, QueueOrder, RouterPolicy, SchedulerPolicy};
 use crate::sweep::{Evaluation, SweepOutcome};
 use fusemax_arch::{ArchConfig, EnergyBreakdown, ExpCost, PeKind};
 use fusemax_model::{AttentionReport, ConfigKind};
@@ -191,13 +191,27 @@ fn policy_object(policy: &SchedulerPolicy) -> String {
     )
 }
 
+fn fleet_object(fleet: &FleetSpec) -> String {
+    let (prefill, decode) = match fleet.prefill_decode {
+        Some((p, d)) => (p.to_string(), d.to_string()),
+        None => ("null".to_string(), "null".to_string()),
+    };
+    format!(
+        "{{\"replicas\":{},\"router\":{},\"prefill\":{},\"decode\":{}}}",
+        fleet.replicas,
+        quoted(fleet.router.token()),
+        prefill,
+        decode,
+    )
+}
+
 fn point_object(point: &DesignPoint) -> String {
     let w = &point.workload;
     format!(
         concat!(
             "{{\"kind\":{},\"seq_len\":{},\"array_dim\":{},\"workload\":{{\"name\":{},",
             "\"layers\":{},\"heads\":{},\"head_dim\":{},\"d_model\":{},\"ffn_dim\":{},",
-            "\"batch\":{}}},\"arch\":{},\"policy\":{}}}"
+            "\"batch\":{}}},\"arch\":{},\"policy\":{},\"fleet\":{}}}"
         ),
         quoted(point.kind.label()),
         point.seq_len,
@@ -211,6 +225,7 @@ fn point_object(point: &DesignPoint) -> String {
         w.batch,
         arch_object(&point.arch),
         policy_object(&point.policy),
+        fleet_object(&point.fleet),
     )
 }
 
@@ -402,6 +417,31 @@ fn parse_policy(v: &parse::Value) -> Result<SchedulerPolicy, PersistError> {
     })
 }
 
+/// The fleet topology of a point object. Cache files written before the
+/// fleet axis existed have no `"fleet"` field; they parse to the legacy
+/// [`FleetSpec::single`], which is exactly the topology those
+/// evaluations were costed under.
+fn parse_fleet(v: &parse::Value) -> Result<FleetSpec, PersistError> {
+    let Some(g) = v.get("fleet") else {
+        return Ok(FleetSpec::single());
+    };
+    let token = g.str_field("router")?;
+    let router = RouterPolicy::parse(token)
+        .ok_or_else(|| PersistError::Parse(format!("unknown router policy {token:?}")))?;
+    let stage = |key: &str| -> Result<Option<usize>, PersistError> {
+        match g.get(key) {
+            None | Some(parse::Value::Null) => Ok(None),
+            Some(_) => Ok(Some(g.usize_field(key)?)),
+        }
+    };
+    let prefill_decode = match (stage("prefill")?, stage("decode")?) {
+        (Some(p), Some(d)) => Some((p, d)),
+        (None, None) => None,
+        _ => return Err(bad("fleet prefill/decode must be both set or both null")),
+    };
+    Ok(FleetSpec { replicas: g.usize_field("replicas")?, router, prefill_decode })
+}
+
 fn parse_point(v: &parse::Value, interner: &mut Interner) -> Result<DesignPoint, PersistError> {
     let w = v.obj_field("workload")?;
     let workload = TransformerConfig {
@@ -420,6 +460,7 @@ fn parse_point(v: &parse::Value, interner: &mut Interner) -> Result<DesignPoint,
         seq_len: v.usize_field("seq_len")?,
         array_dim: v.usize_field("array_dim")?,
         policy: parse_policy(v)?,
+        fleet: parse_fleet(v)?,
     })
 }
 
@@ -946,6 +987,7 @@ mod tests {
                 frequency_hz: None,
                 dram_bw_bytes_per_sec: None,
                 policy: 0,
+                fleet: 0,
             });
             sweeper.evaluate(&point);
         }

@@ -14,13 +14,13 @@
 //!
 //! # Search-space grammar
 //!
-//! A [`DesignSpace`] is the cartesian product of seven axes; each `with_*`
+//! A [`DesignSpace`] is the cartesian product of eight axes; each `with_*`
 //! builder method replaces one axis and every combination becomes one
 //! [`DesignPoint`]:
 //!
 //! ```text
 //! space       := array_dims × kinds × workloads × seq_lens
-//!                × frequencies × buffer_scales × policies
+//!                × frequencies × buffer_scales × policies × fleets
 //! array_dim   := n                  -- n×n 2D PEs, n 1D PEs, buffer ∝ n²
 //!                                      (Fig 12 default: 16, 32, …, 512)
 //! kind        := Unfused | Flat | FuseMaxCascade
@@ -37,6 +37,12 @@
 //!                                      queue order); default is the
 //!                                      single legacy whole-prompt/FCFS
 //!                                      policy, which changes nothing
+//! fleet       := FleetSpec          -- how many replica chips serve the
+//!                                      trace and how requests route to
+//!                                      them (or a prefill/decode split);
+//!                                      default is the 1-chip fleet, which
+//!                                      changes nothing. Area becomes
+//!                                      *total* fleet silicon.
 //! ```
 //!
 //! Evaluating a point yields an [`Evaluation`] with three **minimized**
@@ -82,6 +88,18 @@
 //! charged to a separate cheap budget ([`search::SearchBudget::cheap`])
 //! instead of a model evaluation.
 //!
+//! # Objectives in the loop
+//!
+//! [`Sweeper::with_objective`] attaches a scalar [`Objective`] (e.g.
+//! `fusemax_serve::ServeObjective`: SLA-feasible goodput per total cm²)
+//! that the search session scores every landing evaluation against, in
+//! its deterministic serial fold. Strategies then climb the objective
+//! *inside* the loop — genetic selection ranks by [`MeritScore`],
+//! annealing descends the objective's energy landscape — and the winner
+//! comes back as [`search::SearchOutcome::objective_best`]. Without an
+//! objective attached, nothing changes (trajectories are preserved
+//! bit-for-bit).
+//!
 //! # Persistence
 //!
 //! The cache itself serializes to sorted, bit-exact JSON
@@ -118,6 +136,7 @@
 
 mod cache;
 mod json;
+mod objective;
 mod pareto;
 pub mod search;
 mod space;
@@ -129,9 +148,11 @@ pub use json::{
     cache_json, frontier_json, frontiers_only_json, load_cache_file, parse_cache_json,
     save_cache_file, PersistError,
 };
+pub use objective::{MeritScore, Objective};
 pub use pareto::{dominates, pareto_ranks, Objectives, ParetoFrontier};
 pub use space::{
-    arch_for, AxisIndex, Candidate, DesignPoint, DesignSpace, QueueOrder, SchedulerPolicy,
+    arch_for, AxisIndex, Candidate, DesignPoint, DesignSpace, FleetSpec, QueueOrder, RouterPolicy,
+    SchedulerPolicy,
 };
 pub use sweep::{Evaluation, FrontierGroup, SweepOutcome, SweepStats, Sweeper};
 pub use validate::{validate_top_k, Validation, ValidationStatus};

@@ -1,0 +1,101 @@
+//! Scalar merit objectives consulted *inside* the search loop.
+//!
+//! The Pareto machinery in [`crate::pareto`] optimizes the three raw
+//! objectives (area, latency, energy) without ever collapsing them; an
+//! [`Objective`] is the opposite contract: it folds one [`Evaluation`]
+//! into a single [`MeritScore`] so a [`crate::SearchStrategy`] can climb
+//! it directly. The canonical implementation is serving merit —
+//! SLA-feasible goodput per total cm² of fleet silicon, provided by
+//! `fusemax_serve::ServeObjective` — but anything pure and deterministic
+//! fits.
+//!
+//! Scoring happens in [`crate::Session`]'s serial fold (after the
+//! parallel evaluation of a batch), so attaching an objective preserves
+//! the parallel ≡ serial bit-identity contract: the score is a pure
+//! function of the evaluation, and fold order is staging order either
+//! way.
+
+use crate::sweep::Evaluation;
+use std::cmp::Ordering;
+
+/// A scalar verdict on one design: whether it meets the hard constraint
+/// (e.g. an SLA) and how much merit it earns.
+///
+/// Scores order feasible-before-infeasible, then by merit — so an
+/// infeasible design with spectacular throughput never beats a feasible
+/// one, and among infeasible designs "closer to feasible" (higher merit,
+/// e.g. less-negative tail latency) still climbs toward the constraint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeritScore {
+    /// Whether the design meets the objective's hard constraint.
+    pub feasible: bool,
+    /// The figure of merit (higher is better). Implementations should
+    /// make this comparable *within* a feasibility class; comparisons
+    /// never cross classes.
+    pub merit: f64,
+}
+
+impl MeritScore {
+    /// Total order: feasible beats infeasible, then higher merit wins
+    /// (NaN-safe via `total_cmp`).
+    pub fn total_cmp(&self, other: &MeritScore) -> Ordering {
+        self.feasible.cmp(&other.feasible).then_with(|| self.merit.total_cmp(&other.merit))
+    }
+
+    /// `true` if `self` is strictly better than `other`.
+    pub fn beats(&self, other: &MeritScore) -> bool {
+        self.total_cmp(other) == Ordering::Greater
+    }
+}
+
+/// A pure scalar objective over finished evaluations.
+///
+/// Implementations must be deterministic — identical evaluations score
+/// identically — because scores participate in the replay contract:
+/// a seeded search with an objective attached must reproduce the same
+/// trajectory bit-for-bit, serially or in parallel. `Send + Sync` lets
+/// the sweeper carry one across rayon scopes, even though scoring itself
+/// always runs in the serial fold.
+pub trait Objective: Send + Sync {
+    /// A short stable name for reports and telemetry.
+    fn name(&self) -> &str;
+
+    /// Scores one evaluation. Must be pure.
+    fn score(&self, evaluation: &Evaluation) -> MeritScore;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasibility_dominates_merit() {
+        let feasible_low = MeritScore { feasible: true, merit: 0.1 };
+        let infeasible_high = MeritScore { feasible: false, merit: 1e9 };
+        assert!(feasible_low.beats(&infeasible_high));
+        assert!(!infeasible_high.beats(&feasible_low));
+    }
+
+    #[test]
+    fn within_a_class_higher_merit_wins_and_ties_dont_beat() {
+        let a = MeritScore { feasible: true, merit: 2.0 };
+        let b = MeritScore { feasible: true, merit: 1.0 };
+        assert!(a.beats(&b));
+        assert!(!b.beats(&a));
+        assert!(!a.beats(&a), "a tie is not a strict win");
+
+        let c = MeritScore { feasible: false, merit: -0.5 };
+        let d = MeritScore { feasible: false, merit: -0.9 };
+        assert!(c.beats(&d), "less-negative merit climbs toward feasibility");
+    }
+
+    #[test]
+    fn nan_merit_orders_deterministically() {
+        let nan = MeritScore { feasible: true, merit: f64::NAN };
+        let num = MeritScore { feasible: true, merit: 1.0 };
+        // total_cmp puts NaN above every number; what matters is that the
+        // order is deterministic, not where NaN lands.
+        assert_eq!(nan.total_cmp(&num), Ordering::Greater);
+        assert_eq!(num.total_cmp(&nan), Ordering::Less);
+    }
+}

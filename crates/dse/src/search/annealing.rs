@@ -3,6 +3,7 @@
 //! kind/frequency flips), snapping each proposal to the grid for
 //! evaluation.
 
+use crate::objective::Objective;
 use crate::search::relax::{Relaxation, SnapPolicy};
 use crate::search::strategy::{
     weighted_log_cost, SearchBudget, SearchOutcome, SearchStrategy, Session, SessionEval,
@@ -138,7 +139,8 @@ impl SimulatedAnnealing {
 /// runs without it unchanged. The scheduler-policy index follows the same
 /// rule: it is only drawn and flipped when the space carries more than
 /// one policy, so singleton-policy runs reproduce the pre-policy
-/// trajectories bit-for-bit.
+/// trajectories bit-for-bit — and the fleet index follows the policy
+/// rule in turn.
 #[derive(Debug, Clone, Copy)]
 struct WalkerState {
     dim_log2: f64,
@@ -146,6 +148,7 @@ struct WalkerState {
     kind_idx: usize,
     freq_idx: usize,
     policy_idx: usize,
+    fleet_idx: usize,
     freq_log2: f64,
     bw_log2: f64,
     clock_bw: bool,
@@ -172,6 +175,7 @@ impl WalkerState {
                 self.freq_idx,
                 relax.snap_buffer(self.buf_log2),
                 self.policy_idx,
+                self.fleet_idx,
             ]),
             SnapPolicy::Continuous => {
                 let array_dim = relax.continuous_dim(self.dim_log2);
@@ -194,6 +198,7 @@ impl WalkerState {
                     frequency_hz,
                     dram_bw_bytes_per_sec,
                     policy: self.policy_idx,
+                    fleet: self.fleet_idx,
                 }
             }
         }
@@ -219,6 +224,21 @@ fn random_weights(rng: &mut StdRng) -> [f64; 3] {
 /// The chain energy of one evaluation under `weights`.
 fn energy(evaluation: &Evaluation, weights: &[f64; 3]) -> f64 {
     weighted_log_cost(&[evaluation.area_cm2, evaluation.latency_s, evaluation.energy_j], weights)
+}
+
+/// The chain energy under an in-loop [`Objective`]: minimizing energy
+/// maximizes the merit, and every infeasible design sits a constant
+/// plateau above every feasible one — so the walker first descends
+/// *toward* feasibility (higher merit among the infeasible, e.g.
+/// less-negative tail latency), then climbs merit inside the feasible
+/// region.
+fn objective_energy(objective: &dyn Objective, evaluation: &Evaluation) -> f64 {
+    let score = objective.score(evaluation);
+    if score.feasible {
+        -score.merit
+    } else {
+        1e9 - score.merit
+    }
 }
 
 impl SearchStrategy for SimulatedAnnealing {
@@ -321,7 +341,7 @@ impl SimulatedAnnealing {
         if share == 0 {
             return session.finish(self.name());
         }
-        let [_, _, n_kinds, _, n_freqs, _, n_policies] = space.axis_lens();
+        let [_, _, n_kinds, _, n_freqs, _, n_policies, n_fleets] = space.axis_lens();
         let mut rng = StdRng::seed_from_u64(chain_seed);
         let (dim_lo, dim_hi) = relax.dim_bounds();
         let (buf_lo, buf_hi) = relax.buf_bounds();
@@ -335,6 +355,7 @@ impl SimulatedAnnealing {
             kind_idx: rng.gen_range(0..n_kinds),
             freq_idx: rng.gen_range(0..n_freqs),
             policy_idx: if n_policies > 1 { rng.gen_range(0..n_policies) } else { 0 },
+            fleet_idx: if n_fleets > 1 { rng.gen_range(0..n_fleets) } else { 0 },
             freq_log2: if clock_bw {
                 rng.gen_range(freq_lo..freq_hi)
             } else {
@@ -342,6 +363,17 @@ impl SimulatedAnnealing {
             },
             bw_log2: if clock_bw { rng.gen_range(bw_lo..bw_hi) } else { relax.bw_log2_stock() },
             clock_bw,
+        };
+
+        // With an in-loop objective attached, the walker descends the
+        // objective's energy landscape instead of the weighted
+        // log-scalarization (the random weights are still drawn, so the
+        // RNG stream — and every objective-free trajectory — is
+        // unchanged).
+        let objective = session.sweeper().objective().cloned();
+        let chain_energy = |evaluation: &Evaluation, weights: &[f64; 3]| match &objective {
+            Some(o) => objective_energy(o.as_ref(), evaluation),
+            None => energy(evaluation, weights),
         };
 
         let mut weights = random_weights(&mut rng);
@@ -357,7 +389,7 @@ impl SimulatedAnnealing {
             // warm frontier precede the chain.
             SessionEval::Screened | SessionEval::Exhausted => return session.finish(self.name()),
         };
-        let mut current_energy = energy(&current, &weights);
+        let mut current_energy = chain_energy(&current, &weights);
         let mut temp = self.initial_temp;
         // Proposal cap: small per-group subspaces can be fully
         // explored long before the share is spent; don't spin.
@@ -390,6 +422,9 @@ impl SimulatedAnnealing {
             if n_policies > 1 && rng.gen_bool(0.2) {
                 next.policy_idx = rng.gen_range(0..n_policies);
             }
+            if n_fleets > 1 && rng.gen_bool(0.2) {
+                next.fleet_idx = rng.gen_range(0..n_fleets);
+            }
             let proposal = next.candidate(space, relax, self.snap, wi, si);
             let candidate = match session.evaluate_candidate(&proposal) {
                 SessionEval::Evaluated(e) => e,
@@ -398,7 +433,7 @@ impl SimulatedAnnealing {
                 SessionEval::Screened => continue,
                 SessionEval::Exhausted => break,
             };
-            let candidate_energy = energy(&candidate, &weights);
+            let candidate_energy = chain_energy(&candidate, &weights);
             let delta = candidate_energy - current_energy;
             let accept = delta <= 0.0 || rng.gen_range(0.0..1.0) < (-delta / temp).exp();
             if accept {
@@ -415,7 +450,7 @@ impl SimulatedAnnealing {
                     session.evaluate_candidate(&state.candidate(space, relax, self.snap, wi, si))
                 {
                     current = e;
-                    current_energy = energy(&current, &weights);
+                    current_energy = chain_energy(&current, &weights);
                 }
                 temp = self.initial_temp;
             }

@@ -3,6 +3,7 @@
 //! mutation (ordered knobs step to neighboring grid values, categorical
 //! knobs resample).
 
+use crate::objective::{MeritScore, Objective};
 use crate::pareto::pareto_ranks;
 use crate::search::relax::SnapPolicy;
 use crate::search::strategy::{
@@ -17,9 +18,9 @@ use std::sync::Arc;
 
 /// Axes whose values are ordered (stepping ±1 is a meaningful "nudge"):
 /// sequence length (1), array dimension (3), buffer scale (5). Workload
-/// (0), kind (2), frequency (4), and scheduler policy (6) are treated as
-/// categorical.
-const ORDERED_AXES: [bool; 7] = [false, true, false, true, false, true, false];
+/// (0), kind (2), frequency (4), scheduler policy (6), and fleet shape
+/// (7) are treated as categorical.
+const ORDERED_AXES: [bool; 8] = [false, true, false, true, false, true, false, false];
 
 /// Under [`SnapPolicy::Continuous`], the probability that a bred child is
 /// jittered off-grid instead of evaluated at its grid genome.
@@ -162,7 +163,7 @@ fn resolve(slots: Vec<ChildSlot>, batch: Vec<Arc<Evaluation>>) -> Vec<Member> {
 /// power-of-two grid, so jittered children blanket the gaps without
 /// abandoning the neighborhood selection chose.
 fn offgrid_jitter(rng: &mut StdRng, space: &DesignSpace, genome: &AxisIndex) -> Candidate {
-    let [wi, si, ki, di, fi, bi, pi] = *genome;
+    let [wi, si, ki, di, fi, bi, pi, gi] = *genome;
     let dim_base = space.array_dims()[di] as f64;
     let array_dim = (dim_base * 2f64.powf(rng.gen_range(-0.5..0.5))).round().max(1.0) as usize;
     let base = arch_for(space.kinds()[ki], array_dim).global_buffer_bytes as f64;
@@ -178,6 +179,7 @@ fn offgrid_jitter(rng: &mut StdRng, space: &DesignSpace, genome: &AxisIndex) -> 
         frequency_hz: None,
         dram_bw_bytes_per_sec: None,
         policy: pi,
+        fleet: gi,
     }
 }
 
@@ -213,6 +215,22 @@ fn scalar(e: &Evaluation) -> f64 {
     weighted_log_cost(&[e.area_cm2, e.latency_s, e.energy_j], &[1.0, 1.0, 1.0])
 }
 
+/// Per-member fitness ranks by the sweeper's in-loop objective: the best
+/// [`MeritScore`] gets rank 0. The sort is stable, so tied scores keep
+/// member order and rankings stay deterministic. (Objective
+/// implementations memoize per design point, so re-ranking each
+/// generation costs lookups, not simulations.)
+fn objective_ranks(members: &[Member], objective: &dyn Objective) -> Vec<usize> {
+    let scores: Vec<MeritScore> = members.iter().map(|m| objective.score(&m.evaluation)).collect();
+    let mut order: Vec<usize> = (0..members.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    let mut ranks = vec![0usize; members.len()];
+    for (rank, &i) in order.iter().enumerate() {
+        ranks[i] = rank;
+    }
+    ranks
+}
+
 /// Picks the fitter of `k` random members: lowest front, then lowest
 /// scalar cost.
 fn tournament_pick(rng: &mut StdRng, members: &[Member], ranks: &[usize], k: usize) -> usize {
@@ -230,13 +248,14 @@ fn tournament_pick(rng: &mut StdRng, members: &[Member], ranks: &[usize], k: usi
 }
 
 /// Uniform crossover: each axis comes from either parent with equal
-/// probability. The policy axis (6) only draws when it has alternatives —
-/// a draw on a singleton axis would still consume RNG state and shift the
-/// seeded trajectories of every pre-policy space.
+/// probability. The policy (6) and fleet (7) axes only draw when they
+/// have alternatives — a draw on a singleton axis would still consume
+/// RNG state and shift the seeded trajectories of every pre-existing
+/// space.
 fn crossover(rng: &mut StdRng, a: &AxisIndex, b: &AxisIndex, lens: &AxisIndex) -> AxisIndex {
     let mut child = *a;
     for (axis, (slot, &gene)) in child.iter_mut().zip(b.iter()).enumerate() {
-        if axis == 6 && lens[6] <= 1 {
+        if axis >= 6 && lens[axis] <= 1 {
             continue;
         }
         if rng.gen_bool(0.5) {
@@ -249,7 +268,7 @@ fn crossover(rng: &mut StdRng, a: &AxisIndex, b: &AxisIndex, lens: &AxisIndex) -
 /// Mutates each axis with probability `rate`: ordered axes step ±1
 /// (clamped), categorical axes resample uniformly.
 fn mutate(rng: &mut StdRng, genome: &mut AxisIndex, lens: &AxisIndex, rate: f64) {
-    for axis in 0..7 {
+    for axis in 0..8 {
         if lens[axis] <= 1 || !rng.gen_bool(rate) {
             continue;
         }
@@ -317,8 +336,17 @@ impl SearchStrategy for GeneticSearch {
         }
         let mut population: Vec<Member> = resolve(seeds, session.flush());
 
+        // With an in-loop objective attached, selection pressure follows
+        // the scalar merit instead of the Pareto fronts — the strategy
+        // climbs SLA-feasible goodput per cm² (or whatever the objective
+        // encodes) directly.
+        let rank_members = |members: &[Member]| match sweeper.objective() {
+            Some(objective) => objective_ranks(members, objective.as_ref()),
+            None => grouped_ranks(members),
+        };
+
         while !session.exhausted() && !population.is_empty() {
-            let ranks = grouped_ranks(&population);
+            let ranks = rank_members(&population);
             let mut children: Vec<ChildSlot> = Vec::with_capacity(pop_target);
             let mut stall = 0usize;
             while children.len() < pop_target && !session.exhausted() && stall < pop_target * 16 {
@@ -395,7 +423,7 @@ impl SearchStrategy for GeneticSearch {
             population.extend(children);
 
             // Environmental selection: survivors by (front, scalar cost).
-            let ranks = grouped_ranks(&population);
+            let ranks = rank_members(&population);
             let mut order: Vec<usize> = (0..population.len()).collect();
             order.sort_by(|&a, &b| {
                 ranks[a].cmp(&ranks[b]).then(
@@ -447,7 +475,7 @@ mod tests {
     fn mutation_respects_axis_bounds() {
         let mut rng = StdRng::seed_from_u64(17);
         let lens = space().axis_lens();
-        let mut genome = [0usize; 7];
+        let mut genome = [0usize; 8];
         for _ in 0..500 {
             mutate(&mut rng, &mut genome, &lens, 1.0);
             for (axis, &v) in genome.iter().enumerate() {

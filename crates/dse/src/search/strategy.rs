@@ -9,6 +9,7 @@
 //! already-swept space performs zero new model evaluations.
 
 use crate::cache::PointKey;
+use crate::objective::MeritScore;
 use crate::space::{AxisIndex, Candidate, DesignPoint, DesignSpace};
 use crate::sweep::{group_index, Evaluation, FrontierGroup, Sweeper};
 use fusemax_telemetry::{Event, SearchEvent};
@@ -132,6 +133,12 @@ pub struct SearchOutcome {
     /// session's charged-evaluation count, so per-chain streams restart
     /// their clocks — the Perfetto exporter sorts by tick per track.
     pub events: Vec<Event>,
+    /// The best design by the sweeper's in-loop [`crate::Objective`], if
+    /// one was attached: scored in the serial fold as evaluations land,
+    /// ties keeping the earlier design — so the winner is a deterministic
+    /// function of the seed, bit-identical serially or in parallel.
+    /// `None` when the sweeper carries no objective.
+    pub objective_best: Option<(Arc<Evaluation>, MeritScore)>,
 }
 
 impl SearchOutcome {
@@ -216,6 +223,9 @@ pub(crate) struct Session<'a> {
     pending_index: HashMap<PointKey, usize>,
     evaluations: Vec<Arc<Evaluation>>,
     frontiers: Vec<FrontierGroup>,
+    /// Running in-loop objective winner (see
+    /// [`SearchOutcome::objective_best`]).
+    objective_best: Option<(Arc<Evaluation>, MeritScore)>,
     stats: SearchStats,
     start: Instant,
     /// Locally-buffered telemetry (empty when the sweeper's recorder is
@@ -246,6 +256,7 @@ impl<'a> Session<'a> {
             pending_index: HashMap::new(),
             evaluations: Vec::new(),
             frontiers: Vec::new(),
+            objective_best: None,
             stats: SearchStats::default(),
             start: Instant::now(),
             events: Vec::new(),
@@ -284,6 +295,12 @@ impl<'a> Session<'a> {
     pub(crate) fn with_screening(mut self, screening: bool) -> Self {
         self.screening = screening;
         self
+    }
+
+    /// The sweeper this session evaluates through (strategies reach its
+    /// in-loop objective here).
+    pub(crate) fn sweeper(&self) -> &'a Sweeper {
+        self.sweeper
     }
 
     /// `true` once the budget is spent: further *new* points are refused.
@@ -436,6 +453,21 @@ impl<'a> Session<'a> {
                 let frontier_len = self.frontiers[group].frontier.len();
                 self.trace(SearchEvent::FrontierInsert { admitted, frontier_len });
             }
+            // In-loop objective scoring lives here, in the serial fold:
+            // the score is a pure function of the evaluation and the fold
+            // runs in staging order whatever the worker count, so the
+            // running best is part of the replay contract. Ties keep the
+            // earlier design (strictly-better replaces).
+            if let Some(objective) = self.sweeper.objective() {
+                let score = objective.score(&evaluation);
+                let better = match &self.objective_best {
+                    Some((_, best)) => score.beats(best),
+                    None => true,
+                };
+                if better {
+                    self.objective_best = Some((Arc::clone(&evaluation), score));
+                }
+            }
             self.evaluations.push(Arc::clone(&evaluation));
             out.push(evaluation);
         }
@@ -479,8 +511,10 @@ impl<'a> Session<'a> {
             frontiers: self.frontiers,
             stats: self.stats,
             events: self.events,
+            objective_best: self.objective_best,
         }
     }
+
 
     /// Folds a finished chain outcome into this session, in call order:
     /// the chain-parallel annealer runs one independent session per
@@ -489,6 +523,17 @@ impl<'a> Session<'a> {
     pub(crate) fn absorb_outcome(&mut self, outcome: SearchOutcome) {
         self.stats.absorb(&outcome.stats);
         self.events.extend(outcome.events);
+        // Chains merge in call order; a later chain's winner replaces
+        // only on a strictly better score, mirroring the fold's tie rule.
+        if let Some((evaluation, score)) = outcome.objective_best {
+            let better = match &self.objective_best {
+                Some((_, best)) => score.beats(best),
+                None => true,
+            };
+            if better {
+                self.objective_best = Some((evaluation, score));
+            }
+        }
         self.evaluations.extend(outcome.evaluations.iter().cloned());
         for group in outcome.frontiers {
             debug_assert!(
@@ -508,19 +553,21 @@ impl<'a> Session<'a> {
 
 /// A uniformly random genome over the space's axis cardinalities.
 ///
-/// The policy axis (slot 6) is drawn only when it actually offers a
-/// choice: the seeded RNG consumes one step per `gen_range` call even on
-/// a single-value axis, so an unconditional draw would shift every
-/// downstream sample and change the pre-policy seeded trajectories.
-/// Singleton-policy spaces therefore reproduce the historical streams
-/// exactly.
+/// The policy axis (slot 6) and the fleet axis (slot 7) are drawn only
+/// when they actually offer a choice: the seeded RNG consumes one step
+/// per `gen_range` call even on a single-value axis, so an unconditional
+/// draw would shift every downstream sample and change the pre-existing
+/// seeded trajectories. Spaces with singleton policy/fleet axes
+/// therefore reproduce the historical streams exactly.
 pub(crate) fn random_genome(rng: &mut impl Rng, lens: &AxisIndex) -> AxisIndex {
-    let mut genome = [0usize; 7];
+    let mut genome = [0usize; 8];
     for (slot, &n) in genome.iter_mut().zip(lens.iter()).take(6) {
         *slot = rng.gen_range(0..n);
     }
-    if lens[6] > 1 {
-        genome[6] = rng.gen_range(0..lens[6]);
+    for axis in 6..8 {
+        if lens[axis] > 1 {
+            genome[axis] = rng.gen_range(0..lens[axis]);
+        }
     }
     genome
 }
@@ -575,15 +622,15 @@ mod tests {
         // every FLAT candidate's optimistic bound at smaller-or-equal
         // area... establish the frontier, then propose a FLAT point whose
         // bound is dominated.
-        assert!(session.evaluate([0, 0, 1, 0, 0, 0, 0]).is_some(), "+Binding @ 64");
-        assert!(session.evaluate([0, 0, 1, 1, 0, 0, 0]).is_some(), "+Binding @ 128");
+        assert!(session.evaluate([0, 0, 1, 0, 0, 0, 0, 0]).is_some(), "+Binding @ 64");
+        assert!(session.evaluate([0, 0, 1, 1, 0, 0, 0, 0]).is_some(), "+Binding @ 128");
         let before = session.requested();
-        let verdict = session.evaluate_candidate(&Candidate::Grid([0, 0, 0, 0, 0, 0, 0]));
+        let verdict = session.evaluate_candidate(&Candidate::Grid([0, 0, 0, 0, 0, 0, 0, 0]));
         match verdict {
             SessionEval::Screened => {
                 assert_eq!(session.requested(), before, "screening must not charge the budget");
                 // Re-proposing the rejected point is a free revisit.
-                let again = session.evaluate_candidate(&Candidate::Grid([0, 0, 0, 0, 0, 0, 0]));
+                let again = session.evaluate_candidate(&Candidate::Grid([0, 0, 0, 0, 0, 0, 0, 0]));
                 assert!(matches!(again, SessionEval::Screened));
                 let outcome = session.finish("test");
                 assert_eq!(outcome.stats.screened, 1);
@@ -606,7 +653,7 @@ mod tests {
         // price exactly as with screening off.
         for di in 0..3 {
             for ki in 0..2 {
-                assert!(session.evaluate([0, 0, ki, di, 0, 0, 0]).is_some());
+                assert!(session.evaluate([0, 0, ki, di, 0, 0, 0, 0]).is_some());
             }
         }
         let outcome = session.finish("test");
@@ -628,13 +675,13 @@ mod tests {
         let sweeper = Sweeper::new(ModelParams::default());
         let s = space();
         let mut session = Session::new(&sweeper, &s, SearchBudget::evaluations(3));
-        assert!(session.evaluate([0, 0, 0, 0, 0, 0, 0]).is_some());
-        assert!(session.evaluate([0, 0, 0, 0, 0, 0, 0]).is_some(), "revisits are free");
-        assert!(session.evaluate([0, 0, 1, 1, 0, 0, 0]).is_some());
-        assert!(session.evaluate([0, 0, 1, 2, 0, 0, 0]).is_some());
+        assert!(session.evaluate([0, 0, 0, 0, 0, 0, 0, 0]).is_some());
+        assert!(session.evaluate([0, 0, 0, 0, 0, 0, 0, 0]).is_some(), "revisits are free");
+        assert!(session.evaluate([0, 0, 1, 1, 0, 0, 0, 0]).is_some());
+        assert!(session.evaluate([0, 0, 1, 2, 0, 0, 0, 0]).is_some());
         assert!(session.exhausted());
-        assert!(session.evaluate([0, 0, 0, 1, 0, 0, 0]).is_none(), "budget refuses new points");
-        assert!(session.evaluate([0, 0, 0, 0, 0, 0, 0]).is_some(), "revisits still served");
+        assert!(session.evaluate([0, 0, 0, 1, 0, 0, 0, 0]).is_none(), "budget refuses new points");
+        assert!(session.evaluate([0, 0, 0, 0, 0, 0, 0, 0]).is_some(), "revisits still served");
         let outcome = session.finish("test");
         assert_eq!(outcome.stats.requested, 3);
         assert_eq!(outcome.stats.evaluated, 3);
@@ -651,7 +698,7 @@ mod tests {
         let mut session = Session::new(&sweeper, &s, SearchBudget::evaluations(6));
         for ki in 0..2 {
             for di in 0..3 {
-                session.evaluate([0, 0, ki, di, 0, 0, 0]);
+                session.evaluate([0, 0, ki, di, 0, 0, 0, 0]);
             }
         }
         let outcome = session.finish("test");

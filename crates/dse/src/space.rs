@@ -8,12 +8,12 @@ use std::fmt;
 
 /// A design point addressed by per-axis indices, in enumeration order:
 /// `[workload, seq_len, kind, array_dim, frequency, buffer_scale,
-/// scheduler_policy]`.
+/// scheduler_policy, fleet]`.
 ///
 /// This is the genome representation of the guided search strategies in
 /// [`crate::search`]: crossover and mutation act on these indices, and
 /// [`DesignSpace::point_at`] materializes the concrete [`DesignPoint`].
-pub type AxisIndex = [usize; 7];
+pub type AxisIndex = [usize; 8];
 
 /// How the serving scheduler orders its waiting queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -119,6 +119,131 @@ impl fmt::Display for SchedulerPolicy {
     }
 }
 
+/// How a fleet router assigns arriving requests to replicas. Every policy
+/// is a deterministic (seeded where randomness is involved) function of
+/// the trace, so fleet replays are bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RouterPolicy {
+    /// Request `id mod N` — the classic stateless spray.
+    #[default]
+    RoundRobin,
+    /// Greedy least-estimated-load: each request goes to the replica with
+    /// the smallest accumulated estimated service seconds (ties break by
+    /// lowest replica index).
+    LeastLoaded,
+    /// Length-class affinity: prompts are binned by length rank and each
+    /// bin sticks to one replica, so short interactive requests never
+    /// queue behind long batch prompts.
+    ShortestPrompt,
+}
+
+impl RouterPolicy {
+    /// The stable lowercase token used in JSON persistence, CLI flags,
+    /// and report labels (`"rr"` / `"ll"` / `"sp"`).
+    pub fn token(self) -> &'static str {
+        match self {
+            RouterPolicy::RoundRobin => "rr",
+            RouterPolicy::LeastLoaded => "ll",
+            RouterPolicy::ShortestPrompt => "sp",
+        }
+    }
+
+    /// Parses the [`RouterPolicy::token`] form (case-insensitive; accepts
+    /// the long names too).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "rr" | "round-robin" | "roundrobin" => Some(RouterPolicy::RoundRobin),
+            "ll" | "least-loaded" | "leastloaded" => Some(RouterPolicy::LeastLoaded),
+            "sp" | "shortest-prompt" | "shortestprompt" => Some(RouterPolicy::ShortestPrompt),
+            _ => None,
+        }
+    }
+}
+
+/// The fleet topology a design point ships as: how many identical chips
+/// serve the trace and how requests are routed among them, or a
+/// disaggregated split dedicating prefill chips that feed decode chips.
+///
+/// [`FleetSpec::single`] (the [`Default`]) is one chip serving the whole
+/// trace — the pre-fleet engine bit-for-bit. It is the sole value on the
+/// default [`DesignSpace`] fleet axis, so existing sweeps, caches, and
+/// golden traces are unchanged. The fixed-sequence-length objectives
+/// model one chip regardless; the fleet only multiplies **area** (total
+/// silicon = per-chip area × [`FleetSpec::chips`]) and drives
+/// `fusemax_serve::Fleet` when the point is served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FleetSpec {
+    /// Number of identical data-parallel replicas (≥ 1). Ignored when
+    /// `prefill_decode` is set.
+    pub replicas: usize,
+    /// How the router shards the trace across replicas.
+    pub router: RouterPolicy,
+    /// `Some((p, d))` dedicates `p` prefill chips feeding `d` decode
+    /// chips, with each request's K/V state transferred between stages at
+    /// DRAM bandwidth. `None` is the replicated (or single-chip)
+    /// topology.
+    pub prefill_decode: Option<(usize, usize)>,
+}
+
+impl Default for FleetSpec {
+    fn default() -> Self {
+        FleetSpec::single()
+    }
+}
+
+impl FleetSpec {
+    /// One chip serving the whole trace — the legacy topology.
+    pub fn single() -> Self {
+        FleetSpec { replicas: 1, router: RouterPolicy::RoundRobin, prefill_decode: None }
+    }
+
+    /// `n` identical data-parallel replicas behind a round-robin router.
+    pub fn replicated(n: usize) -> Self {
+        assert!(n > 0, "a fleet needs at least one replica");
+        FleetSpec { replicas: n, router: RouterPolicy::RoundRobin, prefill_decode: None }
+    }
+
+    /// A disaggregated fleet: `prefill` chips run prompt processing and
+    /// stream each request's K/V state to one of `decode` chips.
+    pub fn disaggregated(prefill: usize, decode: usize) -> Self {
+        assert!(prefill > 0 && decode > 0, "both disaggregated stages need at least one chip");
+        FleetSpec {
+            replicas: prefill + decode,
+            router: RouterPolicy::RoundRobin,
+            prefill_decode: Some((prefill, decode)),
+        }
+    }
+
+    /// Replaces the router policy.
+    pub fn with_router(mut self, router: RouterPolicy) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// Total chips in the fleet — the factor on per-chip area.
+    pub fn chips(&self) -> usize {
+        match self.prefill_decode {
+            Some((p, d)) => p + d,
+            None => self.replicas,
+        }
+    }
+
+    /// `true` when this is the legacy single-chip topology.
+    pub fn is_single(&self) -> bool {
+        *self == FleetSpec::single()
+    }
+}
+
+impl fmt::Display for FleetSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.prefill_decode {
+            Some((p, d)) => write!(f, "{p}p+{d}d/{}", self.router.token()),
+            None if self.replicas == 1 => write!(f, "1x"),
+            None => write!(f, "{}x/{}", self.replicas, self.router.token()),
+        }
+    }
+}
+
 /// One fully-specified candidate design: an architecture, the dataflow
 /// configuration running on it, and the workload it is evaluated against.
 #[derive(Debug, Clone, PartialEq)]
@@ -138,6 +263,11 @@ pub struct DesignPoint {
     /// (ignored by the fixed-sequence-length objectives; it drives
     /// `fusemax_serve::ServeSim` when the point is served).
     pub policy: SchedulerPolicy,
+    /// The fleet topology the design ships as: multiplies
+    /// [`crate::Evaluation::area_cm2`] by [`FleetSpec::chips`] and drives
+    /// `fusemax_serve::Fleet` when the point is served. The default
+    /// single-chip fleet changes nothing.
+    pub fleet: FleetSpec,
 }
 
 /// How a candidate design addresses its [`DesignSpace`]: by per-axis grid
@@ -187,6 +317,9 @@ pub enum Candidate {
         /// Scheduler-policy axis index (categorical — always on-grid,
         /// like workload and kind).
         policy: usize,
+        /// Fleet-topology axis index (categorical — always on-grid, like
+        /// the scheduler policy).
+        fleet: usize,
     },
 }
 
@@ -245,6 +378,7 @@ pub struct DesignSpace {
     frequencies_hz: Vec<Option<f64>>,
     buffer_scales: Vec<f64>,
     policies: Vec<SchedulerPolicy>,
+    fleets: Vec<FleetSpec>,
 }
 
 impl Default for DesignSpace {
@@ -265,6 +399,7 @@ impl DesignSpace {
             frequencies_hz: vec![None],
             buffer_scales: vec![1.0],
             policies: vec![SchedulerPolicy::unbounded()],
+            fleets: vec![FleetSpec::single()],
         }
     }
 
@@ -319,6 +454,15 @@ impl DesignSpace {
         self
     }
 
+    /// Replaces the fleet-topology axis. The default is the singleton
+    /// [`FleetSpec::single`] axis, which changes no existing results;
+    /// adding fleets lets in-loop serving objectives search replica count
+    /// and disaggregation ratio next to the hardware knobs.
+    pub fn with_fleets(mut self, fleets: impl IntoIterator<Item = FleetSpec>) -> Self {
+        self.fleets = fleets.into_iter().collect();
+        self
+    }
+
     /// The array-dimension axis values.
     pub fn array_dims(&self) -> &[usize] {
         &self.array_dims
@@ -354,9 +498,14 @@ impl DesignSpace {
         &self.policies
     }
 
+    /// The fleet-topology axis values.
+    pub fn fleets(&self) -> &[FleetSpec] {
+        &self.fleets
+    }
+
     /// Per-axis cardinalities in [`AxisIndex`] order: workloads, sequence
     /// lengths, kinds, array dimensions, frequencies, buffer scales,
-    /// scheduler policies.
+    /// scheduler policies, fleets.
     pub fn axis_lens(&self) -> AxisIndex {
         [
             self.workloads.len(),
@@ -366,6 +515,7 @@ impl DesignSpace {
             self.frequencies_hz.len(),
             self.buffer_scales.len(),
             self.policies.len(),
+            self.fleets.len(),
         ]
     }
 
@@ -377,7 +527,7 @@ impl DesignSpace {
     ///
     /// Panics if any index is out of range for its axis.
     pub fn point_at(&self, index: AxisIndex) -> DesignPoint {
-        let [wi, si, ki, di, fi, bi, pi] = index;
+        let [wi, si, ki, di, fi, bi, pi, gi] = index;
         let workload = &self.workloads[wi];
         let seq_len = self.seq_lens[si];
         let kind = self.kinds[ki];
@@ -385,6 +535,7 @@ impl DesignSpace {
         let freq = self.frequencies_hz[fi];
         let buf_scale = self.buffer_scales[bi];
         let policy = self.policies[pi];
+        let fleet = self.fleets[gi];
 
         let mut arch = arch_for(kind, n);
         if let Some(hz) = freq {
@@ -395,7 +546,7 @@ impl DesignSpace {
             arch.global_buffer_bytes = (arch.global_buffer_bytes as f64 * buf_scale).ceil() as u64;
             arch.name = format!("{}-buf{buf_scale:.2}x", arch.name);
         }
-        DesignPoint { arch, kind, workload: workload.clone(), seq_len, array_dim: n, policy }
+        DesignPoint { arch, kind, workload: workload.clone(), seq_len, array_dim: n, policy, fleet }
     }
 
     /// Materializes either [`Candidate`] variant into a concrete
@@ -422,6 +573,7 @@ impl DesignSpace {
                 frequency_hz,
                 dram_bw_bytes_per_sec,
                 policy,
+                fleet,
             } => {
                 assert!(buffer_bytes > 0, "off-grid buffer must hold at least one byte");
                 let kind = self.kinds[kind];
@@ -459,6 +611,7 @@ impl DesignSpace {
                     seq_len: self.seq_lens[seq_len],
                     array_dim,
                     policy: self.policies[policy],
+                    fleet: self.fleets[fleet],
                 }
             }
         }
@@ -472,7 +625,7 @@ impl DesignSpace {
     /// they are designs the grid cannot express.
     pub fn is_on_grid(&self, point: &DesignPoint) -> bool {
         let key = crate::cache::PointKey::of(point);
-        let [nw, ns, nk, nd, nf, nb, np] = self.axis_lens();
+        let [nw, ns, nk, nd, nf, nb, np, ng] = self.axis_lens();
         for wi in 0..nw {
             if self.workloads[wi].name != point.workload.name {
                 continue;
@@ -486,9 +639,12 @@ impl DesignSpace {
                         for fi in 0..nf {
                             for bi in 0..nb {
                                 for pi in 0..np {
-                                    let grid = self.point_at([wi, si, ki, di, fi, bi, pi]);
-                                    if crate::cache::PointKey::of(&grid) == key {
-                                        return true;
+                                    for gi in 0..ng {
+                                        let grid =
+                                            self.point_at([wi, si, ki, di, fi, bi, pi, gi]);
+                                        if crate::cache::PointKey::of(&grid) == key {
+                                            return true;
+                                        }
                                     }
                                 }
                             }
@@ -509,6 +665,7 @@ impl DesignSpace {
             * self.frequencies_hz.len()
             * self.buffer_scales.len()
             * self.policies.len()
+            * self.fleets.len()
     }
 
     /// `true` when any axis is empty.
@@ -517,13 +674,13 @@ impl DesignSpace {
     }
 
     /// Enumerates every point, workload-major then sequence length, kind,
-    /// array dimension, frequency, buffer scale, scheduler policy — a
-    /// stable order the cache and the serial/parallel equivalence tests
-    /// rely on. Each point is exactly what [`DesignSpace::point_at`]
-    /// returns for its index.
+    /// array dimension, frequency, buffer scale, scheduler policy, fleet
+    /// — a stable order the cache and the serial/parallel equivalence
+    /// tests rely on. Each point is exactly what
+    /// [`DesignSpace::point_at`] returns for its index.
     pub fn points(&self) -> Vec<DesignPoint> {
         let mut out = Vec::with_capacity(self.len());
-        let [nw, ns, nk, nd, nf, nb, np] = self.axis_lens();
+        let [nw, ns, nk, nd, nf, nb, np, ng] = self.axis_lens();
         for wi in 0..nw {
             for si in 0..ns {
                 for ki in 0..nk {
@@ -531,7 +688,9 @@ impl DesignSpace {
                         for fi in 0..nf {
                             for bi in 0..nb {
                                 for pi in 0..np {
-                                    out.push(self.point_at([wi, si, ki, di, fi, bi, pi]));
+                                    for gi in 0..ng {
+                                        out.push(self.point_at([wi, si, ki, di, fi, bi, pi, gi]));
+                                    }
                                 }
                             }
                         }
@@ -613,7 +772,7 @@ mod tests {
             .with_frequencies_hz([None, Some(470e6)])
             .with_buffer_scales([0.5, 1.0]);
         let pts = space.points();
-        let [nw, ns, nk, nd, nf, nb, np] = space.axis_lens();
+        let [nw, ns, nk, nd, nf, nb, np, ng] = space.axis_lens();
         let mut i = 0;
         for wi in 0..nw {
             for si in 0..ns {
@@ -622,11 +781,13 @@ mod tests {
                         for fi in 0..nf {
                             for bi in 0..nb {
                                 for pi in 0..np {
-                                    assert_eq!(
-                                        space.point_at([wi, si, ki, di, fi, bi, pi]),
-                                        pts[i]
-                                    );
-                                    i += 1;
+                                    for gi in 0..ng {
+                                        assert_eq!(
+                                            space.point_at([wi, si, ki, di, fi, bi, pi, gi]),
+                                            pts[i]
+                                        );
+                                        i += 1;
+                                    }
                                 }
                             }
                         }
@@ -647,13 +808,53 @@ mod tests {
         assert_eq!(space.frequencies_hz(), &[None]);
         assert_eq!(space.workloads().len(), 4);
         assert_eq!(space.policies(), &[SchedulerPolicy::unbounded()]);
-        assert_eq!(space.axis_lens(), [4, 1, 1, 1, 1, 1, 1]);
+        assert_eq!(space.fleets(), &[FleetSpec::single()]);
+        assert_eq!(space.axis_lens(), [4, 1, 1, 1, 1, 1, 1, 1]);
     }
 
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn point_at_rejects_out_of_range_indices() {
-        let _ = DesignSpace::new().point_at([0, 0, 0, 99, 0, 0, 0]);
+        let _ = DesignSpace::new().point_at([0, 0, 0, 99, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn fleet_axis_multiplies_and_materializes() {
+        let space = DesignSpace::new().with_array_dims([128]).with_fleets([
+            FleetSpec::single(),
+            FleetSpec::replicated(4).with_router(RouterPolicy::LeastLoaded),
+            FleetSpec::disaggregated(1, 3),
+        ]);
+        assert_eq!(space.len(), 4 * 3);
+        let pts = space.points();
+        assert_eq!(pts[0].fleet, FleetSpec::single());
+        assert_eq!(pts[1].fleet.replicas, 4);
+        assert_eq!(pts[1].fleet.router, RouterPolicy::LeastLoaded);
+        assert_eq!(pts[2].fleet.prefill_decode, Some((1, 3)));
+        assert_eq!(pts[2].fleet.chips(), 4);
+        assert!(pts[0].fleet.is_single() && !pts[1].fleet.is_single());
+    }
+
+    #[test]
+    fn fleet_spec_displays_compactly() {
+        assert_eq!(FleetSpec::single().to_string(), "1x");
+        assert_eq!(FleetSpec::replicated(4).to_string(), "4x/rr");
+        assert_eq!(
+            FleetSpec::replicated(2).with_router(RouterPolicy::ShortestPrompt).to_string(),
+            "2x/sp"
+        );
+        assert_eq!(FleetSpec::disaggregated(2, 6).to_string(), "2p+6d/rr");
+    }
+
+    #[test]
+    fn router_tokens_round_trip() {
+        for router in
+            [RouterPolicy::RoundRobin, RouterPolicy::LeastLoaded, RouterPolicy::ShortestPrompt]
+        {
+            assert_eq!(RouterPolicy::parse(router.token()), Some(router));
+        }
+        assert_eq!(RouterPolicy::parse("least-loaded"), Some(RouterPolicy::LeastLoaded));
+        assert_eq!(RouterPolicy::parse("bogus"), None);
     }
 
     #[test]
@@ -670,7 +871,7 @@ mod tests {
             .with_kinds([ConfigKind::Flat, ConfigKind::FuseMaxBinding])
             .with_frequencies_hz([None, Some(470e6)])
             .with_buffer_scales([0.5, 1.0]);
-        let index = [1, 0, 1, 1, 1, 0, 0];
+        let index = [1, 0, 1, 1, 1, 0, 0, 0];
         assert_eq!(space.materialize(&Candidate::Grid(index)), space.point_at(index));
     }
 
@@ -687,6 +888,7 @@ mod tests {
             frequency_hz: None,
             dram_bw_bytes_per_sec: None,
             policy: 0,
+            fleet: 0,
         });
         assert_eq!(point.array_dim, 200);
         assert_eq!(point.arch.array_rows, 200);
@@ -710,6 +912,7 @@ mod tests {
             frequency_hz: Some(777.5e6),
             dram_bw_bytes_per_sec: Some(512e9),
             policy: 0,
+            fleet: 0,
         });
         // The concrete overrides win over the indexed axis value, and the
         // name carries exactly one clock tag.
@@ -734,6 +937,7 @@ mod tests {
             frequency_hz: Some(0.0),
             dram_bw_bytes_per_sec: None,
             policy: 0,
+            fleet: 0,
         });
     }
 
@@ -754,6 +958,7 @@ mod tests {
             frequency_hz: None,
             dram_bw_bytes_per_sec: None,
             policy: 0,
+            fleet: 0,
         });
         assert!(space.is_on_grid(&aliased));
     }
@@ -777,6 +982,7 @@ mod tests {
             frequency_hz: None,
             dram_bw_bytes_per_sec: None,
             policy: 0,
+            fleet: 0,
         });
         assert!(!space.is_on_grid(&off));
         // Same dim as the grid but an off-grid buffer is still off-grid.
@@ -791,6 +997,7 @@ mod tests {
             frequency_hz: None,
             dram_bw_bytes_per_sec: None,
             policy: 0,
+            fleet: 0,
         });
         assert!(!space.is_on_grid(&off_buf));
     }
@@ -808,6 +1015,7 @@ mod tests {
             frequency_hz: None,
             dram_bw_bytes_per_sec: None,
             policy: 0,
+            fleet: 0,
         });
     }
 }

@@ -3,6 +3,7 @@
 //! and prunes provably-dominated points before paying for their evaluation.
 
 use crate::cache::{EvalCache, PointKey};
+use crate::objective::Objective;
 use crate::pareto::{Objectives, ParetoFrontier};
 use crate::space::{DesignPoint, DesignSpace};
 use fusemax_arch::{AreaModel, EnergyTable};
@@ -17,12 +18,18 @@ use std::time::{Duration, Instant};
 ///
 /// `latency_s` and `energy_j` cover the *full model's* attention (all
 /// layers at the workload's batch size), matching Fig 12's y-axis;
-/// `area_cm2` is the chip area of [`DesignPoint::arch`].
+/// `area_cm2` is the chip area of [`DesignPoint::arch`] multiplied by
+/// [`crate::FleetSpec::chips`] — the *total* silicon the design buys, so
+/// a 4-replica fleet of small chips competes against one big chip at
+/// equal area. Latency and energy stay per-chip: they describe one
+/// replica running the workload, which is exactly what the serving layer
+/// replicates.
 #[derive(Debug, Clone)]
 pub struct Evaluation {
     /// The design evaluated.
     pub point: DesignPoint,
-    /// Chip area in cm² (objective 0).
+    /// Total fleet silicon in cm² — per-chip area × replica count
+    /// (objective 0).
     pub area_cm2: f64,
     /// Full-model attention latency in seconds (objective 1).
     pub latency_s: f64,
@@ -163,7 +170,6 @@ impl SweepOutcome {
 /// // Every curve point is Pareto-optimal: bigger chips are faster.
 /// assert_eq!(outcome.frontier_points().len(), 24);
 /// ```
-#[derive(Debug)]
 pub struct Sweeper {
     params: ModelParams,
     area_model: AreaModel,
@@ -171,6 +177,19 @@ pub struct Sweeper {
     cache: EvalCache,
     parallel: bool,
     recorder: Recorder,
+    objective: Option<Arc<dyn Objective>>,
+}
+
+impl std::fmt::Debug for Sweeper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sweeper")
+            .field("params", &self.params)
+            .field("area_model", &self.area_model)
+            .field("cache", &self.cache)
+            .field("parallel", &self.parallel)
+            .field("objective", &self.objective.as_ref().map(|o| o.name()))
+            .finish_non_exhaustive()
+    }
 }
 
 impl Sweeper {
@@ -183,6 +202,7 @@ impl Sweeper {
             cache: EvalCache::new(),
             parallel: true,
             recorder: Recorder::disabled(),
+            objective: None,
         }
     }
 
@@ -223,6 +243,22 @@ impl Sweeper {
     pub fn with_area_model(mut self, area_model: AreaModel) -> Self {
         self.area_model = area_model;
         self
+    }
+
+    /// Attaches a scalar [`Objective`] that the search [`crate::Session`]
+    /// scores every finished evaluation against, in its serial fold — so
+    /// guided strategies climb the objective *in the loop* instead of
+    /// re-ranking a finished frontier. The raw Pareto machinery is
+    /// unaffected; without an objective, search behaves exactly as
+    /// before (trajectory-preserving by construction).
+    pub fn with_objective(mut self, objective: Arc<dyn Objective>) -> Self {
+        self.objective = Some(objective);
+        self
+    }
+
+    /// The attached in-loop objective, if any.
+    pub fn objective(&self) -> Option<&Arc<dyn Objective>> {
+        self.objective.as_ref()
     }
 
     /// The model parameterization this sweeper evaluates under.
@@ -269,7 +305,7 @@ impl Sweeper {
         );
         let layers = point.workload.layers as f64;
         Evaluation {
-            area_cm2: self.area_model.chip_area_cm2(&point.arch),
+            area_cm2: self.area_model.chip_area_cm2(&point.arch) * point.fleet.chips() as f64,
             latency_s: point.arch.cycles_to_seconds(report.cycles * layers),
             energy_j: report.energy.total_pj() * layers * 1e-12,
             report,
@@ -396,7 +432,11 @@ impl Sweeper {
             * layers
             * 1e-12;
 
-        [self.area_model.chip_area_cm2(arch), latency_lb, energy_lb]
+        [
+            self.area_model.chip_area_cm2(arch) * point.fleet.chips() as f64,
+            latency_lb,
+            energy_lb,
+        ]
     }
 
     /// Sweeps the whole space, evaluating **every** candidate (no pruning,
@@ -729,6 +769,7 @@ mod tests {
             seq_len: 1 << 20,
             array_dim: 256,
             policy: Default::default(),
+            fleet: Default::default(),
         };
         let evaluation = sweeper.evaluate(&point);
         let lb = sweeper.lower_bound(&point);
@@ -789,6 +830,7 @@ mod tests {
                 seq_len: 1usize << seq_exp,
                 array_dim: dim,
                 policy: Default::default(),
+                fleet: Default::default(),
             };
             let sweeper = Sweeper::new(ModelParams::default());
             let evaluation = sweeper.evaluate(&point);
@@ -798,6 +840,33 @@ mod tests {
             prop_assert!(latency >= lb[1] * (1.0 - 1e-12), "latency {} < {}", latency, lb[1]);
             prop_assert!(energy >= lb[2] * (1.0 - 1e-12), "energy {} < {}", energy, lb[2]);
         }
+    }
+
+    #[test]
+    fn fleet_area_is_per_chip_area_times_chip_count() {
+        use crate::space::FleetSpec;
+        let sweeper = Sweeper::new(ModelParams::default());
+        let mut point = DesignPoint {
+            arch: arch_for(ConfigKind::FuseMaxBinding, 128),
+            kind: ConfigKind::FuseMaxBinding,
+            workload: TransformerConfig::bert(),
+            seq_len: 1 << 14,
+            array_dim: 128,
+            policy: Default::default(),
+            fleet: FleetSpec::single(),
+        };
+        let single = sweeper.evaluate(&point);
+        point.fleet = FleetSpec::replicated(4);
+        let fleet = sweeper.evaluate(&point);
+        assert_eq!(fleet.area_cm2, single.area_cm2 * 4.0);
+        // Per-replica latency/energy are unchanged: a fleet buys
+        // throughput with silicon, not faster single chips.
+        assert_eq!(fleet.latency_s, single.latency_s);
+        assert_eq!(fleet.energy_j, single.energy_j);
+        // The lower bound tracks total silicon too (pruning soundness).
+        assert_eq!(sweeper.lower_bound(&point)[0], fleet.area_cm2);
+        point.fleet = FleetSpec::disaggregated(1, 3);
+        assert_eq!(sweeper.evaluate(&point).area_cm2, single.area_cm2 * 4.0);
     }
 
     #[test]

@@ -131,7 +131,9 @@ pub fn serving_headline(params: &ModelParams) -> ServingHeadline {
     let trace = canonical_trace();
     let bert = TransformerConfig::bert();
     let run = |kind: ConfigKind| {
-        ServeSim::new(kind, kind.default_arch(), bert.clone(), params.clone()).run(&trace)
+        ServeSim::builder(kind, kind.default_arch(), bert.clone(), params.clone())
+            .build()
+            .run(&trace)
     };
     let flat = run(ConfigKind::Flat);
     let fusemax = run(ConfigKind::FuseMaxBinding);

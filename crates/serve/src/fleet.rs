@@ -1,0 +1,597 @@
+//! Fleet-scale serving: a deterministic router shards one [`Trace`]
+//! across N replica chips of the same design, per-replica reports merge
+//! into one fleet-level [`ServeReport`] with **exact** quantiles, and a
+//! disaggregated topology dedicates prefill chips feeding decode chips
+//! with the K/V handoff charged at DRAM bandwidth.
+//!
+//! # Routing
+//!
+//! All three [`RouterPolicy`]s are pure functions of the trace and the
+//! design (no RNG), so a fleet replay is bit-identical by construction:
+//!
+//! * **Round-robin** — request `i` (in arrival order) goes to replica
+//!   `i mod N`.
+//! * **Least-loaded** — greedy assignment to the replica with the
+//!   smallest accumulated *estimated* service seconds (from the shared
+//!   [`ServiceTimeTable`]), ties to the lowest index.
+//! * **Shortest-prompt** — length-class affinity: requests are ranked by
+//!   prompt length and split into N contiguous classes, so short prompts
+//!   share replicas instead of queueing behind long ones.
+//!
+//! # Merging
+//!
+//! Fleet quantiles are computed over the **union of raw per-request
+//! samples** ([`crate::RunSamples`]), never by averaging per-replica
+//! summaries — so the merged p99 is exactly the p99 of the whole trace.
+//! A 1-replica fleet reproduces the plain [`ServeSim`] report
+//! bit-for-bit (test-enforced).
+//!
+//! # Disaggregation
+//!
+//! Under [`FleetSpec::disaggregated`]`(p, d)`, the router shards
+//! arrivals across the `p` prefill chips, which serve prompt-only work;
+//! each finished prompt's K/V cache (the full-model
+//! [`fusemax_workloads::TransformerConfig::kv_bytes_per_token`] ×
+//! prompt tokens) then crosses to a decode chip in time
+//! `bytes / dram_bw_bytes_per_sec`, and the `d` decode chips run the
+//! engine in decode-only mode. TTFT comes from the prefill stage,
+//! TPOT from the decode stage, and end-to-end latency spans both plus
+//! the transfer wire time.
+
+use crate::report::{LatencyStats, ServeReport};
+use crate::sim::{RunSamples, ServeSim};
+use crate::table::ServiceTimeTable;
+use crate::traffic::{Request, Trace};
+use fusemax_dse::{DesignPoint, FleetSpec, RouterPolicy};
+use fusemax_model::ModelParams;
+use fusemax_telemetry::{Event, Recorder, ServeEvent, VecSink};
+use std::collections::HashMap;
+
+/// A data-parallel (or prefill/decode-disaggregated) fleet of identical
+/// replica chips serving one trace.
+///
+/// # Example
+///
+/// ```
+/// use fusemax_model::{ConfigKind, ModelParams};
+/// use fusemax_serve::{Arrivals, Fleet, FleetSpec, LengthMix, ServeSim, TrafficSpec};
+/// use fusemax_workloads::TransformerConfig;
+///
+/// let trace = TrafficSpec {
+///     arrivals: Arrivals::Poisson { rate_per_s: 120.0 },
+///     prompt_mix: LengthMix::new([(512, 3.0), (4096, 1.0)]),
+///     output_mix: LengthMix::uniform([8, 32]),
+///     requests: 60,
+/// }
+/// .generate(7);
+///
+/// let replica = ServeSim::builder(
+///     ConfigKind::FuseMaxBinding,
+///     ConfigKind::FuseMaxBinding.default_arch(),
+///     TransformerConfig::bert(),
+///     ModelParams::default(),
+/// )
+/// .build();
+/// let fleet = Fleet::new(FleetSpec::replicated(4), replica);
+/// let report = fleet.run(&trace);
+/// assert_eq!(report.completed, 60);
+/// assert_eq!(report, fleet.run(&trace), "fleet replay is bit-identical");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    spec: FleetSpec,
+    template: ServeSim,
+    recorder: Recorder,
+}
+
+/// A fleet run's full breakdown: the merged fleet-level report plus
+/// per-replica reports, the router's assignment, K/V-transfer totals,
+/// and (when traced) each replica's event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// The fleet-level report: summed throughput work, max makespan,
+    /// utilization over all chips, exact quantiles over the union of
+    /// per-request samples.
+    pub merged: ServeReport,
+    /// One report per chip — replicas in index order; for a
+    /// disaggregated fleet, the `p` prefill chips then the `d` decode
+    /// chips.
+    pub replicas: Vec<ServeReport>,
+    /// Stage-1 replica index per trace request (arrival order) — for a
+    /// disaggregated fleet, the prefill-chip assignment.
+    pub routes: Vec<usize>,
+    /// Total K/V bytes moved between prefill and decode chips (0 for
+    /// non-disaggregated fleets).
+    pub kv_transfer_bytes: u64,
+    /// Total wire seconds of K/V transfer at DRAM bandwidth (0 for
+    /// non-disaggregated fleets).
+    pub kv_transfer_s: f64,
+    /// `(track name, events)` per chip when the fleet carries an enabled
+    /// recorder (empty otherwise) — feed alongside the router stream to
+    /// [`fusemax_telemetry::fleet_trace_json`].
+    pub replica_events: Vec<(String, Vec<Event>)>,
+}
+
+impl Fleet {
+    /// A fleet of `spec.chips()` copies of `replica` (its design,
+    /// scheduler policy, and workload are shared by every chip).
+    pub fn new(spec: FleetSpec, replica: ServeSim) -> Self {
+        Fleet { spec, template: replica, recorder: Recorder::disabled() }
+    }
+
+    /// The fleet a DSE design point describes: the point's per-chip
+    /// design under its fleet axis (`point.fleet`).
+    pub fn for_point(point: &DesignPoint, params: &ModelParams) -> Self {
+        Fleet::new(point.fleet, ServeSim::for_point(point, params))
+    }
+
+    /// Attaches a telemetry recorder. The fleet emits router events
+    /// ([`ServeEvent::Route`], [`ServeEvent::KvTransfer`]) into it, and
+    /// [`FleetReport::replica_events`] additionally captures each chip's
+    /// own stream. Instrumentation never changes the report.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The fleet shape.
+    pub fn spec(&self) -> FleetSpec {
+        self.spec
+    }
+
+    /// The stage-1 router assignment for `trace`: one replica index per
+    /// request, in arrival order. Every request is routed exactly once
+    /// — the conservation property the fleet proptests pin down. For a
+    /// disaggregated fleet this is the prefill-chip assignment.
+    pub fn route(&self, trace: &Trace) -> Vec<usize> {
+        let costs = match self.spec.router {
+            RouterPolicy::LeastLoaded => Some(self.template.service_times(trace)),
+            _ => None,
+        };
+        self.stage1_routes(trace, costs.as_ref())
+    }
+
+    /// Serves `trace` on the fleet and returns the merged fleet-level
+    /// report.
+    pub fn run(&self, trace: &Trace) -> ServeReport {
+        self.run_detailed(trace).merged
+    }
+
+    /// Serves `trace` and returns the full per-replica breakdown.
+    pub fn run_detailed(&self, trace: &Trace) -> FleetReport {
+        let costs = self.template.service_times(trace);
+        match self.spec.prefill_decode {
+            None => self.run_replicated(trace, &costs),
+            Some((p, d)) => self.run_disaggregated(trace, &costs, p.max(1), d.max(1)),
+        }
+    }
+
+    /// How many chips stage-1 routing spreads over.
+    fn stage1_width(&self) -> usize {
+        match self.spec.prefill_decode {
+            Some((p, _)) => p.max(1),
+            None => self.spec.replicas.max(1),
+        }
+    }
+
+    fn stage1_routes(&self, trace: &Trace, costs: Option<&ServiceTimeTable>) -> Vec<usize> {
+        let est = |r: &Request| -> f64 {
+            let costs = costs.expect("least-loaded routing needs a service-time table");
+            let decode = if r.output_tokens >= 2 {
+                (r.output_tokens - 1) as f64 * costs.decode_seconds(r.prompt_tokens + 1)
+            } else {
+                0.0
+            };
+            costs.prefill_seconds(r.prompt_tokens) + decode
+        };
+        route_requests(self.spec.router, &trace.requests, self.stage1_width(), &est)
+    }
+
+    /// One replica chip's run over its sub-trace, optionally traced.
+    fn run_replica(
+        &self,
+        name: String,
+        sub: &Trace,
+        costs: &ServiceTimeTable,
+        start_prefilled: bool,
+        replica_events: &mut Vec<(String, Vec<Event>)>,
+    ) -> (ServeReport, RunSamples) {
+        let (recorder, sink) = if self.recorder.is_enabled() {
+            let (recorder, sink) = VecSink::recorder();
+            (recorder, Some(sink))
+        } else {
+            (Recorder::disabled(), None)
+        };
+        let sim = self.template.fleet_replica(recorder, start_prefilled);
+        let out = sim.run_sampled_with(costs, sub);
+        if let Some(sink) = sink {
+            replica_events.push((name, sink.events()));
+        }
+        out
+    }
+
+    fn run_replicated(&self, trace: &Trace, costs: &ServiceTimeTable) -> FleetReport {
+        let n = self.spec.replicas.max(1);
+        let routes = self.stage1_routes(trace, Some(costs));
+        let mut subs: Vec<Trace> = vec![Trace::default(); n];
+        for (i, r) in trace.requests.iter().enumerate() {
+            let (at, req, replica) = (r.arrival_s, r.id as u64, routes[i]);
+            self.recorder.emit(|| Event::serve(at, ServeEvent::Route { req, replica }));
+            subs[replica].requests.push(*r);
+        }
+
+        let mut replicas = Vec::with_capacity(n);
+        let mut replica_events = Vec::new();
+        let (mut ttft, mut tpot, mut e2e) = (Vec::new(), Vec::new(), Vec::new());
+        let (mut completed, mut output_tokens) = (0usize, 0usize);
+        for (k, sub) in subs.iter().enumerate() {
+            let (report, samples) =
+                self.run_replica(format!("replica {k}"), sub, costs, false, &mut replica_events);
+            completed += report.completed;
+            output_tokens += report.output_tokens;
+            replicas.push(report);
+            ttft.extend_from_slice(&samples.ttft);
+            tpot.extend_from_slice(&samples.tpot);
+            e2e.extend_from_slice(&samples.e2e);
+        }
+        let merged =
+            merge_reports(&replicas, self.spec.chips(), completed, output_tokens, ttft, tpot, e2e);
+        FleetReport {
+            merged,
+            replicas,
+            routes,
+            kv_transfer_bytes: 0,
+            kv_transfer_s: 0.0,
+            replica_events,
+        }
+    }
+
+    fn run_disaggregated(
+        &self,
+        trace: &Trace,
+        costs: &ServiceTimeTable,
+        p: usize,
+        d: usize,
+    ) -> FleetReport {
+        let routes = self.stage1_routes(trace, Some(costs));
+
+        // Stage 1: the prefill chips serve prompt-only versions of every
+        // request (prefill produces the first token, so `output = 1`
+        // completes exactly at prefill end).
+        let mut prefill_subs: Vec<Trace> = vec![Trace::default(); p];
+        for (i, r) in trace.requests.iter().enumerate() {
+            let (at, req, replica) = (r.arrival_s, r.id as u64, routes[i]);
+            self.recorder.emit(|| Event::serve(at, ServeEvent::Route { req, replica }));
+            prefill_subs[replica].requests.push(Request { output_tokens: 1, ..*r });
+        }
+
+        let mut replicas = Vec::with_capacity(p + d);
+        let mut replica_events = Vec::new();
+        let mut ttft = Vec::with_capacity(trace.len());
+        let mut done_at: HashMap<usize, f64> = HashMap::with_capacity(trace.len());
+        for (k, sub) in prefill_subs.iter().enumerate() {
+            let (report, samples) =
+                self.run_replica(format!("prefill {k}"), sub, costs, false, &mut replica_events);
+            replicas.push(report);
+            ttft.extend_from_slice(&samples.ttft);
+            done_at.extend(samples.completions.iter().copied());
+        }
+
+        // Requests whose single output token was produced by prefill are
+        // done; the rest hand their K/V cache to a decode chip, charged
+        // at DRAM bandwidth. The full-model cache moves — every layer's
+        // K/V for the prompt — not just the per-layer resident slice.
+        let arch = self.template.arch();
+        let kv_per_token = self.template.workload().kv_bytes_per_token(arch.word_bytes);
+        let dram_bw = arch.dram_bw_bytes_per_sec;
+        let mut e2e: Vec<f64> = Vec::with_capacity(trace.len());
+        let (mut kv_transfer_bytes, mut kv_transfer_s) = (0u64, 0.0f64);
+        let mut decode_all: Vec<Request> = Vec::new();
+        for r in &trace.requests {
+            let prefill_done = done_at[&r.id];
+            if r.output_tokens <= 1 {
+                e2e.push(prefill_done - r.arrival_s);
+                continue;
+            }
+            let bytes = kv_per_token * r.prompt_tokens as u64;
+            let seconds = bytes as f64 / dram_bw;
+            kv_transfer_bytes += bytes;
+            kv_transfer_s += seconds;
+            let req = r.id as u64;
+            self.recorder
+                .emit(|| Event::serve(prefill_done, ServeEvent::KvTransfer { req, bytes, seconds }));
+            decode_all.push(Request { arrival_s: prefill_done + seconds, ..*r });
+        }
+        // The engine consumes arrivals in order; handoffs are not in
+        // trace order, so sort (ties by id — deterministic).
+        decode_all.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
+
+        // Stage 2: route the handoffs across the decode chips and run
+        // them decode-only.
+        let est = |r: &Request| -> f64 {
+            (r.output_tokens - 1) as f64 * costs.decode_seconds(r.prompt_tokens + 1)
+        };
+        let decode_routes = route_requests(self.spec.router, &decode_all, d, &est);
+        let mut decode_subs: Vec<Trace> = vec![Trace::default(); d];
+        for (j, r) in decode_all.iter().enumerate() {
+            let (at, req, replica) = (r.arrival_s, r.id as u64, p + decode_routes[j]);
+            self.recorder.emit(|| Event::serve(at, ServeEvent::Route { req, replica }));
+            decode_subs[decode_routes[j]].requests.push(*r);
+        }
+        let arrival_of: HashMap<usize, f64> =
+            trace.requests.iter().map(|r| (r.id, r.arrival_s)).collect();
+        let mut tpot = Vec::new();
+        let mut output_tokens: usize =
+            trace.requests.iter().filter(|r| r.output_tokens <= 1).map(|r| r.output_tokens).sum();
+        for (k, sub) in decode_subs.iter().enumerate() {
+            let (report, samples) =
+                self.run_replica(format!("decode {k}"), sub, costs, true, &mut replica_events);
+            output_tokens += report.output_tokens;
+            replicas.push(report);
+            tpot.extend_from_slice(&samples.tpot);
+            for &(id, done) in &samples.completions {
+                e2e.push(done - arrival_of[&id]);
+            }
+        }
+
+        let completed = e2e.len();
+        let merged =
+            merge_reports(&replicas, self.spec.chips(), completed, output_tokens, ttft, tpot, e2e);
+        FleetReport { merged, replicas, routes, kv_transfer_bytes, kv_transfer_s, replica_events }
+    }
+}
+
+/// Deterministic assignment of `reqs` (arrival order) to `n` chips.
+/// `est` supplies the service-seconds estimate least-loaded routing
+/// accumulates; the other policies never call it.
+fn route_requests(
+    policy: RouterPolicy,
+    reqs: &[Request],
+    n: usize,
+    est: &dyn Fn(&Request) -> f64,
+) -> Vec<usize> {
+    if n <= 1 {
+        return vec![0; reqs.len()];
+    }
+    match policy {
+        RouterPolicy::RoundRobin => (0..reqs.len()).map(|i| i % n).collect(),
+        RouterPolicy::LeastLoaded => {
+            let mut load = vec![0.0f64; n];
+            reqs.iter()
+                .map(|r| {
+                    let k = (0..n)
+                        .min_by(|&a, &b| load[a].total_cmp(&load[b]).then(a.cmp(&b)))
+                        .expect("n >= 1");
+                    load[k] += est(r);
+                    k
+                })
+                .collect()
+        }
+        RouterPolicy::ShortestPrompt => {
+            // Length-class affinity: rank by prompt length (ties by
+            // position) and split the ranking into n contiguous classes.
+            let mut order: Vec<usize> = (0..reqs.len()).collect();
+            order.sort_by_key(|&i| (reqs[i].prompt_tokens, i));
+            let per = (reqs.len() + n - 1) / n;
+            let mut routes = vec![0usize; reqs.len()];
+            for (rank, &i) in order.iter().enumerate() {
+                routes[i] = (rank / per.max(1)).min(n - 1);
+            }
+            routes
+        }
+    }
+}
+
+/// The fleet-level report: work sums, the fleet makespan (max over
+/// chips), utilization normalized by chip count, and exact quantiles
+/// over the concatenated raw samples. With one chip this reproduces the
+/// plain simulator's report bit-for-bit.
+fn merge_reports(
+    replicas: &[ServeReport],
+    chips: usize,
+    completed: usize,
+    output_tokens: usize,
+    mut ttft: Vec<f64>,
+    mut tpot: Vec<f64>,
+    mut e2e: Vec<f64>,
+) -> ServeReport {
+    let iterations: usize = replicas.iter().map(|r| r.iterations).sum();
+    let busy: f64 = replicas.iter().map(|r| r.busy_s).sum();
+    let makespan = replicas.iter().map(|r| r.makespan_s).fold(0.0f64, f64::max);
+    ServeReport {
+        completed,
+        output_tokens,
+        iterations,
+        makespan_s: makespan,
+        busy_s: busy,
+        goodput_rps: if makespan > 0.0 { completed as f64 / makespan } else { 0.0 },
+        token_throughput_per_s: if makespan > 0.0 { output_tokens as f64 / makespan } else { 0.0 },
+        utilization: if makespan > 0.0 { busy / (chips as f64 * makespan) } else { 0.0 },
+        peak_resident_bytes: replicas.iter().map(|r| r.peak_resident_bytes).max().unwrap_or(0),
+        peak_batch: replicas.iter().map(|r| r.peak_batch).max().unwrap_or(0),
+        buffer_bytes: replicas.first().map_or(0, |r| r.buffer_bytes),
+        ttft: LatencyStats::of(&mut ttft),
+        tpot: LatencyStats::of(&mut tpot),
+        e2e: LatencyStats::of(&mut e2e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{Arrivals, LengthMix, TrafficSpec};
+    use fusemax_model::ConfigKind;
+    use fusemax_workloads::TransformerConfig;
+
+    fn replica() -> ServeSim {
+        let kind = ConfigKind::FuseMaxBinding;
+        ServeSim::builder(
+            kind,
+            kind.default_arch(),
+            TransformerConfig::bert(),
+            ModelParams::default(),
+        )
+        .build()
+    }
+
+    fn mixed_trace(rate: f64, requests: usize) -> Trace {
+        TrafficSpec {
+            arrivals: Arrivals::Poisson { rate_per_s: rate },
+            prompt_mix: LengthMix::new([(512, 3.0), (4096, 1.0)]),
+            output_mix: LengthMix::uniform([4, 16]),
+            requests,
+        }
+        .generate(23)
+    }
+
+    #[test]
+    fn a_single_replica_fleet_is_bit_identical_to_the_plain_sim() {
+        let trace = mixed_trace(200.0, 50);
+        let plain = replica().run(&trace);
+        for router in [RouterPolicy::RoundRobin, RouterPolicy::LeastLoaded] {
+            let fleet = Fleet::new(FleetSpec::single().with_router(router), replica());
+            assert_eq!(fleet.run(&trace), plain, "router {router:?}");
+        }
+    }
+
+    #[test]
+    fn every_router_routes_every_request_exactly_once() {
+        let trace = mixed_trace(400.0, 60);
+        for router in
+            [RouterPolicy::RoundRobin, RouterPolicy::LeastLoaded, RouterPolicy::ShortestPrompt]
+        {
+            let fleet = Fleet::new(FleetSpec::replicated(4).with_router(router), replica());
+            let routes = fleet.route(&trace);
+            assert_eq!(routes.len(), trace.len());
+            assert!(routes.iter().all(|&k| k < 4), "replica index out of range");
+            let counts = routes.iter().fold(vec![0usize; 4], |mut c, &k| {
+                c[k] += 1;
+                c
+            });
+            assert_eq!(counts.iter().sum::<usize>(), trace.len());
+            assert_eq!(routes, fleet.route(&trace), "routing must be deterministic");
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_and_shortest_prompt_groups_by_length() {
+        let trace = mixed_trace(400.0, 40);
+        let rr = Fleet::new(FleetSpec::replicated(3), replica()).route(&trace);
+        assert!(rr.iter().enumerate().all(|(i, &k)| k == i % 3));
+
+        let sp = Fleet::new(
+            FleetSpec::replicated(2).with_router(RouterPolicy::ShortestPrompt),
+            replica(),
+        )
+        .route(&trace);
+        // All short prompts land strictly before long ones in rank order:
+        // no long prompt maps to a lower class than any short prompt.
+        let max_short = trace
+            .requests
+            .iter()
+            .zip(&sp)
+            .filter(|(r, _)| r.prompt_tokens == 512)
+            .map(|(_, &k)| k)
+            .max()
+            .unwrap();
+        let min_long = trace
+            .requests
+            .iter()
+            .zip(&sp)
+            .filter(|(r, _)| r.prompt_tokens == 4096)
+            .map(|(_, &k)| k)
+            .min()
+            .unwrap();
+        assert!(max_short <= min_long, "length classes must be contiguous");
+    }
+
+    #[test]
+    fn merged_quantiles_are_exact_over_the_union_of_samples() {
+        let trace = mixed_trace(500.0, 60);
+        let fleet = Fleet::new(FleetSpec::replicated(3), replica());
+        let detailed = fleet.run_detailed(&trace);
+
+        // Recompute from scratch: shard the trace by the public route,
+        // run each shard on a plain sim, concatenate raw samples.
+        let routes = fleet.route(&trace);
+        let costs = replica().service_times(&trace);
+        let (mut ttft, mut e2e) = (Vec::new(), Vec::new());
+        let mut completed = 0;
+        for k in 0..3 {
+            let sub = Trace {
+                requests: trace
+                    .requests
+                    .iter()
+                    .zip(&routes)
+                    .filter(|(_, &r)| r == k)
+                    .map(|(q, _)| *q)
+                    .collect(),
+            };
+            let (report, samples) = replica().run_sampled_with(&costs, &sub);
+            completed += report.completed;
+            ttft.extend(samples.ttft);
+            e2e.extend(samples.e2e);
+        }
+        assert_eq!(completed, detailed.merged.completed);
+        assert_eq!(LatencyStats::of(&mut ttft), detailed.merged.ttft);
+        assert_eq!(LatencyStats::of(&mut e2e), detailed.merged.e2e);
+    }
+
+    #[test]
+    fn fleet_replays_are_bit_identical_and_tracing_changes_nothing() {
+        let trace = mixed_trace(300.0, 50);
+        for spec in [
+            FleetSpec::replicated(4).with_router(RouterPolicy::LeastLoaded),
+            FleetSpec::disaggregated(1, 3),
+        ] {
+            let fleet = Fleet::new(spec, replica());
+            let a = fleet.run_detailed(&trace);
+            let b = fleet.run_detailed(&trace);
+            assert_eq!(a, b, "{spec}");
+            let (recorder, sink) = VecSink::recorder();
+            let traced = Fleet::new(spec, replica()).with_recorder(recorder);
+            let t = traced.run_detailed(&trace);
+            assert_eq!(t.merged, a.merged, "tracing must not change the report ({spec})");
+            assert_eq!(t.replica_events.len(), spec.chips());
+            assert!(
+                sink.events()
+                    .iter()
+                    .any(|e| matches!(e, Event::Serve { kind: ServeEvent::Route { .. }, .. })),
+                "router must emit Route events"
+            );
+        }
+    }
+
+    #[test]
+    fn disaggregation_completes_everything_and_charges_the_kv_wire() {
+        let trace = mixed_trace(300.0, 50);
+        let fleet = Fleet::new(FleetSpec::disaggregated(2, 2), replica());
+        let detailed = fleet.run_detailed(&trace);
+        assert_eq!(detailed.merged.completed, 50);
+        assert_eq!(detailed.replicas.len(), 4);
+        assert_eq!(detailed.merged.ttft.samples, 50, "every prompt prefills on stage 1");
+        assert!(detailed.kv_transfer_bytes > 0);
+        assert!(detailed.kv_transfer_s > 0.0);
+        // The wire time really is bytes over DRAM bandwidth.
+        let bw = replica().arch().dram_bw_bytes_per_sec;
+        let expected: f64 = detailed.kv_transfer_bytes as f64 / bw;
+        assert!((detailed.kv_transfer_s - expected).abs() < 1e-9 * expected.max(1.0));
+        // End-to-end latency includes both stages plus the wire, so the
+        // fleet e2e mean can never beat the prefill-only stage's.
+        assert!(detailed.merged.e2e.mean >= detailed.merged.ttft.mean);
+    }
+
+    #[test]
+    fn more_replicas_cut_tail_latency_under_heavy_load() {
+        let trace = mixed_trace(800.0, 60);
+        let one = Fleet::new(FleetSpec::single(), replica()).run(&trace);
+        let four = Fleet::new(FleetSpec::replicated(4), replica()).run(&trace);
+        assert!(
+            four.ttft.p99 < one.ttft.p99,
+            "4x fleet p99 TTFT {} must beat 1x {}",
+            four.ttft.p99,
+            one.ttft.p99
+        );
+        assert!(four.goodput_rps >= one.goodput_rps);
+    }
+}

@@ -37,10 +37,21 @@
 //! * [`ServeReport`] — goodput, token throughput, utilization, and exact
 //!   nearest-rank p50/p95/p99 latency quantiles ([`LatencyStats`]) for
 //!   TTFT, per-output-token latency, and end-to-end time.
-//! * [`ServeObjective`] — the DSE bridge: re-rank swept
-//!   [`fusemax_dse::Evaluation`]s by SLA-feasible goodput per unit area
-//!   ([`Sla`], [`ServeScore`]), so frontier selection reflects served
-//!   traffic rather than a single latency number.
+//! * [`Fleet`] — fleet-scale serving: a deterministic router
+//!   ([`RouterPolicy`]) shards one trace across N replica chips
+//!   ([`FleetSpec::replicated`]) or across dedicated prefill chips
+//!   feeding decode chips with the K/V handoff charged at DRAM
+//!   bandwidth ([`FleetSpec::disaggregated`]); per-replica reports merge
+//!   into a fleet-level [`ServeReport`] with exact quantiles over the
+//!   union of raw samples ([`FleetReport`]).
+//! * [`ServeObjective`] — the DSE bridge. As a
+//!   [`fusemax_dse::Objective`] handed to
+//!   [`fusemax_dse::Sweeper::with_objective`], every search strategy
+//!   optimizes SLA-feasible goodput per total cm² *in the loop*, with
+//!   the fleet shape searchable like any other axis; post hoc,
+//!   [`ServeObjective::rank`] re-ranks swept
+//!   [`fusemax_dse::Evaluation`]s by the same merit ([`Sla`],
+//!   [`ServeScore`]).
 //!
 //! # Example
 //!
@@ -65,21 +76,23 @@
 //! let outcome = fusemax_dse::Sweeper::new(params.clone()).sweep(&space);
 //!
 //! let objective = ServeObjective::new(trace, Sla::p99_ttft(0.25));
-//! let (best, score) = objective.best(&outcome.evaluations, &params).unwrap();
+//! let (best, score) = objective.rank(&outcome.evaluations, &params).remove(0);
 //! assert!(score.report.completed == 40);
 //! // The serving winner is typically NOT the biggest (latency-best) chip.
 //! assert!(best.point.array_dim <= 512);
 //! ```
 
+mod fleet;
 mod objective;
 mod report;
 mod sim;
 mod table;
 mod traffic;
 
-pub use fusemax_dse::{QueueOrder, SchedulerPolicy};
+pub use fleet::{Fleet, FleetReport};
+pub use fusemax_dse::{FleetSpec, QueueOrder, RouterPolicy, SchedulerPolicy};
 pub use objective::{ServeObjective, ServeScore, Sla};
 pub use report::{LatencyStats, ServeReport};
-pub use sim::ServeSim;
+pub use sim::{RunSamples, ServeSim, ServeSimBuilder};
 pub use table::ServiceTimeTable;
 pub use traffic::{Arrivals, LengthMix, Request, Trace, TrafficSpec};

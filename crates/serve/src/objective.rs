@@ -1,21 +1,30 @@
-//! The DSE bridge: score and re-rank design-space frontier members by
-//! served-traffic merit under an SLA, instead of by single-point latency.
+//! The DSE bridge: score designs by served-traffic merit under an SLA —
+//! **inside** the search loop (as a [`fusemax_dse::Objective`]) or as a
+//! post-hoc re-ranking of a finished sweep ([`ServeObjective::rank`]).
 //!
 //! Fixed-sequence-length latency ranking always crowns the biggest chip.
 //! Under real traffic the question changes: once a design keeps up with
 //! the offered load inside the SLA, extra silicon buys nothing — so the
-//! serving-aware merit is **SLA-feasible goodput per unit area**, and the
-//! winner is typically a smaller chip than the latency winner. Designs
-//! that miss the SLA rank below every design that meets it, ordered by
-//! how badly they miss (p99 TTFT).
+//! serving-aware merit is **SLA-feasible goodput per total cm²** of
+//! fleet silicon, and the winner is typically a smaller chip (or a fleet
+//! of them) rather than the latency winner. Designs that miss the SLA
+//! rank below every design that meets it, ordered by how badly they miss
+//! (p99 TTFT).
+//!
+//! Scoring is fleet-aware: a design point whose fleet axis is not the
+//! singleton is served by [`crate::Fleet`] (replicated or disaggregated),
+//! and its [`Evaluation::area_cm2`] already accounts for every chip — so
+//! "goodput per cm²" compares one big chip against N small ones at equal
+//! silicon, which is exactly the trade the fleet axis searches.
 
+use crate::fleet::Fleet;
 use crate::report::ServeReport;
-use crate::sim::ServeSim;
 use crate::traffic::Trace;
-use fusemax_dse::{DesignPoint, Evaluation};
+use fusemax_dse::{DesignPoint, Evaluation, MeritScore, Objective, PointKey};
 use fusemax_model::ModelParams;
 use rayon::prelude::*;
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// A serving-latency service-level agreement.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,14 +50,26 @@ impl Sla {
 pub struct ServeScore {
     /// Whether the SLA held over the whole trace.
     pub meets_sla: bool,
-    /// Completed requests per second per cm² of chip — the serving-cost
-    /// merit used to rank SLA-feasible designs.
+    /// Completed requests per second per cm² of **total fleet silicon**
+    /// — the serving-cost merit used to rank SLA-feasible designs.
     pub goodput_per_cm2: f64,
-    /// The full simulation report behind the score.
+    /// The full (fleet-level, when the point's fleet axis is not the
+    /// singleton) simulation report behind the score.
     pub report: ServeReport,
 }
 
 /// Scores design points by simulating a traffic trace against them.
+///
+/// Two modes of use:
+///
+/// * **In the loop** — hand it to the sweeper
+///   ([`fusemax_dse::Sweeper::with_objective`]) and every search
+///   strategy optimizes SLA-feasible goodput per cm² *while it
+///   searches*, with the fleet axis searchable like any other. Scores
+///   are memoized per design point, so a point revisited across
+///   generations pays the trace replay once.
+/// * **Post hoc** — [`ServeObjective::rank`] re-ranks a finished sweep's
+///   evaluations, best server first.
 ///
 /// # Example
 ///
@@ -71,19 +92,52 @@ pub struct ServeScore {
 /// let ranked = objective.rank(&outcome.evaluations, &ModelParams::default());
 /// assert_eq!(ranked.len(), outcome.evaluations.len());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ServeObjective {
     trace: Trace,
     sla: Sla,
+    params: ModelParams,
     parallel: bool,
+    // Trace replays are pure per design point, so in-loop scoring keeps
+    // a memo: genetic/annealing walkers revisit points freely without
+    // paying the simulation twice.
+    memo: Mutex<HashMap<PointKey, ServeScore>>,
+}
+
+impl Clone for ServeObjective {
+    fn clone(&self) -> Self {
+        ServeObjective {
+            trace: self.trace.clone(),
+            sla: self.sla,
+            params: self.params.clone(),
+            parallel: self.parallel,
+            memo: Mutex::new(self.memo.lock().expect("serve objective memo poisoned").clone()),
+        }
+    }
 }
 
 impl ServeObjective {
-    /// An objective serving `trace` under `sla`. Ranking simulates the
-    /// frontier designs on all cores by default
+    /// An objective serving `trace` under `sla`. In-loop scoring uses
+    /// [`ModelParams::default`] unless overridden with
+    /// [`ServeObjective::with_params`]; ranking simulates the frontier
+    /// designs on all cores by default
     /// ([`ServeObjective::with_parallelism`]).
     pub fn new(trace: Trace, sla: Sla) -> Self {
-        ServeObjective { trace, sla, parallel: true }
+        ServeObjective {
+            trace,
+            sla,
+            params: ModelParams::default(),
+            parallel: true,
+            memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Sets the model parameters in-loop scoring simulates with — match
+    /// them to the sweeper's so the serving merit and the latency
+    /// numbers describe the same hardware.
+    pub fn with_params(mut self, params: ModelParams) -> Self {
+        self.params = params;
+        self
     }
 
     /// Switches between parallel (`true`, the default) and serial
@@ -107,16 +161,12 @@ impl ServeObjective {
         self.sla
     }
 
-    /// Simulates the trace on `point` and scores the outcome.
-    /// `area_cm2` is the design's chip area (available as
-    /// [`Evaluation::area_cm2`] for swept points).
-    pub fn score_point(
-        &self,
-        point: &DesignPoint,
-        area_cm2: f64,
-        params: &ModelParams,
-    ) -> ServeScore {
-        let report = ServeSim::for_point(point, params).run(&self.trace);
+    /// Simulates the trace on `point` — through [`Fleet`], so the
+    /// point's fleet axis (replicas, router, disaggregation) is honored
+    /// — and scores the outcome. `area_cm2` is the design's **total**
+    /// silicon ([`Evaluation::area_cm2`] for swept points).
+    pub fn score_point(&self, point: &DesignPoint, area_cm2: f64, params: &ModelParams) -> ServeScore {
+        let report = Fleet::for_point(point, params).run(&self.trace);
         ServeScore {
             meets_sla: self.sla.met_by(&report),
             goodput_per_cm2: if area_cm2 > 0.0 { report.goodput_rps / area_cm2 } else { 0.0 },
@@ -124,16 +174,28 @@ impl ServeObjective {
         }
     }
 
-    /// Scores one swept evaluation.
-    pub fn score(&self, evaluation: &Evaluation, params: &ModelParams) -> ServeScore {
-        self.score_point(&evaluation.point, evaluation.area_cm2, params)
+    /// The full serving score behind [`Objective::score`] for one
+    /// evaluation, memoized per design point (using the objective's own
+    /// [`ServeObjective::with_params`] parameters).
+    pub fn score_detailed(&self, evaluation: &Evaluation) -> ServeScore {
+        let key = PointKey::of(&evaluation.point);
+        if let Some(hit) = self.memo.lock().expect("serve objective memo poisoned").get(&key) {
+            return hit.clone();
+        }
+        let score = self.score_point(&evaluation.point, evaluation.area_cm2, &self.params);
+        self.memo
+            .lock()
+            .expect("serve objective memo poisoned")
+            .entry(key)
+            .or_insert(score)
+            .clone()
     }
 
     /// Scores `evaluations` and returns them **best first** by
     /// served-traffic merit: SLA-meeting designs ahead of SLA-missing
-    /// ones; within the feasible set, highest goodput per area first;
-    /// within the infeasible set, lowest p99 TTFT first. Ties break by
-    /// smaller area, then arrival order — fully deterministic.
+    /// ones; within the feasible set, highest goodput per total area
+    /// first; within the infeasible set, lowest p99 TTFT first. Ties
+    /// break by smaller area, then arrival order — fully deterministic.
     ///
     /// Ranking compares serving behavior, which is only meaningful for
     /// designs serving the *same* workload — pass one
@@ -148,11 +210,12 @@ impl ServeObjective {
         // Each design's replay is independent (its own ServiceTimeTable,
         // its own report), so the frontier fans out across cores; the
         // order-preserving collect keeps scoring deterministic.
+        let score = |e: &Arc<Evaluation>| self.score_point(&e.point, e.area_cm2, params);
         let mut scored: Vec<(Arc<Evaluation>, ServeScore)> =
             if self.parallel && evaluations.len() > 1 {
-                evaluations.par_iter().map(|e| (Arc::clone(e), self.score(e, params))).collect()
+                evaluations.par_iter().map(|e| (Arc::clone(e), score(e))).collect()
             } else {
-                evaluations.iter().map(|e| (Arc::clone(e), self.score(e, params))).collect()
+                evaluations.iter().map(|e| (Arc::clone(e), score(e))).collect()
             };
         scored.sort_by(|(ea, sa), (eb, sb)| {
             sb.meets_sla
@@ -170,6 +233,8 @@ impl ServeObjective {
     }
 
     /// The best design under this objective, if any were given.
+    #[deprecated(note = "use `rank(..).into_iter().next()`, or search with \
+                         `Sweeper::with_objective` to optimize in the loop")]
     pub fn best(
         &self,
         evaluations: &[Arc<Evaluation>],
@@ -179,11 +244,28 @@ impl ServeObjective {
     }
 }
 
+impl Objective for ServeObjective {
+    fn name(&self) -> &str {
+        "sla-goodput-per-cm2"
+    }
+
+    /// SLA-feasible designs carry their goodput per total cm² as merit;
+    /// infeasible ones carry `-p99 TTFT`, so "less infeasible" still
+    /// compares greater and the search can climb toward feasibility.
+    fn score(&self, evaluation: &Evaluation) -> MeritScore {
+        let score = self.score_detailed(evaluation);
+        MeritScore {
+            feasible: score.meets_sla,
+            merit: if score.meets_sla { score.goodput_per_cm2 } else { -score.report.ttft.p99 },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::traffic::{Arrivals, LengthMix, TrafficSpec};
-    use fusemax_dse::{DesignSpace, Sweeper};
+    use fusemax_dse::{DesignSpace, FleetSpec, Sweeper};
     use fusemax_workloads::TransformerConfig;
 
     fn trace(rate: f64, requests: usize) -> Trace {
@@ -245,5 +327,61 @@ mod tests {
         for w in ranked.windows(2) {
             assert!(w[0].1.report.ttft.p99 <= w[1].1.report.ttft.p99);
         }
+    }
+
+    #[test]
+    fn the_objective_trait_mirrors_the_detailed_score() {
+        let space = DesignSpace::new()
+            .with_array_dims([64, 256])
+            .with_workloads([TransformerConfig::bert()]);
+        let params = ModelParams::default();
+        let outcome = Sweeper::new(params.clone()).sweep(&space);
+        let objective =
+            ServeObjective::new(trace(30.0, 20), Sla::p99_ttft(0.25)).with_params(params);
+        for evaluation in &outcome.evaluations {
+            let detail = objective.score_detailed(evaluation);
+            let merit = Objective::score(&objective, evaluation);
+            assert_eq!(merit.feasible, detail.meets_sla);
+            if detail.meets_sla {
+                assert_eq!(merit.merit, detail.goodput_per_cm2);
+            } else {
+                assert_eq!(merit.merit, -detail.report.ttft.p99);
+            }
+        }
+    }
+
+    #[test]
+    fn in_loop_scores_are_memoized_per_point() {
+        let space =
+            DesignSpace::new().with_array_dims([128]).with_workloads([TransformerConfig::bert()]);
+        let params = ModelParams::default();
+        let outcome = Sweeper::new(params.clone()).sweep(&space);
+        let objective =
+            ServeObjective::new(trace(30.0, 15), Sla::p99_ttft(0.25)).with_params(params);
+        let evaluation = &outcome.evaluations[0];
+        let first = Objective::score(&objective, evaluation);
+        let again = Objective::score(&objective, evaluation);
+        assert_eq!(first, again);
+        assert_eq!(objective.memo.lock().unwrap().len(), 1, "second score must hit the memo");
+    }
+
+    #[test]
+    fn fleet_points_score_through_the_fleet_path() {
+        let space =
+            DesignSpace::new().with_array_dims([128]).with_workloads([TransformerConfig::bert()]);
+        let params = ModelParams::default();
+        let outcome = Sweeper::new(params.clone()).sweep(&space);
+        let single = &outcome.evaluations[0];
+        let mut fleet_eval = (**single).clone();
+        fleet_eval.point.fleet = FleetSpec::replicated(4);
+        fleet_eval.area_cm2 = single.area_cm2 * 4.0;
+
+        let heavy = trace(600.0, 40);
+        let objective = ServeObjective::new(heavy, Sla::p99_ttft(0.25)).with_params(params);
+        let fleet_score = objective.score_detailed(&fleet_eval);
+        let single_score = objective.score_detailed(single);
+        // Four chips drain the same queue faster than one.
+        assert!(fleet_score.report.ttft.p99 <= single_score.report.ttft.p99);
+        assert!(fleet_score.report.makespan_s <= single_score.report.makespan_s);
     }
 }

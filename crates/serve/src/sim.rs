@@ -85,12 +85,13 @@ struct Active {
 /// }
 /// .generate(7);
 ///
-/// let sim = ServeSim::new(
+/// let sim = ServeSim::builder(
 ///     ConfigKind::FuseMaxBinding,
 ///     ConfigKind::FuseMaxBinding.default_arch(),
 ///     TransformerConfig::bert(),
 ///     ModelParams::default(),
-/// );
+/// )
+/// .build();
 /// let report = sim.run(&trace);
 /// assert_eq!(report.completed, 40);
 /// assert_eq!(report, sim.run(&trace), "replay is bit-identical");
@@ -103,30 +104,84 @@ pub struct ServeSim {
     params: ModelParams,
     policy: SchedulerPolicy,
     recorder: Recorder,
+    /// Decode-chip mode for disaggregated fleets: admitted requests
+    /// arrive with their prompt already prefilled elsewhere, so they go
+    /// straight to decode and contribute no TTFT sample of their own.
+    start_prefilled: bool,
+}
+
+/// The one construction path for [`ServeSim`]: pick a policy and a
+/// recorder, then [`build`](ServeSimBuilder::build). Every replay of the
+/// built simulator goes through the precomputed [`ServiceTimeTable`]
+/// path ([`ServeSim::run`] builds the table, [`ServeSim::run_with`]
+/// reuses one).
+#[derive(Debug, Clone)]
+pub struct ServeSimBuilder {
+    sim: ServeSim,
+}
+
+impl ServeSimBuilder {
+    /// Replaces the scheduler policy. [`SchedulerPolicy::unbounded`]
+    /// (the default) reproduces the pre-policy engine byte-for-byte.
+    pub fn policy(mut self, policy: SchedulerPolicy) -> Self {
+        self.sim.policy = policy;
+        self
+    }
+
+    /// Attaches a telemetry recorder: every replay emits arrival,
+    /// admission, prefill, decode-iteration, completion, and queue-depth
+    /// events at **simulated** timestamps. Instrumentation never changes
+    /// the report — the engine is single-threaded and the recorder is
+    /// write-only — so instrumented and uninstrumented replays are
+    /// bit-identical (test-enforced), and the event stream itself replays
+    /// byte-identically for a given trace.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.sim.recorder = recorder;
+        self
+    }
+
+    /// The finished simulator.
+    pub fn build(self) -> ServeSim {
+        self.sim
+    }
 }
 
 impl ServeSim {
-    /// A simulator for `kind` running on `arch`, serving `workload` under
-    /// the default whole-prompt/FCFS scheduler
-    /// ([`SchedulerPolicy::unbounded`]).
+    /// A builder for a simulator for `kind` running on `arch`, serving
+    /// `workload` — by default under the whole-prompt/FCFS scheduler
+    /// ([`SchedulerPolicy::unbounded`]) with telemetry disabled.
+    pub fn builder(
+        kind: ConfigKind,
+        arch: ArchConfig,
+        workload: TransformerConfig,
+        params: ModelParams,
+    ) -> ServeSimBuilder {
+        ServeSimBuilder {
+            sim: ServeSim {
+                kind,
+                arch,
+                workload,
+                params,
+                policy: SchedulerPolicy::unbounded(),
+                recorder: Recorder::disabled(),
+                start_prefilled: false,
+            },
+        }
+    }
+
+    /// A simulator with the default policy and no recorder.
+    #[deprecated(note = "use `ServeSim::builder(kind, arch, workload, params).build()`")]
     pub fn new(
         kind: ConfigKind,
         arch: ArchConfig,
         workload: TransformerConfig,
         params: ModelParams,
     ) -> Self {
-        ServeSim {
-            kind,
-            arch,
-            workload,
-            params,
-            policy: SchedulerPolicy::unbounded(),
-            recorder: Recorder::disabled(),
-        }
+        Self::builder(kind, arch, workload, params).build()
     }
 
-    /// Replaces the scheduler policy. [`SchedulerPolicy::unbounded`]
-    /// (the default) reproduces the pre-policy engine byte-for-byte.
+    /// Replaces the scheduler policy.
+    #[deprecated(note = "use `ServeSim::builder(...).policy(...)`")]
     pub fn with_policy(mut self, policy: SchedulerPolicy) -> Self {
         self.policy = policy;
         self
@@ -137,13 +192,8 @@ impl ServeSim {
         self.policy
     }
 
-    /// Attaches a telemetry recorder: every replay emits arrival,
-    /// admission, prefill, decode-iteration, completion, and queue-depth
-    /// events at **simulated** timestamps. Instrumentation never changes
-    /// the report — the engine is single-threaded and the recorder is
-    /// write-only — so instrumented and uninstrumented replays are
-    /// bit-identical (test-enforced), and the event stream itself replays
-    /// byte-identically for a given trace.
+    /// Attaches a telemetry recorder.
+    #[deprecated(note = "use `ServeSim::builder(...).recorder(...)`")]
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
         self.recorder = recorder;
         self
@@ -152,10 +202,33 @@ impl ServeSim {
     /// A simulator for a DSE design point: the point's configuration,
     /// architecture, workload, **and scheduler policy** — so
     /// policy-extended searches co-design hardware and scheduler through
-    /// the same serving objective.
+    /// the same serving objective. (The point's *fleet* axis is the
+    /// [`crate::Fleet`] layer's concern: this is one replica chip.)
     pub fn for_point(point: &DesignPoint, params: &ModelParams) -> Self {
-        Self::new(point.kind, point.arch.clone(), point.workload.clone(), params.clone())
-            .with_policy(point.policy)
+        Self::builder_for_point(point, params).build()
+    }
+
+    /// A builder seeded from a DSE design point — [`ServeSim::for_point`]
+    /// plus the ability to override the scheduler policy or attach a
+    /// telemetry recorder before building.
+    pub fn builder_for_point(point: &DesignPoint, params: &ModelParams) -> ServeSimBuilder {
+        Self::builder(point.kind, point.arch.clone(), point.workload.clone(), params.clone())
+            .policy(point.policy)
+    }
+
+    /// A copy of this simulator re-armed as one fleet replica chip: same
+    /// design, fresh recorder, optionally in decode-only
+    /// (`start_prefilled`) mode.
+    pub(crate) fn fleet_replica(&self, recorder: Recorder, start_prefilled: bool) -> ServeSim {
+        let mut sim = self.clone();
+        sim.recorder = recorder;
+        sim.start_prefilled = start_prefilled;
+        sim
+    }
+
+    /// The workload being served.
+    pub(crate) fn workload(&self) -> &TransformerConfig {
+        &self.workload
     }
 
     /// The architecture being served.
@@ -205,6 +278,15 @@ impl ServeSim {
     /// [`ServeSim::run`] either way because fallback lookups compute the
     /// exact same values.
     pub fn run_with(&self, costs: &ServiceTimeTable, trace: &Trace) -> ServeReport {
+        self.run_sampled_with(costs, trace).0
+    }
+
+    /// [`ServeSim::run_with`], additionally returning the raw
+    /// per-request samples behind the report's quantiles — the fleet
+    /// layer merges replicas by concatenating these and recomputing
+    /// exact quantiles over the union, so fleet-level tails are never
+    /// approximated from per-replica summaries.
+    pub fn run_sampled_with(&self, costs: &ServiceTimeTable, trace: &Trace) -> (ServeReport, RunSamples) {
         let reqs = &trace.requests;
         let buffer = self.arch.global_buffer_bytes;
 
@@ -221,6 +303,7 @@ impl ServeSim {
         let mut ttft = Vec::with_capacity(reqs.len());
         let mut e2e = Vec::with_capacity(reqs.len());
         let mut tpot = Vec::new();
+        let mut completions: Vec<(usize, f64)> = Vec::with_capacity(reqs.len());
         let mut completed = 0usize;
         let mut output_tokens = 0usize;
 
@@ -281,15 +364,22 @@ impl ServeSim {
                 resident_bytes += bytes;
                 active.push(Active {
                     idx: i,
-                    prefilled: false,
+                    prefilled: self.start_prefilled,
                     // Prefill produces the first output token; a
                     // hand-built request with `output_tokens = 0` behaves
                     // like 1 rather than underflowing.
                     remaining: reqs[i].output_tokens.saturating_sub(1),
-                    context: reqs[i].prompt_tokens,
-                    prefilled_tokens: 0,
+                    context: if self.start_prefilled {
+                        reqs[i].prompt_tokens + 1
+                    } else {
+                        reqs[i].prompt_tokens
+                    },
+                    prefilled_tokens: if self.start_prefilled { reqs[i].prompt_tokens } else { 0 },
                     kv_bytes: bytes,
-                    first_token_s: 0.0,
+                    // In decode-only mode the first token already exists;
+                    // clocking it at admission makes TPOT measure this
+                    // chip's decode cadence.
+                    first_token_s: if self.start_prefilled { clock } else { 0.0 },
                 });
             }
             peak_resident_bytes = peak_resident_bytes.max(resident_bytes);
@@ -354,7 +444,11 @@ impl ServeSim {
             // Apply the iteration's outcomes.
             for (a, grant) in active.iter_mut().zip(&granted) {
                 if a.prefilled {
-                    a.remaining -= 1;
+                    // Saturating: a decode-only request hand-built with
+                    // `output_tokens <= 1` decodes once instead of
+                    // underflowing (normal-mode requests always carry
+                    // `remaining >= 1` here).
+                    a.remaining = a.remaining.saturating_sub(1);
                     a.context += 1;
                     continue;
                 }
@@ -382,6 +476,7 @@ impl ServeSim {
                     resident_bytes -= a.kv_bytes;
                     completed += 1;
                     output_tokens += r.output_tokens;
+                    completions.push((r.id, clock));
                     e2e.push(clock - r.arrival_s);
                     if r.output_tokens > 1 {
                         tpot.push((clock - a.first_token_s) / (r.output_tokens - 1) as f64);
@@ -393,7 +488,7 @@ impl ServeSim {
         }
 
         let makespan = clock;
-        ServeReport {
+        let report = ServeReport {
             completed,
             output_tokens,
             iterations,
@@ -412,8 +507,26 @@ impl ServeSim {
             ttft: LatencyStats::of(&mut ttft),
             tpot: LatencyStats::of(&mut tpot),
             e2e: LatencyStats::of(&mut e2e),
-        }
+        };
+        (report, RunSamples { ttft, tpot, e2e, completions })
     }
+}
+
+/// The raw per-request samples behind a [`ServeReport`]: what
+/// [`LatencyStats`] summarized (sample vectors are returned sorted, as
+/// the quantile pass left them) plus each request's completion time.
+/// Fleet merges concatenate these across replicas and recompute exact
+/// quantiles over the union.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunSamples {
+    /// Time-to-first-token samples, one per prefilled request.
+    pub ttft: Vec<f64>,
+    /// Mean time-per-output-token samples, one per multi-token request.
+    pub tpot: Vec<f64>,
+    /// End-to-end latency samples, one per completed request.
+    pub e2e: Vec<f64>,
+    /// `(request id, completion time)` in retirement order.
+    pub completions: Vec<(usize, f64)>,
 }
 
 #[cfg(test)]
@@ -421,8 +534,17 @@ mod tests {
     use super::*;
     use crate::traffic::{Arrivals, LengthMix, TrafficSpec};
 
+    fn bert_builder(kind: ConfigKind) -> ServeSimBuilder {
+        ServeSim::builder(
+            kind,
+            kind.default_arch(),
+            TransformerConfig::bert(),
+            ModelParams::default(),
+        )
+    }
+
     fn bert_sim(kind: ConfigKind) -> ServeSim {
-        ServeSim::new(kind, kind.default_arch(), TransformerConfig::bert(), ModelParams::default())
+        bert_builder(kind).build()
     }
 
     fn small_trace(rate: f64, requests: usize) -> Trace {
@@ -525,7 +647,7 @@ mod tests {
         let trace = small_trace(300.0, 50);
         let plain = bert_sim(ConfigKind::FuseMaxBinding);
         let (recorder, sink) = VecSink::recorder();
-        let traced = bert_sim(ConfigKind::FuseMaxBinding).with_recorder(recorder);
+        let traced = bert_builder(ConfigKind::FuseMaxBinding).recorder(recorder).build();
         assert_eq!(plain.run(&trace), traced.run(&trace));
         assert!(!sink.is_empty(), "instrumented run must actually emit events");
     }
@@ -537,9 +659,9 @@ mod tests {
         let render =
             |events: &[Event]| events.iter().map(event_json).collect::<Vec<_>>().join("\n");
         let (r1, s1) = VecSink::recorder();
-        bert_sim(ConfigKind::FuseMaxBinding).with_recorder(r1).run(&trace);
+        bert_builder(ConfigKind::FuseMaxBinding).recorder(r1).build().run(&trace);
         let (r2, s2) = VecSink::recorder();
-        bert_sim(ConfigKind::FuseMaxBinding).with_recorder(r2).run(&trace);
+        bert_builder(ConfigKind::FuseMaxBinding).recorder(r2).build().run(&trace);
         assert_eq!(render(&s1.events()), render(&s2.events()));
     }
 
@@ -548,7 +670,7 @@ mod tests {
         use fusemax_telemetry::VecSink;
         let trace = small_trace(500.0, 40);
         let (recorder, sink) = VecSink::recorder();
-        let report = bert_sim(ConfigKind::FuseMaxBinding).with_recorder(recorder).run(&trace);
+        let report = bert_builder(ConfigKind::FuseMaxBinding).recorder(recorder).build().run(&trace);
         let count = |pick: &dyn Fn(&ServeEvent) -> bool| {
             sink.events()
                 .iter()
@@ -579,15 +701,16 @@ mod tests {
         let trace = small_trace(300.0, 50);
         let plain = bert_sim(ConfigKind::FuseMaxBinding);
         let chunked =
-            bert_sim(ConfigKind::FuseMaxBinding).with_policy(SchedulerPolicy::chunked(1 << 20));
+            bert_builder(ConfigKind::FuseMaxBinding).policy(SchedulerPolicy::chunked(1 << 20)).build();
         assert_eq!(plain.run(&trace), chunked.run(&trace));
     }
 
     #[test]
     fn chunked_replays_complete_every_request_with_zero_table_misses() {
         let trace = small_trace(400.0, 60);
-        let sim = bert_sim(ConfigKind::FuseMaxBinding)
-            .with_policy(SchedulerPolicy::chunked(192).with_waiting_served_ratio(1.2));
+        let sim = bert_builder(ConfigKind::FuseMaxBinding)
+            .policy(SchedulerPolicy::chunked(192).with_waiting_served_ratio(1.2))
+            .build();
         let costs = sim.service_times(&trace);
         let report = sim.run_with(&costs, &trace);
         assert_eq!(report.completed, 60);
@@ -603,9 +726,10 @@ mod tests {
         use fusemax_telemetry::VecSink;
         let trace = small_trace(400.0, 40);
         let (recorder, sink) = VecSink::recorder();
-        let report = bert_sim(ConfigKind::FuseMaxBinding)
-            .with_policy(SchedulerPolicy::chunked(256))
-            .with_recorder(recorder)
+        let report = bert_builder(ConfigKind::FuseMaxBinding)
+            .policy(SchedulerPolicy::chunked(256))
+            .recorder(recorder)
+            .build()
             .run(&trace);
         let count = |pick: &dyn Fn(&ServeEvent) -> bool| {
             sink.events()
@@ -658,18 +782,18 @@ mod tests {
         let per_token = bert.kv_bytes_per_token(arch.word_bytes) / bert.layers as u64;
         arch.global_buffer_bytes = per_token * 4200;
         let sim = |order| {
-            ServeSim::new(
+            ServeSim::builder(
                 ConfigKind::FuseMaxBinding,
                 arch.clone(),
                 bert.clone(),
                 ModelParams::default(),
             )
-            .with_policy(SchedulerPolicy::unbounded().with_queue_order(order))
+            .policy(SchedulerPolicy::unbounded().with_queue_order(order))
         };
         use fusemax_telemetry::VecSink;
         let ttft_of = |order| {
             let (recorder, sink) = VecSink::recorder();
-            sim(order).with_recorder(recorder).run(&trace);
+            sim(order).recorder(recorder).build().run(&trace);
             sink.events()
                 .iter()
                 .filter_map(|e| match e {
@@ -690,9 +814,10 @@ mod tests {
         let greedy = bert_sim(ConfigKind::FuseMaxBinding).run(&trace);
         use fusemax_telemetry::VecSink;
         let (recorder, sink) = VecSink::recorder();
-        let gated = bert_sim(ConfigKind::FuseMaxBinding)
-            .with_policy(SchedulerPolicy::unbounded().with_waiting_served_ratio(4.0))
-            .with_recorder(recorder)
+        let gated = bert_builder(ConfigKind::FuseMaxBinding)
+            .policy(SchedulerPolicy::unbounded().with_waiting_served_ratio(4.0))
+            .recorder(recorder)
+            .build()
             .run(&trace);
         // Everyone still completes; the ratio only re-times admissions.
         assert_eq!(gated.completed, greedy.completed);
@@ -702,6 +827,69 @@ mod tests {
             .filter(|e| matches!(e, Event::Serve { kind: ServeEvent::WaitingDepth { .. }, .. }))
             .count();
         assert!(waiting_samples > 0, "non-default policies must sample waiting depth");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_shims_match_the_builder() {
+        let trace = small_trace(300.0, 30);
+        let kind = ConfigKind::FuseMaxBinding;
+        let shimmed =
+            ServeSim::new(kind, kind.default_arch(), TransformerConfig::bert(), ModelParams::default())
+                .with_policy(SchedulerPolicy::chunked(256));
+        let built = bert_builder(kind).policy(SchedulerPolicy::chunked(256)).build();
+        assert_eq!(shimmed.run(&trace), built.run(&trace));
+    }
+
+    #[test]
+    fn sampled_runs_return_the_quantile_sample_multisets() {
+        let trace = small_trace(300.0, 40);
+        let sim = bert_sim(ConfigKind::FuseMaxBinding);
+        let costs = sim.service_times(&trace);
+        let (report, samples) = sim.run_sampled_with(&costs, &trace);
+        assert_eq!(report, sim.run_with(&costs, &trace));
+        assert_eq!(samples.e2e.len(), report.completed);
+        assert_eq!(samples.completions.len(), report.completed);
+        let mut e2e = samples.e2e.clone();
+        assert_eq!(LatencyStats::of(&mut e2e), report.e2e);
+        for &(id, done) in &samples.completions {
+            let r = trace.requests.iter().find(|r| r.id == id).expect("completion id in trace");
+            assert!(done >= r.arrival_s, "completion precedes arrival");
+        }
+    }
+
+    #[test]
+    fn decode_only_mode_skips_prefill_and_measures_decode_cadence() {
+        use fusemax_telemetry::VecSink;
+        let mk = |id, at, prompt, output| crate::traffic::Request {
+            id,
+            arrival_s: at,
+            prompt_tokens: prompt,
+            output_tokens: output,
+        };
+        let trace = Trace { requests: vec![mk(0, 0.0, 512, 8), mk(1, 0.01, 256, 4)] };
+        let (recorder, sink) = VecSink::recorder();
+        let sim = bert_sim(ConfigKind::FuseMaxBinding).fleet_replica(recorder, true);
+        let costs = sim.service_times(&trace);
+        let (report, samples) = sim.run_sampled_with(&costs, &trace);
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.ttft.samples, 0, "decode chips never produce first tokens");
+        assert_eq!(samples.tpot.len(), 2);
+        let prefills = sink
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::Serve { kind: ServeEvent::PrefillStart { .. }, .. }
+                        | Event::Serve { kind: ServeEvent::PrefillEnd { .. }, .. }
+                )
+            })
+            .count();
+        assert_eq!(prefills, 0, "decode-only streams carry no prefill events");
+        // Each request decodes output - 1 tokens: 7 + 3 iterations'
+        // worth of work, but batched iterations may overlap them.
+        assert!(report.iterations >= 7);
     }
 
     #[test]

@@ -154,6 +154,25 @@ pub enum ServeEvent {
         /// Requests held in the waiting queue.
         depth: usize,
     },
+    /// The fleet router assigned a request to a replica (fleet runs
+    /// only; single-chip streams never carry this, so their traces stay
+    /// byte-identical to the pre-fleet goldens).
+    Route {
+        /// Trace request id.
+        req: u64,
+        /// Replica index the request was routed to.
+        replica: usize,
+    },
+    /// A prefill chip handed a request's K/V cache to a decode chip
+    /// (disaggregated fleets only), charged at DRAM bandwidth.
+    KvTransfer {
+        /// Trace request id.
+        req: u64,
+        /// Bytes of K/V state moved.
+        bytes: u64,
+        /// Wire time of the transfer in seconds.
+        seconds: f64,
+    },
 }
 
 /// A finite `f64` as a JSON number (`null` for non-finite values, which
@@ -241,6 +260,15 @@ pub fn event_json(event: &Event) -> String {
                 ServeEvent::Dequeue { req } => format!("\"kind\":\"dequeue\",\"req\":{req}"),
                 ServeEvent::WaitingDepth { depth } => {
                     format!("\"kind\":\"waiting_depth\",\"depth\":{depth}")
+                }
+                ServeEvent::Route { req, replica } => {
+                    format!("\"kind\":\"route\",\"req\":{req},\"replica\":{replica}")
+                }
+                ServeEvent::KvTransfer { req, bytes, seconds } => {
+                    format!(
+                        "\"kind\":\"kv_transfer\",\"req\":{req},\"bytes\":{bytes},\"seconds\":{}",
+                        num(*seconds)
+                    )
                 }
             };
             format!("{{\"type\":\"serve\",\"t_s\":{},{body}}}", num(*t_s))

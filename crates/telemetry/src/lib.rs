@@ -20,10 +20,12 @@
 //!   [`Metrics::from_events`] or accumulated live via [`MetricsSink`],
 //!   and snapshotted as deterministic JSON with
 //!   [`Metrics::summary_json`].
-//! - [`serve_trace_json`] / [`search_trace_json`] — Chrome-trace JSON
-//!   for `chrome://tracing` / <https://ui.perfetto.dev>, with
-//!   [`validate_chrome_trace`] as the parser-free validity gate CI runs
-//!   on every exported trace.
+//! - [`serve_trace_json`] / [`fleet_trace_json`] / [`search_trace_json`]
+//!   — Chrome-trace JSON for `chrome://tracing` /
+//!   <https://ui.perfetto.dev> (fleet runs render one process per
+//!   replica chip plus a router process with `Route`/`KvTransfer`
+//!   spans), with [`validate_chrome_trace`] as the parser-free validity
+//!   gate CI runs on every exported trace.
 
 #![warn(missing_docs)]
 
@@ -34,5 +36,7 @@ mod sink;
 
 pub use event::{event_json, Event, SearchEvent, ServeEvent};
 pub use metrics::{Histogram, Metrics, MetricsSink};
-pub use perfetto::{search_trace_json, serve_trace_json, validate_chrome_trace, ChromeTrace};
+pub use perfetto::{
+    fleet_trace_json, search_trace_json, serve_trace_json, validate_chrome_trace, ChromeTrace,
+};
 pub use sink::{FanoutSink, JsonLinesSink, Recorder, RingSink, TelemetrySink, VecSink};

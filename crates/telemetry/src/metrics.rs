@@ -198,6 +198,17 @@ impl Metrics {
                         Histogram::pow2(4096)
                     });
                 }
+                ServeEvent::Route { replica, .. } => {
+                    self.inc("serve.routed", 1);
+                    self.inc(&format!("serve.replica.{replica:02}.routed"), 1);
+                }
+                ServeEvent::KvTransfer { bytes, seconds, .. } => {
+                    self.inc("serve.kv_transfers", 1);
+                    self.inc("serve.kv_transfer_bytes", *bytes);
+                    self.observe_with("serve.kv_transfer_s", *seconds, || {
+                        Histogram::with_bounds(&[1e-4, 1e-3, 1e-2, 1e-1, 1.0])
+                    });
+                }
             },
         }
     }

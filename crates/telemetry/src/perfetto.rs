@@ -116,6 +116,7 @@ impl ChromeTrace {
 const SERVE_PID: u64 = 1;
 const ARRIVAL_TID: u64 = 1000;
 const WAITING_TID: u64 = 1001;
+const ROUTER_TID: u64 = 1002;
 
 /// A prefill window mid-flight: `(start_ts, context_tokens, end_ts)`.
 type PrefillWindow = (f64, usize, Option<f64>);
@@ -130,16 +131,37 @@ type SlotState = (u64, f64, Option<PrefillWindow>);
 /// and waiting depth. Timestamps are simulated seconds scaled to trace
 /// microseconds.
 pub fn serve_trace_json(events: &[Event]) -> String {
-    let us = |t_s: f64| t_s * 1e6;
     let mut trace = ChromeTrace::new();
-    trace.process(SERVE_PID, "serve");
-    trace.thread(SERVE_PID, ARRIVAL_TID, "arrivals");
+    add_serve_stream(&mut trace, SERVE_PID, "serve", events);
+    trace.to_json()
+}
+
+/// Render a fleet run as a Chrome trace: each named stream (the router's
+/// `Route`/`KvTransfer` stream plus one serve stream per replica chip)
+/// becomes its own trace process, so a disaggregated fleet shows prefill
+/// chips, decode chips, and the K/V handoffs between them on one
+/// timeline. Stream order fixes the process ids, so the bytes are a pure
+/// function of the input.
+pub fn fleet_trace_json(streams: &[(&str, &[Event])]) -> String {
+    let mut trace = ChromeTrace::new();
+    for (idx, (name, events)) in streams.iter().enumerate() {
+        add_serve_stream(&mut trace, idx as u64 + 1, name, events);
+    }
+    trace.to_json()
+}
+
+/// One serve event stream rendered as one trace process (`pid`).
+fn add_serve_stream(trace: &mut ChromeTrace, pid: u64, name: &str, events: &[Event]) {
+    let us = |t_s: f64| t_s * 1e6;
+    trace.process(pid, name);
+    trace.thread(pid, ARRIVAL_TID, "arrivals");
 
     // slot -> (req, admit_ts, prefill window) for in-flight requests.
     let mut slots: Vec<Option<SlotState>> = Vec::new();
     let mut slot_of = std::collections::HashMap::new();
     let mut named_slots = 0usize;
     let mut named_scheduler = false;
+    let mut named_router = false;
     let mut last_t = 0.0f64;
 
     for event in events {
@@ -148,7 +170,7 @@ pub fn serve_trace_json(events: &[Event]) -> String {
         last_t = last_t.max(t);
         match kind {
             ServeEvent::Arrive { req } => {
-                trace.instant("arrive", SERVE_PID, ARRIVAL_TID, t, &format!("\"req\":{req}"));
+                trace.instant("arrive", pid, ARRIVAL_TID, t, &format!("\"req\":{req}"));
             }
             ServeEvent::Admit { req } => {
                 let slot = slots.iter().position(Option::is_none).unwrap_or_else(|| {
@@ -156,7 +178,7 @@ pub fn serve_trace_json(events: &[Event]) -> String {
                     slots.len() - 1
                 });
                 while named_slots <= slot {
-                    trace.thread(SERVE_PID, named_slots as u64, &format!("slot {named_slots}"));
+                    trace.thread(pid, named_slots as u64, &format!("slot {named_slots}"));
                     named_slots += 1;
                 }
                 slots[slot] = Some((*req, t, None));
@@ -179,22 +201,22 @@ pub fn serve_trace_json(events: &[Event]) -> String {
             ServeEvent::Complete { req } => {
                 if let Some(slot) = slot_of.remove(req) {
                     if let Some((req, admit, prefill)) = slots[slot].take() {
-                        close_request(&mut trace, slot as u64, req, admit, t, prefill);
+                        close_request(trace, pid, slot as u64, req, admit, t, prefill);
                     }
                 }
             }
             ServeEvent::DecodeIter { batch, resident_kv } => {
-                trace.counter("batch", SERVE_PID, t, *batch as f64);
-                trace.counter("resident_kv", SERVE_PID, t, *resident_kv as f64);
+                trace.counter("batch", pid, t, *batch as f64);
+                trace.counter("resident_kv", pid, t, *resident_kv as f64);
             }
             ServeEvent::QueueDepthSample { depth } => {
-                trace.counter("queue_depth", SERVE_PID, t, *depth as f64);
+                trace.counter("queue_depth", pid, t, *depth as f64);
             }
             ServeEvent::PrefillChunk { req, tokens, remaining } => {
                 if let Some(&slot) = slot_of.get(req) {
                     trace.instant(
                         &format!("chunk {req}"),
-                        SERVE_PID,
+                        pid,
                         slot as u64,
                         t,
                         &format!("\"req\":{req},\"tokens\":{tokens},\"remaining\":{remaining}"),
@@ -203,20 +225,47 @@ pub fn serve_trace_json(events: &[Event]) -> String {
             }
             ServeEvent::Enqueue { req } => {
                 if !named_scheduler {
-                    trace.thread(SERVE_PID, WAITING_TID, "scheduler");
+                    trace.thread(pid, WAITING_TID, "scheduler");
                     named_scheduler = true;
                 }
-                trace.instant("enqueue", SERVE_PID, WAITING_TID, t, &format!("\"req\":{req}"));
+                trace.instant("enqueue", pid, WAITING_TID, t, &format!("\"req\":{req}"));
             }
             ServeEvent::Dequeue { req } => {
                 if !named_scheduler {
-                    trace.thread(SERVE_PID, WAITING_TID, "scheduler");
+                    trace.thread(pid, WAITING_TID, "scheduler");
                     named_scheduler = true;
                 }
-                trace.instant("dequeue", SERVE_PID, WAITING_TID, t, &format!("\"req\":{req}"));
+                trace.instant("dequeue", pid, WAITING_TID, t, &format!("\"req\":{req}"));
             }
             ServeEvent::WaitingDepth { depth } => {
-                trace.counter("waiting_depth", SERVE_PID, t, *depth as f64);
+                trace.counter("waiting_depth", pid, t, *depth as f64);
+            }
+            ServeEvent::Route { req, replica } => {
+                if !named_router {
+                    trace.thread(pid, ROUTER_TID, "router");
+                    named_router = true;
+                }
+                trace.instant(
+                    &format!("route {replica}"),
+                    pid,
+                    ROUTER_TID,
+                    t,
+                    &format!("\"req\":{req},\"replica\":{replica}"),
+                );
+            }
+            ServeEvent::KvTransfer { req, bytes, seconds } => {
+                if !named_router {
+                    trace.thread(pid, ROUTER_TID, "router");
+                    named_router = true;
+                }
+                trace.complete(
+                    &format!("kv {req}"),
+                    pid,
+                    ROUTER_TID,
+                    t,
+                    us(*seconds),
+                    &format!("\"req\":{req},\"bytes\":{bytes}"),
+                );
             }
         }
     }
@@ -224,14 +273,14 @@ pub fn serve_trace_json(events: &[Event]) -> String {
     // is visible rather than silently dropped.
     for (slot, state) in slots.iter_mut().enumerate() {
         if let Some((req, admit, prefill)) = state.take() {
-            close_request(&mut trace, slot as u64, req, admit, last_t, prefill);
+            close_request(trace, pid, slot as u64, req, admit, last_t, prefill);
         }
     }
-    trace.to_json()
 }
 
 fn close_request(
     trace: &mut ChromeTrace,
+    pid: u64,
     slot: u64,
     req: u64,
     admit_us: f64,
@@ -240,7 +289,7 @@ fn close_request(
 ) {
     trace.complete(
         &format!("req {req}"),
-        SERVE_PID,
+        pid,
         slot,
         admit_us,
         end_us - admit_us,
@@ -250,7 +299,7 @@ fn close_request(
         let end = end.unwrap_or(end_us);
         trace.complete(
             &format!("prefill {req}"),
-            SERVE_PID,
+            pid,
             slot,
             start,
             end - start,
@@ -396,6 +445,22 @@ mod tests {
         assert!(json.contains("\"genetic\""));
         assert!(json.contains("\"hypervolume\""));
         assert!(json.contains("\"frontier_len\""));
+    }
+
+    #[test]
+    fn fleet_trace_renders_router_and_replica_processes() {
+        let router = vec![
+            Event::serve(0.0, ServeEvent::Route { req: 0, replica: 1 }),
+            Event::serve(0.02, ServeEvent::KvTransfer { req: 0, bytes: 4096, seconds: 0.001 }),
+        ];
+        let replica = serve_stream();
+        let json = fleet_trace_json(&[("router", &router), ("replica 0", &replica)]);
+        validate_chrome_trace(&json).expect("valid trace");
+        assert!(json.contains("\"router\""));
+        assert!(json.contains("\"replica 0\""));
+        assert!(json.contains("\"route 1\""));
+        assert!(json.contains("\"kv 0\""));
+        assert_eq!(json, fleet_trace_json(&[("router", &router), ("replica 0", &replica)]));
     }
 
     #[test]

@@ -13,13 +13,23 @@
 //! run as a Chrome-trace/Perfetto JSON timeline — open it at
 //! <https://ui.perfetto.dev> or chrome://tracing — plus a metrics
 //! snapshot at `target/telemetry_summary.json`.
+//!
+//! Fleet flags: `--replicas N` serves the trace on N data-parallel
+//! copies of the +Binding chip, `--router rr|ll|sp` picks the routing
+//! policy (round-robin, least-loaded, shortest-prompt), and
+//! `--disaggregate P:D` dedicates P prefill chips feeding D decode
+//! chips with the K/V handoff charged at DRAM bandwidth.
+//! `--fleet-trace-out PATH` (or `FUSEMAX_FLEET_TRACE`) exports the
+//! fleet run as a Perfetto timeline with one process per chip plus a
+//! router track.
 
-use fusemax::dse::{DesignSpace, Sweeper};
+use fusemax::dse::{DesignSpace, FleetSpec, RouterPolicy, Sweeper};
 use fusemax::model::{ConfigKind, ModelParams};
 use fusemax::serve::{
-    Arrivals, LengthMix, QueueOrder, SchedulerPolicy, ServeObjective, ServeSim, Sla, TrafficSpec,
+    Arrivals, Fleet, LengthMix, QueueOrder, SchedulerPolicy, ServeObjective, ServeSim, Sla,
+    TrafficSpec,
 };
-use fusemax::telemetry::{serve_trace_json, Metrics, VecSink};
+use fusemax::telemetry::{fleet_trace_json, serve_trace_json, Event, Metrics, VecSink};
 use fusemax::workloads::TransformerConfig;
 
 /// `--flag <value>` from argv, with a default.
@@ -104,15 +114,14 @@ fn main() {
             kind.label(),
             arch.max_resident_requests(mean_request_bytes),
         );
-        let mut sim = ServeSim::new(kind, arch, bert.clone(), params.clone()).with_policy(policy);
+        let builder = ServeSim::builder(kind, arch, bert.clone(), params.clone()).policy(policy);
         // Instrument the +Binding run when a trace path was requested;
         // telemetry is write-only, so the printed report is unchanged.
-        let sink = if trace_out.is_some() && kind == ConfigKind::FuseMaxBinding {
+        let (sim, sink) = if trace_out.is_some() && kind == ConfigKind::FuseMaxBinding {
             let (recorder, sink) = VecSink::recorder();
-            sim = sim.with_recorder(recorder);
-            Some(sink)
+            (builder.recorder(recorder).build(), Some(sink))
         } else {
-            None
+            (builder.build(), None)
         };
         println!("{}", sim.run(&trace));
         if let (Some(path), Some(sink)) = (&trace_out, sink) {
@@ -131,7 +140,74 @@ fn main() {
         }
     }
 
-    // --- 3. SLA-aware design selection over the Fig 12 chip family. ---
+    // --- 3. Fleet serving: data-parallel replicas / disaggregation. ---
+    let replicas = arg("--replicas", 1.0) as usize;
+    let router = match str_arg("--router", "FUSEMAX_ROUTER").as_deref() {
+        Some(tok) => RouterPolicy::parse(tok)
+            .unwrap_or_else(|| panic!("unknown --router {tok:?} (expected rr, ll, or sp)")),
+        None => RouterPolicy::RoundRobin,
+    };
+    let fleet_spec = match str_arg("--disaggregate", "FUSEMAX_DISAGGREGATE") {
+        Some(pd) => {
+            let (p, d) = pd.split_once(':').expect("--disaggregate expects P:D, e.g. 1:3");
+            FleetSpec::disaggregated(
+                p.parse().expect("prefill chip count"),
+                d.parse().expect("decode chip count"),
+            )
+        }
+        None => FleetSpec::replicated(replicas),
+    }
+    .with_router(router);
+    let fleet_trace_out = str_arg("--fleet-trace-out", "FUSEMAX_FLEET_TRACE");
+    if !fleet_spec.is_single() {
+        let kind = ConfigKind::FuseMaxBinding;
+        let replica = ServeSim::builder(kind, kind.default_arch(), bert.clone(), params.clone())
+            .policy(policy)
+            .build();
+        let mut fleet = Fleet::new(fleet_spec, replica);
+        let fleet_sink = if fleet_trace_out.is_some() {
+            let (recorder, sink) = VecSink::recorder();
+            fleet = fleet.with_recorder(recorder);
+            Some(sink)
+        } else {
+            None
+        };
+        let detailed = fleet.run_detailed(&trace);
+        println!("\n[{} fleet {fleet_spec}] merged report:", kind.label());
+        println!("{}", detailed.merged);
+        if detailed.kv_transfer_bytes > 0 {
+            println!(
+                "K/V handoff: {:.1} MiB over the wire, {:.4}s at DRAM bandwidth",
+                detailed.kv_transfer_bytes as f64 / (1 << 20) as f64,
+                detailed.kv_transfer_s,
+            );
+        }
+        println!("Per-chip breakdown:");
+        for (k, r) in detailed.replicas.iter().enumerate() {
+            println!(
+                "  chip {k}: {} completed, {:.2} req/s goodput, {:.0}% busy, p99 TTFT {:.4}s",
+                r.completed,
+                r.goodput_rps,
+                r.utilization * 100.0,
+                r.ttft.p99,
+            );
+        }
+        if let (Some(path), Some(sink)) = (&fleet_trace_out, fleet_sink) {
+            let router_events = sink.events();
+            let mut streams: Vec<(&str, &[Event])> = vec![("router", &router_events)];
+            for (name, events) in &detailed.replica_events {
+                streams.push((name.as_str(), events));
+            }
+            std::fs::write(path, fleet_trace_json(&streams)).expect("write fleet trace file");
+            println!(
+                "Wrote fleet trace ({} router events, {} chip tracks) to {path}.",
+                router_events.len(),
+                streams.len() - 1,
+            );
+        }
+    }
+
+    // --- 4. SLA-aware design selection over the Fig 12 chip family. ---
     let space = DesignSpace::new().with_workloads([bert.clone()]);
     let outcome = Sweeper::new(params.clone()).sweep(&space);
     let group = outcome.frontier_for("BERT", 1 << 18).expect("BERT group swept");
@@ -156,7 +232,7 @@ fn main() {
         );
     }
 
-    // --- 4. The punchline: serving merit vs single-point latency. ---
+    // --- 5. The punchline: serving merit vs single-point latency. ---
     let latency_best = evaluations
         .iter()
         .min_by(|a, b| a.latency_s.total_cmp(&b.latency_s))

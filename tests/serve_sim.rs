@@ -58,7 +58,7 @@ fn serving_ranking_differs_from_latency_ranking_on_a_mixed_trace() {
     // a genuinely different selection.
     let trace = mixed_spec(150.0, 60).generate(7);
     let objective = ServeObjective::new(trace, Sla::p99_ttft(0.25));
-    let (serve_best, best_score) = objective.best(&evaluations, &params).unwrap();
+    let (serve_best, best_score) = objective.rank(&evaluations, &params).remove(0);
     assert!(best_score.meets_sla, "some design must meet the SLA");
     assert_ne!(
         serve_best.point.array_dim, latency_best.point.array_dim,
@@ -163,12 +163,13 @@ fn bursty_traffic_stresses_the_tail_harder_than_poisson() {
     // Same mean rate, same lengths: bursts must not change *what*
     // completes, only the tail latency.
     let params = ModelParams::default();
-    let sim = ServeSim::new(
+    let sim = ServeSim::builder(
         ConfigKind::FuseMaxBinding,
         ConfigKind::FuseMaxBinding.default_arch(),
         TransformerConfig::bert(),
         params.clone(),
-    );
+    )
+    .build();
     let poisson = mixed_spec(120.0, 80).generate(3);
     let bursty = TrafficSpec {
         arrivals: Arrivals::Bursty { rate_per_s: 120.0, burst: 16 },
@@ -201,14 +202,15 @@ fn explicit_unbounded_policy_reproduces_the_golden_serve_trace_byte_for_byte() {
     }
     .generate(7);
     let (recorder, sink) = VecSink::recorder();
-    ServeSim::new(
+    ServeSim::builder(
         ConfigKind::FuseMaxBinding,
         ConfigKind::FuseMaxBinding.default_arch(),
         TransformerConfig::bert(),
         ModelParams::default(),
     )
-    .with_policy(SchedulerPolicy::unbounded())
-    .with_recorder(recorder)
+    .policy(SchedulerPolicy::unbounded())
+    .recorder(recorder)
+    .build()
     .run(&trace);
 
     let golden_path =
@@ -255,7 +257,7 @@ fn codesigned_scheduler_beats_the_best_whole_prompt_fcfs_configuration() {
     let fixed_space =
         DesignSpace::new().with_workloads([TransformerConfig::bert()]).with_seq_lens([1 << 18]);
     let fixed = Sweeper::new(params.clone()).sweep(&fixed_space);
-    let (fixed_best, fixed_score) = objective.best(&fixed.evaluations, &params).unwrap();
+    let (fixed_best, fixed_score) = objective.rank(&fixed.evaluations, &params).remove(0);
     assert!(fixed_score.meets_sla, "some whole-prompt design must be feasible");
     assert!(fixed_best.point.policy.is_unbounded());
     assert_eq!(fixed_best.point.array_dim, 512, "whole-prompt must retreat to the big chip");
@@ -267,7 +269,7 @@ fn codesigned_scheduler_beats_the_best_whole_prompt_fcfs_configuration() {
         &space,
         SearchBudget::evaluations(60),
     );
-    let (best, score) = objective.best(&outcome.evaluations, &params).unwrap();
+    let (best, score) = objective.rank(&outcome.evaluations, &params).remove(0);
 
     assert!(score.meets_sla, "the co-designed winner must be SLA-feasible");
     assert!(
@@ -399,9 +401,10 @@ proptest! {
             .with_workloads([TransformerConfig::bert()]);
         let point = space.points().remove(0);
         let (recorder, sink) = VecSink::recorder();
-        let sim = ServeSim::for_point(&point, &ModelParams::default())
-            .with_policy(policy)
-            .with_recorder(recorder);
+        let sim = ServeSim::builder_for_point(&point, &ModelParams::default())
+            .policy(policy)
+            .recorder(recorder)
+            .build();
         let report = sim.run(&trace);
 
         // Every request completes exactly once, all tokens accounted for.
@@ -460,10 +463,11 @@ proptest! {
         }
 
         // Identical seed and policy: bit-identical report.
-        let replay = ServeSim::for_point(&point, &ModelParams::default())
-            .with_policy(
+        let replay = ServeSim::builder_for_point(&point, &ModelParams::default())
+            .policy(
                 SchedulerPolicy::chunked(chunk).with_waiting_served_ratio(ratio).with_queue_order(order),
             )
+            .build()
             .run(&spec.generate(seed));
         prop_assert_eq!(report, replay);
     }

@@ -32,13 +32,14 @@ fn seeded_serve_events() -> Vec<Event> {
     }
     .generate(7);
     let (recorder, sink) = VecSink::recorder();
-    ServeSim::new(
+    ServeSim::builder(
         ConfigKind::FuseMaxBinding,
         ConfigKind::FuseMaxBinding.default_arch(),
         TransformerConfig::bert(),
         ModelParams::default(),
     )
-    .with_recorder(recorder)
+    .recorder(recorder)
+    .build()
     .run(&trace);
     sink.events()
 }
@@ -174,13 +175,14 @@ proptest! {
         .generate(seed);
         let run = || {
             let (recorder, sink) = VecSink::recorder();
-            ServeSim::new(
+            ServeSim::builder(
                 ConfigKind::FuseMaxBinding,
                 ConfigKind::FuseMaxBinding.default_arch(),
                 TransformerConfig::bert(),
                 ModelParams::default(),
             )
-            .with_recorder(recorder)
+            .recorder(recorder)
+            .build()
             .run(&trace);
             sink.events()
         };
