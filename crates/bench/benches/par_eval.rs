@@ -22,7 +22,7 @@ use fusemax_dse::search::{
 use fusemax_dse::{DesignSpace, Objectives, Sweeper};
 use fusemax_model::{ConfigKind, ModelParams};
 use fusemax_serve::{Arrivals, LengthMix, ServeObjective, ServeSim, Sla, Trace, TrafficSpec};
-use fusemax_telemetry::{Metrics, VecSink};
+use fusemax_telemetry::{Metrics, SearchBudgetAttribution, VecSink};
 use fusemax_workloads::TransformerConfig;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -238,15 +238,21 @@ fn telemetry_json() -> String {
     let mut events = sink.events();
     events.extend(serve_sink.events());
     let metrics = Metrics::from_events(&events);
+    // The budget-attribution block: where the two genetic runs' staged
+    // candidates went (screen / cache / full model). Event-derived and
+    // seeded, so every field is deterministic — exactly what the
+    // baseline diff (`examples/bench_diff.rs`) gates on.
+    let attribution = SearchBudgetAttribution::from_events(&events);
     format!(
         concat!(
             "{{\"search_cache_hit_ratio\":{:.4},\"search_flush_batch_mean\":{:.3},",
-            "\"serve_batch_mean\":{:.3},\"events\":{}}}"
+            "\"serve_batch_mean\":{:.3},\"events\":{},\"attribution\":{}}}"
         ),
         metrics.gauge("search.cache.hit_ratio").unwrap_or(0.0),
         metrics.histogram("search.flush_batch").map_or(0.0, |h| h.mean()),
         metrics.gauge("serve.batch_mean").unwrap_or(0.0),
         events.len(),
+        attribution.json(),
     )
 }
 

@@ -538,7 +538,7 @@ mod tests {
                 seq_len,
                 array_dim: dim,
                 policy: Default::default(),
-            fleet: Default::default(),
+                fleet: Default::default(),
             }
         }
 

@@ -9,7 +9,7 @@
 //! `fusemax_serve::ServeObjective` — but anything pure and deterministic
 //! fits.
 //!
-//! Scoring happens in [`crate::Session`]'s serial fold (after the
+//! Scoring happens in `Session`'s serial fold (after the
 //! parallel evaluation of a batch), so attaching an objective preserves
 //! the parallel ≡ serial bit-identity contract: the score is a pure
 //! function of the evaluation, and fold order is staging order either

@@ -293,10 +293,14 @@ impl SearchStrategy for SimulatedAnnealing {
             // outcome instead of publishing — the root session publishes
             // the chain-order merge, so the stream is identical whether
             // the chains ran on parallel workers or one after another.
-            let chain_session = Session::new(sweeper, space, chain_budget)
+            let mut chain_session = Session::new(sweeper, space, chain_budget)
                 .without_space_clamp(chain_budget)
                 .with_screening(self.screening)
                 .buffered();
+            // Head-of-stream marker: the chain-order merge turns these
+            // into deterministic per-chain segment boundaries, which the
+            // Perfetto exporter renders as per-chain counter tracks.
+            chain_session.mark_chain(chain_no as u64);
             // SplitMix64-style stream pre-split: chain i starts where a
             // generator seeded with `seed` lands after i state steps.
             let chain_seed =

@@ -281,6 +281,14 @@ impl<'a> Session<'a> {
         }
     }
 
+    /// Marks this session's stream as belonging to annealing chain
+    /// `chain`: chain streams merge in chain order, so the marker at the
+    /// head of each buffer partitions the merged stream into per-chain
+    /// segments deterministically.
+    pub(crate) fn mark_chain(&mut self, chain: u64) {
+        self.trace(SearchEvent::ChainStart { chain });
+    }
+
     /// Lifts the space-size clamp on the evaluation budget. Off-grid
     /// ([`crate::search::SnapPolicy::Continuous`]) runs can evaluate more
     /// distinct designs than the grid enumerates, so for them the clamp
@@ -514,7 +522,6 @@ impl<'a> Session<'a> {
             objective_best: self.objective_best,
         }
     }
-
 
     /// Folds a finished chain outcome into this session, in call order:
     /// the chain-parallel annealer runs one independent session per

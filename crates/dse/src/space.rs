@@ -640,8 +640,7 @@ impl DesignSpace {
                             for bi in 0..nb {
                                 for pi in 0..np {
                                     for gi in 0..ng {
-                                        let grid =
-                                            self.point_at([wi, si, ki, di, fi, bi, pi, gi]);
+                                        let grid = self.point_at([wi, si, ki, di, fi, bi, pi, gi]);
                                         if crate::cache::PointKey::of(&grid) == key {
                                             return true;
                                         }

@@ -245,7 +245,7 @@ impl Sweeper {
         self
     }
 
-    /// Attaches a scalar [`Objective`] that the search [`crate::Session`]
+    /// Attaches a scalar [`Objective`] that the search `Session`
     /// scores every finished evaluation against, in its serial fold — so
     /// guided strategies climb the objective *in the loop* instead of
     /// re-ranking a finished frontier. The raw Pareto machinery is
@@ -432,11 +432,7 @@ impl Sweeper {
             * layers
             * 1e-12;
 
-        [
-            self.area_model.chip_area_cm2(arch) * point.fleet.chips() as f64,
-            latency_lb,
-            energy_lb,
-        ]
+        [self.area_model.chip_area_cm2(arch) * point.fleet.chips() as f64, latency_lb, energy_lb]
     }
 
     /// Sweeps the whole space, evaluating **every** candidate (no pruning,

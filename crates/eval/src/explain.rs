@@ -1,0 +1,166 @@
+//! The `explain` report: exact cost attribution for the canonical
+//! workload — where every cycle of the modeled design, every second of
+//! served-request latency, and every unit of search budget went.
+//!
+//! Everything here is a pure function of [`ModelParams`] and fixed
+//! seeds: the text render is golden-gated byte for byte
+//! (`tests/golden/explain.txt`), the folded flamegraph stacks pass
+//! [`fusemax_telemetry::validate_folded_stacks`], and the roofline
+//! points feed [`fusemax_telemetry::roofline_json`] /
+//! [`fusemax_telemetry::roofline_csv`]. No wall clock anywhere.
+
+use fusemax_dse::search::{SearchBudget, SearchStrategy, SimulatedAnnealing};
+use fusemax_dse::{DesignSpace, Sweeper};
+use fusemax_model::{attention_roofline, e2e_report, AttnWork, ConfigKind, CostNode, ModelParams};
+use fusemax_serve::{ServeSim, SlaForensics, LATENCY_BUCKETS};
+use fusemax_telemetry::{folded_stack_text, RooflinePoint, SearchBudgetAttribution, VecSink};
+use fusemax_workloads::TransformerConfig;
+use std::fmt::Write as _;
+
+/// The canonical attribution scope: BERT at the paper's headline 16K
+/// sequence length on the +Binding cloud chip.
+pub const SEQ_LEN: usize = 1 << 14;
+
+/// The p99-TTFT SLA the forensics section judges violators against.
+pub const SLA_TTFT_S: f64 = 0.25;
+
+/// Everything the explain CLI emits, precomputed as plain data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainArtifacts {
+    /// The human-readable report (golden-gated byte for byte).
+    pub text: String,
+    /// The e2e cost tree as inferno folded stacks (cycles as counts).
+    pub folded: String,
+    /// Per-einsum roofline points for the attention cascade.
+    pub roofline: Vec<RooflinePoint>,
+}
+
+/// One cost-tree node rendered as an indented line with its share of the
+/// root total.
+fn render_tree(out: &mut String, node: &CostNode, indent: usize, root_total: f64) {
+    let share = if root_total > 0.0 { 100.0 * node.total / root_total } else { 0.0 };
+    let label = format!("{:indent$}{}", "", node.label, indent = 2 * indent);
+    let _ = writeln!(out, "{label:<28} {:>14.6e} cycles  {share:>6.2}%", node.total);
+    for child in &node.children {
+        render_tree(out, child, indent + 1, root_total);
+    }
+}
+
+/// Builds the full explain report for `params`.
+pub fn explain(params: &ModelParams) -> ExplainArtifacts {
+    let kind = ConfigKind::FuseMaxBinding;
+    let cfg = TransformerConfig::bert();
+    let arch = kind.default_arch();
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "fusemax explain — exact cost attribution\n\
+         scope: {} @ seq_len {SEQ_LEN}, {} ({})\n",
+        cfg.name,
+        kind.label(),
+        arch.name,
+    );
+
+    // -- 1. Where every modeled cycle went (bit-exact tree). --
+    let report = e2e_report(kind, &cfg, SEQ_LEN, params);
+    let tree = report.cost_breakdown(&arch);
+    tree.validate().expect("cost tree sums bit-exactly by construction");
+    let _ = writeln!(text, "== e2e cycle attribution (children fold bit-exactly) ==");
+    render_tree(&mut text, &tree, 0, tree.total);
+    let folded = folded_stack_text(&tree.folded());
+
+    // -- 2. Roofline classification of the attention cascade. --
+    let work = AttnWork::from_workload(&cfg, SEQ_LEN);
+    let roofline: Vec<RooflinePoint> = attention_roofline(&work, &arch)
+        .into_iter()
+        .map(|e| RooflinePoint {
+            label: e.label.to_string(),
+            flops: e.flops,
+            bytes: e.bytes,
+            intensity: e.intensity,
+            machine_balance: e.machine_balance,
+            memory_bound: e.memory_bound,
+        })
+        .collect();
+    let balance = roofline.first().map_or(0.0, |p| p.machine_balance);
+    let _ = writeln!(text, "\n== attention roofline (machine balance {balance:.6e} flops/byte) ==");
+    for p in &roofline {
+        let _ = writeln!(
+            text,
+            "{:<8} {:>14.6e} flops  {:>14.6e} bytes  intensity {:>12.6e}  {}",
+            p.label,
+            p.flops,
+            p.bytes,
+            p.intensity,
+            if p.memory_bound { "memory-bound" } else { "compute-bound" },
+        );
+    }
+
+    // -- 3. Where every second of served-request latency went. --
+    let trace = crate::summary::canonical_trace();
+    let _ = writeln!(
+        text,
+        "\n== serving latency attribution (canonical mixed trace, {} requests) ==",
+        trace.len()
+    );
+    for kind in [ConfigKind::Flat, ConfigKind::FuseMaxBinding] {
+        let sim = ServeSim::builder(kind, kind.default_arch(), cfg.clone(), params.clone()).build();
+        let (report, samples) = sim.run_sampled_with(&sim.service_times(&trace), &trace);
+        let n = samples.attributions.len().max(1) as f64;
+        let mut means = [0.0f64; LATENCY_BUCKETS.len()];
+        for a in &samples.attributions {
+            for (slot, (_, seconds)) in means.iter_mut().zip(a.e2e_components()) {
+                *slot += seconds;
+            }
+        }
+        let _ = writeln!(
+            text,
+            "[{}] p99 TTFT {:.6}s, mean bucket seconds:",
+            kind.label(),
+            report.ttft.p99
+        );
+        for (name, sum) in LATENCY_BUCKETS.iter().zip(means) {
+            let _ = writeln!(text, "  {name:<12} {:>12.6}s", sum / n);
+        }
+        let forensics = SlaForensics::over_ttft(&samples.attributions, SLA_TTFT_S);
+        for line in forensics.render().lines() {
+            let _ = writeln!(text, "  {line}");
+        }
+    }
+
+    // -- 4. Where the search budget went (annealing, fixed seed). --
+    let space = DesignSpace::new().with_kinds(ConfigKind::all()).with_workloads([cfg.clone()]);
+    let budget = SearchBudget::fraction(&space, 0.5);
+    let (recorder, _sink) = VecSink::recorder();
+    let strategy = SimulatedAnnealing::new(7).with_screening(true);
+    let outcome =
+        strategy.search(&Sweeper::new(params.clone()).with_recorder(recorder), &space, budget);
+    let attribution = SearchBudgetAttribution::from_events(&outcome.events);
+    let _ = writeln!(
+        text,
+        "\n== search budget attribution (annealing, seed 7, budget {}) ==",
+        budget.evaluations
+    );
+    let _ = writeln!(text, "{}", attribution.json());
+
+    ExplainArtifacts { text, folded, roofline }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusemax_telemetry::validate_folded_stacks;
+
+    #[test]
+    fn explain_is_deterministic_and_complete() {
+        let params = ModelParams::default();
+        let a = explain(&params);
+        assert_eq!(a, explain(&params), "explain must be a pure function of params");
+        assert!(a.text.contains("e2e cycle attribution"));
+        assert!(a.text.contains("attention roofline"));
+        assert!(a.text.contains("serving latency attribution"));
+        assert!(a.text.contains("search budget attribution"));
+        assert!(validate_folded_stacks(&a.folded).expect("valid folded stacks") >= 2);
+        assert_eq!(a.roofline.len(), 5, "one point per cascade einsum");
+    }
+}

@@ -21,6 +21,7 @@
 //! assert!(h.attention_energy_vs_flat < 1.0);
 //! ```
 
+pub mod explain;
 pub mod fig12;
 pub mod fig1b;
 pub mod fig6;

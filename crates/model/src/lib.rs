@@ -43,6 +43,7 @@
 //! assert!(fusemax.util_2d() > 0.9 && fusemax.util_1d() > 0.9);
 //! ```
 
+mod breakdown;
 mod common;
 mod config;
 mod e2e;
@@ -54,6 +55,7 @@ mod params;
 mod report;
 mod unfused;
 
+pub use breakdown::{attention_roofline, exact_split, CostNode, EinsumRoofline};
 pub use config::ConfigKind;
 pub use e2e::{e2e_report, e2e_report_on, E2eReport};
 pub use flat::flat_dram_floor_per_head;

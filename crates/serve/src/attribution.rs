@@ -1,0 +1,310 @@
+//! Per-request latency attribution and SLA forensics: every recorded
+//! TTFT and end-to-end latency decomposed into queue wait, prefill work,
+//! decode-interleave stall, K/V handoff, and decode time — with the
+//! decomposition folding **bit-exactly** back to the recorded latency
+//! (the same [`fusemax_model::exact_split`] machinery the model-side
+//! [`fusemax_model::CostNode`] trees use).
+//!
+//! The attribution is write-only instrumentation: the engine records the
+//! admission clock and charged prefill seconds per request without
+//! touching any float the report depends on, so instrumented and
+//! uninstrumented replays stay bit-identical.
+
+use fusemax_model::exact_split;
+
+/// The five end-to-end latency buckets, in charge order.
+pub const LATENCY_BUCKETS: [&str; 5] = ["queue_wait", "prefill", "stall", "kv_handoff", "decode"];
+
+/// One request's exact latency decomposition.
+///
+/// Invariants (checked by [`LatencyAttribution::validate`], enforced by
+/// proptests across scheduler policies, fleets, and disaggregated
+/// topologies):
+///
+/// * `queue_wait_s + prefill_s + stall_s` left-folds to `ttft_s`
+///   bit-exactly (when the request produced a first token);
+/// * all five buckets left-fold to `e2e_s` bit-exactly.
+///
+/// Buckets are charged hierarchically in order: queue wait (arrival →
+/// admission) first, then charged prefill seconds, with the stall bucket
+/// absorbing the TTFT residual (iterations spent resident but serving
+/// other requests' work — chunk starvation, co-batched decode); the
+/// decode bucket absorbs the post-first-token residual. For
+/// disaggregated fleets the decode bucket also absorbs the decode chip's
+/// own queue wait.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyAttribution {
+    /// Trace request id.
+    pub req: usize,
+    /// Arrival time, seconds.
+    pub arrival_s: f64,
+    /// Seconds from arrival to admission into the resident batch.
+    pub queue_wait_s: f64,
+    /// Charged prefill service seconds (whole-prompt or chunked).
+    pub prefill_s: f64,
+    /// Decode-interleave stall: resident time before the first token not
+    /// spent on this request's own prefill.
+    pub stall_s: f64,
+    /// K/V-cache handoff wire seconds (disaggregated fleets only).
+    pub kv_handoff_s: f64,
+    /// Decode-phase seconds (everything after the first token).
+    pub decode_s: f64,
+    /// Recorded time-to-first-token; `None` on decode-only chips.
+    pub ttft_s: Option<f64>,
+    /// Recorded end-to-end latency.
+    pub e2e_s: f64,
+}
+
+impl LatencyAttribution {
+    /// Builds the attribution of one single-engine request from the
+    /// engine's recorded clocks. `exact_split` charges queue wait then
+    /// prefill against the TTFT (stall takes the residual), and the
+    /// decode bucket takes the end-to-end residual past the TTFT.
+    pub(crate) fn from_run(
+        req: usize,
+        arrival_s: f64,
+        admit_s: f64,
+        prefill_busy_s: f64,
+        ttft_s: Option<f64>,
+        e2e_s: f64,
+    ) -> Self {
+        let queue_nat = admit_s - arrival_s;
+        match ttft_s {
+            Some(t) => {
+                let first = exact_split(t, &[queue_nat, prefill_busy_s]);
+                let rest = exact_split(e2e_s, &[t]);
+                LatencyAttribution {
+                    req,
+                    arrival_s,
+                    queue_wait_s: first[0],
+                    prefill_s: first[1],
+                    stall_s: first[2],
+                    kv_handoff_s: 0.0,
+                    decode_s: rest[1],
+                    ttft_s: Some(t),
+                    e2e_s,
+                }
+            }
+            None => {
+                let split = exact_split(e2e_s, &[queue_nat]);
+                LatencyAttribution {
+                    req,
+                    arrival_s,
+                    queue_wait_s: split[0],
+                    prefill_s: 0.0,
+                    stall_s: 0.0,
+                    kv_handoff_s: 0.0,
+                    decode_s: split[1],
+                    ttft_s: None,
+                    e2e_s,
+                }
+            }
+        }
+    }
+
+    /// Composes a disaggregated request's attribution: TTFT buckets from
+    /// the prefill-stage attribution, the K/V wire charged explicitly,
+    /// and the decode bucket absorbing the rest of `e2e_total_s`
+    /// (including the decode chip's own queue wait).
+    pub(crate) fn with_kv_handoff(
+        prefill_stage: &LatencyAttribution,
+        kv_seconds: f64,
+        e2e_total_s: f64,
+    ) -> Self {
+        let t = prefill_stage.ttft_s.expect("prefill-stage attribution carries a TTFT");
+        let split = exact_split(e2e_total_s, &[t, kv_seconds]);
+        LatencyAttribution {
+            kv_handoff_s: split[1],
+            decode_s: split[2],
+            e2e_s: e2e_total_s,
+            ..prefill_stage.clone()
+        }
+    }
+
+    /// The five end-to-end buckets, labeled, in charge order
+    /// ([`LATENCY_BUCKETS`]).
+    pub fn e2e_components(&self) -> [(&'static str, f64); 5] {
+        [
+            ("queue_wait", self.queue_wait_s),
+            ("prefill", self.prefill_s),
+            ("stall", self.stall_s),
+            ("kv_handoff", self.kv_handoff_s),
+            ("decode", self.decode_s),
+        ]
+    }
+
+    /// The TTFT buckets (queue wait, prefill, stall), in charge order.
+    pub fn ttft_components(&self) -> [(&'static str, f64); 3] {
+        [("queue_wait", self.queue_wait_s), ("prefill", self.prefill_s), ("stall", self.stall_s)]
+    }
+
+    /// The bucket holding the largest share of end-to-end latency (ties
+    /// go to the earliest bucket).
+    pub fn dominant_bucket(&self) -> &'static str {
+        let mut best = ("queue_wait", f64::NEG_INFINITY);
+        for (label, value) in self.e2e_components() {
+            if value > best.1 {
+                best = (label, value);
+            }
+        }
+        best.0
+    }
+
+    /// Checks both exact-sum invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        let fold = |parts: &[f64]| parts.iter().fold(0.0f64, |acc, c| acc + c);
+        if let Some(t) = self.ttft_s {
+            let sum = fold(&[self.queue_wait_s, self.prefill_s, self.stall_s]);
+            if sum.to_bits() != t.to_bits() {
+                return Err(format!(
+                    "req {}: ttft components fold to {sum:e}, recorded ttft is {t:e}",
+                    self.req
+                ));
+            }
+        }
+        let sum = fold(&[
+            self.queue_wait_s,
+            self.prefill_s,
+            self.stall_s,
+            self.kv_handoff_s,
+            self.decode_s,
+        ]);
+        if sum.to_bits() != self.e2e_s.to_bits() {
+            return Err(format!(
+                "req {}: e2e components fold to {sum:e}, recorded e2e is {:e}",
+                self.req, self.e2e_s
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One p99 violator with its dominant latency bucket named.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlaViolation {
+    /// Trace request id.
+    pub req: usize,
+    /// The violating TTFT, seconds.
+    pub ttft_s: f64,
+    /// The bucket holding the largest share of the TTFT.
+    pub dominant: &'static str,
+    /// Seconds in the dominant bucket.
+    pub dominant_s: f64,
+}
+
+/// The SLA-forensics report: every request over the TTFT threshold,
+/// worst first, with its dominant latency bucket named — so a p99 miss
+/// is attributable (queue wait vs. prefill vs. interleave stall) instead
+/// of being a bare quantile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlaForensics {
+    /// The TTFT threshold applied, seconds.
+    pub threshold_s: f64,
+    /// Violators, sorted by TTFT descending (ties by request id).
+    pub violators: Vec<SlaViolation>,
+}
+
+impl SlaForensics {
+    /// Names the dominant TTFT bucket for every attribution whose TTFT
+    /// exceeds `threshold_s` (pass a recorded p99 or an SLA bound).
+    pub fn over_ttft(attributions: &[LatencyAttribution], threshold_s: f64) -> Self {
+        let mut violators: Vec<SlaViolation> = attributions
+            .iter()
+            .filter_map(|a| {
+                let t = a.ttft_s?;
+                if t <= threshold_s {
+                    return None;
+                }
+                let (dominant, dominant_s) = a.ttft_components().into_iter().fold(
+                    ("queue_wait", f64::NEG_INFINITY),
+                    |best, (label, value)| {
+                        if value > best.1 {
+                            (label, value)
+                        } else {
+                            best
+                        }
+                    },
+                );
+                Some(SlaViolation { req: a.req, ttft_s: t, dominant, dominant_s })
+            })
+            .collect();
+        violators.sort_by(|a, b| b.ttft_s.total_cmp(&a.ttft_s).then(a.req.cmp(&b.req)));
+        SlaForensics { threshold_s, violators }
+    }
+
+    /// A deterministic plain-text rendering, one line per violator.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} violator(s) over ttft threshold {:.6}s\n",
+            self.violators.len(),
+            self.threshold_s
+        );
+        for v in &self.violators {
+            out.push_str(&format!(
+                "req {:>4}  ttft {:.6}s  dominant {} ({:.6}s, {:.0}%)\n",
+                v.req,
+                v.ttft_s,
+                v.dominant,
+                v.dominant_s,
+                if v.ttft_s > 0.0 { 100.0 * v.dominant_s / v.ttft_s } else { 0.0 }
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_run_is_exact_and_charges_in_order() {
+        let a = LatencyAttribution::from_run(3, 1.0, 1.25, 0.5, Some(0.9), 2.1);
+        a.validate().unwrap();
+        assert_eq!(a.queue_wait_s, 0.25);
+        assert_eq!(a.prefill_s, 0.5);
+        assert!(a.stall_s >= 0.0);
+        assert_eq!(a.kv_handoff_s, 0.0);
+        assert_eq!(a.ttft_s, Some(0.9));
+        assert_eq!(a.e2e_s, 2.1);
+    }
+
+    #[test]
+    fn decode_only_runs_have_no_ttft_buckets() {
+        let a = LatencyAttribution::from_run(0, 0.5, 0.75, 0.0, None, 1.5);
+        a.validate().unwrap();
+        assert_eq!(a.ttft_s, None);
+        assert_eq!(a.prefill_s, 0.0);
+        assert_eq!(a.stall_s, 0.0);
+        assert!(a.decode_s > 0.0);
+    }
+
+    #[test]
+    fn kv_handoff_composition_preserves_ttft_buckets() {
+        let prefill = LatencyAttribution::from_run(7, 0.0, 0.1, 0.3, Some(0.45), 0.45);
+        let full = LatencyAttribution::with_kv_handoff(&prefill, 0.02, 1.0);
+        full.validate().unwrap();
+        assert_eq!(full.queue_wait_s, prefill.queue_wait_s);
+        assert_eq!(full.prefill_s, prefill.prefill_s);
+        assert_eq!(full.stall_s, prefill.stall_s);
+        assert!(full.kv_handoff_s > 0.0);
+        assert_eq!(full.e2e_s, 1.0);
+    }
+
+    #[test]
+    fn forensics_names_the_dominant_bucket_worst_first() {
+        let mk = |req, queue, prefill, out| {
+            LatencyAttribution::from_run(req, 0.0, queue, prefill, Some(queue + prefill), out)
+        };
+        let attrs = vec![mk(0, 0.01, 0.02, 0.05), mk(1, 0.5, 0.1, 0.7), mk(2, 0.05, 0.4, 0.5)];
+        let forensics = SlaForensics::over_ttft(&attrs, 0.1);
+        assert_eq!(forensics.violators.len(), 2);
+        assert_eq!(forensics.violators[0].req, 1);
+        assert_eq!(forensics.violators[0].dominant, "queue_wait");
+        assert_eq!(forensics.violators[1].req, 2);
+        assert_eq!(forensics.violators[1].dominant, "prefill");
+        let text = forensics.render();
+        assert!(text.contains("2 violator(s)"));
+        assert!(text.lines().count() == 3);
+    }
+}

@@ -38,6 +38,7 @@
 //! TPOT from the decode stage, and end-to-end latency spans both plus
 //! the transfer wire time.
 
+use crate::attribution::LatencyAttribution;
 use crate::report::{LatencyStats, ServeReport};
 use crate::sim::{RunSamples, ServeSim};
 use crate::table::ServiceTimeTable;
@@ -110,6 +111,61 @@ pub struct FleetReport {
     /// recorder (empty otherwise) — feed alongside the router stream to
     /// [`fusemax_telemetry::fleet_trace_json`].
     pub replica_events: Vec<(String, Vec<Event>)>,
+    /// Per-request exact latency attributions over the whole fleet. For
+    /// a disaggregated fleet each multi-token request's TTFT buckets come
+    /// from its prefill chip, the K/V wire is charged explicitly, and the
+    /// decode bucket absorbs the decode chip's own queue wait.
+    pub attributions: Vec<LatencyAttribution>,
+}
+
+/// One chip's share of the fleet's work: the imbalance row of
+/// [`FleetReport::imbalance`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaImbalance {
+    /// Chip index (prefill chips before decode chips when disaggregated).
+    pub replica: usize,
+    /// Requests this chip completed.
+    pub completed: usize,
+    /// Busy seconds on this chip.
+    pub busy_s: f64,
+    /// This chip's fraction of the fleet's total busy seconds.
+    pub busy_share: f64,
+    /// This chip's own utilization (busy over its makespan).
+    pub utilization: f64,
+}
+
+impl FleetReport {
+    /// Attributes fleet imbalance per replica: each chip's completed
+    /// requests, busy seconds, share of total busy time, and utilization
+    /// — the forensic view behind a skewed router assignment.
+    pub fn imbalance(&self) -> Vec<ReplicaImbalance> {
+        let total_busy: f64 = self.replicas.iter().map(|r| r.busy_s).sum();
+        self.replicas
+            .iter()
+            .enumerate()
+            .map(|(replica, r)| ReplicaImbalance {
+                replica,
+                completed: r.completed,
+                busy_s: r.busy_s,
+                busy_share: if total_busy > 0.0 { r.busy_s / total_busy } else { 0.0 },
+                utilization: r.utilization,
+            })
+            .collect()
+    }
+
+    /// Max-over-mean busy seconds across chips: `1.0` is a perfectly
+    /// balanced fleet; `N` means one chip did all the work.
+    pub fn imbalance_ratio(&self) -> f64 {
+        if self.replicas.is_empty() {
+            return 1.0;
+        }
+        let mean: f64 =
+            self.replicas.iter().map(|r| r.busy_s).sum::<f64>() / self.replicas.len() as f64;
+        if mean <= 0.0 {
+            return 1.0;
+        }
+        self.replicas.iter().map(|r| r.busy_s).fold(0.0f64, f64::max) / mean
+    }
 }
 
 impl Fleet {
@@ -223,6 +279,7 @@ impl Fleet {
         let mut replicas = Vec::with_capacity(n);
         let mut replica_events = Vec::new();
         let (mut ttft, mut tpot, mut e2e) = (Vec::new(), Vec::new(), Vec::new());
+        let mut attributions = Vec::with_capacity(trace.len());
         let (mut completed, mut output_tokens) = (0usize, 0usize);
         for (k, sub) in subs.iter().enumerate() {
             let (report, samples) =
@@ -233,6 +290,7 @@ impl Fleet {
             ttft.extend_from_slice(&samples.ttft);
             tpot.extend_from_slice(&samples.tpot);
             e2e.extend_from_slice(&samples.e2e);
+            attributions.extend(samples.attributions);
         }
         let merged =
             merge_reports(&replicas, self.spec.chips(), completed, output_tokens, ttft, tpot, e2e);
@@ -243,6 +301,7 @@ impl Fleet {
             kv_transfer_bytes: 0,
             kv_transfer_s: 0.0,
             replica_events,
+            attributions,
         }
     }
 
@@ -269,12 +328,15 @@ impl Fleet {
         let mut replica_events = Vec::new();
         let mut ttft = Vec::with_capacity(trace.len());
         let mut done_at: HashMap<usize, f64> = HashMap::with_capacity(trace.len());
+        let mut prefill_attr: HashMap<usize, LatencyAttribution> =
+            HashMap::with_capacity(trace.len());
         for (k, sub) in prefill_subs.iter().enumerate() {
             let (report, samples) =
                 self.run_replica(format!("prefill {k}"), sub, costs, false, &mut replica_events);
             replicas.push(report);
             ttft.extend_from_slice(&samples.ttft);
             done_at.extend(samples.completions.iter().copied());
+            prefill_attr.extend(samples.attributions.into_iter().map(|a| (a.req, a)));
         }
 
         // Requests whose single output token was produced by prefill are
@@ -285,21 +347,30 @@ impl Fleet {
         let kv_per_token = self.template.workload().kv_bytes_per_token(arch.word_bytes);
         let dram_bw = arch.dram_bw_bytes_per_sec;
         let mut e2e: Vec<f64> = Vec::with_capacity(trace.len());
+        let mut attributions: Vec<LatencyAttribution> = Vec::with_capacity(trace.len());
         let (mut kv_transfer_bytes, mut kv_transfer_s) = (0u64, 0.0f64);
+        let mut kv_seconds_of: HashMap<usize, f64> = HashMap::new();
         let mut decode_all: Vec<Request> = Vec::new();
         for r in &trace.requests {
             let prefill_done = done_at[&r.id];
             if r.output_tokens <= 1 {
                 e2e.push(prefill_done - r.arrival_s);
+                // Prefill produced the whole output: the prefill-stage
+                // attribution is the request's attribution.
+                if let Some(a) = prefill_attr.remove(&r.id) {
+                    attributions.push(a);
+                }
                 continue;
             }
             let bytes = kv_per_token * r.prompt_tokens as u64;
             let seconds = bytes as f64 / dram_bw;
             kv_transfer_bytes += bytes;
             kv_transfer_s += seconds;
+            kv_seconds_of.insert(r.id, seconds);
             let req = r.id as u64;
-            self.recorder
-                .emit(|| Event::serve(prefill_done, ServeEvent::KvTransfer { req, bytes, seconds }));
+            self.recorder.emit(|| {
+                Event::serve(prefill_done, ServeEvent::KvTransfer { req, bytes, seconds })
+            });
             decode_all.push(Request { arrival_s: prefill_done + seconds, ..*r });
         }
         // The engine consumes arrivals in order; handoffs are not in
@@ -330,14 +401,28 @@ impl Fleet {
             replicas.push(report);
             tpot.extend_from_slice(&samples.tpot);
             for &(id, done) in &samples.completions {
-                e2e.push(done - arrival_of[&id]);
+                let e2e_s = done - arrival_of[&id];
+                e2e.push(e2e_s);
+                attributions.push(LatencyAttribution::with_kv_handoff(
+                    &prefill_attr[&id],
+                    kv_seconds_of[&id],
+                    e2e_s,
+                ));
             }
         }
 
         let completed = e2e.len();
         let merged =
             merge_reports(&replicas, self.spec.chips(), completed, output_tokens, ttft, tpot, e2e);
-        FleetReport { merged, replicas, routes, kv_transfer_bytes, kv_transfer_s, replica_events }
+        FleetReport {
+            merged,
+            replicas,
+            routes,
+            kv_transfer_bytes,
+            kv_transfer_s,
+            replica_events,
+            attributions,
+        }
     }
 }
 
@@ -372,7 +457,7 @@ fn route_requests(
             // position) and split the ranking into n contiguous classes.
             let mut order: Vec<usize> = (0..reqs.len()).collect();
             order.sort_by_key(|&i| (reqs[i].prompt_tokens, i));
-            let per = (reqs.len() + n - 1) / n;
+            let per = reqs.len().div_ceil(n);
             let mut routes = vec![0usize; reqs.len()];
             for (rank, &i) in order.iter().enumerate() {
                 routes[i] = (rank / per.max(1)).min(n - 1);

@@ -82,6 +82,7 @@
 //! assert!(best.point.array_dim <= 512);
 //! ```
 
+mod attribution;
 mod fleet;
 mod objective;
 mod report;
@@ -89,7 +90,8 @@ mod sim;
 mod table;
 mod traffic;
 
-pub use fleet::{Fleet, FleetReport};
+pub use attribution::{LatencyAttribution, SlaForensics, SlaViolation, LATENCY_BUCKETS};
+pub use fleet::{Fleet, FleetReport, ReplicaImbalance};
 pub use fusemax_dse::{FleetSpec, QueueOrder, RouterPolicy, SchedulerPolicy};
 pub use objective::{ServeObjective, ServeScore, Sla};
 pub use report::{LatencyStats, ServeReport};

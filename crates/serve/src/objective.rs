@@ -165,7 +165,12 @@ impl ServeObjective {
     /// point's fleet axis (replicas, router, disaggregation) is honored
     /// — and scores the outcome. `area_cm2` is the design's **total**
     /// silicon ([`Evaluation::area_cm2`] for swept points).
-    pub fn score_point(&self, point: &DesignPoint, area_cm2: f64, params: &ModelParams) -> ServeScore {
+    pub fn score_point(
+        &self,
+        point: &DesignPoint,
+        area_cm2: f64,
+        params: &ModelParams,
+    ) -> ServeScore {
         let report = Fleet::for_point(point, params).run(&self.trace);
         ServeScore {
             meets_sla: self.sla.met_by(&report),
@@ -183,12 +188,7 @@ impl ServeObjective {
             return hit.clone();
         }
         let score = self.score_point(&evaluation.point, evaluation.area_cm2, &self.params);
-        self.memo
-            .lock()
-            .expect("serve objective memo poisoned")
-            .entry(key)
-            .or_insert(score)
-            .clone()
+        self.memo.lock().expect("serve objective memo poisoned").entry(key).or_insert(score).clone()
     }
 
     /// Scores `evaluations` and returns them **best first** by

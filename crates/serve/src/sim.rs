@@ -34,6 +34,7 @@
 //! same float-summation order, same event sequence — the golden serve
 //! trace gate enforces this.
 
+use crate::attribution::LatencyAttribution;
 use crate::report::{LatencyStats, ServeReport};
 use crate::table::ServiceTimeTable;
 use crate::traffic::Trace;
@@ -61,6 +62,13 @@ struct Active {
     kv_bytes: u64,
     /// Wall-clock time the first output token appeared.
     first_token_s: f64,
+    /// Wall-clock time this request was admitted (attribution only).
+    admit_s: f64,
+    /// Prefill service seconds charged to this request so far
+    /// (attribution only; never feeds back into the report's floats).
+    prefill_busy_s: f64,
+    /// Recorded time-to-first-token (attribution only).
+    ttft_s: f64,
 }
 
 /// A deterministic discrete-event serving simulator for one design point.
@@ -286,7 +294,11 @@ impl ServeSim {
     /// layer merges replicas by concatenating these and recomputing
     /// exact quantiles over the union, so fleet-level tails are never
     /// approximated from per-replica summaries.
-    pub fn run_sampled_with(&self, costs: &ServiceTimeTable, trace: &Trace) -> (ServeReport, RunSamples) {
+    pub fn run_sampled_with(
+        &self,
+        costs: &ServiceTimeTable,
+        trace: &Trace,
+    ) -> (ServeReport, RunSamples) {
         let reqs = &trace.requests;
         let buffer = self.arch.global_buffer_bytes;
 
@@ -304,6 +316,7 @@ impl ServeSim {
         let mut e2e = Vec::with_capacity(reqs.len());
         let mut tpot = Vec::new();
         let mut completions: Vec<(usize, f64)> = Vec::with_capacity(reqs.len());
+        let mut attributions: Vec<LatencyAttribution> = Vec::with_capacity(reqs.len());
         let mut completed = 0usize;
         let mut output_tokens = 0usize;
 
@@ -380,6 +393,9 @@ impl ServeSim {
                     // clocking it at admission makes TPOT measure this
                     // chip's decode cadence.
                     first_token_s: if self.start_prefilled { clock } else { 0.0 },
+                    admit_s: clock,
+                    prefill_busy_s: 0.0,
+                    ttft_s: 0.0,
                 });
             }
             peak_resident_bytes = peak_resident_bytes.max(resident_bytes);
@@ -393,7 +409,12 @@ impl ServeSim {
             let mut step = 0.0f64;
             let mut chunk_budget = self.policy.chunk_tokens.unwrap_or(0);
             let mut granted: Vec<Option<usize>> = Vec::with_capacity(active.len());
+            // Prefill seconds charged to each active request this
+            // iteration (attribution only; `step` accumulates the exact
+            // same values in the exact same order as before).
+            let mut charged: Vec<f64> = Vec::with_capacity(active.len());
             for a in &active {
+                let mut cost = 0.0f64;
                 let grant = if a.prefilled {
                     step += costs.decode_seconds(a.context);
                     None
@@ -415,8 +436,9 @@ impl ServeSim {
                         self.recorder.emit(|| {
                             Event::serve(clock, ServeEvent::PrefillChunk { req, tokens, remaining })
                         });
-                        step += costs
+                        cost = costs
                             .prefill_chunk_seconds(a.prefilled_tokens, a.prefilled_tokens + want);
+                        step += cost;
                         Some(want)
                     } else {
                         None
@@ -425,10 +447,12 @@ impl ServeSim {
                     let (req, context) = (reqs[a.idx].id as u64, a.context);
                     self.recorder
                         .emit(|| Event::serve(clock, ServeEvent::PrefillStart { req, context }));
-                    step += costs.prefill_seconds(a.context);
+                    cost = costs.prefill_seconds(a.context);
+                    step += cost;
                     Some(a.context)
                 };
                 granted.push(grant);
+                charged.push(cost);
             }
             clock += step;
             busy += step;
@@ -442,7 +466,7 @@ impl ServeSim {
             }
 
             // Apply the iteration's outcomes.
-            for (a, grant) in active.iter_mut().zip(&granted) {
+            for ((a, grant), &cost) in active.iter_mut().zip(&granted).zip(&charged) {
                 if a.prefilled {
                     // Saturating: a decode-only request hand-built with
                     // `output_tokens <= 1` decodes once instead of
@@ -453,6 +477,7 @@ impl ServeSim {
                     continue;
                 }
                 let Some(tokens) = *grant else { continue };
+                a.prefill_busy_s += cost;
                 a.prefilled_tokens += tokens;
                 if a.prefilled_tokens >= reqs[a.idx].prompt_tokens {
                     a.prefilled = true;
@@ -460,7 +485,9 @@ impl ServeSim {
                     a.context += 1;
                     let req = reqs[a.idx].id as u64;
                     self.recorder.emit(|| Event::serve(clock, ServeEvent::PrefillEnd { req }));
-                    ttft.push(clock - reqs[a.idx].arrival_s);
+                    let t = clock - reqs[a.idx].arrival_s;
+                    a.ttft_s = t;
+                    ttft.push(t);
                 }
             }
             // Retire finished requests (prefill covers the first output
@@ -477,7 +504,16 @@ impl ServeSim {
                     completed += 1;
                     output_tokens += r.output_tokens;
                     completions.push((r.id, clock));
-                    e2e.push(clock - r.arrival_s);
+                    let e2e_s = clock - r.arrival_s;
+                    e2e.push(e2e_s);
+                    attributions.push(LatencyAttribution::from_run(
+                        r.id,
+                        r.arrival_s,
+                        a.admit_s,
+                        a.prefill_busy_s,
+                        if self.start_prefilled { None } else { Some(a.ttft_s) },
+                        e2e_s,
+                    ));
                     if r.output_tokens > 1 {
                         tpot.push((clock - a.first_token_s) / (r.output_tokens - 1) as f64);
                     }
@@ -508,7 +544,7 @@ impl ServeSim {
             tpot: LatencyStats::of(&mut tpot),
             e2e: LatencyStats::of(&mut e2e),
         };
-        (report, RunSamples { ttft, tpot, e2e, completions })
+        (report, RunSamples { ttft, tpot, e2e, completions, attributions })
     }
 }
 
@@ -527,6 +563,8 @@ pub struct RunSamples {
     pub e2e: Vec<f64>,
     /// `(request id, completion time)` in retirement order.
     pub completions: Vec<(usize, f64)>,
+    /// Per-request exact latency attributions, in retirement order.
+    pub attributions: Vec<LatencyAttribution>,
 }
 
 #[cfg(test)]
@@ -670,7 +708,8 @@ mod tests {
         use fusemax_telemetry::VecSink;
         let trace = small_trace(500.0, 40);
         let (recorder, sink) = VecSink::recorder();
-        let report = bert_builder(ConfigKind::FuseMaxBinding).recorder(recorder).build().run(&trace);
+        let report =
+            bert_builder(ConfigKind::FuseMaxBinding).recorder(recorder).build().run(&trace);
         let count = |pick: &dyn Fn(&ServeEvent) -> bool| {
             sink.events()
                 .iter()
@@ -700,8 +739,9 @@ mod tests {
         // gains PrefillChunk markers.
         let trace = small_trace(300.0, 50);
         let plain = bert_sim(ConfigKind::FuseMaxBinding);
-        let chunked =
-            bert_builder(ConfigKind::FuseMaxBinding).policy(SchedulerPolicy::chunked(1 << 20)).build();
+        let chunked = bert_builder(ConfigKind::FuseMaxBinding)
+            .policy(SchedulerPolicy::chunked(1 << 20))
+            .build();
         assert_eq!(plain.run(&trace), chunked.run(&trace));
     }
 
@@ -834,9 +874,13 @@ mod tests {
     fn deprecated_constructor_shims_match_the_builder() {
         let trace = small_trace(300.0, 30);
         let kind = ConfigKind::FuseMaxBinding;
-        let shimmed =
-            ServeSim::new(kind, kind.default_arch(), TransformerConfig::bert(), ModelParams::default())
-                .with_policy(SchedulerPolicy::chunked(256));
+        let shimmed = ServeSim::new(
+            kind,
+            kind.default_arch(),
+            TransformerConfig::bert(),
+            ModelParams::default(),
+        )
+        .with_policy(SchedulerPolicy::chunked(256));
         let built = bert_builder(kind).policy(SchedulerPolicy::chunked(256)).build();
         assert_eq!(shimmed.run(&trace), built.run(&trace));
     }

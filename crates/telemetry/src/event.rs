@@ -79,6 +79,14 @@ pub enum SearchEvent {
         /// Fraction of the exhaustive reference hypervolume recovered.
         fraction: f64,
     },
+    /// An annealing chain started walking its `(workload, seq_len)`
+    /// group. Chain sessions are buffered and merged in chain order, so
+    /// the marker partitions the merged stream into per-chain segments
+    /// deterministically.
+    ChainStart {
+        /// Chain index (group order: workloads-major, seq-lens-minor).
+        chain: u64,
+    },
 }
 
 /// What the serving simulator can report, all at simulated timestamps.
@@ -227,6 +235,9 @@ pub fn event_json(event: &Event) -> String {
                 ),
                 SearchEvent::HypervolumeSample { fraction } => {
                     format!("\"kind\":\"hypervolume_sample\",\"fraction\":{}", num(*fraction))
+                }
+                SearchEvent::ChainStart { chain } => {
+                    format!("\"kind\":\"chain_start\",\"chain\":{chain}")
                 }
             };
             format!("{{\"type\":\"search\",\"tick\":{tick},{body}}}")

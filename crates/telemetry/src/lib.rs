@@ -26,17 +26,27 @@
 //!   replica chip plus a router process with `Route`/`KvTransfer`
 //!   spans), with [`validate_chrome_trace`] as the parser-free validity
 //!   gate CI runs on every exported trace.
+//! - [`folded_stack_text`] / [`roofline_json`] / [`roofline_csv`] /
+//!   [`SearchBudgetAttribution`] — profile exports: inferno-format
+//!   flamegraph stacks (gated by [`validate_folded_stacks`]), roofline
+//!   tables, and per-strategy search-budget accounting, all pure
+//!   functions of deterministic inputs.
 
 #![warn(missing_docs)]
 
 mod event;
 mod metrics;
 mod perfetto;
+mod profile;
 mod sink;
 
 pub use event::{event_json, Event, SearchEvent, ServeEvent};
 pub use metrics::{Histogram, Metrics, MetricsSink};
 pub use perfetto::{
     fleet_trace_json, search_trace_json, serve_trace_json, validate_chrome_trace, ChromeTrace,
+};
+pub use profile::{
+    folded_stack_text, roofline_csv, roofline_json, search_budget_json, validate_folded_stacks,
+    RooflinePoint, SearchBudgetAttribution,
 };
 pub use sink::{FanoutSink, JsonLinesSink, Recorder, RingSink, TelemetrySink, VecSink};

@@ -98,6 +98,9 @@ pub struct Metrics {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    /// `Enqueue` timestamps awaiting their `Dequeue` — the pairing state
+    /// behind the `serve.queue_wait_s` histogram.
+    pending_enqueue: BTreeMap<u64, f64>,
 }
 
 impl Metrics {
@@ -163,8 +166,9 @@ impl Metrics {
                     }
                 }
                 SearchEvent::HypervolumeSample { .. } => self.inc("search.hv_samples", 1),
+                SearchEvent::ChainStart { .. } => self.inc("search.chains", 1),
             },
-            Event::Serve { kind, .. } => match kind {
+            Event::Serve { t_s, kind } => match kind {
                 ServeEvent::Arrive { .. } => self.inc("serve.arrivals", 1),
                 ServeEvent::Admit { .. } => self.inc("serve.admissions", 1),
                 ServeEvent::PrefillStart { context, .. } => {
@@ -191,8 +195,20 @@ impl Metrics {
                         Histogram::pow2(1 << 20)
                     });
                 }
-                ServeEvent::Enqueue { .. } => self.inc("serve.enqueued", 1),
-                ServeEvent::Dequeue { .. } => self.inc("serve.dequeued", 1),
+                ServeEvent::Enqueue { req } => {
+                    self.inc("serve.enqueued", 1);
+                    self.pending_enqueue.insert(*req, *t_s);
+                }
+                ServeEvent::Dequeue { req } => {
+                    self.inc("serve.dequeued", 1);
+                    // The ROADMAP-named queueing-delay histogram: the
+                    // exact Enqueue → Dequeue wait at simulated time.
+                    if let Some(enqueued_at) = self.pending_enqueue.remove(req) {
+                        self.observe_with("serve.queue_wait_s", t_s - enqueued_at, || {
+                            Histogram::with_bounds(&[1e-4, 1e-3, 1e-2, 1e-1, 1.0])
+                        });
+                    }
+                }
                 ServeEvent::WaitingDepth { depth } => {
                     self.observe_with("serve.waiting_depth", *depth as f64, || {
                         Histogram::pow2(4096)

@@ -313,12 +313,21 @@ fn close_request(
 /// counter tracks for hypervolume fraction, frontier size, and
 /// cumulative cache hits/misses, all against the evaluation-count clock
 /// (one evaluation = one trace microsecond).
+///
+/// Streams carrying [`SearchEvent::ChainStart`] markers (annealing runs)
+/// additionally get per-chain cumulative cache tracks (`cache_hits c3`)
+/// that reset at each chain boundary, plus a `chain` counter stepping
+/// through chain indices — so chain-local cache behaviour is visible
+/// next to the run-wide totals. Streams without markers render exactly
+/// as before.
 pub fn search_trace_json(streams: &[(&str, &[Event])]) -> String {
     let mut trace = ChromeTrace::new();
     for (idx, (strategy, events)) in streams.iter().enumerate() {
         let pid = idx as u64 + 1;
         trace.process(pid, strategy);
         let (mut hits, mut misses) = (0u64, 0u64);
+        let mut chain: Option<u64> = None;
+        let (mut chain_hits, mut chain_misses) = (0u64, 0u64);
         for event in *events {
             let Event::Search { tick, kind } = event else { continue };
             let t = *tick as f64;
@@ -332,13 +341,27 @@ pub fn search_trace_json(streams: &[(&str, &[Event])]) -> String {
                 SearchEvent::CacheHit { .. } => {
                     hits += 1;
                     trace.counter("cache_hits", pid, t, hits as f64);
+                    if let Some(c) = chain {
+                        chain_hits += 1;
+                        trace.counter(&format!("cache_hits c{c}"), pid, t, chain_hits as f64);
+                    }
                 }
                 SearchEvent::CacheMiss { .. } => {
                     misses += 1;
                     trace.counter("cache_misses", pid, t, misses as f64);
+                    if let Some(c) = chain {
+                        chain_misses += 1;
+                        trace.counter(&format!("cache_misses c{c}"), pid, t, chain_misses as f64);
+                    }
                 }
                 SearchEvent::FlushBatch { size } => {
                     trace.counter("flush_batch", pid, t, *size as f64);
+                }
+                SearchEvent::ChainStart { chain: c } => {
+                    chain = Some(*c);
+                    chain_hits = 0;
+                    chain_misses = 0;
+                    trace.counter("chain", pid, t, *c as f64);
                 }
                 SearchEvent::Staged | SearchEvent::ScreenedOut => {}
             }
@@ -445,6 +468,30 @@ mod tests {
         assert!(json.contains("\"genetic\""));
         assert!(json.contains("\"hypervolume\""));
         assert!(json.contains("\"frontier_len\""));
+    }
+
+    #[test]
+    fn search_trace_adds_per_chain_tracks_on_chain_markers() {
+        let a = vec![
+            Event::search(0, SearchEvent::ChainStart { chain: 0 }),
+            Event::search(1, SearchEvent::CacheMiss { shard: 0 }),
+            Event::search(2, SearchEvent::CacheHit { shard: 0 }),
+            Event::search(2, SearchEvent::ChainStart { chain: 1 }),
+            Event::search(3, SearchEvent::CacheHit { shard: 1 }),
+        ];
+        let json = search_trace_json(&[("annealing", &a)]);
+        validate_chrome_trace(&json).expect("valid trace");
+        assert!(json.contains("\"chain\""));
+        assert!(json.contains("\"cache_hits c0\""));
+        assert!(json.contains("\"cache_hits c1\""));
+        assert!(json.contains("\"cache_misses c0\""));
+        // Run-wide cumulative tracks are still present alongside.
+        assert!(json.contains("\"cache_hits\""));
+        // No markers -> no chain tracks (legacy streams unchanged).
+        let b = vec![Event::search(1, SearchEvent::CacheHit { shard: 0 })];
+        let json = search_trace_json(&[("random", &b)]);
+        assert!(!json.contains(" c0\""));
+        assert!(!json.contains("\"chain\""));
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Exact cost attribution for the canonical workload: prints the
+//! golden-gated explain report and writes the profile artifacts —
+//! an inferno-format flamegraph (`flamegraph.folded`) and roofline
+//! tables (`roofline.json`, `roofline.csv`) — for plotting.
+//!
+//! Run with `cargo run --release --example explain`. Optional:
+//! `--out-dir PATH` (default `target/profile`) for the artifacts.
+//! Render the flamegraph with any folded-stacks consumer, e.g.
+//! `inferno-flamegraph < target/profile/flamegraph.folded > flame.svg`.
+//!
+//! Everything is seeded and wall-clock-free: two runs produce
+//! byte-identical output and byte-identical artifacts.
+
+use fusemax::eval::explain::explain;
+use fusemax::model::ModelParams;
+use fusemax::telemetry::{roofline_csv, roofline_json, validate_folded_stacks};
+use std::path::PathBuf;
+
+fn main() {
+    let mut out_dir = PathBuf::from("target/profile");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out-dir" {
+            out_dir = PathBuf::from(args.next().expect("--out-dir expects a path"));
+        } else if let Some(v) = a.strip_prefix("--out-dir=") {
+            out_dir = PathBuf::from(v);
+        } else {
+            eprintln!("usage: explain [--out-dir PATH]");
+            std::process::exit(2);
+        }
+    }
+
+    let artifacts = explain(&ModelParams::default());
+    print!("{}", artifacts.text);
+
+    let stacks = validate_folded_stacks(&artifacts.folded).unwrap_or_else(|e| {
+        eprintln!("INVALID folded stacks: {e}");
+        std::process::exit(1);
+    });
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let folded_path = out_dir.join("flamegraph.folded");
+    std::fs::write(&folded_path, &artifacts.folded).expect("write folded stacks");
+    let json_path = out_dir.join("roofline.json");
+    std::fs::write(&json_path, roofline_json(&artifacts.roofline)).expect("write roofline json");
+    let csv_path = out_dir.join("roofline.csv");
+    std::fs::write(&csv_path, roofline_csv(&artifacts.roofline)).expect("write roofline csv");
+
+    println!(
+        "\nWrote {stacks} flamegraph stacks to {} and {} roofline points to {} / {}.",
+        folded_path.display(),
+        artifacts.roofline.len(),
+        json_path.display(),
+        csv_path.display(),
+    );
+}

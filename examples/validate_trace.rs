@@ -1,28 +1,44 @@
-//! Validates an exported Chrome-trace/Perfetto JSON file: well-formed
+//! Validates exported telemetry artifacts.
+//!
+//! Default mode checks a Chrome-trace/Perfetto JSON file: well-formed
 //! `traceEvents` envelope, at least one timestamped event, and
 //! non-decreasing timestamps in file order (what the exporters guarantee
-//! by stable-sorting timed records).
+//! by stable-sorting timed records). With `--folded`, the argument is
+//! instead checked as inferno folded-stack output: every line
+//! `stack COUNT` with a positive integer count, well-formed frames, and
+//! strictly sorted stacks (what `folded_stack_text` guarantees).
 //!
-//! Run with `cargo run --example validate_trace -- <trace.json>`; exits
-//! non-zero on an invalid trace, so CI can gate on it.
+//! Run with `cargo run --example validate_trace -- <trace.json>` or
+//! `cargo run --example validate_trace -- --folded <stacks.folded>`;
+//! exits non-zero on an invalid file, so CI can gate on it.
 
-use fusemax::telemetry::validate_chrome_trace;
+use fusemax::telemetry::{validate_chrome_trace, validate_folded_stacks};
 
 fn main() {
-    let path = std::env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: validate_trace <trace.json>");
-        std::process::exit(2);
-    });
-    let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (folded, path) = match args.as_slice() {
+        [path] => (false, path.clone()),
+        [flag, path] if flag == "--folded" => (true, path.clone()),
+        _ => {
+            eprintln!("usage: validate_trace [--folded] <file>");
+            std::process::exit(2);
+        }
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         eprintln!("{path}: {e}");
         std::process::exit(2);
     });
-    match validate_chrome_trace(&json) {
-        Ok(n) => {
-            println!("{path}: valid Chrome trace, {n} timestamped events in monotone file order")
-        }
+    let outcome = if folded {
+        validate_folded_stacks(&text)
+            .map(|n| format!("valid folded stacks, {n} sorted stack lines"))
+    } else {
+        validate_chrome_trace(&text)
+            .map(|n| format!("valid Chrome trace, {n} timestamped events in monotone file order"))
+    };
+    match outcome {
+        Ok(msg) => println!("{path}: {msg}"),
         Err(e) => {
-            eprintln!("{path}: INVALID trace: {e}");
+            eprintln!("{path}: INVALID: {e}");
             std::process::exit(1);
         }
     }

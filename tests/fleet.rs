@@ -38,13 +38,8 @@ fn mixed_spec(rate: f64, requests: usize) -> TrafficSpec {
 
 fn binding_replica() -> ServeSim {
     let kind = ConfigKind::FuseMaxBinding;
-    ServeSim::builder(
-        kind,
-        kind.default_arch(),
-        TransformerConfig::bert(),
-        ModelParams::default(),
-    )
-    .build()
+    ServeSim::builder(kind, kind.default_arch(), TransformerConfig::bert(), ModelParams::default())
+        .build()
 }
 
 const ROUTERS: [RouterPolicy; 3] =
@@ -177,9 +172,8 @@ fn in_loop_fleet_search_beats_the_best_single_chip_at_iso_area() {
     let run = |parallel: bool| {
         let objective =
             Arc::new(ServeObjective::new(trace.clone(), sla).with_params(params.clone()));
-        let sweeper = Sweeper::new(params.clone())
-            .with_parallelism(parallel)
-            .with_objective(objective);
+        let sweeper =
+            Sweeper::new(params.clone()).with_parallelism(parallel).with_objective(objective);
         GeneticSearch::new(11).search(&sweeper, &space, SearchBudget::evaluations(45))
     };
 
