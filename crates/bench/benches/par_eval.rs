@@ -21,7 +21,10 @@ use fusemax_dse::search::{
 };
 use fusemax_dse::{DesignSpace, Objectives, Sweeper};
 use fusemax_model::{ConfigKind, ModelParams};
-use fusemax_serve::{Arrivals, LengthMix, ServeObjective, ServeSim, Sla, Trace, TrafficSpec};
+use fusemax_serve::{
+    Arrivals, FaultSpec, Fleet, FleetSpec, LengthMix, ServeObjective, ServeSim, Sla, Trace,
+    TrafficSpec,
+};
 use fusemax_telemetry::{Metrics, SearchBudgetAttribution, VecSink};
 use fusemax_workloads::TransformerConfig;
 use std::hint::black_box;
@@ -235,8 +238,32 @@ fn telemetry_json() -> String {
         .build()
         .run(&trace);
 
+    // A seeded fault-injected 4-replica fleet run: two mid-trace
+    // fail-stops (one recovers) under a load-shed watermark, so the
+    // retry and shed counters are exercised. Both are event-derived and
+    // seeded — deterministic keys the baseline diff gates on.
+    let fleet_trace = TrafficSpec {
+        arrivals: Arrivals::Poisson { rate_per_s: 2000.0 },
+        prompt_mix: LengthMix::new([(512, 3.0), (4096, 1.0)]),
+        output_mix: LengthMix::uniform([8, 32]),
+        requests: 80,
+    }
+    .generate(11);
+    let horizon_s = fleet_trace.last_arrival_s();
+    let faults = FaultSpec::none()
+        .down(0.25 * horizon_s, 1)
+        .down(0.45 * horizon_s, 2)
+        .up(0.7 * horizon_s, 2)
+        .with_shed_watermark(0.6);
+    let (fleet_recorder, fleet_sink) = VecSink::recorder();
+    Fleet::new(FleetSpec::replicated(4), ServeSim::for_point(&point, &ModelParams::default()))
+        .with_recorder(fleet_recorder)
+        .with_faults(faults)
+        .run_detailed(&fleet_trace);
+
     let mut events = sink.events();
     events.extend(serve_sink.events());
+    events.extend(fleet_sink.events());
     let metrics = Metrics::from_events(&events);
     // The budget-attribution block: where the two genetic runs' staged
     // candidates went (screen / cache / full model). Event-derived and
@@ -246,11 +273,14 @@ fn telemetry_json() -> String {
     format!(
         concat!(
             "{{\"search_cache_hit_ratio\":{:.4},\"search_flush_batch_mean\":{:.3},",
-            "\"serve_batch_mean\":{:.3},\"events\":{},\"attribution\":{}}}"
+            "\"serve_batch_mean\":{:.3},\"serve_retries\":{},\"serve_sheds\":{},",
+            "\"events\":{},\"attribution\":{}}}"
         ),
         metrics.gauge("search.cache.hit_ratio").unwrap_or(0.0),
         metrics.histogram("search.flush_batch").map_or(0.0, |h| h.mean()),
         metrics.gauge("serve.batch_mean").unwrap_or(0.0),
+        metrics.counter("serve.retries"),
+        metrics.counter("serve.sheds"),
         events.len(),
         attribution.json(),
     )

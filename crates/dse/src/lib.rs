@@ -152,7 +152,7 @@ pub use objective::{MeritScore, Objective};
 pub use pareto::{dominates, pareto_ranks, Objectives, ParetoFrontier};
 pub use space::{
     arch_for, AxisIndex, Candidate, DesignPoint, DesignSpace, FleetSpec, QueueOrder, RouterPolicy,
-    SchedulerPolicy,
+    SchedulerPolicy, SpecError,
 };
 pub use sweep::{Evaluation, FrontierGroup, SweepOutcome, SweepStats, Sweeper};
 pub use validate::{validate_top_k, Validation, ValidationStatus};

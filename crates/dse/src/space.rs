@@ -48,6 +48,41 @@ impl QueueOrder {
     }
 }
 
+/// Why a [`SchedulerPolicy`] or [`FleetSpec`] is not a valid
+/// configuration. Returned by the `validate` constructors so callers
+/// (builders, CLI flag parsing) can reject bad specs with a typed,
+/// printable reason instead of a panic deep inside a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecError {
+    /// `chunk_tokens == Some(0)`: a prefill chunk must hold ≥ 1 token.
+    EmptyPrefillChunk,
+    /// The waiting/served admission ratio is negative, NaN, or infinite.
+    BadAdmissionRatio,
+    /// A replicated fleet with zero replicas.
+    NoReplicas,
+    /// A disaggregated fleet with zero prefill or zero decode chips.
+    EmptyDisaggregatedStage,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::EmptyPrefillChunk => {
+                write!(f, "prefill chunk must hold at least one token")
+            }
+            SpecError::BadAdmissionRatio => {
+                write!(f, "waiting/served admission ratio must be finite and non-negative")
+            }
+            SpecError::NoReplicas => write!(f, "a fleet needs at least one replica"),
+            SpecError::EmptyDisaggregatedStage => {
+                write!(f, "both disaggregated stages need at least one chip")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 /// The serving-scheduler configuration co-searched with the hardware: how
 /// prefill is chunked, how eagerly the waiting queue is drained, and in
 /// what order.
@@ -102,6 +137,23 @@ impl SchedulerPolicy {
     /// ([`SchedulerPolicy::unbounded`]).
     pub fn is_unbounded(&self) -> bool {
         *self == SchedulerPolicy::unbounded()
+    }
+
+    /// Checks the policy's invariants, returning the first violation: a
+    /// chunked policy must budget ≥ 1 prefill token per iteration, and
+    /// the admission ratio must be finite and non-negative. The asserting
+    /// constructors ([`SchedulerPolicy::chunked`],
+    /// [`SchedulerPolicy::with_waiting_served_ratio`]) uphold the same
+    /// invariants; `validate` is the non-panicking form for specs built
+    /// field-by-field (CLI flags, JSON).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.chunk_tokens == Some(0) {
+            return Err(SpecError::EmptyPrefillChunk);
+        }
+        if !self.waiting_served_ratio.is_finite() || self.waiting_served_ratio < 0.0 {
+            return Err(SpecError::BadAdmissionRatio);
+        }
+        Ok(())
     }
 }
 
@@ -231,6 +283,21 @@ impl FleetSpec {
     /// `true` when this is the legacy single-chip topology.
     pub fn is_single(&self) -> bool {
         *self == FleetSpec::single()
+    }
+
+    /// Checks the topology's invariants, returning the first violation:
+    /// a replicated fleet needs ≥ 1 replica, and a disaggregated fleet
+    /// needs ≥ 1 chip in each stage. The asserting constructors
+    /// ([`FleetSpec::replicated`], [`FleetSpec::disaggregated`]) uphold
+    /// the same invariants; `validate` is the non-panicking form for
+    /// specs built field-by-field (CLI flags, JSON).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        match self.prefill_decode {
+            Some((p, d)) if p == 0 || d == 0 => Err(SpecError::EmptyDisaggregatedStage),
+            Some(_) => Ok(()),
+            None if self.replicas == 0 => Err(SpecError::NoReplicas),
+            None => Ok(()),
+        }
     }
 }
 
@@ -843,6 +910,35 @@ mod tests {
             "2x/sp"
         );
         assert_eq!(FleetSpec::disaggregated(2, 6).to_string(), "2p+6d/rr");
+    }
+
+    #[test]
+    fn spec_validation_rejects_each_degenerate_shape() {
+        // Scheduler: zero-token chunk.
+        let zero_chunk = SchedulerPolicy { chunk_tokens: Some(0), ..SchedulerPolicy::default() };
+        assert_eq!(zero_chunk.validate(), Err(SpecError::EmptyPrefillChunk));
+        // Scheduler: non-finite / negative admission ratio.
+        for bad in [f64::NAN, f64::INFINITY, -0.5] {
+            let policy =
+                SchedulerPolicy { waiting_served_ratio: bad, ..SchedulerPolicy::default() };
+            assert_eq!(policy.validate(), Err(SpecError::BadAdmissionRatio), "{bad}");
+        }
+        // Fleet: zero replicas.
+        let empty = FleetSpec { replicas: 0, ..FleetSpec::single() };
+        assert_eq!(empty.validate(), Err(SpecError::NoReplicas));
+        // Fleet: an empty disaggregated stage (either side).
+        for pd in [(0, 2), (2, 0)] {
+            let fleet = FleetSpec { prefill_decode: Some(pd), ..FleetSpec::single() };
+            assert_eq!(fleet.validate(), Err(SpecError::EmptyDisaggregatedStage), "{pd:?}");
+        }
+        // Every constructor-built spec validates clean.
+        assert_eq!(SchedulerPolicy::unbounded().validate(), Ok(()));
+        assert_eq!(SchedulerPolicy::chunked(256).with_waiting_served_ratio(1.2).validate(), Ok(()));
+        assert_eq!(FleetSpec::single().validate(), Ok(()));
+        assert_eq!(FleetSpec::replicated(4).validate(), Ok(()));
+        assert_eq!(FleetSpec::disaggregated(1, 3).validate(), Ok(()));
+        // The errors render human-readable reasons for CLI surfaces.
+        assert_eq!(SpecError::NoReplicas.to_string(), "a fleet needs at least one replica");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Per-request latency attribution and SLA forensics: every recorded
-//! TTFT and end-to-end latency decomposed into queue wait, prefill work,
+//! TTFT and end-to-end latency decomposed into retry overhead (backoff
+//! and lost work after replica failures), queue wait, prefill work,
 //! decode-interleave stall, K/V handoff, and decode time — with the
 //! decomposition folding **bit-exactly** back to the recorded latency
 //! (the same [`fusemax_model::exact_split`] machinery the model-side
@@ -12,8 +13,13 @@
 
 use fusemax_model::exact_split;
 
-/// The five end-to-end latency buckets, in charge order.
-pub const LATENCY_BUCKETS: [&str; 5] = ["queue_wait", "prefill", "stall", "kv_handoff", "decode"];
+/// The six end-to-end latency buckets, in charge order. The `retry`
+/// bucket (first — it is charged before everything else a surviving
+/// attempt experiences) holds backoff wait plus lost work from replica
+/// failures; it is exactly 0.0 in fault-free runs, so legacy folds are
+/// unchanged bit-for-bit.
+pub const LATENCY_BUCKETS: [&str; 6] =
+    ["retry", "queue_wait", "prefill", "stall", "kv_handoff", "decode"];
 
 /// One request's exact latency decomposition.
 ///
@@ -21,23 +27,27 @@ pub const LATENCY_BUCKETS: [&str; 5] = ["queue_wait", "prefill", "stall", "kv_ha
 /// proptests across scheduler policies, fleets, and disaggregated
 /// topologies):
 ///
-/// * `queue_wait_s + prefill_s + stall_s` left-folds to `ttft_s`
-///   bit-exactly (when the request produced a first token);
-/// * all five buckets left-fold to `e2e_s` bit-exactly.
+/// * `retry_s + queue_wait_s + prefill_s + stall_s` left-folds to
+///   `ttft_s` bit-exactly (when the request produced a first token);
+/// * all six buckets left-fold to `e2e_s` bit-exactly.
 ///
-/// Buckets are charged hierarchically in order: queue wait (arrival →
-/// admission) first, then charged prefill seconds, with the stall bucket
-/// absorbing the TTFT residual (iterations spent resident but serving
-/// other requests' work — chunk starvation, co-batched decode); the
-/// decode bucket absorbs the post-first-token residual. For
-/// disaggregated fleets the decode bucket also absorbs the decode chip's
-/// own queue wait.
+/// Buckets are charged hierarchically in order: retry overhead (backoff
+/// wait plus work lost to replica failures; 0.0 in fault-free runs)
+/// first, then queue wait (arrival → admission), then charged prefill
+/// seconds, with the stall bucket absorbing the TTFT residual
+/// (iterations spent resident but serving other requests' work — chunk
+/// starvation, co-batched decode); the decode bucket absorbs the
+/// post-first-token residual. For disaggregated fleets the decode bucket
+/// also absorbs the decode chip's own queue wait.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LatencyAttribution {
     /// Trace request id.
     pub req: usize,
     /// Arrival time, seconds.
     pub arrival_s: f64,
+    /// Retry overhead: backoff wait and re-prefilled work charged to
+    /// replica failures (exactly 0.0 when the request never retried).
+    pub retry_s: f64,
     /// Seconds from arrival to admission into the resident batch.
     pub queue_wait_s: f64,
     /// Charged prefill service seconds (whole-prompt or chunked).
@@ -76,6 +86,7 @@ impl LatencyAttribution {
                 LatencyAttribution {
                     req,
                     arrival_s,
+                    retry_s: 0.0,
                     queue_wait_s: first[0],
                     prefill_s: first[1],
                     stall_s: first[2],
@@ -90,6 +101,7 @@ impl LatencyAttribution {
                 LatencyAttribution {
                     req,
                     arrival_s,
+                    retry_s: 0.0,
                     queue_wait_s: split[0],
                     prefill_s: 0.0,
                     stall_s: 0.0,
@@ -121,10 +133,73 @@ impl LatencyAttribution {
         }
     }
 
-    /// The five end-to-end buckets, labeled, in charge order
+    /// Re-times a surviving attempt's attribution against the request's
+    /// *original* arrival: the backoff wait and lost-attempt time become
+    /// the named `retry` bucket instead of silently inflating
+    /// `queue_wait`, and the folds stay bit-exact against the true
+    /// end-to-end latency (`e2e_total_s`, measured from the original
+    /// arrival).
+    ///
+    /// Construction (relying only on [`exact_split`]'s hard guarantees —
+    /// the full fold always equals the total, and the *first* natural is
+    /// preserved verbatim when it does not exceed the total):
+    ///
+    /// 1. the true TTFT is the retry overhead plus the surviving
+    ///    attempt's TTFT, clamped to `e2e_total_s`;
+    /// 2. the TTFT is split over `[retry, queue, prefill]` naturals, so
+    ///    the four TTFT buckets fold to it bit-exactly;
+    /// 3. `e2e_total_s` is split over `[true_ttft, kv]`, whose first part
+    ///    returns `true_ttft` verbatim — so the six-bucket left fold
+    ///    collapses to `(true_ttft + kv) + decode = e2e_total_s`.
+    pub(crate) fn with_retry(
+        base: &LatencyAttribution,
+        retry_wait_s: f64,
+        orig_arrival_s: f64,
+        e2e_total_s: f64,
+    ) -> Self {
+        let retry_nat = retry_wait_s.max(0.0);
+        match base.ttft_s {
+            Some(t) => {
+                let true_ttft = (retry_nat + t).min(e2e_total_s);
+                let first = exact_split(true_ttft, &[retry_nat, base.queue_wait_s, base.prefill_s]);
+                let rest = exact_split(e2e_total_s, &[true_ttft, base.kv_handoff_s]);
+                LatencyAttribution {
+                    req: base.req,
+                    arrival_s: orig_arrival_s,
+                    retry_s: first[0],
+                    queue_wait_s: first[1],
+                    prefill_s: first[2],
+                    stall_s: first[3],
+                    kv_handoff_s: rest[1],
+                    decode_s: rest[2],
+                    ttft_s: Some(true_ttft),
+                    e2e_s: e2e_total_s,
+                }
+            }
+            None => {
+                let split =
+                    exact_split(e2e_total_s, &[retry_nat, base.queue_wait_s, base.kv_handoff_s]);
+                LatencyAttribution {
+                    req: base.req,
+                    arrival_s: orig_arrival_s,
+                    retry_s: split[0],
+                    queue_wait_s: split[1],
+                    prefill_s: 0.0,
+                    stall_s: 0.0,
+                    kv_handoff_s: split[2],
+                    decode_s: split[3],
+                    ttft_s: None,
+                    e2e_s: e2e_total_s,
+                }
+            }
+        }
+    }
+
+    /// The six end-to-end buckets, labeled, in charge order
     /// ([`LATENCY_BUCKETS`]).
-    pub fn e2e_components(&self) -> [(&'static str, f64); 5] {
+    pub fn e2e_components(&self) -> [(&'static str, f64); 6] {
         [
+            ("retry", self.retry_s),
             ("queue_wait", self.queue_wait_s),
             ("prefill", self.prefill_s),
             ("stall", self.stall_s),
@@ -133,9 +208,15 @@ impl LatencyAttribution {
         ]
     }
 
-    /// The TTFT buckets (queue wait, prefill, stall), in charge order.
-    pub fn ttft_components(&self) -> [(&'static str, f64); 3] {
-        [("queue_wait", self.queue_wait_s), ("prefill", self.prefill_s), ("stall", self.stall_s)]
+    /// The TTFT buckets (retry, queue wait, prefill, stall), in charge
+    /// order.
+    pub fn ttft_components(&self) -> [(&'static str, f64); 4] {
+        [
+            ("retry", self.retry_s),
+            ("queue_wait", self.queue_wait_s),
+            ("prefill", self.prefill_s),
+            ("stall", self.stall_s),
+        ]
     }
 
     /// The bucket holding the largest share of end-to-end latency (ties
@@ -154,7 +235,7 @@ impl LatencyAttribution {
     pub fn validate(&self) -> Result<(), String> {
         let fold = |parts: &[f64]| parts.iter().fold(0.0f64, |acc, c| acc + c);
         if let Some(t) = self.ttft_s {
-            let sum = fold(&[self.queue_wait_s, self.prefill_s, self.stall_s]);
+            let sum = fold(&[self.retry_s, self.queue_wait_s, self.prefill_s, self.stall_s]);
             if sum.to_bits() != t.to_bits() {
                 return Err(format!(
                     "req {}: ttft components fold to {sum:e}, recorded ttft is {t:e}",
@@ -163,6 +244,7 @@ impl LatencyAttribution {
             }
         }
         let sum = fold(&[
+            self.retry_s,
             self.queue_wait_s,
             self.prefill_s,
             self.stall_s,
@@ -289,6 +371,39 @@ mod tests {
         assert_eq!(full.stall_s, prefill.stall_s);
         assert!(full.kv_handoff_s > 0.0);
         assert_eq!(full.e2e_s, 1.0);
+    }
+
+    #[test]
+    fn with_retry_folds_bit_exactly_and_names_the_retry_bucket() {
+        // The surviving attempt: arrived (re-admitted) at 2.0, queued
+        // 0.25s, prefilled 0.5s, first token at attempt-relative 0.9s.
+        let base = LatencyAttribution::from_run(3, 2.0, 2.25, 0.5, Some(0.9), 2.1);
+        // Original arrival 0.3, so the retry overhead (backoff + lost
+        // first attempt) is 1.7s and the true e2e is 2.1 + 1.7 = 3.8s.
+        let full = LatencyAttribution::with_retry(&base, 1.7, 0.3, 1.7 + 2.1);
+        full.validate().unwrap();
+        assert_eq!(full.req, 3);
+        assert_eq!(full.arrival_s, 0.3);
+        assert_eq!(full.retry_s, 1.7, "retry is the first natural: preserved verbatim");
+        assert_eq!(full.ttft_s, Some(1.7 + 0.9));
+        assert_eq!(full.e2e_s, 1.7 + 2.1);
+        assert_eq!(full.dominant_bucket(), "retry");
+        // Decode-only base (no TTFT): retry still charges first.
+        let decode_only = LatencyAttribution::from_run(4, 1.0, 1.5, 0.0, None, 2.0);
+        let retried = LatencyAttribution::with_retry(&decode_only, 0.4, 0.5, 2.5);
+        retried.validate().unwrap();
+        assert_eq!(retried.retry_s, 0.4);
+        assert_eq!(retried.ttft_s, None);
+    }
+
+    #[test]
+    fn fault_free_attributions_carry_a_zero_retry_bucket() {
+        let a = LatencyAttribution::from_run(1, 0.0, 0.1, 0.2, Some(0.5), 1.0);
+        assert_eq!(a.retry_s, 0.0);
+        assert_eq!(a.e2e_components()[0], ("retry", 0.0));
+        assert_eq!(a.ttft_components()[0], ("retry", 0.0));
+        assert_eq!(LATENCY_BUCKETS[0], "retry");
+        a.validate().unwrap();
     }
 
     #[test]

@@ -39,7 +39,8 @@
 //! the transfer wire time.
 
 use crate::attribution::LatencyAttribution;
-use crate::report::{LatencyStats, ServeReport};
+use crate::fault::{FaultKind, FaultSpec, Segment};
+use crate::report::{FaultStats, LatencyStats, ServeReport};
 use crate::sim::{RunSamples, ServeSim};
 use crate::table::ServiceTimeTable;
 use crate::traffic::{Request, Trace};
@@ -83,6 +84,7 @@ pub struct Fleet {
     spec: FleetSpec,
     template: ServeSim,
     recorder: Recorder,
+    faults: FaultSpec,
 }
 
 /// A fleet run's full breakdown: the merged fleet-level report plus
@@ -114,8 +116,17 @@ pub struct FleetReport {
     /// Per-request exact latency attributions over the whole fleet. For
     /// a disaggregated fleet each multi-token request's TTFT buckets come
     /// from its prefill chip, the K/V wire is charged explicitly, and the
-    /// decode bucket absorbs the decode chip's own queue wait.
+    /// decode bucket absorbs the decode chip's own queue wait. Under
+    /// fault injection, retried requests carry the named `retry` bucket
+    /// and shed requests carry no attribution at all.
     pub attributions: Vec<LatencyAttribution>,
+    /// Fault-handling counters: retries dispatched, requests shed, and
+    /// availability. The [`Default`] value for fault-free runs.
+    pub faults: FaultStats,
+    /// Trace request ids shed under fault injection (ascending; empty
+    /// for fault-free runs). `completed + shed_ids.len()` always equals
+    /// the trace length — the conservation contract.
+    pub shed_ids: Vec<usize>,
 }
 
 /// One chip's share of the fleet's work: the imbalance row of
@@ -172,7 +183,7 @@ impl Fleet {
     /// A fleet of `spec.chips()` copies of `replica` (its design,
     /// scheduler policy, and workload are shared by every chip).
     pub fn new(spec: FleetSpec, replica: ServeSim) -> Self {
-        Fleet { spec, template: replica, recorder: Recorder::disabled() }
+        Fleet { spec, template: replica, recorder: Recorder::disabled(), faults: FaultSpec::none() }
     }
 
     /// The fleet a DSE design point describes: the point's per-chip
@@ -190,9 +201,24 @@ impl Fleet {
         self
     }
 
+    /// Injects a deterministic fault timeline. An empty spec
+    /// ([`FaultSpec::none`]) is the contract-preserving no-op: the run
+    /// takes the legacy fault-free code path and reproduces the golden
+    /// traces and reports byte-for-byte (test-enforced). A non-empty
+    /// spec is validated against the trace horizon at run time.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// The fleet shape.
     pub fn spec(&self) -> FleetSpec {
         self.spec
+    }
+
+    /// The fault timeline this fleet replays under.
+    pub fn faults(&self) -> &FaultSpec {
+        &self.faults
     }
 
     /// The stage-1 router assignment for `trace`: one replica index per
@@ -214,11 +240,26 @@ impl Fleet {
     }
 
     /// Serves `trace` and returns the full per-replica breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-empty fault spec fails
+    /// [`FaultSpec::validate`] against the trace horizon.
     pub fn run_detailed(&self, trace: &Trace) -> FleetReport {
         let costs = self.template.service_times(trace);
+        if self.faults.is_empty() {
+            // Fault-free: the legacy byte-identical paths, untouched.
+            return match self.spec.prefill_decode {
+                None => self.run_replicated(trace, &costs),
+                Some((p, d)) => self.run_disaggregated(trace, &costs, p.max(1), d.max(1)),
+            };
+        }
+        if let Err(e) = self.faults.validate(trace.last_arrival_s()) {
+            panic!("invalid fault spec: {e}");
+        }
         match self.spec.prefill_decode {
-            None => self.run_replicated(trace, &costs),
-            Some((p, d)) => self.run_disaggregated(trace, &costs, p.max(1), d.max(1)),
+            None => self.run_replicated_faulted(trace, &costs),
+            Some((p, d)) => self.run_disaggregated_faulted(trace, &costs, p.max(1), d.max(1)),
         }
     }
 
@@ -302,6 +343,8 @@ impl Fleet {
             kv_transfer_s: 0.0,
             replica_events,
             attributions,
+            faults: FaultStats::default(),
+            shed_ids: Vec::new(),
         }
     }
 
@@ -422,8 +465,639 @@ impl Fleet {
             kv_transfer_s,
             replica_events,
             attributions,
+            faults: FaultStats::default(),
+            shed_ids: Vec::new(),
         }
     }
+
+    /// Narrates the fault timeline (in replay order) onto the fleet
+    /// recorder before any routing — the stream-order contract in
+    /// `docs/DETERMINISM.md`.
+    fn narrate_faults(&self, chips: usize) {
+        for e in self.faults.ordered_events() {
+            let replica = e.replica % chips;
+            let t = e.t_s;
+            match e.kind {
+                FaultKind::Down => {
+                    self.recorder.emit(|| Event::serve(t, ServeEvent::ReplicaDown { replica }));
+                }
+                FaultKind::Up => {
+                    self.recorder.emit(|| Event::serve(t, ServeEvent::ReplicaUp { replica }));
+                }
+                FaultKind::Throttle { slowdown } => {
+                    self.recorder.emit(|| {
+                        Event::serve(t, ServeEvent::Degraded { replica, slowdown, dram: false })
+                    });
+                }
+                FaultKind::Brownout { slowdown } => {
+                    self.recorder.emit(|| {
+                        Event::serve(t, ServeEvent::Degraded { replica, slowdown, dram: true })
+                    });
+                }
+            }
+        }
+    }
+
+    /// The failure-aware replicated path: one segment sweep over the
+    /// whole fleet, with in-sweep retry/re-route of displaced requests.
+    fn run_replicated_faulted(&self, trace: &Trace, costs: &ServiceTimeTable) -> FleetReport {
+        let n = self.spec.replicas.max(1);
+        let segs = self.faults.segments(n);
+        self.narrate_faults(n);
+        let base_routes = self.stage1_routes(trace, Some(costs));
+        let instances: Vec<PendInst> = trace
+            .requests
+            .iter()
+            .map(|r| PendInst { req: *r, orig_arrival_s: r.arrival_s, attempt: 0 })
+            .collect();
+        let mut aggs: Vec<ChipAgg> = (0..n).map(|_| ChipAgg::default()).collect();
+        let mut chip_events: Vec<Vec<Event>> = vec![Vec::new(); n];
+        let out = self.sweep_stage(
+            instances,
+            &base_routes,
+            &segs,
+            0,
+            costs,
+            false,
+            true,
+            &mut aggs,
+            &mut chip_events,
+        );
+        debug_assert!(out.displaced.is_empty(), "in-stage retry never displaces");
+
+        let mut attributions = Vec::with_capacity(out.completions.len());
+        let (mut ttft, mut e2e) = (Vec::new(), Vec::new());
+        for (inst, done, base) in out.completions {
+            let attr = finish_attribution(&inst, done, base);
+            if let Some(t) = attr.ttft_s {
+                ttft.push(t);
+            }
+            e2e.push(attr.e2e_s);
+            attributions.push(attr);
+        }
+        let buffer = self.template.arch().global_buffer_bytes;
+        let replicas: Vec<ServeReport> = aggs.iter().map(|a| a.report(buffer)).collect();
+        let tpot: Vec<f64> = aggs.iter().flat_map(|a| a.tpot.iter().copied()).collect();
+        let completed = attributions.len();
+        let output_tokens = aggs.iter().map(|a| a.output_tokens).sum();
+        let merged =
+            merge_reports(&replicas, self.spec.chips(), completed, output_tokens, ttft, tpot, e2e);
+
+        let routes: Vec<usize> = out
+            .initial_chips
+            .iter()
+            .zip(&base_routes)
+            .map(|(c, &base)| c.unwrap_or(base))
+            .collect();
+        let mut shed_ids = out.shed;
+        shed_ids.sort_unstable();
+        let replica_events = self.name_chip_events(chip_events, |k| format!("replica {k}"));
+        FleetReport {
+            merged,
+            replicas,
+            routes,
+            kv_transfer_bytes: 0,
+            kv_transfer_s: 0.0,
+            replica_events,
+            attributions,
+            faults: FaultStats::of(completed, out.retries, shed_ids.len()),
+            shed_ids,
+        }
+    }
+
+    /// The failure-aware disaggregated path. Each round sweeps the
+    /// prefill chips (with in-stage retry — a prefill-chip death never
+    /// disturbs the decode chips, which simply drain), hands completed
+    /// prompts' K/V caches to health-aware decode chips, and sweeps the
+    /// decode chips *without* in-stage retry: a decode-chip death loses
+    /// the K/V cache, so the displaced requests re-enter the next round
+    /// at the prefill stage — the honest re-prefill charge.
+    fn run_disaggregated_faulted(
+        &self,
+        trace: &Trace,
+        costs: &ServiceTimeTable,
+        p: usize,
+        d: usize,
+    ) -> FleetReport {
+        let segs = self.faults.segments(p + d);
+        let (pre_segs, dec_segs) = segs.split_at(p);
+        self.narrate_faults(p + d);
+
+        let arch = self.template.arch();
+        let kv_per_token = self.template.workload().kv_bytes_per_token(arch.word_bytes);
+        let dram_bw = arch.dram_bw_bytes_per_sec;
+        let orig_of: HashMap<usize, Request> = trace.requests.iter().map(|r| (r.id, *r)).collect();
+
+        let mut aggs: Vec<ChipAgg> = (0..p + d).map(|_| ChipAgg::default()).collect();
+        let mut chip_events: Vec<Vec<Event>> = vec![Vec::new(); p + d];
+        let mut attributions: Vec<LatencyAttribution> = Vec::with_capacity(trace.len());
+        let mut routes = self.stage1_routes(trace, Some(costs));
+        let mut shed_ids: Vec<usize> = Vec::new();
+        let mut retries = 0usize;
+        let mut output_tokens = 0usize;
+        let (mut kv_transfer_bytes, mut kv_transfer_s) = (0u64, 0.0f64);
+        let mut dec_assigned = vec![0usize; d];
+
+        // Round 0 serves the whole trace; later rounds re-prefill the
+        // requests a decode-chip death displaced. Attempts are bounded by
+        // the retry budget, so the loop terminates.
+        let mut pending: Vec<PendInst> = trace
+            .requests
+            .iter()
+            .map(|r| PendInst {
+                req: Request { output_tokens: 1, ..*r },
+                orig_arrival_s: r.arrival_s,
+                attempt: 0,
+            })
+            .collect();
+        let mut round = 0usize;
+        while !pending.is_empty() {
+            pending.sort_by(|a, b| {
+                a.req.arrival_s.total_cmp(&b.req.arrival_s).then(a.req.id.cmp(&b.req.id))
+            });
+            let tmp = Trace { requests: pending.iter().map(|i| i.req).collect() };
+            let base = self.stage1_routes(&tmp, Some(costs));
+            let out = self.sweep_stage(
+                std::mem::take(&mut pending),
+                &base,
+                pre_segs,
+                0,
+                costs,
+                false,
+                true,
+                &mut aggs[..p],
+                &mut chip_events[..p],
+            );
+            if round == 0 {
+                for ((c, &b), route) in out.initial_chips.iter().zip(&base).zip(&mut routes) {
+                    *route = c.unwrap_or(b);
+                }
+            }
+            shed_ids.extend(out.shed);
+            retries += out.retries;
+
+            // Handoffs: completed prompts with more tokens to decode move
+            // their full-model K/V cache to a health-aware decode chip at
+            // DRAM bandwidth, scaled by the destination's brownout.
+            let mut dec_insts: Vec<PendInst> = Vec::new();
+            let mut dec_chip_of: HashMap<usize, usize> = HashMap::new();
+            let mut kv_seconds_of: HashMap<usize, f64> = HashMap::new();
+            let mut pre_attr_of: HashMap<usize, LatencyAttribution> = HashMap::new();
+            for (inst, done, attr) in out.completions {
+                let orig = orig_of[&inst.req.id];
+                if orig.output_tokens <= 1 {
+                    output_tokens += orig.output_tokens;
+                    attributions.push(finish_attribution(&inst, done, attr));
+                    continue;
+                }
+                let Some((k, _, _)) = place_balanced(dec_segs, &dec_assigned, done) else {
+                    // No decode chip is ever up again: the prompt's output
+                    // can never be generated.
+                    let req = orig.id as u64;
+                    self.recorder.emit(|| Event::serve(done, ServeEvent::Shed { req }));
+                    shed_ids.push(orig.id);
+                    continue;
+                };
+                dec_assigned[k] += 1;
+                let bytes = kv_per_token * orig.prompt_tokens as u64;
+                let (_, _, dram_mult) = covering_multipliers(&dec_segs[k], done);
+                let seconds = bytes as f64 / dram_bw * dram_mult;
+                kv_transfer_bytes += bytes;
+                kv_transfer_s += seconds;
+                kv_seconds_of.insert(orig.id, seconds);
+                pre_attr_of.insert(orig.id, attr);
+                dec_chip_of.insert(orig.id, k);
+                let req = orig.id as u64;
+                self.recorder
+                    .emit(|| Event::serve(done, ServeEvent::KvTransfer { req, bytes, seconds }));
+                dec_insts.push(PendInst {
+                    req: Request { arrival_s: done + seconds, ..orig },
+                    orig_arrival_s: inst.orig_arrival_s,
+                    attempt: inst.attempt,
+                });
+            }
+            dec_insts.sort_by(|a, b| {
+                a.req.arrival_s.total_cmp(&b.req.arrival_s).then(a.req.id.cmp(&b.req.id))
+            });
+            let dec_base: Vec<usize> = dec_insts.iter().map(|i| dec_chip_of[&i.req.id]).collect();
+
+            // Stage 2: decode on the surviving decode chips — no in-stage
+            // retry, because a decode-chip death loses the K/V cache and
+            // the displaced requests must re-prefill next round.
+            let dec_out = self.sweep_stage(
+                dec_insts,
+                &dec_base,
+                dec_segs,
+                p,
+                costs,
+                true,
+                false,
+                &mut aggs[p..],
+                &mut chip_events[p..],
+            );
+            shed_ids.extend(dec_out.shed);
+            retries += dec_out.retries;
+            for (inst, done, _) in dec_out.completions {
+                let id = inst.req.id;
+                let orig = orig_of[&id];
+                let pre = &pre_attr_of[&id];
+                let composed = LatencyAttribution::with_kv_handoff(
+                    pre,
+                    kv_seconds_of[&id],
+                    done - pre.arrival_s,
+                );
+                output_tokens += orig.output_tokens;
+                attributions.push(finish_attribution(&inst, done, composed));
+            }
+            pending = dec_out
+                .displaced
+                .into_iter()
+                .map(|i| PendInst { req: Request { output_tokens: 1, ..i.req }, ..i })
+                .collect();
+            round += 1;
+        }
+
+        let buffer = self.template.arch().global_buffer_bytes;
+        let replicas: Vec<ServeReport> = aggs.iter().map(|a| a.report(buffer)).collect();
+        let (mut ttft, mut e2e) = (Vec::new(), Vec::new());
+        for a in &attributions {
+            if let Some(t) = a.ttft_s {
+                ttft.push(t);
+            }
+            e2e.push(a.e2e_s);
+        }
+        let tpot: Vec<f64> = aggs.iter().flat_map(|a| a.tpot.iter().copied()).collect();
+        let completed = attributions.len();
+        let merged =
+            merge_reports(&replicas, self.spec.chips(), completed, output_tokens, ttft, tpot, e2e);
+        shed_ids.sort_unstable();
+        let replica_events = self.name_chip_events(chip_events, |k| {
+            if k < p {
+                format!("prefill {k}")
+            } else {
+                format!("decode {}", k - p)
+            }
+        });
+        FleetReport {
+            merged,
+            replicas,
+            routes,
+            kv_transfer_bytes,
+            kv_transfer_s,
+            replica_events,
+            attributions,
+            faults: FaultStats::of(completed, retries, shed_ids.len()),
+            shed_ids,
+        }
+    }
+
+    /// Serves one stage's instances across `segs.len()` chips that may
+    /// fail and recover. Each instance is placed at its arrival into an
+    /// up-time window (its base route if alive, the next alive chip
+    /// otherwise, the earliest future window failing that, shed failing
+    /// *that*); windows run in order of their failure time so requests a
+    /// death displaces can re-enter a later window. With `retry_in_stage`
+    /// the displaced are re-routed here (replicated fleets, prefill
+    /// chips); without it they bubble out in
+    /// [`StageOutcome::displaced`] with their attempt already bumped and
+    /// their arrival set to the backed-off re-admission time (decode
+    /// chips, whose losses must re-prefill).
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_stage(
+        &self,
+        instances: Vec<PendInst>,
+        base_routes: &[usize],
+        segs: &[Vec<Segment>],
+        chip_offset: usize,
+        costs: &ServiceTimeTable,
+        start_prefilled: bool,
+        retry_in_stage: bool,
+        aggs: &mut [ChipAgg],
+        chip_events: &mut [Vec<Event>],
+    ) -> StageOutcome {
+        let n = segs.len();
+        let mut buckets: Vec<Vec<Vec<PendInst>>> =
+            segs.iter().map(|chip| vec![Vec::new(); chip.len()]).collect();
+        let mut assigned = vec![0usize; n];
+        let mut out = StageOutcome::default();
+
+        for (i, inst) in instances.into_iter().enumerate() {
+            let t = inst.req.arrival_s;
+            match place_from(segs, base_routes[i], t) {
+                Some((k, s, at)) => {
+                    let (req, replica) = (inst.req.id as u64, chip_offset + k);
+                    self.recorder.emit(|| Event::serve(t, ServeEvent::Route { req, replica }));
+                    assigned[k] += 1;
+                    out.initial_chips.push(Some(k));
+                    buckets[k][s]
+                        .push(PendInst { req: Request { arrival_s: at, ..inst.req }, ..inst });
+                }
+                None => {
+                    let req = inst.req.id as u64;
+                    self.recorder.emit(|| Event::serve(t, ServeEvent::Shed { req }));
+                    out.shed.push(inst.req.id);
+                    out.initial_chips.push(None);
+                }
+            }
+        }
+
+        // Windows in order of their failure instant (ties to the lower
+        // chip), so a window's losses only ever target later windows.
+        let mut order: Vec<(usize, usize)> =
+            (0..n).flat_map(|k| (0..segs[k].len()).map(move |s| (k, s))).collect();
+        order.sort_by(|&(ka, sa), &(kb, sb)| {
+            segs[ka][sa].end_s.total_cmp(&segs[kb][sb].end_s).then(ka.cmp(&kb)).then(sa.cmp(&sb))
+        });
+        for (k, s) in order {
+            let mut bucket = std::mem::take(&mut buckets[k][s]);
+            if bucket.is_empty() {
+                continue;
+            }
+            bucket.sort_by(|a, b| {
+                a.req.arrival_s.total_cmp(&b.req.arrival_s).then(a.req.id.cmp(&b.req.id))
+            });
+            let sub = Trace { requests: bucket.iter().map(|i| i.req).collect() };
+            let rf = segs[k][s].replica_faults();
+            let (recorder, sink) = if self.recorder.is_enabled() {
+                let (recorder, sink) = VecSink::recorder();
+                (recorder, Some(sink))
+            } else {
+                (Recorder::disabled(), None)
+            };
+            let sim = self.template.fleet_replica(recorder, start_prefilled);
+            let run = sim.run_sampled_faulted(costs, &sub, &rf);
+            if let Some(sink) = sink {
+                chip_events[k].extend(sink.events());
+            }
+            aggs[k].absorb(&run.report, &run.samples);
+            let mut by_id: HashMap<usize, PendInst> =
+                bucket.into_iter().map(|i| (i.req.id, i)).collect();
+            for (&(id, done), attr) in run.samples.completions.iter().zip(&run.samples.attributions)
+            {
+                let inst = by_id.remove(&id).expect("completion for an instance of this bucket");
+                debug_assert_eq!(attr.req, id);
+                out.completions.push((inst, done, attr.clone()));
+            }
+            if run.lost_active.is_empty() && run.lost_waiting.is_empty() {
+                continue;
+            }
+
+            // The window's failure displaced work. In-flight requests lost
+            // their K/V; waiting ones may be shed under the watermark when
+            // surviving capacity falls too low.
+            let dead_at = segs[k][s].end_s;
+            let survivors =
+                segs.iter().filter(|chip| chip.iter().any(|seg| seg.covers(dead_at))).count();
+            let shed_waiting = match self.faults.shed_watermark {
+                Some(w) => (survivors as f64) < w * n as f64,
+                None => false,
+            };
+            let mut lost_active = run.lost_active;
+            lost_active.sort_unstable();
+            let mut lost_waiting = run.lost_waiting;
+            lost_waiting.sort_unstable();
+            let losses = lost_active
+                .into_iter()
+                .map(|id| (id, false))
+                .chain(lost_waiting.into_iter().map(|id| (id, true)));
+            for (id, waiting) in losses {
+                let inst = by_id.remove(&id).expect("loss for an instance of this bucket");
+                let req = id as u64;
+                if waiting && shed_waiting {
+                    self.recorder.emit(|| Event::serve(dead_at, ServeEvent::Shed { req }));
+                    out.shed.push(id);
+                    continue;
+                }
+                let attempt = inst.attempt + 1;
+                if attempt > self.faults.retry.budget {
+                    self.recorder.emit(|| Event::serve(dead_at, ServeEvent::Shed { req }));
+                    out.shed.push(id);
+                    continue;
+                }
+                let delay_s = self.faults.retry.delay_s(attempt);
+                let eff = dead_at + delay_s;
+                if retry_in_stage {
+                    // Only count (and narrate) a retry that actually lands
+                    // somewhere; a fleet with no future capacity sheds.
+                    match place_balanced(segs, &assigned, eff) {
+                        Some((k2, s2, at)) => {
+                            out.retries += 1;
+                            self.recorder.emit(|| {
+                                Event::serve(dead_at, ServeEvent::Retry { req, attempt, delay_s })
+                            });
+                            let replica = chip_offset + k2;
+                            self.recorder
+                                .emit(|| Event::serve(eff, ServeEvent::Route { req, replica }));
+                            assigned[k2] += 1;
+                            buckets[k2][s2].push(PendInst {
+                                req: Request { arrival_s: at, ..inst.req },
+                                orig_arrival_s: inst.orig_arrival_s,
+                                attempt,
+                            });
+                        }
+                        None => {
+                            self.recorder.emit(|| Event::serve(dead_at, ServeEvent::Shed { req }));
+                            out.shed.push(id);
+                        }
+                    }
+                } else {
+                    out.retries += 1;
+                    self.recorder.emit(|| {
+                        Event::serve(dead_at, ServeEvent::Retry { req, attempt, delay_s })
+                    });
+                    out.displaced.push(PendInst {
+                        req: Request { arrival_s: eff, ..inst.req },
+                        orig_arrival_s: inst.orig_arrival_s,
+                        attempt,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Labels the per-chip event streams for [`FleetReport::replica_events`]
+    /// — one `(name, events)` entry per chip when traced (even for chips
+    /// that stayed idle), none otherwise, matching the legacy contract.
+    fn name_chip_events(
+        &self,
+        chip_events: Vec<Vec<Event>>,
+        name: impl Fn(usize) -> String,
+    ) -> Vec<(String, Vec<Event>)> {
+        if !self.recorder.is_enabled() {
+            return Vec::new();
+        }
+        chip_events.into_iter().enumerate().map(|(k, events)| (name(k), events)).collect()
+    }
+}
+
+/// One not-yet-completed request instance flowing through the faulted
+/// fleet: the request as the next engine run will see it (its arrival is
+/// the effective re-admission time after any backoff), the original
+/// trace arrival, and how many retry attempts it has consumed.
+#[derive(Debug, Clone, Copy)]
+struct PendInst {
+    req: Request,
+    orig_arrival_s: f64,
+    attempt: usize,
+}
+
+/// Accumulates one chip's reports and samples across the several engine
+/// runs its up-time windows produce, then renders a single
+/// [`ServeReport`] with the same derived-metric formulas as the engine.
+#[derive(Debug, Clone, Default)]
+struct ChipAgg {
+    completed: usize,
+    output_tokens: usize,
+    iterations: usize,
+    busy_s: f64,
+    makespan_s: f64,
+    peak_resident_bytes: u64,
+    peak_batch: usize,
+    ttft: Vec<f64>,
+    tpot: Vec<f64>,
+    e2e: Vec<f64>,
+}
+
+impl ChipAgg {
+    fn absorb(&mut self, report: &ServeReport, samples: &RunSamples) {
+        self.completed += report.completed;
+        self.output_tokens += report.output_tokens;
+        self.iterations += report.iterations;
+        self.busy_s += report.busy_s;
+        self.makespan_s = self.makespan_s.max(report.makespan_s);
+        self.peak_resident_bytes = self.peak_resident_bytes.max(report.peak_resident_bytes);
+        self.peak_batch = self.peak_batch.max(report.peak_batch);
+        self.ttft.extend_from_slice(&samples.ttft);
+        self.tpot.extend_from_slice(&samples.tpot);
+        self.e2e.extend_from_slice(&samples.e2e);
+    }
+
+    fn report(&self, buffer_bytes: u64) -> ServeReport {
+        let makespan = self.makespan_s;
+        ServeReport {
+            completed: self.completed,
+            output_tokens: self.output_tokens,
+            iterations: self.iterations,
+            makespan_s: makespan,
+            busy_s: self.busy_s,
+            goodput_rps: if makespan > 0.0 { self.completed as f64 / makespan } else { 0.0 },
+            token_throughput_per_s: if makespan > 0.0 {
+                self.output_tokens as f64 / makespan
+            } else {
+                0.0
+            },
+            utilization: if makespan > 0.0 { self.busy_s / makespan } else { 0.0 },
+            peak_resident_bytes: self.peak_resident_bytes,
+            peak_batch: self.peak_batch,
+            buffer_bytes,
+            ttft: LatencyStats::of(&mut self.ttft.clone()),
+            tpot: LatencyStats::of(&mut self.tpot.clone()),
+            e2e: LatencyStats::of(&mut self.e2e.clone()),
+        }
+    }
+}
+
+/// What one [`Fleet::sweep_stage`] pass produced.
+#[derive(Debug, Default)]
+struct StageOutcome {
+    /// `(instance, completion time, engine attribution)` per completed
+    /// request, in deterministic window-processing order.
+    completions: Vec<(PendInst, f64, LatencyAttribution)>,
+    /// Instances displaced by a failure when `retry_in_stage` is off:
+    /// attempt already bumped, arrival set to the re-admission time.
+    displaced: Vec<PendInst>,
+    /// Request ids shed in this stage.
+    shed: Vec<usize>,
+    /// The chip each *input* instance was initially placed on (`None` =
+    /// shed at routing time), parallel to the input order.
+    initial_chips: Vec<Option<usize>>,
+    /// Retry attempts dispatched.
+    retries: usize,
+}
+
+/// The attribution a completed instance finally reports: the engine's
+/// own attribution when the request never waited on a failure, otherwise
+/// re-timed against the original arrival with the backoff and lost work
+/// in the named `retry` bucket.
+fn finish_attribution(inst: &PendInst, done: f64, base: LatencyAttribution) -> LatencyAttribution {
+    if inst.attempt > 0 || base.arrival_s > inst.orig_arrival_s {
+        LatencyAttribution::with_retry(
+            &base,
+            base.arrival_s - inst.orig_arrival_s,
+            inst.orig_arrival_s,
+            done - inst.orig_arrival_s,
+        )
+    } else {
+        base
+    }
+}
+
+/// The first chip at or after `base` (cyclically) with an up-time window
+/// covering `t`; failing that, the earliest future window with the
+/// arrival clamped to its start; `None` when no chip is ever up again.
+fn place_from(segs: &[Vec<Segment>], base: usize, t: f64) -> Option<(usize, usize, f64)> {
+    let n = segs.len();
+    for j in 0..n {
+        let k = (base + j) % n;
+        if let Some(s) = segs[k].iter().position(|seg| seg.covers(t)) {
+            return Some((k, s, t));
+        }
+    }
+    future_window(segs, t)
+}
+
+/// The covering chip with the fewest placements so far (ties to the
+/// lowest index); failing that, the earliest future window.
+fn place_balanced(
+    segs: &[Vec<Segment>],
+    assigned: &[usize],
+    t: f64,
+) -> Option<(usize, usize, f64)> {
+    let mut best: Option<(usize, usize)> = None;
+    for (k, chip) in segs.iter().enumerate() {
+        if let Some(s) = chip.iter().position(|seg| seg.covers(t)) {
+            let better = match best {
+                Some((bk, _)) => (assigned[k], k) < (assigned[bk], bk),
+                None => true,
+            };
+            if better {
+                best = Some((k, s));
+            }
+        }
+    }
+    match best {
+        Some((k, s)) => Some((k, s, t)),
+        None => future_window(segs, t),
+    }
+}
+
+/// The earliest up-time window opening strictly after `t` (ties to the
+/// lowest chip), with the placement time clamped to the window start.
+fn future_window(segs: &[Vec<Segment>], t: f64) -> Option<(usize, usize, f64)> {
+    let mut best: Option<(f64, usize, usize)> = None;
+    for (k, chip) in segs.iter().enumerate() {
+        for (s, seg) in chip.iter().enumerate() {
+            if seg.start_s > t {
+                let better = match best {
+                    Some((bt, bk, _)) => (seg.start_s, k) < (bt, bk),
+                    None => true,
+                };
+                if better {
+                    best = Some((seg.start_s, k, s));
+                }
+                break; // windows are time-ordered per chip
+            }
+        }
+    }
+    best.map(|(start, k, s)| (k, s, start))
+}
+
+/// The `(step_time, compute, dram)` multipliers of the window covering
+/// `t` (healthy `1.0`s when no window covers it — e.g. a K/V transfer
+/// aimed at a window that opens later).
+fn covering_multipliers(chip: &[Segment], t: f64) -> (f64, f64, f64) {
+    chip.iter().find(|seg| seg.covers(t)).map_or((t, 1.0, 1.0), |seg| seg.multipliers_at(t))
 }
 
 /// Deterministic assignment of `reqs` (arrival order) to `n` chips.
@@ -504,6 +1178,7 @@ fn merge_reports(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::RetryPolicy;
     use crate::traffic::{Arrivals, LengthMix, TrafficSpec};
     use fusemax_model::ConfigKind;
     use fusemax_workloads::TransformerConfig;
@@ -664,6 +1339,142 @@ mod tests {
         // End-to-end latency includes both stages plus the wire, so the
         // fleet e2e mean can never beat the prefill-only stage's.
         assert!(detailed.merged.e2e.mean >= detailed.merged.ttft.mean);
+    }
+
+    #[test]
+    fn an_empty_fault_spec_reproduces_the_legacy_run_byte_for_byte() {
+        let trace = mixed_trace(300.0, 50);
+        for spec in [FleetSpec::replicated(3), FleetSpec::disaggregated(1, 2)] {
+            let legacy = Fleet::new(spec, replica()).run_detailed(&trace);
+            let nofault =
+                Fleet::new(spec, replica()).with_faults(FaultSpec::none()).run_detailed(&trace);
+            assert_eq!(legacy, nofault, "{spec}");
+            assert_eq!(nofault.faults, FaultStats::default());
+            assert!(nofault.shed_ids.is_empty());
+            // The traced event streams are byte-identical too.
+            let stream = |fleet: Fleet| {
+                let (recorder, sink) = VecSink::recorder();
+                fleet.with_recorder(recorder).run_detailed(&trace);
+                sink.events()
+                    .iter()
+                    .map(fusemax_telemetry::event_json)
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(
+                stream(Fleet::new(spec, replica())),
+                stream(Fleet::new(spec, replica()).with_faults(FaultSpec::none())),
+                "{spec}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_replica_death_conserves_requests_and_narrates_retries() {
+        let trace = mixed_trace(2000.0, 60);
+        let spec = FleetSpec::replicated(2);
+        let faults = FaultSpec::single_failure(trace.last_arrival_s() * 0.5, 1);
+        let fleet = Fleet::new(spec, replica()).with_faults(faults.clone());
+        let a = fleet.run_detailed(&trace);
+        // Conservation: every trace id completes XOR is shed, exactly once.
+        let mut ids: Vec<usize> = a.attributions.iter().map(|at| at.req).collect();
+        ids.extend(&a.shed_ids);
+        ids.sort_unstable();
+        assert_eq!(ids, (0..60).collect::<Vec<_>>());
+        assert_eq!(a.merged.completed + a.shed_ids.len(), 60);
+        assert!(a.faults.retries > 0, "a mid-trace death must displace in-flight work");
+        // Displaced survivors carry the named retry bucket, and every
+        // attribution still folds bit-exactly.
+        for at in &a.attributions {
+            at.validate().unwrap();
+        }
+        assert!(a.attributions.iter().any(|at| at.retry_s > 0.0));
+        // Bit-identical replay.
+        assert_eq!(a, fleet.run_detailed(&trace));
+        // Tracing narrates the fault and changes nothing.
+        let (recorder, sink) = VecSink::recorder();
+        let traced = Fleet::new(spec, replica()).with_faults(faults).with_recorder(recorder);
+        let t = traced.run_detailed(&trace);
+        assert_eq!(t.merged, a.merged);
+        assert_eq!(t.replica_events.len(), spec.chips());
+        let events = sink.events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::Serve { kind: ServeEvent::ReplicaDown { replica: 1 }, .. }
+        )));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::Serve { kind: ServeEvent::Retry { .. }, .. })));
+    }
+
+    #[test]
+    fn disaggregated_prefill_and_decode_deaths_both_conserve() {
+        let trace = mixed_trace(800.0, 40);
+        let t_down = trace.last_arrival_s() * 0.5;
+        // Chip 0 is a prefill chip, chip 2 the first decode chip of 2p+2d.
+        for victim in [0usize, 2] {
+            let fleet = Fleet::new(FleetSpec::disaggregated(2, 2), replica())
+                .with_faults(FaultSpec::single_failure(t_down, victim));
+            let a = fleet.run_detailed(&trace);
+            let mut ids: Vec<usize> = a.attributions.iter().map(|at| at.req).collect();
+            ids.extend(&a.shed_ids);
+            ids.sort_unstable();
+            assert_eq!(ids, (0..40).collect::<Vec<_>>(), "victim chip {victim}");
+            for at in &a.attributions {
+                at.validate().unwrap();
+            }
+            assert_eq!(a, fleet.run_detailed(&trace), "victim chip {victim}");
+        }
+    }
+
+    #[test]
+    fn the_watermark_sheds_waiting_work_and_a_zero_budget_sheds_everything_displaced() {
+        let trace = mixed_trace(2000.0, 40);
+        let t_down = trace.last_arrival_s() * 0.5;
+        // Budget 0 + watermark 1.0: every displaced request is shed, none
+        // retried.
+        let faults = FaultSpec::single_failure(t_down, 1)
+            .with_retry(RetryPolicy { budget: 0, ..RetryPolicy::default() })
+            .with_shed_watermark(1.0);
+        let fleet = Fleet::new(FleetSpec::replicated(2), replica()).with_faults(faults);
+        let a = fleet.run_detailed(&trace);
+        assert_eq!(a.faults.retries, 0);
+        assert!(!a.shed_ids.is_empty(), "a heavy-load death with budget 0 must shed");
+        assert!(a.faults.availability < 1.0);
+        assert_eq!(a.merged.completed + a.shed_ids.len(), 40);
+        // With a generous budget and no watermark, the same death sheds
+        // nothing: everything displaced is retried onto the survivor.
+        let retried = Fleet::new(FleetSpec::replicated(2), replica())
+            .with_faults(FaultSpec::single_failure(t_down, 1))
+            .run_detailed(&trace);
+        assert!(retried.shed_ids.is_empty());
+        assert_eq!(retried.merged.completed, 40);
+        assert!(retried.faults.retries > 0);
+        assert_eq!(retried.faults.availability, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault spec")]
+    fn invalid_fault_specs_panic_at_run_time() {
+        let trace = mixed_trace(300.0, 10);
+        Fleet::new(FleetSpec::replicated(2), replica())
+            .with_faults(FaultSpec::single_failure(1e9, 0))
+            .run(&trace);
+    }
+
+    #[test]
+    fn recovery_heals_the_fleet_mid_trace() {
+        let trace = mixed_trace(800.0, 60);
+        let horizon = trace.last_arrival_s();
+        let bounce = FaultSpec::none().down(horizon * 0.3, 1).up(horizon * 0.6, 1);
+        let fleet = Fleet::new(FleetSpec::replicated(2), replica()).with_faults(bounce);
+        let a = fleet.run_detailed(&trace);
+        assert_eq!(a.merged.completed + a.shed_ids.len(), 60);
+        // The healed chip serves again after recovery: its report shows
+        // work, and requests arriving at/after the recovery instant can
+        // route to it.
+        assert!(a.replicas[1].completed > 0, "chip 1 must serve before death or after recovery");
+        assert_eq!(a, fleet.run_detailed(&trace));
     }
 
     #[test]

@@ -83,6 +83,7 @@
 //! ```
 
 mod attribution;
+mod fault;
 mod fleet;
 mod objective;
 mod report;
@@ -91,10 +92,11 @@ mod table;
 mod traffic;
 
 pub use attribution::{LatencyAttribution, SlaForensics, SlaViolation, LATENCY_BUCKETS};
+pub use fault::{FaultEvent, FaultKind, FaultSpec, FaultSpecError, RetryPolicy};
 pub use fleet::{Fleet, FleetReport, ReplicaImbalance};
 pub use fusemax_dse::{FleetSpec, QueueOrder, RouterPolicy, SchedulerPolicy};
-pub use objective::{ServeObjective, ServeScore, Sla};
-pub use report::{LatencyStats, ServeReport};
+pub use objective::{ScenarioRanking, ServeObjective, ServeScore, Sla};
+pub use report::{FaultStats, LatencyStats, ServeReport};
 pub use sim::{RunSamples, ServeSim, ServeSimBuilder};
 pub use table::ServiceTimeTable;
 pub use traffic::{Arrivals, LengthMix, Request, Trace, TrafficSpec};

@@ -17,6 +17,7 @@
 //! "goodput per cm²" compares one big chip against N small ones at equal
 //! silicon, which is exactly the trade the fleet axis searches.
 
+use crate::fault::FaultSpec;
 use crate::fleet::Fleet;
 use crate::report::ServeReport;
 use crate::traffic::Trace;
@@ -43,6 +44,20 @@ impl Sla {
     pub fn met_by(&self, report: &ServeReport) -> bool {
         report.ttft.p99 <= self.p99_ttft_s
     }
+}
+
+/// How a multi-scenario (fault-aware) objective folds per-scenario
+/// merits into one ranking value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioRanking {
+    /// Rank by the *minimum* scenario merit — the design is only as good
+    /// as its worst failure. This is the availability-first choice: it
+    /// rewards redundancy (an N+1 fleet keeps serving through any single
+    /// failure) over raw fault-free efficiency.
+    WorstCase,
+    /// Rank by the *mean* scenario merit — each scenario weighted
+    /// equally, trading some worst-case protection for average goodput.
+    Expected,
 }
 
 /// One design's serving score under a [`ServeObjective`].
@@ -98,6 +113,12 @@ pub struct ServeObjective {
     sla: Sla,
     params: ModelParams,
     parallel: bool,
+    // Availability-aware mode: when non-empty, every design is scored
+    // across all of these seeded fault scenarios (include FaultSpec::none
+    // for the fault-free baseline) and ranked per `ranking`.
+    scenarios: Vec<FaultSpec>,
+    ranking: ScenarioRanking,
+    name: String,
     // Trace replays are pure per design point, so in-loop scoring keeps
     // a memo: genetic/annealing walkers revisit points freely without
     // paying the simulation twice.
@@ -111,6 +132,9 @@ impl Clone for ServeObjective {
             sla: self.sla,
             params: self.params.clone(),
             parallel: self.parallel,
+            scenarios: self.scenarios.clone(),
+            ranking: self.ranking,
+            name: self.name.clone(),
             memo: Mutex::new(self.memo.lock().expect("serve objective memo poisoned").clone()),
         }
     }
@@ -128,8 +152,56 @@ impl ServeObjective {
             sla,
             params: ModelParams::default(),
             parallel: true,
+            scenarios: Vec::new(),
+            ranking: ScenarioRanking::WorstCase,
+            name: "sla-goodput-per-cm2".to_string(),
             memo: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Switches the objective into **availability-aware** mode: every
+    /// design is replayed once per scenario in `scenarios` (include
+    /// [`FaultSpec::none`] to keep the fault-free baseline in the set)
+    /// and scored by the `ranking` fold over per-scenario merits.
+    ///
+    /// Per scenario, the merit is completions per second per cm² over a
+    /// **common horizon** — `makespan.max(trace end)` — so a design that
+    /// sheds its queue early cannot inflate goodput by finishing sooner,
+    /// and a design is only SLA-feasible when it meets the SLA under
+    /// *every* scenario. Replays stay deterministic: scenarios are
+    /// scored in order by pure simulations, so parallel and serial
+    /// ranking remain bit-identical.
+    ///
+    /// Passing an empty `scenarios` restores the fault-free objective
+    /// exactly.
+    pub fn with_fault_scenarios(
+        mut self,
+        scenarios: impl IntoIterator<Item = FaultSpec>,
+        ranking: ScenarioRanking,
+    ) -> Self {
+        self.scenarios = scenarios.into_iter().collect();
+        self.ranking = ranking;
+        self.name = if self.scenarios.is_empty() {
+            "sla-goodput-per-cm2".to_string()
+        } else {
+            match ranking {
+                ScenarioRanking::WorstCase => "worst-case-sla-goodput-per-cm2".to_string(),
+                ScenarioRanking::Expected => "expected-sla-goodput-per-cm2".to_string(),
+            }
+        };
+        self.memo.lock().expect("serve objective memo poisoned").clear();
+        self
+    }
+
+    /// The fault scenarios scoring replays (empty in fault-free mode).
+    pub fn scenarios(&self) -> &[FaultSpec] {
+        &self.scenarios
+    }
+
+    /// How per-scenario merits fold into the ranking value (only
+    /// meaningful when [`ServeObjective::scenarios`] is non-empty).
+    pub fn ranking(&self) -> ScenarioRanking {
+        self.ranking
     }
 
     /// Sets the model parameters in-loop scoring simulates with — match
@@ -171,11 +243,63 @@ impl ServeObjective {
         area_cm2: f64,
         params: &ModelParams,
     ) -> ServeScore {
-        let report = Fleet::for_point(point, params).run(&self.trace);
+        if self.scenarios.is_empty() {
+            let report = Fleet::for_point(point, params).run(&self.trace);
+            return ServeScore {
+                meets_sla: self.sla.met_by(&report),
+                goodput_per_cm2: if area_cm2 > 0.0 { report.goodput_rps / area_cm2 } else { 0.0 },
+                report,
+            };
+        }
+        // Availability-aware: replay every scenario, fold per `ranking`.
+        // Two guards keep the merit honest under failure:
+        //
+        // * goodput normalizes by the design's WORST makespan across all
+        //   scenarios (floored at the trace horizon) — a design that
+        //   fail-stops early completes less work but cannot stop the
+        //   clock, so shedding the queue only lowers its merit;
+        // * a shed request never sees a first token, so it counts as an
+        //   infinite TTFT sample against the p99 bound: shedding more
+        //   than 1% of the offered requests makes the p99 infinite and
+        //   the scenario SLA-infeasible (no survivorship bias).
+        let detailed: Vec<crate::fleet::FleetReport> = self
+            .scenarios
+            .iter()
+            .map(|spec| {
+                Fleet::for_point(point, params).with_faults(spec.clone()).run_detailed(&self.trace)
+            })
+            .collect();
+        let denom = detailed
+            .iter()
+            .map(|d| d.merged.makespan_s)
+            .fold(self.trace.last_arrival_s(), f64::max)
+            .max(1e-12);
+        let all_meet = detailed.iter().all(|d| {
+            let offered = d.merged.completed + d.faults.shed;
+            self.sla.met_by(&d.merged) && d.faults.shed * 100 <= offered
+        });
+        let mut worst: Option<(f64, ServeReport)> = None;
+        let mut sum = 0.0;
+        for d in detailed {
+            let report = d.merged;
+            let merit =
+                if area_cm2 > 0.0 { report.completed as f64 / denom / area_cm2 } else { 0.0 };
+            sum += merit;
+            if worst.as_ref().is_none_or(|(m, _)| merit < *m) {
+                worst = Some((merit, report));
+            }
+        }
+        let (worst_merit, worst_report) = worst.expect("scenario list checked non-empty");
         ServeScore {
-            meets_sla: self.sla.met_by(&report),
-            goodput_per_cm2: if area_cm2 > 0.0 { report.goodput_rps / area_cm2 } else { 0.0 },
-            report,
+            meets_sla: all_meet,
+            goodput_per_cm2: match self.ranking {
+                ScenarioRanking::WorstCase => worst_merit,
+                ScenarioRanking::Expected => sum / self.scenarios.len() as f64,
+            },
+            // The report behind the score is the worst scenario's — the
+            // one the WorstCase ranking is judged by, and the honest
+            // "what does failure look like" answer under Expected too.
+            report: worst_report,
         }
     }
 
@@ -246,12 +370,14 @@ impl ServeObjective {
 
 impl Objective for ServeObjective {
     fn name(&self) -> &str {
-        "sla-goodput-per-cm2"
+        &self.name
     }
 
-    /// SLA-feasible designs carry their goodput per total cm² as merit;
-    /// infeasible ones carry `-p99 TTFT`, so "less infeasible" still
-    /// compares greater and the search can climb toward feasibility.
+    /// SLA-feasible designs carry their goodput per total cm² as merit
+    /// (folded across fault scenarios per [`ScenarioRanking`] when the
+    /// objective is availability-aware); infeasible ones carry
+    /// `-p99 TTFT`, so "less infeasible" still compares greater and the
+    /// search can climb toward feasibility.
     fn score(&self, evaluation: &Evaluation) -> MeritScore {
         let score = self.score_detailed(evaluation);
         MeritScore {
@@ -363,6 +489,86 @@ mod tests {
         let again = Objective::score(&objective, evaluation);
         assert_eq!(first, again);
         assert_eq!(objective.memo.lock().unwrap().len(), 1, "second score must hit the memo");
+    }
+
+    #[test]
+    fn empty_scenarios_restore_the_fault_free_objective_exactly() {
+        let space =
+            DesignSpace::new().with_array_dims([128]).with_workloads([TransformerConfig::bert()]);
+        let params = ModelParams::default();
+        let outcome = Sweeper::new(params.clone()).sweep(&space);
+        let legacy =
+            ServeObjective::new(trace(30.0, 15), Sla::p99_ttft(0.25)).with_params(params.clone());
+        let explicit = ServeObjective::new(trace(30.0, 15), Sla::p99_ttft(0.25))
+            .with_params(params)
+            .with_fault_scenarios([], ScenarioRanking::WorstCase);
+        assert_eq!(Objective::name(&explicit), "sla-goodput-per-cm2");
+        let a = legacy.score_detailed(&outcome.evaluations[0]);
+        let b = explicit.score_detailed(&outcome.evaluations[0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scenario_scoring_is_deterministic_and_named_by_ranking() {
+        let space =
+            DesignSpace::new().with_array_dims([128]).with_workloads([TransformerConfig::bert()]);
+        let params = ModelParams::default();
+        let outcome = Sweeper::new(params.clone()).sweep(&space);
+        let t = trace(200.0, 25);
+        let kill = FaultSpec::single_failure(0.5 * t.last_arrival_s(), 1);
+        let scenarios = vec![FaultSpec::none(), kill];
+
+        let worst = ServeObjective::new(t.clone(), Sla::p99_ttft(0.25))
+            .with_params(params.clone())
+            .with_fault_scenarios(scenarios.clone(), ScenarioRanking::WorstCase);
+        assert_eq!(Objective::name(&worst), "worst-case-sla-goodput-per-cm2");
+        let expected = ServeObjective::new(t, Sla::p99_ttft(0.25))
+            .with_params(params)
+            .with_fault_scenarios(scenarios, ScenarioRanking::Expected);
+        assert_eq!(Objective::name(&expected), "expected-sla-goodput-per-cm2");
+
+        let mut fleet_eval = (*outcome.evaluations[0]).clone();
+        fleet_eval.point.fleet = FleetSpec::replicated(2);
+        fleet_eval.area_cm2 = outcome.evaluations[0].area_cm2 * 2.0;
+
+        let defaults = ModelParams::default();
+        let w1 = worst.score_point(&fleet_eval.point, fleet_eval.area_cm2, &defaults);
+        let w2 = worst.score_point(&fleet_eval.point, fleet_eval.area_cm2, &defaults);
+        assert_eq!(w1, w2, "scenario replays must be bit-identical");
+        let e1 = expected.score_point(&fleet_eval.point, fleet_eval.area_cm2, &defaults);
+        // The mean over scenarios can never fall below the minimum.
+        assert!(e1.goodput_per_cm2 >= w1.goodput_per_cm2);
+    }
+
+    #[test]
+    fn a_failure_scenario_lowers_worst_case_merit() {
+        let space =
+            DesignSpace::new().with_array_dims([128]).with_workloads([TransformerConfig::bert()]);
+        let params = ModelParams::default();
+        let outcome = Sweeper::new(params.clone()).sweep(&space);
+        let t = trace(200.0, 25);
+        let kill = FaultSpec::single_failure(0.5 * t.last_arrival_s(), 0);
+
+        let mut fleet_eval = (*outcome.evaluations[0]).clone();
+        fleet_eval.point.fleet = FleetSpec::replicated(2);
+        fleet_eval.area_cm2 = outcome.evaluations[0].area_cm2 * 2.0;
+
+        let clean = ServeObjective::new(t.clone(), Sla::p99_ttft(10.0))
+            .with_params(params.clone())
+            .with_fault_scenarios([FaultSpec::none()], ScenarioRanking::WorstCase);
+        let faulty = ServeObjective::new(t, Sla::p99_ttft(10.0))
+            .with_params(params)
+            .with_fault_scenarios([FaultSpec::none(), kill], ScenarioRanking::WorstCase);
+        let defaults = ModelParams::default();
+        let c = clean.score_point(&fleet_eval.point, fleet_eval.area_cm2, &defaults);
+        let f = faulty.score_point(&fleet_eval.point, fleet_eval.area_cm2, &defaults);
+        assert!(
+            f.goodput_per_cm2 <= c.goodput_per_cm2,
+            "a single-failure scenario cannot raise worst-case merit \
+             (clean {} vs faulty {})",
+            c.goodput_per_cm2,
+            f.goodput_per_cm2
+        );
     }
 
     #[test]

@@ -53,6 +53,51 @@ impl fmt::Display for LatencyStats {
     }
 }
 
+/// Fault-handling counters for one fleet run: how many retries fired,
+/// how many requests were shed, and the resulting availability. The
+/// [`Default`] value (`availability = 1.0`, no retries, no sheds) is
+/// what every fault-free run reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultStats {
+    /// Retry attempts dispatched (re-admissions after a replica failure).
+    pub retries: usize,
+    /// Requests shed — dropped after exhausting the retry budget or by
+    /// the load-shedding watermark.
+    pub shed: usize,
+    /// `completed / (completed + shed)`; 1.0 when nothing was offered.
+    pub availability: f64,
+}
+
+impl Default for FaultStats {
+    fn default() -> Self {
+        FaultStats { retries: 0, shed: 0, availability: 1.0 }
+    }
+}
+
+impl FaultStats {
+    /// Computes availability from completion and shed counts.
+    pub fn of(completed: usize, retries: usize, shed: usize) -> Self {
+        let offered = completed + shed;
+        FaultStats {
+            retries,
+            shed,
+            availability: if offered == 0 { 1.0 } else { completed as f64 / offered as f64 },
+        }
+    }
+}
+
+impl fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "retries={} shed={} availability={:.1}%",
+            self.retries,
+            self.shed,
+            100.0 * self.availability
+        )
+    }
+}
+
 /// The outcome of serving one [`crate::Trace`] on one design point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
@@ -157,5 +202,15 @@ mod tests {
         let mut samples = vec![0.25, 0.5];
         let text = LatencyStats::of(&mut samples).to_string();
         assert!(text.contains("p99=0.500s"), "{text}");
+    }
+
+    #[test]
+    fn fault_stats_default_is_fully_available() {
+        let clean = FaultStats::default();
+        assert_eq!(clean.availability, 1.0);
+        assert_eq!(clean, FaultStats::of(0, 0, 0));
+        let hit = FaultStats::of(75, 10, 25);
+        assert_eq!(hit.availability, 0.75);
+        assert_eq!(hit.to_string(), "retries=10 shed=25 availability=75.0%");
     }
 }

@@ -181,6 +181,47 @@ pub enum ServeEvent {
         /// Wire time of the transfer in seconds.
         seconds: f64,
     },
+    /// A replica chip failed stop (fault-injected runs only; fault-free
+    /// streams never carry any of the fault events, so legacy traces stay
+    /// byte-identical).
+    ReplicaDown {
+        /// Fleet chip index that died.
+        replica: usize,
+    },
+    /// A failed replica chip recovered and rejoined the fleet
+    /// (fault-injected runs only).
+    ReplicaUp {
+        /// Fleet chip index that recovered.
+        replica: usize,
+    },
+    /// A replica chip entered a degraded mode — clock throttle or
+    /// DRAM-bandwidth brownout (fault-injected runs only).
+    Degraded {
+        /// Fleet chip index degraded.
+        replica: usize,
+        /// Service-time multiplier (`>= 1.0`; `1.0` clears the mode).
+        slowdown: f64,
+        /// `true` for a DRAM-bandwidth brownout, `false` for a clock
+        /// throttle.
+        dram: bool,
+    },
+    /// A request lost to a replica failure re-entered the router's queue
+    /// after its exponential-backoff delay (fault-injected runs only).
+    Retry {
+        /// Trace request id.
+        req: u64,
+        /// Attempt number this retry starts (the first retry is 1).
+        attempt: usize,
+        /// Backoff delay before re-admission, in seconds.
+        delay_s: f64,
+    },
+    /// A request was shed — dropped without completing — because its
+    /// retry budget ran out or surviving capacity fell below the
+    /// load-shedding watermark (fault-injected runs only).
+    Shed {
+        /// Trace request id.
+        req: u64,
+    },
 }
 
 /// A finite `f64` as a JSON number (`null` for non-finite values, which
@@ -281,6 +322,26 @@ pub fn event_json(event: &Event) -> String {
                         num(*seconds)
                     )
                 }
+                ServeEvent::ReplicaDown { replica } => {
+                    format!("\"kind\":\"replica_down\",\"replica\":{replica}")
+                }
+                ServeEvent::ReplicaUp { replica } => {
+                    format!("\"kind\":\"replica_up\",\"replica\":{replica}")
+                }
+                ServeEvent::Degraded { replica, slowdown, dram } => {
+                    format!(
+                        "\"kind\":\"degraded\",\"replica\":{replica},\"slowdown\":{},\
+                         \"dram\":{dram}",
+                        num(*slowdown)
+                    )
+                }
+                ServeEvent::Retry { req, attempt, delay_s } => {
+                    format!(
+                        "\"kind\":\"retry\",\"req\":{req},\"attempt\":{attempt},\"delay_s\":{}",
+                        num(*delay_s)
+                    )
+                }
+                ServeEvent::Shed { req } => format!("\"kind\":\"shed\",\"req\":{req}"),
             };
             format!("{{\"type\":\"serve\",\"t_s\":{},{body}}}", num(*t_s))
         }
@@ -311,6 +372,37 @@ mod tests {
         let b = Event::serve(1.0 / 3.0, ServeEvent::QueueDepthSample { depth: 2 });
         assert_eq!(a, b);
         assert_eq!(event_json(&a), event_json(&b));
+    }
+
+    #[test]
+    fn fault_events_serialize_with_fixed_field_order() {
+        let cases = [
+            (
+                ServeEvent::ReplicaDown { replica: 2 },
+                "{\"type\":\"serve\",\"t_s\":5e-1,\"kind\":\"replica_down\",\"replica\":2}",
+            ),
+            (
+                ServeEvent::ReplicaUp { replica: 2 },
+                "{\"type\":\"serve\",\"t_s\":5e-1,\"kind\":\"replica_up\",\"replica\":2}",
+            ),
+            (
+                ServeEvent::Degraded { replica: 1, slowdown: 2.0, dram: true },
+                "{\"type\":\"serve\",\"t_s\":5e-1,\"kind\":\"degraded\",\"replica\":1,\
+                 \"slowdown\":2e0,\"dram\":true}",
+            ),
+            (
+                ServeEvent::Retry { req: 7, attempt: 1, delay_s: 0.05 },
+                "{\"type\":\"serve\",\"t_s\":5e-1,\"kind\":\"retry\",\"req\":7,\"attempt\":1,\
+                 \"delay_s\":5e-2}",
+            ),
+            (
+                ServeEvent::Shed { req: 9 },
+                "{\"type\":\"serve\",\"t_s\":5e-1,\"kind\":\"shed\",\"req\":9}",
+            ),
+        ];
+        for (kind, expected) in cases {
+            assert_eq!(event_json(&Event::serve(0.5, kind)), expected);
+        }
     }
 
     #[test]

@@ -225,6 +225,19 @@ impl Metrics {
                         Histogram::with_bounds(&[1e-4, 1e-3, 1e-2, 1e-1, 1.0])
                     });
                 }
+                ServeEvent::ReplicaDown { replica } => {
+                    self.inc("serve.replica_downs", 1);
+                    self.inc(&format!("serve.replica.{replica:02}.downs"), 1);
+                }
+                ServeEvent::ReplicaUp { .. } => self.inc("serve.replica_ups", 1),
+                ServeEvent::Degraded { .. } => self.inc("serve.degraded", 1),
+                ServeEvent::Retry { delay_s, .. } => {
+                    self.inc("serve.retries", 1);
+                    self.observe_with("serve.retry_delay_s", *delay_s, || {
+                        Histogram::with_bounds(&[1e-4, 1e-3, 1e-2, 1e-1, 1.0])
+                    });
+                }
+                ServeEvent::Shed { .. } => self.inc("serve.sheds", 1),
             },
         }
     }
@@ -347,6 +360,26 @@ mod tests {
         assert_eq!(m.gauge("serve.batch_mean"), Some(3.0));
         assert_eq!(m.gauge("serve.tokens_per_step"), Some(3.0));
         assert_eq!(m.gauge("serve.resident_kv_peak"), Some(64.0));
+    }
+
+    #[test]
+    fn fault_events_feed_retry_and_shed_counters() {
+        let events = vec![
+            Event::serve(1.0, ServeEvent::ReplicaDown { replica: 1 }),
+            Event::serve(1.0, ServeEvent::Retry { req: 3, attempt: 1, delay_s: 0.05 }),
+            Event::serve(1.0, ServeEvent::Retry { req: 4, attempt: 1, delay_s: 0.05 }),
+            Event::serve(1.0, ServeEvent::Shed { req: 5 }),
+            Event::serve(1.2, ServeEvent::Degraded { replica: 0, slowdown: 2.0, dram: false }),
+            Event::serve(2.0, ServeEvent::ReplicaUp { replica: 1 }),
+        ];
+        let m = Metrics::from_events(&events);
+        assert_eq!(m.counter("serve.replica_downs"), 1);
+        assert_eq!(m.counter("serve.replica.01.downs"), 1);
+        assert_eq!(m.counter("serve.replica_ups"), 1);
+        assert_eq!(m.counter("serve.degraded"), 1);
+        assert_eq!(m.counter("serve.retries"), 2);
+        assert_eq!(m.counter("serve.sheds"), 1);
+        assert_eq!(m.histogram("serve.retry_delay_s").map(Histogram::count), Some(2));
     }
 
     #[test]

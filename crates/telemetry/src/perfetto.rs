@@ -117,6 +117,7 @@ const SERVE_PID: u64 = 1;
 const ARRIVAL_TID: u64 = 1000;
 const WAITING_TID: u64 = 1001;
 const ROUTER_TID: u64 = 1002;
+const FAULT_TID: u64 = 1003;
 
 /// A prefill window mid-flight: `(start_ts, context_tokens, end_ts)`.
 type PrefillWindow = (f64, usize, Option<f64>);
@@ -162,6 +163,7 @@ fn add_serve_stream(trace: &mut ChromeTrace, pid: u64, name: &str, events: &[Eve
     let mut named_slots = 0usize;
     let mut named_scheduler = false;
     let mut named_router = false;
+    let mut named_fault = false;
     let mut last_t = 0.0f64;
 
     for event in events {
@@ -266,6 +268,69 @@ fn add_serve_stream(trace: &mut ChromeTrace, pid: u64, name: &str, events: &[Eve
                     us(*seconds),
                     &format!("\"req\":{req},\"bytes\":{bytes}"),
                 );
+            }
+            ServeEvent::ReplicaDown { replica } => {
+                if !named_fault {
+                    trace.thread(pid, FAULT_TID, "faults");
+                    named_fault = true;
+                }
+                trace.instant(
+                    &format!("down {replica}"),
+                    pid,
+                    FAULT_TID,
+                    t,
+                    &format!("\"replica\":{replica}"),
+                );
+            }
+            ServeEvent::ReplicaUp { replica } => {
+                if !named_fault {
+                    trace.thread(pid, FAULT_TID, "faults");
+                    named_fault = true;
+                }
+                trace.instant(
+                    &format!("up {replica}"),
+                    pid,
+                    FAULT_TID,
+                    t,
+                    &format!("\"replica\":{replica}"),
+                );
+            }
+            ServeEvent::Degraded { replica, slowdown, dram } => {
+                if !named_fault {
+                    trace.thread(pid, FAULT_TID, "faults");
+                    named_fault = true;
+                }
+                trace.instant(
+                    &format!("degraded {replica}"),
+                    pid,
+                    FAULT_TID,
+                    t,
+                    &format!(
+                        "\"replica\":{replica},\"slowdown\":{},\"dram\":{dram}",
+                        num(*slowdown)
+                    ),
+                );
+            }
+            ServeEvent::Retry { req, attempt, delay_s } => {
+                if !named_fault {
+                    trace.thread(pid, FAULT_TID, "faults");
+                    named_fault = true;
+                }
+                trace.complete(
+                    &format!("retry {req}"),
+                    pid,
+                    FAULT_TID,
+                    t,
+                    us(*delay_s),
+                    &format!("\"req\":{req},\"attempt\":{attempt}"),
+                );
+            }
+            ServeEvent::Shed { req } => {
+                if !named_fault {
+                    trace.thread(pid, FAULT_TID, "faults");
+                    named_fault = true;
+                }
+                trace.instant(&format!("shed {req}"), pid, FAULT_TID, t, &format!("\"req\":{req}"));
             }
         }
     }
@@ -508,6 +573,29 @@ mod tests {
         assert!(json.contains("\"route 1\""));
         assert!(json.contains("\"kv 0\""));
         assert_eq!(json, fleet_trace_json(&[("router", &router), ("replica 0", &replica)]));
+    }
+
+    #[test]
+    fn fault_events_render_on_a_dedicated_fault_track() {
+        let router = vec![
+            Event::serve(0.0, ServeEvent::Route { req: 0, replica: 1 }),
+            Event::serve(0.5, ServeEvent::ReplicaDown { replica: 1 }),
+            Event::serve(0.5, ServeEvent::Retry { req: 0, attempt: 1, delay_s: 0.05 }),
+            Event::serve(0.5, ServeEvent::Shed { req: 3 }),
+            Event::serve(0.6, ServeEvent::Degraded { replica: 0, slowdown: 2.0, dram: true }),
+            Event::serve(0.9, ServeEvent::ReplicaUp { replica: 1 }),
+        ];
+        let json = fleet_trace_json(&[("router", &router)]);
+        validate_chrome_trace(&json).expect("valid trace");
+        assert!(json.contains("\"faults\""));
+        assert!(json.contains("\"down 1\""));
+        assert!(json.contains("\"up 1\""));
+        assert!(json.contains("\"retry 0\""));
+        assert!(json.contains("\"shed 3\""));
+        assert!(json.contains("\"degraded 0\""));
+        // Fault-free streams never name the track.
+        let clean = serve_trace_json(&serve_stream());
+        assert!(!clean.contains("\"faults\""));
     }
 
     #[test]

@@ -24,6 +24,8 @@ const KEYS: &[&str] = &[
     "search_cache_hit_ratio",
     "search_flush_batch_mean",
     "serve_batch_mean",
+    "serve_retries",
+    "serve_sheds",
     "events",
     "staged",
     "screened_out",

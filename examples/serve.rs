@@ -21,13 +21,22 @@
 //! chips with the K/V handoff charged at DRAM bandwidth.
 //! `--fleet-trace-out PATH` (or `FUSEMAX_FLEET_TRACE`) exports the
 //! fleet run as a Perfetto timeline with one process per chip plus a
-//! router track.
+//! router track (and a fault track when faults are injected).
+//!
+//! Fault-injection flags (apply to the fleet run):
+//! `--fault "t=2.5:replica=1:down"` injects a scripted fault timeline
+//! (`;`-separated events; kinds: `down`, `up`, `throttle=X`,
+//! `brownout=X`), `--fault-seed S` generates a seeded
+//! single-failure-plus-recovery scenario instead, and
+//! `--shed-watermark W` sheds displaced waiting work when surviving
+//! capacity drops below fraction `W`. The run prints a fault-and-retry
+//! summary (retries, sheds, availability).
 
 use fusemax::dse::{DesignSpace, FleetSpec, RouterPolicy, Sweeper};
 use fusemax::model::{ConfigKind, ModelParams};
 use fusemax::serve::{
-    Arrivals, Fleet, LengthMix, QueueOrder, SchedulerPolicy, ServeObjective, ServeSim, Sla,
-    TrafficSpec,
+    Arrivals, FaultSpec, Fleet, LengthMix, QueueOrder, SchedulerPolicy, ServeObjective, ServeSim,
+    Sla, TrafficSpec,
 };
 use fusemax::telemetry::{fleet_trace_json, serve_trace_json, Event, Metrics, VecSink};
 use fusemax::workloads::TransformerConfig;
@@ -158,13 +167,42 @@ fn main() {
         None => FleetSpec::replicated(replicas),
     }
     .with_router(router);
+    if let Err(e) = fleet_spec.validate() {
+        panic!("invalid fleet spec: {e}");
+    }
+    // Fault injection: a scripted timeline (--fault) or a seeded
+    // single-failure-plus-recovery scenario (--fault-seed), validated
+    // against the trace horizon before the fleet ever runs.
+    let horizon_s = trace.last_arrival_s();
+    let mut faults = match str_arg("--fault", "FUSEMAX_FAULT") {
+        Some(text) => {
+            FaultSpec::parse_events(&text).unwrap_or_else(|e| panic!("invalid --fault events: {e}"))
+        }
+        None => match str_arg("--fault-seed", "FUSEMAX_FAULT_SEED") {
+            Some(s) => FaultSpec::seeded(
+                s.parse().expect("--fault-seed expects an integer"),
+                fleet_spec.chips(),
+                horizon_s.max(f64::MIN_POSITIVE),
+            ),
+            None => FaultSpec::none(),
+        },
+    };
+    if let Some(w) = str_arg("--shed-watermark", "FUSEMAX_SHED_WATERMARK") {
+        faults = faults.with_shed_watermark(w.parse().expect("--shed-watermark expects a number"));
+    }
+    if let Err(e) = faults.validate(horizon_s) {
+        panic!("invalid fault spec: {e}");
+    }
+    if !faults.is_empty() && fleet_spec.is_single() {
+        println!("\nNote: fault injection needs a fleet — add --replicas N or --disaggregate P:D.");
+    }
     let fleet_trace_out = str_arg("--fleet-trace-out", "FUSEMAX_FLEET_TRACE");
     if !fleet_spec.is_single() {
         let kind = ConfigKind::FuseMaxBinding;
         let replica = ServeSim::builder(kind, kind.default_arch(), bert.clone(), params.clone())
             .policy(policy)
             .build();
-        let mut fleet = Fleet::new(fleet_spec, replica);
+        let mut fleet = Fleet::new(fleet_spec, replica).with_faults(faults.clone());
         let fleet_sink = if fleet_trace_out.is_some() {
             let (recorder, sink) = VecSink::recorder();
             fleet = fleet.with_recorder(recorder);
@@ -191,6 +229,17 @@ fn main() {
                 r.utilization * 100.0,
                 r.ttft.p99,
             );
+        }
+        if !faults.is_empty() {
+            println!(
+                "Fault injection ({} scripted events: {}): {}",
+                faults.events.len(),
+                faults.render_events(),
+                detailed.faults,
+            );
+            if !detailed.shed_ids.is_empty() {
+                println!("  shed request ids: {:?}", detailed.shed_ids);
+            }
         }
         if let (Some(path), Some(sink)) = (&fleet_trace_out, fleet_sink) {
             let router_events = sink.events();

@@ -12,7 +12,7 @@
 use fusemax::eval::explain::explain;
 use fusemax::model::{attention_report, e2e_report, ConfigKind, ModelParams};
 use fusemax::serve::{
-    Arrivals, Fleet, FleetSpec, LatencyAttribution, LatencyStats, LengthMix, QueueOrder,
+    Arrivals, FaultSpec, Fleet, FleetSpec, LatencyAttribution, LatencyStats, LengthMix, QueueOrder,
     RouterPolicy, SchedulerPolicy, ServeSim, SlaForensics, TrafficSpec,
 };
 use fusemax::telemetry::{roofline_csv, roofline_json, validate_folded_stacks};
@@ -204,6 +204,40 @@ proptest! {
         // Multi-token requests must carry the explicit K/V wire charge.
         let charged: f64 = detailed.attributions.iter().map(|a| a.kv_handoff_s).sum();
         prop_assert!(charged > 0.0);
+    }
+
+    /// Faulted fleet attributions still fold bit-exactly: retry wait and
+    /// re-prefill time land in the named `retry` bucket (never inflating
+    /// `queue_wait`), and the attribution multiset reproduces the faulted
+    /// run's exact quantiles.
+    #[test]
+    fn faulted_fleet_attribution_folds_the_retry_bucket_exactly(
+        seed in 0u64..256,
+        n in 2usize..5,
+        frac in 0.2f64..0.8,
+    ) {
+        let trace = mixed_trace(1500.0, 40, seed);
+        let faults = FaultSpec::single_failure(frac * trace.last_arrival_s(), 1);
+        let fleet = Fleet::new(FleetSpec::replicated(n), replica()).with_faults(faults);
+        let detailed = fleet.run_detailed(&trace);
+        check_attributions(
+            &detailed.attributions,
+            detailed.merged.completed,
+            &detailed.merged.e2e,
+            &detailed.merged.ttft,
+        );
+        // The retry bucket is always present in the fold; a run that
+        // actually retried must attribute nonzero seconds to it.
+        for a in &detailed.attributions {
+            prop_assert!(a.retry_s >= 0.0);
+            prop_assert!(a.e2e_components().iter().any(|(name, _)| *name == "retry"));
+        }
+        if detailed.faults.retries > 0 {
+            prop_assert!(
+                detailed.attributions.iter().any(|a| a.retry_s > 0.0),
+                "retries fired but no completion carries retry seconds"
+            );
+        }
     }
 
     /// SLA forensics name a dominant bucket for every violator, and the
